@@ -1,0 +1,212 @@
+package pccheck
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// AdaptiveLoop is the frequency-adaptation extension sketched at the end of
+// §3.4 of the paper: "the optimal checkpoint frequency might vary throughout
+// training due to contention for shared resources … We plan to extend
+// PCcheck by monitoring training throughput and traffic between GPU, CPU,
+// and storage, and adapt (3) accordingly."
+//
+// The loop continuously measures the iteration time t (from the cadence of
+// Tick calls) and the per-checkpoint write time Tw (from completed Saves),
+// both as exponentially weighted moving averages, and re-derives the
+// checkpoint interval from Eq. (3):
+//
+//	f* = ceil(Tw / (N · q · t))
+//
+// so that the checkpointing overhead tracks the target q even as iteration
+// times drift (input pipeline contention, activation offload) or the device
+// slows under external load.
+type AdaptiveLoop struct {
+	ck       *Checkpointer
+	snapshot func() []byte
+
+	q     float64 // overhead budget (> 1)
+	n     int     // concurrent checkpoints
+	alpha float64 // EWMA smoothing
+
+	minInterval, maxInterval int
+
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	lastErr  error
+	lastTick time.Time
+	ewmaIter float64 // seconds per iteration
+	ewmaTw   float64 // seconds per checkpoint
+	interval int     // current f
+	sinceCkp int     // iterations since the last checkpoint
+	saves    int
+	adjusts  int
+}
+
+// AdaptiveConfig tunes the controller.
+type AdaptiveConfig struct {
+	// MaxOverhead is q, the target slowdown budget (e.g. 1.05). Required.
+	MaxOverhead float64
+	// InitialInterval seeds f before any measurement (default 10).
+	InitialInterval int
+	// MinInterval / MaxInterval clamp the adaptation (defaults 1 / 10000).
+	MinInterval, MaxInterval int
+	// Smoothing is the EWMA coefficient in (0, 1]; larger reacts faster
+	// (default 0.2).
+	Smoothing float64
+}
+
+// NewAdaptiveLoop builds the controller over a checkpointer. snapshot has
+// the same contract as in NewLoop.
+func NewAdaptiveLoop(ck *Checkpointer, cfg AdaptiveConfig, snapshot func() []byte) (*AdaptiveLoop, error) {
+	if snapshot == nil {
+		return nil, errRequired("snapshot function")
+	}
+	if cfg.MaxOverhead <= 1 {
+		return nil, errRequired("MaxOverhead > 1")
+	}
+	if cfg.InitialInterval <= 0 {
+		cfg.InitialInterval = 10
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = 1
+	}
+	if cfg.MaxInterval <= 0 {
+		cfg.MaxInterval = 10000
+	}
+	if cfg.MaxInterval < cfg.MinInterval {
+		return nil, errRequired("MaxInterval ≥ MinInterval")
+	}
+	if cfg.Smoothing <= 0 || cfg.Smoothing > 1 {
+		cfg.Smoothing = 0.2
+	}
+	n := ck.engine.Config().Concurrent
+	if n < 1 {
+		n = 1
+	}
+	return &AdaptiveLoop{
+		ck:          ck,
+		snapshot:    snapshot,
+		q:           cfg.MaxOverhead,
+		n:           n,
+		alpha:       cfg.Smoothing,
+		minInterval: cfg.MinInterval,
+		maxInterval: cfg.MaxInterval,
+		interval:    clampInt(cfg.InitialInterval, cfg.MinInterval, cfg.MaxInterval),
+	}, nil
+}
+
+type requiredError string
+
+func (e requiredError) Error() string { return "pccheck: " + string(e) + " required" }
+
+func errRequired(what string) error { return requiredError(what) }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Tick records the completion of one iteration; when the adaptive interval
+// elapses it captures a snapshot and persists it concurrently, folding the
+// measured persist time back into the interval.
+func (l *AdaptiveLoop) Tick(ctx context.Context) {
+	now := time.Now()
+	l.mu.Lock()
+	if !l.lastTick.IsZero() {
+		dt := now.Sub(l.lastTick).Seconds()
+		if l.ewmaIter == 0 {
+			l.ewmaIter = dt
+		} else {
+			l.ewmaIter = l.alpha*dt + (1-l.alpha)*l.ewmaIter
+		}
+	}
+	l.lastTick = now
+	l.sinceCkp++
+	due := l.sinceCkp >= l.interval
+	if due {
+		l.sinceCkp = 0
+		l.saves++
+	}
+	l.mu.Unlock()
+	if !due {
+		return
+	}
+
+	payload := l.snapshot()
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		start := time.Now()
+		_, err := l.ck.Save(ctx, payload)
+		tw := time.Since(start).Seconds()
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if err != nil {
+			l.lastErr = err
+			return
+		}
+		if l.ewmaTw == 0 {
+			l.ewmaTw = tw
+		} else {
+			l.ewmaTw = l.alpha*tw + (1-l.alpha)*l.ewmaTw
+		}
+		l.retuneLocked()
+	}()
+}
+
+// retuneLocked applies Eq. (3) with the current measurements.
+func (l *AdaptiveLoop) retuneLocked() {
+	if l.ewmaIter <= 0 || l.ewmaTw <= 0 {
+		return
+	}
+	f := int(math.Ceil(l.ewmaTw / (float64(l.n) * l.q * l.ewmaIter)))
+	l.interval = clampInt(f, l.minInterval, l.maxInterval)
+	l.adjusts++
+}
+
+// Interval returns the current checkpoint interval f.
+func (l *AdaptiveLoop) Interval() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.interval
+}
+
+// Measurements returns the current EWMA iteration time and checkpoint write
+// time, for monitoring.
+func (l *AdaptiveLoop) Measurements() (iterTime, tw time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return time.Duration(l.ewmaIter * float64(time.Second)),
+		time.Duration(l.ewmaTw * float64(time.Second))
+}
+
+// Saves returns how many checkpoints were initiated; Adjustments how often
+// the interval was re-derived.
+func (l *AdaptiveLoop) Saves() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.saves
+}
+
+// Adjustments returns the number of interval re-derivations so far.
+func (l *AdaptiveLoop) Adjustments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.adjusts
+}
+
+// Drain waits for in-flight Saves and reports the first error.
+func (l *AdaptiveLoop) Drain() error {
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
+}

@@ -1,0 +1,153 @@
+package pccheck
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAdaptiveLoopValidation(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if _, err := NewAdaptiveLoop(ck, AdaptiveConfig{MaxOverhead: 1.05}, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := NewAdaptiveLoop(ck, AdaptiveConfig{MaxOverhead: 1.0}, func() []byte { return nil }); err == nil {
+		t.Fatal("q=1 accepted")
+	}
+	if _, err := NewAdaptiveLoop(ck, AdaptiveConfig{MaxOverhead: 1.1, MinInterval: 10, MaxInterval: 5},
+		func() []byte { return nil }); err == nil {
+		t.Fatal("inverted clamp accepted")
+	}
+}
+
+func TestAdaptiveLoopDefaults(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	loop, err := NewAdaptiveLoop(ck, AdaptiveConfig{MaxOverhead: 1.05}, func() []byte { return make([]byte, 64) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop.Interval() != 10 {
+		t.Fatalf("initial interval = %d, want default 10", loop.Interval())
+	}
+}
+
+// The controller must converge near Eq. (3)'s f* for a measurable workload:
+// iterations of ~1 ms against saves throttled to ~25 ms each.
+func TestAdaptiveLoopConvergesToFStar(t *testing.T) {
+	const payloadBytes = 50 << 10 // 50 KB
+	ck, _, err := CreateVolatile(Config{
+		MaxBytes:    payloadBytes,
+		Concurrent:  2,
+		Writers:     1,
+		PerWriterBW: 2 << 20, // 2 MB/s ⇒ ~25 ms per save
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+
+	loop, err := NewAdaptiveLoop(ck, AdaptiveConfig{
+		MaxOverhead:     1.10,
+		InitialInterval: 100, // deliberately far off
+		Smoothing:       0.5,
+	}, func() []byte { return make([]byte, payloadBytes) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for it := 0; it < 700; it++ {
+		time.Sleep(time.Millisecond) // the "training iteration"
+		loop.Tick(ctx)
+	}
+	if err := loop.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Eq. (3): f* = Tw/(N·q·t) ≈ 0.025 / (2·1.10·0.001) ≈ 11.
+	got := loop.Interval()
+	if got < 4 || got > 40 {
+		iter, tw := loop.Measurements()
+		t.Fatalf("adaptive interval = %d (iter %v, tw %v), want ≈11", got, iter, tw)
+	}
+	if loop.Adjustments() == 0 {
+		t.Fatal("controller never adjusted")
+	}
+	if loop.Saves() < 5 {
+		t.Fatalf("only %d saves in 700 iterations", loop.Saves())
+	}
+}
+
+// When iterations slow down (e.g. input-pipeline contention, §3.4), the same
+// overhead budget affords more frequent checkpointing: the interval must
+// shrink.
+func TestAdaptiveLoopTracksIterationTime(t *testing.T) {
+	const payloadBytes = 50 << 10
+	run := func(iterSleep time.Duration) int {
+		ck, _, err := CreateVolatile(Config{
+			MaxBytes:    payloadBytes,
+			Concurrent:  2,
+			Writers:     1,
+			PerWriterBW: 2 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ck.Close()
+		loop, err := NewAdaptiveLoop(ck, AdaptiveConfig{MaxOverhead: 1.10, InitialInterval: 20, Smoothing: 0.5},
+			func() []byte { return make([]byte, payloadBytes) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for it := 0; it < 300; it++ {
+			time.Sleep(iterSleep)
+			loop.Tick(ctx)
+		}
+		if err := loop.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return loop.Interval()
+	}
+	fast := run(500 * time.Microsecond)
+	slow := run(4 * time.Millisecond)
+	if slow >= fast {
+		t.Fatalf("slower iterations should allow a smaller interval: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestAdaptiveLoopClamps(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 1 << 10, Concurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	loop, err := NewAdaptiveLoop(ck, AdaptiveConfig{
+		MaxOverhead:     1.05,
+		InitialInterval: 7,
+		MinInterval:     5,
+		MaxInterval:     9,
+	}, func() []byte { return make([]byte, 512) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unthrottled saves are nearly instant ⇒ f* would collapse to 1, but
+	// the clamp holds it at MinInterval.
+	ctx := context.Background()
+	for it := 0; it < 200; it++ {
+		loop.Tick(ctx)
+	}
+	if err := loop.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := loop.Interval(); got < 5 || got > 9 {
+		t.Fatalf("interval %d escaped clamp [5,9]", got)
+	}
+}

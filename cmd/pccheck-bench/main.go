@@ -1,0 +1,168 @@
+// Command pccheck-bench regenerates the paper's evaluation artefacts
+// (Figures 1, 2, 8a–f, 9a–f, 10–14 and Tables 1, 3) from the calibrated
+// simulator, writing one CSV per artefact.
+//
+// Usage:
+//
+//	pccheck-bench -all -out results/
+//	pccheck-bench -figure 8 -out results/       # all six panels
+//	pccheck-bench -figure 12                    # print to stdout
+//	pccheck-bench -table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pccheck/internal/figures"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate every figure and table")
+		figure = flag.Int("figure", 0, "regenerate one figure (1, 2, 8, 9, 10, 11, 12, 13, 14)")
+		table  = flag.Int("table", 0, "regenerate one table (1 or 3)")
+		claims = flag.Bool("claims", false, "check the paper's headline claims and print the verdicts")
+		out    = flag.String("out", "", "directory for CSV output (default: stdout)")
+	)
+	flag.Parse()
+
+	if *claims {
+		cs, err := figures.CheckClaims()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(figures.FormatClaims(cs))
+		for _, c := range cs {
+			if !c.OK {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	figs, err := collect(*all, *figure, *table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccheck-bench:", err)
+		os.Exit(1)
+	}
+	if len(figs) == 0 {
+		fmt.Fprintln(os.Stderr, "pccheck-bench: nothing selected; use -all, -figure N or -table N")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ids := make([]string, 0, len(figs))
+	for id := range figs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fig := figs[id]
+		if *out == "" {
+			fmt.Printf("# %s — %s\n", fig.ID, fig.Title)
+			if err := fig.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "pccheck-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, fig.ID+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench:", err)
+			os.Exit(1)
+		}
+		if err := fig.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "pccheck-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s)\n", path, fig.Title)
+	}
+}
+
+func collect(all bool, figure, table int) (map[string]figures.Figure, error) {
+	if all {
+		return figures.All()
+	}
+	out := make(map[string]figures.Figure)
+	add := func(f figures.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		out[f.ID] = f
+		return nil
+	}
+	switch figure {
+	case 0:
+	case 1:
+		if err := add(figures.Figure1()); err != nil {
+			return nil, err
+		}
+	case 2:
+		if err := add(figures.Figure2()); err != nil {
+			return nil, err
+		}
+	case 8:
+		for _, m := range figures.Figure8Models {
+			if err := add(figures.Figure8(m)); err != nil {
+				return nil, err
+			}
+		}
+	case 9:
+		for _, m := range figures.Figure8Models {
+			if err := add(figures.Figure9(m)); err != nil {
+				return nil, err
+			}
+		}
+	case 10:
+		if err := add(figures.Figure10()); err != nil {
+			return nil, err
+		}
+	case 11:
+		if err := add(figures.Figure11()); err != nil {
+			return nil, err
+		}
+	case 12:
+		if err := add(figures.Figure12()); err != nil {
+			return nil, err
+		}
+	case 13:
+		if err := add(figures.Figure13()); err != nil {
+			return nil, err
+		}
+	case 14:
+		if err := add(figures.Figure14()); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown figure %d (have 1, 2, 8, 9, 10, 11, 12, 13, 14)", figure)
+	}
+	switch table {
+	case 0:
+	case 1:
+		if err := add(figures.Table1(3)); err != nil {
+			return nil, err
+		}
+	case 3:
+		if err := add(figures.Table3()); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown table %d (have 1 and 3)", table)
+	}
+	return out, nil
+}

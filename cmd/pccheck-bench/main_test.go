@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+func TestCollectSelections(t *testing.T) {
+	// Single figure.
+	figs, err := collect(false, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("figure 12 selection produced %d artefacts", len(figs))
+	}
+	if _, ok := figs["figure12"]; !ok {
+		t.Fatal("figure12 missing")
+	}
+	// Figure 8 expands to six panels.
+	figs, err = collect(false, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("figure 8 selection produced %d panels, want 6", len(figs))
+	}
+	// Table only.
+	figs, err = collect(false, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := figs["table1"]; !ok || len(figs) != 1 {
+		t.Fatalf("table 1 selection wrong: %v", figs)
+	}
+	// Figure and table combine.
+	figs, err = collect(false, 14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("combined selection produced %d", len(figs))
+	}
+	// Nothing selected.
+	figs, err = collect(false, 0, 0)
+	if err != nil || len(figs) != 0 {
+		t.Fatalf("empty selection: %d, %v", len(figs), err)
+	}
+}
+
+func TestCollectRejectsUnknown(t *testing.T) {
+	if _, err := collect(false, 7, 0); err == nil {
+		t.Fatal("figure 7 accepted (the paper has no figure 7 artefact)")
+	}
+	if _, err := collect(false, 0, 2); err == nil {
+		t.Fatal("table 2 accepted (table 2 is the parameter glossary)")
+	}
+}
+
+func TestCollectAll(t *testing.T) {
+	figs, err := collect(true, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) < 20 {
+		t.Fatalf("-all produced only %d artefacts", len(figs))
+	}
+}

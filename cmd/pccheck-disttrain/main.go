@@ -1,0 +1,292 @@
+// Command pccheck-disttrain runs multi-process distributed training with
+// coordinated checkpointing: each rank is a separate OS process training its
+// own pipeline-stage model (a deterministic MLP standing in for a model
+// partition, §3.1), checkpointing to its own file, and agreeing with the
+// group — over TCP through rank 0 — on the globally consistent checkpoint
+// after every save (§4.1).
+//
+// One-command demo (rank 0 spawns the other ranks as subprocesses):
+//
+//	pccheck-disttrain -world 3 -spawn -ckpt-dir /tmp/dist -steps 200 -interval 20
+//
+// Manual deployment (one command per machine):
+//
+//	pccheck-disttrain -world 3 -rank 0 -listen :7070 -ckpt stage0.pcc
+//	pccheck-disttrain -world 3 -rank 1 -leader host0:7070 -ckpt stage1.pcc
+//	pccheck-disttrain -world 3 -rank 2 -leader host0:7070 -ckpt stage2.pcc
+//
+// Crash recovery: kill any subset of ranks (or use -crash-at), restart the
+// same commands; on startup the group re-agrees on the newest checkpoint
+// every rank still holds and resumes from exactly there.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"pccheck"
+	"pccheck/internal/train"
+)
+
+func main() {
+	var (
+		world    = flag.Int("world", 2, "number of ranks")
+		rank     = flag.Int("rank", 0, "this process's rank")
+		listen   = flag.String("listen", "127.0.0.1:0", "rank 0: listen address")
+		leader   = flag.String("leader", "", "ranks ≥ 1: rank 0's address")
+		ckpt     = flag.String("ckpt", "", "checkpoint file for this rank")
+		ckptDir  = flag.String("ckpt-dir", "", "spawn mode: directory for per-rank checkpoint files")
+		steps    = flag.Int("steps", 200, "training iterations")
+		interval = flag.Int("interval", 20, "checkpoint every f iterations")
+		crashAt  = flag.Int("crash-at", 0, "exit abruptly after this iteration (0 = run to completion)")
+		spawn    = flag.Bool("spawn", false, "rank 0 spawns ranks 1..world-1 as subprocesses")
+	)
+	flag.Parse()
+
+	if *spawn {
+		if err := runSpawner(*world, *ckptDir, *steps, *interval); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	if *ckpt == "" {
+		fail("need -ckpt")
+	}
+	if err := runRank(*world, *rank, *listen, *leader, *ckpt, *steps, *interval, *crashAt); err != nil {
+		fail("rank %d: %v", *rank, err)
+	}
+}
+
+// runSpawner is the one-command demo: listen, launch the other ranks
+// pointing at us, then run rank 0 in-process.
+func runSpawner(world int, dir string, steps, interval int) error {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	var procs []*exec.Cmd
+	for r := 1; r < world; r++ {
+		cmd := exec.Command(exe,
+			"-world", strconv.Itoa(world),
+			"-rank", strconv.Itoa(r),
+			"-leader", addr,
+			"-ckpt", filepath.Join(dir, fmt.Sprintf("stage%d.pcc", r)),
+			"-steps", strconv.Itoa(steps),
+			"-interval", strconv.Itoa(interval),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		procs = append(procs, cmd)
+	}
+	err = runRankWithListener(world, 0, ln, filepath.Join(dir, "stage0.pcc"), steps, interval, 0)
+	for _, p := range procs {
+		if werr := p.Wait(); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+func runRank(world, rank int, listen, leader, ckptPath string, steps, interval, crashAt int) error {
+	if rank == 0 {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("rank 0 listening on %s\n", ln.Addr())
+		return runRankWithListener(world, 0, ln, ckptPath, steps, interval, crashAt)
+	}
+	if leader == "" {
+		return fmt.Errorf("ranks ≥ 1 need -leader")
+	}
+	// The leader may come up after us; retry the dial for a while.
+	var tr pccheck.Transport
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		var err error
+		tr, err = pccheck.DialWorker(ctx, leader, rank, world)
+		cancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	defer tr.Close()
+	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt)
+}
+
+func runRankWithListener(world, rank int, ln net.Listener, ckptPath string, steps, interval, crashAt int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	tr, err := pccheck.ListenLeader(ctx, ln, world)
+	cancel()
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt)
+}
+
+// trainLoop is the per-rank body: restore or start fresh, agree on the
+// common resume point, train with coordinated checkpoints.
+func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, crashAt int) error {
+	// Each rank's "pipeline stage" is its own deterministic model.
+	makeTrainer := func() (*train.Trainer, error) {
+		m, err := train.NewMLP(1000+int64(rank), []int{24, 48, 6})
+		if err != nil {
+			return nil, err
+		}
+		data, err := train.NewSynthetic(2000+int64(rank), 24, 6, 8)
+		if err != nil {
+			return nil, err
+		}
+		return train.NewTrainer(m, train.NewAdam(m.Params(), 0.004), data)
+	}
+	trainer, err := makeTrainer()
+	if err != nil {
+		return err
+	}
+
+	// Startup agreement: everyone reports the iteration of its newest
+	// recovered checkpoint; the group resumes from the minimum (the newest
+	// state every rank still has). Using the snapshot's iteration rather
+	// than the engine counter keeps the agreement meaningful even when
+	// engine counters diverge across restarts.
+	var recovered []byte
+	recoveredIter := 0
+	if state, _, err := pccheck.RecoverFile(ckptPath); err == nil {
+		if it, err := train.SnapshotIteration(state); err == nil {
+			recovered, recoveredIter = state, it
+		}
+	}
+	bootCk := mustVolatileBootstrap()
+	defer bootCk.Close()
+	boot, err := pccheck.NewWorker(bootCk, tr)
+	if err != nil {
+		return err
+	}
+	agreedIter, err := bootstrapAgree(boot, uint64(recoveredIter)+1)
+	if err != nil {
+		return fmt.Errorf("startup agreement: %w", err)
+	}
+	resumeIter := int(agreedIter) - 1
+	switch {
+	case resumeIter <= 0:
+		fmt.Printf("rank %d: starting fresh\n", rank)
+	case resumeIter == recoveredIter:
+		if err := trainer.Restore(recovered); err != nil {
+			return err
+		}
+		fmt.Printf("rank %d: resuming at iteration %d\n", rank, resumeIter)
+	default:
+		// This rank is ahead of the group: deterministic training means
+		// re-deriving the agreed iteration is just re-running to it.
+		fmt.Printf("rank %d: ahead (%d); re-deriving group state at %d\n", rank, recoveredIter, resumeIter)
+		for trainer.Iteration() < resumeIter {
+			if _, err := trainer.Step(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Fresh engine for this epoch so checkpoint counters align across the
+	// group again.
+	ck, err := pccheck.Create(ckptPath, pccheck.Config{
+		MaxBytes:   int64(trainer.StateSize()),
+		Concurrent: 2,
+		Writers:    2,
+		Verify:     true,
+	})
+	if err != nil {
+		return err
+	}
+	defer ck.Close()
+	worker, err := pccheck.NewWorker(ck, tr)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	for trainer.Iteration() < steps {
+		it := trainer.Iteration()
+		loss, err := trainer.Step()
+		if err != nil {
+			return err
+		}
+		if crashAt > 0 && it+1 >= crashAt {
+			fmt.Printf("rank %d: simulating crash at iteration %d\n", rank, it+1)
+			os.Exit(137)
+		}
+		if (it+1)%interval != 0 {
+			continue
+		}
+		buf := make([]byte, trainer.StateSize())
+		if _, err := trainer.Snapshot(buf); err != nil {
+			return err
+		}
+		agreed, err := worker.SaveConsistent(ctx, buf)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			fmt.Printf("iteration %4d  loss %.4f  globally consistent checkpoint %d\n", it+1, loss, agreed)
+		}
+	}
+	fmt.Printf("rank %d: done at iteration %d\n", rank, trainer.Iteration())
+	return nil
+}
+
+// bootstrapAgree runs one coordination round carrying iteration numbers
+// instead of engine counters, returning the group minimum.
+func bootstrapAgree(w *pccheck.Worker, iterPlusOne uint64) (uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// The Worker API couples Commit to Save; for the bootstrap round we
+	// save a tiny marker payload and coordinate on the iteration number by
+	// reporting it through the payload-independent agreement: saving
+	// iterPlusOne marker saves under engine counters, so instead use the
+	// raw coordinator via SaveConsistentRaw.
+	return w.AgreeRaw(ctx, iterPlusOne)
+}
+
+// mustVolatileBootstrap builds a throwaway checkpointer for the bootstrap
+// worker (its engine is never used; AgreeRaw goes straight to the
+// coordinator).
+func mustVolatileBootstrap() *pccheck.Checkpointer {
+	ck, _, err := pccheck.CreateVolatile(pccheck.Config{MaxBytes: 64})
+	if err != nil {
+		panic(err)
+	}
+	return ck
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pccheck-disttrain: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command pccheck-inspect dumps a checkpoint file's on-disk structures —
+// superblock geometry, both pointer records, each slot's header (optionally
+// verifying payload checksums), and any pending recovery cursor — without
+// modifying anything. The ops tool for "what exactly is on this device?".
+//
+//	pccheck-inspect /mnt/ssd/ckpt.pcc
+//	pccheck-inspect -verify /mnt/ssd/ckpt.pcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pccheck/internal/cliutil"
+	"pccheck/internal/core"
+	"pccheck/internal/storage"
+)
+
+func main() {
+	verify := flag.Bool("verify", false, "read payloads and validate checksums (slow for large slots)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pccheck-inspect [-verify] <checkpoint-file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	dev, err := storage.ReopenSSD(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer dev.Close()
+	rep, err := core.Inspect(dev, *verify)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("%s: %d slots × %s (N = %d concurrent checkpoints)\n",
+		path, rep.Slots, cliutil.FormatBytes(rep.SlotBytes), rep.Slots-1)
+
+	for i, r := range rep.Records {
+		name := string(rune('A' + i))
+		if !r.Valid {
+			fmt.Printf("  record %s: empty/invalid\n", name)
+			continue
+		}
+		fmt.Printf("  record %s: checkpoint %d → slot %d (%s)\n", name, r.Counter, r.Slot, cliutil.FormatBytes(r.Size))
+	}
+	if rep.Recoverable {
+		fmt.Printf("  recoverable: checkpoint %d in slot %d (%s)\n",
+			rep.Latest.Counter, rep.Latest.Slot, cliutil.FormatBytes(rep.Latest.Size))
+	} else {
+		fmt.Println("  recoverable: none")
+	}
+	for _, s := range rep.SlotInfos {
+		status := "empty/invalid header"
+		if s.HeaderValid {
+			status = fmt.Sprintf("checkpoint %d, %s", s.Counter, cliutil.FormatBytes(s.Size))
+			if s.HasChecksum {
+				switch {
+				case s.PayloadOK == nil:
+					status += ", checksummed"
+				case *s.PayloadOK:
+					status += ", payload OK"
+				default:
+					status += ", PAYLOAD CORRUPT"
+				}
+			}
+		}
+		marker := " "
+		if s.Published {
+			marker = "*"
+		}
+		fmt.Printf("  %s slot %d: %s\n", marker, s.Index, status)
+	}
+	if rep.Cursor != nil {
+		fmt.Printf("  pending restore: checkpoint %d at byte %d\n", rep.Cursor.Counter, rep.Cursor.Position)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pccheck-inspect: "+format+"\n", args...)
+	os.Exit(1)
+}

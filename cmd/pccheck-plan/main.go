@@ -1,0 +1,120 @@
+// Command pccheck-plan is a what-if planner for checkpoint configuration:
+// given a workload and a failure regime (mean time between failures), it
+// tabulates analytic goodput over a grid of checkpoint intervals and reports
+// the optimum — the operator-facing face of Eq. (3) (§3.4) combined with the
+// goodput accounting of §5.2.3.
+//
+// Examples:
+//
+//	pccheck-plan -model OPT-1.3B -mtbf 8m                  # spot-cluster regime
+//	pccheck-plan -model BLOOM-7B -mtbf 45m -overhead 1.03  # Microsoft's MTBF
+//	pccheck-plan -size 16GB -iter 650ms -mtbf 8m           # custom workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pccheck/internal/cliutil"
+	"pccheck/internal/perfmodel"
+	"pccheck/internal/workload"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "", "model name from Table 3 (or use -size/-iter)")
+		sizeStr  = flag.String("size", "", "checkpoint size for custom workloads (e.g. 16GB)")
+		iterDur  = flag.Duration("iter", 0, "iteration time for custom workloads (e.g. 650ms)")
+		platform = flag.String("platform", "a100-gcp-ssd", "platform (a100-gcp-ssd, rtx-pmem, h100-azure-nvme)")
+		mtbf     = flag.Duration("mtbf", 8*time.Minute, "mean time between failures")
+		overhead = flag.Float64("overhead", 1.05, "overhead budget q for the f* line (> 1)")
+		n        = flag.Int("n", 2, "concurrent checkpoints N")
+		writers  = flag.Int("writers", 3, "writer threads p")
+		maxF     = flag.Int("max-interval", 500, "largest interval to evaluate")
+	)
+	flag.Parse()
+
+	p, err := workload.PlatformByName(*platform)
+	if err != nil {
+		fail("%v", err)
+	}
+	var m int64
+	var t time.Duration
+	var name string
+	switch {
+	case *model != "":
+		w, err := workload.ByName(*model)
+		if err != nil {
+			fail("%v", err)
+		}
+		m = w.PartitionBytes()
+		t = w.IterTimeOn(p)
+		name = w.Name
+		if t <= 0 {
+			fail("model %s does not run on platform %s", name, p.Name)
+		}
+	case *sizeStr != "" && *iterDur > 0:
+		if m, err = cliutil.ParseBytes(*sizeStr); err != nil {
+			fail("bad -size: %v", err)
+		}
+		t = *iterDur
+		name = "custom"
+	default:
+		fail("need -model, or -size together with -iter")
+	}
+
+	params := perfmodel.Params{
+		IterTime:        t,
+		CheckpointBytes: m,
+		StorageBW:       p.StorageWriteBW,
+		PerThreadBW:     p.PerThreadWriteBW,
+		ReadBW:          p.StorageReadBW,
+		N:               *n, P: *writers, Interval: 1,
+	}
+
+	fmt.Printf("%s on %s: m = %s, t = %v, N = %d, p = %d, MTBF = %v\n\n",
+		name, p.Name, cliutil.FormatBytes(m), t, *n, *writers, *mtbf)
+
+	if fstar, err := params.FStar(*overhead); err == nil {
+		fmt.Printf("Eq. (3) minimum interval for ≤%.0f%% overhead: f* = %d iterations\n\n",
+			(*overhead-1)*100, fstar)
+	}
+
+	fmt.Printf("%10s %12s %14s %16s\n", "interval", "slowdown", "recovery (s)", "goodput (it/s)")
+	bestF, bestG, err := params.OptimalInterval(perfmodel.PCcheck, *mtbf, p.DiskAttach, *maxF)
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, f := range []int{1, 5, 10, 25, 50, 100, 250, bestF} {
+		if f > *maxF {
+			continue
+		}
+		q := params
+		q.Interval = f
+		s, err := q.Slowdown()
+		if err != nil {
+			fail("%v", err)
+		}
+		rec, err := q.MeanRecovery(perfmodel.PCcheck)
+		if err != nil {
+			fail("%v", err)
+		}
+		g, err := q.GoodputAt(perfmodel.PCcheck, *mtbf, p.DiskAttach)
+		if err != nil {
+			fail("%v", err)
+		}
+		marker := ""
+		if f == bestF {
+			marker = "  ← optimum"
+		}
+		fmt.Printf("%10d %11.2f× %14.1f %16.4f%s\n", f, s, rec.Seconds(), g, marker)
+	}
+	fmt.Printf("\nbest goodput %.4f it/s at interval %d\n", bestG, bestF)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pccheck-plan: "+format+"\n", args...)
+	os.Exit(1)
+}

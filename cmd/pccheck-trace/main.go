@@ -1,0 +1,131 @@
+// Command pccheck-trace generates and inspects spot-VM preemption traces,
+// and replays them to compute training goodput for a given checkpointing
+// configuration (§5.2.3).
+//
+// Examples:
+//
+//	pccheck-trace -seed 1                       # show the default trace
+//	pccheck-trace -seed 1 -events 40 -hours 8   # a denser, longer trace
+//	pccheck-trace -seed 1 -export trace.json    # persist for exact replay
+//	pccheck-trace -load trace.json -replay -model BLOOM-7B -algo pccheck -interval 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pccheck/internal/figures"
+	"pccheck/internal/perfmodel"
+	"pccheck/internal/sim"
+	"pccheck/internal/trace"
+	"pccheck/internal/workload"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "trace generator seed")
+		events   = flag.Int("events", 26, "number of availability changes")
+		hours    = flag.Float64("hours", 3.5, "trace window in hours")
+		cluster  = flag.Int("cluster", 64, "requested VM count")
+		export   = flag.String("export", "", "write the trace as JSON to this file")
+		load     = flag.String("load", "", "load a previously exported JSON trace instead of generating one")
+		replay   = flag.Bool("replay", false, "replay the trace for a checkpointing configuration")
+		model    = flag.String("model", "BLOOM-7B", "replay: model name from Table 3")
+		algo     = flag.String("algo", "pccheck", "replay: pccheck, checkfreq, gpm or gemini")
+		interval = flag.Int("interval", 10, "replay: checkpoint interval f")
+	)
+	flag.Parse()
+
+	var tr trace.Trace
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fail("%v", err)
+		}
+		tr, err = trace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+		}
+	} else {
+		tr = trace.Synthetic(trace.SyntheticConfig{
+			Seed:        *seed,
+			Events:      *events,
+			Duration:    time.Duration(*hours * float64(time.Hour)),
+			ClusterSize: *cluster,
+		})
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote %s (%d events over %v)\n", *export, tr.Failures(), tr.Duration)
+	}
+
+	if !*replay {
+		fmt.Printf("trace: %d VMs over %v, %d availability changes\n", tr.ClusterSize, tr.Duration, tr.Failures())
+		avail := tr.ClusterSize
+		for _, e := range tr.Events {
+			avail += e.VMs
+			kind := "preempted"
+			n := -e.VMs
+			if e.VMs > 0 {
+				kind = "returned"
+				n = e.VMs
+			}
+			fmt.Printf("  %8v  %2d VMs %-9s  →  %2d available\n", e.At.Round(time.Second), n, kind, avail)
+		}
+		return
+	}
+
+	m, err := workload.ByName(*model)
+	if err != nil {
+		fail("%v", err)
+	}
+	a, err := algoByName(*algo)
+	if err != nil {
+		fail("%v", err)
+	}
+	var cfg sim.Config
+	if a == perfmodel.PCcheck {
+		cfg = sim.Config{Algo: a, Model: m, Platform: workload.A100GCP, Interval: *interval, Concurrent: 2, Writers: 3}
+	} else {
+		cfg = sim.Config{Algo: a, Model: m, Platform: workload.A100GCP, Interval: *interval}
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	g, err := figures.GoodputOf(a, m, workload.A100GCP, res, tr)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("%s / %s / f=%d on the trace:\n", m.Name, a, *interval)
+	fmt.Printf("  failure-free throughput: %.4f iters/s (slowdown %.2f×)\n", res.Throughput, res.Slowdown)
+	fmt.Printf("  mean rollback:           %.1f iterations\n", res.MeanLagIters)
+	fmt.Printf("  goodput:                 %.4f iters/s over %d failures\n", g, tr.Failures())
+}
+
+func algoByName(name string) (perfmodel.Algorithm, error) {
+	for _, a := range []perfmodel.Algorithm{perfmodel.PCcheck, perfmodel.CheckFreq, perfmodel.GPM, perfmodel.Gemini, perfmodel.Traditional, perfmodel.Ideal} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pccheck-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command pccheck-tune is the configuration tool of §3.4: given a workload
+// (iteration time, checkpoint size) and constraints (acceptable overhead,
+// budgets), it picks the number of concurrent checkpoints N*, the writer
+// count p, and the minimum checkpoint interval f* = ceil(Tw/(N·q·t)).
+//
+// Two modes:
+//
+//	-profile path     measure a real device by writing scratch checkpoints
+//	-platform name    evaluate the analytic model with a calibrated platform
+//	                  (a100-gcp-ssd, rtx-pmem, h100-azure-nvme)
+//
+// Examples:
+//
+//	pccheck-tune -profile /mnt/ssd/scratch.pcc -size 64MB -iter 5ms -overhead 1.05
+//	pccheck-tune -platform a100-gcp-ssd -model OPT-1.3B -overhead 1.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pccheck"
+	"pccheck/internal/cliutil"
+	"pccheck/internal/tuner"
+	"pccheck/internal/workload"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "", "path of a scratch file on the target device to profile")
+		platform = flag.String("platform", "", "analytic mode: platform name (a100-gcp-ssd, rtx-pmem, h100-azure-nvme)")
+		model    = flag.String("model", "", "analytic mode: model name from Table 3 (e.g. OPT-1.3B)")
+		sizeStr  = flag.String("size", "", "checkpoint size for -profile mode (e.g. 64MB, 1GB)")
+		iterStr  = flag.Duration("iter", 0, "iteration time for -profile mode (e.g. 250ms)")
+		overhead = flag.Float64("overhead", 1.05, "acceptable slowdown q (> 1)")
+		dram     = flag.String("dram", "", "staging DRAM budget M (default 2× checkpoint size)")
+		storage  = flag.String("storage", "", "persistent storage budget S (default unlimited)")
+	)
+	flag.Parse()
+
+	switch {
+	case *profile != "":
+		size, err := cliutil.ParseBytes(*sizeStr)
+		if err != nil || size <= 0 {
+			fail("need -size for profile mode: %v", err)
+		}
+		if *iterStr <= 0 {
+			fail("need -iter for profile mode")
+		}
+		in := pccheck.TuneInput{
+			IterTime:        *iterStr,
+			CheckpointBytes: size,
+			MaxOverhead:     *overhead,
+		}
+		if *dram != "" {
+			if in.DRAMBudget, err = cliutil.ParseBytes(*dram); err != nil {
+				fail("bad -dram: %v", err)
+			}
+		}
+		if *storage != "" {
+			if in.StorageBudget, err = cliutil.ParseBytes(*storage); err != nil {
+				fail("bad -storage: %v", err)
+			}
+		}
+		res, err := pccheck.Tune(*profile, in)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println("profiled configuration:")
+		fmt.Printf("  concurrent checkpoints N* = %d\n", res.Config.Concurrent)
+		fmt.Printf("  writer threads p          = %d\n", res.Config.Writers)
+		fmt.Printf("  chunk size b              = %s\n", cliutil.FormatBytes(int64(res.Config.ChunkBytes)))
+		fmt.Printf("  checkpoint interval f*    = %d iterations\n", res.Interval)
+		fmt.Printf("  measured Tw               = %v\n", res.Tw.Round(time.Microsecond))
+		printProfile(res.Profile)
+
+	case *platform != "":
+		p, err := workload.PlatformByName(*platform)
+		if err != nil {
+			fail("%v", err)
+		}
+		m, err := workload.ByName(*model)
+		if err != nil {
+			fail("need -model in analytic mode: %v", err)
+		}
+		t := m.IterTimeOn(p)
+		if t <= 0 {
+			fail("model %s does not run on platform %s", m.Name, p.Name)
+		}
+		res, err := tuner.Analyze(tuner.Input{
+			IterTime:        t,
+			CheckpointBytes: m.PartitionBytes(),
+			MaxOverhead:     *overhead,
+		}, p.StorageWriteBW, p.PerThreadWriteBW)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("analytic configuration for %s on %s (q = %.2f):\n", m.Name, p.Name, *overhead)
+		fmt.Printf("  concurrent checkpoints N* = %d\n", res.N)
+		fmt.Printf("  writer threads p          = %d\n", res.Writers)
+		fmt.Printf("  checkpoint interval f*    = %d iterations\n", res.Interval)
+		fmt.Printf("  worst-case Tw             = %v\n", res.Tw.Round(time.Millisecond))
+		printProfile(res.Profile)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printProfile(profile map[int]time.Duration) {
+	ns := make([]int, 0, len(profile))
+	for n := range profile {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	fmt.Println("  Tw per candidate N:")
+	for _, n := range ns {
+		fmt.Printf("    N=%d: %v (Tw/N = %v)\n", n,
+			profile[n].Round(time.Microsecond),
+			(profile[n] / time.Duration(n)).Round(time.Microsecond))
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pccheck-tune: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"pccheck/internal/workload"
+)
+
+func TestPlatformByName(t *testing.T) {
+	for _, name := range []string{"a100-gcp-ssd", "rtx-pmem", "h100-azure-nvme"} {
+		p, err := workload.PlatformByName(name)
+		if err != nil || p.Name != name {
+			t.Fatalf("PlatformByName(%q): %v", name, err)
+		}
+	}
+	if _, err := workload.PlatformByName("tpu-v9"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}

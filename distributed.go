@@ -1,0 +1,134 @@
+package pccheck
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"pccheck/internal/dist"
+)
+
+// Distributed checkpointing (§3.1, §4.1 of the paper): in pipeline-parallel
+// or fully-sharded training every worker owns a partition of the model state
+// and checkpoints it to its own device. Because checkpoints complete at
+// different times on different workers, a restore must not mix iterations:
+// the workers agree — through rank 0 — on the latest *globally consistent*
+// checkpoint, the newest ID that every worker has durably persisted.
+//
+// Worker wraps a local Checkpointer with that agreement: SaveConsistent
+// persists the partition locally, reports the publication to rank 0, and
+// returns the round's agreed ID. On restore, LoadConsistent rejects local
+// checkpoints newer than the cluster-wide agreement.
+
+// Transport moves coordination messages between workers. Obtain one from
+// NewLocalTransports (same-process workers) or ListenLeader/DialWorker
+// (TCP).
+type Transport = dist.Transport
+
+// NewLocalTransports wires n same-process workers (rank i gets element i).
+func NewLocalTransports(n int) []Transport {
+	locals := dist.NewLocalGroup(n)
+	out := make([]Transport, n)
+	for i, l := range locals {
+		out[i] = l
+	}
+	return out
+}
+
+// ListenLeader starts rank 0's side of a TCP worker group: it blocks until
+// world−1 workers have dialed in.
+func ListenLeader(ctx context.Context, ln net.Listener, world int) (Transport, error) {
+	return dist.ListenTCP(ctx, ln, world)
+}
+
+// DialWorker connects rank (1 ≤ rank < world) to rank 0 at addr.
+func DialWorker(ctx context.Context, addr string, rank, world int) (Transport, error) {
+	return dist.DialTCP(ctx, addr, rank, world)
+}
+
+// PartitionRange splits total bytes of model state into per-worker shards:
+// worker rank owns [off, off+n).
+func PartitionRange(total int64, rank, world int) (off, n int64, err error) {
+	return dist.PartitionRange(total, rank, world)
+}
+
+// Worker is one rank's distributed checkpointer.
+type Worker struct {
+	ck    *Checkpointer
+	tr    Transport
+	coord *dist.Coordinator
+}
+
+// NewWorker binds a local checkpointer to a coordination transport. The
+// caller keeps ownership of both (Close them after the worker).
+func NewWorker(ck *Checkpointer, tr Transport) (*Worker, error) {
+	if ck == nil || tr == nil {
+		return nil, fmt.Errorf("pccheck: NewWorker needs a checkpointer and a transport")
+	}
+	return &Worker{ck: ck, tr: tr, coord: dist.NewCoordinator(tr)}, nil
+}
+
+// Rank returns this worker's rank.
+func (w *Worker) Rank() int { return w.tr.Rank() }
+
+// WorldSize returns the number of workers in the group.
+func (w *Worker) WorldSize() int { return w.tr.WorldSize() }
+
+// SaveConsistent persists this worker's partition and completes the
+// coordination round, returning the globally consistent checkpoint ID the
+// group agreed on (≤ the local ID if some peer lags). Every worker must
+// call SaveConsistent the same number of times; like the local Save, calls
+// may run concurrently up to the checkpointer's Concurrent limit, and the
+// coordination adds a network round trip that is negligible against the
+// persist (§3.1).
+func (w *Worker) SaveConsistent(ctx context.Context, payload []byte) (agreed uint64, err error) {
+	counter, err := w.ck.Save(ctx, payload)
+	if err != nil {
+		return 0, err
+	}
+	return w.coord.Commit(ctx, counter)
+}
+
+// AgreeRaw runs one coordination round on an arbitrary ID without saving
+// anything, returning the group minimum. Restarted groups use it to
+// re-agree on a common resume point before fresh engines are created (the
+// IDs can then be iteration numbers rather than engine counters).
+func (w *Worker) AgreeRaw(ctx context.Context, id uint64) (uint64, error) {
+	return w.coord.Commit(ctx, id)
+}
+
+// LatestConsistent returns the newest globally consistent checkpoint ID
+// this worker has observed (0 = none).
+func (w *Worker) LatestConsistent() uint64 { return w.coord.LatestConsistent() }
+
+// LoadConsistent loads this worker's copy of the globally consistent
+// checkpoint. It fails if the local device's newest checkpoint is *older*
+// than the agreement (this worker must resync from peers). When the local
+// latest has advanced past the agreement — this worker published a
+// checkpoint whose round never completed — the engine's N+1 retained slots
+// usually still hold the agreed version, which is read directly.
+func (w *Worker) LoadConsistent() ([]byte, uint64, error) {
+	agreed := w.coord.LatestConsistent()
+	if agreed == 0 {
+		return nil, 0, ErrNoCheckpoint
+	}
+	payload, counter, err := w.ck.LoadLatest()
+	if err != nil {
+		return nil, 0, err
+	}
+	if counter < agreed {
+		return nil, 0, fmt.Errorf("pccheck: rank %d holds checkpoint %d, older than agreed %d", w.Rank(), counter, agreed)
+	}
+	if counter > agreed {
+		old, err := w.ck.LoadVersion(agreed)
+		if err != nil {
+			return nil, 0, fmt.Errorf("pccheck: rank %d is at checkpoint %d and no longer retains the agreed %d: %w",
+				w.Rank(), counter, agreed, err)
+		}
+		return old, agreed, nil
+	}
+	return payload, counter, nil
+}
+
+// Checkpointer exposes the underlying local checkpointer (stats, Close).
+func (w *Worker) Checkpointer() *Checkpointer { return w.ck }

@@ -1,0 +1,282 @@
+package pccheck
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func listenLoopback() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+func newWorkerGroup(t *testing.T, world int, maxBytes int64) ([]*Worker, []*Memory) {
+	t.Helper()
+	transports := NewLocalTransports(world)
+	workers := make([]*Worker, world)
+	mems := make([]*Memory, world)
+	for rank := 0; rank < world; rank++ {
+		ck, mem, err := CreateVolatile(Config{MaxBytes: maxBytes, Concurrent: 2, Writers: 2, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorker(ck, transports[rank])
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[rank] = w
+		mems[rank] = mem
+		t.Cleanup(func() { ck.Close() })
+	}
+	return workers, mems
+}
+
+func TestNewWorkerValidation(t *testing.T) {
+	if _, err := NewWorker(nil, nil); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+}
+
+func TestSaveConsistentAgreement(t *testing.T) {
+	const world = 4
+	workers, _ := newWorkerGroup(t, world, 1024)
+	var wg sync.WaitGroup
+	agreed := make([]uint64, world)
+	for rank, w := range workers {
+		wg.Add(1)
+		go func(rank int, w *Worker) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(rank + 1)}, 512)
+			a, err := w.SaveConsistent(context.Background(), payload)
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
+			agreed[rank] = a
+		}(rank, w)
+	}
+	wg.Wait()
+	for rank, a := range agreed {
+		if a != agreed[0] {
+			t.Fatalf("rank %d agreed %d, rank 0 agreed %d", rank, a, agreed[0])
+		}
+		if workers[rank].LatestConsistent() != agreed[0] {
+			t.Fatalf("rank %d LatestConsistent = %d", rank, workers[rank].LatestConsistent())
+		}
+	}
+}
+
+func TestLoadConsistentRoundTrip(t *testing.T) {
+	const world = 3
+	workers, _ := newWorkerGroup(t, world, 1024)
+	payloads := make([][]byte, world)
+	var wg sync.WaitGroup
+	for rank, w := range workers {
+		wg.Add(1)
+		go func(rank int, w *Worker) {
+			defer wg.Done()
+			payloads[rank] = bytes.Repeat([]byte{byte(0x10 + rank)}, 700)
+			if _, err := w.SaveConsistent(context.Background(), payloads[rank]); err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+			}
+		}(rank, w)
+	}
+	wg.Wait()
+	for rank, w := range workers {
+		got, counter, err := w.LoadConsistent()
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		if counter != w.LatestConsistent() {
+			t.Fatalf("rank %d counter %d != agreed %d", rank, counter, w.LatestConsistent())
+		}
+		if !bytes.Equal(got, payloads[rank]) {
+			t.Fatalf("rank %d partition mismatch", rank)
+		}
+	}
+}
+
+func TestLoadConsistentRejectsNoAgreement(t *testing.T) {
+	workers, _ := newWorkerGroup(t, 1, 256)
+	if _, _, err := workers[0].LoadConsistent(); !IsNoCheckpoint(err) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestWorkerRankAndWorld(t *testing.T) {
+	workers, _ := newWorkerGroup(t, 2, 256)
+	if workers[0].Rank() != 0 || workers[1].Rank() != 1 {
+		t.Fatal("ranks wrong")
+	}
+	if workers[0].WorldSize() != 2 {
+		t.Fatal("world size wrong")
+	}
+	if workers[0].Checkpointer() == nil {
+		t.Fatal("Checkpointer accessor nil")
+	}
+}
+
+// A multi-round run followed by a cluster-wide crash: every worker must
+// recover its partition at the agreed checkpoint, never a mixed state.
+func TestDistributedCrashConsistency(t *testing.T) {
+	const world, rounds = 3, 5
+	workers, mems := newWorkerGroup(t, world, 2048)
+	content := func(rank, round int) []byte {
+		return bytes.Repeat([]byte{byte(rank*16 + round)}, 900)
+	}
+	var wg sync.WaitGroup
+	for rank, w := range workers {
+		wg.Add(1)
+		go func(rank int, w *Worker) {
+			defer wg.Done()
+			for round := 1; round <= rounds; round++ {
+				if rank == 1 {
+					time.Sleep(time.Millisecond) // straggler
+				}
+				if _, err := w.SaveConsistent(context.Background(), content(rank, round)); err != nil {
+					t.Errorf("rank %d round %d: %v", rank, round, err)
+					return
+				}
+			}
+		}(rank, w)
+	}
+	wg.Wait()
+
+	agreed := workers[0].LatestConsistent()
+	for _, mem := range mems {
+		mem.Crash()
+	}
+	// Recover each partition from its crashed device; all must be at the
+	// same round, at least as new as the agreement.
+	var baseRound = -1
+	for rank, mem := range mems {
+		payload, counter, err := mem.ForkCrashed()
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		if counter < agreed {
+			t.Fatalf("rank %d recovered %d < agreed %d", rank, counter, agreed)
+		}
+		round := int(payload[0]) - rank*16
+		if baseRound == -1 {
+			baseRound = round
+		}
+		if round != baseRound {
+			t.Fatalf("rank %d recovered round %d, rank 0 round %d — mixed-iteration restore", rank, round, baseRound)
+		}
+		if want := content(rank, round); !bytes.Equal(payload, want) {
+			t.Fatalf("rank %d payload corrupt", rank)
+		}
+	}
+}
+
+func TestPartitionRangeReExport(t *testing.T) {
+	off, n, err := PartitionRange(100, 1, 4)
+	if err != nil || off != 25 || n != 25 {
+		t.Fatalf("PartitionRange: %d %d %v", off, n, err)
+	}
+}
+
+func TestTCPWorkersEndToEnd(t *testing.T) {
+	const world = 3
+	ln, err := listenLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	leaderCh := make(chan Transport, 1)
+	go func() {
+		tr, err := ListenLeader(ctx, ln, world)
+		if err == nil {
+			leaderCh <- tr
+		}
+	}()
+	transports := make([]Transport, world)
+	for rank := 1; rank < world; rank++ {
+		tr, err := DialWorker(ctx, ln.Addr().String(), rank, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[rank] = tr
+	}
+	select {
+	case transports[0] = <-leaderCh:
+	case <-ctx.Done():
+		t.Fatal("leader did not come up")
+	}
+	for _, tr := range transports {
+		defer tr.Close()
+	}
+
+	workers := make([]*Worker, world)
+	for rank := 0; rank < world; rank++ {
+		ck, _, err := CreateVolatile(Config{MaxBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ck.Close()
+		if workers[rank], err = NewWorker(ck, transports[rank]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, world)
+	for rank, w := range workers {
+		wg.Add(1)
+		go func(rank int, w *Worker) {
+			defer wg.Done()
+			agreed, err := w.SaveConsistent(ctx, []byte(fmt.Sprintf("partition-%d", rank)))
+			if err != nil {
+				errs <- fmt.Errorf("rank %d: %w", rank, err)
+				return
+			}
+			if agreed != 1 {
+				errs <- fmt.Errorf("rank %d agreed %d, want 1", rank, agreed)
+			}
+		}(rank, w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// A worker whose local publish never completed its coordination round can
+// still restore the agreed (older) checkpoint from its retained slots.
+func TestLoadConsistentFallsBackToRetainedVersion(t *testing.T) {
+	workers, _ := newWorkerGroup(t, 2, 1024)
+	var wg sync.WaitGroup
+	for rank, w := range workers {
+		wg.Add(1)
+		go func(rank int, w *Worker) {
+			defer wg.Done()
+			if _, err := w.SaveConsistent(context.Background(), bytes.Repeat([]byte{byte(rank + 1)}, 400)); err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+			}
+		}(rank, w)
+	}
+	wg.Wait()
+	agreed := workers[0].LatestConsistent()
+
+	// Worker 0 publishes a newer local checkpoint whose round never
+	// completes (its peer crashed before saving).
+	if _, err := workers[0].Checkpointer().Save(context.Background(), bytes.Repeat([]byte{0xCC}, 400)); err != nil {
+		t.Fatal(err)
+	}
+	payload, counter, err := workers[0].LoadConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != agreed {
+		t.Fatalf("restored %d, want agreed %d", counter, agreed)
+	}
+	if !bytes.Equal(payload, bytes.Repeat([]byte{1}, 400)) {
+		t.Fatal("fallback payload mismatch")
+	}
+}

@@ -1,0 +1,149 @@
+package pccheck_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pccheck"
+)
+
+// The basic lifecycle: create, save, read back, recover after a restart.
+func Example() {
+	dir, _ := os.MkdirTemp("", "pccheck-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "state.pcc")
+
+	ck, err := pccheck.Create(path, pccheck.Config{MaxBytes: 1 << 16, Concurrent: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counter, err := ck.Save(context.Background(), []byte("model state v1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("saved checkpoint", counter)
+	ck.Close()
+
+	state, counter, err := pccheck.RecoverFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered checkpoint %d: %s\n", counter, state)
+	// Output:
+	// saved checkpoint 1
+	// recovered checkpoint 1: model state v1
+}
+
+// Periodic checkpointing of a training loop: the Loop snapshots every
+// interval iterations and persists concurrently with the workload.
+func ExampleLoop() {
+	ck, _, err := pccheck.CreateVolatile(pccheck.Config{MaxBytes: 1 << 12, Concurrent: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ck.Close()
+
+	version := 0
+	loop, err := pccheck.NewLoop(ck, 25, func() []byte {
+		version++
+		return fmt.Appendf(nil, "state after %d checkpoints", version)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for it := 0; it < 100; it++ {
+		// ... train one iteration ...
+		loop.Tick(context.Background(), it)
+	}
+	if err := loop.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpoints initiated:", loop.Saves())
+	// Concurrent saves may publish in any order; the newest counter always
+	// wins.
+	_, counter, _ := ck.LoadLatest()
+	fmt.Println("latest counter:", counter)
+	// Output:
+	// checkpoints initiated: 4
+	// latest counter: 4
+}
+
+// Crash injection with the volatile device: anything not durably persisted
+// is gone; the latest published checkpoint survives.
+func ExampleMemory_Crash() {
+	ck, mem, err := pccheck.CreateVolatile(pccheck.Config{MaxBytes: 1 << 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ck.Close()
+	if _, err := ck.Save(context.Background(), []byte("durable")); err != nil {
+		log.Fatal(err)
+	}
+	mem.Crash() // power failure
+	state, counter, err := mem.ForkCrashed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash: checkpoint %d = %s\n", counter, state)
+	// Output:
+	// after crash: checkpoint 1 = durable
+}
+
+// Distributed agreement: three same-process workers checkpoint their
+// partitions and agree on the globally consistent checkpoint.
+func ExampleWorker_SaveConsistent() {
+	transports := pccheck.NewLocalTransports(3)
+	results := make(chan uint64, 3)
+	for rank := 0; rank < 3; rank++ {
+		go func(rank int) {
+			ck, _, err := pccheck.CreateVolatile(pccheck.Config{MaxBytes: 256})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer ck.Close()
+			w, err := pccheck.NewWorker(ck, transports[rank])
+			if err != nil {
+				log.Fatal(err)
+			}
+			agreed, err := w.SaveConsistent(context.Background(), fmt.Appendf(nil, "partition %d", rank))
+			if err != nil {
+				log.Fatal(err)
+			}
+			results <- agreed
+		}(rank)
+	}
+	for i := 0; i < 3; i++ {
+		fmt.Println("agreed:", <-results)
+	}
+	// Output:
+	// agreed: 1
+	// agreed: 1
+	// agreed: 1
+}
+
+// Archiving every checkpoint for monitoring and post-mortem debugging.
+func ExampleHistory() {
+	dir, _ := os.MkdirTemp("", "pccheck-history")
+	defer os.RemoveAll(dir)
+	h, err := pccheck.OpenHistory(filepath.Join(dir, "history.pcar"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+	for c := uint64(1); c <= 3; c++ {
+		if err := h.Append(c, fmt.Appendf(nil, "state@%d", c)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, e := range h.List() {
+		state, _ := h.Load(e.Counter)
+		fmt.Printf("checkpoint %d: %s\n", e.Counter, state)
+	}
+	// Output:
+	// checkpoint 1: state@1
+	// checkpoint 2: state@2
+	// checkpoint 3: state@3
+}

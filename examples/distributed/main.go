@@ -1,0 +1,171 @@
+// Distributed checkpointing: six pipeline-parallel workers (goroutines
+// standing in for the paper's six-VM BLOOM-7B deployment, §3.1) each
+// checkpoint their model partition to their own device, then agree through
+// the rank-0 coordination protocol (§4.1) on the latest *globally
+// consistent* checkpoint — the newest ID every worker has durably persisted.
+// A straggler and a crash demonstrate why the agreement matters: restoring
+// each worker's own latest checkpoint would mix iterations.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"pccheck"
+	"pccheck/internal/dist"
+)
+
+const (
+	workers    = 6
+	partition  = 256 << 10 // bytes of model state per pipeline stage
+	iterations = 60
+	interval   = 10
+)
+
+// worker owns one pipeline stage: a slice of "model state" it updates every
+// iteration and checkpoints every `interval`.
+type worker struct {
+	rank  int
+	state []byte
+	ck    *pccheck.Checkpointer
+	mem   *pccheck.Memory
+	coord *dist.Coordinator
+}
+
+func (w *worker) run(ctx context.Context, slowRank int) error {
+	for it := 1; it <= iterations; it++ {
+		// "Train": evolve this stage's partition deterministically.
+		for i := range w.state {
+			w.state[i] = byte(int(w.state[i]) + it + w.rank)
+		}
+		if slowRank == w.rank {
+			time.Sleep(2 * time.Millisecond) // a straggling stage
+		}
+		if it%interval != 0 {
+			continue
+		}
+		snapshot := append([]byte(nil), w.state...)
+		counter, err := w.ck.Save(ctx, snapshot)
+		if err != nil {
+			return fmt.Errorf("rank %d save: %w", w.rank, err)
+		}
+		// §4.1: after the successful local publish, agree on the globally
+		// consistent checkpoint through rank 0.
+		agreed, err := w.coord.Commit(ctx, counter)
+		if err != nil {
+			return fmt.Errorf("rank %d commit: %w", w.rank, err)
+		}
+		if w.rank == 0 {
+			fmt.Printf("  iteration %2d: local checkpoint %d, globally consistent %d\n",
+				it, counter, agreed)
+		}
+	}
+	return nil
+}
+
+func main() {
+	transports := dist.NewLocalGroup(workers)
+	ws := make([]*worker, workers)
+	for rank := 0; rank < workers; rank++ {
+		ck, mem, err := pccheck.CreateVolatile(pccheck.Config{
+			MaxBytes:   partition,
+			Concurrent: 2,
+			Writers:    2,
+			Verify:     true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws[rank] = &worker{
+			rank:  rank,
+			state: make([]byte, partition),
+			ck:    ck,
+			mem:   mem,
+			coord: dist.NewCoordinator(transports[rank]),
+		}
+	}
+	defer func() {
+		for _, w := range ws {
+			w.ck.Close()
+		}
+	}()
+
+	fmt.Printf("training %d pipeline stages, checkpointing every %d iterations\n", workers, interval)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if err := w.run(ctx, 3 /* rank 3 straggles */); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatal(err)
+	}
+
+	// Cluster-wide power failure: every node crashes at once (the "bulky
+	// preemption" case that just-in-time checkpointing cannot survive,
+	// §2.2).
+	fmt.Println("\nsimulating cluster-wide preemption…")
+	agreed := ws[0].coord.LatestConsistent()
+	for _, w := range ws {
+		w.mem.Crash()
+	}
+
+	// Restore: every worker loads the globally consistent checkpoint. A
+	// worker's own device may hold something newer — it must not use it.
+	for _, w := range ws {
+		payload, counter, err := w.mem.ForkCrashed()
+		if err != nil {
+			log.Fatalf("rank %d: %v", w.rank, err)
+		}
+		if counter < agreed {
+			log.Fatalf("rank %d recovered %d, older than the agreed %d — coordination broken",
+				w.rank, counter, agreed)
+		}
+		// In PCcheck each device keeps the last N+1 checkpoints, so the
+		// agreed one is recoverable even when a newer local one exists; the
+		// demo keeps one durable version per worker and checks the common
+		// case counter == agreed.
+		if counter != agreed {
+			fmt.Printf("  rank %d holds newer local checkpoint %d; restoring agreed %d semantics\n",
+				w.rank, counter, agreed)
+		}
+		copy(w.state, payload)
+	}
+	fmt.Printf("all %d workers restored at globally consistent checkpoint %d ✓\n", workers, agreed)
+
+	// Verify consistency: every stage's restored state corresponds to the
+	// same iteration (the deterministic update lets us recompute it).
+	iterOf := func(rank int, state []byte) int {
+		// state[0] = Σ_{it=1..k}(it + rank) mod 256 for checkpointed k.
+		for k := interval; k <= iterations; k += interval {
+			sum := 0
+			for it := 1; it <= k; it++ {
+				sum += it + rank
+			}
+			if byte(sum) == state[0] {
+				return k
+			}
+		}
+		return -1
+	}
+	base := iterOf(0, ws[0].state)
+	for _, w := range ws {
+		if got := iterOf(w.rank, w.state); got != base {
+			log.Fatalf("rank %d restored iteration %d, rank 0 has %d — inconsistent restore", w.rank, got, base)
+		}
+	}
+	fmt.Printf("every stage restored the state of iteration %d — globally consistent ✓\n", base)
+}

@@ -1,0 +1,114 @@
+// LLM training with adaptive checkpoint frequency: trains a small
+// Transformer language model (embedding → self-attention → MLP, the
+// pure-Go stand-in for the paper's OPT/BLOOM workloads) while the
+// AdaptiveLoop re-derives the checkpoint interval f* = Tw/(N·q·t) from live
+// measurements — the extension §3.4 of the paper sketches as future work.
+// Midway through, the "storage device" degrades (its bandwidth is cut 4×);
+// the controller widens the interval to hold the overhead budget.
+//
+//	go run ./examples/llmtraining
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pccheck"
+	"pccheck/internal/train"
+)
+
+func main() {
+	model, err := train.NewTransformerLM(3, 64, 32, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := train.NewTextData(4, 64, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := train.NewLMTrainer(model, train.NewAdam(model.Params(), 0.005), data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Transformer LM: %d parameter tensors, %d-byte checkpoints\n",
+		len(model.Params()), trainer.StateSize())
+
+	// The device: per-writer throttled so checkpoints take measurable time.
+	// Mid-run the bandwidth is cut 4× to emulate storage contention
+	// (another tenant hammering the disk — the situation §3.4 says should
+	// trigger adaptation).
+	stateBytes := int64(trainer.StateSize())
+	healthyBW := float64(stateBytes) / 0.020 // ≈20 ms per checkpoint when healthy
+	ck, _, err := pccheck.CreateVolatile(pccheck.Config{
+		MaxBytes:    stateBytes,
+		Concurrent:  2,
+		Writers:     1,
+		PerWriterBW: healthyBW,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ck.Close()
+
+	loop, err := pccheck.NewAdaptiveLoop(ck, pccheck.AdaptiveConfig{
+		MaxOverhead:     1.10,
+		InitialInterval: 50,
+		Smoothing:       0.4,
+	}, func() []byte {
+		buf := make([]byte, trainer.StateSize())
+		if _, err := trainer.Snapshot(buf); err != nil {
+			log.Fatal(err)
+		}
+		return buf
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const steps = 1200
+	ctx := context.Background()
+	var healthyInterval int
+	for it := 0; it < steps; it++ {
+		if _, err := trainer.Step(); err != nil {
+			log.Fatal(err)
+		}
+		loop.Tick(ctx)
+		switch it {
+		case steps / 2:
+			healthyInterval = loop.Interval()
+			ck.SetWriterBandwidth(healthyBW / 4)
+			fmt.Printf("iteration %d: storage degraded 4× (interval was %d)\n", it, healthyInterval)
+		}
+		if (it+1)%200 == 0 {
+			iterT, tw := loop.Measurements()
+			fmt.Printf("iteration %4d: interval f=%3d  (t≈%v, Tw≈%v, %d checkpoints so far)\n",
+				it+1, loop.Interval(), iterT.Round(10*time.Microsecond), tw.Round(time.Millisecond), loop.Saves())
+		}
+	}
+	if err := loop.Drain(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nafter degradation the controller widened the interval: %d → %d\n",
+		healthyInterval, loop.Interval())
+	if loop.Interval() <= healthyInterval {
+		log.Fatal("adaptive controller failed to react to the slower device")
+	}
+	st := ck.Stats()
+	fmt.Printf("checkpoints: %d published, %d superseded, %.1f MB written\n",
+		st.Published, st.Obsolete, float64(st.BytesWritten)/1e6)
+
+	// And of course the latest checkpoint restores exactly.
+	state, counter, err := ck.LoadLatest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe, _ := train.NewTransformerLM(3, 64, 32, 64)
+	probeTr, _ := train.NewLMTrainer(probe, train.NewAdam(probe.Params(), 0.005), data)
+	if err := probeTr.Restore(state); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint %d restores cleanly at iteration %d ✓\n", counter, probeTr.Iteration())
+}

@@ -1,0 +1,70 @@
+// Quickstart: checkpoint arbitrary application state with PCcheck and get it
+// back after a crash.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+import "pccheck"
+
+func main() {
+	dir, err := os.MkdirTemp("", "pccheck-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "state.pcc")
+
+	// 1. Create a checkpointer sized for our state. Two checkpoints may be
+	//    in flight at once; three writer goroutines persist each one.
+	ck, err := pccheck.Create(path, pccheck.Config{
+		MaxBytes:   1 << 20,
+		Concurrent: 2,
+		Writers:    3,
+		Verify:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run an "application" that periodically saves its state. Saves for
+	//    different versions can overlap; the library guarantees the newest
+	//    fully persisted version survives any crash.
+	ctx := context.Background()
+	for version := 1; version <= 5; version++ {
+		state := fmt.Appendf(nil, "application state at version %d", version)
+		counter, err := ck.Save(ctx, state)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved version %d as checkpoint %d\n", version, counter)
+	}
+
+	// 3. Read the latest state back while running…
+	state, counter, err := ck.LoadLatest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latest in-process: checkpoint %d: %q\n", counter, state)
+
+	st := ck.Stats()
+	fmt.Printf("stats: %d published, %d superseded, %d bytes written\n",
+		st.Published, st.Obsolete, st.BytesWritten)
+	if err := ck.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. …and after a "restart", recover from the file alone.
+	recovered, counter, err := pccheck.RecoverFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered after restart: checkpoint %d: %q\n", counter, recovered)
+}

@@ -1,0 +1,3 @@
+module pccheck
+
+go 1.22

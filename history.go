@@ -1,0 +1,126 @@
+package pccheck
+
+import (
+	"io"
+
+	"pccheck/internal/archive"
+	"pccheck/internal/core"
+	"pccheck/internal/storage"
+)
+
+// History is a durable, append-only archive of checkpoints — the monitoring
+// and debugging companion to the fault-tolerance Checkpointer (§2.1 of the
+// paper): where the Checkpointer guarantees the *newest* state survives a
+// crash, a History retains *every* state you hand it, for post-mortem
+// analysis of training dynamics. See examples/monitoring.
+type History struct {
+	a *archive.Archive
+}
+
+// HistoryEntry describes one archived checkpoint.
+type HistoryEntry struct {
+	// Counter is the checkpoint's counter (the value Save returned).
+	Counter uint64
+	// Size is the payload length in bytes.
+	Size int64
+}
+
+// OpenHistory opens (or creates) an archive file. A torn tail from a crash
+// mid-append is detected and truncated away.
+func OpenHistory(path string) (*History, error) {
+	a, err := archive.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &History{a: a}, nil
+}
+
+// Append archives a checkpoint payload under its counter. Durable when it
+// returns. Counters must be strictly increasing.
+func (h *History) Append(counter uint64, payload []byte) error {
+	return h.a.Append(counter, payload)
+}
+
+// List returns all archived checkpoints in order.
+func (h *History) List() []HistoryEntry {
+	entries := h.a.List()
+	out := make([]HistoryEntry, len(entries))
+	for i, e := range entries {
+		out[i] = HistoryEntry{Counter: e.Counter, Size: e.Size}
+	}
+	return out
+}
+
+// Load returns the payload archived under counter.
+func (h *History) Load(counter uint64) ([]byte, error) { return h.a.Load(counter) }
+
+// Len returns the number of archived checkpoints.
+func (h *History) Len() int { return h.a.Len() }
+
+// Compact keeps only the newest keep checkpoints, reclaiming disk space.
+func (h *History) Compact(keep int) error { return h.a.Compact(keep) }
+
+// Close closes the archive file.
+func (h *History) Close() error { return h.a.Close() }
+
+// RecoveryStream streams the latest checkpoint out of a checkpoint file
+// with durable progress — the "persistent iterator" of §4.2. For
+// multi-gigabyte states the restore itself can be interrupted; reopening
+// the stream resumes at the last logged position instead of byte zero.
+//
+// It implements io.ReadCloser; Read returns io.EOF once the payload is
+// fully delivered.
+type RecoveryStream struct {
+	it  *core.RecoveryIterator
+	dev storage.Device
+}
+
+// OpenRecoveryStream opens a resumable restore of the newest checkpoint in
+// the file at path. chunkBytes sets read/logging granularity (0 = 1 MiB).
+func OpenRecoveryStream(path string, chunkBytes int) (*RecoveryStream, error) {
+	dev, err := storage.ReopenSSD(path)
+	if err != nil {
+		return nil, err
+	}
+	it, err := core.NewRecoveryIterator(dev, chunkBytes, 0)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return &RecoveryStream{it: it, dev: dev}, nil
+}
+
+// Read implements io.Reader.
+func (s *RecoveryStream) Read(p []byte) (int, error) {
+	if s.it.Done() {
+		return 0, io.EOF
+	}
+	return s.it.Next(p)
+}
+
+// Counter returns the checkpoint being restored.
+func (s *RecoveryStream) Counter() uint64 { return s.it.Counter() }
+
+// Size returns the checkpoint's full payload length.
+func (s *RecoveryStream) Size() int64 { return s.it.Size() }
+
+// Position returns bytes delivered so far, including resumed progress.
+func (s *RecoveryStream) Position() int64 { return s.it.Position() }
+
+// Restart rewinds the stream and its durable cursor to the beginning.
+func (s *RecoveryStream) Restart() error { return s.it.Reset() }
+
+// Close finalizes the stream. A completed restore clears the durable
+// cursor; an interrupted one leaves it for the next OpenRecoveryStream.
+func (s *RecoveryStream) Close() error {
+	var err error
+	if s.it.Done() {
+		err = s.it.ClearCursor()
+	}
+	if cerr := s.dev.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var _ io.ReadCloser = (*RecoveryStream)(nil)

@@ -1,0 +1,267 @@
+// Package archive keeps a durable history of checkpoints — the monitoring
+// and debugging use case of §2.1: tools like SageMaker Debugger, Cockpit and
+// Pythia retain *every* captured training state for post-mortem analysis,
+// not just the newest one the fault-tolerance engine guarantees.
+//
+// The format is a single append-only file of self-delimiting entries:
+//
+//	magic    u32  "PCAR"
+//	counter  u64  the checkpoint's engine counter (strictly increasing)
+//	size     u64  payload length
+//	hdrCRC   u32  over the 20 bytes above
+//	payload  size bytes
+//	payCRC   u32  over the payload
+//
+// Appends write the entry then sync. Opening scans entries until the first
+// invalid one — a torn tail from a crash mid-append is truncated away, so
+// the archive is always a prefix of what was written, in order.
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+const (
+	entryMagic  = 0x50434152 // "PCAR"
+	entryHeader = 4 + 8 + 8 + 4
+)
+
+// Errors.
+var (
+	// ErrNotFound means no entry carries the requested counter.
+	ErrNotFound = errors.New("archive: checkpoint not found")
+	// ErrOutOfOrder means an append's counter does not exceed the last
+	// entry's.
+	ErrOutOfOrder = errors.New("archive: counters must be strictly increasing")
+)
+
+// Entry describes one archived checkpoint.
+type Entry struct {
+	// Counter is the checkpoint's engine counter.
+	Counter uint64
+	// Size is the payload length in bytes.
+	Size int64
+
+	offset int64 // payload position in the file
+}
+
+// Archive is a durable, append-only checkpoint history. Safe for concurrent
+// use; appends are serialized.
+type Archive struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries []Entry
+	tail    int64
+}
+
+// Open opens (or creates) an archive file, scanning existing entries and
+// truncating a torn tail if the last append crashed midway.
+func Open(path string) (*Archive, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	a := &Archive{f: f}
+	if err := a.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// scan walks entries from the start, keeping the valid prefix.
+func (a *Archive) scan() error {
+	st, err := a.f.Stat()
+	if err != nil {
+		return err
+	}
+	fileSize := st.Size()
+	var off int64
+	var last uint64
+	hdr := make([]byte, entryHeader)
+	for off+entryHeader <= fileSize {
+		if _, err := a.f.ReadAt(hdr, off); err != nil {
+			break
+		}
+		if binary.LittleEndian.Uint32(hdr[0:]) != entryMagic {
+			break
+		}
+		if binary.LittleEndian.Uint32(hdr[20:]) != crc32.ChecksumIEEE(hdr[:20]) {
+			break
+		}
+		counter := binary.LittleEndian.Uint64(hdr[4:])
+		size := int64(binary.LittleEndian.Uint64(hdr[12:]))
+		if size < 0 || counter <= last {
+			break
+		}
+		payloadOff := off + entryHeader
+		if payloadOff+size+4 > fileSize {
+			break // torn payload
+		}
+		// Validate payload CRC so a torn-but-size-plausible tail is caught.
+		payload := make([]byte, size)
+		if _, err := a.f.ReadAt(payload, payloadOff); err != nil {
+			break
+		}
+		var crcBuf [4]byte
+		if _, err := a.f.ReadAt(crcBuf[:], payloadOff+size); err != nil {
+			break
+		}
+		if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(payload) {
+			break
+		}
+		a.entries = append(a.entries, Entry{Counter: counter, Size: size, offset: payloadOff})
+		last = counter
+		off = payloadOff + size + 4
+	}
+	a.tail = off
+	// Drop any torn tail so the next append starts clean.
+	return a.f.Truncate(off)
+}
+
+// Append archives a checkpoint. Counters must be strictly increasing (they
+// are the engine's global order). The entry is durable when Append returns.
+func (a *Archive) Append(counter uint64, payload []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.entries); n > 0 && counter <= a.entries[n-1].Counter {
+		return fmt.Errorf("%w: %d after %d", ErrOutOfOrder, counter, a.entries[n-1].Counter)
+	}
+	buf := make([]byte, entryHeader+len(payload)+4)
+	binary.LittleEndian.PutUint32(buf[0:], entryMagic)
+	binary.LittleEndian.PutUint64(buf[4:], counter)
+	binary.LittleEndian.PutUint64(buf[12:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(buf[:20]))
+	copy(buf[entryHeader:], payload)
+	binary.LittleEndian.PutUint32(buf[entryHeader+len(payload):], crc32.ChecksumIEEE(payload))
+	if _, err := a.f.WriteAt(buf, a.tail); err != nil {
+		return err
+	}
+	if err := a.f.Sync(); err != nil {
+		return err
+	}
+	a.entries = append(a.entries, Entry{
+		Counter: counter,
+		Size:    int64(len(payload)),
+		offset:  a.tail + entryHeader,
+	})
+	a.tail += int64(len(buf))
+	return nil
+}
+
+// Len returns the number of archived checkpoints.
+func (a *Archive) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.entries)
+}
+
+// List returns the archived entries in counter order.
+func (a *Archive) List() []Entry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Entry, len(a.entries))
+	copy(out, a.entries)
+	return out
+}
+
+// Load returns the payload archived under counter.
+func (a *Archive) Load(counter uint64) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i := sort.Search(len(a.entries), func(i int) bool { return a.entries[i].Counter >= counter })
+	if i >= len(a.entries) || a.entries[i].Counter != counter {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, counter)
+	}
+	e := a.entries[i]
+	payload := make([]byte, e.Size)
+	if _, err := a.f.ReadAt(payload, e.offset); err != nil {
+		return nil, err
+	}
+	var crcBuf [4]byte
+	if _, err := a.f.ReadAt(crcBuf[:], e.offset+e.Size); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("archive: checkpoint %d payload corrupt", counter)
+	}
+	return payload, nil
+}
+
+// Latest returns the newest archived entry.
+func (a *Archive) Latest() (Entry, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.entries) == 0 {
+		return Entry{}, false
+	}
+	return a.entries[len(a.entries)-1], true
+}
+
+// Compact rewrites the archive keeping only the newest keep entries —
+// retention for long runs whose full history would outgrow the disk.
+func (a *Archive) Compact(keep int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if keep < 0 {
+		keep = 0
+	}
+	if len(a.entries) <= keep {
+		return nil
+	}
+	kept := a.entries[len(a.entries)-keep:]
+	// Copy surviving payloads into a contiguous prefix. Entries only move
+	// toward lower offsets, so in-place forward copying is safe.
+	var newTail int64
+	newEntries := make([]Entry, 0, keep)
+	buf := make([]byte, 1<<20)
+	for _, e := range kept {
+		total := entryHeader + e.Size + 4
+		src := e.offset - entryHeader
+		dst := newTail
+		for moved := int64(0); moved < total; {
+			n := int64(len(buf))
+			if n > total-moved {
+				n = total - moved
+			}
+			if _, err := a.f.ReadAt(buf[:n], src+moved); err != nil {
+				return err
+			}
+			if _, err := a.f.WriteAt(buf[:n], dst+moved); err != nil {
+				return err
+			}
+			moved += n
+		}
+		newEntries = append(newEntries, Entry{Counter: e.Counter, Size: e.Size, offset: dst + entryHeader})
+		newTail += total
+	}
+	if err := a.f.Sync(); err != nil {
+		return err
+	}
+	if err := a.f.Truncate(newTail); err != nil {
+		return err
+	}
+	a.entries = newEntries
+	a.tail = newTail
+	return nil
+}
+
+// ReadTo streams an archived payload into w without materializing it.
+func (a *Archive) ReadTo(w io.Writer, counter uint64) (int64, error) {
+	payload, err := a.Load(counter)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(payload)
+	return int64(n), err
+}
+
+// Close closes the archive file.
+func (a *Archive) Close() error { return a.f.Close() }

@@ -1,0 +1,346 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tmpArchive(t *testing.T) (*Archive, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "history.pcar")
+	a, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a, path
+}
+
+func blob(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestAppendListLoad(t *testing.T) {
+	a, _ := tmpArchive(t)
+	payloads := map[uint64][]byte{}
+	for c := uint64(1); c <= 5; c++ {
+		p := blob(int64(c), 100*int(c))
+		payloads[c] = p
+		if err := a.Append(c, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != 5 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	entries := a.List()
+	for i, e := range entries {
+		if e.Counter != uint64(i+1) {
+			t.Fatalf("entry %d counter %d", i, e.Counter)
+		}
+		got, err := a.Load(e.Counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payloads[e.Counter]) {
+			t.Fatalf("payload %d mismatch", e.Counter)
+		}
+	}
+	latest, ok := a.Latest()
+	if !ok || latest.Counter != 5 {
+		t.Fatalf("Latest = %+v, %v", latest, ok)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	a, _ := tmpArchive(t)
+	if err := a.Append(2, blob(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Load(1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.Load(3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAppendOutOfOrderRejected(t *testing.T) {
+	a, _ := tmpArchive(t)
+	if err := a.Append(5, blob(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(5, blob(2, 10)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := a.Append(3, blob(3, 10)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("regression: %v", err)
+	}
+}
+
+func TestReopenPreservesHistory(t *testing.T) {
+	a, path := tmpArchive(t)
+	for c := uint64(1); c <= 3; c++ {
+		if err := a.Append(c*10, blob(int64(c), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.Len() != 3 {
+		t.Fatalf("reopened Len = %d", a2.Len())
+	}
+	got, err := a2.Load(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob(2, 64)) {
+		t.Fatal("reopened payload mismatch")
+	}
+	// And appends continue after the scan.
+	if err := a2.Append(40, blob(4, 64)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	a, path := tmpArchive(t)
+	if err := a.Append(1, blob(1, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(2, blob(2, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second entry: chop 50 bytes off the file.
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-50); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.Len() != 1 {
+		t.Fatalf("Len after torn tail = %d, want 1", a2.Len())
+	}
+	if _, err := a2.Load(2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn entry still loadable: %v", err)
+	}
+	// The torn region was reclaimed: appending works and survives reopen.
+	if err := a2.Append(2, blob(9, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a3.Close()
+	if a3.Len() != 2 {
+		t.Fatalf("Len after re-append = %d", a3.Len())
+	}
+	got, err := a3.Load(2)
+	if err != nil || !bytes.Equal(got, blob(9, 100)) {
+		t.Fatalf("re-appended payload: %v", err)
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	a, path := tmpArchive(t)
+	if err := a.Append(1, blob(1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte on disk.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Open truncates the corrupt entry away entirely (it is the tail).
+	a2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.Len() != 0 {
+		t.Fatalf("corrupt entry survived: Len = %d", a2.Len())
+	}
+}
+
+func TestCompactKeepsNewest(t *testing.T) {
+	a, path := tmpArchive(t)
+	for c := uint64(1); c <= 10; c++ {
+		if err := a.Append(c, blob(int64(c), 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := os.Stat(path)
+	if err := a.Compact(3); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len after compact = %d", a.Len())
+	}
+	for c := uint64(8); c <= 10; c++ {
+		got, err := a.Load(c)
+		if err != nil || !bytes.Equal(got, blob(int64(c), 300)) {
+			t.Fatalf("survivor %d: %v", c, err)
+		}
+	}
+	if _, err := a.Load(7); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("compacted entry still loadable: %v", err)
+	}
+	// Compacted archive survives reopen and further appends.
+	if err := a.Append(11, blob(11, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.Len() != 4 {
+		t.Fatalf("Len after reopen = %d", a2.Len())
+	}
+}
+
+func TestCompactNoOpWhenSmall(t *testing.T) {
+	a, _ := tmpArchive(t)
+	if err := a.Append(1, blob(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Compact(5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1 {
+		t.Fatal("no-op compact changed the archive")
+	}
+	if err := a.Compact(-1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 0 {
+		t.Fatal("Compact(-1) should keep nothing")
+	}
+}
+
+func TestReadTo(t *testing.T) {
+	a, _ := tmpArchive(t)
+	p := blob(4, 1000)
+	if err := a.Append(7, p); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := a.ReadTo(&buf, 7)
+	if err != nil || n != 1000 {
+		t.Fatalf("ReadTo: %d, %v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), p) {
+		t.Fatal("streamed payload mismatch")
+	}
+}
+
+func TestEmptyArchive(t *testing.T) {
+	a, _ := tmpArchive(t)
+	if a.Len() != 0 {
+		t.Fatal("fresh archive non-empty")
+	}
+	if _, ok := a.Latest(); ok {
+		t.Fatal("empty Latest reported ok")
+	}
+	if len(a.List()) != 0 {
+		t.Fatal("empty List non-empty")
+	}
+}
+
+// Property: whatever prefix of the file survives a crash (arbitrary
+// truncation), Open yields a prefix of the appended history — never
+// reordered, corrupted or invented entries.
+func TestQuickTruncationYieldsPrefix(t *testing.T) {
+	f := func(seed int64, cutRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		path := filepath.Join(dir, "a.pcar")
+		a, err := Open(path)
+		if err != nil {
+			return false
+		}
+		type rec struct {
+			counter uint64
+			payload []byte
+		}
+		var recs []rec
+		n := 1 + rng.Intn(6)
+		counter := uint64(0)
+		for i := 0; i < n; i++ {
+			counter += uint64(1 + rng.Intn(3))
+			p := blob(rng.Int63(), 1+rng.Intn(300))
+			if err := a.Append(counter, p); err != nil {
+				return false
+			}
+			recs = append(recs, rec{counter, p})
+		}
+		a.Close()
+		st, err := os.Stat(path)
+		if err != nil {
+			return false
+		}
+		cut := int64(cutRaw) % (st.Size() + 1)
+		if err := os.Truncate(path, cut); err != nil {
+			return false
+		}
+		a2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer a2.Close()
+		got := a2.List()
+		if len(got) > len(recs) {
+			return false
+		}
+		for i, e := range got {
+			if e.Counter != recs[i].counter {
+				return false
+			}
+			p, err := a2.Load(e.Counter)
+			if err != nil || !bytes.Equal(p, recs[i].payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpenArbitraryFile: Open over arbitrary file contents must never panic
+// and must yield a loadable, internally consistent archive (every listed
+// entry loads and its size matches).
+func FuzzOpenArbitraryFile(f *testing.F) {
+	// Seed with a genuine 2-entry archive image.
+	dir, err := os.MkdirTemp("", "fuzz-archive")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	seedPath := filepath.Join(dir, "seed.pcar")
+	a, err := Open(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = a.Append(1, []byte("first"))
+	_ = a.Append(3, []byte("third-entry"))
+	a.Close()
+	img, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add([]byte{})
+	f.Add([]byte("PCAR garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		path := filepath.Join(t.TempDir(), "f.pcar")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		arch, err := Open(path)
+		if err != nil {
+			return
+		}
+		defer arch.Close()
+		var last uint64
+		for _, e := range arch.List() {
+			if e.Counter <= last {
+				t.Fatalf("entries out of order: %d after %d", e.Counter, last)
+			}
+			last = e.Counter
+			p, err := arch.Load(e.Counter)
+			if err != nil {
+				t.Fatalf("listed entry %d unloadable: %v", e.Counter, err)
+			}
+			if int64(len(p)) != e.Size {
+				t.Fatalf("entry %d size %d vs payload %d", e.Counter, e.Size, len(p))
+			}
+		}
+		// Appending after a scan must keep the archive valid.
+		next := last + 1
+		if err := arch.Append(next, []byte("post-fuzz")); err != nil {
+			t.Fatalf("append after scan: %v", err)
+		}
+		if _, err := arch.Load(next); err != nil {
+			t.Fatalf("post-fuzz entry unloadable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package baselines implements the checkpointing mechanisms PCcheck is
+// evaluated against (§2.2, §5.1): Traditional (PyTorch-style synchronous
+// save), CheckFreq (snapshot overlapped with training, one checkpoint in
+// flight), GPM (stall-and-persist directly from device memory), and Gemini
+// (checkpoint to a remote machine's DRAM over the network).
+//
+// All disk-based baselines share the core engine's on-device format with
+// N = 1, so recovery is uniform (core.Recover) and microbenchmarks compare
+// mechanisms rather than serialization formats. What differs — and what the
+// paper measures — is the concurrency structure: who blocks, on what, and
+// for how long.
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pccheck/internal/core"
+	"pccheck/internal/storage"
+)
+
+// Checkpointer is the behaviour shared by every mechanism: Checkpoint
+// returns when training may resume (which, per mechanism, may be before the
+// checkpoint is durable), and WaitIdle blocks until all background persists
+// completed.
+type Checkpointer interface {
+	Checkpoint(ctx context.Context, src core.Source) (uint64, error)
+	WaitIdle(ctx context.Context) error
+	Close() error
+}
+
+// --- Traditional ------------------------------------------------------------
+
+// Traditional is the PyTorch/TensorFlow-style save (Figure 3): training
+// stalls through the full copy-and-persist. It is the core engine with one
+// slot in flight, one writer, no pipelining, called synchronously.
+type Traditional struct {
+	engine *core.Checkpointer
+}
+
+// NewTraditional formats dev and returns a synchronous checkpointer.
+func NewTraditional(dev storage.Device, slotBytes int64) (*Traditional, error) {
+	engine, err := core.New(dev, core.Config{
+		Concurrent: 1,
+		SlotBytes:  slotBytes,
+		Writers:    1,
+		// Whole-checkpoint staging: copy completes before persisting starts.
+		ChunkBytes: int(slotBytes),
+		DRAMBudget: slotBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Traditional{engine: engine}, nil
+}
+
+// Checkpoint implements Checkpointer; it blocks until durable.
+func (t *Traditional) Checkpoint(ctx context.Context, src core.Source) (uint64, error) {
+	return t.engine.Checkpoint(ctx, src)
+}
+
+// WaitIdle implements Checkpointer (a no-op: nothing runs in background).
+func (t *Traditional) WaitIdle(context.Context) error { return nil }
+
+// Close implements Checkpointer.
+func (t *Traditional) Close() error { return t.engine.Close() }
+
+// --- CheckFreq ---------------------------------------------------------------
+
+// CheckFreq implements the snapshot/persist split of Mohan et al. (Figure 4):
+// Checkpoint blocks only for the snapshot phase (copying the training state
+// into a DRAM buffer) — but first it must wait for the previous checkpoint's
+// persist to finish, because the mechanism owns a single snapshot buffer and
+// admits a single in-flight checkpoint. That wait is exactly the stall
+// PCcheck eliminates.
+type CheckFreq struct {
+	engine *core.Checkpointer
+	buf    []byte
+
+	mu      sync.Mutex
+	pending chan error // non-nil while a persist is in flight
+}
+
+// NewCheckFreq formats dev and returns a CheckFreq checkpointer.
+func NewCheckFreq(dev storage.Device, slotBytes int64, writers int) (*CheckFreq, error) {
+	engine, err := core.New(dev, core.Config{
+		Concurrent: 1,
+		SlotBytes:  slotBytes,
+		Writers:    writers,
+		ChunkBytes: int(slotBytes),
+		DRAMBudget: slotBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CheckFreq{engine: engine, buf: make([]byte, slotBytes)}, nil
+}
+
+// Checkpoint implements Checkpointer: wait for the previous persist, copy
+// the state into DRAM (the snapshot phase C), then persist asynchronously
+// (phase P) and return so training resumes.
+func (c *CheckFreq) Checkpoint(ctx context.Context, src core.Source) (uint64, error) {
+	size := src.Size()
+	if size > int64(len(c.buf)) {
+		return 0, fmt.Errorf("baselines: checkpoint %d exceeds buffer %d", size, len(c.buf))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// One checkpoint at a time: stall until the previous persist finished.
+	if c.pending != nil {
+		select {
+		case err := <-c.pending:
+			c.pending = nil
+			if err != nil {
+				return 0, fmt.Errorf("baselines: previous persist failed: %w", err)
+			}
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	// Snapshot phase: the training loop is blocked while state is copied
+	// out of device memory.
+	if err := src.ReadInto(c.buf[:size], 0); err != nil {
+		return 0, err
+	}
+	// Persist phase: runs concurrently with training.
+	done := make(chan error, 1)
+	snapshot := c.buf[:size]
+	go func() {
+		_, err := c.engine.Checkpoint(context.Background(), core.BytesSource(snapshot))
+		done <- err
+	}()
+	c.pending = done
+	return 0, nil
+}
+
+// WaitIdle implements Checkpointer.
+func (c *CheckFreq) WaitIdle(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending == nil {
+		return nil
+	}
+	select {
+	case err := <-c.pending:
+		c.pending = nil
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close implements Checkpointer.
+func (c *CheckFreq) Close() error {
+	if err := c.WaitIdle(context.Background()); err != nil {
+		return err
+	}
+	return c.engine.Close()
+}
+
+// --- GPM ---------------------------------------------------------------------
+
+// GPM (Pandey et al.) persists directly from device memory to the
+// persistent device with GPU copy kernels — no DRAM staging — and stalls
+// training for the entire persist (§2.2). Copy kernels consume SMs and move
+// data slower than dedicated copy engines; KernelBWFraction models that
+// penalty on the source read.
+type GPM struct {
+	engine           *core.Checkpointer
+	kernelBWFraction float64
+}
+
+// DefaultKernelBWFraction is the copy-kernel throughput relative to the
+// DMA copy engines (GPM paper reports kernels roughly competitive but
+// SM-consuming; the paper's Figure 11 shows GPM's direct path within ~2× of
+// CheckFreq's engine path).
+const DefaultKernelBWFraction = 0.7
+
+// NewGPM formats dev and returns a GPM checkpointer.
+func NewGPM(dev storage.Device, slotBytes int64) (*GPM, error) {
+	engine, err := core.New(dev, core.Config{
+		Concurrent: 1,
+		SlotBytes:  slotBytes,
+		Writers:    1,
+		// Streaming in small pieces stands in for direct kernel stores into
+		// the mapped device: no checkpoint-sized DRAM buffer exists.
+		ChunkBytes: 1 << 20,
+		DRAMBudget: 2 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GPM{engine: engine, kernelBWFraction: DefaultKernelBWFraction}, nil
+}
+
+// Checkpoint implements Checkpointer; it blocks until durable, like the real
+// GPM which calls cudaDeviceSynchronize + msync before resuming training.
+func (g *GPM) Checkpoint(ctx context.Context, src core.Source) (uint64, error) {
+	return g.engine.Checkpoint(ctx, slowSource{src, g.kernelBWFraction})
+}
+
+// WaitIdle implements Checkpointer (synchronous mechanism).
+func (g *GPM) WaitIdle(context.Context) error { return nil }
+
+// Close implements Checkpointer.
+func (g *GPM) Close() error { return g.engine.Close() }
+
+// slowSource models the copy-kernel bandwidth penalty by inflating the
+// effective read time. With unthrottled sources (unit tests) it is a
+// pass-through; with a paced GPU source the pacing itself already reflects
+// the interconnect, and the fraction models the kernel inefficiency.
+type slowSource struct {
+	inner    core.Source
+	fraction float64
+}
+
+func (s slowSource) Size() int64 { return s.inner.Size() }
+func (s slowSource) ReadInto(p []byte, off int64) error {
+	if s.fraction > 0 && s.fraction < 1 {
+		// Re-read a proportional share to burn the equivalent bandwidth:
+		// reading n bytes at fraction f costs the same as n/f at full rate.
+		extra := int(float64(len(p))*(1/s.fraction-1)) - 1
+		if extra > 0 && int64(extra) <= s.inner.Size() {
+			scratch := make([]byte, extra)
+			if err := s.inner.ReadInto(scratch, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return s.inner.ReadInto(p, off)
+}

@@ -1,0 +1,270 @@
+package baselines
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"pccheck/internal/core"
+	"pccheck/internal/storage"
+)
+
+func randomPayload(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestTraditionalRoundTrip(t *testing.T) {
+	dev := storage.NewRAM(core.DeviceBytes(1, 4096))
+	tr, err := NewTraditional(dev, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	want := randomPayload(1, 3000)
+	if _, err := tr.Checkpoint(context.Background(), core.BytesSource(want)); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous: durable immediately after return.
+	got, counter, err := core.Recover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1 || !bytes.Equal(got, want) {
+		t.Fatalf("recovered %d bytes at counter %d", len(got), counter)
+	}
+}
+
+func TestCheckFreqOverlapsPersist(t *testing.T) {
+	// Throttle the device so the persist takes ≳100 ms; Checkpoint must
+	// return much sooner (only the snapshot blocks).
+	dev, err := storage.OpenSSD(t.TempDir()+"/dev", core.DeviceBytes(1, 1<<20),
+		storage.WithSSDThrottle(storage.NewThrottle(10<<20))) // 10 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	cf, err := NewCheckFreq(dev, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	want := randomPayload(2, 1<<20) // 1 MB ⇒ ~100 ms persist
+	start := time.Now()
+	if _, err := cf.Checkpoint(context.Background(), core.BytesSource(want)); err != nil {
+		t.Fatal(err)
+	}
+	snapshotTime := time.Since(start)
+	if snapshotTime > 50*time.Millisecond {
+		t.Fatalf("CheckFreq.Checkpoint blocked %v; persist not overlapped", snapshotTime)
+	}
+	if err := cf.WaitIdle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 60*time.Millisecond {
+		t.Fatal("persist finished implausibly fast; throttle not effective")
+	}
+	got, _, err := core.Recover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("CheckFreq payload mismatch")
+	}
+}
+
+func TestCheckFreqSecondCheckpointStalls(t *testing.T) {
+	// The defining CheckFreq behaviour (Figure 4): checkpoint k+1's snapshot
+	// waits until checkpoint k persisted.
+	dev, err := storage.OpenSSD(t.TempDir()+"/dev", core.DeviceBytes(1, 1<<20),
+		storage.WithSSDThrottle(storage.NewThrottle(10<<20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	cf, err := NewCheckFreq(dev, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	p := randomPayload(3, 1<<20)
+	if _, err := cf.Checkpoint(context.Background(), core.BytesSource(p)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := cf.Checkpoint(context.Background(), core.BytesSource(p)); err != nil {
+		t.Fatal(err)
+	}
+	if stall := time.Since(start); stall < 50*time.Millisecond {
+		t.Fatalf("second Checkpoint returned in %v; it must stall on the in-flight persist", stall)
+	}
+}
+
+func TestCheckFreqRejectsOversize(t *testing.T) {
+	dev := storage.NewRAM(core.DeviceBytes(1, 1024))
+	cf, err := NewCheckFreq(dev, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if _, err := cf.Checkpoint(context.Background(), core.BytesSource(make([]byte, 2048))); err == nil {
+		t.Fatal("oversize accepted")
+	}
+}
+
+func TestGPMSynchronousRoundTrip(t *testing.T) {
+	dev := storage.NewRAM(core.DeviceBytes(1, 1<<20))
+	g, err := NewGPM(dev, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	want := randomPayload(4, 700_000)
+	if _, err := g.Checkpoint(context.Background(), core.BytesSource(want)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := core.Recover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("GPM payload mismatch")
+	}
+}
+
+func TestGPMStallsThroughPersist(t *testing.T) {
+	dev, err := storage.OpenSSD(t.TempDir()+"/dev", core.DeviceBytes(1, 1<<20),
+		storage.WithSSDThrottle(storage.NewThrottle(10<<20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	g, err := NewGPM(dev, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	start := time.Now()
+	if _, err := g.Checkpoint(context.Background(), core.BytesSource(randomPayload(5, 1<<20))); err != nil {
+		t.Fatal(err)
+	}
+	if blocked := time.Since(start); blocked < 60*time.Millisecond {
+		t.Fatalf("GPM returned in %v; it must block through the persist", blocked)
+	}
+}
+
+func TestGeminiRoundTripOverPipe(t *testing.T) {
+	client, server := net.Pipe()
+	peer := NewGeminiPeer(server)
+	g := NewGemini(client, 1<<20, nil)
+	defer g.Close()
+	want := randomPayload(6, 500_000)
+	counter, err := g.Checkpoint(context.Background(), core.BytesSource(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1 {
+		t.Fatalf("counter = %d", counter)
+	}
+	if err := g.WaitIdle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, gc, ok := peer.Latest()
+	if !ok || gc != 1 {
+		t.Fatalf("peer latest: ok=%v counter=%d", ok, gc)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("Gemini payload mismatch")
+	}
+}
+
+func TestGeminiOverTCPWithSequence(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	peerReady := make(chan *GeminiPeer, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		peerReady <- NewGeminiPeer(conn)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGemini(conn, 1<<16, nil)
+	defer g.Close()
+	peer := <-peerReady
+
+	var last []byte
+	for i := 0; i < 5; i++ {
+		last = randomPayload(int64(10+i), 30_000+i)
+		if _, err := g.Checkpoint(context.Background(), core.BytesSource(last)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.WaitIdle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, counter, ok := peer.Latest()
+	if !ok || counter != 5 {
+		t.Fatalf("peer at counter %d", counter)
+	}
+	if !bytes.Equal(got, last) {
+		t.Fatal("peer holds wrong checkpoint")
+	}
+}
+
+func TestGeminiOneInFlight(t *testing.T) {
+	// With a throttled "network", the second checkpoint must stall on the
+	// first transfer.
+	client, server := net.Pipe()
+	NewGeminiPeer(server)
+	g := NewGemini(client, 1<<20, storage.NewThrottle(10<<20)) // 10 MB/s
+	defer g.Close()
+	p := randomPayload(7, 1<<20) // ⇒ ~100 ms per transfer
+	if _, err := g.Checkpoint(context.Background(), core.BytesSource(p)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := g.Checkpoint(context.Background(), core.BytesSource(p)); err != nil {
+		t.Fatal(err)
+	}
+	if stall := time.Since(start); stall < 50*time.Millisecond {
+		t.Fatalf("second Gemini checkpoint returned in %v; must wait for in-flight transfer", stall)
+	}
+}
+
+func TestGeminiRejectsOversize(t *testing.T) {
+	client, server := net.Pipe()
+	NewGeminiPeer(server)
+	g := NewGemini(client, 100, nil)
+	defer g.Close()
+	if _, err := g.Checkpoint(context.Background(), core.BytesSource(make([]byte, 200))); err == nil {
+		t.Fatal("oversize accepted")
+	}
+}
+
+func TestPeerLatestEmpty(t *testing.T) {
+	_, server := net.Pipe()
+	peer := NewGeminiPeer(server)
+	if _, _, ok := peer.Latest(); ok {
+		t.Fatal("empty peer reported a checkpoint")
+	}
+}
+
+// Interface conformance.
+var (
+	_ Checkpointer = (*Traditional)(nil)
+	_ Checkpointer = (*CheckFreq)(nil)
+	_ Checkpointer = (*GPM)(nil)
+	_ Checkpointer = (*Gemini)(nil)
+)

@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"pccheck/internal/core"
+	"pccheck/internal/storage"
+)
+
+// Gemini (Wang et al., SOSP'23) checkpoints to a *remote machine's CPU
+// memory* instead of persistent storage, exploiting that the network can be
+// faster than disk. Like CheckFreq it admits one checkpoint at a time: the
+// next snapshot waits for the previous transfer to be acknowledged. Nothing
+// touches persistent storage, so recovery is only possible while the remote
+// peer is alive — the availability trade-off §2.2 discusses.
+//
+// The transport is any net.Conn; production would be the training cluster's
+// interconnect, tests use net.Pipe or loopback TCP, and microbenchmarks wrap
+// the connection with a Throttle calibrated to the measured 15 Gbps (§5.2.1).
+type Gemini struct {
+	conn    net.Conn
+	netBW   *storage.Throttle
+	buf     []byte
+	counter uint64
+
+	mu      sync.Mutex
+	pending chan error
+}
+
+// NewGemini returns a client that replicates checkpoints of up to slotBytes
+// over conn. netBW may be nil for an unpaced transport.
+func NewGemini(conn net.Conn, slotBytes int64, netBW *storage.Throttle) *Gemini {
+	return &Gemini{conn: conn, netBW: netBW, buf: make([]byte, slotBytes)}
+}
+
+// Checkpoint implements Checkpointer: wait for the previous transfer's ack,
+// snapshot into the local buffer, then stream to the peer asynchronously.
+func (g *Gemini) Checkpoint(ctx context.Context, src core.Source) (uint64, error) {
+	size := src.Size()
+	if size > int64(len(g.buf)) {
+		return 0, fmt.Errorf("baselines: checkpoint %d exceeds buffer %d", size, len(g.buf))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pending != nil {
+		select {
+		case err := <-g.pending:
+			g.pending = nil
+			if err != nil {
+				return 0, fmt.Errorf("baselines: previous transfer failed: %w", err)
+			}
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	if err := src.ReadInto(g.buf[:size], 0); err != nil {
+		return 0, err
+	}
+	g.counter++
+	counter := g.counter
+	done := make(chan error, 1)
+	payload := g.buf[:size]
+	go func() { done <- g.send(counter, payload) }()
+	g.pending = done
+	return counter, nil
+}
+
+func (g *Gemini) send(counter uint64, payload []byte) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], counter)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
+	if _, err := g.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	// Stream in 1 MB pieces so the throttle paces the transfer like a
+	// real NIC rather than admitting one giant burst.
+	const piece = 1 << 20
+	for off := 0; off < len(payload); off += piece {
+		end := off + piece
+		if end > len(payload) {
+			end = len(payload)
+		}
+		g.netBW.Acquire(end - off)
+		if _, err := g.conn.Write(payload[off:end]); err != nil {
+			return err
+		}
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(g.conn, ack[:]); err != nil {
+		return err
+	}
+	if ack[0] != 1 {
+		return fmt.Errorf("baselines: peer rejected checkpoint %d", counter)
+	}
+	return nil
+}
+
+// WaitIdle implements Checkpointer.
+func (g *Gemini) WaitIdle(ctx context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pending == nil {
+		return nil
+	}
+	select {
+	case err := <-g.pending:
+		g.pending = nil
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close implements Checkpointer.
+func (g *Gemini) Close() error {
+	err := g.WaitIdle(context.Background())
+	if cerr := g.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// GeminiPeer is the remote side: it keeps the latest received checkpoint in
+// memory and acknowledges each transfer. One peer serves one client
+// connection (Gemini pairs machines in its placement groups).
+type GeminiPeer struct {
+	mu      sync.Mutex
+	latest  []byte
+	counter uint64
+	errs    chan error
+}
+
+// NewGeminiPeer starts serving conn in the background.
+func NewGeminiPeer(conn net.Conn) *GeminiPeer {
+	p := &GeminiPeer{errs: make(chan error, 1)}
+	go p.serve(conn)
+	return p
+}
+
+func (p *GeminiPeer) serve(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var hdr [16]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			if err != io.EOF {
+				select {
+				case p.errs <- err:
+				default:
+				}
+			}
+			return
+		}
+		counter := binary.LittleEndian.Uint64(hdr[0:])
+		size := binary.LittleEndian.Uint64(hdr[8:])
+		if size > 1<<40 {
+			select {
+			case p.errs <- fmt.Errorf("baselines: implausible checkpoint size %d", size):
+			default:
+			}
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			select {
+			case p.errs <- err:
+			default:
+			}
+			return
+		}
+		p.mu.Lock()
+		if counter > p.counter {
+			p.counter = counter
+			p.latest = payload
+		}
+		p.mu.Unlock()
+		if _, err := conn.Write([]byte{1}); err != nil {
+			return
+		}
+	}
+}
+
+// Latest returns the newest fully received checkpoint, or ok=false if none
+// arrived yet. This is Gemini's recovery path: the restarted worker fetches
+// the state from its peer's memory.
+func (p *GeminiPeer) Latest() (payload []byte, counter uint64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.latest == nil {
+		return nil, 0, false
+	}
+	out := make([]byte, len(p.latest))
+	copy(out, p.latest)
+	return out, p.counter, true
+}

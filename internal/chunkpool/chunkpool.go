@@ -1,0 +1,135 @@
+// Package chunkpool manages the bounded pool of pinned DRAM staging buffers
+// that checkpoints flow through on their way from device memory to
+// persistent storage.
+//
+// In the paper (§3.1–§3.2), the user dedicates M bytes of DRAM to
+// checkpointing, split into c chunks of b bytes. A GPU→DRAM copy needs a
+// free chunk; a chunk becomes free again once its contents are persisted.
+// When every chunk is occupied, the next checkpoint *waits* — this blocking
+// is precisely the throughput/memory trade-off Figure 14 measures, so the
+// pool records how often and how long acquirers waited.
+package chunkpool
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Chunk is one staging buffer. Chunks are owned by whoever holds them
+// between Acquire and Release; the pool never touches contents.
+type Chunk struct {
+	buf []byte
+	id  int
+}
+
+// Bytes returns the chunk's full backing buffer.
+func (c *Chunk) Bytes() []byte { return c.buf }
+
+// Cap returns the chunk capacity in bytes.
+func (c *Chunk) Cap() int { return len(c.buf) }
+
+// ID returns the chunk's index within its pool, for logging and tests.
+func (c *Chunk) ID() int { return c.id }
+
+// Pool is a fixed set of equal-size chunks with blocking acquisition.
+type Pool struct {
+	free      chan *Chunk
+	chunkSize int
+	total     int
+
+	waits    atomic.Int64 // acquisitions that had to block
+	waitNano atomic.Int64 // total time spent blocked
+}
+
+// New builds a pool of chunks × size bytes.
+func New(chunks, size int) (*Pool, error) {
+	if chunks <= 0 {
+		return nil, fmt.Errorf("chunkpool: need at least one chunk, got %d", chunks)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("chunkpool: chunk size must be positive, got %d", size)
+	}
+	p := &Pool{
+		free:      make(chan *Chunk, chunks),
+		chunkSize: size,
+		total:     chunks,
+	}
+	for i := 0; i < chunks; i++ {
+		p.free <- &Chunk{buf: make([]byte, size), id: i}
+	}
+	return p, nil
+}
+
+// ForBudget builds a pool covering a DRAM budget of m bytes with chunks of
+// size b, i.e. c = m/b chunks (at least one).
+func ForBudget(budgetBytes, chunkBytes int64) (*Pool, error) {
+	if chunkBytes <= 0 {
+		return nil, fmt.Errorf("chunkpool: chunk size must be positive, got %d", chunkBytes)
+	}
+	c := int(budgetBytes / chunkBytes)
+	if c < 1 {
+		c = 1
+	}
+	return New(c, int(chunkBytes))
+}
+
+// Acquire blocks until a chunk is free or ctx is done.
+func (p *Pool) Acquire(ctx context.Context) (*Chunk, error) {
+	select {
+	case c := <-p.free:
+		return c, nil
+	default:
+	}
+	// Slow path: record the wait.
+	p.waits.Add(1)
+	start := time.Now()
+	select {
+	case c := <-p.free:
+		p.waitNano.Add(int64(time.Since(start)))
+		return c, nil
+	case <-ctx.Done():
+		p.waitNano.Add(int64(time.Since(start)))
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire returns a free chunk or nil without blocking.
+func (p *Pool) TryAcquire() *Chunk {
+	select {
+	case c := <-p.free:
+		return c
+	default:
+		return nil
+	}
+}
+
+// Release returns a chunk to the pool. Releasing a chunk twice or releasing
+// a foreign chunk is a programming error and panics, since it would
+// silently corrupt in-flight checkpoints.
+func (p *Pool) Release(c *Chunk) {
+	if c == nil || len(c.buf) != p.chunkSize {
+		panic("chunkpool: releasing foreign chunk")
+	}
+	select {
+	case p.free <- c:
+	default:
+		panic("chunkpool: double release")
+	}
+}
+
+// ChunkSize returns the size of each chunk in bytes.
+func (p *Pool) ChunkSize() int { return p.chunkSize }
+
+// Total returns the number of chunks in the pool.
+func (p *Pool) Total() int { return p.total }
+
+// Free returns the number of currently available chunks.
+func (p *Pool) Free() int { return len(p.free) }
+
+// Stats reports how often acquirers blocked and for how long in total —
+// the observable cost of a tight DRAM budget (Figure 14).
+func (p *Pool) Stats() (waits int64, waited time.Duration) {
+	return p.waits.Load(), time.Duration(p.waitNano.Load())
+}

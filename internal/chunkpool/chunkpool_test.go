@@ -1,0 +1,165 @@
+package chunkpool
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Fatal("zero chunks accepted")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	p, err := New(3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 3 || p.ChunkSize() != 128 || p.Free() != 3 {
+		t.Fatalf("pool geometry: total=%d size=%d free=%d", p.Total(), p.ChunkSize(), p.Free())
+	}
+}
+
+func TestForBudget(t *testing.T) {
+	p, err := ForBudget(1000, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 3 {
+		t.Fatalf("1000/300 budget should give 3 chunks, got %d", p.Total())
+	}
+	// Budget smaller than one chunk still yields one chunk.
+	p2, err := ForBudget(10, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Total() != 1 {
+		t.Fatalf("tiny budget should give 1 chunk, got %d", p2.Total())
+	}
+	if _, err := ForBudget(100, 0); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+}
+
+func TestAcquireRelease(t *testing.T) {
+	p, _ := New(2, 64)
+	c1, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ID() == c2.ID() {
+		t.Fatal("same chunk handed out twice")
+	}
+	if p.Free() != 0 {
+		t.Fatalf("Free = %d, want 0", p.Free())
+	}
+	if c := p.TryAcquire(); c != nil {
+		t.Fatal("TryAcquire on empty pool returned a chunk")
+	}
+	p.Release(c1)
+	if got := p.TryAcquire(); got == nil {
+		t.Fatal("TryAcquire after release returned nil")
+	} else {
+		p.Release(got)
+	}
+	p.Release(c2)
+	if p.Free() != 2 {
+		t.Fatalf("Free = %d, want 2", p.Free())
+	}
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	p, _ := New(1, 64)
+	c, _ := p.Acquire(context.Background())
+	done := make(chan *Chunk)
+	go func() {
+		got, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	select {
+	case <-done:
+		t.Fatal("Acquire returned while pool was empty")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Release(c)
+	select {
+	case got := <-done:
+		p.Release(got)
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not wake after Release")
+	}
+	waits, waited := p.Stats()
+	if waits != 1 {
+		t.Fatalf("waits = %d, want 1", waits)
+	}
+	if waited <= 0 {
+		t.Fatalf("waited = %v, want > 0", waited)
+	}
+}
+
+func TestAcquireHonoursContext(t *testing.T) {
+	p, _ := New(1, 64)
+	c, _ := p.Acquire(context.Background())
+	defer p.Release(c)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p, _ := New(1, 64)
+	c, _ := p.Acquire(context.Background())
+	p.Release(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release(c)
+}
+
+func TestForeignReleasePanics(t *testing.T) {
+	p, _ := New(1, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign release did not panic")
+		}
+	}()
+	p.Release(&Chunk{buf: make([]byte, 32)})
+}
+
+func TestConcurrentCycling(t *testing.T) {
+	p, _ := New(4, 256)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c, err := p.Acquire(context.Background())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				c.Bytes()[0] = byte(i) // we own it exclusively
+				p.Release(c)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p.Free() != 4 {
+		t.Fatalf("chunks leaked: free = %d", p.Free())
+	}
+}

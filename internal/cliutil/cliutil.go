@@ -1,0 +1,49 @@
+// Package cliutil holds the small formatting/parsing helpers shared by the
+// command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses human-friendly sizes: "64MB", "1.5GB", "10KB", "128B",
+// or a bare number of bytes. Units are decimal (matching how the paper and
+// storage vendors count).
+func ParseBytes(s string) (int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return 0, fmt.Errorf("cliutil: empty size")
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(upper, "GB"):
+		mult, upper = 1_000_000_000, strings.TrimSuffix(upper, "GB")
+	case strings.HasSuffix(upper, "MB"):
+		mult, upper = 1_000_000, strings.TrimSuffix(upper, "MB")
+	case strings.HasSuffix(upper, "KB"):
+		mult, upper = 1_000, strings.TrimSuffix(upper, "KB")
+	case strings.HasSuffix(upper, "B"):
+		upper = strings.TrimSuffix(upper, "B")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(upper), 64)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// FormatBytes renders a byte count with a decimal unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2f GB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2f MB", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.2f KB", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,65 @@
+package cliutil
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"1GB", 1_000_000_000, true},
+		{"1.5GB", 1_500_000_000, true},
+		{"64MB", 64_000_000, true},
+		{"10KB", 10_000, true},
+		{"128B", 128, true},
+		{"42", 42, true},
+		{" 2 mb ", 2_000_000, true},
+		{"", 0, false},
+		{"GB", 0, false},
+		{"twelve", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("ParseBytes(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("ParseBytes(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2_000, "2.00 KB"},
+		{3_500_000, "3.50 MB"},
+		{1_200_000_000, "1.20 GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Fatalf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripish(t *testing.T) {
+	for _, n := range []int64{1, 999, 1000, 1_000_000, 2_500_000_000} {
+		parsed, err := ParseBytes(FormatBytes(n))
+		if err != nil {
+			t.Fatalf("FormatBytes(%d) unparseable: %v", n, err)
+		}
+		// Formatting rounds to 2 decimals; allow 1% slack.
+		diff := parsed - n
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*100 > n {
+			t.Fatalf("round trip %d -> %q -> %d", n, FormatBytes(n), parsed)
+		}
+	}
+}

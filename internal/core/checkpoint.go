@@ -1,0 +1,533 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pccheck/internal/chunkpool"
+	"pccheck/internal/lfqueue"
+	"pccheck/internal/storage"
+)
+
+// Source supplies a checkpoint payload. The engine pulls it range by range
+// so that device→DRAM copies (the GPU snapshot) pipeline with DRAM→storage
+// persists. Implementations must allow concurrent ReadInto calls on disjoint
+// ranges.
+type Source interface {
+	// Size returns the payload length in bytes.
+	Size() int64
+	// ReadInto fills p with payload bytes starting at off.
+	ReadInto(p []byte, off int64) error
+}
+
+// bytesSource adapts an in-memory payload.
+type bytesSource struct{ b []byte }
+
+// BytesSource wraps an in-memory payload as a Source. The engine reads the
+// slice during Checkpoint; the caller must not mutate it until Checkpoint
+// returns (the paper's equivalent: the GPU must not update weights being
+// snapshotted, §3.1).
+func BytesSource(b []byte) Source { return bytesSource{b} }
+
+func (s bytesSource) Size() int64 { return int64(len(s.b)) }
+
+func (s bytesSource) ReadInto(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(s.b)) {
+		return fmt.Errorf("core: source range [%d,%d) outside payload of %d bytes", off, off+int64(len(p)), len(s.b))
+	}
+	copy(p, s.b[off:])
+	return nil
+}
+
+// Checkpointer orchestrates concurrent checkpoints on one device. It is safe
+// for concurrent use; up to Config.Concurrent Checkpoint calls proceed in
+// parallel and additional calls wait for a free slot.
+type Checkpointer struct {
+	dev storage.Device
+	cfg Config
+	sb  superblock
+
+	gCounter  atomic.Uint64
+	checkAddr atomic.Pointer[checkMeta] // latest *persisted* checkpoint
+	freeSpace *lfqueue.Queue[int]
+	pool      *chunkpool.Pool
+	closed    atomic.Bool
+
+	// perWriterBW holds the float64 bits of the current per-writer pacing
+	// rate; mutable at runtime via SetPerWriterBW so operators (or the
+	// adaptive controller) can model or react to device contention.
+	perWriterBW atomic.Uint64
+
+	// slotSeq is a per-slot seqlock: odd while a checkpoint is writing the
+	// slot, even when quiescent. Readers (ReadLatest/ReadVersion) use it to
+	// detect that the slot they were reading was recycled and overwritten
+	// mid-read — a published checkpoint's slot can be freed by a newer
+	// publication and immediately reused while a stale reader still holds
+	// its metadata.
+	slotSeq []atomic.Uint64
+
+	// recordMu serializes persistent pointer-record writes. Under it,
+	// recordHighest enforces that records are persisted in strictly
+	// increasing counter order (a delayed writer whose counter was already
+	// superseded skips the write — the newer durable record subsumes it),
+	// and recordSeq alternates the two on-device record locations so the
+	// previous durable record is always intact while the next one is being
+	// written, even when published counters share parity.
+	recordMu      sync.Mutex
+	recordHighest uint64
+	recordSeq     uint64
+
+	stats Stats
+}
+
+// Stats exposes engine counters. All fields are cumulative.
+type Stats struct {
+	Checkpoints  atomic.Int64 // published checkpoints (won the CAS)
+	Obsolete     atomic.Int64 // completed but superseded before publishing
+	Retries      atomic.Int64 // CAS retries against older registered values
+	BytesWritten atomic.Int64
+	PersistNanos atomic.Int64 // total wall time inside Checkpoint
+	SlotWaits    atomic.Int64 // times a checkpoint had to wait for a slot
+}
+
+// StatsSnapshot is a point-in-time plain-struct copy of Stats.
+type StatsSnapshot struct {
+	Checkpoints  int64
+	Obsolete     int64
+	Retries      int64
+	BytesWritten int64
+	Persist      time.Duration
+	SlotWaits    int64
+}
+
+// Stats returns a point-in-time copy of the counters.
+func (c *Checkpointer) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Checkpoints:  c.stats.Checkpoints.Load(),
+		Obsolete:     c.stats.Obsolete.Load(),
+		Retries:      c.stats.Retries.Load(),
+		BytesWritten: c.stats.BytesWritten.Load(),
+		Persist:      time.Duration(c.stats.PersistNanos.Load()),
+		SlotWaits:    c.stats.SlotWaits.Load(),
+	}
+}
+
+// New formats dev for the given configuration and returns a ready engine.
+// Any previous contents are destroyed. Use Open to attach to a formatted
+// device after a restart.
+func New(dev storage.Device, cfg Config) (*Checkpointer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	need := DeviceBytes(cfg.Concurrent, cfg.SlotBytes)
+	if dev.Size() < need {
+		return nil, fmt.Errorf("core: device holds %d bytes, need %d for N=%d, m=%d",
+			dev.Size(), need, cfg.Concurrent, cfg.SlotBytes)
+	}
+	sb := superblock{slots: cfg.Concurrent + 1, slotBytes: cfg.SlotBytes}
+	// Invalidate both pointer records before the superblock goes live, so a
+	// reformat over an old image can never resurrect stale checkpoints.
+	zero := make([]byte, recordSize)
+	if err := dev.Persist(zero, recordAOff); err != nil {
+		return nil, err
+	}
+	if err := dev.Persist(zero, recordBOff); err != nil {
+		return nil, err
+	}
+	if err := dev.Persist(sb.encode(), superOff); err != nil {
+		return nil, err
+	}
+	return attach(dev, cfg, sb, nil, 0)
+}
+
+// Open attaches to a previously formatted device, recovering the latest
+// persisted checkpoint pointer (§4.2). The returned engine continues the
+// counter sequence past the recovered checkpoint.
+func Open(dev storage.Device, cfg Config) (*Checkpointer, error) {
+	head := make([]byte, 64)
+	if err := dev.ReadAt(head, superOff); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(head)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Concurrent = sb.slots - 1
+	cfg.SlotBytes = sb.slotBytes
+	cfg = cfg.withDefaults()
+	latest, loc, err := recoverPointer(dev, sb)
+	if err != nil && err != ErrNoCheckpoint {
+		return nil, err
+	}
+	return attach(dev, cfg, sb, latest, loc)
+}
+
+func attach(dev storage.Device, cfg Config, sb superblock, latest *checkMeta, latestLoc int) (*Checkpointer, error) {
+	pool, err := chunkpool.ForBudget(cfg.DRAMBudget, int64(cfg.ChunkBytes))
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpointer{
+		dev:       dev,
+		cfg:       cfg,
+		sb:        sb,
+		freeSpace: lfqueue.New[int](),
+		pool:      pool,
+		slotSeq:   make([]atomic.Uint64, sb.slots),
+	}
+	c.perWriterBW.Store(math.Float64bits(cfg.PerWriterBW))
+	for i := 0; i < sb.slots; i++ {
+		if latest != nil && i == latest.slot {
+			continue // the published slot is never free (§4.1 invariant)
+		}
+		c.freeSpace.Enq(i)
+	}
+	if latest != nil {
+		c.checkAddr.Store(latest)
+		c.gCounter.Store(latest.counter)
+		c.recordHighest = latest.counter
+		// Resume the location ping-pong so the next record does not
+		// overwrite the one just recovered.
+		c.recordSeq = uint64(latestLoc) + 1
+	}
+	return c, nil
+}
+
+// Config returns the engine's effective configuration.
+func (c *Checkpointer) Config() Config { return c.cfg }
+
+// SetPerWriterBW changes the per-writer pacing rate (bytes/sec; 0 unpaces).
+// It applies to checkpoints started after the call.
+func (c *Checkpointer) SetPerWriterBW(bytesPerSec float64) {
+	if bytesPerSec < 0 {
+		bytesPerSec = 0
+	}
+	c.perWriterBW.Store(math.Float64bits(bytesPerSec))
+}
+
+// Close marks the engine closed. In-flight checkpoints finish; new ones
+// fail. The device is not closed (the caller owns it).
+func (c *Checkpointer) Close() error {
+	c.closed.Store(true)
+	return nil
+}
+
+// Checkpoint persists one checkpoint from src and returns its counter. It
+// implements Listing 1 of the paper plus the chunked pipelining of §4.1.
+//
+// On return with nil error the checkpoint is either durably published, or
+// was durably superseded by a concurrent checkpoint with a higher counter —
+// in both cases the state at this counter or newer survives a crash.
+func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	size := src.Size()
+	if size > c.sb.slotBytes {
+		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, size, c.sb.slotBytes)
+	}
+	start := time.Now()
+
+	// Listing 1, line 3: sample the last published checkpoint BEFORE taking
+	// a counter — this ordering is what makes every CAS attempt legal.
+	lastCheck := c.checkAddr.Load()
+
+	// Line 5: order this checkpoint.
+	counter := c.gCounter.Add(1)
+
+	// Lines 6–11: obtain a free slot, spinning like the paper's deq loop.
+	slot, waited, err := c.acquireSlot(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if waited {
+		c.stats.SlotWaits.Add(1)
+	}
+	c.slotSeq[slot].Add(1) // odd: slot contents unstable
+
+	// Lines 12–15: move the payload through DRAM chunks to the device with
+	// p parallel writers, then make it durable.
+	payloadCRC, err := c.writePayload(ctx, slot, src)
+	if err != nil {
+		c.slotSeq[slot].Add(1)
+		c.freeSpace.Enq(slot)
+		return 0, err
+	}
+
+	// Lines 16–18: persist this slot's header before publishing.
+	hdr := slotHeader{counter: counter, size: size, payloadCRC: payloadCRC, hasCRC: c.cfg.VerifyPayload}
+	if err := c.dev.Persist(encodeSlotHeader(hdr), slotBase(c.sb, slot)); err != nil {
+		c.slotSeq[slot].Add(1)
+		c.freeSpace.Enq(slot)
+		return 0, err
+	}
+	c.slotSeq[slot].Add(1) // even: slot stable until recycled
+
+	// Lines 19–34: publish via CAS on CHECK_ADDR.
+	cur := &checkMeta{slot: slot, counter: counter, size: size}
+	for {
+		if c.checkAddr.CompareAndSwap(lastCheck, cur) {
+			// Success: persist the pointer (BARRIER), then free the old slot.
+			if err := c.persistRecord(*cur); err != nil {
+				return 0, err
+			}
+			if lastCheck != nil {
+				c.freeSpace.Enq(lastCheck.slot)
+			}
+			c.stats.Checkpoints.Add(1)
+			c.stats.BytesWritten.Add(size)
+			c.stats.PersistNanos.Add(int64(time.Since(start)))
+			return counter, nil
+		}
+		check := c.checkAddr.Load()
+		if check == nil || check.counter < counter {
+			// The registered checkpoint is older than ours: retry the CAS
+			// with the fresher expected value.
+			lastCheck = check
+			c.stats.Retries.Add(1)
+			continue
+		}
+		// A more recent checkpoint was registered (lines 29–31): make sure
+		// its pointer is durable, then recycle our never-published slot.
+		if err := c.persistRecord(*check); err != nil {
+			return 0, err
+		}
+		c.freeSpace.Enq(slot)
+		c.stats.Obsolete.Add(1)
+		c.stats.BytesWritten.Add(size)
+		c.stats.PersistNanos.Add(int64(time.Since(start)))
+		return counter, nil
+	}
+}
+
+// acquireSlot dequeues a free slot, spinning until one appears (the paper's
+// while-true deq loop) or ctx is cancelled.
+func (c *Checkpointer) acquireSlot(ctx context.Context) (slot int, waited bool, err error) {
+	if s, ok := c.freeSpace.Deq(); ok {
+		return s, false, nil
+	}
+	for spin := 0; ; spin++ {
+		if s, ok := c.freeSpace.Deq(); ok {
+			return s, true, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, true, err
+		}
+		if spin < 100 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// writePayload streams src into the slot's payload area through the DRAM
+// chunk pool, persisting with the configured number of writer goroutines,
+// and returns the payload CRC (0 when verification is disabled).
+//
+// Pipelining (§4.1 "Pipelining and Using Chunks"): the source fill of chunk
+// k+1 overlaps the device persist of chunk k, bounded by pool capacity — a
+// full pool is exactly the "checkpoint waits for free chunks in DRAM"
+// condition of §3.2. The producer fills chunks in payload order, so the
+// payload CRC folds incrementally there, off the device critical path.
+func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (uint32, error) {
+	size := src.Size()
+	base := payloadBase(c.sb, slot)
+
+	type task struct {
+		chunk *chunkpool.Chunk
+		off   int64 // offset within the payload
+		n     int
+	}
+
+	writers := c.cfg.Writers
+	tasks := make(chan task, writers)
+	errCh := make(chan error, writers)
+	var persisted atomic.Int64
+	var wg sync.WaitGroup
+
+	// p writer goroutines persist chunks to the device. Each paces itself
+	// at the per-thread bandwidth, mirroring that one OS thread cannot
+	// saturate a storage device (§3.3/§5.4.2).
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lane := storage.NewThrottle(math.Float64frombits(c.perWriterBW.Load()))
+			for t := range tasks {
+				// The per-writer lane and the device's own pacing overlap:
+				// reserve the lane, let the device pace the write, then
+				// sleep out whatever lane budget remains. The chunk's
+				// effective rate is min(laneBW, device share), as on real
+				// hardware — not the series of the two.
+				laneDeadline := lane.Reserve(t.n)
+				err := c.dev.WriteAt(t.chunk.Bytes()[:t.n], base+t.off)
+				if err == nil && c.dev.Kind() == storage.KindPMEM {
+					// PMEM path: each writer fences its own stores (§4.1).
+					err = c.dev.Sync(base+t.off, int64(t.n))
+				}
+				if wait := time.Until(laneDeadline); wait > 0 {
+					time.Sleep(wait)
+				}
+				c.pool.Release(t.chunk)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					continue
+				}
+				persisted.Add(int64(t.n))
+			}
+		}()
+	}
+
+	crc := crc32.NewIEEE()
+	var produceErr error
+	for off := int64(0); off < size; {
+		chunk, err := c.pool.Acquire(ctx)
+		if err != nil {
+			produceErr = err
+			break
+		}
+		n := chunk.Cap()
+		if int64(n) > size-off {
+			n = int(size - off)
+		}
+		// The paper's step ③: the copy engine moves the range into the DRAM
+		// chunk (for a GPU source this is the paced D2H copy).
+		if err := src.ReadInto(chunk.Bytes()[:n], off); err != nil {
+			c.pool.Release(chunk)
+			produceErr = err
+			break
+		}
+		if c.cfg.VerifyPayload {
+			crc.Write(chunk.Bytes()[:n]) //nolint:errcheck // hash.Write never fails
+		}
+		tasks <- task{chunk: chunk, off: off, n: n}
+		off += int64(n)
+	}
+	close(tasks)
+	wg.Wait()
+
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	if produceErr != nil {
+		return 0, produceErr
+	}
+	if got := persisted.Load(); got != size {
+		return 0, fmt.Errorf("core: persisted %d of %d bytes", got, size)
+	}
+
+	// SSD path: a single sync covers all writers' chunks (§4.1: "the main
+	// thread can call a single msync"). PMEM writers already fenced.
+	if c.dev.Kind() != storage.KindPMEM {
+		if err := c.dev.Sync(base, size); err != nil {
+			return 0, err
+		}
+	}
+	if !c.cfg.VerifyPayload {
+		return 0, nil
+	}
+	return crc.Sum32(), nil
+}
+
+// persistRecord durably writes the pointer record for meta. Records are
+// written in strictly increasing counter order, alternating between the two
+// on-device locations; a call whose counter is already superseded by a
+// durable record returns immediately (the newer record subsumes it). This is
+// the BARRIER(CHECK_ADDR) of Listing 1: when it returns, a pointer with
+// counter ≥ meta.counter is durable.
+func (c *Checkpointer) persistRecord(meta checkMeta) error {
+	c.recordMu.Lock()
+	defer c.recordMu.Unlock()
+	if meta.counter <= c.recordHighest {
+		return nil
+	}
+	off := int64(recordAOff)
+	if c.recordSeq%2 == 1 {
+		off = recordBOff
+	}
+	if err := c.dev.Persist(encodeRecord(meta), off); err != nil {
+		return err
+	}
+	c.recordSeq++
+	c.recordHighest = meta.counter
+	return nil
+}
+
+// Latest returns the newest published checkpoint's counter and size.
+func (c *Checkpointer) Latest() (counter uint64, size int64, ok bool) {
+	m := c.checkAddr.Load()
+	if m == nil {
+		return 0, 0, false
+	}
+	return m.counter, m.size, true
+}
+
+// ReadLatest copies the newest published checkpoint's payload into dst and
+// returns its counter and length. dst must be at least the checkpoint size.
+//
+// Reads are safe against concurrent checkpointing: the published slot can be
+// recycled by newer publications while the read is in flight, so the read
+// validates the slot's seqlock and retries with fresh metadata when the
+// contents moved under it.
+func (c *Checkpointer) ReadLatest(dst []byte) (uint64, int64, error) {
+	for attempt := 0; attempt < 1000; attempt++ {
+		m := c.checkAddr.Load()
+		if m == nil {
+			return 0, 0, ErrNoCheckpoint
+		}
+		if int64(len(dst)) < m.size {
+			return 0, 0, fmt.Errorf("core: buffer %d < checkpoint %d", len(dst), m.size)
+		}
+		s1 := c.slotSeq[m.slot].Load()
+		if s1%2 == 1 {
+			// The slot is being rewritten, so m is stale; a newer
+			// publication exists — reload.
+			runtime.Gosched()
+			continue
+		}
+		err := readSlotPayload(c.dev, c.sb, *m, dst[:m.size])
+		if c.slotSeq[m.slot].Load() != s1 {
+			runtime.Gosched()
+			continue // recycled mid-read; retry against the newer state
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		return m.counter, m.size, nil
+	}
+	return 0, 0, fmt.Errorf("core: ReadLatest starved by concurrent checkpoint churn")
+}
+
+// ReadVersion reads the checkpoint with the given counter if one of the
+// slots still holds it (see RecoverVersion). The per-slot seqlock rejects
+// reads torn by a concurrent checkpoint recycling the slot.
+func (c *Checkpointer) ReadVersion(counter uint64) ([]byte, error) {
+	for attempt := 0; attempt < 1000; attempt++ {
+		seqs := make([]uint64, len(c.slotSeq))
+		for i := range c.slotSeq {
+			seqs[i] = c.slotSeq[i].Load()
+		}
+		payload, slot, err := recoverVersionSlot(c.dev, counter)
+		if err != nil {
+			return nil, err
+		}
+		if seqs[slot]%2 == 0 && c.slotSeq[slot].Load() == seqs[slot] {
+			return payload, nil
+		}
+		runtime.Gosched()
+	}
+	return nil, fmt.Errorf("core: ReadVersion starved by concurrent checkpoint churn")
+}

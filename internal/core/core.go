@@ -1,0 +1,255 @@
+// Package core implements PCcheck's concurrent checkpointing engine — the
+// paper's primary contribution (§4).
+//
+// The engine keeps N+1 checkpoint slots on a persistent device. Up to N
+// checkpoints may be in flight concurrently; the (N+1)-th slot always holds
+// the latest fully persisted checkpoint, which is never in the free queue
+// and therefore can never be overwritten. Coordination follows Listing 1 of
+// the paper:
+//
+//   - a global atomic counter orders checkpoint attempts;
+//   - a lock-free queue (internal/lfqueue) hands out free slots;
+//   - each checkpoint writes its payload with p parallel writer goroutines,
+//     optionally pipelined through bounded DRAM chunks
+//     (internal/chunkpool);
+//   - after payload and per-slot metadata are durable, the checkpointer
+//     CASes the in-memory CHECK_ADDR from the value it sampled *before*
+//     taking its counter, persists the new pointer, and only then releases
+//     the previous checkpoint's slot.
+//
+// A failed CAS means a concurrent checkpoint won the race: if the winner is
+// newer, this checkpoint is obsolete — its slot is recycled without ever
+// being published; if the winner is older, the CAS retries with the fresher
+// expected value. Either way the persistent pointer always moves to strictly
+// increasing counters, which is the durability invariant the crash-injection
+// tests verify.
+//
+// Device layout (all offsets in bytes):
+//
+//	0    superblock: magic, version, slot count, slot capacity
+//	64   pointer record A ┐ dual records; the valid one with the highest
+//	128  pointer record B ┘ counter identifies the latest checkpoint
+//	256  slot 0: 64-byte slot header (counter, size, CRCs) + payload
+//	...  slot i at 256 + i·(64+slotCap)
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	superMagic    = 0x5043434b // "PCCK"
+	formatVersion = 1
+
+	superOff   = 0
+	recordAOff = 64
+	recordBOff = 128
+	headerSize = 256
+
+	slotHeaderSize = 64
+	recordSize     = 28 // counter u64 + slot u32 + size u64 + crc u32 + pad
+)
+
+// Errors returned by the engine.
+var (
+	// ErrNoCheckpoint means the device holds no fully persisted checkpoint.
+	ErrNoCheckpoint = errors.New("core: no persisted checkpoint")
+	// ErrTooLarge means a payload exceeds the slot capacity.
+	ErrTooLarge = errors.New("core: payload exceeds slot capacity")
+	// ErrNotFormatted means the device does not carry a PCcheck superblock.
+	ErrNotFormatted = errors.New("core: device not formatted")
+	// ErrClosed means the checkpointer has been closed.
+	ErrClosed = errors.New("core: checkpointer closed")
+)
+
+// Config sizes the engine. The zero value is not usable; see New.
+type Config struct {
+	// Concurrent is N, the number of checkpoints that may be in flight at
+	// once. The device must hold N+1 slots (§3.2).
+	Concurrent int
+	// SlotBytes is the slot capacity m — the maximum checkpoint payload.
+	SlotBytes int64
+	// Writers is p, the number of parallel writer goroutines per
+	// checkpoint. Defaults to 1.
+	Writers int
+	// ChunkBytes is b, the DRAM staging chunk size for the pipelined path.
+	// Zero disables pipelining: each checkpoint stages through a single
+	// slot-sized buffer.
+	ChunkBytes int
+	// DRAMBudget is M, the total staging DRAM. The pool holds
+	// DRAMBudget/ChunkBytes chunks (at least one). Zero defaults to
+	// 2×SlotBytes, the paper's default (§5.2.1).
+	DRAMBudget int64
+	// VerifyPayload adds a CRC32 over each payload, checked on read.
+	VerifyPayload bool
+	// PerWriterBW paces each writer goroutine to this many bytes/sec
+	// (0 = unpaced). Device-level pacing belongs to the Device itself.
+	PerWriterBW float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Writers < 1 {
+		c.Writers = 1
+	}
+	if c.ChunkBytes <= 0 || int64(c.ChunkBytes) > c.SlotBytes {
+		c.ChunkBytes = int(c.SlotBytes)
+	}
+	if c.DRAMBudget <= 0 {
+		c.DRAMBudget = 2 * c.SlotBytes
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Concurrent < 1 {
+		return fmt.Errorf("core: need at least 1 concurrent checkpoint, got %d", c.Concurrent)
+	}
+	if c.SlotBytes <= 0 {
+		return fmt.Errorf("core: slot capacity must be positive, got %d", c.SlotBytes)
+	}
+	return nil
+}
+
+// slotStride is the device footprint of one slot.
+func slotStride(slotBytes int64) int64 {
+	s := slotHeaderSize + slotBytes
+	if rem := s % 64; rem != 0 {
+		s += 64 - rem
+	}
+	return s
+}
+
+// DeviceBytes returns the device capacity required for a configuration —
+// (N+1)·(header+m) plus the engine header — matching the paper's
+// (N+1)×m storage footprint (Table 1).
+func DeviceBytes(concurrent int, slotBytes int64) int64 {
+	return headerSize + int64(concurrent+1)*slotStride(slotBytes)
+}
+
+// checkMeta mirrors the paper's Check_meta class: which slot holds the data
+// and the checkpoint's global order.
+type checkMeta struct {
+	slot    int
+	counter uint64
+	size    int64
+}
+
+// --- superblock -----------------------------------------------------------
+
+type superblock struct {
+	slots     int // N+1
+	slotBytes int64
+}
+
+func (sb superblock) encode() []byte {
+	buf := make([]byte, 64)
+	binary.LittleEndian.PutUint32(buf[0:], superMagic)
+	binary.LittleEndian.PutUint32(buf[4:], formatVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(sb.slots))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(sb.slotBytes))
+	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
+	return buf
+}
+
+func decodeSuperblock(buf []byte) (superblock, error) {
+	if len(buf) < 64 {
+		return superblock{}, ErrNotFormatted
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != superMagic {
+		return superblock{}, ErrNotFormatted
+	}
+	if binary.LittleEndian.Uint32(buf[60:]) != crc32.ChecksumIEEE(buf[:60]) {
+		return superblock{}, fmt.Errorf("core: superblock checksum mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != formatVersion {
+		return superblock{}, fmt.Errorf("core: unsupported format version %d", v)
+	}
+	sb := superblock{
+		slots:     int(binary.LittleEndian.Uint32(buf[8:])),
+		slotBytes: int64(binary.LittleEndian.Uint64(buf[16:])),
+	}
+	if sb.slots < 2 || sb.slotBytes <= 0 {
+		return superblock{}, fmt.Errorf("core: implausible superblock: %d slots of %d bytes", sb.slots, sb.slotBytes)
+	}
+	return sb, nil
+}
+
+// --- pointer records --------------------------------------------------------
+
+// encodeRecord serializes a pointer record. A record is self-validating
+// (CRC) so recovery can detect torn writes and fall back to the other copy.
+func encodeRecord(meta checkMeta) []byte {
+	buf := make([]byte, recordSize)
+	binary.LittleEndian.PutUint64(buf[0:], meta.counter)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(meta.slot))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(meta.size))
+	binary.LittleEndian.PutUint32(buf[24:], crc32.ChecksumIEEE(buf[:24]))
+	return buf
+}
+
+func decodeRecord(buf []byte) (checkMeta, bool) {
+	if len(buf) < recordSize {
+		return checkMeta{}, false
+	}
+	if binary.LittleEndian.Uint32(buf[24:]) != crc32.ChecksumIEEE(buf[:24]) {
+		return checkMeta{}, false
+	}
+	m := checkMeta{
+		counter: binary.LittleEndian.Uint64(buf[0:]),
+		slot:    int(binary.LittleEndian.Uint32(buf[8:])),
+		size:    int64(binary.LittleEndian.Uint64(buf[12:])),
+	}
+	if m.counter == 0 {
+		return checkMeta{}, false // counter 0 is "never written"
+	}
+	return m, true
+}
+
+// --- slot headers -----------------------------------------------------------
+
+type slotHeader struct {
+	counter    uint64
+	size       int64
+	payloadCRC uint32
+	hasCRC     bool
+}
+
+func encodeSlotHeader(h slotHeader) []byte {
+	buf := make([]byte, slotHeaderSize)
+	binary.LittleEndian.PutUint64(buf[0:], h.counter)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(h.size))
+	binary.LittleEndian.PutUint32(buf[16:], h.payloadCRC)
+	if h.hasCRC {
+		buf[20] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
+	return buf
+}
+
+func decodeSlotHeader(buf []byte) (slotHeader, bool) {
+	if len(buf) < slotHeaderSize {
+		return slotHeader{}, false
+	}
+	if binary.LittleEndian.Uint32(buf[60:]) != crc32.ChecksumIEEE(buf[:60]) {
+		return slotHeader{}, false
+	}
+	return slotHeader{
+		counter:    binary.LittleEndian.Uint64(buf[0:]),
+		size:       int64(binary.LittleEndian.Uint64(buf[8:])),
+		payloadCRC: binary.LittleEndian.Uint32(buf[16:]),
+		hasCRC:     buf[20] == 1,
+	}, true
+}
+
+// slotBase returns the device offset of slot i's header.
+func slotBase(sb superblock, i int) int64 {
+	return headerSize + int64(i)*slotStride(sb.slotBytes)
+}
+
+// payloadBase returns the device offset of slot i's payload.
+func payloadBase(sb superblock, i int) int64 {
+	return slotBase(sb, i) + slotHeaderSize
+}

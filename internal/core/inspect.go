@@ -1,0 +1,131 @@
+package core
+
+import (
+	"hash/crc32"
+
+	"pccheck/internal/storage"
+)
+
+// Inspection: a read-only, non-destructive dump of a checkpoint device's
+// on-disk structures — superblock, both pointer records, every slot header,
+// the recovery cursor — for operators debugging a device and for the
+// pccheck-inspect command.
+
+// RecordInfo describes one pointer record location.
+type RecordInfo struct {
+	// Valid reports whether the record decodes (magic + CRC + non-zero).
+	Valid bool
+	// Counter, Slot and Size are the record's contents when valid.
+	Counter uint64
+	Slot    int
+	Size    int64
+}
+
+// SlotInfo describes one checkpoint slot.
+type SlotInfo struct {
+	// Index is the slot number.
+	Index int
+	// HeaderValid reports whether the slot header decodes.
+	HeaderValid bool
+	// Counter and Size are the header's contents when valid.
+	Counter uint64
+	Size    int64
+	// HasChecksum reports whether the payload carries a CRC.
+	HasChecksum bool
+	// PayloadOK is set only when verify was requested and a checksum
+	// exists: true = the payload matches its CRC.
+	PayloadOK *bool
+	// Published marks the slot the recovered pointer references.
+	Published bool
+}
+
+// CursorInfo describes a persisted recovery-iterator cursor.
+type CursorInfo struct {
+	// Counter is the checkpoint the interrupted restore was reading.
+	Counter uint64
+	// Position is how many bytes it had delivered.
+	Position int64
+}
+
+// Report is the full inspection result.
+type Report struct {
+	// Slots is the slot count (N+1); SlotBytes the per-slot capacity m.
+	Slots     int
+	SlotBytes int64
+	// Records holds both pointer record locations (A then B).
+	Records [2]RecordInfo
+	// Latest is the checkpoint recovery would return; Recoverable reports
+	// whether one exists.
+	Latest      RecordInfo
+	Recoverable bool
+	// SlotInfos describes each slot.
+	SlotInfos []SlotInfo
+	// Cursor is a pending recovery cursor, if any.
+	Cursor *CursorInfo
+}
+
+// Inspect reads a formatted device's structures. With verify set, slot
+// payloads carrying checksums are read fully and validated (expensive for
+// large slots).
+func Inspect(dev storage.Device, verify bool) (Report, error) {
+	head := make([]byte, 64)
+	if err := dev.ReadAt(head, superOff); err != nil {
+		return Report{}, err
+	}
+	sb, err := decodeSuperblock(head)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Slots: sb.slots, SlotBytes: sb.slotBytes}
+
+	for i, off := range []int64{recordAOff, recordBOff} {
+		buf := make([]byte, recordSize)
+		if err := dev.ReadAt(buf, off); err != nil {
+			return Report{}, err
+		}
+		if m, ok := decodeRecord(buf); ok {
+			rep.Records[i] = RecordInfo{Valid: true, Counter: m.counter, Slot: m.slot, Size: m.size}
+		}
+	}
+
+	latest, _, err := recoverPointer(dev, sb)
+	if err == nil {
+		rep.Recoverable = true
+		rep.Latest = RecordInfo{Valid: true, Counter: latest.counter, Slot: latest.slot, Size: latest.size}
+	} else if err != ErrNoCheckpoint {
+		return Report{}, err
+	}
+
+	for i := 0; i < sb.slots; i++ {
+		info := SlotInfo{Index: i}
+		buf := make([]byte, slotHeaderSize)
+		if err := dev.ReadAt(buf, slotBase(sb, i)); err != nil {
+			return Report{}, err
+		}
+		if hdr, ok := decodeSlotHeader(buf); ok {
+			info.HeaderValid = true
+			info.Counter = hdr.counter
+			info.Size = hdr.size
+			info.HasChecksum = hdr.hasCRC
+			if verify && hdr.hasCRC && hdr.size >= 0 && hdr.size <= sb.slotBytes {
+				payload := make([]byte, hdr.size)
+				if err := dev.ReadAt(payload, payloadBase(sb, i)); err == nil {
+					ok := crc32.ChecksumIEEE(payload) == hdr.payloadCRC
+					info.PayloadOK = &ok
+				}
+			}
+		}
+		if rep.Recoverable && i == rep.Latest.Slot {
+			info.Published = true
+		}
+		rep.SlotInfos = append(rep.SlotInfos, info)
+	}
+
+	cbuf := make([]byte, 24)
+	if err := dev.ReadAt(cbuf, cursorOff); err == nil {
+		if c, ok := decodeCursor(cbuf); ok && c.counter != 0 {
+			rep.Cursor = &CursorInfo{Counter: c.counter, Position: c.position}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"pccheck/internal/storage"
+)
+
+func TestInspectEmptyFormatted(t *testing.T) {
+	dev := storage.NewRAM(DeviceBytes(2, 1024))
+	if _, err := New(dev, Config{Concurrent: 2, SlotBytes: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Inspect(dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Slots != 3 || rep.SlotBytes != 1024 {
+		t.Fatalf("geometry: %d × %d", rep.Slots, rep.SlotBytes)
+	}
+	if rep.Recoverable {
+		t.Fatal("empty device reported recoverable")
+	}
+	if rep.Records[0].Valid || rep.Records[1].Valid {
+		t.Fatal("empty device has valid records")
+	}
+	if len(rep.SlotInfos) != 3 {
+		t.Fatalf("slot infos: %d", len(rep.SlotInfos))
+	}
+	if rep.Cursor != nil {
+		t.Fatal("phantom cursor")
+	}
+}
+
+func TestInspectAfterCheckpoints(t *testing.T) {
+	dev := storage.NewRAM(DeviceBytes(1, 2048))
+	c, err := New(dev, Config{Concurrent: 1, SlotBytes: 2048, VerifyPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Checkpoint(context.Background(), BytesSource(payload(int64(i), 1500))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Inspect(dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recoverable || rep.Latest.Counter != 3 {
+		t.Fatalf("latest: %+v", rep.Latest)
+	}
+	// Exactly one slot is marked published, and it matches the pointer.
+	published := 0
+	for _, s := range rep.SlotInfos {
+		if s.Published {
+			published++
+			if s.Counter != 3 {
+				t.Fatalf("published slot holds counter %d", s.Counter)
+			}
+			if s.PayloadOK == nil || !*s.PayloadOK {
+				t.Fatal("published payload failed verification")
+			}
+		}
+	}
+	if published != 1 {
+		t.Fatalf("published slots = %d", published)
+	}
+	// Both record locations are in use after 3 checkpoints.
+	if !rep.Records[0].Valid || !rep.Records[1].Valid {
+		t.Fatalf("records: %+v", rep.Records)
+	}
+}
+
+func TestInspectDetectsCorruptPayload(t *testing.T) {
+	dev := storage.NewRAM(DeviceBytes(1, 1024))
+	c, err := New(dev, Config{Concurrent: 1, SlotBytes: 1024, VerifyPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Checkpoint(context.Background(), BytesSource(payload(1, 800))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Inspect(dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := rep.Latest.Slot
+	// Corrupt one payload byte behind the engine's back.
+	if err := dev.WriteAt([]byte{0xEE}, payloadBase(superblock{slots: 2, slotBytes: 1024}, slot)+10); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Inspect(dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := rep2.SlotInfos[slot]
+	if info.PayloadOK == nil || *info.PayloadOK {
+		t.Fatal("corruption not flagged")
+	}
+}
+
+func TestInspectReportsCursor(t *testing.T) {
+	dev, _ := iteratorFixture(t, 4096)
+	it, err := NewRecoveryIterator(dev, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Inspect(dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cursor == nil || rep.Cursor.Position != 1024 || rep.Cursor.Counter != 1 {
+		t.Fatalf("cursor: %+v", rep.Cursor)
+	}
+}
+
+func TestInspectUnformatted(t *testing.T) {
+	if _, err := Inspect(storage.NewRAM(4096), false); err == nil {
+		t.Fatal("unformatted device accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"pccheck/internal/storage"
+)
+
+// recoverPointer reads both pointer records and returns the newest valid,
+// fully persisted checkpoint, plus which record location held it (0 = A,
+// 1 = B) so the engine resumes alternating correctly. A record is accepted
+// only if its slot header agrees (same counter and size) — defense in depth
+// against device corruption beyond what the write protocol can cause.
+func recoverPointer(dev storage.Device, sb superblock) (*checkMeta, int, error) {
+	type candidate struct {
+		meta checkMeta
+		loc  int
+	}
+	var candidates []candidate
+	for loc, off := range []int64{recordAOff, recordBOff} {
+		buf := make([]byte, recordSize)
+		if err := dev.ReadAt(buf, off); err != nil {
+			return nil, 0, err
+		}
+		if m, ok := decodeRecord(buf); ok {
+			candidates = append(candidates, candidate{m, loc})
+		}
+	}
+	// Prefer the highest counter; fall back to the other record if the
+	// winner fails slot validation.
+	for len(candidates) > 0 {
+		best := 0
+		for i := range candidates {
+			if candidates[i].meta.counter > candidates[best].meta.counter {
+				best = i
+			}
+		}
+		cand := candidates[best]
+		if err := validateSlot(dev, sb, cand.meta); err == nil {
+			m := cand.meta
+			return &m, cand.loc, nil
+		}
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return nil, 0, ErrNoCheckpoint
+}
+
+// validateSlot checks that the slot a pointer record references really holds
+// the checkpoint the record describes.
+func validateSlot(dev storage.Device, sb superblock, meta checkMeta) error {
+	if meta.slot < 0 || meta.slot >= sb.slots {
+		return fmt.Errorf("core: record references slot %d of %d", meta.slot, sb.slots)
+	}
+	if meta.size < 0 || meta.size > sb.slotBytes {
+		return fmt.Errorf("core: record size %d outside slot capacity %d", meta.size, sb.slotBytes)
+	}
+	buf := make([]byte, slotHeaderSize)
+	if err := dev.ReadAt(buf, slotBase(sb, meta.slot)); err != nil {
+		return err
+	}
+	hdr, ok := decodeSlotHeader(buf)
+	if !ok {
+		return fmt.Errorf("core: slot %d header corrupt", meta.slot)
+	}
+	if hdr.counter != meta.counter || hdr.size != meta.size {
+		return fmt.Errorf("core: slot %d holds counter %d/size %d, record says %d/%d",
+			meta.slot, hdr.counter, hdr.size, meta.counter, meta.size)
+	}
+	return nil
+}
+
+// readSlotPayload copies a checkpoint payload out of its slot, verifying the
+// payload CRC when the checkpoint was written with verification enabled.
+func readSlotPayload(dev storage.Device, sb superblock, meta checkMeta, dst []byte) error {
+	buf := make([]byte, slotHeaderSize)
+	if err := dev.ReadAt(buf, slotBase(sb, meta.slot)); err != nil {
+		return err
+	}
+	hdr, ok := decodeSlotHeader(buf)
+	if !ok || hdr.counter != meta.counter {
+		return fmt.Errorf("core: slot %d no longer holds checkpoint %d", meta.slot, meta.counter)
+	}
+	if err := dev.ReadAt(dst, payloadBase(sb, meta.slot)); err != nil {
+		return err
+	}
+	if hdr.hasCRC {
+		if got := crc32.ChecksumIEEE(dst); got != hdr.payloadCRC {
+			return fmt.Errorf("core: checkpoint %d payload checksum mismatch", meta.counter)
+		}
+	}
+	return nil
+}
+
+// Recover reads the latest fully persisted checkpoint from a formatted
+// device without constructing an engine — the restart path (§4.2): the
+// persistent pointer identifies the checkpoint, the payload is loaded, and
+// the caller hands it to the training job to resume.
+func Recover(dev storage.Device) (payload []byte, counter uint64, err error) {
+	head := make([]byte, 64)
+	if err := dev.ReadAt(head, superOff); err != nil {
+		return nil, 0, err
+	}
+	sb, err := decodeSuperblock(head)
+	if err != nil {
+		return nil, 0, err
+	}
+	meta, _, err := recoverPointer(dev, sb)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload = make([]byte, meta.size)
+	if err := readSlotPayload(dev, sb, *meta, payload); err != nil {
+		return nil, 0, err
+	}
+	return payload, meta.counter, nil
+}
+
+// RecoverVersion reads the checkpoint with the given counter if a slot still
+// holds it intact. The engine only *guarantees* the newest published
+// checkpoint, but the N+1 slots usually retain several predecessors, which
+// distributed restores exploit when a worker's local latest has advanced
+// past the group's agreed checkpoint (§3.1). ErrNoCheckpoint means the
+// version is no longer resident.
+func RecoverVersion(dev storage.Device, counter uint64) ([]byte, error) {
+	payload, _, err := recoverVersionSlot(dev, counter)
+	return payload, err
+}
+
+// recoverVersionSlot also reports which slot held the version, so live
+// readers can validate it against the slot seqlock.
+func recoverVersionSlot(dev storage.Device, counter uint64) ([]byte, int, error) {
+	head := make([]byte, 64)
+	if err := dev.ReadAt(head, superOff); err != nil {
+		return nil, 0, err
+	}
+	sb, err := decodeSuperblock(head)
+	if err != nil {
+		return nil, 0, err
+	}
+	for slot := 0; slot < sb.slots; slot++ {
+		buf := make([]byte, slotHeaderSize)
+		if err := dev.ReadAt(buf, slotBase(sb, slot)); err != nil {
+			return nil, 0, err
+		}
+		hdr, ok := decodeSlotHeader(buf)
+		if !ok || hdr.counter != counter {
+			continue
+		}
+		if hdr.size < 0 || hdr.size > sb.slotBytes {
+			continue
+		}
+		payload := make([]byte, hdr.size)
+		meta := checkMeta{slot: slot, counter: counter, size: hdr.size}
+		if err := readSlotPayload(dev, sb, meta, payload); err != nil {
+			continue // e.g. an in-flight overwrite tore it; keep looking
+		}
+		return payload, slot, nil
+	}
+	return nil, 0, ErrNoCheckpoint
+}

@@ -1,0 +1,146 @@
+// Package device emulates the accelerator-side hardware the checkpointing
+// data path depends on: device memory holding training state, and DMA copy
+// engines that move it to host DRAM over a shared, bandwidth-limited
+// interconnect (PCIe in the paper's setups, §2.3).
+//
+// The emulation is intentionally literal where it matters: copies move real
+// bytes (so checkpoint content equivalence is end-to-end testable) and are
+// paced through a shared Throttle (so concurrent checkpoints genuinely
+// contend for interconnect bandwidth, which is one of the effects PCcheck's
+// configuration tool must balance, §3.4).
+package device
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pccheck/internal/storage"
+)
+
+// Buffer is an allocation in emulated device memory.
+type Buffer struct {
+	gpu  *GPU
+	data []byte
+}
+
+// Len returns the buffer size in bytes.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// HostView returns the raw contents for device-side mutation by the training
+// loop (standing in for CUDA kernels updating weights in place).
+func (b *Buffer) HostView() []byte { return b.data }
+
+// GPU is an emulated accelerator: a pool of device memory plus a D2H copy
+// engine with a fixed interconnect bandwidth.
+type GPU struct {
+	pcie      *storage.Throttle
+	memCap    int64
+	allocated atomic.Int64
+
+	mu      sync.Mutex
+	buffers map[*Buffer]struct{}
+}
+
+// Config describes the emulated hardware.
+type Config struct {
+	// MemBytes is the device memory capacity (0 = unlimited).
+	MemBytes int64
+	// PCIeBytesPerSec is the D2H copy bandwidth (0 = unpaced).
+	PCIeBytesPerSec float64
+}
+
+// New returns an emulated GPU.
+func New(cfg Config) *GPU {
+	return &GPU{
+		pcie:    storage.NewThrottle(cfg.PCIeBytesPerSec),
+		memCap:  cfg.MemBytes,
+		buffers: make(map[*Buffer]struct{}),
+	}
+}
+
+// Alloc reserves n bytes of device memory.
+func (g *GPU) Alloc(n int) (*Buffer, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("device: negative allocation %d", n)
+	}
+	if g.memCap > 0 {
+		for {
+			cur := g.allocated.Load()
+			if cur+int64(n) > g.memCap {
+				return nil, fmt.Errorf("device: out of memory: %d + %d > %d", cur, n, g.memCap)
+			}
+			if g.allocated.CompareAndSwap(cur, cur+int64(n)) {
+				break
+			}
+		}
+	} else {
+		g.allocated.Add(int64(n))
+	}
+	b := &Buffer{gpu: g, data: make([]byte, n)}
+	g.mu.Lock()
+	g.buffers[b] = struct{}{}
+	g.mu.Unlock()
+	return b, nil
+}
+
+// Free releases a buffer's device memory.
+func (g *GPU) Free(b *Buffer) {
+	g.mu.Lock()
+	if _, ok := g.buffers[b]; !ok {
+		g.mu.Unlock()
+		return
+	}
+	delete(g.buffers, b)
+	g.mu.Unlock()
+	g.allocated.Add(-int64(len(b.data)))
+	b.data = nil
+}
+
+// Allocated returns the bytes currently allocated on the device.
+func (g *GPU) Allocated() int64 { return g.allocated.Load() }
+
+// D2H copies n bytes from src at srcOff into dst, paced at the interconnect
+// bandwidth. It blocks until the copy completes, like a synchronous
+// cudaMemcpy on a dedicated copy engine: the SMs (the caller's training
+// goroutine) are free to run concurrently with other goroutines' copies.
+func (g *GPU) D2H(dst []byte, src *Buffer, srcOff, n int) error {
+	if src == nil || src.data == nil {
+		return fmt.Errorf("device: copy from freed or nil buffer")
+	}
+	if srcOff < 0 || n < 0 || srcOff+n > len(src.data) {
+		return fmt.Errorf("device: copy range [%d,%d) outside buffer of %d bytes", srcOff, srcOff+n, len(src.data))
+	}
+	if n > len(dst) {
+		return fmt.Errorf("device: destination too small: %d < %d", len(dst), n)
+	}
+	g.pcie.Acquire(n)
+	copy(dst, src.data[srcOff:srcOff+n])
+	return nil
+}
+
+// H2D copies host data into a device buffer (checkpoint restore path).
+func (g *GPU) H2D(dst *Buffer, dstOff int, src []byte) error {
+	if dst == nil || dst.data == nil {
+		return fmt.Errorf("device: copy to freed or nil buffer")
+	}
+	if dstOff < 0 || dstOff+len(src) > len(dst.data) {
+		return fmt.Errorf("device: copy range [%d,%d) outside buffer of %d bytes", dstOff, dstOff+len(src), len(dst.data))
+	}
+	g.pcie.Acquire(len(src))
+	copy(dst.data[dstOff:], src)
+	return nil
+}
+
+// D2HAsync starts a D2H copy and returns a channel that receives the copy's
+// error (nil on success) when it completes. This is how the orchestrator
+// overlaps snapshotting with training.
+func (g *GPU) D2HAsync(dst []byte, src *Buffer, srcOff, n int) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- g.D2H(dst, src, srcOff, n) }()
+	return done
+}
+
+// PCIeRate returns the configured interconnect bandwidth in bytes/sec
+// (0 when unpaced).
+func (g *GPU) PCIeRate() float64 { return g.pcie.Rate() }

@@ -1,0 +1,215 @@
+package device
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAllocFree(t *testing.T) {
+	g := New(Config{MemBytes: 1024})
+	b, err := g.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 512 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if g.Allocated() != 512 {
+		t.Fatalf("Allocated = %d", g.Allocated())
+	}
+	if _, err := g.Alloc(600); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	g.Free(b)
+	if g.Allocated() != 0 {
+		t.Fatalf("Allocated after free = %d", g.Allocated())
+	}
+	// Double free is a no-op.
+	g.Free(b)
+	if g.Allocated() != 0 {
+		t.Fatalf("double free changed accounting: %d", g.Allocated())
+	}
+	if _, err := g.Alloc(1024); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestAllocNegative(t *testing.T) {
+	g := New(Config{})
+	if _, err := g.Alloc(-1); err == nil {
+		t.Fatal("negative alloc succeeded")
+	}
+}
+
+func TestUnlimitedMemory(t *testing.T) {
+	g := New(Config{MemBytes: 0})
+	if _, err := g.Alloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestD2HCopiesBytes(t *testing.T) {
+	g := New(Config{})
+	b, _ := g.Alloc(64)
+	copy(b.HostView(), "device-resident-training-state")
+	dst := make([]byte, 6)
+	if err := g.D2H(dst, b, 7, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "reside" {
+		t.Fatalf("D2H got %q", dst)
+	}
+}
+
+func TestD2HErrors(t *testing.T) {
+	g := New(Config{})
+	b, _ := g.Alloc(16)
+	if err := g.D2H(make([]byte, 8), b, 10, 8); err == nil {
+		t.Fatal("out-of-range copy succeeded")
+	}
+	if err := g.D2H(make([]byte, 4), b, 0, 8); err == nil {
+		t.Fatal("copy into small destination succeeded")
+	}
+	if err := g.D2H(make([]byte, 8), nil, 0, 8); err == nil {
+		t.Fatal("copy from nil buffer succeeded")
+	}
+	g.Free(b)
+	if err := g.D2H(make([]byte, 8), b, 0, 8); err == nil {
+		t.Fatal("copy from freed buffer succeeded")
+	}
+}
+
+func TestH2DRoundTrip(t *testing.T) {
+	g := New(Config{})
+	b, _ := g.Alloc(32)
+	src := []byte("restore-payload")
+	if err := g.H2D(b, 3, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := g.D2H(dst, b, 3, len(src)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip got %q", dst)
+	}
+	if err := g.H2D(b, 30, src); err == nil {
+		t.Fatal("out-of-range H2D succeeded")
+	}
+	if err := g.H2D(nil, 0, src); err == nil {
+		t.Fatal("H2D to nil buffer succeeded")
+	}
+}
+
+func TestD2HAsyncCompletes(t *testing.T) {
+	g := New(Config{})
+	b, _ := g.Alloc(128)
+	copy(b.HostView(), "async")
+	dst := make([]byte, 5)
+	if err := <-g.D2HAsync(dst, b, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "async" {
+		t.Fatalf("async copy got %q", dst)
+	}
+	if err := <-g.D2HAsync(dst, b, 200, 5); err == nil {
+		t.Fatal("async out-of-range copy reported success")
+	}
+}
+
+func TestPCIePacing(t *testing.T) {
+	// 10 MB/s; 1 MB copy ⇒ ~100 ms.
+	g := New(Config{PCIeBytesPerSec: 10 << 20})
+	b, _ := g.Alloc(1 << 20)
+	dst := make([]byte, 1<<20)
+	start := time.Now()
+	if err := g.D2H(dst, b, 0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("paced copy finished in %v", elapsed)
+	}
+	if g.PCIeRate() != float64(10<<20) {
+		t.Fatalf("PCIeRate = %v", g.PCIeRate())
+	}
+}
+
+func TestConcurrentCopiesSharePCIe(t *testing.T) {
+	// Two concurrent 512 KB copies on a 10 MB/s link must take ~100 ms
+	// total, not ~50 ms: the interconnect is shared.
+	g := New(Config{PCIeBytesPerSec: 10 << 20})
+	b, _ := g.Alloc(1 << 20)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, 512<<10)
+			if err := g.D2H(dst, b, 0, 512<<10); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 70*time.Millisecond {
+		t.Fatalf("concurrent copies finished in %v; PCIe not shared", elapsed)
+	}
+}
+
+func TestConcurrentAllocators(t *testing.T) {
+	g := New(Config{MemBytes: 8 << 20})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				b, err := g.Alloc(64 << 10)
+				if err != nil {
+					continue // pool exhaustion is fine; accounting must stay sane
+				}
+				g.Free(b)
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	if g.Allocated() != 0 {
+		t.Fatalf("leaked accounting: %d", g.Allocated())
+	}
+}
+
+func TestCheckpointSourceDirect(t *testing.T) {
+	g := New(Config{})
+	buf, _ := g.Alloc(256)
+	copy(buf.HostView(), "checkpointable-device-state")
+	src, err := NewCheckpointSource(g, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Size() != 256 {
+		t.Fatalf("Size = %d", src.Size())
+	}
+	out := make([]byte, 14)
+	if err := src.ReadInto(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "checkpointable" {
+		t.Fatalf("read %q", out)
+	}
+	// Partial window.
+	part, err := NewCheckpointSource(g, buf, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.ReadInto(make([]byte, 10), 10); err == nil {
+		t.Fatal("read past window accepted")
+	}
+	if _, err := NewCheckpointSource(g, buf, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package device
+
+import "fmt"
+
+// CheckpointSource adapts a device-memory buffer to the checkpoint engine's
+// Source interface (structurally; this package does not import the engine):
+// every ReadInto is a D2H copy through the GPU's paced copy engine, so a
+// checkpoint staged from device memory experiences real interconnect
+// bandwidth and contention — the paper's step ③ (§3.1).
+type CheckpointSource struct {
+	gpu *GPU
+	buf *Buffer
+	n   int64
+}
+
+// NewCheckpointSource exposes the first n bytes of buf (n ≤ buf.Len();
+// n = 0 means the whole buffer).
+func NewCheckpointSource(gpu *GPU, buf *Buffer, n int64) (*CheckpointSource, error) {
+	if gpu == nil || buf == nil {
+		return nil, fmt.Errorf("device: nil gpu or buffer")
+	}
+	if n == 0 {
+		n = int64(buf.Len())
+	}
+	if n < 0 || n > int64(buf.Len()) {
+		return nil, fmt.Errorf("device: source length %d outside buffer of %d", n, buf.Len())
+	}
+	return &CheckpointSource{gpu: gpu, buf: buf, n: n}, nil
+}
+
+// Size implements the engine's Source contract.
+func (s *CheckpointSource) Size() int64 { return s.n }
+
+// ReadInto implements the engine's Source contract with a paced D2H copy.
+func (s *CheckpointSource) ReadInto(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > s.n {
+		return fmt.Errorf("device: source range [%d,%d) outside payload of %d", off, off+int64(len(p)), s.n)
+	}
+	return s.gpu.D2H(p, s.buf, int(off), len(p))
+}

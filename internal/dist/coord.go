@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Coordinator runs the global-consistency protocol of §4.1: after a worker's
+// local checkpoint publish (the successful CAS of Listing 1), it calls
+// Commit with its checkpoint ID. Rank 0 gathers one ID per rank for the
+// round, declares the round's minimum ID globally consistent (every worker
+// has durably persisted at least that far), and broadcasts it. Every
+// worker's peerCheck then advances to the agreed ID.
+//
+// Commit calls on one worker are serialized: each worker has at most one
+// outstanding report, so the i-th report of every rank belongs to round i
+// and rounds commit in order. (The paper notes its coordination is this
+// simple rendezvous and that hardening it is future work; the serialization
+// cost is microseconds against persists that take seconds.)
+type Coordinator struct {
+	tr Transport
+
+	// commitMu serializes Commit on this worker.
+	commitMu sync.Mutex
+
+	mu        sync.Mutex
+	peerCheck uint64
+
+	// rank-0 state: reports per round, keyed by round index; rankRound
+	// counts how many reports each rank has contributed so far.
+	rounds    map[uint64]map[int]uint64
+	rankRound map[int]uint64
+	next      uint64 // next round index to commit (rounds commit in order)
+}
+
+// NewCoordinator wraps a transport. All workers of the group must create
+// exactly one Coordinator each and call Commit once per local checkpoint.
+func NewCoordinator(tr Transport) *Coordinator {
+	return &Coordinator{
+		tr:        tr,
+		rounds:    make(map[uint64]map[int]uint64),
+		rankRound: make(map[int]uint64),
+		next:      1,
+	}
+}
+
+// LatestConsistent returns the newest globally consistent checkpoint ID
+// (0 = none yet). On restart, every worker restores this checkpoint even if
+// its own device holds a newer, not-yet-agreed one.
+func (c *Coordinator) LatestConsistent() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerCheck
+}
+
+// Commit reports a locally persisted checkpoint ID and blocks until rank 0
+// declares this round's agreed ID, which it returns.
+func (c *Coordinator) Commit(ctx context.Context, checkpointID uint64) (uint64, error) {
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	if c.tr.Rank() == 0 {
+		return c.commitAsLeader(ctx, checkpointID)
+	}
+	if err := c.tr.Send(ctx, 0, Message{Kind: KindReport, CheckpointID: checkpointID}); err != nil {
+		return 0, err
+	}
+	// Exactly one KindCommit arrives per round, and rounds commit in
+	// order, so the next commit message answers this call.
+	m, err := c.tr.Recv(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if m.Kind != KindCommit {
+		return 0, fmt.Errorf("dist: rank %d expected commit, got kind %d from %d", c.tr.Rank(), m.Kind, m.From)
+	}
+	c.advance(m.CheckpointID)
+	return m.CheckpointID, nil
+}
+
+// commitAsLeader folds rank 0's own report in, then receives peer reports
+// until this leader's round commits. Later rounds' reports arriving early
+// are banked; commits are broadcast strictly in round order.
+func (c *Coordinator) commitAsLeader(ctx context.Context, checkpointID uint64) (uint64, error) {
+	if c.tr.WorldSize() == 1 {
+		c.advance(checkpointID)
+		return checkpointID, nil
+	}
+	myRound := c.addReport(0, checkpointID)
+	for {
+		if agreed, done := c.tryCommitThrough(ctx, myRound); done {
+			return agreed, nil
+		}
+		m, err := c.tr.Recv(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if m.Kind != KindReport {
+			return 0, fmt.Errorf("dist: rank 0 expected report, got kind %d from %d", m.Kind, m.From)
+		}
+		c.addReport(m.From, m.CheckpointID)
+	}
+}
+
+// addReport records a rank's next report and returns the round it belongs
+// to (the i-th report of a rank is round i).
+func (c *Coordinator) addReport(rank int, id uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rankRound[rank]++
+	round := c.rankRound[rank]
+	if c.rounds[round] == nil {
+		c.rounds[round] = make(map[int]uint64)
+	}
+	c.rounds[round][rank] = id
+	return round
+}
+
+// tryCommitThrough commits every complete round in order; it reports done
+// once target has committed, returning target's agreed ID.
+func (c *Coordinator) tryCommitThrough(ctx context.Context, target uint64) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	world := c.tr.WorldSize()
+	var targetAgreed uint64
+	targetDone := false
+	for {
+		r := c.rounds[c.next]
+		if len(r) < world {
+			break
+		}
+		agreed := ^uint64(0)
+		for _, id := range r {
+			if id < agreed {
+				agreed = id
+			}
+		}
+		c.advanceLocked(agreed)
+		for peer := 1; peer < world; peer++ {
+			// Best-effort: a dead peer is a failure the training framework
+			// handles by restarting the job from the agreed checkpoint.
+			_ = c.tr.Send(ctx, peer, Message{Kind: KindCommit, CheckpointID: agreed})
+		}
+		if c.next == target {
+			targetAgreed = agreed
+			targetDone = true
+		}
+		delete(c.rounds, c.next)
+		c.next++
+	}
+	return targetAgreed, targetDone
+}
+
+func (c *Coordinator) advance(id uint64) {
+	c.mu.Lock()
+	c.advanceLocked(id)
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) advanceLocked(id uint64) {
+	if id > c.peerCheck {
+		c.peerCheck = id
+	}
+}

@@ -1,0 +1,350 @@
+package dist
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPartitionRange(t *testing.T) {
+	// BLOOM-7B style: 108 GB over 6 workers → 18 GB each.
+	total := int64(108_000_000_000)
+	var covered int64
+	for rank := 0; rank < 6; rank++ {
+		off, n, err := PartitionRange(total, rank, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != covered {
+			t.Fatalf("rank %d starts at %d, want %d", rank, off, covered)
+		}
+		covered += n
+	}
+	if covered != total {
+		t.Fatalf("partitions cover %d of %d", covered, total)
+	}
+	// Remainder goes to the last rank.
+	_, n, _ := PartitionRange(10, 2, 3)
+	if n != 4 {
+		t.Fatalf("last shard = %d, want 4", n)
+	}
+	if _, _, err := PartitionRange(10, 3, 3); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if _, _, err := PartitionRange(-1, 0, 1); err == nil {
+		t.Fatal("negative total accepted")
+	}
+}
+
+func TestLocalTransportBasics(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[0].Close()
+	defer group[1].Close()
+	ctx := context.Background()
+	if err := group[0].Send(ctx, 1, Message{Kind: KindReport, CheckpointID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := group[1].Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 0 || m.CheckpointID != 42 || m.Kind != KindReport {
+		t.Fatalf("got %+v", m)
+	}
+	if err := group[0].Send(ctx, 5, Message{}); err == nil {
+		t.Fatal("send to invalid rank accepted")
+	}
+}
+
+func TestLocalTransportContextCancel(t *testing.T) {
+	group := NewLocalGroup(1)
+	defer group[0].Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := group[0].Recv(ctx); err == nil {
+		t.Fatal("Recv on empty inbox returned without error")
+	}
+}
+
+// runCommitRound has every worker commit the given IDs (one per round) and
+// returns the agreed IDs per worker per round.
+func runCommitRound(t *testing.T, coords []*Coordinator, ids [][]uint64) [][]uint64 {
+	t.Helper()
+	world := len(coords)
+	agreed := make([][]uint64, world)
+	var wg sync.WaitGroup
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for _, id := range ids[rank] {
+				got, err := coords[rank].Commit(context.Background(), id)
+				if err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+					return
+				}
+				agreed[rank] = append(agreed[rank], got)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	return agreed
+}
+
+func TestCommitAllEqual(t *testing.T) {
+	group := NewLocalGroup(4)
+	coords := make([]*Coordinator, 4)
+	for i, tr := range group {
+		coords[i] = NewCoordinator(tr)
+		defer tr.Close()
+	}
+	ids := [][]uint64{{7}, {7}, {7}, {7}}
+	agreed := runCommitRound(t, coords, ids)
+	for rank, a := range agreed {
+		if len(a) != 1 || a[0] != 7 {
+			t.Fatalf("rank %d agreed %v, want [7]", rank, a)
+		}
+		if coords[rank].LatestConsistent() != 7 {
+			t.Fatalf("rank %d peerCheck = %d", rank, coords[rank].LatestConsistent())
+		}
+	}
+}
+
+func TestCommitTakesMinimum(t *testing.T) {
+	group := NewLocalGroup(3)
+	coords := make([]*Coordinator, 3)
+	for i, tr := range group {
+		coords[i] = NewCoordinator(tr)
+		defer tr.Close()
+	}
+	// Worker 2 lags: its persisted checkpoint is older.
+	agreed := runCommitRound(t, coords, [][]uint64{{10}, {10}, {9}})
+	for rank, a := range agreed {
+		if a[0] != 9 {
+			t.Fatalf("rank %d agreed %d, want the minimum 9", rank, a[0])
+		}
+	}
+}
+
+func TestCommitMultipleRoundsInOrder(t *testing.T) {
+	group := NewLocalGroup(3)
+	coords := make([]*Coordinator, 3)
+	for i, tr := range group {
+		coords[i] = NewCoordinator(tr)
+		defer tr.Close()
+	}
+	ids := [][]uint64{{1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}}
+	agreed := runCommitRound(t, coords, ids)
+	for rank, a := range agreed {
+		for i, got := range a {
+			if got != uint64(i+1) {
+				t.Fatalf("rank %d round %d agreed %d", rank, i, got)
+			}
+		}
+	}
+	for _, c := range coords {
+		if c.LatestConsistent() != 4 {
+			t.Fatalf("peerCheck = %d, want 4", c.LatestConsistent())
+		}
+	}
+}
+
+func TestCommitSingleWorker(t *testing.T) {
+	group := NewLocalGroup(1)
+	defer group[0].Close()
+	c := NewCoordinator(group[0])
+	agreed, err := c.Commit(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreed != 5 || c.LatestConsistent() != 5 {
+		t.Fatalf("single-worker commit: %d / %d", agreed, c.LatestConsistent())
+	}
+}
+
+func TestCommitStaggeredWorkers(t *testing.T) {
+	// A fast worker reports round 2 while a slow worker is still in round 1;
+	// the protocol must not mix rounds.
+	group := NewLocalGroup(2)
+	coords := []*Coordinator{NewCoordinator(group[0]), NewCoordinator(group[1])}
+	defer group[0].Close()
+	defer group[1].Close()
+
+	results := make(chan [2]uint64, 4)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // rank 1: fast, fires both rounds back to back
+		defer wg.Done()
+		for _, id := range []uint64{100, 200} {
+			got, err := coords[1].Commit(context.Background(), id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results <- [2]uint64{id, got}
+		}
+	}()
+	go func() { // rank 0: slow
+		defer wg.Done()
+		for _, id := range []uint64{100, 200} {
+			time.Sleep(20 * time.Millisecond)
+			got, err := coords[0].Commit(context.Background(), id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results <- [2]uint64{id, got}
+		}
+	}()
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r[0] != r[1] {
+			t.Fatalf("round with id %d agreed %d", r[0], r[1])
+		}
+	}
+}
+
+func TestTCPTransportGroup(t *testing.T) {
+	const world = 3
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	leaderCh := make(chan *TCP, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		leader, err := ListenTCP(ctx, ln, world)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		leaderCh <- leader
+	}()
+	var workers []*TCP
+	for rank := 1; rank < world; rank++ {
+		w, err := DialTCP(ctx, ln.Addr().String(), rank, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	var leader *TCP
+	select {
+	case leader = <-leaderCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-ctx.Done():
+		t.Fatal("leader never came up")
+	}
+	defer leader.Close()
+	for _, w := range workers {
+		defer w.Close()
+	}
+
+	coords := []*Coordinator{NewCoordinator(leader), NewCoordinator(workers[0]), NewCoordinator(workers[1])}
+	var wg sync.WaitGroup
+	agreed := make([]uint64, world)
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			got, err := coords[rank].Commit(ctx, 33)
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
+			agreed[rank] = got
+		}(rank)
+	}
+	wg.Wait()
+	for rank, a := range agreed {
+		if a != 33 {
+			t.Fatalf("rank %d agreed %d over TCP", rank, a)
+		}
+	}
+}
+
+func TestDialTCPValidatesRank(t *testing.T) {
+	if _, err := DialTCP(context.Background(), "127.0.0.1:1", 0, 3); err == nil {
+		t.Fatal("rank 0 dialing accepted")
+	}
+	if _, err := DialTCP(context.Background(), "127.0.0.1:1", 3, 3); err == nil {
+		t.Fatal("out-of-world rank accepted")
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	orig := Message{From: 5, Kind: KindCommit, CheckpointID: 12345}
+	got, err := decodeMessage(orig.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip: %+v vs %+v", got, orig)
+	}
+	if _, err := decodeMessage([]byte{9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if _, err := decodeMessage([]byte{1, 2}); err == nil {
+		t.Fatal("short message accepted")
+	}
+}
+
+func TestHybridPartitionRange(t *testing.T) {
+	// BLOOM-7B-style: 108 GB over 6 pipeline stages × 4 data-parallel
+	// replicas ⇒ 24 shards of 4.5 GB covering the state exactly once.
+	total := int64(108_000_000_000)
+	const stages, replicas = 6, 4
+	covered := make(map[int64]int64) // off → len
+	for s := 0; s < stages; s++ {
+		for r := 0; r < replicas; r++ {
+			off, n, err := HybridPartitionRange(total, s, stages, r, replicas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 4_500_000_000 {
+				t.Fatalf("stage %d replica %d shard = %d", s, r, n)
+			}
+			covered[off] = n
+		}
+	}
+	if len(covered) != stages*replicas {
+		t.Fatalf("shards overlap: %d distinct offsets", len(covered))
+	}
+	var sum int64
+	next := int64(0)
+	for len(covered) > 0 {
+		n, ok := covered[next]
+		if !ok {
+			t.Fatalf("gap at offset %d", next)
+		}
+		delete(covered, next)
+		sum += n
+		next += n
+	}
+	if sum != total {
+		t.Fatalf("shards cover %d of %d", sum, total)
+	}
+	// Remainders flow to the last replica of the last stage.
+	off, n, err := HybridPartitionRange(100, 2, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off+n != 100 {
+		t.Fatalf("tail shard [%d,%d) does not end at total", off, off+n)
+	}
+	if _, _, err := HybridPartitionRange(100, 3, 3, 0, 2); err == nil {
+		t.Fatal("stage out of range accepted")
+	}
+	if _, _, err := HybridPartitionRange(100, 0, 3, 2, 2); err == nil {
+		t.Fatal("replica out of range accepted")
+	}
+}

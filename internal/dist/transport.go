@@ -1,0 +1,374 @@
+// Package dist implements PCcheck's multi-node coordination (§3.1, §4.1):
+// one orchestrator per node checkpoints its model partition independently,
+// and after each successful local publish the peers agree — through rank 0 —
+// on the latest *globally consistent* checkpoint, i.e. the newest ID that
+// every worker has durably persisted. Restores then load the same iteration
+// on every pipeline stage.
+//
+// Two transports are provided: an in-process one (channels) for tests and
+// single-binary simulations, and a TCP one (net) for real multi-process
+// deployments. Both carry the same small fixed-format messages.
+package dist
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MsgKind discriminates coordination messages.
+type MsgKind uint8
+
+const (
+	// KindReport carries a worker's freshly persisted checkpoint ID to
+	// rank 0.
+	KindReport MsgKind = iota + 1
+	// KindCommit is rank 0's broadcast that an ID is globally consistent.
+	KindCommit
+)
+
+// Message is one coordination datagram.
+type Message struct {
+	From         int
+	Kind         MsgKind
+	CheckpointID uint64
+}
+
+const wireSize = 1 + 4 + 8
+
+func (m Message) encode() []byte {
+	buf := make([]byte, wireSize)
+	buf[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(m.From))
+	binary.LittleEndian.PutUint64(buf[5:], m.CheckpointID)
+	return buf
+}
+
+func decodeMessage(buf []byte) (Message, error) {
+	if len(buf) < wireSize {
+		return Message{}, io.ErrUnexpectedEOF
+	}
+	k := MsgKind(buf[0])
+	if k != KindReport && k != KindCommit {
+		return Message{}, fmt.Errorf("dist: unknown message kind %d", k)
+	}
+	return Message{
+		Kind:         k,
+		From:         int(binary.LittleEndian.Uint32(buf[1:])),
+		CheckpointID: binary.LittleEndian.Uint64(buf[5:]),
+	}, nil
+}
+
+// Transport moves Messages between ranks. Implementations must allow
+// concurrent Send and Recv.
+type Transport interface {
+	// Rank is this worker's index; rank 0 coordinates.
+	Rank() int
+	// WorldSize is the number of workers.
+	WorldSize() int
+	// Send delivers msg to the given rank.
+	Send(ctx context.Context, to int, msg Message) error
+	// Recv blocks for the next message addressed to this rank.
+	Recv(ctx context.Context) (Message, error)
+	// Close releases the transport.
+	Close() error
+}
+
+// --- in-process transport ----------------------------------------------------
+
+// Local is a channel-backed Transport for same-process worker groups.
+type Local struct {
+	rank  int
+	world int
+	inbox chan Message
+	peers []*Local
+	once  sync.Once
+	done  chan struct{}
+}
+
+// NewLocalGroup wires up n in-process transports.
+func NewLocalGroup(n int) []*Local {
+	group := make([]*Local, n)
+	for i := range group {
+		group[i] = &Local{
+			rank:  i,
+			world: n,
+			inbox: make(chan Message, 4*n),
+			done:  make(chan struct{}),
+		}
+	}
+	for i := range group {
+		group[i].peers = group
+	}
+	return group
+}
+
+// Rank implements Transport.
+func (l *Local) Rank() int { return l.rank }
+
+// WorldSize implements Transport.
+func (l *Local) WorldSize() int { return l.world }
+
+// Send implements Transport.
+func (l *Local) Send(ctx context.Context, to int, msg Message) error {
+	if to < 0 || to >= l.world {
+		return fmt.Errorf("dist: rank %d outside world of %d", to, l.world)
+	}
+	msg.From = l.rank
+	peer := l.peers[to]
+	select {
+	case peer.inbox <- msg:
+		return nil
+	case <-peer.done:
+		return fmt.Errorf("dist: rank %d is closed", to)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Recv implements Transport. Messages already delivered are drained before
+// a close is honoured, so a commit that raced with shutdown is not lost.
+func (l *Local) Recv(ctx context.Context) (Message, error) {
+	select {
+	case m := <-l.inbox:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-l.inbox:
+		return m, nil
+	case <-l.done:
+		return Message{}, fmt.Errorf("dist: transport closed")
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Close implements Transport.
+func (l *Local) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// --- TCP transport -------------------------------------------------------------
+
+// TCP is a Transport over real sockets: rank 0 accepts one connection per
+// peer; other ranks hold a single connection to rank 0. PCcheck's protocol
+// is a star (everything flows through rank 0), so no peer-to-peer links are
+// needed.
+type TCP struct {
+	rank  int
+	world int
+
+	mu    sync.Mutex
+	conns map[int]net.Conn // rank → connection (rank 0: all peers; others: {0: conn})
+
+	inbox   chan Message
+	readers sync.WaitGroup
+	once    sync.Once
+	done    chan struct{}
+}
+
+// ListenTCP starts rank 0: it accepts world−1 peers on ln, each of which
+// must introduce itself with a hello byte frame carrying its rank.
+func ListenTCP(ctx context.Context, ln net.Listener, world int) (*TCP, error) {
+	t := &TCP{
+		rank:  0,
+		world: world,
+		conns: make(map[int]net.Conn),
+		inbox: make(chan Message, 4*world),
+		done:  make(chan struct{}),
+	}
+	for len(t.conns) < world-1 {
+		if dl, ok := ctx.Deadline(); ok {
+			type deadliner interface{ SetDeadline(time.Time) error }
+			if d, ok := ln.(deadliner); ok {
+				_ = d.SetDeadline(dl)
+			}
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		var hello [4]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			conn.Close()
+			t.Close()
+			return nil, err
+		}
+		peer := int(binary.LittleEndian.Uint32(hello[:]))
+		if peer <= 0 || peer >= world {
+			conn.Close()
+			t.Close()
+			return nil, fmt.Errorf("dist: peer announced invalid rank %d", peer)
+		}
+		t.mu.Lock()
+		if _, dup := t.conns[peer]; dup {
+			t.mu.Unlock()
+			conn.Close()
+			t.Close()
+			return nil, fmt.Errorf("dist: duplicate rank %d", peer)
+		}
+		t.conns[peer] = conn
+		t.mu.Unlock()
+		t.readers.Add(1)
+		go t.readLoop(conn)
+	}
+	return t, nil
+}
+
+// DialTCP connects a non-zero rank to rank 0 at addr.
+func DialTCP(ctx context.Context, addr string, rank, world int) (*TCP, error) {
+	if rank <= 0 || rank >= world {
+		return nil, fmt.Errorf("dist: DialTCP is for ranks 1..world-1, got %d", rank)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t := &TCP{
+		rank:  rank,
+		world: world,
+		conns: map[int]net.Conn{0: conn},
+		inbox: make(chan Message, 8),
+		done:  make(chan struct{}),
+	}
+	t.readers.Add(1)
+	go t.readLoop(conn)
+	return t, nil
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.readers.Done()
+	// A non-leader rank has exactly one connection — to rank 0. When it
+	// dies, every pending and future Recv must fail promptly rather than
+	// block forever (the elastic framework then restarts the worker, §5.2.3).
+	if t.rank != 0 {
+		defer t.signalClosed()
+	}
+	buf := make([]byte, wireSize)
+	for {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		m, err := decodeMessage(buf)
+		if err != nil {
+			return
+		}
+		select {
+		case t.inbox <- m:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// signalClosed marks the transport dead without waiting for readers (which
+// would deadlock when called from a reader itself).
+func (t *TCP) signalClosed() {
+	t.once.Do(func() {
+		close(t.done)
+		t.mu.Lock()
+		for _, c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+	})
+}
+
+// Rank implements Transport.
+func (t *TCP) Rank() int { return t.rank }
+
+// WorldSize implements Transport.
+func (t *TCP) WorldSize() int { return t.world }
+
+// Send implements Transport.
+func (t *TCP) Send(ctx context.Context, to int, msg Message) error {
+	msg.From = t.rank
+	t.mu.Lock()
+	conn := t.conns[to]
+	t.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("dist: rank %d has no connection to %d (star topology: talk to rank 0)", t.rank, to)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetWriteDeadline(dl)
+	}
+	_, err := conn.Write(msg.encode())
+	return err
+}
+
+// Recv implements Transport. Messages already delivered are drained before
+// a close is honoured, so a commit that raced with a peer's shutdown is not
+// lost.
+func (t *TCP) Recv(ctx context.Context) (Message, error) {
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	case <-t.done:
+		return Message{}, fmt.Errorf("dist: transport closed")
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.signalClosed()
+	t.readers.Wait()
+	return nil
+}
+
+// PartitionRange splits a pipeline-parallel model state of total bytes into
+// per-worker shards: worker rank owns [off, off+n). The remainder goes to
+// the last worker.
+func PartitionRange(total int64, rank, world int) (off, n int64, err error) {
+	if world <= 0 || rank < 0 || rank >= world {
+		return 0, 0, fmt.Errorf("dist: rank %d outside world of %d", rank, world)
+	}
+	if total < 0 {
+		return 0, 0, fmt.Errorf("dist: negative total %d", total)
+	}
+	share := total / int64(world)
+	off = share * int64(rank)
+	n = share
+	if rank == world-1 {
+		n = total - off
+	}
+	return off, n, nil
+}
+
+// HybridPartitionRange implements §3.1's combined data + pipeline
+// parallelism: the model is first split across pipeline stages; each stage's
+// partition is then split again among that stage's data-parallel replicas,
+// "reducing the overall checkpointing overhead" because every replica
+// persists only stageBytes/replicas. The returned range is an absolute
+// offset into the full model state.
+func HybridPartitionRange(total int64, stage, stages, replica, replicas int) (off, n int64, err error) {
+	stageOff, stageBytes, err := PartitionRange(total, stage, stages)
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: pipeline split: %w", err)
+	}
+	repOff, repBytes, err := PartitionRange(stageBytes, replica, replicas)
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: data-parallel split: %w", err)
+	}
+	return stageOff + repOff, repBytes, nil
+}

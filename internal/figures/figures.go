@@ -1,0 +1,603 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§5) from the simulator, the analytic model and the trace
+// replay, emitting the same rows/series the paper plots. Absolute numbers
+// come from the calibrated substitutes documented in DESIGN.md; the shapes —
+// who wins, by what factor, where the crossovers fall — are the
+// reproduction targets recorded in EXPERIMENTS.md.
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"pccheck/internal/perfmodel"
+	"pccheck/internal/sim"
+	"pccheck/internal/trace"
+	"pccheck/internal/workload"
+)
+
+// Figure is a tabular result: one row per measured point.
+type Figure struct {
+	// ID names the paper artefact, e.g. "figure8a" or "table1".
+	ID string
+	// Title describes what the paper's version shows.
+	Title string
+	// Columns are the CSV header.
+	Columns []string
+	// Rows hold the data, stringified.
+	Rows [][]string
+}
+
+// WriteCSV emits the figure as CSV with a header row.
+func (f Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Columns); err != nil {
+		return err
+	}
+	for _, r := range f.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// Intervals is the checkpoint-frequency axis the paper sweeps.
+var Intervals = []int{1, 10, 25, 50, 100}
+
+// defaultPCcheck returns the PCcheck configuration the profiling tool picks
+// on the A100 platform: a modest number of concurrent checkpoints (2–4) and
+// 3 writers (§5.2.3).
+func defaultPCcheck(model workload.Model, platform workload.Platform, f int) sim.Config {
+	return sim.Config{
+		Algo: perfmodel.PCcheck, Model: model, Platform: platform,
+		Interval: f, Concurrent: 2, Writers: 3, Chunks: 4,
+	}
+}
+
+func baselineCfg(algo perfmodel.Algorithm, model workload.Model, platform workload.Platform, f int) sim.Config {
+	return sim.Config{Algo: algo, Model: model, Platform: platform, Interval: f}
+}
+
+// algosFor returns the mechanisms compared for a model (Gemini only in
+// distributed setups, §5.1).
+func algosFor(model workload.Model) []perfmodel.Algorithm {
+	algos := []perfmodel.Algorithm{perfmodel.CheckFreq, perfmodel.GPM, perfmodel.PCcheck}
+	if model.Nodes > 1 {
+		algos = append(algos, perfmodel.Gemini)
+	}
+	return algos
+}
+
+func runAlgo(algo perfmodel.Algorithm, model workload.Model, platform workload.Platform, f int) (sim.Result, error) {
+	var cfg sim.Config
+	if algo == perfmodel.PCcheck {
+		cfg = defaultPCcheck(model, platform, f)
+	} else {
+		cfg = baselineCfg(algo, model, platform, f)
+	}
+	return sim.Run(cfg)
+}
+
+// Figure1 reproduces Figure 1: CheckFreq's and Gemini's BLOOM-7B slowdown
+// versus checkpoint interval, with the recovery time on a secondary axis.
+func Figure1() (Figure, error) {
+	model, err := workload.ByName("BLOOM-7B")
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:      "figure1",
+		Title:   "BLOOM-7B training slowdown of CheckFreq and Gemini vs checkpoint interval, with recovery time",
+		Columns: []string{"interval", "checkfreq_slowdown", "gemini_slowdown", "recovery_seconds"},
+	}
+	for _, f := range Intervals {
+		cf, err := runAlgo(perfmodel.CheckFreq, model, workload.A100GCP, f)
+		if err != nil {
+			return Figure{}, err
+		}
+		gem, err := runAlgo(perfmodel.Gemini, model, workload.A100GCP, f)
+		if err != nil {
+			return Figure{}, err
+		}
+		rec := recoverySeconds(perfmodel.CheckFreq, model, workload.A100GCP, cf)
+		fig.Rows = append(fig.Rows, []string{
+			strconv.Itoa(f), f64(cf.Slowdown), f64(gem.Slowdown), f64(rec),
+		})
+	}
+	return fig, nil
+}
+
+// recoverySeconds derives a mechanism's mean recovery time from a simulated
+// run: checkpoint load + re-execution of the mean lost work (§4.2, §5.2.3).
+func recoverySeconds(algo perfmodel.Algorithm, model workload.Model, platform workload.Platform, res sim.Result) float64 {
+	m := float64(model.PartitionBytes())
+	var load float64
+	if algo == perfmodel.Gemini {
+		load = m / platform.NetBW // restore from the peer's DRAM
+	} else {
+		load = m / platform.StorageReadBW
+	}
+	redo := res.MeanLagIters / res.Throughput // lost iterations × eff iter time
+	return load + redo
+}
+
+// attachSeconds is the per-failure disk reattach cost (zero for Gemini,
+// which keeps no disk state, §5.2.3).
+func attachSeconds(algo perfmodel.Algorithm, platform workload.Platform) float64 {
+	if algo == perfmodel.Gemini {
+		return 0
+	}
+	return platform.DiskAttach.Seconds()
+}
+
+// GoodputOf replays the preemption trace for one simulated configuration:
+// effective iteration time from the run, mean recovery per §4.2, disk
+// reattach where applicable.
+func GoodputOf(algo perfmodel.Algorithm, model workload.Model, platform workload.Platform, res sim.Result, tr trace.Trace) (float64, error) {
+	rec := recoverySeconds(algo, model, platform, res)
+	rep, err := trace.Replay(tr, trace.ReplayInput{
+		EffIterTime:  time.Duration(float64(time.Second) / res.Throughput),
+		MeanRecovery: time.Duration(rec * float64(time.Second)),
+		DiskAttach:   time.Duration(attachSeconds(algo, platform) * float64(time.Second)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Goodput, nil
+}
+
+// idealGoodput replays the trace for a zero-overhead checkpointer at
+// interval f: full training throughput, mean rollback of f/2 iterations.
+func idealGoodput(model workload.Model, platform workload.Platform, f int, tr trace.Trace) (float64, error) {
+	t := model.IterTimeOn(platform).Seconds()
+	load := float64(model.PartitionBytes()) / platform.StorageReadBW
+	rep, err := trace.Replay(tr, trace.ReplayInput{
+		EffIterTime:  time.Duration(t * float64(time.Second)),
+		MeanRecovery: time.Duration((load + float64(f)/2*t) * float64(time.Second)),
+		DiskAttach:   platform.DiskAttach,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Goodput, nil
+}
+
+// DefaultTrace is the synthetic stand-in for the André et al. spot trace
+// (see internal/trace).
+func DefaultTrace() trace.Trace {
+	return trace.Synthetic(trace.SyntheticConfig{Seed: 1})
+}
+
+// Figure2 reproduces Figure 2: BLOOM-7B goodput versus checkpoint interval
+// on the spot-VM preemption trace, for CheckFreq, Gemini, PCcheck and the
+// ideal zero-overhead system.
+func Figure2() (Figure, error) {
+	model, err := workload.ByName("BLOOM-7B")
+	if err != nil {
+		return Figure{}, err
+	}
+	tr := DefaultTrace()
+	fig := Figure{
+		ID:      "figure2",
+		Title:   "BLOOM-7B goodput vs checkpoint interval on a spot GPU preemption trace",
+		Columns: []string{"interval", "checkfreq", "gemini", "pccheck", "ideal"},
+	}
+	for _, f := range Intervals {
+		row := []string{strconv.Itoa(f)}
+		for _, algo := range []perfmodel.Algorithm{perfmodel.CheckFreq, perfmodel.Gemini, perfmodel.PCcheck} {
+			res, err := runAlgo(algo, model, workload.A100GCP, f)
+			if err != nil {
+				return Figure{}, err
+			}
+			g, err := GoodputOf(algo, model, workload.A100GCP, res, tr)
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(g))
+		}
+		ideal, err := idealGoodput(model, workload.A100GCP, f, tr)
+		if err != nil {
+			return Figure{}, err
+		}
+		row = append(row, f64(ideal))
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure8Models lists the panels of Figure 8 in order (a–f).
+var Figure8Models = []string{"VGG16", "BERT", "TransformerXL", "OPT-1.3B", "OPT-2.7B", "BLOOM-7B"}
+
+// Figure8 reproduces one panel of Figure 8: training throughput (iters/s)
+// versus checkpoint interval on SSD, per mechanism, plus the no-checkpoint
+// line.
+func Figure8(modelName string) (Figure, error) {
+	model, err := workload.ByName(modelName)
+	if err != nil {
+		return Figure{}, err
+	}
+	algos := algosFor(model)
+	fig := Figure{
+		ID:      "figure8-" + modelName,
+		Title:   fmt.Sprintf("%s training throughput vs checkpoint interval (SSD, A100)", modelName),
+		Columns: []string{"interval"},
+	}
+	for _, a := range algos {
+		fig.Columns = append(fig.Columns, a.String()+"_iters_per_sec")
+	}
+	fig.Columns = append(fig.Columns, "no_checkpoint_iters_per_sec")
+	base := 1.0 / model.IterTimeOn(workload.A100GCP).Seconds()
+	for _, f := range Intervals {
+		row := []string{strconv.Itoa(f)}
+		for _, a := range algos {
+			res, err := runAlgo(a, model, workload.A100GCP, f)
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(res.Throughput))
+		}
+		row = append(row, f64(base))
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure9 reproduces one panel of Figure 9: goodput versus checkpoint
+// interval on the preemption trace, per mechanism, plus the ideal.
+func Figure9(modelName string) (Figure, error) {
+	model, err := workload.ByName(modelName)
+	if err != nil {
+		return Figure{}, err
+	}
+	tr := DefaultTrace()
+	algos := algosFor(model)
+	fig := Figure{
+		ID:      "figure9-" + modelName,
+		Title:   fmt.Sprintf("%s goodput vs checkpoint interval on the spot preemption trace", modelName),
+		Columns: []string{"interval"},
+	}
+	for _, a := range algos {
+		fig.Columns = append(fig.Columns, a.String()+"_goodput")
+	}
+	fig.Columns = append(fig.Columns, "ideal_goodput")
+	for _, f := range Intervals {
+		row := []string{strconv.Itoa(f)}
+		for _, a := range algos {
+			res, err := runAlgo(a, model, workload.A100GCP, f)
+			if err != nil {
+				return Figure{}, err
+			}
+			g, err := GoodputOf(a, model, workload.A100GCP, res, tr)
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(g))
+		}
+		ideal, err := idealGoodput(model, workload.A100GCP, f, tr)
+		if err != nil {
+			return Figure{}, err
+		}
+		row = append(row, f64(ideal))
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure10 reproduces Figure 10: BERT checkpointing overhead on the Intel
+// Optane PMEM machine.
+func Figure10() (Figure, error) {
+	model, err := workload.ByName("BERT")
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:      "figure10",
+		Title:   "BERT training throughput vs checkpoint interval on PMEM (Titan RTX)",
+		Columns: []string{"interval", "checkfreq_iters_per_sec", "gpm_iters_per_sec", "pccheck_iters_per_sec", "no_checkpoint_iters_per_sec"},
+	}
+	base := 1.0 / model.IterTimeOn(workload.RTXPMEM).Seconds()
+	for _, f := range Intervals {
+		row := []string{strconv.Itoa(f)}
+		for _, a := range []perfmodel.Algorithm{perfmodel.CheckFreq, perfmodel.GPM, perfmodel.PCcheck} {
+			res, err := runAlgo(a, model, workload.RTXPMEM, f)
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(res.Throughput))
+		}
+		row = append(row, f64(base))
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure11Sizes is the checkpoint-size axis of the persist microbenchmark.
+var Figure11Sizes = []int64{500_000_000, 1 * workload.GB, 2 * workload.GB, 4 * workload.GB, 8 * workload.GB, 16 * workload.GB}
+
+// Figure11 reproduces Figure 11: end-to-end time to persist one checkpoint
+// of varying size, per mechanism (SSD; Gemini over the network).
+func Figure11() (Figure, error) {
+	fig := Figure{
+		ID:      "figure11",
+		Title:   "Time to persist one checkpoint vs size (SSD, A100)",
+		Columns: []string{"size_gb", "checkfreq_s", "gpm_s", "pccheck_s", "gemini_s"},
+	}
+	for _, size := range Figure11Sizes {
+		// An isolated checkpoint: huge interval, long iteration so nothing
+		// overlaps or contends.
+		model := workload.Model{
+			Name: "synthetic", CheckpointBytes: size,
+			IterTime: 10 * time.Minute, Nodes: 1, Params: size / 12,
+		}
+		row := []string{f64(float64(size) / workload.GB)}
+		for _, a := range []perfmodel.Algorithm{perfmodel.CheckFreq, perfmodel.GPM, perfmodel.PCcheck, perfmodel.Gemini} {
+			cfg := sim.Config{
+				Algo: a, Model: model, Platform: workload.A100GCP,
+				Interval: 1, Iterations: 3, Concurrent: 1, Writers: 4,
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(res.AvgPersist))
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure12 reproduces Figure 12: VGG-16 slowdown versus checkpoint interval
+// for varying numbers of concurrent checkpoints.
+func Figure12() (Figure, error) {
+	model, err := workload.ByName("VGG16")
+	if err != nil {
+		return Figure{}, err
+	}
+	ns := []int{1, 2, 4, 8}
+	fig := Figure{
+		ID:      "figure12",
+		Title:   "VGG-16 slowdown vs checkpoint interval for N concurrent checkpoints",
+		Columns: []string{"interval"},
+	}
+	for _, n := range ns {
+		fig.Columns = append(fig.Columns, fmt.Sprintf("slowdown_N%d", n))
+	}
+	for _, f := range Intervals {
+		row := []string{strconv.Itoa(f)}
+		for _, n := range ns {
+			res, err := sim.Run(sim.Config{
+				Algo: perfmodel.PCcheck, Model: model, Platform: workload.A100GCP,
+				Interval: f, Concurrent: n, Writers: 2,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(res.Slowdown))
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure13 reproduces Figure 13: OPT-350M slowdown at a fixed interval of 10
+// iterations, varying the number of parallel writer threads per checkpoint.
+func Figure13() (Figure, error) {
+	model, err := workload.ByName("OPT-350M")
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:      "figure13",
+		Title:   "OPT-350M slowdown at f=10 vs parallel writer threads per checkpoint",
+		Columns: []string{"writers", "slowdown_N1", "slowdown_N2", "slowdown_N3"},
+	}
+	for _, p := range []int{1, 2, 3, 4} {
+		row := []string{strconv.Itoa(p)}
+		for _, n := range []int{1, 2, 3} {
+			res, err := sim.Run(sim.Config{
+				Algo: perfmodel.PCcheck, Model: model, Platform: workload.A100GCP,
+				Interval: 10, Concurrent: n, Writers: p,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(res.Slowdown))
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Figure14 reproduces Figure 14: OPT-1.3B throughput at f=15 for varying
+// DRAM budgets and pipeline chunk counts (p_x = pipelined with x chunks).
+func Figure14() (Figure, error) {
+	model, err := workload.ByName("OPT-1.3B")
+	if err != nil {
+		return Figure{}, err
+	}
+	m := model.CheckpointBytes
+	fig := Figure{
+		ID:      "figure14",
+		Title:   "OPT-1.3B throughput at f=15, varying DRAM budget and pipeline chunking",
+		Columns: []string{"dram_over_m", "no_pipeline", "p3", "p6"},
+	}
+	for _, mult := range []float64{1.0, 1.5, 2.0} {
+		row := []string{f64(mult)}
+		for _, chunks := range []int{1, 3, 6} {
+			res, err := sim.Run(sim.Config{
+				Algo: perfmodel.PCcheck, Model: model, Platform: workload.A100GCP,
+				Interval: 15, Concurrent: 2, Writers: 3,
+				Chunks: chunks, DRAMBytes: int64(mult * float64(m)),
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(res.Throughput))
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// FigureH100 reproduces the §5.2.1 H100 variant: OPT-1.3B on a
+// Standard_NC40ads_H100_v5-class machine, where iteration time halves and
+// disk bandwidth doubles. The paper reports "similar patterns for PCcheck
+// and the baselines"; the artefact lets that be checked against the A100
+// panel of Figure 8.
+func FigureH100() (Figure, error) {
+	model, err := workload.ByName("OPT-1.3B")
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:      "figure8-h100",
+		Title:   "OPT-1.3B training throughput vs checkpoint interval (NVMe, H100)",
+		Columns: []string{"interval", "checkfreq_iters_per_sec", "gpm_iters_per_sec", "pccheck_iters_per_sec", "no_checkpoint_iters_per_sec"},
+	}
+	base := 1.0 / model.IterTimeOn(workload.H100Azure).Seconds()
+	for _, f := range Intervals {
+		row := []string{strconv.Itoa(f)}
+		for _, a := range []perfmodel.Algorithm{perfmodel.CheckFreq, perfmodel.GPM, perfmodel.PCcheck} {
+			res, err := runAlgo(a, model, workload.H100Azure, f)
+			if err != nil {
+				return Figure{}, err
+			}
+			row = append(row, f64(res.Throughput))
+		}
+		row = append(row, f64(base))
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// RecoveryTimes reproduces the §5.2.2 discussion as an artefact: mean
+// recovery time versus checkpoint interval for each mechanism on OPT-1.3B
+// (load the checkpoint + re-execute the mean lost work + reattach the disk).
+func RecoveryTimes() (Figure, error) {
+	model, err := workload.ByName("OPT-1.3B")
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:      "section5.2.2-recovery",
+		Title:   "OPT-1.3B mean recovery time (s) vs checkpoint interval per mechanism",
+		Columns: []string{"interval", "checkfreq_s", "gpm_s", "pccheck_s"},
+	}
+	for _, f := range Intervals {
+		row := []string{strconv.Itoa(f)}
+		for _, a := range []perfmodel.Algorithm{perfmodel.CheckFreq, perfmodel.GPM, perfmodel.PCcheck} {
+			res, err := runAlgo(a, model, workload.A100GCP, f)
+			if err != nil {
+				return Figure{}, err
+			}
+			rec := recoverySeconds(a, model, workload.A100GCP, res) + attachSeconds(a, workload.A100GCP)
+			row = append(row, f64(rec))
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Table1 reproduces Table 1: memory/storage footprint per algorithm, in
+// units of the checkpoint size m.
+func Table1(n int) (Figure, error) {
+	fig := Figure{
+		ID:      "table1",
+		Title:   "Memory footprint in units of checkpoint size m (N = concurrent checkpoints)",
+		Columns: []string{"algorithm", "gpu_mem", "dram", "storage", "remote_dram"},
+	}
+	for _, a := range []perfmodel.Algorithm{perfmodel.CheckFreq, perfmodel.GPM, perfmodel.Gemini, perfmodel.PCcheck} {
+		fp, err := perfmodel.FootprintOf(a, n)
+		if err != nil {
+			return Figure{}, err
+		}
+		dram := f64(fp.DRAMHigh)
+		if fp.DRAMLow != fp.DRAMHigh {
+			dram = fmt.Sprintf("%s to %s", f64(fp.DRAMLow), f64(fp.DRAMHigh))
+		}
+		fig.Rows = append(fig.Rows, []string{a.String(), f64(fp.GPUMem), dram, f64(fp.Storage), f64(fp.NetBuffers)})
+	}
+	return fig, nil
+}
+
+// Table3 reproduces Table 3: the evaluated models.
+func Table3() (Figure, error) {
+	fig := Figure{
+		ID:      "table3",
+		Title:   "Evaluated models (checkpoint includes model and optimizer state)",
+		Columns: []string{"model", "dataset", "batch_a100", "batch_rtx", "checkpoint_gb", "nodes"},
+	}
+	for _, m := range workload.Zoo {
+		if m.Name == "OPT-350M" {
+			continue // not part of Table 3 (used only by Figure 13)
+		}
+		fig.Rows = append(fig.Rows, []string{
+			m.Name, m.Dataset,
+			strconv.Itoa(m.BatchA100), strconv.Itoa(m.BatchRTX),
+			f64(float64(m.CheckpointBytes) / workload.GB),
+			strconv.Itoa(m.Nodes),
+		})
+	}
+	return fig, nil
+}
+
+// All regenerates every artefact. Keyed by ID.
+func All() (map[string]Figure, error) {
+	out := make(map[string]Figure)
+	add := func(f Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		out[f.ID] = f
+		return nil
+	}
+	if err := add(Figure1()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure2()); err != nil {
+		return nil, err
+	}
+	for _, m := range Figure8Models {
+		if err := add(Figure8(m)); err != nil {
+			return nil, err
+		}
+		if err := add(Figure9(m)); err != nil {
+			return nil, err
+		}
+	}
+	if err := add(Figure10()); err != nil {
+		return nil, err
+	}
+	if err := add(FigureH100()); err != nil {
+		return nil, err
+	}
+	if err := add(RecoveryTimes()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure11()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure12()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure13()); err != nil {
+		return nil, err
+	}
+	if err := add(Figure14()); err != nil {
+		return nil, err
+	}
+	if err := add(Table1(3)); err != nil {
+		return nil, err
+	}
+	if err := add(Table3()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,507 @@
+package figures
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pccheck/internal/perfmodel"
+	"pccheck/internal/sim"
+	"pccheck/internal/trace"
+	"pccheck/internal/workload"
+)
+
+func cell(t *testing.T, fig Figure, row int, col string) float64 {
+	t.Helper()
+	for i, c := range fig.Columns {
+		if c == col {
+			v, err := strconv.ParseFloat(fig.Rows[row][i], 64)
+			if err != nil {
+				t.Fatalf("%s row %d col %s: %v", fig.ID, row, col, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("%s has no column %q (have %v)", fig.ID, col, fig.Columns)
+	return 0
+}
+
+func lastRow(fig Figure) int { return len(fig.Rows) - 1 }
+
+func TestFigure1Shape(t *testing.T) {
+	fig, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != len(Intervals) {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	// Overheads shrink with the interval; recovery grows.
+	first, last := 0, lastRow(fig)
+	if cell(t, fig, first, "checkfreq_slowdown") <= cell(t, fig, last, "checkfreq_slowdown") {
+		t.Fatal("CheckFreq slowdown should fall as the interval grows")
+	}
+	if cell(t, fig, first, "recovery_seconds") >= cell(t, fig, last, "recovery_seconds") {
+		t.Fatal("recovery time should grow with the interval")
+	}
+	// Paper: >10% overhead when checkpointing every ≤50 iterations. Our
+	// calibration reproduces the effect clearly at f≤10 (see EXPERIMENTS.md
+	// for the f=25/50 deviation discussion).
+	for i, f := range Intervals {
+		if f <= 10 {
+			if s := cell(t, fig, i, "checkfreq_slowdown"); s < 1.10 {
+				t.Fatalf("CheckFreq at f=%d slowdown %.3f; paper reports >10%%", f, s)
+			}
+		}
+	}
+}
+
+func TestFigure2GoodputShapes(t *testing.T) {
+	fig, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PCcheck's peak goodput approaches the ideal peak; CheckFreq and
+	// Gemini peak well below (paper: 66% and 58% of ideal).
+	peak := func(col string) float64 {
+		best := 0.0
+		for i := range fig.Rows {
+			if v := cell(t, fig, i, col); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	idealPeak := peak("ideal")
+	pcPeak := peak("pccheck")
+	cfPeak := peak("checkfreq")
+	gemPeak := peak("gemini")
+	if pcPeak < 0.85*idealPeak {
+		t.Fatalf("PCcheck peak %.4f below 85%% of ideal %.4f", pcPeak, idealPeak)
+	}
+	if cfPeak > 0.80*idealPeak {
+		t.Fatalf("CheckFreq peak %.4f too close to ideal %.4f (paper: 66%%)", cfPeak, idealPeak)
+	}
+	if gemPeak > 0.85*idealPeak {
+		t.Fatalf("Gemini peak %.4f too close to ideal %.4f (paper: 58%%)", gemPeak, idealPeak)
+	}
+}
+
+func TestFigure8PanelShapes(t *testing.T) {
+	for _, name := range Figure8Models {
+		fig, err := Figure8(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		last := lastRow(fig)
+		base := cell(t, fig, last, "no_checkpoint_iters_per_sec")
+		pc := cell(t, fig, last, "pccheck_iters_per_sec")
+		cf := cell(t, fig, last, "checkfreq_iters_per_sec")
+		// At f=100 PCcheck is within a few percent of no-checkpoint.
+		if pc < 0.93*base {
+			t.Fatalf("%s: PCcheck at f=100 reaches only %.1f%% of base", name, 100*pc/base)
+		}
+		// PCcheck ≥ CheckFreq at every interval.
+		for i := range fig.Rows {
+			p, c := cell(t, fig, i, "pccheck_iters_per_sec"), cell(t, fig, i, "checkfreq_iters_per_sec")
+			if p < c*0.98 {
+				t.Fatalf("%s row %d: PCcheck %.4f below CheckFreq %.4f", name, i, p, c)
+			}
+		}
+		_ = cf
+		// Distributed panels carry a Gemini column.
+		hasGemini := false
+		for _, c := range fig.Columns {
+			if strings.HasPrefix(c, "gemini") {
+				hasGemini = true
+			}
+		}
+		m := mustZoo(t, name)
+		if (m.Nodes > 1) != hasGemini {
+			t.Fatalf("%s: gemini column presence wrong (nodes=%d)", name, m.Nodes)
+		}
+	}
+}
+
+func TestFigure9GoodputOrdering(t *testing.T) {
+	// PCcheck dominates every baseline's goodput at every interval on
+	// OPT-1.3B (paper: up to 2.86× over CheckFreq).
+	fig, err := Figure9("OPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxRatio float64
+	for i := range fig.Rows {
+		pc := cell(t, fig, i, "pccheck_goodput")
+		cf := cell(t, fig, i, "checkfreq_goodput")
+		gpm := cell(t, fig, i, "gpm_goodput")
+		if pc < cf*0.98 || pc < gpm*0.98 {
+			t.Fatalf("row %d: PCcheck %.4f under a baseline (cf %.4f, gpm %.4f)", i, pc, cf, gpm)
+		}
+		if cf > 0 && pc/cf > maxRatio {
+			maxRatio = pc / cf
+		}
+	}
+	if maxRatio < 1.5 {
+		t.Fatalf("max PCcheck/CheckFreq goodput ratio %.2f; paper reports up to 2.86×", maxRatio)
+	}
+}
+
+func TestFigure10PMEMBeatsSSD(t *testing.T) {
+	fig, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On PMEM even f=10 is affordable for PCcheck on BERT: 4 GB/(10×0.32s)
+	// = 1.25 GB/s ≪ 4.01 GB/s.
+	for i, f := range Intervals {
+		if f != 10 {
+			continue
+		}
+		base := cell(t, fig, i, "no_checkpoint_iters_per_sec")
+		pc := cell(t, fig, i, "pccheck_iters_per_sec")
+		// The remaining cost is the T→U snapshot-copy stall the paper
+		// explicitly chooses not to eliminate (§3.1): 4 GB over PCIe3 x8
+		// per 10 iterations.
+		if pc < 0.85*base {
+			t.Fatalf("PMEM BERT f=10: PCcheck %.3f vs base %.3f", pc, base)
+		}
+		cf := cell(t, fig, i, "checkfreq_iters_per_sec")
+		if pc < cf {
+			t.Fatal("PCcheck must still beat CheckFreq on PMEM")
+		}
+	}
+}
+
+func TestFigure11Monotonic(t *testing.T) {
+	fig, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"checkfreq_s", "gpm_s", "pccheck_s", "gemini_s"}
+	for _, col := range cols {
+		for i := 1; i < len(fig.Rows); i++ {
+			if cell(t, fig, i, col) <= cell(t, fig, i-1, col) {
+				t.Fatalf("%s not increasing with size at row %d", col, i)
+			}
+		}
+	}
+	// Ordering at 16 GB: gemini < pccheck < gpm < checkfreq, and PCcheck
+	// beats CheckFreq by up to ~1.9×.
+	last := lastRow(fig)
+	gem, pc := cell(t, fig, last, "gemini_s"), cell(t, fig, last, "pccheck_s")
+	gpm, cf := cell(t, fig, last, "gpm_s"), cell(t, fig, last, "checkfreq_s")
+	if !(gem < pc && pc < gpm && gpm < cf) {
+		t.Fatalf("16 GB ordering: gemini %.1f, pccheck %.1f, gpm %.1f, checkfreq %.1f", gem, pc, gpm, cf)
+	}
+	if r := cf / pc; r < 1.4 || r > 2.4 {
+		t.Fatalf("CheckFreq/PCcheck = %.2f, paper ≤ ~1.9", r)
+	}
+}
+
+func TestFigure12ConcurrencyHelps(t *testing.T) {
+	fig, err := Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Using more than one checkpoint is consistently better" and no more
+	// than 4 are needed.
+	for i := range fig.Rows {
+		n1 := cell(t, fig, i, "slowdown_N1")
+		n2 := cell(t, fig, i, "slowdown_N2")
+		n4 := cell(t, fig, i, "slowdown_N4")
+		n8 := cell(t, fig, i, "slowdown_N8")
+		if n2 > n1*1.001 {
+			t.Fatalf("row %d: N=2 (%.2f) worse than N=1 (%.2f)", i, n2, n1)
+		}
+		if n8 < n4*0.9 {
+			t.Fatalf("row %d: N=8 (%.2f) still far better than N=4 (%.2f); SSD should be saturated", i, n8, n4)
+		}
+	}
+}
+
+func TestFigure13WriterGains(t *testing.T) {
+	fig, err := Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gains from 1→3 threads, shrinking as N grows (paper: 1.36×, 1.16×,
+	// 1.13× for N=1,2,3).
+	row := func(p int) int { return p - 1 }
+	g1 := cell(t, fig, row(1), "slowdown_N1") / cell(t, fig, row(3), "slowdown_N1")
+	g2 := cell(t, fig, row(1), "slowdown_N2") / cell(t, fig, row(3), "slowdown_N2")
+	g3 := cell(t, fig, row(1), "slowdown_N3") / cell(t, fig, row(3), "slowdown_N3")
+	if g1 < 1.10 {
+		t.Fatalf("N=1 writer gain %.2f; paper 1.36", g1)
+	}
+	if !(g1 >= g2 && g2 >= g3*0.98) {
+		t.Fatalf("gains should shrink with N: %.2f, %.2f, %.2f", g1, g2, g3)
+	}
+}
+
+func TestFigure14DRAMTolerance(t *testing.T) {
+	fig, err := Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M=m costs ≤ ~10% vs M=2m (paper: ≤7%); pipelining ≥ staging.
+	var rowM, row2M int
+	for i := range fig.Rows {
+		switch fig.Rows[i][0] {
+		case "1":
+			rowM = i
+		case "2":
+			row2M = i
+		}
+	}
+	tight := cell(t, fig, rowM, "p6")
+	full := cell(t, fig, row2M, "p6")
+	if tight < 0.88*full {
+		t.Fatalf("DRAM=m throughput %.4f vs 2m %.4f", tight, full)
+	}
+	if p6, np := cell(t, fig, row2M, "p6"), cell(t, fig, row2M, "no_pipeline"); p6 < np*0.999 {
+		t.Fatalf("pipelined %.4f below non-pipelined %.4f", p6, np)
+	}
+}
+
+// §5.2.1: on the H100 machine "we observe similar patterns … since the
+// iteration time was halved, and the disk bandwidth doubled" — the relative
+// standings at each interval must match the A100 panel.
+func TestFigureH100SimilarPatterns(t *testing.T) {
+	h100, err := FigureH100()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a100, err := Figure8("OPT-1.3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h100.Rows {
+		// Iteration time halved + disk doubled ⇒ slowdown curves coincide,
+		// so normalized throughput (vs no-checkpoint) matches within 15%.
+		for _, col := range []string{"pccheck_iters_per_sec", "checkfreq_iters_per_sec", "gpm_iters_per_sec"} {
+			h := cell(t, h100, i, col) / cell(t, h100, i, "no_checkpoint_iters_per_sec")
+			a := cell(t, a100, i, col) / cell(t, a100, i, "no_checkpoint_iters_per_sec")
+			if ratio := h / a; ratio < 0.85 || ratio > 1.18 {
+				t.Fatalf("row %d %s: H100 normalized %.3f vs A100 %.3f — patterns should be similar", i, col, h, a)
+			}
+		}
+		// Absolute throughput roughly doubles.
+		h := cell(t, h100, i, "pccheck_iters_per_sec")
+		a := cell(t, a100, i, "pccheck_iters_per_sec")
+		if h < 1.5*a {
+			t.Fatalf("row %d: H100 PCcheck %.3f not ≈2× A100 %.3f", i, h, a)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1, err := Table1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 4 {
+		t.Fatalf("table1 rows = %d", len(t1.Rows))
+	}
+	// PCcheck with N=3 needs 4m of storage.
+	found := false
+	for _, r := range t1.Rows {
+		if r[0] == "pccheck" {
+			found = true
+			if r[3] != "4" {
+				t.Fatalf("pccheck storage = %s, want 4", r[3])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("table1 missing pccheck row")
+	}
+	t3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 6 {
+		t.Fatalf("table3 rows = %d, want 6 models", len(t3.Rows))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	fig, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 { // header + 6 models
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "model,dataset") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestAllRegeneratesEverything(t *testing.T) {
+	figs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"figure1", "figure2", "figure10", "figure8-h100", "figure11", "figure12", "figure13", "figure14",
+		"section5.2.2-recovery", "table1", "table3",
+	}
+	for _, m := range Figure8Models {
+		want = append(want, "figure8-"+m, "figure9-"+m)
+	}
+	for _, id := range want {
+		fig, ok := figs[id]
+		if !ok {
+			t.Fatalf("missing artefact %s", id)
+		}
+		if len(fig.Rows) == 0 || len(fig.Columns) == 0 {
+			t.Fatalf("artefact %s is empty", id)
+		}
+	}
+	if len(figs) != len(want) {
+		t.Fatalf("got %d artefacts, want %d", len(figs), len(want))
+	}
+}
+
+func mustZoo(t *testing.T, name string) workload.Model {
+	t.Helper()
+	m, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// §5.2.2's artefact. Recovery versus interval is U-shaped: at f=1 the few
+// lost iterations must be re-executed at the checkpoint-crippled effective
+// rate (CheckFreq runs 42 s/iteration there), while at large f whole
+// intervals of cheap iterations are lost. The informative regime is the
+// right arm: from f=10 on, recovery grows with the interval.
+func TestRecoveryTimesShape(t *testing.T) {
+	fig, err := RecoveryTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are Intervals = 1,10,25,50,100. The U's bottom sits wherever a
+	// mechanism leaves its device-saturated regime, so assert the arms:
+	// recovery rises from f=50 to f=100 for everyone, and the minimum is
+	// never at an endpoint's f=1 (the overhead-dominated arm).
+	for _, col := range []string{"checkfreq_s", "gpm_s", "pccheck_s"} {
+		if cell(t, fig, 4, col) <= cell(t, fig, 3, col) {
+			t.Fatalf("%s: recovery should rise from f=50 to f=100", col)
+		}
+		minIdx, minVal := 0, cell(t, fig, 0, col)
+		for i := 1; i < len(fig.Rows); i++ {
+			if v := cell(t, fig, i, col); v < minVal {
+				minIdx, minVal = i, v
+			}
+		}
+		if minIdx == 0 {
+			t.Fatalf("%s: minimum recovery at f=1; the overhead arm is missing", col)
+		}
+	}
+	// §5.2.2 anchor: CheckFreq at f=100 recovers in ≈80 s (plus the ~5.5 s
+	// disk reattach our artefact includes).
+	got := cell(t, fig, lastRow(fig), "checkfreq_s")
+	if got < 56 || got > 110 {
+		t.Fatalf("CheckFreq f=100 recovery = %.1f, paper ≈80 s", got)
+	}
+}
+
+// Every headline claim of the paper must hold in the reproduction.
+func TestHeadlineClaims(t *testing.T) {
+	claims, err := CheckClaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 10 {
+		t.Fatalf("only %d claims checked", len(claims))
+	}
+	for _, c := range claims {
+		if !c.OK {
+			t.Errorf("%s (%s): measured %.3f outside [%.3f, %.3f] — %s",
+				c.ID, c.Source, c.Measured, c.Lo, c.Hi, c.Statement)
+		}
+	}
+	if t.Failed() {
+		t.Log("\n" + FormatClaims(claims))
+	}
+}
+
+// Robustness of the goodput conclusion to the synthetic trace: across many
+// random preemption patterns, PCcheck's peak goodput (over intervals) never
+// falls behind CheckFreq's peak on OPT-1.3B.
+func TestGoodputDominanceAcrossTraceSeeds(t *testing.T) {
+	model := mustZoo(t, "OPT-1.3B")
+	results := map[perfmodel.Algorithm][]sim.Result{}
+	for _, algo := range []perfmodel.Algorithm{perfmodel.PCcheck, perfmodel.CheckFreq} {
+		for _, f := range Intervals {
+			res, err := runAlgo(algo, model, workload.A100GCP, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[algo] = append(results[algo], res)
+		}
+	}
+	peak := func(algo perfmodel.Algorithm, tr trace.Trace) float64 {
+		best := 0.0
+		for _, res := range results[algo] {
+			g, err := GoodputOf(algo, model, workload.A100GCP, res, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g > best {
+				best = g
+			}
+		}
+		return best
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		tr := trace.Synthetic(trace.SyntheticConfig{Seed: seed})
+		pcPeak := peak(perfmodel.PCcheck, tr)
+		cfPeak := peak(perfmodel.CheckFreq, tr)
+		if pcPeak < cfPeak {
+			t.Fatalf("seed %d: PCcheck peak %.4f below CheckFreq peak %.4f", seed, pcPeak, cfPeak)
+		}
+	}
+}
+
+// Denser failure regimes shift everyone's optimum toward more frequent
+// checkpointing — and widen PCcheck's advantage, the paper's core argument
+// for spot clusters.
+func TestDenserFailuresFavourPCcheckMore(t *testing.T) {
+	model := mustZoo(t, "OPT-1.3B")
+	pc, err := runAlgo(perfmodel.PCcheck, model, workload.A100GCP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := runAlgo(perfmodel.CheckFreq, model, workload.A100GCP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioAt := func(events int) float64 {
+		tr := trace.Synthetic(trace.SyntheticConfig{Seed: 3, Events: events})
+		pcG, err := GoodputOf(perfmodel.PCcheck, model, workload.A100GCP, pc, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfG, err := GoodputOf(perfmodel.CheckFreq, model, workload.A100GCP, cf, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pcG / cfG
+	}
+	sparse := ratioAt(8)
+	dense := ratioAt(60)
+	if dense < sparse {
+		t.Fatalf("advantage should grow with failure density: %d events %.3f vs %d events %.3f",
+			8, sparse, 60, dense)
+	}
+}

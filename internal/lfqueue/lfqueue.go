@@ -1,0 +1,86 @@
+// Package lfqueue implements a lock-free multi-producer multi-consumer FIFO
+// queue.
+//
+// PCcheck (§4.1) uses a lock-free queue of free checkpoint slots, citing the
+// Morrison–Afek LCRQ [PPoPP'13]. LCRQ's performance advantage comes from
+// x86 fetch-and-add ring buffers; the linearizable behaviour the PCcheck
+// algorithm depends on — lock-free MPMC FIFO with the guarantee that the
+// latest persisted checkpoint's slot is never dequeued because it is never
+// enqueued — is identical in the classic Michael–Scott queue implemented
+// here, which maps cleanly onto Go's atomic.Pointer.
+package lfqueue
+
+import "sync/atomic"
+
+type node[T any] struct {
+	value T
+	next  atomic.Pointer[node[T]]
+}
+
+// Queue is a lock-free MPMC FIFO. The zero value is not usable; call New.
+type Queue[T any] struct {
+	head atomic.Pointer[node[T]] // sentinel; head.next is the front
+	tail atomic.Pointer[node[T]]
+	size atomic.Int64
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &node[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enq appends v to the queue. It never blocks; under contention it retries
+// but some operation always makes progress (lock freedom).
+func (q *Queue[T]) Enq(v T) {
+	n := &node[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us; re-read
+		}
+		if next != nil {
+			// Tail is lagging; help advance it, then retry.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n) // ok if this fails: someone helped
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// Deq removes and returns the front element. ok is false when the queue was
+// observed empty.
+func (q *Queue[T]) Deq() (v T, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return v, false // empty
+		}
+		if head == tail {
+			// Queue non-empty but tail lagging: help, retry.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.head.CompareAndSwap(head, next) {
+			q.size.Add(-1)
+			return next.value, true
+		}
+	}
+}
+
+// Len returns the approximate number of elements. It is exact when the queue
+// is quiescent and is only used for diagnostics and tests.
+func (q *Queue[T]) Len() int { return int(q.size.Load()) }

@@ -1,0 +1,278 @@
+package lfqueue
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyDeq(t *testing.T) {
+	q := New[int]()
+	if _, ok := q.Deq(); ok {
+		t.Fatal("Deq on empty queue returned ok")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestFIFOOrderSingleThreaded(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		q.Enq(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Deq()
+		if !ok {
+			t.Fatalf("Deq %d: queue empty early", i)
+		}
+		if v != i {
+			t.Fatalf("Deq %d: got %d (FIFO violated)", i, v)
+		}
+	}
+	if _, ok := q.Deq(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestInterleavedEnqDeq(t *testing.T) {
+	q := New[string]()
+	q.Enq("a")
+	q.Enq("b")
+	if v, _ := q.Deq(); v != "a" {
+		t.Fatalf("got %q, want a", v)
+	}
+	q.Enq("c")
+	if v, _ := q.Deq(); v != "b" {
+		t.Fatalf("got %q, want b", v)
+	}
+	if v, _ := q.Deq(); v != "c" {
+		t.Fatalf("got %q, want c", v)
+	}
+}
+
+// TestConcurrentNoLossNoDup is the core safety test: P producers push
+// disjoint values, C consumers pop; every value must come out exactly once.
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	const producers, consumers, perProducer = 8, 8, 2000
+	q := New[int]()
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enq(p*perProducer + i)
+			}
+		}(p)
+	}
+	results := make(chan int, producers*perProducer)
+	done := make(chan struct{})
+	var cg sync.WaitGroup
+	cg.Add(consumers)
+	for c := 0; c < consumers; c++ {
+		go func() {
+			defer cg.Done()
+			for {
+				if v, ok := q.Deq(); ok {
+					results <- v
+					continue
+				}
+				select {
+				case <-done:
+					// Drain any stragglers enqueued before done closed.
+					for {
+						v, ok := q.Deq()
+						if !ok {
+							return
+						}
+						results <- v
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	close(results)
+
+	seen := make(map[int]bool, producers*perProducer)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("value %d dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("lost values: got %d, want %d", len(seen), producers*perProducer)
+	}
+}
+
+// TestPerProducerFIFO checks that values from a single producer come out in
+// that producer's order (FIFO is per-enqueuer under concurrency).
+func TestPerProducerFIFO(t *testing.T) {
+	const producers, perProducer = 4, 5000
+	q := New[[2]int]() // [producer, seq]
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enq([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for {
+		v, ok := q.Deq()
+		if !ok {
+			break
+		}
+		if v[1] <= last[v[0]] {
+			t.Fatalf("producer %d: seq %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	for p, l := range last {
+		if l != perProducer-1 {
+			t.Fatalf("producer %d: last seq %d, want %d", p, l, perProducer-1)
+		}
+	}
+}
+
+// Property: for any sequence of enqueues then dequeues, output equals input.
+func TestQuickSequentialBehaviour(t *testing.T) {
+	f := func(vals []int) bool {
+		q := New[int]()
+		for _, v := range vals {
+			q.Enq(v)
+		}
+		var out []int
+		for {
+			v, ok := q.Deq()
+			if !ok {
+				break
+			}
+			out = append(out, v)
+		}
+		if len(out) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The free-slot usage pattern from PCcheck: a fixed set of slots cycles
+// through the queue forever; no slot may ever be duplicated or lost.
+func TestSlotRecyclingInvariant(t *testing.T) {
+	const slots, workers, rounds = 6, 4, 3000
+	q := New[int]()
+	for s := 0; s < slots; s++ {
+		q.Enq(s)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for {
+					s, ok := q.Deq()
+					if ok {
+						q.Enq(s) // use the slot, then recycle it
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var remaining []int
+	for {
+		s, ok := q.Deq()
+		if !ok {
+			break
+		}
+		remaining = append(remaining, s)
+	}
+	sort.Ints(remaining)
+	if len(remaining) != slots {
+		t.Fatalf("slot count drifted: %v", remaining)
+	}
+	for i, s := range remaining {
+		if s != i {
+			t.Fatalf("slot set corrupted: %v", remaining)
+		}
+	}
+}
+
+func BenchmarkEnqDeq(b *testing.B) {
+	q := New[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enq(1)
+			q.Deq()
+		}
+	})
+}
+
+// Differential test: the lock-free queue must behave exactly like a
+// mutex-protected reference under randomized operation sequences.
+func TestDifferentialAgainstReference(t *testing.T) {
+	type ref struct {
+		mu sync.Mutex
+		q  []int
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lf := New[int]()
+		var model ref
+		for op := 0; op < 2000; op++ {
+			if rng.Intn(2) == 0 {
+				v := rng.Intn(1000)
+				lf.Enq(v)
+				model.mu.Lock()
+				model.q = append(model.q, v)
+				model.mu.Unlock()
+			} else {
+				got, ok := lf.Deq()
+				model.mu.Lock()
+				if len(model.q) == 0 {
+					if ok {
+						t.Fatalf("seed %d op %d: Deq returned %d from empty queue", seed, op, got)
+					}
+				} else {
+					want := model.q[0]
+					model.q = model.q[1:]
+					if !ok || got != want {
+						t.Fatalf("seed %d op %d: Deq = %d,%v want %d", seed, op, got, ok, want)
+					}
+				}
+				model.mu.Unlock()
+			}
+		}
+		if lf.Len() != len(model.q) {
+			t.Fatalf("seed %d: lengths diverged %d vs %d", seed, lf.Len(), len(model.q))
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package pmem emulates byte-addressable persistent memory with the x86
+// persistence semantics PCcheck depends on (§2.3, §3.3 of the paper).
+//
+// On real Optane PMEM, the order in which cache lines reach the media can
+// differ from program order: a regular store lands in the cache and persists
+// only when the line is written back (clwb) or evicted; a non-temporal store
+// bypasses the cache but still sits in write-pending queues until a fence.
+// A crash therefore exposes an *arbitrary subset* of un-fenced lines.
+//
+// Region models exactly that, at cache-line (64 B) granularity:
+//
+//   - Store:     cached store — may or may not survive a crash.
+//   - NTStore:   non-temporal store — pending until Fence; may or may not
+//     survive a crash that happens before the fence.
+//   - WriteBack: clwb — snapshots the line's current value as pending.
+//   - Fence:     sfence — everything pending becomes durable.
+//   - Crash:     adversarially decides the fate of every non-durable line
+//     using a caller-provided choice function, then returns the
+//     surviving contents.
+//
+// This adversarial model is what makes the crash-injection tests of the
+// checkpoint engine meaningful: an algorithm that forgets a barrier will
+// actually lose data here.
+package pmem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LineSize is the persistence granularity in bytes, matching x86 cache lines.
+const LineSize = 64
+
+// Region is an emulated persistent memory region. All methods are safe for
+// concurrent use; writers to overlapping ranges must synchronize among
+// themselves exactly as they would on real hardware.
+type Region struct {
+	mu        sync.Mutex
+	size      int
+	volatile  []byte           // current program-visible contents
+	persisted []byte           // contents guaranteed to survive a crash
+	pending   map[int][]byte   // line index → snapshot awaiting a fence
+	dirty     map[int]struct{} // lines stored but never written back
+}
+
+// NewRegion allocates a zeroed region of the given size. Zero contents are
+// considered durable (as if the device was freshly zeroed).
+func NewRegion(size int) *Region {
+	if size < 0 {
+		panic("pmem: negative region size")
+	}
+	return &Region{
+		size:      size,
+		volatile:  make([]byte, size),
+		persisted: make([]byte, size),
+		pending:   make(map[int][]byte),
+		dirty:     make(map[int]struct{}),
+	}
+}
+
+// Size returns the region capacity in bytes.
+func (r *Region) Size() int { return r.size }
+
+func (r *Region) checkRange(off, n int) error {
+	if off < 0 || n < 0 || off+n > r.size {
+		return fmt.Errorf("pmem: range [%d,%d) outside region of %d bytes", off, off+n, r.size)
+	}
+	return nil
+}
+
+// Store performs regular cached stores of data at off. The data is visible
+// to readers immediately but is not durable until a WriteBack+Fence covers
+// it (or the crash adversary happens to evict it).
+func (r *Region) Store(off int, data []byte) error {
+	if err := r.checkRange(off, len(data)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(r.volatile[off:], data)
+	for line := off / LineSize; line <= (off+len(data)-1)/LineSize && len(data) > 0; line++ {
+		r.dirty[line] = struct{}{}
+		delete(r.pending, line) // newer store invalidates an older snapshot
+	}
+	return nil
+}
+
+// NTStore performs non-temporal stores: the data is visible immediately and
+// queued for persistence; it becomes durable at the next Fence.
+func (r *Region) NTStore(off int, data []byte) error {
+	if err := r.checkRange(off, len(data)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(r.volatile[off:], data)
+	if len(data) == 0 {
+		return nil
+	}
+	first, last := off/LineSize, (off+len(data)-1)/LineSize
+	for line := first; line <= last; line++ {
+		r.snapshotLineLocked(line)
+		delete(r.dirty, line)
+	}
+	return nil
+}
+
+// WriteBack emulates clwb over [off, off+n): the current contents of every
+// covered line are queued for persistence at the next Fence.
+func (r *Region) WriteBack(off, n int) error {
+	if err := r.checkRange(off, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	first, last := off/LineSize, (off+n-1)/LineSize
+	for line := first; line <= last; line++ {
+		r.snapshotLineLocked(line)
+		delete(r.dirty, line)
+	}
+	return nil
+}
+
+// snapshotLineLocked records the line's current volatile contents as the
+// value that a future Fence will persist. Callers hold r.mu.
+func (r *Region) snapshotLineLocked(line int) {
+	start := line * LineSize
+	end := start + LineSize
+	if end > r.size {
+		end = r.size
+	}
+	snap := make([]byte, end-start)
+	copy(snap, r.volatile[start:end])
+	r.pending[line] = snap
+}
+
+// Fence emulates sfence: every pending line becomes durable.
+func (r *Region) Fence() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for line, snap := range r.pending {
+		copy(r.persisted[line*LineSize:], snap)
+	}
+	r.pending = make(map[int][]byte)
+}
+
+// Persist is the convenience PCcheck's PMEM path uses: non-temporal store
+// followed by a fence covering only this write. It is equivalent to
+// NTStore+Fence but does not force other writers' pending lines to persist,
+// mirroring the per-CPU nature of the store buffers (§4.1: "the fence is
+// internal to each CPU").
+func (r *Region) Persist(off int, data []byte) error {
+	if err := r.checkRange(off, len(data)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(r.volatile[off:], data)
+	copy(r.persisted[off:], data)
+	if len(data) == 0 {
+		return nil
+	}
+	first, last := off/LineSize, (off+len(data)-1)/LineSize
+	for line := first; line <= last; line++ {
+		delete(r.pending, line)
+		delete(r.dirty, line)
+	}
+	return nil
+}
+
+// ReadAt copies the current program-visible contents at off into p.
+func (r *Region) ReadAt(p []byte, off int) error {
+	if err := r.checkRange(off, len(p)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(p, r.volatile[off:])
+	return nil
+}
+
+// CrashChoice decides the fate of a single non-durable line during a crash.
+// line is the line index; pending reports whether the line had been flushed
+// (true) or was merely dirty in the cache (false). Returning true persists
+// the line's last snapshot (pending) or current value (dirty).
+type CrashChoice func(line int, pending bool) bool
+
+// DropAll is the pessimistic adversary: nothing un-fenced survives.
+func DropAll(int, bool) bool { return false }
+
+// KeepAll is the optimistic adversary: every un-fenced write survives (as if
+// all caches drained just in time).
+func KeepAll(int, bool) bool { return true }
+
+// Crash simulates a power failure. Every line that was made durable by a
+// Fence (or Persist) survives; the fate of each pending or dirty line is
+// decided by choose. The region's contents are reset to the surviving state
+// and all pending/dirty bookkeeping is cleared — exactly what a post-reboot
+// mmap of the device would observe.
+func (r *Region) Crash(choose CrashChoice) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for line, snap := range r.pending {
+		if choose(line, true) {
+			copy(r.persisted[line*LineSize:], snap)
+		}
+	}
+	for line := range r.dirty {
+		if choose(line, false) {
+			start := line * LineSize
+			end := start + LineSize
+			if end > r.size {
+				end = r.size
+			}
+			copy(r.persisted[start:end], r.volatile[start:end])
+		}
+	}
+	copy(r.volatile, r.persisted)
+	r.pending = make(map[int][]byte)
+	r.dirty = make(map[int]struct{})
+}
+
+// CloneDurable returns a fresh Region holding exactly the contents that
+// would survive a crash under the DropAll adversary right now — i.e. what a
+// post-reboot remap of the device would observe. Unlike Crash it does not
+// disturb the live region, so tests can fork a "crashed replica" at an
+// arbitrary instant while writers keep running, which is how the checkpoint
+// engine's durability invariant is probed under real concurrency.
+func (r *Region) CloneDurable() *Region {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := NewRegion(r.size)
+	copy(c.volatile, r.persisted)
+	copy(c.persisted, r.persisted)
+	return c
+}
+
+// DurableSnapshot returns a copy of the contents that would survive a crash
+// under the DropAll adversary right now. Used by tests to assert durability
+// without destroying the region.
+func (r *Region) DurableSnapshot() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]byte, r.size)
+	copy(out, r.persisted)
+	return out
+}

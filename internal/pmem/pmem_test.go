@@ -1,0 +1,254 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreVisibleButNotDurable(t *testing.T) {
+	r := NewRegion(256)
+	if err := r.Store(10, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if err := r.ReadAt(got, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("volatile read = %q", got)
+	}
+	r.Crash(DropAll)
+	if err := r.ReadAt(got, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "hello" {
+		t.Fatal("un-fenced store survived a DropAll crash")
+	}
+}
+
+func TestNTStoreNeedsFence(t *testing.T) {
+	r := NewRegion(256)
+	if err := r.NTStore(0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	r.Crash(DropAll)
+	got := make([]byte, 4)
+	_ = r.ReadAt(got, 0)
+	if string(got) == "abcd" {
+		t.Fatal("NT store without fence survived DropAll crash")
+	}
+
+	r2 := NewRegion(256)
+	_ = r2.NTStore(0, []byte("abcd"))
+	r2.Fence()
+	r2.Crash(DropAll)
+	_ = r2.ReadAt(got, 0)
+	if string(got) != "abcd" {
+		t.Fatal("NT store + fence did not survive crash")
+	}
+}
+
+func TestWriteBackPlusFenceDurable(t *testing.T) {
+	r := NewRegion(256)
+	_ = r.Store(64, []byte("wxyz"))
+	if err := r.WriteBack(64, 4); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	r.Crash(DropAll)
+	got := make([]byte, 4)
+	_ = r.ReadAt(got, 64)
+	if string(got) != "wxyz" {
+		t.Fatal("clwb+fence data lost")
+	}
+}
+
+func TestStoreAfterWriteBackInvalidatesSnapshot(t *testing.T) {
+	// A store to a line after its clwb but before the fence means the
+	// *snapshot* value is what persists at the fence — not the newer store.
+	r := NewRegion(256)
+	_ = r.Store(0, []byte("old!"))
+	_ = r.WriteBack(0, 4)
+	_ = r.Store(0, []byte("new!")) // re-dirties the line, drops the snapshot
+	r.Fence()
+	r.Crash(DropAll)
+	got := make([]byte, 4)
+	_ = r.ReadAt(got, 0)
+	if string(got) == "new!" {
+		t.Fatal("newer un-flushed store must not be durable")
+	}
+	if string(got) == "old!" {
+		t.Fatal("stale snapshot persisted after the line was re-dirtied")
+	}
+}
+
+func TestPersistIsImmediatelyDurable(t *testing.T) {
+	r := NewRegion(256)
+	if err := r.Persist(100, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	r.Crash(DropAll)
+	got := make([]byte, 7)
+	_ = r.ReadAt(got, 100)
+	if string(got) != "durable" {
+		t.Fatalf("Persist data lost: %q", got)
+	}
+}
+
+func TestCrashKeepAll(t *testing.T) {
+	r := NewRegion(256)
+	_ = r.Store(0, []byte("keep"))
+	r.Crash(KeepAll)
+	got := make([]byte, 4)
+	_ = r.ReadAt(got, 0)
+	if string(got) != "keep" {
+		t.Fatal("KeepAll adversary should retain dirty lines")
+	}
+}
+
+func TestCrashClearsBookkeeping(t *testing.T) {
+	r := NewRegion(256)
+	_ = r.Store(0, []byte("a"))
+	_ = r.NTStore(64, []byte("b"))
+	r.Crash(DropAll)
+	// After the crash, a fence must not resurrect anything.
+	r.Fence()
+	snap := r.DurableSnapshot()
+	if snap[0] == 'a' || snap[64] == 'b' {
+		t.Fatal("fence after crash resurrected lost writes")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	r := NewRegion(128)
+	if err := r.Store(120, make([]byte, 16)); err == nil {
+		t.Fatal("out-of-range Store should error")
+	}
+	if err := r.NTStore(-1, []byte("x")); err == nil {
+		t.Fatal("negative offset should error")
+	}
+	if err := r.WriteBack(0, 129); err == nil {
+		t.Fatal("oversized WriteBack should error")
+	}
+	if err := r.ReadAt(make([]byte, 1), 128); err == nil {
+		t.Fatal("read past end should error")
+	}
+	if err := r.Persist(127, []byte("ab")); err == nil {
+		t.Fatal("Persist past end should error")
+	}
+}
+
+func TestZeroLengthOps(t *testing.T) {
+	r := NewRegion(64)
+	if err := r.Store(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.NTStore(64, nil); err != nil {
+		t.Fatal(err) // off==size with n==0 is a legal empty range
+	}
+	if err := r.WriteBack(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialLineAtRegionEnd(t *testing.T) {
+	r := NewRegion(100) // not a multiple of LineSize
+	data := []byte("tail-data")
+	if err := r.NTStore(96, data[:4]); err != nil {
+		t.Fatal(err)
+	}
+	r.Fence()
+	r.Crash(DropAll)
+	got := make([]byte, 4)
+	_ = r.ReadAt(got, 96)
+	if string(got) != "tail" {
+		t.Fatalf("partial final line lost: %q", got)
+	}
+}
+
+// Property: under a random adversary, the surviving value of each line is
+// either the last fenced value or the last written value — never anything
+// else (no corruption, no interleaving at sub-line granularity from a
+// single writer).
+func TestQuickCrashAdversaryOnlyYieldsRealValues(t *testing.T) {
+	f := func(seed int64, fence bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRegion(LineSize)
+		v1 := bytes.Repeat([]byte{1}, LineSize)
+		v2 := bytes.Repeat([]byte{2}, LineSize)
+		_ = r.NTStore(0, v1)
+		r.Fence() // v1 is durable
+		_ = r.NTStore(0, v2)
+		if fence {
+			r.Fence()
+		}
+		r.Crash(func(int, bool) bool { return rng.Intn(2) == 0 })
+		got := make([]byte, LineSize)
+		_ = r.ReadAt(got, 0)
+		if fence {
+			return bytes.Equal(got, v2)
+		}
+		return bytes.Equal(got, v1) || bytes.Equal(got, v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent writers on disjoint ranges must not corrupt each other.
+func TestConcurrentDisjointWriters(t *testing.T) {
+	const writers = 8
+	const per = 1024
+	r := NewRegion(writers * per)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			block := bytes.Repeat([]byte{byte(w + 1)}, per)
+			for i := 0; i < 50; i++ {
+				if err := r.NTStore(w*per, block); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Fence()
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Crash(DropAll)
+	for w := 0; w < writers; w++ {
+		got := make([]byte, per)
+		_ = r.ReadAt(got, w*per)
+		for _, b := range got {
+			if b != byte(w+1) {
+				t.Fatalf("writer %d range corrupted: found byte %d", w, b)
+			}
+		}
+	}
+}
+
+func TestDurableSnapshotDoesNotMutate(t *testing.T) {
+	r := NewRegion(64)
+	_ = r.NTStore(0, []byte("live"))
+	snap := r.DurableSnapshot()
+	if string(snap[:4]) == "live" {
+		t.Fatal("un-fenced write in durable snapshot")
+	}
+	r.Fence()
+	snap2 := r.DurableSnapshot()
+	if string(snap2[:4]) != "live" {
+		t.Fatal("fenced write missing from durable snapshot")
+	}
+	// Mutating the returned slice must not touch the region.
+	snap2[0] = 'X'
+	r.Crash(DropAll)
+	got := make([]byte, 4)
+	_ = r.ReadAt(got, 0)
+	if string(got) != "live" {
+		t.Fatal("DurableSnapshot aliases internal state")
+	}
+}

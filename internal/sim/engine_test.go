@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+
+	"pccheck/internal/perfmodel"
+	"pccheck/internal/workload"
+)
+
+// White-box tests of the simulation engine's internals: DRAM accounting,
+// copy-admission thresholds, stall attribution and checkpoint records.
+
+func engineFor(t *testing.T, cfg Config) *engine {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	tSec := cfg.Model.IterTimeOn(cfg.Platform).Seconds()
+	if tSec <= 0 {
+		t.Fatalf("model %s not runnable", cfg.Model.Name)
+	}
+	return &engine{
+		cfg:   cfg,
+		t:     tSec,
+		m:     float64(cfg.Model.PartitionBytes()),
+		pcie:  NewResource("pcie", cfg.Platform.PCIeBW),
+		store: NewResource("store", cfg.Platform.StorageWriteBW),
+		net:   NewResource("net", cfg.Platform.NetBW),
+		dramM: float64(cfg.DRAMBytes),
+	}
+}
+
+func TestEngineDRAMHeldAccounting(t *testing.T) {
+	model := mustModel(t, "OPT-1.3B")
+	e := engineFor(t, Config{
+		Algo: perfmodel.PCcheck, Model: model, Platform: workload.A100GCP,
+		Interval: 10, Concurrent: 2, Chunks: 4,
+	})
+	if e.dramHeld() != 0 {
+		t.Fatalf("fresh engine holds %v", e.dramHeld())
+	}
+	if err := e.startCheckpoint(10, true); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing copied yet ⇒ nothing held.
+	if h := e.dramHeld(); h != 0 {
+		t.Fatalf("held before any copy: %v", h)
+	}
+	// Advance 0.5 s: PCIe moves 6 GB, storage drains ~0.33 GB.
+	if err := e.advanceTo(0.5); err != nil {
+		t.Fatal(err)
+	}
+	held := e.dramHeld()
+	if held <= 0 {
+		t.Fatalf("held after copies: %v", held)
+	}
+	copied := e.active[0].copyJob.Transferred()
+	persisted := e.active[0].persistJob.Transferred()
+	if want := copied - persisted; held != want {
+		t.Fatalf("held %v != copied−persisted %v", held, want)
+	}
+}
+
+func TestEngineCopyAdmissionGating(t *testing.T) {
+	// Pipelined checkpoint with lead < m: after the fast PCIe phase the
+	// staging completion must wait for the persist to drain m − lead.
+	model := mustModel(t, "OPT-1.3B")
+	m := model.CheckpointBytes
+	e := engineFor(t, Config{
+		Algo: perfmodel.PCcheck, Model: model, Platform: workload.A100GCP,
+		Interval: 10, Concurrent: 2, Chunks: 8,
+		DRAMBytes: m / 2, // tight budget ⇒ lead ≈ m/2
+	})
+	if err := e.startCheckpoint(10, true); err != nil {
+		t.Fatal(err)
+	}
+	ck := e.active[0]
+	if ck.lead >= float64(m) {
+		t.Fatalf("lead %v should be below m %v under a tight budget", ck.lead, m)
+	}
+	// Run until the PCIe phase finishes; staging must still be incomplete.
+	for !ck.copyJob.Done() {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ck.copyDone {
+		t.Fatal("staging completed at PCIe speed despite DRAM gate")
+	}
+	at, ok := e.copyAdmissionTime(ck)
+	if !ok {
+		t.Fatal("no admission event scheduled")
+	}
+	if at <= e.now {
+		t.Fatalf("admission at %v not in the future of %v", at, e.now)
+	}
+	// Eventually the persist drains enough and staging completes.
+	for !ck.copyDone {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	need := e.m - ck.lead
+	if got := ck.persistJob.Transferred(); got < need-2 {
+		t.Fatalf("staging completed with only %v persisted, need %v", got, need)
+	}
+}
+
+func TestEngineNonPipelinedHoldsFullBuffer(t *testing.T) {
+	model := mustModel(t, "OPT-1.3B")
+	e := engineFor(t, Config{
+		Algo: perfmodel.CheckFreq, Model: model, Platform: workload.A100GCP,
+		Interval: 10,
+	})
+	if err := e.startCheckpoint(10, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.advanceTo(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if held := e.dramHeld(); held != e.m {
+		t.Fatalf("non-pipelined held %v, want full m %v", held, e.m)
+	}
+}
+
+func TestEngineRecordsCompleteCheckpoints(t *testing.T) {
+	model := mustModel(t, "VGG16")
+	res, err := Run(Config{
+		Algo: perfmodel.PCcheck, Model: model, Platform: workload.A100GCP,
+		Interval: 50, Concurrent: 2, Iterations: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) != 10 {
+		t.Fatalf("records = %d, want 10", len(res.Checkpoints))
+	}
+	for i, r := range res.Checkpoints {
+		if r.Iteration%50 != 0 {
+			t.Fatalf("record %d at iteration %d", i, r.Iteration)
+		}
+		if !(r.Start <= r.CopyEnd && r.CopyEnd <= r.PersistEnd) {
+			t.Fatalf("record %d ordering: start %v copy %v persist %v", i, r.Start, r.CopyEnd, r.PersistEnd)
+		}
+	}
+}
+
+func TestEngineStallAttribution(t *testing.T) {
+	model := mustModel(t, "OPT-1.3B")
+	// Frequent checkpointing on the slow device: most of the runtime is
+	// attributed stall.
+	busy, err := Run(Config{
+		Algo: perfmodel.PCcheck, Model: model, Platform: workload.A100GCP,
+		Interval: 2, Concurrent: 2, Iterations: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := busy.Runtime - busy.BaseRuntime
+	if busy.StallSeconds < 0.8*overhead || busy.StallSeconds > overhead*1.001 {
+		t.Fatalf("stall %v vs overhead %v: attribution broken", busy.StallSeconds, overhead)
+	}
+	// Infrequent checkpointing: negligible stall.
+	idle, err := Run(Config{
+		Algo: perfmodel.PCcheck, Model: model, Platform: workload.A100GCP,
+		Interval: 200, Concurrent: 2, Iterations: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.StallSeconds > 0.02*idle.Runtime {
+		t.Fatalf("hidden checkpointing stalled %v of %v", idle.StallSeconds, idle.Runtime)
+	}
+}
+
+func TestEngineGeminiUsesNetwork(t *testing.T) {
+	model := mustModel(t, "BLOOM-7B")
+	res, err := Run(Config{
+		Algo: perfmodel.Gemini, Model: model, Platform: workload.A100GCP,
+		Interval: 50, Iterations: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-checkpoint latency ≈ partition / NetBW = 18 GB / 1.875 GB/s ≈ 9.6 s
+	// plus the pageable snapshot copy (18 GB / 3 GB/s = 6 s).
+	want := 18e9/workload.A100GCP.NetBW + 18e9/(workload.CheckFreqCopyFraction*workload.A100GCP.PCIeBW)
+	if res.AvgPersist < 0.9*want || res.AvgPersist > 1.3*want {
+		t.Fatalf("Gemini persist %v, want ≈%v", res.AvgPersist, want)
+	}
+}
+
+func TestEngineTraditionalFullySynchronous(t *testing.T) {
+	model := mustModel(t, "BERT")
+	res, err := Run(Config{
+		Algo: perfmodel.Traditional, Model: model, Platform: workload.A100GCP,
+		Interval: 20, Iterations: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous: overhead per checkpoint = copy + persist, all stall.
+	perCkpt := 4e9/(workload.CheckFreqCopyFraction*workload.A100GCP.PCIeBW) +
+		4e9/(workload.CheckFreqStreamFraction*workload.A100GCP.StorageWriteBW)
+	wantOverhead := 10 * perCkpt
+	overhead := res.Runtime - res.BaseRuntime
+	if overhead < 0.9*wantOverhead || overhead > 1.15*wantOverhead {
+		t.Fatalf("Traditional overhead %v, want ≈%v", overhead, wantOverhead)
+	}
+}

@@ -1,0 +1,191 @@
+// Package sim is a discrete-event, fluid-flow simulator of the checkpoint
+// data path, used to reproduce the paper's evaluation at paper scale
+// (checkpoints of 1.1–108 GB against A100/PMEM-class hardware) in virtual
+// time. The real engine (internal/core) validates the algorithm; the
+// simulator reproduces every published figure.
+//
+// The fluid model: each shared resource (PCIe link, storage device, NIC) is
+// a capacity in bytes/sec divided among its active jobs by max-min fair
+// sharing, with optional per-job rate caps (a checkpoint with p writer
+// threads cannot exceed p×perThreadBW on the storage device, §3.3/§5.4.2).
+// Between events, every job drains linearly; events are job completions and
+// the policy's own milestones (iteration boundaries, buffer-full
+// transitions).
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// eps is the time-comparison tolerance in seconds.
+	eps = 1e-9
+	// byteEps is the completion tolerance in bytes. Jobs carry payloads of
+	// up to ~1e11 bytes at ~1e9 B/s rates, so float64 arithmetic leaves
+	// residues of milli-bytes whose completion times can fall below the
+	// representable resolution of the clock; anything under one byte is
+	// done (payloads are 10⁹–10¹¹ bytes, so a byte is beyond negligible).
+	byteEps = 1.0
+)
+
+// Job is one in-flight transfer on a Resource.
+type Job struct {
+	remaining float64 // bytes left
+	cap       float64 // per-job rate cap in bytes/s (0 = uncapped)
+	rate      float64 // currently assigned rate
+	total     float64 // original size
+}
+
+// Remaining returns the bytes the job still has to move.
+func (j *Job) Remaining() float64 { return j.remaining }
+
+// Transferred returns the bytes moved so far.
+func (j *Job) Transferred() float64 { return j.total - j.remaining }
+
+// Done reports completion.
+func (j *Job) Done() bool { return j.remaining <= byteEps }
+
+// SetCap changes the job's rate cap. The owning Resource must be Advanced
+// to the current time first; rates are recomputed immediately.
+func (j *Job) SetCap(r *Resource, cap float64) {
+	j.cap = cap
+	r.recompute()
+}
+
+// Rate returns the job's current fluid rate.
+func (j *Job) Rate() float64 { return j.rate }
+
+// Resource is a max-min fair-shared capacity.
+type Resource struct {
+	name     string
+	capacity float64
+	jobs     []*Job
+	last     float64 // virtual time of the last Advance
+}
+
+// NewResource returns a resource with the given aggregate bandwidth.
+// A non-positive capacity means infinite (no contention).
+func NewResource(name string, capacity float64) *Resource {
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Submit adds a job of the given size. now must equal the resource's
+// current time (call Advance first). cap limits the job's own rate
+// (0 = uncapped).
+func (r *Resource) Submit(now, bytes, cap float64) (*Job, error) {
+	if math.Abs(now-r.last) > eps && len(r.jobs) > 0 {
+		return nil, fmt.Errorf("sim: %s submitted at %v but resource is at %v", r.name, now, r.last)
+	}
+	r.last = now
+	if bytes < 0 {
+		return nil, fmt.Errorf("sim: negative job size %v", bytes)
+	}
+	j := &Job{remaining: bytes, total: bytes, cap: cap}
+	r.jobs = append(r.jobs, j)
+	r.recompute()
+	return j, nil
+}
+
+// Advance drains all jobs to virtual time now. It never overshoots a
+// completion: callers must not advance past NextEvent.
+func (r *Resource) Advance(now float64) {
+	dt := now - r.last
+	if dt < -eps {
+		panic(fmt.Sprintf("sim: %s advanced backwards: %v -> %v", r.name, r.last, now))
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	// Even a zero-length advance sweeps finished jobs: a completion whose
+	// time difference from now is below float resolution must still retire,
+	// or the event loop would spin in place.
+	active := r.jobs[:0]
+	changed := false
+	for _, j := range r.jobs {
+		j.remaining -= j.rate * dt
+		if j.remaining <= byteEps {
+			j.remaining = 0
+			j.rate = 0
+			changed = true
+			continue
+		}
+		active = append(active, j)
+	}
+	r.jobs = active
+	r.last = now
+	if dt > 0 || changed {
+		r.recompute()
+	}
+}
+
+// NextEvent returns the virtual time of the earliest job completion at
+// current rates, or ok=false when nothing is in flight (or all stalled).
+func (r *Resource) NextEvent() (float64, bool) {
+	best := math.Inf(1)
+	for _, j := range r.jobs {
+		if j.rate <= eps {
+			continue
+		}
+		if t := r.last + j.remaining/j.rate; t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// Active returns the number of unfinished jobs.
+func (r *Resource) Active() int { return len(r.jobs) }
+
+// Now returns the resource's current virtual time.
+func (r *Resource) Now() float64 { return r.last }
+
+// recompute assigns max-min fair rates respecting per-job caps
+// (water-filling).
+func (r *Resource) recompute() {
+	n := len(r.jobs)
+	if n == 0 {
+		return
+	}
+	if r.capacity <= 0 {
+		// Infinite capacity: every job runs at its cap (or "very fast").
+		for _, j := range r.jobs {
+			if j.cap > 0 {
+				j.rate = j.cap
+			} else {
+				j.rate = math.MaxFloat64 / 4
+			}
+		}
+		return
+	}
+	remainingCap := r.capacity
+	unassigned := append([]*Job(nil), r.jobs...)
+	for len(unassigned) > 0 {
+		share := remainingCap / float64(len(unassigned))
+		progressed := false
+		next := unassigned[:0]
+		for _, j := range unassigned {
+			if j.cap > 0 && j.cap <= share+eps {
+				j.rate = j.cap
+				remainingCap -= j.cap
+				progressed = true
+				continue
+			}
+			next = append(next, j)
+		}
+		unassigned = next
+		if !progressed {
+			// No caps bind: split the remainder evenly.
+			for _, j := range unassigned {
+				j.rate = share
+			}
+			return
+		}
+		if remainingCap < 0 {
+			remainingCap = 0
+		}
+	}
+}

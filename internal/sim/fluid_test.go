@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleJobDrainsAtCapacity(t *testing.T) {
+	r := NewResource("disk", 100) // 100 B/s
+	j, err := r.Submit(0, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, ok := r.NextEvent()
+	if !ok || !almostEqual(next, 10, 1e-6) {
+		t.Fatalf("completion at %v, want 10", next)
+	}
+	r.Advance(next)
+	if !j.Done() {
+		t.Fatal("job not done after its completion time")
+	}
+	if r.Active() != 0 {
+		t.Fatalf("active = %d", r.Active())
+	}
+}
+
+func TestTwoJobsShareFairly(t *testing.T) {
+	r := NewResource("disk", 100)
+	a, _ := r.Submit(0, 500, 0)
+	b, _ := r.Submit(0, 1000, 0)
+	if !almostEqual(a.Rate(), 50, 1e-6) || !almostEqual(b.Rate(), 50, 1e-6) {
+		t.Fatalf("rates %v/%v, want 50/50", a.Rate(), b.Rate())
+	}
+	// a finishes at t=10; b then speeds up and finishes at 10 + 500/100 = 15.
+	next, _ := r.NextEvent()
+	if !almostEqual(next, 10, 1e-6) {
+		t.Fatalf("first completion %v", next)
+	}
+	r.Advance(next)
+	if !a.Done() || b.Done() {
+		t.Fatal("wrong job finished first")
+	}
+	if !almostEqual(b.Rate(), 100, 1e-6) {
+		t.Fatalf("b rate after a done = %v", b.Rate())
+	}
+	next, _ = r.NextEvent()
+	if !almostEqual(next, 15, 1e-6) {
+		t.Fatalf("second completion %v", next)
+	}
+}
+
+func TestPerJobCapBinds(t *testing.T) {
+	r := NewResource("disk", 100)
+	a, _ := r.Submit(0, 1000, 30) // capped below fair share
+	b, _ := r.Submit(0, 1000, 0)
+	if !almostEqual(a.Rate(), 30, 1e-6) {
+		t.Fatalf("capped job rate %v", a.Rate())
+	}
+	// b gets the leftover 70, not just 50.
+	if !almostEqual(b.Rate(), 70, 1e-6) {
+		t.Fatalf("uncapped job rate %v, want 70", b.Rate())
+	}
+}
+
+func TestCapAboveShareIsInert(t *testing.T) {
+	r := NewResource("disk", 100)
+	a, _ := r.Submit(0, 1000, 90)
+	b, _ := r.Submit(0, 1000, 90)
+	if !almostEqual(a.Rate(), 50, 1e-6) || !almostEqual(b.Rate(), 50, 1e-6) {
+		t.Fatalf("rates %v/%v, want 50/50", a.Rate(), b.Rate())
+	}
+}
+
+func TestWaterFillingThreeTiers(t *testing.T) {
+	r := NewResource("disk", 100)
+	a, _ := r.Submit(0, 1e6, 10)
+	b, _ := r.Submit(0, 1e6, 30)
+	c, _ := r.Submit(0, 1e6, 0)
+	// a=10, b=30, c gets 60.
+	if !almostEqual(a.Rate(), 10, 1e-6) || !almostEqual(b.Rate(), 30, 1e-6) || !almostEqual(c.Rate(), 60, 1e-6) {
+		t.Fatalf("rates %v/%v/%v", a.Rate(), b.Rate(), c.Rate())
+	}
+}
+
+func TestSetCapRebalances(t *testing.T) {
+	r := NewResource("disk", 100)
+	a, _ := r.Submit(0, 1000, 0)
+	b, _ := r.Submit(0, 1000, 0)
+	a.SetCap(r, 20)
+	if !almostEqual(a.Rate(), 20, 1e-6) || !almostEqual(b.Rate(), 80, 1e-6) {
+		t.Fatalf("rates after SetCap: %v/%v", a.Rate(), b.Rate())
+	}
+	// Stall a entirely: cap ≈ 0 — NextEvent must ignore it.
+	a.SetCap(r, 1e-12)
+	next, ok := r.NextEvent()
+	if !ok {
+		t.Fatal("no event with b still running")
+	}
+	r.Advance(next)
+	if !b.Done() || a.Done() {
+		t.Fatal("stalled job completed or running job did not")
+	}
+}
+
+func TestAdvancePartial(t *testing.T) {
+	r := NewResource("disk", 100)
+	j, _ := r.Submit(0, 1000, 0)
+	r.Advance(4)
+	if !almostEqual(j.Remaining(), 600, 1e-6) {
+		t.Fatalf("remaining %v after partial advance", j.Remaining())
+	}
+	if !almostEqual(j.Transferred(), 400, 1e-6) {
+		t.Fatalf("transferred %v", j.Transferred())
+	}
+}
+
+func TestInfiniteCapacity(t *testing.T) {
+	r := NewResource("pcie", 0)
+	j, _ := r.Submit(0, 1000, 50)
+	if !almostEqual(j.Rate(), 50, 1e-6) {
+		t.Fatalf("capped job on infinite resource: %v", j.Rate())
+	}
+	next, ok := r.NextEvent()
+	if !ok || !almostEqual(next, 20, 1e-6) {
+		t.Fatalf("completion %v", next)
+	}
+}
+
+func TestNegativeJobRejected(t *testing.T) {
+	r := NewResource("disk", 100)
+	if _, err := r.Submit(0, -5, 0); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestBackwardsAdvancePanics(t *testing.T) {
+	r := NewResource("disk", 100)
+	r.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Advance did not panic")
+		}
+	}()
+	r.Advance(5)
+}
+
+func TestZeroByteJobCompletesImmediately(t *testing.T) {
+	r := NewResource("disk", 100)
+	j, _ := r.Submit(0, 0, 0)
+	if !j.Done() {
+		// zero-byte jobs should be done at the first advance at latest
+		r.Advance(0)
+	}
+	r.Advance(0)
+	if !j.Done() {
+		t.Fatal("zero-byte job never completed")
+	}
+}
+
+// Aggregate conservation: total bytes drained can never exceed capacity×time.
+func TestConservation(t *testing.T) {
+	r := NewResource("disk", 100)
+	var jobs []*Job
+	for i := 0; i < 5; i++ {
+		j, _ := r.Submit(0, 300, 40)
+		jobs = append(jobs, j)
+	}
+	r.Advance(2) // at most 200 bytes total can have moved
+	var moved float64
+	for _, j := range jobs {
+		moved += j.Transferred()
+	}
+	if moved > 200+1e-6 {
+		t.Fatalf("moved %v bytes in 2s at 100 B/s", moved)
+	}
+	// And caps must also hold: 5×40 = 200 demand > 100 capacity ⇒ fair 20 each.
+	for i, j := range jobs {
+		if !almostEqual(j.Transferred(), 40, 1e-6) {
+			t.Fatalf("job %d moved %v, want 40", i, j.Transferred())
+		}
+	}
+}

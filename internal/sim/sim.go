@@ -1,0 +1,619 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pccheck/internal/perfmodel"
+	"pccheck/internal/workload"
+)
+
+// Config describes one simulated training run with checkpointing.
+type Config struct {
+	// Algo selects the checkpointing mechanism.
+	Algo perfmodel.Algorithm
+	// Model is the workload (checkpoint size, iteration time, nodes).
+	Model workload.Model
+	// Platform supplies the hardware constants.
+	Platform workload.Platform
+	// Interval is f, in iterations. Required unless Algo == Ideal.
+	Interval int
+	// Concurrent is N (PCcheck only; baselines are pinned to 1). Default 2.
+	Concurrent int
+	// Writers is p, parallel writer threads per checkpoint (PCcheck).
+	// Default 3.
+	Writers int
+	// Chunks is the pipeline depth: >1 overlaps the device→DRAM copy with
+	// persisting (Figure 7); 1 stages the whole checkpoint first. Default 4.
+	Chunks int
+	// DRAMBytes is M, the staging-memory budget. 0 ⇒ 2m (the paper's
+	// default, §5.2.1).
+	DRAMBytes int64
+	// Iterations is A. 0 picks a steady-state length automatically.
+	Iterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrent <= 0 {
+		c.Concurrent = 2
+	}
+	if c.Algo != perfmodel.PCcheck {
+		c.Concurrent = 1
+	}
+	if c.Writers <= 0 {
+		c.Writers = 3
+	}
+	if c.Chunks <= 0 {
+		c.Chunks = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 1
+	}
+	if c.DRAMBytes <= 0 {
+		c.DRAMBytes = 2 * c.Model.PartitionBytes()
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 40 * c.Interval * c.Concurrent
+		if c.Iterations < 400 {
+			c.Iterations = 400
+		}
+		if c.Iterations > 8000 {
+			c.Iterations = 8000
+		}
+	}
+	return c
+}
+
+// CheckpointRecord traces one checkpoint through the simulated pipeline.
+type CheckpointRecord struct {
+	// Iteration is the training step whose state the checkpoint holds.
+	Iteration int
+	// Start is when the snapshot was initiated (virtual seconds).
+	Start float64
+	// CopyEnd is when the device→DRAM copy finished.
+	CopyEnd float64
+	// PersistEnd is when the checkpoint became durable (for Gemini: fully
+	// received by the remote peer).
+	PersistEnd float64
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Runtime is the virtual wall time for all iterations, including
+	// waiting for the last checkpoint (the paper's trailing Tw term).
+	Runtime float64
+	// BaseRuntime is A·t, the no-checkpoint runtime.
+	BaseRuntime float64
+	// Throughput is iterations per second including checkpoint overhead.
+	Throughput float64
+	// Slowdown is Runtime/BaseRuntime (≥ 1).
+	Slowdown float64
+	// StallSeconds is the total time training was blocked on checkpointing.
+	StallSeconds float64
+	// Checkpoints traces every checkpoint.
+	Checkpoints []CheckpointRecord
+	// AvgPersist is the mean Start→PersistEnd latency (Figure 11/13's
+	// per-checkpoint time).
+	AvgPersist float64
+	// MeanLagIters is the expected number of iterations of lost work if a
+	// failure strikes at a uniformly random instant: E[completed(τ) −
+	// latestDurable(τ)].
+	MeanLagIters float64
+}
+
+// Run simulates the configured training run and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	t := cfg.Model.IterTimeOn(cfg.Platform).Seconds()
+	if t <= 0 {
+		return Result{}, fmt.Errorf("sim: %s does not run on platform %s", cfg.Model.Name, cfg.Platform.Name)
+	}
+	m := float64(cfg.Model.PartitionBytes())
+	if m <= 0 {
+		return Result{}, fmt.Errorf("sim: model %s has no checkpoint payload", cfg.Model.Name)
+	}
+	if cfg.Chunks == 1 && float64(cfg.DRAMBytes) < m {
+		return Result{}, fmt.Errorf("sim: non-pipelined staging needs a DRAM budget of at least one checkpoint (%v < %v)",
+			cfg.DRAMBytes, int64(m))
+	}
+	e := &engine{
+		cfg:   cfg,
+		t:     t,
+		m:     m,
+		pcie:  NewResource("pcie", cfg.Platform.PCIeBW),
+		store: NewResource("store", cfg.Platform.StorageWriteBW),
+		net:   NewResource("net", cfg.Platform.NetBW),
+		dramM: float64(cfg.DRAMBytes),
+	}
+	return e.run()
+}
+
+// simCkpt is one in-flight checkpoint inside the engine.
+type simCkpt struct {
+	rec        *CheckpointRecord
+	copyJob    *Job
+	persistJob *Job // on store (or net for Gemini); nil until started
+	copyDone   bool
+	done       bool
+	// pipelined checkpoints stage through DRAM chunks: the device→DRAM copy
+	// may lead the persist by at most `lead` bytes (the headroom the chunk
+	// pool had when the checkpoint started). Non-pipelined checkpoints hold
+	// a full m-byte buffer from copy start to persist end.
+	pipelined bool
+	lead      float64
+}
+
+type engine struct {
+	cfg   Config
+	t     float64
+	m     float64
+	now   float64
+	steps int64
+	pcie  *Resource
+	store *Resource
+	net   *Resource
+	dramM float64
+
+	active  []*simCkpt
+	records []CheckpointRecord
+	stall   float64
+
+	iterEnd []float64 // completion time of each iteration
+}
+
+func (e *engine) persistResource() *Resource {
+	if e.cfg.Algo == perfmodel.Gemini {
+		return e.net
+	}
+	return e.store
+}
+
+// persistCap is the per-checkpoint write-rate cap for the configured
+// mechanism.
+func (e *engine) persistCap() float64 {
+	switch e.cfg.Algo {
+	case perfmodel.PCcheck:
+		return float64(e.cfg.Writers) * e.cfg.Platform.PerThreadWriteBW
+	case perfmodel.CheckFreq, perfmodel.Traditional:
+		return workload.CheckFreqStreamFraction * e.cfg.Platform.StorageWriteBW
+	case perfmodel.GPM:
+		return workload.GPMStreamFraction * e.cfg.Platform.StorageWriteBW
+	case perfmodel.Gemini:
+		return 0 // the NIC itself is the limit
+	default:
+		return 0
+	}
+}
+
+func (e *engine) run() (Result, error) {
+	cfg := e.cfg
+	A := cfg.Iterations
+	e.iterEnd = make([]float64, 0, A)
+	for i := 0; i < A; i++ {
+		// Compute phase of iteration i.
+		if err := e.advanceTo(e.now + e.t); err != nil {
+			return Result{}, err
+		}
+		// Update gate: the weight update cannot overwrite state that an
+		// in-flight snapshot copy is still reading (§3.1's T→U stall).
+		if err := e.waitCopiesDone(); err != nil {
+			return Result{}, err
+		}
+		e.iterEnd = append(e.iterEnd, e.now)
+
+		if cfg.Algo == perfmodel.Ideal || (i+1)%cfg.Interval != 0 {
+			continue
+		}
+		if err := e.initiate(i + 1); err != nil {
+			return Result{}, err
+		}
+	}
+	// Trailing term: the run is not over until the last checkpoint lands.
+	if err := e.waitAll(); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Runtime:     e.now,
+		BaseRuntime: float64(A) * e.t,
+		Checkpoints: e.records,
+	}
+	res.Throughput = float64(A) / res.Runtime
+	res.Slowdown = res.Runtime / res.BaseRuntime
+	res.StallSeconds = e.stall
+	if n := len(e.records); n > 0 {
+		var sum float64
+		for _, r := range e.records {
+			sum += r.PersistEnd - r.Start
+		}
+		res.AvgPersist = sum / float64(n)
+	}
+	res.MeanLagIters = e.meanLag()
+	return res, nil
+}
+
+// initiate starts the checkpoint for the state after `iter` iterations,
+// blocking (stalling training) per the mechanism's admission rule.
+func (e *engine) initiate(iter int) error {
+	cfg := e.cfg
+	before := e.now
+	switch cfg.Algo {
+	case perfmodel.Traditional:
+		// Fully synchronous: copy, then persist, training blocked.
+		if err := e.startCheckpoint(iter, false); err != nil {
+			return err
+		}
+		if err := e.waitAll(); err != nil {
+			return err
+		}
+	case perfmodel.GPM:
+		// Direct device→storage persist, training blocked throughout; no
+		// DRAM staging and no separate copy phase.
+		rec := &CheckpointRecord{Iteration: iter, Start: e.now}
+		job, err := e.store.Submit(e.now, e.m, e.persistCap())
+		if err != nil {
+			return err
+		}
+		ck := &simCkpt{rec: rec, persistJob: job, copyDone: true}
+		rec.CopyEnd = e.now
+		e.active = append(e.active, ck)
+		if err := e.waitAll(); err != nil {
+			return err
+		}
+	case perfmodel.CheckFreq, perfmodel.Gemini:
+		// One in flight: wait for the previous checkpoint to finish fully.
+		if err := e.waitInflightBelow(1); err != nil {
+			return err
+		}
+		if err := e.startCheckpoint(iter, false); err != nil {
+			return err
+		}
+		if cfg.Algo == perfmodel.Gemini {
+			// Checkpoint traffic contends with the training job's own
+			// pipeline-parallel exchange on the shared NIC; on a 15 Gbps
+			// network that interference directly slows training
+			// (§2.2/§5.2.1). Modelled as a per-checkpoint stall calibrated
+			// by workload.GeminiInterferenceFraction.
+			stall := e.m / (workload.GeminiInterferenceFraction * e.cfg.Platform.NetBW)
+			if err := e.advanceTo(e.now + stall); err != nil {
+				return err
+			}
+		}
+	case perfmodel.PCcheck:
+		// Up to N in flight; block only when all slots are busy.
+		if err := e.waitInflightBelow(cfg.Concurrent); err != nil {
+			return err
+		}
+		if err := e.startCheckpoint(iter, cfg.Chunks > 1); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("sim: cannot simulate algorithm %v", cfg.Algo)
+	}
+	e.stall += e.now - before
+	return nil
+}
+
+// startCheckpoint launches the snapshot copy (and, if pipelined, the persist
+// alongside it). For non-pipelined mechanisms the persist starts when the
+// copy completes (handled in processEvents).
+//
+// The DRAM budget enters as a copy *lead*: a pipelined checkpoint may have
+// at most `lead` bytes staged-but-unpersisted, where lead is the chunk
+// pool's headroom when it starts (at least one chunk, at most m). The fast
+// PCIe phase moves the first `lead` bytes; the remainder is admitted as the
+// persist drains (§3.2: "when all CPU memory chunks are occupied, upcoming
+// checkpoints need to wait for free chunks"). Non-pipelined staging needs a
+// full m-byte buffer before the copy can begin.
+func (e *engine) startCheckpoint(iter int, pipelined bool) error {
+	rec := &CheckpointRecord{Iteration: iter, Start: e.now}
+	ck := &simCkpt{rec: rec, pipelined: pipelined}
+	if pipelined {
+		chunk := e.m / float64(e.cfg.Chunks)
+		lead := e.dramM - e.dramHeld()
+		if lead < chunk {
+			lead = chunk
+		}
+		if lead > e.m {
+			lead = e.m
+		}
+		ck.lead = lead
+		copyJob, err := e.pcie.Submit(e.now, lead, 0)
+		if err != nil {
+			return err
+		}
+		ck.copyJob = copyJob
+		job, err := e.persistResource().Submit(e.now, e.m, e.persistCap())
+		if err != nil {
+			return err
+		}
+		ck.persistJob = job
+	} else {
+		// Whole-checkpoint staging: wait until a full buffer fits in the
+		// DRAM budget, then copy everything before persisting. CheckFreq,
+		// Traditional and Gemini snapshot through pageable memory at a
+		// fraction of the pinned-DMA rate (workload.CheckFreqCopyFraction).
+		if err := e.waitDRAMFree(e.m); err != nil {
+			return err
+		}
+		rec.Start = e.now
+		ck.lead = e.m
+		copyCap := 0.0
+		switch e.cfg.Algo {
+		case perfmodel.CheckFreq, perfmodel.Traditional, perfmodel.Gemini:
+			copyCap = workload.CheckFreqCopyFraction * e.cfg.Platform.PCIeBW
+		}
+		copyJob, err := e.pcie.Submit(e.now, e.m, copyCap)
+		if err != nil {
+			return err
+		}
+		ck.copyJob = copyJob
+	}
+	e.active = append(e.active, ck)
+	return nil
+}
+
+// waitDRAMFree stalls until `need` bytes of staging memory are available.
+func (e *engine) waitDRAMFree(need float64) error {
+	for e.dramM-e.dramHeld() < need-byteEps {
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- event loop -------------------------------------------------------------
+
+// nextEvent returns the earliest upcoming resource completion or
+// copy-admission threshold (a pipelined checkpoint whose staging completes
+// when its persist has drained m−lead bytes).
+func (e *engine) nextEvent() (float64, bool) {
+	best := math.Inf(1)
+	for _, r := range []*Resource{e.pcie, e.store, e.net} {
+		if t, ok := r.NextEvent(); ok && t < best {
+			best = t
+		}
+	}
+	for _, ck := range e.active {
+		if t, ok := e.copyAdmissionTime(ck); ok && t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// copyAdmissionTime predicts when a pipelined checkpoint's staging finishes:
+// its PCIe phase is done and the persist has drained all but `lead` bytes.
+func (e *engine) copyAdmissionTime(ck *simCkpt) (float64, bool) {
+	if !ck.pipelined || ck.copyDone || ck.copyJob == nil || !ck.copyJob.Done() {
+		return 0, false
+	}
+	if ck.persistJob == nil {
+		return 0, false
+	}
+	need := (e.m - ck.lead) - ck.persistJob.Transferred()
+	if need <= byteEps {
+		return e.now, true
+	}
+	rate := ck.persistJob.Rate()
+	if rate <= eps {
+		return 0, false
+	}
+	return e.now + need/rate, true
+}
+
+// advanceTo moves virtual time to target, processing events on the way.
+func (e *engine) advanceTo(target float64) error {
+	for {
+		next, ok := e.nextEvent()
+		if !ok || next >= target-eps {
+			e.advanceResources(target)
+			e.processEvents()
+			return nil
+		}
+		e.advanceResources(next)
+		e.processEvents()
+	}
+}
+
+// step advances to the next event; it errors if nothing can ever happen
+// (deadlock guard).
+func (e *engine) step() error {
+	next, ok := e.nextEvent()
+	if !ok {
+		return fmt.Errorf("sim: deadlock at t=%v: waiting with no pending events", e.now)
+	}
+	e.steps++
+	if e.steps > 1_000_000 {
+		msg := fmt.Sprintf("sim: runaway event loop at t=%v next=%v (dt=%g)\n", e.now, next, next-e.now)
+		for i, ck := range e.active {
+			msg += fmt.Sprintf("ck%d iter=%d copyDone=%v done=%v lead=%g", i, ck.rec.Iteration, ck.copyDone, ck.done, ck.lead)
+			if ck.copyJob != nil {
+				msg += fmt.Sprintf(" copy[rem=%g rate=%g done=%v]", ck.copyJob.Remaining(), ck.copyJob.Rate(), ck.copyJob.Done())
+			}
+			if ck.persistJob != nil {
+				msg += fmt.Sprintf(" persist[rem=%g rate=%g done=%v]", ck.persistJob.Remaining(), ck.persistJob.Rate(), ck.persistJob.Done())
+			}
+			if at, ok := e.copyAdmissionTime(ck); ok {
+				msg += fmt.Sprintf(" admission=%v", at)
+			}
+			msg += "\n"
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	e.advanceResources(next)
+	e.processEvents()
+	return nil
+}
+
+func (e *engine) advanceResources(to float64) {
+	e.pcie.Advance(to)
+	e.store.Advance(to)
+	e.net.Advance(to)
+	e.now = to
+}
+
+// processEvents reacts to completions: copy→persist transitions, checkpoint
+// completion, DRAM cap refresh.
+func (e *engine) processEvents() {
+	remaining := e.active[:0]
+	for _, ck := range e.active {
+		if !ck.copyDone && (ck.copyJob == nil || ck.copyJob.Done()) {
+			staged := true
+			if ck.pipelined && ck.persistJob != nil && ck.lead < e.m {
+				// Staging is complete only once the persist has drained all
+				// but `lead` bytes (the pool can hold the rest).
+				staged = ck.persistJob.Transferred() >= (e.m-ck.lead)-byteEps
+			}
+			if staged {
+				ck.copyDone = true
+				ck.rec.CopyEnd = e.now
+				if ck.persistJob == nil {
+					// Non-pipelined: persist starts now.
+					job, err := e.persistResource().Submit(e.now, e.m, e.persistCap())
+					if err == nil {
+						ck.persistJob = job
+					}
+				}
+			}
+		}
+		if !ck.done && ck.copyDone && ck.persistJob != nil && ck.persistJob.Done() {
+			ck.done = true
+			ck.rec.PersistEnd = e.now
+			e.records = append(e.records, *ck.rec)
+			continue
+		}
+		remaining = append(remaining, ck)
+	}
+	e.active = remaining
+}
+
+// waitCopiesDone stalls until no snapshot copy is in flight (the update
+// gate).
+func (e *engine) waitCopiesDone() error {
+	before := e.now
+	for {
+		busy := false
+		for _, ck := range e.active {
+			if !ck.copyDone {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			e.stall += e.now - before
+			return nil
+		}
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+}
+
+// waitInflightBelow stalls until fewer than limit checkpoints are active.
+func (e *engine) waitInflightBelow(limit int) error {
+	for len(e.active) >= limit {
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitAll stalls until every checkpoint has fully persisted.
+func (e *engine) waitAll() error {
+	for len(e.active) > 0 {
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- DRAM accounting ----------------------------------------------------------
+
+// dramHeld returns the staging-memory occupancy: pipelined checkpoints hold
+// at most their lead (staged-but-unpersisted bytes); non-pipelined ones hold
+// a full buffer from copy start to persist end. GPM holds nothing (no DRAM
+// staging).
+func (e *engine) dramHeld() float64 {
+	var held float64
+	for _, ck := range e.active {
+		if ck.copyJob == nil {
+			continue // GPM: direct path
+		}
+		if !ck.pipelined {
+			held += e.m
+			continue
+		}
+		copied := ck.copyJob.Transferred()
+		if ck.copyJob.Done() && ck.persistJob != nil {
+			// Phase 2: admission keeps exactly `lead` bytes staged (or the
+			// unpersisted remainder if smaller).
+			copied = ck.persistJob.Transferred() + ck.lead
+			if copied > e.m {
+				copied = e.m
+			}
+		}
+		var persisted float64
+		if ck.persistJob != nil {
+			persisted = ck.persistJob.Transferred()
+		}
+		if d := copied - persisted; d > 0 {
+			held += d
+		}
+	}
+	return held
+}
+
+// --- lag ---------------------------------------------------------------------
+
+// meanLag computes E[completed(τ) − latestDurable(τ)] for τ uniform over the
+// run: how much work a failure at a random instant destroys.
+func (e *engine) meanLag() float64 {
+	if len(e.iterEnd) == 0 {
+		return 0
+	}
+	type persistEvent struct {
+		t    float64
+		iter int
+	}
+	events := make([]persistEvent, 0, len(e.records))
+	for _, r := range e.records {
+		events = append(events, persistEvent{r.PersistEnd, r.Iteration})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+
+	// Walk iteration completions; for each, find the newest durable
+	// iteration at that instant. latestDurable is monotone because
+	// counters published out of order still only advance the maximum.
+	latest := 0
+	idx := 0
+	maxIter := 0
+	var weighted float64
+	var prevT float64
+	for i, tEnd := range e.iterEnd {
+		for idx < len(events) && events[idx].t <= tEnd {
+			if events[idx].iter > maxIter {
+				maxIter = events[idx].iter
+			}
+			idx++
+		}
+		latest = maxIter
+		lag := float64(i + 1 - latest)
+		if lag < 0 {
+			lag = 0
+		}
+		weighted += lag * (tEnd - prevT)
+		prevT = tEnd
+	}
+	if prevT == 0 {
+		return 0
+	}
+	return weighted / prevT
+}

@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// Op identifies a Device operation for fault injection.
+type Op int
+
+// Device operations that can be made to fail.
+const (
+	OpWrite Op = iota
+	OpRead
+	OpSync
+	OpPersist
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpSync:
+		return "sync"
+	case OpPersist:
+		return "persist"
+	default:
+		return "op?"
+	}
+}
+
+// ErrInjected is the default error returned by injected faults.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultDevice wraps a Device and injects failures at programmed points —
+// the disk-error half of failure testing (the pmem package covers power
+// loss). Faults fire on the n-th subsequent call of the given operation;
+// torn writes persist only a prefix of the payload before failing, the way
+// a real device can fail mid-I/O.
+type FaultDevice struct {
+	inner Device
+
+	mu       sync.Mutex
+	arm      map[Op]*faultPlan
+	opCounts map[Op]int64
+}
+
+type faultPlan struct {
+	after    int64 // fire on the call when count reaches this value
+	err      error
+	tearFrac float64 // for OpWrite: fraction of the payload written before failing
+	fired    bool
+}
+
+// NewFaultDevice wraps inner.
+func NewFaultDevice(inner Device) *FaultDevice {
+	return &FaultDevice{
+		inner:    inner,
+		arm:      make(map[Op]*faultPlan),
+		opCounts: make(map[Op]int64),
+	}
+}
+
+// FailAfter arms op to fail with err on its n-th next invocation (n = 1
+// fails the very next call). A nil err uses ErrInjected. Re-arming replaces
+// the previous plan for that op.
+func (d *FaultDevice) FailAfter(op Op, n int64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	d.mu.Lock()
+	d.arm[op] = &faultPlan{after: d.opCounts[op] + n, err: err}
+	d.mu.Unlock()
+}
+
+// TearNextWrite arms the next WriteAt to persist only frac of its payload
+// and then fail — a torn write.
+func (d *FaultDevice) TearNextWrite(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	d.mu.Lock()
+	d.arm[OpWrite] = &faultPlan{after: d.opCounts[OpWrite] + 1, err: ErrInjected, tearFrac: frac}
+	d.mu.Unlock()
+}
+
+// Clear disarms every pending fault.
+func (d *FaultDevice) Clear() {
+	d.mu.Lock()
+	d.arm = make(map[Op]*faultPlan)
+	d.mu.Unlock()
+}
+
+// Fired reports whether the plan armed for op has triggered.
+func (d *FaultDevice) Fired(op Op) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.arm[op]
+	return p != nil && p.fired
+}
+
+// check advances op's counter and returns the armed plan if it fires now.
+func (d *FaultDevice) check(op Op) *faultPlan {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.opCounts[op]++
+	p := d.arm[op]
+	if p == nil || p.fired || d.opCounts[op] < p.after {
+		return nil
+	}
+	p.fired = true
+	return p
+}
+
+// WriteAt implements Device.
+func (d *FaultDevice) WriteAt(p []byte, off int64) error {
+	if plan := d.check(OpWrite); plan != nil {
+		if plan.tearFrac > 0 {
+			n := int(float64(len(p)) * plan.tearFrac)
+			if n > 0 {
+				// Best effort prefix write, then the failure.
+				_ = d.inner.WriteAt(p[:n], off)
+			}
+		}
+		return plan.err
+	}
+	return d.inner.WriteAt(p, off)
+}
+
+// ReadAt implements Device.
+func (d *FaultDevice) ReadAt(p []byte, off int64) error {
+	if plan := d.check(OpRead); plan != nil {
+		return plan.err
+	}
+	return d.inner.ReadAt(p, off)
+}
+
+// Sync implements Device.
+func (d *FaultDevice) Sync(off, n int64) error {
+	if plan := d.check(OpSync); plan != nil {
+		return plan.err
+	}
+	return d.inner.Sync(off, n)
+}
+
+// Persist implements Device.
+func (d *FaultDevice) Persist(p []byte, off int64) error {
+	if plan := d.check(OpPersist); plan != nil {
+		return plan.err
+	}
+	return d.inner.Persist(p, off)
+}
+
+// Size implements Device.
+func (d *FaultDevice) Size() int64 { return d.inner.Size() }
+
+// Kind implements Device.
+func (d *FaultDevice) Kind() Kind { return d.inner.Kind() }
+
+// Close implements io.Closer.
+func (d *FaultDevice) Close() error { return d.inner.Close() }
+
+var _ Device = (*FaultDevice)(nil)

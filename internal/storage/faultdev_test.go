@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFaultDevicePassThrough(t *testing.T) {
+	d := NewFaultDevice(NewRAM(1024))
+	if d.Size() != 1024 || d.Kind() != KindRAM {
+		t.Fatal("metadata not forwarded")
+	}
+	if err := d.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("got %q", got)
+	}
+	if err := d.Sync(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Persist([]byte("x"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailAfterCountsCalls(t *testing.T) {
+	d := NewFaultDevice(NewRAM(1024))
+	custom := errors.New("disk on fire")
+	d.FailAfter(OpWrite, 3, custom)
+	for i := 0; i < 2; i++ {
+		if err := d.WriteAt([]byte("ok"), 0); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	if err := d.WriteAt([]byte("boom"), 0); !errors.Is(err, custom) {
+		t.Fatalf("3rd write err = %v", err)
+	}
+	if !d.Fired(OpWrite) {
+		t.Fatal("Fired not reported")
+	}
+	// One-shot: subsequent writes succeed again.
+	if err := d.WriteAt([]byte("ok"), 0); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+}
+
+func TestFailAfterDefaultsToErrInjected(t *testing.T) {
+	d := NewFaultDevice(NewRAM(64))
+	d.FailAfter(OpSync, 1, nil)
+	if err := d.Sync(0, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	d.FailAfter(OpPersist, 1, nil)
+	if err := d.Persist([]byte("x"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("persist err = %v", err)
+	}
+	d.FailAfter(OpRead, 1, nil)
+	if err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v", err)
+	}
+}
+
+func TestTearNextWritePersistsPrefix(t *testing.T) {
+	ram := NewRAM(64)
+	d := NewFaultDevice(ram)
+	d.TearNextWrite(0.5)
+	payload := bytes.Repeat([]byte{0xAB}, 16)
+	if err := d.WriteAt(payload, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	got := make([]byte, 16)
+	if err := ram.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if got[i] != 0xAB {
+			t.Fatalf("prefix byte %d missing", i)
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if got[i] != 0 {
+			t.Fatalf("suffix byte %d written despite tear", i)
+		}
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	d := NewFaultDevice(NewRAM(64))
+	d.FailAfter(OpWrite, 1, nil)
+	d.Clear()
+	if err := d.WriteAt([]byte("fine"), 0); err != nil {
+		t.Fatalf("cleared fault fired: %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpWrite.String() != "write" || OpSync.String() != "sync" || Op(99).String() != "op?" {
+		t.Fatal("Op strings wrong")
+	}
+}

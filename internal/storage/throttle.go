@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"sync"
+	"time"
+)
+
+// Throttle paces a byte stream to a fixed bandwidth. It is a virtual-time
+// pacer: each Acquire reserves the next slot on a single serial timeline, so
+// the aggregate throughput of any number of concurrent callers converges to
+// BytesPerSec — exactly how a storage device's internal bandwidth behaves
+// when several writer threads contend for it (§5.4.1–§5.4.2 of the paper).
+//
+// Two levels of pacing reproduce the paper's parallel-writer effect:
+//
+//   - a device-level Throttle shared by everyone caps total bandwidth
+//     (attached to the Device via WithSSDThrottle / WithPMEMThrottle);
+//   - each writer goroutine additionally paces itself through its own
+//     Throttle at the per-thread issue rate (created by the engine, one per
+//     writer), so that a single thread cannot saturate the device and p
+//     parallel writers genuinely help until the device cap binds.
+type Throttle struct {
+	mu          sync.Mutex
+	bytesPerSec float64
+	nextFree    time.Time
+}
+
+// NewThrottle returns a pacer capped at bytesPerSec. A non-positive rate
+// disables pacing, as does a nil *Throttle.
+func NewThrottle(bytesPerSec float64) *Throttle {
+	return &Throttle{bytesPerSec: bytesPerSec}
+}
+
+// Acquire blocks until n bytes' worth of bandwidth is available.
+func (t *Throttle) Acquire(n int) {
+	deadline := t.Reserve(n)
+	if wait := time.Until(deadline); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Reserve books n bytes on the pacing timeline and returns the instant the
+// transfer would complete, without sleeping. Callers that are paced by two
+// throttles at once (a per-writer lane and the device) reserve one and
+// Acquire the other, then sleep to the later deadline — the two capacities
+// overlap instead of adding up, giving the stream min(laneBW, deviceShare)
+// as on real hardware. A nil or unpaced throttle returns the zero time.
+func (t *Throttle) Reserve(n int) time.Time {
+	if t == nil || t.bytesPerSec <= 0 || n <= 0 {
+		return time.Time{}
+	}
+	d := time.Duration(float64(n) / t.bytesPerSec * float64(time.Second))
+	t.mu.Lock()
+	now := time.Now()
+	start := t.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	t.nextFree = start.Add(d)
+	deadline := t.nextFree
+	t.mu.Unlock()
+	return deadline
+}
+
+// Rate returns the configured bandwidth in bytes per second (0 when pacing
+// is disabled or t is nil).
+func (t *Throttle) Rate() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytesPerSec
+}

@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 64, 128)
+	w := Randn(rng, 1, 128, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 1, 128, 64)
+	g := Randn(rng, 1, 128, 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMulTransA(x, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	t := Randn(rand.New(rand.NewSource(3)), 1, 256, 256)
+	buf := make([]byte, t.EncodedSize())
+	b.SetBytes(int64(t.Bytes()))
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Encode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	t := Randn(rand.New(rand.NewSource(4)), 1, 256, 256)
+	buf := make([]byte, t.EncodedSize())
+	if _, err := t.Encode(buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(t.Bytes()))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

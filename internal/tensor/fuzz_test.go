@@ -1,0 +1,43 @@
+package tensor
+
+import "testing"
+
+// FuzzDecode: arbitrary bytes must never panic the codec, and anything it
+// accepts must re-encode to an identical frame (decode∘encode = id on the
+// accepted set).
+func FuzzDecode(f *testing.F) {
+	orig := New(3, 5)
+	for i := range orig.Data() {
+		orig.Data()[i] = float32(i)
+	}
+	buf := make([]byte, orig.EncodedSize())
+	if _, err := orig.Encode(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add([]byte{0x4e, 0x54, 0x43, 0x50})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tt, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		re := make([]byte, tt.EncodedSize())
+		m, err := tt.Encode(re)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if m != n {
+			t.Fatalf("re-encoded %d bytes, decoded %d", m, n)
+		}
+		for i := 0; i < n; i++ {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes c = a·b for 2-D tensors, allocating the result.
+// a is (m×k), b is (k×n), the result is (m×n).
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMul needs 2-d operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dims %d != %d", k, k2)
+	}
+	c := New(m, n)
+	// ikj loop order keeps the b row hot in cache.
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		ci := c.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := ai[kk]
+			if av == 0 {
+				continue
+			}
+			bk := b.data[kk*n : (kk+1)*n]
+			for j := range bk {
+				ci[j] += av * bk[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulTransB computes c = a·bᵀ. a is (m×k), b is (n×k), result is (m×n).
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMulTransB needs 2-d operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMulTransB inner dims %d != %d", k, k2)
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			var s float32
+			for kk := range ai {
+				s += ai[kk] * bj[kk]
+			}
+			c.data[i*n+j] = s
+		}
+	}
+	return c, nil
+}
+
+// MatMulTransA computes c = aᵀ·b. a is (k×m), b is (k×n), result is (m×n).
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMulTransA needs 2-d operands, got %v and %v", a.shape, b.shape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMulTransA inner dims %d != %d", k, k2)
+	}
+	c := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		ak := a.data[kk*m : (kk+1)*m]
+		bk := b.data[kk*n : (kk+1)*n]
+		for i, av := range ak {
+			if av == 0 {
+				continue
+			}
+			ci := c.data[i*n : (i+1)*n]
+			for j, bv := range bk {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c, nil
+}
+
+// AddInPlace computes t += u element-wise.
+func (t *Tensor) AddInPlace(u *Tensor) error {
+	if len(t.data) != len(u.data) {
+		return fmt.Errorf("tensor: add volume mismatch %d != %d", len(t.data), len(u.data))
+	}
+	for i := range t.data {
+		t.data[i] += u.data[i]
+	}
+	return nil
+}
+
+// AddRowInPlace adds row (length n) to every row of the (m×n) tensor t.
+func (t *Tensor) AddRowInPlace(row *Tensor) error {
+	if len(t.shape) != 2 {
+		return fmt.Errorf("tensor: AddRowInPlace needs a 2-d receiver, got %v", t.shape)
+	}
+	n := t.shape[1]
+	if len(row.data) != n {
+		return fmt.Errorf("tensor: row length %d != %d", len(row.data), n)
+	}
+	for i := 0; i < t.shape[0]; i++ {
+		ri := t.data[i*n : (i+1)*n]
+		for j := range ri {
+			ri[j] += row.data[j]
+		}
+	}
+	return nil
+}
+
+// ScaleInPlace computes t *= s element-wise.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AXPYInPlace computes t += alpha·u element-wise.
+func (t *Tensor) AXPYInPlace(alpha float32, u *Tensor) error {
+	if len(t.data) != len(u.data) {
+		return fmt.Errorf("tensor: axpy volume mismatch %d != %d", len(t.data), len(u.data))
+	}
+	for i := range t.data {
+		t.data[i] += alpha * u.data[i]
+	}
+	return nil
+}
+
+// ReLUInPlace applies max(0, x) element-wise.
+func (t *Tensor) ReLUInPlace() {
+	for i, v := range t.data {
+		if v < 0 {
+			t.data[i] = 0
+		}
+	}
+}
+
+// ReLUBackwardInPlace zeroes grad where act ≤ 0 (act is the post-ReLU
+// activation).
+func ReLUBackwardInPlace(grad, act *Tensor) error {
+	if len(grad.data) != len(act.data) {
+		return fmt.Errorf("tensor: relu backward volume mismatch %d != %d", len(grad.data), len(act.data))
+	}
+	for i := range grad.data {
+		if act.data[i] <= 0 {
+			grad.data[i] = 0
+		}
+	}
+	return nil
+}
+
+// SumRows reduces an (m×n) tensor to a length-n row by summing over rows.
+func SumRows(t *Tensor) (*Tensor, error) {
+	if len(t.shape) != 2 {
+		return nil, fmt.Errorf("tensor: SumRows needs a 2-d operand, got %v", t.shape)
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		ri := t.data[i*n : (i+1)*n]
+		for j := range ri {
+			out.data[j] += ri[j]
+		}
+	}
+	return out, nil
+}
+
+// SoftmaxCrossEntropy computes softmax + cross-entropy loss against integer
+// labels and writes dLogits (softmax − onehot)/batch into grad. logits is
+// (batch×classes); labels has batch entries. It returns the mean loss.
+func SoftmaxCrossEntropy(logits *Tensor, labels []int, grad *Tensor) (float64, error) {
+	if len(logits.shape) != 2 {
+		return 0, fmt.Errorf("tensor: SoftmaxCrossEntropy needs 2-d logits, got %v", logits.shape)
+	}
+	batch, classes := logits.shape[0], logits.shape[1]
+	if len(labels) != batch {
+		return 0, fmt.Errorf("tensor: %d labels for batch %d", len(labels), batch)
+	}
+	if len(grad.data) != len(logits.data) {
+		return 0, fmt.Errorf("tensor: grad volume mismatch")
+	}
+	var loss float64
+	inv := 1 / float32(batch)
+	for i := 0; i < batch; i++ {
+		row := logits.data[i*classes : (i+1)*classes]
+		grow := grad.data[i*classes : (i+1)*classes]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			grow[j] = float32(e)
+			sum += e
+		}
+		label := labels[i]
+		if label < 0 || label >= classes {
+			return 0, fmt.Errorf("tensor: label %d out of range [0,%d)", label, classes)
+		}
+		for j := range grow {
+			p := grow[j] / float32(sum)
+			grow[j] = p * inv
+			if j == label {
+				grow[j] -= inv
+				loss += -math.Log(math.Max(float64(p), 1e-12))
+			}
+		}
+	}
+	return loss / float64(batch), nil
+}
+
+// L2Norm returns the Euclidean norm of the tensor.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,427 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tt := New(2, 3, 4)
+	if got := tt.Len(); got != 24 {
+		t.Fatalf("Len = %d, want 24", got)
+	}
+	if got := tt.Bytes(); got != 96 {
+		t.Fatalf("Bytes = %d, want 96", got)
+	}
+	if s := tt.Shape(); len(s) != 3 || s[0] != 2 || s[1] != 3 || s[2] != 4 {
+		t.Fatalf("Shape = %v", s)
+	}
+}
+
+func TestScalar(t *testing.T) {
+	s := New()
+	if s.Len() != 1 {
+		t.Fatalf("scalar Len = %d, want 1", s.Len())
+	}
+	s.Set(3.5)
+	if s.At() != 3.5 {
+		t.Fatalf("scalar At = %v", s.At())
+	}
+}
+
+func TestZeroDim(t *testing.T) {
+	z := New(0, 5)
+	if z.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", z.Len())
+	}
+}
+
+func TestNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	tt, err := FromSlice(d, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", tt.At(1, 2))
+	}
+	if _, err := FromSlice(d, 2, 2); err == nil {
+		t.Fatal("FromSlice with wrong volume should error")
+	}
+	if _, err := FromSlice(d, -2, -3); err == nil {
+		t.Fatal("FromSlice with negative dims should error")
+	}
+}
+
+func TestAtSetRowMajor(t *testing.T) {
+	tt := New(2, 3)
+	tt.Set(42, 1, 2)
+	if tt.Data()[5] != 42 {
+		t.Fatalf("row-major offset wrong: %v", tt.Data())
+	}
+	if tt.At(1, 2) != 42 {
+		t.Fatalf("At(1,2) = %v", tt.At(1, 2))
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	tt := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	tt.At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(4)
+	a.Set(1, 0)
+	b := a.Clone()
+	b.Set(9, 0)
+	if a.At(0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("Clone not Equal to original")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if New(2, 3).Equal(New(3, 2)) {
+		t.Fatal("different shapes reported Equal")
+	}
+	if New(2).Equal(New(2, 1)) {
+		t.Fatal("different ndim reported Equal")
+	}
+}
+
+func TestEqualNaN(t *testing.T) {
+	a := New(1)
+	b := New(1)
+	a.Set(float32(math.NaN()), 0)
+	b.Set(float32(math.NaN()), 0)
+	if !a.Equal(b) {
+		t.Fatal("bit-identical NaNs should be Equal")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range [][]int{{}, {1}, {7}, {3, 5}, {2, 3, 4}} {
+		orig := Randn(rng, 1.0, shape...)
+		buf := make([]byte, orig.EncodedSize())
+		n, err := orig.Encode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != orig.EncodedSize() {
+			t.Fatalf("Encode wrote %d, EncodedSize says %d", n, orig.EncodedSize())
+		}
+		got, consumed, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", shape, err)
+		}
+		if consumed != n {
+			t.Fatalf("Decode consumed %d, want %d", consumed, n)
+		}
+		if !got.Equal(orig) {
+			t.Fatalf("round trip mismatch for shape %v", shape)
+		}
+	}
+}
+
+func TestWriteToReadFromRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig := Randn(rng, 0.5, 17, 3)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Fatal("stream round trip mismatch")
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	orig := Randn(rand.New(rand.NewSource(3)), 1.0, 16)
+	buf := make([]byte, orig.EncodedSize())
+	if _, err := orig.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit.
+	buf[12] ^= 0x10
+	if _, _, err := Decode(buf); err != ErrChecksum {
+		t.Fatalf("Decode of corrupted payload: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	if _, _, err := Decode(make([]byte, 64)); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	orig := Randn(rand.New(rand.NewSource(4)), 1.0, 8)
+	buf := make([]byte, orig.EncodedSize())
+	if _, err := orig.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 7, 9, len(buf) - 1} {
+		if _, _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("Decode of %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestEncodeBufferTooSmall(t *testing.T) {
+	tt := New(8)
+	if _, err := tt.Encode(make([]byte, 4)); err == nil {
+		t.Fatal("Encode into tiny buffer should error")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b, _ := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data()[i], w)
+		}
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := MatMul(a, b); err == nil {
+		t.Fatal("MatMul with mismatched inner dims should error")
+	}
+	if _, err := MatMul(New(6), b); err == nil {
+		t.Fatal("MatMul with 1-d operand should error")
+	}
+}
+
+func TestMatMulTransBMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Randn(rng, 1, 4, 6)
+	b := Randn(rng, 1, 6, 3)
+	want, _ := MatMul(a, b)
+	// bT is (3×6); MatMulTransB(a, bT) should equal a·b.
+	bT := New(3, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			bT.Set(b.At(i, j), j, i)
+		}
+	}
+	got, err := MatMulTransB(a, bT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data() {
+		if diff := math.Abs(float64(want.Data()[i] - got.Data()[i])); diff > 1e-4 {
+			t.Fatalf("TransB mismatch at %d: %v vs %v", i, want.Data()[i], got.Data()[i])
+		}
+	}
+}
+
+func TestMatMulTransAMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Randn(rng, 1, 4, 6)
+	b := Randn(rng, 1, 4, 3)
+	// aT is (6×4); MatMulTransA(a, b) = aᵀ·b, same as MatMul(aT, b).
+	aT := New(6, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			aT.Set(a.At(i, j), j, i)
+		}
+	}
+	want, _ := MatMul(aT, b)
+	got, err := MatMulTransA(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data() {
+		if diff := math.Abs(float64(want.Data()[i] - got.Data()[i])); diff > 1e-4 {
+			t.Fatalf("TransA mismatch at %d: %v vs %v", i, want.Data()[i], got.Data()[i])
+		}
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a, _ := FromSlice([]float32{1, -2, 3}, 3)
+	b, _ := FromSlice([]float32{10, 20, 30}, 3)
+	if err := a.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1) != 18 {
+		t.Fatalf("AddInPlace: %v", a.Data())
+	}
+	a.ScaleInPlace(2)
+	if a.At(0) != 22 {
+		t.Fatalf("ScaleInPlace: %v", a.Data())
+	}
+	if err := a.AXPYInPlace(-1, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0) != 12 {
+		t.Fatalf("AXPYInPlace: %v", a.Data())
+	}
+	a.Zero()
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	a, _ := FromSlice([]float32{-1, 0, 2}, 3)
+	a.ReLUInPlace()
+	want := []float32{0, 0, 2}
+	for i, w := range want {
+		if a.At(i) != w {
+			t.Fatalf("ReLU: %v", a.Data())
+		}
+	}
+	grad, _ := FromSlice([]float32{5, 5, 5}, 3)
+	if err := ReLUBackwardInPlace(grad, a); err != nil {
+		t.Fatal(err)
+	}
+	if grad.At(0) != 0 || grad.At(1) != 0 || grad.At(2) != 5 {
+		t.Fatalf("ReLUBackward: %v", grad.Data())
+	}
+}
+
+func TestSumRowsAndAddRow(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	s, err := SumRows(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{5, 7, 9}
+	for i, w := range want {
+		if s.At(i) != w {
+			t.Fatalf("SumRows: %v", s.Data())
+		}
+	}
+	row, _ := FromSlice([]float32{10, 20, 30}, 3)
+	if err := a.AddRowInPlace(row); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 2) != 36 {
+		t.Fatalf("AddRowInPlace: %v", a.Data())
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits, _ := FromSlice([]float32{2, 0, 0, 0, 3, 0}, 2, 3)
+	grad := New(2, 3)
+	loss, err := SoftmaxCrossEntropy(logits, []int{0, 1}, grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("loss = %v", loss)
+	}
+	// Gradient rows must each sum to ~0 (softmax minus one-hot).
+	for i := 0; i < 2; i++ {
+		var s float64
+		for j := 0; j < 3; j++ {
+			s += float64(grad.At(i, j))
+		}
+		if math.Abs(s) > 1e-5 {
+			t.Fatalf("grad row %d sums to %v, want 0", i, s)
+		}
+	}
+	// Confident correct logit ⇒ negative gradient on the label entry.
+	if grad.At(0, 0) >= 0 {
+		t.Fatalf("grad at label should be negative, got %v", grad.At(0, 0))
+	}
+}
+
+func TestSoftmaxCrossEntropyErrors(t *testing.T) {
+	logits := New(2, 3)
+	grad := New(2, 3)
+	if _, err := SoftmaxCrossEntropy(logits, []int{0}, grad); err == nil {
+		t.Fatal("label count mismatch should error")
+	}
+	if _, err := SoftmaxCrossEntropy(logits, []int{0, 7}, grad); err == nil {
+		t.Fatal("label out of range should error")
+	}
+}
+
+// Property: encode→decode is the identity on arbitrary payloads.
+func TestQuickEncodeDecodeIdentity(t *testing.T) {
+	f := func(data []float32) bool {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		orig, err := FromSlice(append([]float32(nil), data...), len(data))
+		if err != nil {
+			return false
+		}
+		buf := make([]byte, orig.EncodedSize())
+		if _, err := orig.Encode(buf); err != nil {
+			return false
+		}
+		got, _, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return got.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: L2Norm is non-negative and scales linearly.
+func TestQuickL2NormScaling(t *testing.T) {
+	f := func(data []float32) bool {
+		if len(data) == 0 || len(data) > 1024 {
+			return true
+		}
+		for _, v := range data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || math.Abs(float64(v)) > 1e15 {
+				return true // outside a meaningful numeric regime
+			}
+		}
+		tt, err := FromSlice(append([]float32(nil), data...), len(data))
+		if err != nil {
+			return false
+		}
+		n1 := tt.L2Norm()
+		tt.ScaleInPlace(2)
+		n2 := tt.L2Norm()
+		if n1 == 0 {
+			return n2 == 0
+		}
+		return n2 > n1 && math.Abs(n2/n1-2) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package trace provides spot-VM preemption traces and the goodput replay
+// methodology of §5.2.3.
+//
+// The paper replays a resource-availability trace collected by André et al.
+// on a 64×A100 spot cluster in Google Cloud: 26 preemption events over
+// 3.5 hours, with "bulky" preemptions (several VMs at once) common. That
+// trace is not public, so Synthetic generates a statistically matched one —
+// same event rate, bulky multi-VM events, fixed seed for reproducibility —
+// and the replay logic is identical either way: whenever the allocation
+// changes, training stops, rolls back to the newest globally persisted
+// checkpoint, pays the recovery cost, and resumes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Event is one change in resource availability.
+type Event struct {
+	// At is the offset from the start of the trace.
+	At time.Duration
+	// VMs is how many VMs were preempted (negative) or returned (positive).
+	VMs int
+}
+
+// Trace is an ordered sequence of preemption/restore events over a window.
+type Trace struct {
+	// Duration is the observation window.
+	Duration time.Duration
+	// ClusterSize is the requested number of VMs.
+	ClusterSize int
+	// Events holds the availability changes, ordered by time.
+	Events []Event
+}
+
+// Failures counts the events that interrupt training (any preemption; the
+// paper's elastic framework restarts all workers from the latest checkpoint
+// whenever the allocation changes, and returns also trigger a
+// reconfiguration restart).
+func (tr Trace) Failures() int { return len(tr.Events) }
+
+// Validate checks ordering and bounds.
+func (tr Trace) Validate() error {
+	if tr.Duration <= 0 {
+		return fmt.Errorf("trace: non-positive duration %v", tr.Duration)
+	}
+	if tr.ClusterSize <= 0 {
+		return fmt.Errorf("trace: non-positive cluster size %d", tr.ClusterSize)
+	}
+	last := time.Duration(-1)
+	for i, e := range tr.Events {
+		if e.At < 0 || e.At > tr.Duration {
+			return fmt.Errorf("trace: event %d at %v outside window %v", i, e.At, tr.Duration)
+		}
+		if e.At < last {
+			return fmt.Errorf("trace: event %d out of order", i)
+		}
+		last = e.At
+	}
+	return nil
+}
+
+// SyntheticConfig shapes a generated trace.
+type SyntheticConfig struct {
+	// Duration of the window (default 3.5 h, matching André et al.).
+	Duration time.Duration
+	// ClusterSize (default 64).
+	ClusterSize int
+	// Events is the number of availability changes (default 26).
+	Events int
+	// BulkFraction is the share of events that hit multiple VMs at once
+	// (default 0.3; spot capacity reclaims are bursty).
+	BulkFraction float64
+	// Seed fixes the generator.
+	Seed int64
+}
+
+func (c SyntheticConfig) withDefaults() SyntheticConfig {
+	if c.Duration <= 0 {
+		c.Duration = 3*time.Hour + 30*time.Minute
+	}
+	if c.ClusterSize <= 0 {
+		c.ClusterSize = 64
+	}
+	if c.Events <= 0 {
+		c.Events = 26
+	}
+	if c.BulkFraction <= 0 {
+		c.BulkFraction = 0.3
+	}
+	return c
+}
+
+// Synthetic generates a reproducible preemption trace with the configured
+// statistics. Preemptions and returns alternate in bursts, as observed on
+// real spot clusters.
+func Synthetic(cfg SyntheticConfig) Trace {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := Trace{Duration: cfg.Duration, ClusterSize: cfg.ClusterSize}
+	available := cfg.ClusterSize
+	times := make([]time.Duration, cfg.Events)
+	for i := range times {
+		times[i] = time.Duration(rng.Int63n(int64(cfg.Duration)))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, at := range times {
+		bulk := 1
+		if rng.Float64() < cfg.BulkFraction {
+			bulk = 2 + rng.Intn(6) // bulky event: 2–7 VMs
+		}
+		var delta int
+		if available <= cfg.ClusterSize/2 || (available < cfg.ClusterSize && rng.Float64() < 0.4) {
+			// Capacity returns.
+			delta = bulk
+			if available+delta > cfg.ClusterSize {
+				delta = cfg.ClusterSize - available
+			}
+		} else {
+			delta = -bulk
+			if available+delta < 1 {
+				delta = 1 - available
+			}
+		}
+		if delta == 0 {
+			delta = -1
+			if available <= 1 {
+				delta = 1
+			}
+		}
+		available += delta
+		tr.Events = append(tr.Events, Event{At: at, VMs: delta})
+	}
+	return tr
+}
+
+// ReplayInput parameterizes a goodput replay for one checkpointing
+// mechanism on one workload (§5.2.3).
+type ReplayInput struct {
+	// EffIterTime is the average iteration time including checkpointing
+	// overhead (from the simulator or a real run).
+	EffIterTime time.Duration
+	// MeanRecovery is the mechanism's average recovery time per failure:
+	// checkpoint load plus re-execution of lost iterations (§4.2).
+	MeanRecovery time.Duration
+	// DiskAttach is the per-failure time to reattach the persistent disk
+	// (≈5.5 s on GCP; zero for Gemini, which recovers from remote DRAM).
+	DiskAttach time.Duration
+}
+
+// ReplayResult is the outcome of replaying a trace.
+type ReplayResult struct {
+	// Goodput is useful iterations per second over the whole window.
+	Goodput float64
+	// UsefulIterations is the number of non-recomputed iterations.
+	UsefulIterations float64
+	// RecoverySeconds is the total time lost to recovery (load + rollback
+	// re-execution + disk attach), across all failures.
+	RecoverySeconds float64
+	// Failures is the number of interruptions replayed.
+	Failures int
+}
+
+// Replay computes goodput over the trace following the paper's accounting:
+// total time T, r failures, recovery time rec = r×(MeanRecovery+attach);
+// progress time prog = T − rec; useful batches = prog / EffIterTime;
+// goodput = batches / T.
+func Replay(tr Trace, in ReplayInput) (ReplayResult, error) {
+	if err := tr.Validate(); err != nil {
+		return ReplayResult{}, err
+	}
+	if in.EffIterTime <= 0 {
+		return ReplayResult{}, fmt.Errorf("trace: non-positive iteration time %v", in.EffIterTime)
+	}
+	if in.MeanRecovery < 0 || in.DiskAttach < 0 {
+		return ReplayResult{}, fmt.Errorf("trace: negative recovery parameters")
+	}
+	r := tr.Failures()
+	rec := time.Duration(r) * (in.MeanRecovery + in.DiskAttach)
+	total := tr.Duration
+	prog := total - rec
+	if prog < 0 {
+		prog = 0
+	}
+	useful := prog.Seconds() / in.EffIterTime.Seconds()
+	return ReplayResult{
+		Goodput:          useful / total.Seconds(),
+		UsefulIterations: useful,
+		RecoverySeconds:  rec.Seconds(),
+		Failures:         r,
+	}, nil
+}
+
+// WriteJSON persists the trace for sharing and exact replay.
+func (tr Trace) WriteJSON(w io.Writer) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadJSON loads a trace previously written with WriteJSON, validating it.
+func ReadJSON(r io.Reader) (Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return Trace{}, fmt.Errorf("trace: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

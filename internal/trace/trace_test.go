@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSyntheticMatchesAndreStatistics(t *testing.T) {
+	tr := Synthetic(SyntheticConfig{Seed: 1})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// André et al.: 26 preemption events over 3.5 h on a 64-VM cluster.
+	if tr.Failures() != 26 {
+		t.Fatalf("events = %d, want 26", tr.Failures())
+	}
+	if tr.Duration != 3*time.Hour+30*time.Minute {
+		t.Fatalf("duration = %v", tr.Duration)
+	}
+	if tr.ClusterSize != 64 {
+		t.Fatalf("cluster = %d", tr.ClusterSize)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(SyntheticConfig{Seed: 7})
+	b := Synthetic(SyntheticConfig{Seed: 7})
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed produced different event counts")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between identical seeds", i)
+		}
+	}
+	c := Synthetic(SyntheticConfig{Seed: 8})
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSyntheticAvailabilityBounds(t *testing.T) {
+	tr := Synthetic(SyntheticConfig{Seed: 3, Events: 200})
+	avail := tr.ClusterSize
+	bulky := 0
+	for _, e := range tr.Events {
+		avail += e.VMs
+		if avail < 1 || avail > tr.ClusterSize {
+			t.Fatalf("availability left bounds: %d", avail)
+		}
+		if e.VMs > 1 || e.VMs < -1 {
+			bulky++
+		}
+	}
+	if bulky == 0 {
+		t.Fatal("no bulky events generated; spot reclaims should be bursty")
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	bad := []Trace{
+		{Duration: 0, ClusterSize: 4},
+		{Duration: time.Hour, ClusterSize: 0},
+		{Duration: time.Hour, ClusterSize: 4, Events: []Event{{At: 2 * time.Hour}}},
+		{Duration: time.Hour, ClusterSize: 4, Events: []Event{{At: 30 * time.Minute}, {At: 10 * time.Minute}}},
+		{Duration: time.Hour, ClusterSize: 4, Events: []Event{{At: -time.Minute}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Fatalf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestReplayAccounting(t *testing.T) {
+	tr := Trace{
+		Duration:    time.Hour,
+		ClusterSize: 4,
+		Events: []Event{
+			{At: 10 * time.Minute, VMs: -1},
+			{At: 30 * time.Minute, VMs: 1},
+		},
+	}
+	res, err := Replay(tr, ReplayInput{
+		EffIterTime:  time.Second,
+		MeanRecovery: 50 * time.Second,
+		DiskAttach:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 failures × 60 s recovery = 120 s lost; 3480 s of progress at 1
+	// iter/s ⇒ goodput = 3480/3600.
+	if res.Failures != 2 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	if res.RecoverySeconds != 120 {
+		t.Fatalf("recovery = %v", res.RecoverySeconds)
+	}
+	if res.UsefulIterations != 3480 {
+		t.Fatalf("useful = %v", res.UsefulIterations)
+	}
+	want := 3480.0 / 3600.0
+	if diff := res.Goodput - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("goodput = %v, want %v", res.Goodput, want)
+	}
+}
+
+func TestReplayDegenerate(t *testing.T) {
+	tr := Synthetic(SyntheticConfig{Seed: 1})
+	// Recovery so long that nothing gets done.
+	res, err := Replay(tr, ReplayInput{
+		EffIterTime:  time.Second,
+		MeanRecovery: 2 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goodput != 0 {
+		t.Fatalf("goodput = %v, want 0 when recovery swamps the window", res.Goodput)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	tr := Synthetic(SyntheticConfig{Seed: 1})
+	if _, err := Replay(tr, ReplayInput{}); err == nil {
+		t.Fatal("zero iteration time accepted")
+	}
+	if _, err := Replay(tr, ReplayInput{EffIterTime: time.Second, MeanRecovery: -time.Second}); err == nil {
+		t.Fatal("negative recovery accepted")
+	}
+	if _, err := Replay(Trace{}, ReplayInput{EffIterTime: time.Second}); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+// Goodput shape over checkpoint interval: too-frequent checkpointing wastes
+// time on overhead, too-infrequent wastes it on rollback — the optimum lies
+// between (Figure 2/9's inverted U).
+func TestGoodputInvertedU(t *testing.T) {
+	tr := Synthetic(SyntheticConfig{Seed: 1})
+	// Construct eff iteration time and recovery as simple functions of f
+	// (the real pipeline feeds simulator outputs here; this test checks the
+	// replay arithmetic produces the U shape).
+	goodput := func(f int) float64 {
+		overhead := 1.0 + 20.0/float64(f) // checkpoint cost shrinks with f
+		eff := time.Duration(float64(650*time.Millisecond) * overhead)
+		rec := time.Duration(f) * 650 * time.Millisecond / 2 // rollback grows with f
+		res, err := Replay(tr, ReplayInput{EffIterTime: eff, MeanRecovery: 13*time.Second + rec, DiskAttach: 5500 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Goodput
+	}
+	g1, g25, g1000 := goodput(1), goodput(25), goodput(1000)
+	if g25 <= g1 {
+		t.Fatalf("f=25 (%v) should beat f=1 (%v): overhead dominates at f=1", g25, g1)
+	}
+	if g25 <= g1000 {
+		t.Fatalf("f=25 (%v) should beat f=1000 (%v): rollback dominates at f=1000", g25, g1000)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Synthetic(SyntheticConfig{Seed: 5, Events: 12})
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != orig.Duration || got.ClusterSize != orig.ClusterSize {
+		t.Fatal("header mismatch")
+	}
+	if len(got.Events) != len(orig.Events) {
+		t.Fatalf("events %d vs %d", len(got.Events), len(orig.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != orig.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid JSON, invalid trace (out-of-order events).
+	bad := `{"Duration": 3600000000000, "ClusterSize": 4,
+	         "Events": [{"At": 200, "VMs": -1}, {"At": 100, "VMs": 1}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+	// WriteJSON refuses invalid traces too.
+	var buf bytes.Buffer
+	if err := (Trace{}).WriteJSON(&buf); err == nil {
+		t.Fatal("invalid trace written")
+	}
+}

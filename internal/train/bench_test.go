@@ -1,0 +1,80 @@
+package train
+
+import "testing"
+
+func BenchmarkMLPStep(b *testing.B) {
+	m, err := NewMLP(1, []int{64, 128, 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := NewSynthetic(2, 64, 10, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := NewTrainer(m, NewAdam(m.Params(), 0.001), data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformerLMStep(b *testing.B) {
+	m, err := NewTransformerLM(1, 128, 64, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := NewTextData(2, 128, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := NewLMTrainer(m, NewAdam(m.Params(), 0.001), data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	m, _ := NewMLP(1, []int{128, 256, 10})
+	data, _ := NewSynthetic(2, 128, 10, 32)
+	tr, err := NewTrainer(m, NewAdam(m.Params(), 0.001), data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, tr.StateSize())
+	b.SetBytes(int64(tr.StateSize()))
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Snapshot(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestore(b *testing.B) {
+	m, _ := NewMLP(1, []int{128, 256, 10})
+	data, _ := NewSynthetic(2, 128, 10, 32)
+	tr, err := NewTrainer(m, NewAdam(m.Params(), 0.001), data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, tr.StateSize())
+	if _, err := tr.Snapshot(buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(tr.StateSize()))
+	for i := 0; i < b.N; i++ {
+		if err := tr.Restore(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pccheck/internal/tensor"
+)
+
+// Additional layers that make the training substrate representative of the
+// paper's NLP workloads (Transformer-XL, BERT, OPT, BLOOM): token
+// embeddings, layer normalization and single-head self-attention. Each
+// implements forward and backward passes over the tensor package, with
+// gradients validated against numerical differentiation in layers_test.go.
+
+// Embedding maps integer token ids to dense rows of a learned table.
+type Embedding struct {
+	W  *tensor.Tensor // (vocab × dim)
+	GW *tensor.Tensor
+
+	lastIDs []int
+}
+
+// NewEmbedding initializes a (vocab × dim) embedding table.
+func NewEmbedding(rng *rand.Rand, vocab, dim int) *Embedding {
+	return &Embedding{
+		W:  tensor.Randn(rng, 0.1, vocab, dim),
+		GW: tensor.New(vocab, dim),
+	}
+}
+
+// Forward gathers rows for ids, producing a (len(ids) × dim) tensor.
+func (e *Embedding) Forward(ids []int) (*tensor.Tensor, error) {
+	vocab, dim := e.W.Shape()[0], e.W.Shape()[1]
+	out := tensor.New(len(ids), dim)
+	for i, id := range ids {
+		if id < 0 || id >= vocab {
+			return nil, fmt.Errorf("train: token id %d outside vocab %d", id, vocab)
+		}
+		copy(out.Data()[i*dim:(i+1)*dim], e.W.Data()[id*dim:(id+1)*dim])
+	}
+	e.lastIDs = append(e.lastIDs[:0], ids...)
+	return out, nil
+}
+
+// Backward scatters the output gradient into the table gradient.
+func (e *Embedding) Backward(grad *tensor.Tensor) error {
+	if e.lastIDs == nil {
+		return fmt.Errorf("train: Embedding.Backward before Forward")
+	}
+	dim := e.W.Shape()[1]
+	if grad.Len() != len(e.lastIDs)*dim {
+		return fmt.Errorf("train: embedding grad volume %d != %d", grad.Len(), len(e.lastIDs)*dim)
+	}
+	e.GW.Zero()
+	for i, id := range e.lastIDs {
+		dst := e.GW.Data()[id*dim : (id+1)*dim]
+		src := grad.Data()[i*dim : (i+1)*dim]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	return nil
+}
+
+// Params returns the embedding's parameter tensors.
+func (e *Embedding) Params() []*tensor.Tensor { return []*tensor.Tensor{e.W} }
+
+// Grads returns the matching gradient tensors.
+func (e *Embedding) Grads() []*tensor.Tensor { return []*tensor.Tensor{e.GW} }
+
+// LayerNorm normalizes each row to zero mean and unit variance, then applies
+// a learned scale and shift.
+type LayerNorm struct {
+	Gamma, Beta *tensor.Tensor
+	GG, GB      *tensor.Tensor
+	Eps         float32
+
+	lastIn   *tensor.Tensor
+	lastMean []float32
+	lastIstd []float32
+}
+
+// NewLayerNorm builds a LayerNorm over rows of width dim.
+func NewLayerNorm(dim int) *LayerNorm {
+	g := tensor.New(dim)
+	for i := range g.Data() {
+		g.Data()[i] = 1
+	}
+	return &LayerNorm{
+		Gamma: g, Beta: tensor.New(dim),
+		GG: tensor.New(dim), GB: tensor.New(dim),
+		Eps: 1e-5,
+	}
+}
+
+// Forward normalizes a (batch × dim) input.
+func (l *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Shape()) != 2 || x.Shape()[1] != l.Gamma.Len() {
+		return nil, fmt.Errorf("train: LayerNorm input %v, want (batch × %d)", x.Shape(), l.Gamma.Len())
+	}
+	batch, dim := x.Shape()[0], x.Shape()[1]
+	out := tensor.New(batch, dim)
+	l.lastIn = x
+	l.lastMean = make([]float32, batch)
+	l.lastIstd = make([]float32, batch)
+	for i := 0; i < batch; i++ {
+		row := x.Data()[i*dim : (i+1)*dim]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(dim)
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		istd := 1 / math.Sqrt(varsum/float64(dim)+float64(l.Eps))
+		l.lastMean[i] = float32(mean)
+		l.lastIstd[i] = float32(istd)
+		o := out.Data()[i*dim : (i+1)*dim]
+		for j, v := range row {
+			norm := (float64(v) - mean) * istd
+			o[j] = float32(norm)*l.Gamma.Data()[j] + l.Beta.Data()[j]
+		}
+	}
+	return out, nil
+}
+
+// Backward computes dX and accumulates dGamma/dBeta, given dOut.
+func (l *LayerNorm) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastIn == nil {
+		return nil, fmt.Errorf("train: LayerNorm.Backward before Forward")
+	}
+	batch, dim := l.lastIn.Shape()[0], l.lastIn.Shape()[1]
+	if grad.Len() != batch*dim {
+		return nil, fmt.Errorf("train: LayerNorm grad volume %d != %d", grad.Len(), batch*dim)
+	}
+	dx := tensor.New(batch, dim)
+	l.GG.Zero()
+	l.GB.Zero()
+	for i := 0; i < batch; i++ {
+		x := l.lastIn.Data()[i*dim : (i+1)*dim]
+		g := grad.Data()[i*dim : (i+1)*dim]
+		out := dx.Data()[i*dim : (i+1)*dim]
+		mean, istd := float64(l.lastMean[i]), float64(l.lastIstd[i])
+		// xhat_j = (x_j − mean)·istd ; y_j = γ_j·xhat_j + β_j
+		var sumDy, sumDyXhat float64
+		xhat := make([]float64, dim)
+		dy := make([]float64, dim)
+		for j := range x {
+			xhat[j] = (float64(x[j]) - mean) * istd
+			dy[j] = float64(g[j]) * float64(l.Gamma.Data()[j])
+			sumDy += dy[j]
+			sumDyXhat += dy[j] * xhat[j]
+			l.GG.Data()[j] += g[j] * float32(xhat[j])
+			l.GB.Data()[j] += g[j]
+		}
+		n := float64(dim)
+		for j := range x {
+			out[j] = float32(istd * (dy[j] - sumDy/n - xhat[j]*sumDyXhat/n))
+		}
+	}
+	return dx, nil
+}
+
+// Params returns the scale and shift parameters.
+func (l *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{l.Gamma, l.Beta} }
+
+// Grads returns the matching gradient tensors.
+func (l *LayerNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.GG, l.GB} }
+
+// SelfAttention is single-head scaled dot-product self-attention over a
+// sequence: Q = X·Wq, K = X·Wk, V = X·Wv, A = softmax(QKᵀ/√d), Y = A·V.
+type SelfAttention struct {
+	Wq, Wk, Wv    *tensor.Tensor
+	GWq, GWk, GWv *tensor.Tensor
+
+	lastX       *tensor.Tensor
+	lastQ       *tensor.Tensor
+	lastK       *tensor.Tensor
+	lastV       *tensor.Tensor
+	lastWeights *tensor.Tensor // softmax rows
+}
+
+// NewSelfAttention builds an attention layer over width dim.
+func NewSelfAttention(rng *rand.Rand, dim int) *SelfAttention {
+	std := 1 / math.Sqrt(float64(dim))
+	return &SelfAttention{
+		Wq: tensor.Randn(rng, std, dim, dim), GWq: tensor.New(dim, dim),
+		Wk: tensor.Randn(rng, std, dim, dim), GWk: tensor.New(dim, dim),
+		Wv: tensor.Randn(rng, std, dim, dim), GWv: tensor.New(dim, dim),
+	}
+}
+
+// Forward runs attention over a (seq × dim) input.
+func (a *SelfAttention) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Shape()) != 2 || x.Shape()[1] != a.Wq.Shape()[0] {
+		return nil, fmt.Errorf("train: attention input %v, want (seq × %d)", x.Shape(), a.Wq.Shape()[0])
+	}
+	q, err := tensor.MatMul(x, a.Wq)
+	if err != nil {
+		return nil, err
+	}
+	k, err := tensor.MatMul(x, a.Wk)
+	if err != nil {
+		return nil, err
+	}
+	v, err := tensor.MatMul(x, a.Wv)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := tensor.MatMulTransB(q, k) // (seq × seq)
+	if err != nil {
+		return nil, err
+	}
+	scale := float32(1 / math.Sqrt(float64(x.Shape()[1])))
+	scores.ScaleInPlace(scale)
+	weights := softmaxRows(scores)
+	y, err := tensor.MatMul(weights, v)
+	if err != nil {
+		return nil, err
+	}
+	a.lastX, a.lastQ, a.lastK, a.lastV, a.lastWeights = x, q, k, v, weights
+	return y, nil
+}
+
+// Backward propagates dY, accumulating weight gradients, and returns dX.
+func (a *SelfAttention) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if a.lastX == nil {
+		return nil, fmt.Errorf("train: SelfAttention.Backward before Forward")
+	}
+	x, q, k, v, w := a.lastX, a.lastQ, a.lastK, a.lastV, a.lastWeights
+	dim := x.Shape()[1]
+	scale := float32(1 / math.Sqrt(float64(dim)))
+
+	// Y = W·V ⇒ dW = dY·Vᵀ ; dV = Wᵀ·dY
+	dW, err := tensor.MatMulTransB(grad, v)
+	if err != nil {
+		return nil, err
+	}
+	dV, err := tensor.MatMulTransA(w, grad)
+	if err != nil {
+		return nil, err
+	}
+	// softmax backward per row: dS_j = w_j (dW_j − Σ_k dW_k w_k)
+	dS := softmaxBackwardRows(w, dW)
+	dS.ScaleInPlace(scale)
+	// S = Q·Kᵀ ⇒ dQ = dS·K ; dK = dSᵀ·Q
+	dQ, err := tensor.MatMul(dS, k)
+	if err != nil {
+		return nil, err
+	}
+	dK, err := tensor.MatMulTransA(dS, q)
+	if err != nil {
+		return nil, err
+	}
+	// Q = X·Wq ⇒ dWq = Xᵀ·dQ, dXq = dQ·Wqᵀ (likewise for K, V).
+	for _, t := range []struct {
+		d, gw *tensor.Tensor
+		wmat  *tensor.Tensor
+	}{{dQ, a.GWq, a.Wq}, {dK, a.GWk, a.Wk}, {dV, a.GWv, a.Wv}} {
+		gw, err := tensor.MatMulTransA(x, t.d)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.gw.CopyFrom(gw); err != nil {
+			return nil, err
+		}
+	}
+	dx := tensor.New(x.Shape()...)
+	for _, t := range []struct {
+		d, wmat *tensor.Tensor
+	}{{dQ, a.Wq}, {dK, a.Wk}, {dV, a.Wv}} {
+		part, err := tensor.MatMulTransB(t.d, t.wmat)
+		if err != nil {
+			return nil, err
+		}
+		if err := dx.AddInPlace(part); err != nil {
+			return nil, err
+		}
+	}
+	return dx, nil
+}
+
+// Params returns the projection matrices.
+func (a *SelfAttention) Params() []*tensor.Tensor { return []*tensor.Tensor{a.Wq, a.Wk, a.Wv} }
+
+// Grads returns the matching gradient tensors.
+func (a *SelfAttention) Grads() []*tensor.Tensor { return []*tensor.Tensor{a.GWq, a.GWk, a.GWv} }
+
+// softmaxRows applies a numerically stable softmax to each row.
+func softmaxRows(t *tensor.Tensor) *tensor.Tensor {
+	rows, cols := t.Shape()[0], t.Shape()[1]
+	out := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := t.Data()[i*cols : (i+1)*cols]
+		o := out.Data()[i*cols : (i+1)*cols]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			o[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+	return out
+}
+
+// softmaxBackwardRows computes dScores from dWeights for row-wise softmax.
+func softmaxBackwardRows(weights, grad *tensor.Tensor) *tensor.Tensor {
+	rows, cols := weights.Shape()[0], weights.Shape()[1]
+	out := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		w := weights.Data()[i*cols : (i+1)*cols]
+		g := grad.Data()[i*cols : (i+1)*cols]
+		o := out.Data()[i*cols : (i+1)*cols]
+		var dot float64
+		for j := range w {
+			dot += float64(w[j]) * float64(g[j])
+		}
+		for j := range w {
+			o[j] = w[j] * (g[j] - float32(dot))
+		}
+	}
+	return out
+}

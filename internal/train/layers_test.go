@@ -1,0 +1,279 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pccheck/internal/tensor"
+)
+
+// Numerical gradient checking: for each layer, perturb every parameter (and
+// input) entry and compare the analytic gradient against the central
+// difference of a scalar loss. This is the strongest correctness test a
+// hand-written backward pass can get.
+
+// scalarLoss reduces a tensor to ½Σy², whose gradient w.r.t. y is simply y.
+func scalarLoss(y *tensor.Tensor) float64 {
+	var s float64
+	for _, v := range y.Data() {
+		s += 0.5 * float64(v) * float64(v)
+	}
+	return s
+}
+
+func lossGrad(y *tensor.Tensor) *tensor.Tensor {
+	g := tensor.New(y.Shape()...)
+	copy(g.Data(), y.Data())
+	return g
+}
+
+// checkGrad compares analytic vs numeric gradients of loss(forward())
+// w.r.t. every entry of each (param, grad) pair.
+func checkGrad(t *testing.T, name string, forward func() *tensor.Tensor,
+	backward func(dY *tensor.Tensor), params, grads []*tensor.Tensor) {
+	t.Helper()
+	const eps = 1e-3
+	y := forward()
+	backward(lossGrad(y))
+	for pi, p := range params {
+		analytic := append([]float32(nil), grads[pi].Data()...)
+		for i := range p.Data() {
+			orig := p.Data()[i]
+			p.Data()[i] = orig + eps
+			up := scalarLoss(forward())
+			p.Data()[i] = orig - eps
+			down := scalarLoss(forward())
+			p.Data()[i] = orig
+			numeric := (up - down) / (2 * eps)
+			got := float64(analytic[i])
+			scale := math.Max(math.Abs(numeric), math.Max(math.Abs(got), 1))
+			if diff := math.Abs(numeric - got); diff/scale > 2e-2 {
+				t.Fatalf("%s: param %d entry %d: analytic %.5f vs numeric %.5f", name, pi, i, got, numeric)
+			}
+		}
+	}
+}
+
+func TestEmbeddingForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewEmbedding(rng, 10, 4)
+	out, err := e.Forward([]int{3, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := out.Shape(); s[0] != 3 || s[1] != 4 {
+		t.Fatalf("shape %v", s)
+	}
+	// Rows 0 and 1 must be identical (same token).
+	for j := 0; j < 4; j++ {
+		if out.At(0, j) != out.At(1, j) {
+			t.Fatal("same token produced different embeddings")
+		}
+	}
+	if _, err := e.Forward([]int{11}); err == nil {
+		t.Fatal("out-of-vocab id accepted")
+	}
+	if _, err := e.Forward([]int{-1}); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestEmbeddingGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEmbedding(rng, 6, 3)
+	ids := []int{1, 4, 1} // repeated token: gradients must accumulate
+	checkGrad(t, "embedding",
+		func() *tensor.Tensor {
+			out, err := e.Forward(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		},
+		func(dY *tensor.Tensor) {
+			if err := e.Backward(dY); err != nil {
+				t.Fatal(err)
+			}
+		},
+		e.Params(), e.Grads())
+}
+
+func TestEmbeddingBackwardBeforeForward(t *testing.T) {
+	e := NewEmbedding(rand.New(rand.NewSource(1)), 4, 2)
+	if err := e.Backward(tensor.New(1, 2)); err == nil {
+		t.Fatal("Backward before Forward accepted")
+	}
+}
+
+func TestLayerNormForwardNormalizes(t *testing.T) {
+	l := NewLayerNorm(8)
+	x := tensor.Randn(rand.New(rand.NewSource(3)), 5.0, 4, 8)
+	out, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With γ=1, β=0 every row has ≈0 mean and ≈1 variance.
+	for i := 0; i < 4; i++ {
+		var mean, varsum float64
+		for j := 0; j < 8; j++ {
+			mean += float64(out.At(i, j))
+		}
+		mean /= 8
+		for j := 0; j < 8; j++ {
+			d := float64(out.At(i, j)) - mean
+			varsum += d * d
+		}
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("row %d mean %v", i, mean)
+		}
+		if v := varsum / 8; v < 0.95 || v > 1.05 {
+			t.Fatalf("row %d variance %v", i, v)
+		}
+	}
+	if _, err := l.Forward(tensor.New(4, 9)); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+}
+
+func TestLayerNormGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewLayerNorm(5)
+	// Non-trivial γ/β so their gradients are exercised.
+	for i := range l.Gamma.Data() {
+		l.Gamma.Data()[i] = 1 + 0.3*float32(i)
+		l.Beta.Data()[i] = 0.1 * float32(i)
+	}
+	x := tensor.Randn(rng, 1.0, 3, 5)
+	checkGrad(t, "layernorm-params",
+		func() *tensor.Tensor {
+			out, err := l.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		},
+		func(dY *tensor.Tensor) {
+			if _, err := l.Backward(dY); err != nil {
+				t.Fatal(err)
+			}
+		},
+		l.Params(), l.Grads())
+}
+
+func TestLayerNormInputGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := NewLayerNorm(4)
+	x := tensor.Randn(rng, 1.0, 2, 4)
+	y, err := l.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, err := l.Backward(lossGrad(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-3
+	for idx := 0; idx < x.Len(); idx++ {
+		orig := x.Data()[idx]
+		x.Data()[idx] = orig + eps
+		up, _ := l.Forward(x)
+		lUp := scalarLoss(up)
+		x.Data()[idx] = orig - eps
+		down, _ := l.Forward(x)
+		lDown := scalarLoss(down)
+		x.Data()[idx] = orig
+		numeric := (lUp - lDown) / (2 * eps)
+		got := float64(dx.Data()[idx])
+		scale := math.Max(math.Abs(numeric), math.Max(math.Abs(got), 1))
+		if diff := math.Abs(numeric - got); diff/scale > 2e-2 {
+			t.Fatalf("dX[%d]: analytic %.5f vs numeric %.5f", idx, got, numeric)
+		}
+	}
+}
+
+func TestSelfAttentionShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewSelfAttention(rng, 6)
+	x := tensor.Randn(rng, 1.0, 4, 6)
+	y, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := y.Shape(); s[0] != 4 || s[1] != 6 {
+		t.Fatalf("shape %v", s)
+	}
+	// Attention rows are a softmax: weights sum to 1.
+	for i := 0; i < 4; i++ {
+		var sum float64
+		for j := 0; j < 4; j++ {
+			w := a.lastWeights.At(i, j)
+			if w < 0 {
+				t.Fatal("negative attention weight")
+			}
+			sum += float64(w)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d weights sum %v", i, sum)
+		}
+	}
+	if _, err := a.Forward(tensor.New(4, 7)); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+	fresh := NewSelfAttention(rng, 6)
+	if _, err := fresh.Backward(tensor.New(4, 6)); err == nil {
+		t.Fatal("Backward before Forward accepted")
+	}
+}
+
+func TestSelfAttentionGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewSelfAttention(rng, 4)
+	x := tensor.Randn(rng, 0.8, 3, 4)
+	checkGrad(t, "attention",
+		func() *tensor.Tensor {
+			out, err := a.Forward(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		},
+		func(dY *tensor.Tensor) {
+			if _, err := a.Backward(dY); err != nil {
+				t.Fatal(err)
+			}
+		},
+		a.Params(), a.Grads())
+}
+
+func TestSelfAttentionInputGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := NewSelfAttention(rng, 4)
+	x := tensor.Randn(rng, 0.8, 3, 4)
+	y, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, err := a.Backward(lossGrad(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric check of a few input entries.
+	const eps = 1e-3
+	for _, idx := range []int{0, 5, 11} {
+		orig := x.Data()[idx]
+		x.Data()[idx] = orig + eps
+		up, _ := a.Forward(x)
+		lUp := scalarLoss(up)
+		x.Data()[idx] = orig - eps
+		down, _ := a.Forward(x)
+		lDown := scalarLoss(down)
+		x.Data()[idx] = orig
+		numeric := (lUp - lDown) / (2 * eps)
+		got := float64(dx.Data()[idx])
+		scale := math.Max(math.Abs(numeric), math.Max(math.Abs(got), 1))
+		if diff := math.Abs(numeric - got); diff/scale > 2e-2 {
+			t.Fatalf("dX[%d]: analytic %.5f vs numeric %.5f", idx, got, numeric)
+		}
+	}
+}

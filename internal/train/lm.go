@@ -1,0 +1,326 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pccheck/internal/tensor"
+)
+
+// TransformerLM is a small next-token language model assembled from the
+// package's layers — the pure-Go stand-in for the paper's NLP workloads
+// (TransformerXL, OPT, BLOOM on WikiText): token embedding → layer norm →
+// single-head self-attention (with residual) → layer norm → 2-layer MLP
+// (with residual) → vocabulary head. Its complete state (parameters +
+// optimizer moments) checkpoints and restores through the same codec as
+// the MLP trainer.
+type TransformerLM struct {
+	Embed *Embedding
+	Norm1 *LayerNorm
+	Attn  *SelfAttention
+	Norm2 *LayerNorm
+	FF1   *Linear
+	FF2   *Linear
+	Head  *Linear
+
+	vocab, dim int
+
+	// forward caches for the backward pass
+	h0, n1out, attnOut, h1, n2out, ff1out, h2 *tensor.Tensor
+}
+
+// NewTransformerLM builds the model. All initialization derives from seed.
+func NewTransformerLM(seed int64, vocab, dim, ffDim int) (*TransformerLM, error) {
+	if vocab < 2 || dim < 1 || ffDim < 1 {
+		return nil, fmt.Errorf("train: bad LM geometry: vocab=%d dim=%d ff=%d", vocab, dim, ffDim)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &TransformerLM{
+		Embed: NewEmbedding(rng, vocab, dim),
+		Norm1: NewLayerNorm(dim),
+		Attn:  NewSelfAttention(rng, dim),
+		Norm2: NewLayerNorm(dim),
+		FF1:   NewLinear(rng, dim, ffDim),
+		FF2:   NewLinear(rng, ffDim, dim),
+		Head:  NewLinear(rng, dim, vocab),
+		vocab: vocab,
+		dim:   dim,
+	}, nil
+}
+
+// Vocab returns the vocabulary size.
+func (m *TransformerLM) Vocab() int { return m.vocab }
+
+// Forward maps a token sequence to per-position next-token logits
+// (seq × vocab).
+func (m *TransformerLM) Forward(ids []int) (*tensor.Tensor, error) {
+	h0, err := m.Embed.Forward(ids)
+	if err != nil {
+		return nil, err
+	}
+	n1, err := m.Norm1.Forward(h0)
+	if err != nil {
+		return nil, err
+	}
+	attn, err := m.Attn.Forward(n1)
+	if err != nil {
+		return nil, err
+	}
+	h1 := h0.Clone()
+	if err := h1.AddInPlace(attn); err != nil { // residual
+		return nil, err
+	}
+	n2, err := m.Norm2.Forward(h1)
+	if err != nil {
+		return nil, err
+	}
+	ff1, err := tensor.MatMul(n2, m.FF1.W)
+	if err != nil {
+		return nil, err
+	}
+	if err := ff1.AddRowInPlace(m.FF1.B); err != nil {
+		return nil, err
+	}
+	ff1.ReLUInPlace()
+	ff2, err := tensor.MatMul(ff1, m.FF2.W)
+	if err != nil {
+		return nil, err
+	}
+	if err := ff2.AddRowInPlace(m.FF2.B); err != nil {
+		return nil, err
+	}
+	h2 := h1.Clone()
+	if err := h2.AddInPlace(ff2); err != nil { // residual
+		return nil, err
+	}
+	logits, err := tensor.MatMul(h2, m.Head.W)
+	if err != nil {
+		return nil, err
+	}
+	if err := logits.AddRowInPlace(m.Head.B); err != nil {
+		return nil, err
+	}
+	m.h0, m.n1out, m.attnOut, m.h1, m.n2out, m.ff1out, m.h2 = h0, n1, attn, h1, n2, ff1, h2
+	return logits, nil
+}
+
+// Backward propagates dLogits and fills every layer's gradients.
+func (m *TransformerLM) Backward(dLogits *tensor.Tensor) error {
+	if m.h2 == nil {
+		return fmt.Errorf("train: TransformerLM.Backward before Forward")
+	}
+	// Head: logits = h2·Wh + bh
+	gw, err := tensor.MatMulTransA(m.h2, dLogits)
+	if err != nil {
+		return err
+	}
+	if err := m.Head.GW.CopyFrom(gw); err != nil {
+		return err
+	}
+	gb, err := tensor.SumRows(dLogits)
+	if err != nil {
+		return err
+	}
+	if err := m.Head.GB.CopyFrom(gb); err != nil {
+		return err
+	}
+	dh2, err := tensor.MatMulTransB(dLogits, m.Head.W)
+	if err != nil {
+		return err
+	}
+
+	// h2 = h1 + ff2 ⇒ dh1 += dh2, dff2 = dh2.
+	dff2 := dh2
+	// ff2 = relu(ff1)·W2 + b2
+	gw2, err := tensor.MatMulTransA(m.ff1out, dff2)
+	if err != nil {
+		return err
+	}
+	if err := m.FF2.GW.CopyFrom(gw2); err != nil {
+		return err
+	}
+	gb2, err := tensor.SumRows(dff2)
+	if err != nil {
+		return err
+	}
+	if err := m.FF2.GB.CopyFrom(gb2); err != nil {
+		return err
+	}
+	dff1, err := tensor.MatMulTransB(dff2, m.FF2.W)
+	if err != nil {
+		return err
+	}
+	if err := tensor.ReLUBackwardInPlace(dff1, m.ff1out); err != nil {
+		return err
+	}
+	gw1, err := tensor.MatMulTransA(m.n2out, dff1)
+	if err != nil {
+		return err
+	}
+	if err := m.FF1.GW.CopyFrom(gw1); err != nil {
+		return err
+	}
+	gb1, err := tensor.SumRows(dff1)
+	if err != nil {
+		return err
+	}
+	if err := m.FF1.GB.CopyFrom(gb1); err != nil {
+		return err
+	}
+	dn2, err := tensor.MatMulTransB(dff1, m.FF1.W)
+	if err != nil {
+		return err
+	}
+	dh1FromNorm, err := m.Norm2.Backward(dn2)
+	if err != nil {
+		return err
+	}
+	dh1 := dh2.Clone() // residual path
+	if err := dh1.AddInPlace(dh1FromNorm); err != nil {
+		return err
+	}
+
+	// h1 = h0 + attn(n1(h0)) ⇒ dh0 += dh1; through attention and norm1.
+	dattn := dh1
+	dn1, err := m.Attn.Backward(dattn)
+	if err != nil {
+		return err
+	}
+	dh0FromNorm, err := m.Norm1.Backward(dn1)
+	if err != nil {
+		return err
+	}
+	dh0 := dh1.Clone()
+	if err := dh0.AddInPlace(dh0FromNorm); err != nil {
+		return err
+	}
+	return m.Embed.Backward(dh0)
+}
+
+// Params returns all parameter tensors in a stable order.
+func (m *TransformerLM) Params() []*tensor.Tensor {
+	out := m.Embed.Params()
+	out = append(out, m.Norm1.Params()...)
+	out = append(out, m.Attn.Params()...)
+	out = append(out, m.Norm2.Params()...)
+	out = append(out, m.FF1.W, m.FF1.B, m.FF2.W, m.FF2.B, m.Head.W, m.Head.B)
+	return out
+}
+
+// Grads returns the matching gradient tensors.
+func (m *TransformerLM) Grads() []*tensor.Tensor {
+	out := m.Embed.Grads()
+	out = append(out, m.Norm1.Grads()...)
+	out = append(out, m.Attn.Grads()...)
+	out = append(out, m.Norm2.Grads()...)
+	out = append(out, m.FF1.GW, m.FF1.GB, m.FF2.GW, m.FF2.GB, m.Head.GW, m.Head.GB)
+	return out
+}
+
+// TextData generates deterministic synthetic token sequences from a
+// first-order Markov chain (a learnable WikiText stand-in): each token has a
+// preferred successor, plus noise. Sequences are a pure function of the
+// iteration index.
+type TextData struct {
+	seed   int64
+	vocab  int
+	seqLen int
+	next   []int // preferred successor per token
+}
+
+// NewTextData builds the task.
+func NewTextData(seed int64, vocab, seqLen int) (*TextData, error) {
+	if vocab < 2 || seqLen < 2 {
+		return nil, fmt.Errorf("train: bad text geometry: vocab=%d seq=%d", vocab, seqLen)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	next := make([]int, vocab)
+	for i := range next {
+		next[i] = rng.Intn(vocab)
+	}
+	return &TextData{seed: seed, vocab: vocab, seqLen: seqLen, next: next}, nil
+}
+
+// Sequence returns iteration it's token sequence.
+func (d *TextData) Sequence(it int) []int {
+	const mix = int64(-0x61c8864680b583eb)
+	rng := rand.New(rand.NewSource(d.seed ^ (int64(it)+1)*mix))
+	seq := make([]int, d.seqLen)
+	seq[0] = rng.Intn(d.vocab)
+	for i := 1; i < d.seqLen; i++ {
+		if rng.Float64() < 0.85 {
+			seq[i] = d.next[seq[i-1]]
+		} else {
+			seq[i] = rng.Intn(d.vocab)
+		}
+	}
+	return seq
+}
+
+// LMTrainer drives next-token training of a TransformerLM with the same
+// deterministic, snapshot/restore-able contract as Trainer.
+type LMTrainer struct {
+	Model *TransformerLM
+	Opt   Optimizer
+	Data  *TextData
+
+	iter int
+}
+
+// NewLMTrainer wires up the loop.
+func NewLMTrainer(m *TransformerLM, opt Optimizer, data *TextData) (*LMTrainer, error) {
+	if data.vocab != m.vocab {
+		return nil, fmt.Errorf("train: data vocab %d != model vocab %d", data.vocab, m.vocab)
+	}
+	return &LMTrainer{Model: m, Opt: opt, Data: data}, nil
+}
+
+// Iteration returns completed steps.
+func (t *LMTrainer) Iteration() int { return t.iter }
+
+// Step trains on one sequence (predict token i+1 from prefix i) and returns
+// the mean loss.
+func (t *LMTrainer) Step() (float64, error) {
+	seq := t.Data.Sequence(t.iter)
+	inputs := seq[:len(seq)-1]
+	targets := seq[1:]
+	logits, err := t.Model.Forward(inputs)
+	if err != nil {
+		return 0, err
+	}
+	grad := tensor.New(logits.Shape()...)
+	loss, err := tensor.SoftmaxCrossEntropy(logits, targets, grad)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.Model.Backward(grad); err != nil {
+		return 0, err
+	}
+	if err := t.Opt.Step(t.Model.Params(), t.Model.Grads()); err != nil {
+		return 0, err
+	}
+	t.iter++
+	return loss, nil
+}
+
+func (t *LMTrainer) stateTensors() []*tensor.Tensor {
+	return append(append([]*tensor.Tensor(nil), t.Model.Params()...), t.Opt.State()...)
+}
+
+// StateSize returns the exact snapshot length.
+func (t *LMTrainer) StateSize() int { return stateSize(t.stateTensors()) }
+
+// Snapshot serializes the complete training state into dst.
+func (t *LMTrainer) Snapshot(dst []byte) (int, error) {
+	return encodeState(dst, t.iter, t.stateTensors())
+}
+
+// Restore loads a snapshot produced by Snapshot.
+func (t *LMTrainer) Restore(src []byte) error {
+	iter, err := decodeState(src, t.stateTensors())
+	if err != nil {
+		return err
+	}
+	t.iter = iter
+	return nil
+}

@@ -1,0 +1,237 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"pccheck/internal/tensor"
+)
+
+func newLMTrainer(t *testing.T) *LMTrainer {
+	t.Helper()
+	m, err := NewTransformerLM(21, 12, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := NewTextData(22, 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewLMTrainer(m, NewAdam(m.Params(), 0.01), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestLMValidation(t *testing.T) {
+	if _, err := NewTransformerLM(1, 1, 8, 16); err == nil {
+		t.Fatal("vocab 1 accepted")
+	}
+	if _, err := NewTextData(1, 1, 10); err == nil {
+		t.Fatal("text vocab 1 accepted")
+	}
+	if _, err := NewTextData(1, 4, 1); err == nil {
+		t.Fatal("seq 1 accepted")
+	}
+	m, _ := NewTransformerLM(1, 8, 4, 8)
+	data, _ := NewTextData(1, 9, 10)
+	if _, err := NewLMTrainer(m, NewAdam(m.Params(), 0.01), data); err == nil {
+		t.Fatal("vocab mismatch accepted")
+	}
+}
+
+func TestTextDataDeterministicAndMarkov(t *testing.T) {
+	d, err := NewTextData(5, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Sequence(3), d.Sequence(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Sequence(3) nondeterministic")
+		}
+	}
+	// Sequences have Markov structure: successor agreement well above the
+	// 1/vocab chance level.
+	matches, total := 0, 0
+	for it := 0; it < 50; it++ {
+		seq := d.Sequence(it)
+		for i := 1; i < len(seq); i++ {
+			total++
+			if seq[i] == d.next[seq[i-1]] {
+				matches++
+			}
+		}
+	}
+	if frac := float64(matches) / float64(total); frac < 0.5 {
+		t.Fatalf("successor agreement %.2f; Markov structure missing", frac)
+	}
+}
+
+func TestLMForwardShapes(t *testing.T) {
+	m, err := NewTransformerLM(1, 12, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits, err := m.Forward([]int{1, 5, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := logits.Shape(); s[0] != 4 || s[1] != 12 {
+		t.Fatalf("logits shape %v", s)
+	}
+	if err := m.Backward(tensor.New(4, 12)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewTransformerLM(1, 12, 8, 16)
+	if err := fresh.Backward(tensor.New(4, 12)); err == nil {
+		t.Fatal("Backward before Forward accepted")
+	}
+}
+
+func TestLMParamsGradsAligned(t *testing.T) {
+	m, _ := NewTransformerLM(1, 12, 8, 16)
+	params, grads := m.Params(), m.Grads()
+	if len(params) != len(grads) {
+		t.Fatalf("params %d vs grads %d", len(params), len(grads))
+	}
+	for i := range params {
+		if params[i].Len() != grads[i].Len() {
+			t.Fatalf("tensor %d: param %d elems vs grad %d", i, params[i].Len(), grads[i].Len())
+		}
+	}
+	// Embedding + 2 norms + attention + 2 FF linears + head = 1·1+2·2+3+3·2 = 14.
+	if len(params) != 14 {
+		t.Fatalf("param tensors = %d, want 14", len(params))
+	}
+}
+
+// Full-model gradient check: every parameter of the assembled Transformer,
+// against numerical differentiation of the actual training loss.
+func TestLMGradCheck(t *testing.T) {
+	m, err := NewTransformerLM(31, 6, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []int{2, 5, 1}
+	targets := []int{5, 1, 0}
+	loss := func() float64 {
+		logits, err := m.Forward(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := tensor.New(logits.Shape()...)
+		l, err := tensor.SoftmaxCrossEntropy(logits, targets, grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	// Analytic gradients.
+	logits, err := m.Forward(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := tensor.New(logits.Shape()...)
+	if _, err := tensor.SoftmaxCrossEntropy(logits, targets, grad); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	params, grads := m.Params(), m.Grads()
+	const eps = 1e-2
+	for pi, p := range params {
+		analytic := append([]float32(nil), grads[pi].Data()...)
+		// Spot-check a few entries per tensor (full sweep is slow).
+		stride := p.Len()/3 + 1
+		for i := 0; i < p.Len(); i += stride {
+			orig := p.Data()[i]
+			p.Data()[i] = orig + eps
+			up := loss()
+			p.Data()[i] = orig - eps
+			down := loss()
+			p.Data()[i] = orig
+			numeric := (up - down) / (2 * eps)
+			got := float64(analytic[i])
+			scale := math.Max(math.Abs(numeric), math.Max(math.Abs(got), 0.1))
+			if diff := math.Abs(numeric - got); diff/scale > 6e-2 {
+				t.Fatalf("param %d entry %d: analytic %.5f vs numeric %.5f", pi, i, got, numeric)
+			}
+		}
+	}
+}
+
+func TestLMTrainingReducesLoss(t *testing.T) {
+	tr := newLMTrainer(t)
+	var first, last float64
+	for i := 0; i < 300; i++ {
+		l, err := tr.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = l
+		}
+		last = l
+	}
+	if math.IsNaN(last) || last >= first*0.8 {
+		t.Fatalf("LM loss did not improve: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestLMSnapshotResumeExactness(t *testing.T) {
+	const snapshotAt, total = 40, 120
+	ref := newLMTrainer(t)
+	for i := 0; i < total; i++ {
+		if _, err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed := newLMTrainer(t)
+	for i := 0; i < snapshotAt; i++ {
+		if _, err := crashed.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, crashed.StateSize())
+	if n, err := crashed.Snapshot(buf); err != nil || n != crashed.StateSize() {
+		t.Fatalf("snapshot: %d, %v", n, err)
+	}
+	resumed := newLMTrainer(t)
+	if err := resumed.Restore(buf); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Iteration() != snapshotAt {
+		t.Fatalf("resumed at %d", resumed.Iteration())
+	}
+	for resumed.Iteration() < total {
+		if _, err := resumed.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa, pb := ref.Model.Params(), resumed.Model.Params()
+	for i := range pa {
+		if !pa[i].Equal(pb[i]) {
+			t.Fatalf("LM resume diverged at tensor %d", i)
+		}
+	}
+}
+
+func TestLMRestoreRejectsWrongArchitecture(t *testing.T) {
+	tr := newLMTrainer(t)
+	buf := make([]byte, tr.StateSize())
+	if _, err := tr.Snapshot(buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewTransformerLM(21, 12, 6, 16) // different width
+	data, _ := NewTextData(22, 12, 10)
+	otherTr, err := NewLMTrainer(other, NewAdam(other.Params(), 0.01), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := otherTr.Restore(buf); err == nil {
+		t.Fatal("snapshot restored into mismatched architecture")
+	}
+}

@@ -1,0 +1,152 @@
+// Package train is the training substrate that gives the checkpoint engine
+// something real to checkpoint.
+//
+// The paper trains PyTorch models on GPUs; here a small, fully deterministic
+// pure-Go training stack stands in: multi-layer perceptrons with ReLU
+// activations, SGD-with-momentum and Adam optimizers (so that optimizer
+// state — the bulk of a real checkpoint — exists and must round-trip), and
+// synthetic but learnable classification datasets. Determinism is the point:
+// resuming from a checkpoint must reproduce the uninterrupted run
+// bit-for-bit, which is the strongest end-to-end correctness check a
+// checkpointing system can have.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pccheck/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x·W + b.
+type Linear struct {
+	W, B   *tensor.Tensor // parameters
+	GW, GB *tensor.Tensor // gradients
+
+	in  *tensor.Tensor // cached input for backward
+	out *tensor.Tensor // cached activation for ReLU backward
+}
+
+// NewLinear initializes a layer with scaled-normal weights.
+func NewLinear(rng *rand.Rand, inDim, outDim int) *Linear {
+	std := 1.0 / float64(inDim)
+	return &Linear{
+		W:  tensor.Randn(rng, std, inDim, outDim),
+		B:  tensor.New(outDim),
+		GW: tensor.New(inDim, outDim),
+		GB: tensor.New(outDim),
+	}
+}
+
+// MLP is a multi-layer perceptron with ReLU between hidden layers and raw
+// logits at the output.
+type MLP struct {
+	Layers []*Linear
+	dims   []int
+}
+
+// NewMLP builds an MLP with the given layer dimensions, e.g.
+// dims = [784, 256, 10] is a 2-layer network. Initialization is fully
+// determined by seed.
+func NewMLP(seed int64, dims []int) (*MLP, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("train: MLP needs at least input and output dims, got %v", dims)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{dims: append([]int(nil), dims...)}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewLinear(rng, dims[i], dims[i+1]))
+	}
+	return m, nil
+}
+
+// Dims returns the layer dimensions the network was built with.
+func (m *MLP) Dims() []int { return m.dims }
+
+// Forward runs the network on a (batch×inDim) input, returning logits.
+func (m *MLP) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	h := x
+	for i, l := range m.Layers {
+		l.in = h
+		out, err := tensor.MatMul(h, l.W)
+		if err != nil {
+			return nil, fmt.Errorf("train: layer %d forward: %w", i, err)
+		}
+		if err := out.AddRowInPlace(l.B); err != nil {
+			return nil, err
+		}
+		if i+1 < len(m.Layers) {
+			out.ReLUInPlace()
+		}
+		l.out = out
+		h = out
+	}
+	return h, nil
+}
+
+// Backward propagates dLogits (gradient of the loss w.r.t. the output
+// logits) and accumulates parameter gradients into GW/GB. Forward must have
+// been called first on the same batch.
+func (m *MLP) Backward(dLogits *tensor.Tensor) error {
+	grad := dLogits
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		l := m.Layers[i]
+		if l.in == nil {
+			return fmt.Errorf("train: Backward before Forward on layer %d", i)
+		}
+		// dW = inᵀ · grad ; dB = Σ_rows grad
+		gw, err := tensor.MatMulTransA(l.in, grad)
+		if err != nil {
+			return fmt.Errorf("train: layer %d backward dW: %w", i, err)
+		}
+		if err := l.GW.CopyFrom(gw); err != nil {
+			return err
+		}
+		gb, err := tensor.SumRows(grad)
+		if err != nil {
+			return err
+		}
+		if err := l.GB.CopyFrom(gb); err != nil {
+			return err
+		}
+		if i > 0 {
+			// dIn = grad · Wᵀ, masked by the previous layer's ReLU.
+			din, err := tensor.MatMulTransB(grad, l.W)
+			if err != nil {
+				return fmt.Errorf("train: layer %d backward dIn: %w", i, err)
+			}
+			if err := tensor.ReLUBackwardInPlace(din, m.Layers[i-1].out); err != nil {
+				return err
+			}
+			grad = din
+		}
+	}
+	return nil
+}
+
+// Params returns the parameter tensors in a stable order.
+func (m *MLP) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.W, l.B)
+	}
+	return out
+}
+
+// Grads returns the gradient tensors in the same order as Params.
+func (m *MLP) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.GW, l.GB)
+	}
+	return out
+}
+
+// ParamBytes returns the total parameter payload size in bytes.
+func (m *MLP) ParamBytes() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Bytes()
+	}
+	return n
+}

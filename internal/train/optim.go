@@ -1,0 +1,125 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"pccheck/internal/tensor"
+)
+
+// Optimizer updates parameters from gradients and owns per-parameter state
+// tensors that a checkpoint must capture (momentum buffers, Adam moments).
+type Optimizer interface {
+	// Step applies one update. params and grads are parallel slices.
+	Step(params, grads []*tensor.Tensor) error
+	// State returns the optimizer's state tensors in a stable order.
+	// Restoring a checkpoint copies data back into exactly these tensors.
+	State() []*tensor.Tensor
+	// Name identifies the optimizer for checkpoint manifests.
+	Name() string
+}
+
+// SGD implements stochastic gradient descent with classical momentum:
+// v ← μ·v + g ; p ← p − lr·v.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	velocity []*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer sized for the given parameters.
+func NewSGD(params []*tensor.Tensor, lr, momentum float32) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum}
+	for _, p := range params {
+		s.velocity = append(s.velocity, tensor.New(p.Shape()...))
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Tensor) error {
+	if len(params) != len(grads) || len(params) != len(s.velocity) {
+		return fmt.Errorf("train: SGD got %d params, %d grads, %d velocity buffers",
+			len(params), len(grads), len(s.velocity))
+	}
+	for i, p := range params {
+		v := s.velocity[i]
+		g := grads[i]
+		if v.Len() != p.Len() || g.Len() != p.Len() {
+			return fmt.Errorf("train: SGD size mismatch at tensor %d", i)
+		}
+		vd, gd, pd := v.Data(), g.Data(), p.Data()
+		for j := range pd {
+			vd[j] = s.Momentum*vd[j] + gd[j]
+			pd[j] -= s.LR * vd[j]
+		}
+	}
+	return nil
+}
+
+// State implements Optimizer.
+func (s *SGD) State() []*tensor.Tensor { return s.velocity }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Adam implements the Adam optimizer. Its state (two moments per parameter
+// plus the step count) roughly triples the checkpoint size relative to bare
+// parameters — the reason the paper's checkpoints include optimizer state.
+type Adam struct {
+	LR           float32
+	Beta1, Beta2 float32
+	Eps          float32
+
+	m, v []*tensor.Tensor
+	t    *tensor.Tensor // step count, kept as a tensor so it checkpoints uniformly
+}
+
+// NewAdam returns an Adam optimizer sized for the given parameters.
+func NewAdam(params []*tensor.Tensor, lr float32) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, t: tensor.New(1)}
+	for _, p := range params {
+		a.m = append(a.m, tensor.New(p.Shape()...))
+		a.v = append(a.v, tensor.New(p.Shape()...))
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*tensor.Tensor) error {
+	if len(params) != len(grads) || len(params) != len(a.m) {
+		return fmt.Errorf("train: Adam got %d params, %d grads, %d moment buffers",
+			len(params), len(grads), len(a.m))
+	}
+	a.t.Data()[0]++
+	t := float64(a.t.Data()[0])
+	c1 := 1 - math.Pow(float64(a.Beta1), t)
+	c2 := 1 - math.Pow(float64(a.Beta2), t)
+	for i, p := range params {
+		g := grads[i]
+		if a.m[i].Len() != p.Len() || g.Len() != p.Len() {
+			return fmt.Errorf("train: Adam size mismatch at tensor %d", i)
+		}
+		md, vd, gd, pd := a.m[i].Data(), a.v[i].Data(), g.Data(), p.Data()
+		for j := range pd {
+			md[j] = a.Beta1*md[j] + (1-a.Beta1)*gd[j]
+			vd[j] = a.Beta2*vd[j] + (1-a.Beta2)*gd[j]*gd[j]
+			mhat := float64(md[j]) / c1
+			vhat := float64(vd[j]) / c2
+			pd[j] -= a.LR * float32(mhat/(math.Sqrt(vhat)+float64(a.Eps)))
+		}
+	}
+	return nil
+}
+
+// State implements Optimizer. The step-count tensor comes last.
+func (a *Adam) State() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, 0, 2*len(a.m)+1)
+	out = append(out, a.m...)
+	out = append(out, a.v...)
+	out = append(out, a.t)
+	return out
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }

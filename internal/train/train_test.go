@@ -1,0 +1,305 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"pccheck/internal/tensor"
+)
+
+func newSmallTrainer(t *testing.T, opt string) *Trainer {
+	t.Helper()
+	m, err := NewMLP(42, []int{8, 16, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := NewSynthetic(7, 8, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Optimizer
+	switch opt {
+	case "sgd":
+		o = NewSGD(m.Params(), 0.05, 0.9)
+	case "adam":
+		o = NewAdam(m.Params(), 0.005)
+	default:
+		t.Fatalf("unknown optimizer %q", opt)
+	}
+	tr, err := NewTrainer(m, o, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewMLPValidation(t *testing.T) {
+	if _, err := NewMLP(1, []int{5}); err == nil {
+		t.Fatal("single-dim MLP accepted")
+	}
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	m, _ := NewMLP(1, []int{8, 4})
+	data, _ := NewSynthetic(1, 9, 4, 4)
+	if _, err := NewTrainer(m, NewSGD(m.Params(), 0.1, 0), data); err == nil {
+		t.Fatal("feature mismatch accepted")
+	}
+	data2, _ := NewSynthetic(1, 8, 3, 4)
+	if _, err := NewTrainer(m, NewSGD(m.Params(), 0.1, 0), data2); err == nil {
+		t.Fatal("class mismatch accepted")
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := NewSynthetic(1, 0, 4, 4); err == nil {
+		t.Fatal("zero features accepted")
+	}
+	if _, err := NewSynthetic(1, 4, 1, 4); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := NewSynthetic(1, 4, 2, 0); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}
+
+func TestBatchIsPureFunctionOfIteration(t *testing.T) {
+	data, _ := NewSynthetic(3, 8, 4, 16)
+	x1, l1 := data.Batch(7)
+	x2, l2 := data.Batch(7)
+	if !x1.Equal(x2) {
+		t.Fatal("Batch(7) differs between calls")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("labels differ between calls")
+		}
+	}
+	x3, _ := data.Batch(8)
+	if x1.Equal(x3) {
+		t.Fatal("consecutive iterations produced identical batches")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	for _, opt := range []string{"sgd", "adam"} {
+		tr := newSmallTrainer(t, opt)
+		first, err := tr.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last float64
+		for i := 0; i < 200; i++ {
+			last, err = tr.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if math.IsNaN(last) || last >= first {
+			t.Fatalf("%s: loss did not decrease: %v -> %v", opt, first, last)
+		}
+		if tr.Iteration() != 201 {
+			t.Fatalf("%s: Iteration = %d, want 201", opt, tr.Iteration())
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a := newSmallTrainer(t, "adam")
+	b := newSmallTrainer(t, "adam")
+	for i := 0; i < 50; i++ {
+		la, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la != lb {
+			t.Fatalf("losses diverged at step %d: %v vs %v", i, la, lb)
+		}
+	}
+	pa, pb := a.Model.Params(), b.Model.Params()
+	for i := range pa {
+		if !pa[i].Equal(pb[i]) {
+			t.Fatalf("parameters diverged at tensor %d", i)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, opt := range []string{"sgd", "adam"} {
+		tr := newSmallTrainer(t, opt)
+		for i := 0; i < 30; i++ {
+			if _, err := tr.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf := make([]byte, tr.StateSize())
+		n, err := tr.Snapshot(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != tr.StateSize() {
+			t.Fatalf("%s: Snapshot wrote %d, StateSize %d", opt, n, tr.StateSize())
+		}
+		if it, err := SnapshotIteration(buf); err != nil || it != 30 {
+			t.Fatalf("%s: SnapshotIteration = %d, %v", opt, it, err)
+		}
+
+		fresh := newSmallTrainer(t, opt)
+		if err := fresh.Restore(buf); err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Iteration() != 30 {
+			t.Fatalf("%s: restored iteration %d", opt, fresh.Iteration())
+		}
+		pa, pb := tr.Model.Params(), fresh.Model.Params()
+		for i := range pa {
+			if !pa[i].Equal(pb[i]) {
+				t.Fatalf("%s: restored params differ at tensor %d", opt, i)
+			}
+		}
+		sa, sb := tr.Opt.State(), fresh.Opt.State()
+		for i := range sa {
+			if !sa[i].Equal(sb[i]) {
+				t.Fatalf("%s: restored optimizer state differs at tensor %d", opt, i)
+			}
+		}
+	}
+}
+
+// The strongest end-to-end property: resume-from-snapshot is bit-identical
+// to never having stopped.
+func TestResumeExactness(t *testing.T) {
+	const snapshotAt, total = 20, 60
+	uninterrupted := newSmallTrainer(t, "adam")
+	for i := 0; i < total; i++ {
+		if _, err := uninterrupted.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	crashed := newSmallTrainer(t, "adam")
+	for i := 0; i < snapshotAt; i++ {
+		if _, err := crashed.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, crashed.StateSize())
+	if _, err := crashed.Snapshot(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate losing progress after the snapshot…
+	for i := 0; i < 10; i++ {
+		if _, err := crashed.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// …and a restart in a fresh process.
+	resumed := newSmallTrainer(t, "adam")
+	if err := resumed.Restore(buf); err != nil {
+		t.Fatal(err)
+	}
+	for resumed.Iteration() < total {
+		if _, err := resumed.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pa, pb := uninterrupted.Model.Params(), resumed.Model.Params()
+	for i := range pa {
+		if !pa[i].Equal(pb[i]) {
+			t.Fatalf("resumed run diverged from uninterrupted run at tensor %d", i)
+		}
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	tr := newSmallTrainer(t, "sgd")
+	if err := tr.Restore(make([]byte, 8)); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+	buf := make([]byte, tr.StateSize())
+	if _, err := tr.Snapshot(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if err := tr.Restore(buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	buf[0] ^= 0xFF
+	buf[40] ^= 0x01 // corrupt a tensor payload
+	if err := tr.Restore(buf); err == nil {
+		t.Fatal("corrupted tensor accepted")
+	}
+}
+
+func TestRestoreRejectsWrongShape(t *testing.T) {
+	tr := newSmallTrainer(t, "sgd")
+	buf := make([]byte, tr.StateSize())
+	if _, err := tr.Snapshot(buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewMLP(1, []int{8, 8, 4})
+	data, _ := NewSynthetic(7, 8, 4, 16)
+	otherTr, err := NewTrainer(other, NewSGD(other.Params(), 0.1, 0.9), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := otherTr.Restore(buf); err == nil {
+		t.Fatal("snapshot restored into mismatched architecture")
+	}
+}
+
+func TestSnapshotBufferTooSmall(t *testing.T) {
+	tr := newSmallTrainer(t, "sgd")
+	if _, err := tr.Snapshot(make([]byte, 10)); err == nil {
+		t.Fatal("tiny buffer accepted")
+	}
+}
+
+func TestAdamStateIncludesStepCount(t *testing.T) {
+	m, _ := NewMLP(1, []int{4, 2})
+	a := NewAdam(m.Params(), 0.01)
+	state := a.State()
+	// 2 params ⇒ 2 m + 2 v + 1 step count.
+	if len(state) != 5 {
+		t.Fatalf("Adam state tensors = %d, want 5", len(state))
+	}
+	grads := []*tensor.Tensor{tensor.New(4, 2), tensor.New(2)}
+	if err := a.Step(m.Params(), grads); err != nil {
+		t.Fatal(err)
+	}
+	if got := state[4].Data()[0]; got != 1 {
+		t.Fatalf("step count = %v, want 1", got)
+	}
+}
+
+func TestOptimizerSizeMismatch(t *testing.T) {
+	m, _ := NewMLP(1, []int{4, 2})
+	s := NewSGD(m.Params(), 0.1, 0.9)
+	if err := s.Step(m.Params(), nil); err == nil {
+		t.Fatal("SGD accepted missing grads")
+	}
+	a := NewAdam(m.Params(), 0.01)
+	if err := a.Step(m.Params()[:1], m.Grads()[:1]); err == nil {
+		t.Fatal("Adam accepted short params")
+	}
+}
+
+func TestBackwardBeforeForwardFails(t *testing.T) {
+	m, _ := NewMLP(1, []int{4, 2})
+	if err := m.Backward(tensor.New(1, 2)); err == nil {
+		t.Fatal("Backward before Forward accepted")
+	}
+}
+
+func TestParamBytes(t *testing.T) {
+	m, _ := NewMLP(1, []int{4, 3, 2})
+	// (4·3 + 3) + (3·2 + 2) = 23 floats = 92 bytes.
+	if got := m.ParamBytes(); got != 92 {
+		t.Fatalf("ParamBytes = %d, want 92", got)
+	}
+}

@@ -1,0 +1,177 @@
+package train
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pccheck/internal/tensor"
+)
+
+// Trainer couples a model, optimizer and dataset into a deterministic
+// training loop whose complete state can be serialized and restored.
+type Trainer struct {
+	Model *MLP
+	Opt   Optimizer
+	Data  Dataset
+
+	iter int
+}
+
+// NewTrainer wires up a training loop starting at iteration 0.
+func NewTrainer(m *MLP, opt Optimizer, data Dataset) (*Trainer, error) {
+	dims := m.Dims()
+	if data.Features() != dims[0] {
+		return nil, fmt.Errorf("train: dataset features %d != model input %d", data.Features(), dims[0])
+	}
+	if data.Classes() != dims[len(dims)-1] {
+		return nil, fmt.Errorf("train: dataset classes %d != model output %d", data.Classes(), dims[len(dims)-1])
+	}
+	return &Trainer{Model: m, Opt: opt, Data: data}, nil
+}
+
+// Iteration returns the number of completed steps.
+func (t *Trainer) Iteration() int { return t.iter }
+
+// Step runs one forward/backward/update cycle and returns the batch loss.
+func (t *Trainer) Step() (float64, error) {
+	x, labels := t.Data.Batch(t.iter)
+	logits, err := t.Model.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	grad := tensor.New(logits.Shape()...)
+	loss, err := tensor.SoftmaxCrossEntropy(logits, labels, grad)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.Model.Backward(grad); err != nil {
+		return 0, err
+	}
+	if err := t.Opt.Step(t.Model.Params(), t.Model.Grads()); err != nil {
+		return 0, err
+	}
+	t.iter++
+	return loss, nil
+}
+
+// stateTensors returns every tensor a checkpoint must capture, in a stable
+// order: model parameters first, optimizer state after.
+func (t *Trainer) stateTensors() []*tensor.Tensor {
+	return append(append([]*tensor.Tensor(nil), t.Model.Params()...), t.Opt.State()...)
+}
+
+// State serialization framing (shared by every trainer in this package):
+//
+//	magic    uint32 "PCST"
+//	version  uint32
+//	iter     uint64
+//	ntensors uint32
+//	tensors  ntensors × tensor codec frames
+const stateMagic = 0x50435354 // "PCST"
+const stateVersion = 1
+
+// stateSize returns the serialized length of (iter, tensors).
+func stateSize(tensors []*tensor.Tensor) int {
+	n := 4 + 4 + 8 + 4
+	for _, ts := range tensors {
+		n += ts.EncodedSize()
+	}
+	return n
+}
+
+// encodeState serializes (iter, tensors) into dst.
+func encodeState(dst []byte, iter int, tensors []*tensor.Tensor) (int, error) {
+	need := stateSize(tensors)
+	if len(dst) < need {
+		return 0, fmt.Errorf("train: snapshot buffer %d < %d", len(dst), need)
+	}
+	off := 0
+	binary.LittleEndian.PutUint32(dst[off:], stateMagic)
+	off += 4
+	binary.LittleEndian.PutUint32(dst[off:], stateVersion)
+	off += 4
+	binary.LittleEndian.PutUint64(dst[off:], uint64(iter))
+	off += 8
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(tensors)))
+	off += 4
+	for i, ts := range tensors {
+		n, err := ts.Encode(dst[off:])
+		if err != nil {
+			return 0, fmt.Errorf("train: snapshot tensor %d: %w", i, err)
+		}
+		off += n
+	}
+	return off, nil
+}
+
+// decodeState restores a snapshot into the target tensors and returns the
+// recorded iteration.
+func decodeState(src []byte, targets []*tensor.Tensor) (int, error) {
+	if len(src) < 20 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	off := 0
+	if binary.LittleEndian.Uint32(src[off:]) != stateMagic {
+		return 0, fmt.Errorf("train: bad snapshot magic")
+	}
+	off += 4
+	if v := binary.LittleEndian.Uint32(src[off:]); v != stateVersion {
+		return 0, fmt.Errorf("train: unsupported snapshot version %d", v)
+	}
+	off += 4
+	iter := binary.LittleEndian.Uint64(src[off:])
+	off += 8
+	count := int(binary.LittleEndian.Uint32(src[off:]))
+	off += 4
+	if count != len(targets) {
+		return 0, fmt.Errorf("train: snapshot has %d tensors, trainer needs %d", count, len(targets))
+	}
+	for i, target := range targets {
+		ts, n, err := tensor.Decode(src[off:])
+		if err != nil {
+			return 0, fmt.Errorf("train: restore tensor %d: %w", i, err)
+		}
+		if err := target.CopyFrom(ts); err != nil {
+			return 0, fmt.Errorf("train: restore tensor %d: %w", i, err)
+		}
+		off += n
+	}
+	return int(iter), nil
+}
+
+// StateSize returns the exact byte length Snapshot will produce. It is
+// constant for a given model/optimizer, which lets the checkpoint engine
+// size its slots and DRAM chunks up front (checkpoint size m in the paper).
+func (t *Trainer) StateSize() int { return stateSize(t.stateTensors()) }
+
+// Snapshot serializes the complete training state into dst and returns the
+// bytes written. dst must be at least StateSize() long. This is the
+// "update step finished, capture the state" moment (C in the paper's
+// timelines); the caller owns making the bytes durable.
+func (t *Trainer) Snapshot(dst []byte) (int, error) {
+	return encodeState(dst, t.iter, t.stateTensors())
+}
+
+// Restore loads a snapshot produced by Snapshot into the trainer, replacing
+// parameters, optimizer state and the iteration counter.
+func (t *Trainer) Restore(src []byte) error {
+	iter, err := decodeState(src, t.stateTensors())
+	if err != nil {
+		return err
+	}
+	t.iter = iter
+	return nil
+}
+
+// SnapshotIteration peeks at the iteration number of a serialized snapshot
+// without restoring it.
+func SnapshotIteration(src []byte) (int, error) {
+	if len(src) < 16 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if binary.LittleEndian.Uint32(src) != stateMagic {
+		return 0, fmt.Errorf("train: bad snapshot magic")
+	}
+	return int(binary.LittleEndian.Uint64(src[8:])), nil
+}

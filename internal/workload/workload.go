@@ -1,0 +1,234 @@
+// Package workload defines the evaluated models (Table 3 of the paper) and
+// the hardware platforms of §5.1, as the calibrated constants the simulator
+// and figure harness consume.
+//
+// Checkpoint sizes and batch sizes are taken directly from Table 3.
+// Per-iteration times are not tabulated in the paper; they are derived from
+// the quantities the paper does report (VGG16's 60 ms iteration in §5.2.3,
+// OPT-1.3B's recovery times in §5.2.2, throughput axes of Figure 8) and are
+// recorded here as the calibration the reproduction uses. EXPERIMENTS.md
+// discusses the sensitivity of each figure to these constants.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// GB is one gigabyte in bytes (decimal, as storage vendors and the paper
+// count).
+const GB = 1_000_000_000
+
+// Model describes one evaluated training workload.
+type Model struct {
+	// Name as used in the paper's figures.
+	Name string
+	// Dataset named in Table 3.
+	Dataset string
+	// Params is the approximate parameter count.
+	Params int64
+	// CheckpointBytes is the model+optimizer state size (Table 3).
+	CheckpointBytes int64
+	// IterTime is the per-iteration training time on the A100 platform
+	// without checkpointing (calibrated, see package comment).
+	IterTime time.Duration
+	// IterTimeRTX is the per-iteration time on the Titan RTX PMEM machine
+	// (lower compute capability, §5.2.4). Zero when the model does not fit.
+	IterTimeRTX time.Duration
+	// Nodes is the number of pipeline-parallel workers (1 = single GPU).
+	Nodes int
+	// BatchA100 and BatchRTX are the microbatch sizes from Table 3.
+	BatchA100, BatchRTX int
+}
+
+// PartitionBytes is the checkpoint size each pipeline-parallel worker owns.
+func (m Model) PartitionBytes() int64 { return m.CheckpointBytes / int64(m.Nodes) }
+
+// Zoo lists the models of Table 3 plus OPT-350M (used by Figure 13).
+var Zoo = []Model{
+	{
+		Name: "VGG16", Dataset: "ImageNet", Params: 138_000_000,
+		CheckpointBytes: 1_100_000_000, // 1.1 GB
+		IterTime:        60 * time.Millisecond,
+		IterTimeRTX:     90 * time.Millisecond,
+		Nodes:           1, BatchA100: 32, BatchRTX: 32,
+	},
+	{
+		Name: "BERT", Dataset: "SQuAD", Params: 345_000_000,
+		CheckpointBytes: 4 * GB,
+		IterTime:        160 * time.Millisecond,
+		IterTimeRTX:     320 * time.Millisecond,
+		Nodes:           1, BatchA100: 3, BatchRTX: 3,
+	},
+	{
+		Name: "TransformerXL", Dataset: "WikiText", Params: 192_000_000,
+		CheckpointBytes: 2_700_000_000, // 2.7 GB
+		IterTime:        250 * time.Millisecond,
+		IterTimeRTX:     400 * time.Millisecond,
+		Nodes:           1, BatchA100: 64, BatchRTX: 32,
+	},
+	{
+		Name: "OPT-350M", Dataset: "WikiText", Params: 350_000_000,
+		CheckpointBytes: 4_200_000_000,
+		IterTime:        600 * time.Millisecond,
+		Nodes:           1, BatchA100: 4,
+	},
+	{
+		Name: "OPT-1.3B", Dataset: "WikiText", Params: 1_300_000_000,
+		CheckpointBytes: 16_200_000_000, // 16.2 GB
+		IterTime:        650 * time.Millisecond,
+		Nodes:           1, BatchA100: 1,
+	},
+	{
+		Name: "OPT-2.7B", Dataset: "WikiText", Params: 2_700_000_000,
+		CheckpointBytes: 45 * GB,
+		IterTime:        4 * time.Second,
+		Nodes:           2, BatchA100: 1,
+	},
+	{
+		Name: "BLOOM-7B", Dataset: "WikiText", Params: 7_000_000_000,
+		CheckpointBytes: 108 * GB,
+		IterTime:        4 * time.Second,
+		Nodes:           6, BatchA100: 1,
+	},
+}
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range Zoo {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("workload: unknown model %q", name)
+}
+
+// Platform captures the hardware constants of one evaluation setup (§5.1).
+type Platform struct {
+	// Name of the setup.
+	Name string
+	// PCIeBW is the effective device→host copy bandwidth, bytes/sec.
+	PCIeBW float64
+	// StorageWriteBW is the persistent device's aggregate write bandwidth.
+	StorageWriteBW float64
+	// StorageReadBW is the recovery-path read bandwidth.
+	StorageReadBW float64
+	// PerThreadWriteBW is the write bandwidth a single writer thread can
+	// sustain; multiple threads are needed to saturate StorageWriteBW
+	// (§3.4: "the number of writer threads per checkpoint is ideally 2 to
+	// 4"; Figure 13).
+	PerThreadWriteBW float64
+	// NetBW is the inter-machine network bandwidth (Gemini's transport).
+	NetBW float64
+	// DiskAttach is the time to reattach the persistent disk to a fresh VM
+	// after preemption (≈5.5 s in §5.2.3); zero for Gemini-style DRAM.
+	DiskAttach time.Duration
+	// IterScale multiplies model iteration times (1.0 on the A100 baseline).
+	IterScale float64
+}
+
+// Platforms of the paper.
+var (
+	// A100GCP is the a2-highgpu-1g + 1 TB pd-ssd setup used for most figures.
+	//
+	// Calibration: the paper reports (a) torch.save+flush persists 16 GB in
+	// 37 s ⇒ a single serialization stream achieves ≈0.44 GB/s, and (b) at
+	// f=10 on OPT-1.3B, PCcheck sustains 0.5 iters/s — 16.2 GB per 10
+	// iterations per 2 s ⇒ the device itself absorbs ≈0.8 GB/s when driven
+	// by parallel raw writers. Both are encoded: StorageWriteBW is the raw
+	// device rate; CheckFreqStreamFraction×StorageWriteBW reproduces the
+	// torch.save stream.
+	A100GCP = Platform{
+		Name:             "a100-gcp-ssd",
+		PCIeBW:           12 * GB, // PCIe3 x16 effective
+		StorageWriteBW:   0.8 * GB,
+		StorageReadBW:    1.2 * GB,
+		PerThreadWriteBW: 0.22 * GB,
+		NetBW:            1.875 * GB, // 15 Gbps measured in §5.2.1
+		DiskAttach:       5500 * time.Millisecond,
+		IterScale:        1.0,
+	}
+
+	// RTXPMEM is the Titan RTX + Optane AppDirect machine (§5.1, §5.2.4).
+	// 4.01 GB/s is the paper's measured nt-store bandwidth; PCIe3 x8.
+	RTXPMEM = Platform{
+		Name:             "rtx-pmem",
+		PCIeBW:           6 * GB,
+		StorageWriteBW:   4.01 * GB,
+		StorageReadBW:    6.0 * GB,
+		PerThreadWriteBW: 1.2 * GB,
+		NetBW:            1.875 * GB,
+		DiskAttach:       0,
+		IterScale:        1.0, // models carry explicit RTX iteration times
+	}
+
+	// H100Azure is the Standard_NC40ads_H100_v5 variant (§5.2.1): iteration
+	// time halved, disk bandwidth doubled.
+	H100Azure = Platform{
+		Name:             "h100-azure-nvme",
+		PCIeBW:           24 * GB,
+		StorageWriteBW:   1.6 * GB,
+		StorageReadBW:    2.4 * GB,
+		PerThreadWriteBW: 0.44 * GB,
+		NetBW:            1.875 * GB,
+		DiskAttach:       5500 * time.Millisecond,
+		IterScale:        0.5,
+	}
+)
+
+// PlatformByName returns the calibrated platform with the given name.
+func PlatformByName(name string) (Platform, error) {
+	for _, p := range []Platform{A100GCP, RTXPMEM, H100Azure} {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("workload: unknown platform %q (have %s, %s, %s)",
+		name, A100GCP.Name, RTXPMEM.Name, H100Azure.Name)
+}
+
+// PMEMCLWBWriteBW is the paper's measured clwb-path bandwidth, kept for the
+// §3.3 nt-store vs clwb comparison.
+const PMEMCLWBWriteBW = 2.46 * GB
+
+// Stream-efficiency calibration for the baselines' persist paths, relative
+// to a device saturated by parallel raw writers.
+//
+// CheckFreqStreamFraction reproduces the paper's torch.save datum: a single
+// serialization stream reaches 0.55×0.8 GB/s = 0.44 GB/s on the A100
+// platform, i.e. 37 s for OPT-1.3B's 16.2 GB. Traditional checkpointing
+// shares this path. GPMStreamFraction models GPM's direct kernel-store path:
+// no serialization, but copy kernels move data slower than DMA engines —
+// which is why GPM beats CheckFreq at extreme frequencies yet both trail
+// PCcheck by up to ~1.9× per checkpoint (Figure 11).
+const (
+	CheckFreqStreamFraction = 0.55
+	GPMStreamFraction       = 0.75
+)
+
+// CheckFreqCopyFraction models the snapshot phase of torch.save-style
+// checkpointers: the device→host copy goes through pageable memory and
+// Python serialization at roughly a quarter of the pinned-DMA rate
+// (≈3 GB/s on PCIe3 x16). PCcheck instead registers pinned buffers and
+// drives the copy engines directly (§3.3).
+const CheckFreqCopyFraction = 0.25
+
+// GeminiInterferenceFraction calibrates how badly a Gemini checkpoint
+// transfer interferes with the training job's own pipeline-parallel network
+// exchange on a slow (15 Gbps) interconnect: each checkpoint effectively
+// stalls training for m/(fraction×NetBW) seconds on top of the transfer
+// itself. 0.37 reproduces §5.2.1's reported BLOOM-7B slowdowns (1.65× at
+// f=10, 1.08× at f=100); on fast RDMA fabrics — the setting Gemini was
+// designed for — the interference would vanish.
+const GeminiInterferenceFraction = 0.37
+
+// IterTimeOn returns the model's per-iteration time on the given platform.
+func (m Model) IterTimeOn(p Platform) time.Duration {
+	if p.Name == RTXPMEM.Name {
+		if m.IterTimeRTX > 0 {
+			return m.IterTimeRTX
+		}
+		return 0 // does not fit on this machine
+	}
+	return time.Duration(float64(m.IterTime) * p.IterScale)
+}

@@ -1,0 +1,155 @@
+package pccheck
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pccheck/internal/core"
+	"pccheck/internal/storage"
+	"pccheck/internal/tuner"
+)
+
+// Loop drives periodic checkpointing for an iterative workload: call Tick
+// once per iteration and the Loop launches a concurrent Save every Interval
+// iterations, never blocking the caller while a slot is available. This is
+// the orchestration pattern of Figure 6 — training continues while up to
+// Config.Concurrent checkpoints persist in the background.
+type Loop struct {
+	ck       *Checkpointer
+	interval int
+	snapshot func() []byte
+
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	lastErr error
+	saves   int
+}
+
+// NewLoop wires a checkpointer to a workload. snapshot must return an
+// immutable byte slice capturing the current state (the caller's equivalent
+// of the update-step boundary U in the paper's timelines); it is invoked on
+// the Tick goroutine so the state is quiescent while it runs.
+func NewLoop(ck *Checkpointer, interval int, snapshot func() []byte) (*Loop, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("pccheck: checkpoint interval must be ≥ 1, got %d", interval)
+	}
+	if snapshot == nil {
+		return nil, fmt.Errorf("pccheck: snapshot function required")
+	}
+	return &Loop{ck: ck, interval: interval, snapshot: snapshot}, nil
+}
+
+// Tick records the completion of iteration it (0-based) and, when it lands
+// on the checkpoint interval, captures a snapshot and persists it in the
+// background. The snapshot capture itself runs synchronously (state must be
+// quiescent), the persist does not.
+func (l *Loop) Tick(ctx context.Context, it int) {
+	if (it+1)%l.interval != 0 {
+		return
+	}
+	payload := l.snapshot()
+	l.mu.Lock()
+	l.saves++
+	l.mu.Unlock()
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		if _, err := l.ck.Save(ctx, payload); err != nil {
+			l.mu.Lock()
+			l.lastErr = err
+			l.mu.Unlock()
+		}
+	}()
+}
+
+// Drain waits for all in-flight Saves and returns the first error any of
+// them hit.
+func (l *Loop) Drain() error {
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
+}
+
+// Saves returns how many checkpoints the loop has initiated.
+func (l *Loop) Saves() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.saves
+}
+
+// TuneInput describes a workload for automatic configuration (§3.4).
+type TuneInput struct {
+	// IterTime is the measured no-checkpoint iteration time t.
+	IterTime time.Duration
+	// CheckpointBytes is the snapshot size m.
+	CheckpointBytes int64
+	// MaxOverhead is the acceptable training slowdown q (e.g. 1.03 = 3%).
+	MaxOverhead float64
+	// DRAMBudget caps staging memory M (0 ⇒ 2m).
+	DRAMBudget int64
+	// StorageBudget caps device space S (0 ⇒ whatever the device holds).
+	StorageBudget int64
+}
+
+// TuneResult is the derived configuration plus the measured evidence.
+type TuneResult struct {
+	// Config is ready to pass to Create.
+	Config Config
+	// Interval is f*, the minimum checkpoint interval (iterations) that
+	// keeps slowdown within MaxOverhead.
+	Interval int
+	// Tw is the measured worst-case per-checkpoint write time at the
+	// chosen concurrency.
+	Tw time.Duration
+	// Profile maps each candidate N to its measured Tw.
+	Profile map[int]time.Duration
+}
+
+// Tune profiles the device at path (writing scratch checkpoints of
+// CheckpointBytes) and returns the configuration PCcheck's tool would pick:
+// the N minimising Tw/N, 1–4 writers, and f* = ceil(Tw/(N·q·t)). The file
+// is formatted for the chosen configuration afterwards, ready for Create.
+func Tune(path string, in TuneInput) (TuneResult, error) {
+	// Profile against a device sized for the largest candidate.
+	const maxN = 4
+	dev, err := newProfilingDevice(path, maxN, in.CheckpointBytes)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	defer dev.Close()
+	res, err := tuner.Profile(dev, tuner.Input{
+		IterTime:        in.IterTime,
+		CheckpointBytes: in.CheckpointBytes,
+		DRAMBudget:      in.DRAMBudget,
+		StorageBudget:   in.StorageBudget,
+		MaxOverhead:     in.MaxOverhead,
+		MaxN:            maxN,
+	})
+	if err != nil {
+		return TuneResult{}, err
+	}
+	return TuneResult{
+		Config: Config{
+			MaxBytes:   in.CheckpointBytes,
+			Concurrent: res.N,
+			Writers:    res.Writers,
+			ChunkBytes: res.ChunkBytes,
+			DRAMBudget: in.DRAMBudget,
+		},
+		Interval: res.Interval,
+		Tw:       res.Tw,
+		Profile:  res.Profile,
+	}, nil
+}
+
+// newProfilingDevice opens a file-backed device big enough for maxN
+// concurrent checkpoints of m bytes.
+func newProfilingDevice(path string, maxN int, m int64) (storage.Device, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("pccheck: TuneInput.CheckpointBytes must be positive, got %d", m)
+	}
+	return storage.OpenSSD(path, core.DeviceBytes(maxN, m))
+}

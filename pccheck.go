@@ -1,0 +1,294 @@
+// Package pccheck is a concurrent checkpointing library for iterative
+// workloads such as ML training, reproducing the system described in
+// "PCcheck: Persistent Concurrent Checkpointing for ML" (ASPLOS'25).
+//
+// Unlike conventional checkpointers that admit one checkpoint at a time and
+// stall the workload whenever a new checkpoint is due before the previous
+// one has persisted, PCcheck keeps up to N checkpoints in flight
+// concurrently. Each checkpoint streams through a bounded pool of DRAM
+// staging chunks and is persisted by p parallel writers; a lock-free
+// pointer protocol guarantees that a crash at any instant leaves the newest
+// fully persisted checkpoint recoverable.
+//
+// # Quick start
+//
+//	ck, err := pccheck.Create("ckpt.pcc", pccheck.Config{
+//		MaxBytes:   int64(len(state)),
+//		Concurrent: 2,
+//		Writers:    3,
+//	})
+//	...
+//	for iter := 0; ; iter++ {
+//		trainStep()
+//		if iter%10 == 0 {
+//			go ck.Save(ctx, snapshotBytes()) // training does not wait
+//		}
+//	}
+//
+// After a crash:
+//
+//	state, counter, err := pccheck.RecoverFile("ckpt.pcc")
+//
+// See examples/ for complete programs, including crash/resume of a real
+// training loop, spot-instance trace replay, and multi-worker coordination.
+package pccheck
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pccheck/internal/core"
+	"pccheck/internal/pmem"
+	"pccheck/internal/storage"
+)
+
+// Errors surfaced by the library.
+var (
+	// ErrNoCheckpoint means the target holds no fully persisted checkpoint.
+	ErrNoCheckpoint = core.ErrNoCheckpoint
+	// ErrTooLarge means a payload exceeds Config.MaxBytes.
+	ErrTooLarge = core.ErrTooLarge
+	// ErrNotFormatted means the target is not a PCcheck checkpoint file.
+	ErrNotFormatted = core.ErrNotFormatted
+	// ErrClosed means the Checkpointer has been closed.
+	ErrClosed = core.ErrClosed
+)
+
+// Config tunes the checkpointer. MaxBytes is required; everything else has
+// serviceable defaults. Tune (or the pccheck-tune command) derives a
+// configuration from measurements per §3.4 of the paper.
+type Config struct {
+	// MaxBytes is the maximum checkpoint payload size m. The checkpoint
+	// file occupies about (Concurrent+1)·MaxBytes on disk.
+	MaxBytes int64
+	// Concurrent is N, how many checkpoints may be in flight at once.
+	// Default 2.
+	Concurrent int
+	// Writers is p, parallel persist goroutines per checkpoint. Default 3.
+	Writers int
+	// ChunkBytes is b, the DRAM staging chunk size; 0 disables pipelining
+	// (whole-checkpoint staging).
+	ChunkBytes int
+	// DRAMBudget is M, the total staging DRAM; 0 defaults to 2·MaxBytes.
+	DRAMBudget int64
+	// Verify adds payload checksums, validated on load. Default off adds
+	// zero read overhead; Create with Verify on is recommended whenever the
+	// device may corrupt data silently.
+	Verify bool
+	// PerWriterBW throttles each writer goroutine (bytes/sec; 0 = unpaced).
+	// Used to emulate per-thread device limits in experiments.
+	PerWriterBW float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrent <= 0 {
+		c.Concurrent = 2
+	}
+	if c.Writers <= 0 {
+		c.Writers = 3
+	}
+	return c
+}
+
+func (c Config) engineConfig() core.Config {
+	return core.Config{
+		Concurrent:    c.Concurrent,
+		SlotBytes:     c.MaxBytes,
+		Writers:       c.Writers,
+		ChunkBytes:    c.ChunkBytes,
+		DRAMBudget:    c.DRAMBudget,
+		VerifyPayload: c.Verify,
+		PerWriterBW:   c.PerWriterBW,
+	}
+}
+
+// Stats reports cumulative checkpointer activity.
+type Stats struct {
+	// Published counts checkpoints that became the latest durable state.
+	Published int64
+	// Obsolete counts checkpoints completed but superseded by a newer
+	// concurrent checkpoint before publishing — their work still made the
+	// system strictly safer in the interim.
+	Obsolete int64
+	// BytesWritten is the total payload volume persisted.
+	BytesWritten int64
+	// PersistTime is the cumulative wall time spent inside Save.
+	PersistTime time.Duration
+	// SlotWaits counts Saves that had to wait for a free slot — a signal
+	// that Concurrent is too small for the checkpoint cadence.
+	SlotWaits int64
+}
+
+// Checkpointer persists checkpoints onto a single device. All methods are
+// safe for concurrent use.
+type Checkpointer struct {
+	engine *core.Checkpointer
+	dev    storage.Device
+	ownDev bool
+}
+
+// Create formats path as a new checkpoint file sized for cfg and returns a
+// ready Checkpointer. Existing contents are destroyed.
+func Create(path string, cfg Config) (*Checkpointer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxBytes <= 0 {
+		return nil, fmt.Errorf("pccheck: Config.MaxBytes must be positive, got %d", cfg.MaxBytes)
+	}
+	dev, err := storage.OpenSSD(path, core.DeviceBytes(cfg.Concurrent, cfg.MaxBytes))
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.New(dev, cfg.engineConfig())
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return &Checkpointer{engine: engine, dev: dev, ownDev: true}, nil
+}
+
+// Open attaches to an existing checkpoint file, recovering the latest
+// persisted checkpoint pointer. Geometry (MaxBytes, Concurrent) comes from
+// the file; cfg supplies the runtime knobs (Writers, ChunkBytes, …).
+func Open(path string, cfg Config) (*Checkpointer, error) {
+	dev, err := storage.ReopenSSD(path)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.Open(dev, cfg.withDefaults().engineConfig())
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return &Checkpointer{engine: engine, dev: dev, ownDev: true}, nil
+}
+
+// CreateVolatile builds a Checkpointer over emulated persistent memory —
+// useful for tests, experiments and the examples in this repository. The
+// returned Memory handle can inject crashes and fork post-crash replicas.
+func CreateVolatile(cfg Config) (*Checkpointer, *Memory, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxBytes <= 0 {
+		return nil, nil, fmt.Errorf("pccheck: Config.MaxBytes must be positive, got %d", cfg.MaxBytes)
+	}
+	region := pmem.NewRegion(int(core.DeviceBytes(cfg.Concurrent, cfg.MaxBytes)))
+	dev := storage.NewPMEM(region)
+	engine, err := core.New(dev, cfg.engineConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Checkpointer{engine: engine, dev: dev}, &Memory{region: region}, nil
+}
+
+// Save persists payload as a new checkpoint and returns its counter. Save
+// blocks until the checkpoint is durable (or durably superseded by a newer
+// concurrent checkpoint); run it in a goroutine to overlap with the
+// workload — up to Config.Concurrent Saves proceed in parallel, additional
+// ones wait for a slot. The payload must not be mutated until Save returns.
+func (c *Checkpointer) Save(ctx context.Context, payload []byte) (uint64, error) {
+	return c.engine.Checkpoint(ctx, core.BytesSource(payload))
+}
+
+// SaveFrom persists a checkpoint pulled from an arbitrary source, enabling
+// zero-copy pipelines (e.g. staged reads from accelerator memory). size is
+// the payload length; read fills p with payload bytes starting at off and
+// must support concurrent calls on disjoint ranges.
+func (c *Checkpointer) SaveFrom(ctx context.Context, size int64, read func(p []byte, off int64) error) (uint64, error) {
+	return c.engine.Checkpoint(ctx, funcSource{size: size, read: read})
+}
+
+type funcSource struct {
+	size int64
+	read func(p []byte, off int64) error
+}
+
+func (s funcSource) Size() int64                        { return s.size }
+func (s funcSource) ReadInto(p []byte, off int64) error { return s.read(p, off) }
+
+// Latest returns the newest published checkpoint's counter and size.
+func (c *Checkpointer) Latest() (counter uint64, size int64, ok bool) {
+	return c.engine.Latest()
+}
+
+// LoadLatest returns a copy of the newest published checkpoint.
+func (c *Checkpointer) LoadLatest() ([]byte, uint64, error) {
+	_, size, ok := c.engine.Latest()
+	if !ok {
+		return nil, 0, ErrNoCheckpoint
+	}
+	buf := make([]byte, size)
+	counter, _, err := c.engine.ReadLatest(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return buf, counter, nil
+}
+
+// SetWriterBandwidth changes the per-writer pacing rate at runtime
+// (bytes/sec; 0 unpaces). Experiments use it to model device contention;
+// production deployments normally leave writes unpaced and let the device
+// arbitrate.
+func (c *Checkpointer) SetWriterBandwidth(bytesPerSec float64) {
+	c.engine.SetPerWriterBW(bytesPerSec)
+}
+
+// LoadVersion returns the checkpoint saved under counter, if one of the
+// (Concurrent+1) retained slots still holds it intact. Only the *latest*
+// checkpoint is guaranteed to be retained; older ones are best-effort
+// (ErrNoCheckpoint when already overwritten).
+func (c *Checkpointer) LoadVersion(counter uint64) ([]byte, error) {
+	return c.engine.ReadVersion(counter)
+}
+
+// Stats returns cumulative activity counters.
+func (c *Checkpointer) Stats() Stats {
+	s := c.engine.Stats()
+	return Stats{
+		Published:    s.Checkpoints,
+		Obsolete:     s.Obsolete,
+		BytesWritten: s.BytesWritten,
+		PersistTime:  s.Persist,
+		SlotWaits:    s.SlotWaits,
+	}
+}
+
+// Close stops the checkpointer. In-flight Saves finish first.
+func (c *Checkpointer) Close() error {
+	err := c.engine.Close()
+	if c.ownDev {
+		if cerr := c.dev.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// RecoverFile loads the latest fully persisted checkpoint from a checkpoint
+// file without constructing a Checkpointer — the restart path.
+func RecoverFile(path string) (payload []byte, counter uint64, err error) {
+	dev, err := storage.ReopenSSD(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer dev.Close()
+	return core.Recover(dev)
+}
+
+// Memory is the crash-injection handle of a CreateVolatile checkpointer.
+type Memory struct {
+	region *pmem.Region
+}
+
+// Crash drops everything that was not durably persisted, emulating a power
+// failure with the most adversarial timing.
+func (m *Memory) Crash() { m.region.Crash(pmem.DropAll) }
+
+// ForkCrashed returns the payload and counter that recovery would find if
+// the machine crashed right now, without disturbing the live checkpointer.
+func (m *Memory) ForkCrashed() ([]byte, uint64, error) {
+	return core.Recover(storage.NewPMEM(m.region.CloneDurable()))
+}
+
+// IsNoCheckpoint reports whether err indicates an empty checkpoint target.
+func IsNoCheckpoint(err error) bool { return errors.Is(err, ErrNoCheckpoint) }

@@ -1,0 +1,429 @@
+package pccheck
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pccheck/internal/train"
+)
+
+func randomPayload(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestCreateSaveRecoverFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.pcc")
+	ck, err := Create(path, Config{MaxBytes: 4096, Concurrent: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomPayload(1, 3000)
+	counter, err := ck.Save(context.Background(), want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1 {
+		t.Fatalf("counter = %d", counter)
+	}
+	got, gc, err := ck.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc != 1 || !bytes.Equal(got, want) {
+		t.Fatal("LoadLatest mismatch")
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cold-start recovery.
+	p, rc, err := RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != 1 || !bytes.Equal(p, want) {
+		t.Fatal("RecoverFile mismatch")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "x"), Config{}); err == nil {
+		t.Fatal("MaxBytes=0 accepted")
+	}
+	if _, _, err := CreateVolatile(Config{}); err == nil {
+		t.Fatal("volatile MaxBytes=0 accepted")
+	}
+}
+
+func TestOpenContinuesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.pcc")
+	ck, err := Create(path, Config{MaxBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ck.Save(context.Background(), randomPayload(int64(i), 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := Open(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	counter, _, ok := ck2.Latest()
+	if !ok || counter != 3 {
+		t.Fatalf("recovered counter %d", counter)
+	}
+	next, err := ck2.Save(context.Background(), randomPayload(9, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 4 {
+		t.Fatalf("next counter %d, want 4", next)
+	}
+}
+
+func TestSaveFrom(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 2048, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	want := randomPayload(5, 2000)
+	_, err = ck.SaveFrom(context.Background(), int64(len(want)), func(p []byte, off int64) error {
+		copy(p, want[off:])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ck.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("SaveFrom mismatch")
+	}
+}
+
+func TestVolatileCrashSemantics(t *testing.T) {
+	ck, mem, err := CreateVolatile(Config{MaxBytes: 1024, Concurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if _, _, err := mem.ForkCrashed(); !IsNoCheckpoint(err) {
+		t.Fatalf("empty fork err = %v", err)
+	}
+	want := randomPayload(2, 900)
+	if _, err := ck.Save(context.Background(), want); err != nil {
+		t.Fatal(err)
+	}
+	p, counter, err := mem.ForkCrashed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1 || !bytes.Equal(p, want) {
+		t.Fatal("ForkCrashed mismatch")
+	}
+	// A hard crash preserves the checkpoint on the live region too.
+	mem.Crash()
+	p2, c2, err := mem.ForkCrashed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != 1 || !bytes.Equal(p2, want) {
+		t.Fatal("post-Crash recovery mismatch")
+	}
+}
+
+func TestConcurrentSaves(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 4096, Concurrent: 3, Writers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				if _, err := ck.Save(context.Background(), randomPayload(int64(w*100+r), 2048)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := ck.Stats()
+	if st.Published+st.Obsolete != 120 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.BytesWritten == 0 || st.PersistTime == 0 {
+		t.Fatalf("counters not recorded: %+v", st)
+	}
+}
+
+func TestLoopCadence(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 1024, Concurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	var snaps int
+	loop, err := NewLoop(ck, 10, func() []byte {
+		snaps++
+		return randomPayload(int64(snaps), 512)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 100; it++ {
+		loop.Tick(context.Background(), it)
+	}
+	if err := loop.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if snaps != 10 || loop.Saves() != 10 {
+		t.Fatalf("snapshots %d, saves %d; want 10 each", snaps, loop.Saves())
+	}
+	counter, _, ok := ck.Latest()
+	if !ok || counter != 10 {
+		t.Fatalf("latest counter %d", counter)
+	}
+}
+
+func TestLoopValidation(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if _, err := NewLoop(ck, 0, func() []byte { return nil }); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+	if _, err := NewLoop(ck, 1, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}
+
+func TestTuneProducesUsableConfig(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Tune(filepath.Join(dir, "profile.pcc"), TuneInput{
+		IterTime:        2 * time.Millisecond,
+		CheckpointBytes: 64 << 10,
+		MaxOverhead:     1.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Concurrent < 1 || res.Config.Writers < 1 || res.Interval < 1 {
+		t.Fatalf("degenerate tune result: %+v", res)
+	}
+	ck, err := Create(filepath.Join(dir, "ckpt.pcc"), res.Config)
+	if err != nil {
+		t.Fatalf("tuned config unusable: %v", err)
+	}
+	defer ck.Close()
+	if _, err := ck.Save(context.Background(), randomPayload(1, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	if _, err := Tune(filepath.Join(t.TempDir(), "x"), TuneInput{}); err == nil {
+		t.Fatal("zero input accepted")
+	}
+}
+
+// TestEndToEndTrainingCrashResume is the flagship integration test: train a
+// real model with periodic concurrent checkpointing, crash, restore from the
+// recovered bytes, finish training, and require bit-identical parameters to
+// an uninterrupted run.
+func TestEndToEndTrainingCrashResume(t *testing.T) {
+	const interval, crashAfter, total = 5, 23, 60
+
+	makeTrainer := func() *train.Trainer {
+		m, err := train.NewMLP(42, []int{16, 32, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := train.NewSynthetic(7, 16, 4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := train.NewTrainer(m, train.NewAdam(m.Params(), 0.005), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	// Reference: uninterrupted run.
+	ref := makeTrainer()
+	for i := 0; i < total; i++ {
+		if _, err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crashing run with concurrent checkpointing every `interval` steps.
+	tr := makeTrainer()
+	ck, mem, err := CreateVolatile(Config{
+		MaxBytes:   int64(tr.StateSize()),
+		Concurrent: 2,
+		Writers:    2,
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := NewLoop(ck, interval, func() []byte {
+		buf := make([]byte, tr.StateSize())
+		if _, err := tr.Snapshot(buf); err != nil {
+			t.Error(err)
+		}
+		return buf
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < crashAfter; it++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+		loop.Tick(context.Background(), it)
+	}
+	if err := loop.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Power failure.
+	state, counter, err := mem.ForkCrashed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter == 0 {
+		t.Fatal("no checkpoint survived")
+	}
+
+	// Restart in a "new process".
+	resumed := makeTrainer()
+	if err := resumed.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered iteration must be a multiple of the interval ≤ crashAfter.
+	if got := resumed.Iteration(); got%interval != 0 || got == 0 || got > crashAfter {
+		t.Fatalf("recovered at iteration %d", got)
+	}
+	for resumed.Iteration() < total {
+		if _, err := resumed.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa, pb := ref.Model.Params(), resumed.Model.Params()
+	for i := range pa {
+		if !pa[i].Equal(pb[i]) {
+			t.Fatalf("resumed training diverged from uninterrupted run at tensor %d", i)
+		}
+	}
+}
+
+func TestCreateOpenErrorPaths(t *testing.T) {
+	if _, err := Create("/nonexistent-dir/x.pcc", Config{MaxBytes: 64}); err == nil {
+		t.Fatal("Create in missing directory succeeded")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.pcc"), Config{}); err == nil {
+		t.Fatal("Open of missing file succeeded")
+	}
+	// Open of a non-checkpoint file fails with ErrNotFormatted.
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := osWrite(junk, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(junk, Config{}); err == nil {
+		t.Fatal("Open of junk file succeeded")
+	}
+	if _, _, err := RecoverFile(junk); err == nil {
+		t.Fatal("RecoverFile of junk succeeded")
+	}
+}
+
+func TestSaveTooLargeAndAfterClose(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Save(context.Background(), make([]byte, 256)); err == nil {
+		t.Fatal("oversize Save succeeded")
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Save(context.Background(), make([]byte, 64)); err == nil {
+		t.Fatal("Save after Close succeeded")
+	}
+}
+
+func TestLoadVersionPublicAPI(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 256, Concurrent: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	first := randomPayload(1, 200)
+	if _, err := ck.Save(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Save(context.Background(), randomPayload(2, 200)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ck.LoadVersion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, first) {
+		t.Fatal("LoadVersion(1) mismatch")
+	}
+	if _, err := ck.LoadVersion(42); !IsNoCheckpoint(err) {
+		t.Fatalf("LoadVersion(42) err = %v", err)
+	}
+}
+
+func TestSetWriterBandwidthPublicAPI(t *testing.T) {
+	ck, _, err := CreateVolatile(Config{MaxBytes: 1 << 20, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	ck.SetWriterBandwidth(10 << 20) // 10 MB/s ⇒ 1 MB takes ~100 ms
+	start := time.Now()
+	if _, err := ck.Save(context.Background(), make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("paced save finished in %v", elapsed)
+	}
+	ck.SetWriterBandwidth(-5) // negative unpaces rather than breaking
+	start = time.Now()
+	if _, err := ck.Save(context.Background(), make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("unpaced save took %v", elapsed)
+	}
+}
+
+func osWrite(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
