@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench-faults fmt-check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: everything must compile, pass vet, and pass the full test
+# suite under the race detector.
+verify: build vet race
+
+bench-faults:
+	$(GO) run ./cmd/pccheck-bench -faults
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

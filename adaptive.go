@@ -33,9 +33,16 @@ type AdaptiveLoop struct {
 
 	minInterval, maxInterval int
 
+	// OnError, when non-nil, is invoked from the save goroutine with the
+	// error of every failed Save, as it happens. Set it before the first
+	// Tick; callbacks for concurrent Saves may run concurrently.
+	OnError func(err error)
+
 	mu       sync.Mutex
-	wg       sync.WaitGroup
-	lastErr  error
+	idle     *sync.Cond // signalled when inflight returns to zero
+	inflight int
+	firstErr error
+	failed   int
 	lastTick time.Time
 	ewmaIter float64 // seconds per iteration
 	ewmaTw   float64 // seconds per checkpoint
@@ -86,7 +93,7 @@ func NewAdaptiveLoop(ck *Checkpointer, cfg AdaptiveConfig, snapshot func() []byt
 	if n < 1 {
 		n = 1
 	}
-	return &AdaptiveLoop{
+	l := &AdaptiveLoop{
 		ck:          ck,
 		snapshot:    snapshot,
 		q:           cfg.MaxOverhead,
@@ -95,7 +102,9 @@ func NewAdaptiveLoop(ck *Checkpointer, cfg AdaptiveConfig, snapshot func() []byt
 		minInterval: cfg.MinInterval,
 		maxInterval: cfg.MaxInterval,
 		interval:    clampInt(cfg.InitialInterval, cfg.MinInterval, cfg.MaxInterval),
-	}, nil
+	}
+	l.idle = sync.NewCond(&l.mu)
+	return l, nil
 }
 
 type requiredError string
@@ -116,7 +125,9 @@ func clampInt(v, lo, hi int) int {
 
 // Tick records the completion of one iteration; when the adaptive interval
 // elapses it captures a snapshot and persists it concurrently, folding the
-// measured persist time back into the interval.
+// measured persist time back into the interval. Tick is single-producer: it
+// must be called from one goroutine (the training loop); Drain and the
+// accessors may be called from any goroutine concurrently.
 func (l *AdaptiveLoop) Tick(ctx context.Context) {
 	now := time.Now()
 	l.mu.Lock()
@@ -134,6 +145,7 @@ func (l *AdaptiveLoop) Tick(ctx context.Context) {
 	if due {
 		l.sinceCkp = 0
 		l.saves++
+		l.inflight++
 	}
 	l.mu.Unlock()
 	if !due {
@@ -141,24 +153,34 @@ func (l *AdaptiveLoop) Tick(ctx context.Context) {
 	}
 
 	payload := l.snapshot()
-	l.wg.Add(1)
 	go func() {
-		defer l.wg.Done()
 		start := time.Now()
 		_, err := l.ck.Save(ctx, payload)
 		tw := time.Since(start).Seconds()
 		l.mu.Lock()
-		defer l.mu.Unlock()
 		if err != nil {
-			l.lastErr = err
-			return
-		}
-		if l.ewmaTw == 0 {
-			l.ewmaTw = tw
+			if l.firstErr == nil {
+				l.firstErr = err
+			}
+			l.failed++
 		} else {
-			l.ewmaTw = l.alpha*tw + (1-l.alpha)*l.ewmaTw
+			if l.ewmaTw == 0 {
+				l.ewmaTw = tw
+			} else {
+				l.ewmaTw = l.alpha*tw + (1-l.alpha)*l.ewmaTw
+			}
+			l.retuneLocked()
 		}
-		l.retuneLocked()
+		l.inflight--
+		if l.inflight == 0 {
+			l.idle.Broadcast()
+		}
+		l.mu.Unlock()
+		if err != nil {
+			if cb := l.OnError; cb != nil {
+				cb(err)
+			}
+		}
 	}()
 }
 
@@ -203,10 +225,21 @@ func (l *AdaptiveLoop) Adjustments() int {
 	return l.adjusts
 }
 
-// Drain waits for in-flight Saves and reports the first error.
+// Drain waits for all in-flight Saves and returns the first error any Save
+// has hit since the loop was created. Like Loop.Drain it is idempotent and
+// safe to call from any goroutine while Ticks continue.
 func (l *AdaptiveLoop) Drain() error {
-	l.wg.Wait()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.lastErr
+	for l.inflight > 0 {
+		l.idle.Wait()
+	}
+	return l.firstErr
+}
+
+// FailedSaves returns how many initiated Saves failed.
+func (l *AdaptiveLoop) FailedSaves() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }

@@ -8,6 +8,7 @@
 //	pccheck-bench -figure 8 -out results/       # all six panels
 //	pccheck-bench -figure 12                    # print to stdout
 //	pccheck-bench -table 1
+//	pccheck-bench -faults                       # fault-injection scenario
 package main
 
 import (
@@ -27,8 +28,26 @@ func main() {
 		table  = flag.Int("table", 0, "regenerate one table (1 or 3)")
 		claims = flag.Bool("claims", false, "check the paper's headline claims and print the verdicts")
 		out    = flag.String("out", "", "directory for CSV output (default: stdout)")
+
+		faults          = flag.Bool("faults", false, "run the fault-injection scenario and print the report")
+		faultTransients = flag.Int("fault-transients", 2, "with -faults: consecutive transient faults per injected burst")
+		faultSaves      = flag.Int("fault-saves", 200, "with -faults: checkpoints in the soak phase")
+		faultSeed       = flag.Int64("fault-seed", 1, "with -faults: rng seed for the soak phase")
 	)
 	flag.Parse()
+
+	if *faults {
+		err := runFaults(os.Stdout, faultsConfig{
+			transients: *faultTransients,
+			saves:      *faultSaves,
+			seed:       *faultSeed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench: FAULT SCENARIO FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *claims {
 		cs, err := figures.CheckClaims()

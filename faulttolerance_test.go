@@ -1,0 +1,278 @@
+package pccheck
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pccheck/internal/core"
+	"pccheck/internal/storage"
+)
+
+// Root-API fault-tolerance tests: the RetryPolicy, the per-failure OnError
+// callbacks, first-error-faithful Drain, and the LoadLatest re-size retry.
+
+// faultyCheckpointer builds a Checkpointer over a fault-injecting RAM device.
+func faultyCheckpointer(t *testing.T, cfg Config) (*Checkpointer, *storage.FaultDevice) {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	dev := storage.NewFaultDevice(storage.NewRAM(core.DeviceBytes(cfg.Concurrent, cfg.MaxBytes)))
+	engine, err := core.New(dev, cfg.engineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { engine.Close() })
+	return &Checkpointer{engine: engine, dev: dev}, dev
+}
+
+func fastRetryConfig(maxBytes int64, attempts int) Config {
+	return Config{
+		MaxBytes: maxBytes,
+		Verify:   true,
+		Retry: RetryPolicy{
+			MaxAttempts: attempts,
+			BaseBackoff: 50 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+		},
+	}
+}
+
+// The acceptance scenario through the public API: a Save scheduled to hit
+// k < MaxAttempts transient faults succeeds, Stats.Retries goes up by
+// exactly k, and the checkpoint loads back byte-identical.
+func TestSaveSurvivesTransientFaults(t *testing.T) {
+	const k = 2
+	ck, dev := faultyCheckpointer(t, fastRetryConfig(8192, k+2))
+	want := bytes.Repeat([]byte{0xA5}, 6000)
+	dev.FailTransient(storage.OpWrite, 1, k)
+	if _, err := ck.Save(context.Background(), want); err != nil {
+		t.Fatalf("Save died on transient faults: %v", err)
+	}
+	s := ck.Stats()
+	if s.Retries != k {
+		t.Fatalf("Stats.Retries = %d, want %d", s.Retries, k)
+	}
+	if s.TransientFaults != k {
+		t.Fatalf("Stats.TransientFaults = %d, want %d", s.TransientFaults, k)
+	}
+	if s.FailedSaves != 0 {
+		t.Fatalf("Stats.FailedSaves = %d, want 0", s.FailedSaves)
+	}
+	got, _, err := ck.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("loaded checkpoint not byte-identical")
+	}
+}
+
+// A permanent fault fails the Save, fires the Loop's OnError, leaks no slot
+// and leaves the previously published checkpoint recoverable.
+func TestPermanentFaultFailsLoopSaveObservably(t *testing.T) {
+	ck, dev := faultyCheckpointer(t, fastRetryConfig(4096, 5))
+	payloads := [][]byte{bytes.Repeat([]byte{1}, 3000), bytes.Repeat([]byte{2}, 3000)}
+	next := 0
+	loop, err := NewLoop(ck, 1, func() []byte { p := payloads[next]; next++; return p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var callbacks atomic.Int64
+	var cbErr atomic.Value
+	loop.OnError = func(err error) {
+		callbacks.Add(1)
+		cbErr.Store(err)
+	}
+
+	loop.Tick(context.Background(), 0)
+	if err := loop.Drain(); err != nil {
+		t.Fatalf("clean save failed: %v", err)
+	}
+	dev.FailAfter(storage.OpWrite, 1, nil) // permanent
+	loop.Tick(context.Background(), 1)
+	if err := loop.Drain(); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Drain = %v, want injected", err)
+	}
+	if callbacks.Load() != 1 {
+		t.Fatalf("OnError fired %d times, want 1", callbacks.Load())
+	}
+	if err, _ := cbErr.Load().(error); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("OnError got %v", err)
+	}
+	if loop.FailedSaves() != 1 {
+		t.Fatalf("FailedSaves = %d, want 1", loop.FailedSaves())
+	}
+	s := ck.Stats()
+	if s.FailedSaves != 1 || s.Retries != 0 {
+		t.Fatalf("stats after permanent fault: failed=%d retries=%d", s.FailedSaves, s.Retries)
+	}
+	// No slot leaked, previous checkpoint still loadable.
+	got, _, err := ck.LoadLatest()
+	if err != nil || !bytes.Equal(got, payloads[0]) {
+		t.Fatalf("previous checkpoint lost: %v", err)
+	}
+	if _, err := ck.Save(context.Background(), payloads[1]); err != nil {
+		t.Fatalf("engine wedged after permanent fault: %v", err)
+	}
+}
+
+// Drain documents "the first error" — a later failure must not overwrite an
+// earlier one, and the count of failed saves is exposed separately.
+func TestDrainKeepsFirstError(t *testing.T) {
+	ck, dev := faultyCheckpointer(t, fastRetryConfig(4096, 1))
+	loop, err := NewLoop(ck, 1, func() []byte { return make([]byte, 1024) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	err1 := errors.New("first failure")
+	err2 := errors.New("second failure")
+
+	dev.FailAfter(storage.OpWrite, 1, err1)
+	loop.Tick(context.Background(), 0)
+	if err := loop.Drain(); !errors.Is(err, err1) {
+		t.Fatalf("Drain = %v, want err1", err)
+	}
+	dev.FailAfter(storage.OpWrite, 1, err2)
+	loop.Tick(context.Background(), 1)
+	if err := loop.Drain(); !errors.Is(err, err1) {
+		t.Fatalf("Drain after second failure = %v, want first error kept", err)
+	}
+	if loop.FailedSaves() != 2 {
+		t.Fatalf("FailedSaves = %d, want 2", loop.FailedSaves())
+	}
+	// Idempotent: another Drain with nothing in flight returns the same.
+	if err := loop.Drain(); !errors.Is(err, err1) {
+		t.Fatalf("repeated Drain = %v", err)
+	}
+}
+
+// The Tick/Drain interaction must be clean under the race detector: a
+// single producer keeps Ticking while other goroutines Drain concurrently.
+func TestDrainConcurrentWithTicks(t *testing.T) {
+	ck, _ := faultyCheckpointer(t, fastRetryConfig(2048, 1))
+	loop, err := NewLoop(ck, 2, func() []byte { return make([]byte, 512) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := loop.Drain(); err != nil {
+					t.Errorf("Drain: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for it := 0; it < 400; it++ {
+		loop.Tick(context.Background(), it)
+	}
+	close(stop)
+	wg.Wait()
+	if err := loop.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if loop.Saves() != 200 {
+		t.Fatalf("Saves = %d, want 200", loop.Saves())
+	}
+}
+
+// AdaptiveLoop shares the failure semantics: first error kept, OnError per
+// failure, concurrent Drain safe.
+func TestAdaptiveLoopFailureSemantics(t *testing.T) {
+	ck, dev := faultyCheckpointer(t, fastRetryConfig(4096, 1))
+	loop, err := NewAdaptiveLoop(ck, AdaptiveConfig{MaxOverhead: 1.05, InitialInterval: 1}, func() []byte {
+		return make([]byte, 1024)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var callbacks atomic.Int64
+	loop.OnError = func(error) { callbacks.Add(1) }
+
+	err1 := errors.New("adaptive first failure")
+	dev.FailAfter(storage.OpWrite, 1, err1)
+	loop.Tick(context.Background())
+	if err := loop.Drain(); !errors.Is(err, err1) {
+		t.Fatalf("Drain = %v", err)
+	}
+	dev.FailAfter(storage.OpWrite, 1, nil)
+	loop.Tick(context.Background())
+	if err := loop.Drain(); !errors.Is(err, err1) {
+		t.Fatalf("first error not kept: %v", err)
+	}
+	if loop.FailedSaves() != 2 || callbacks.Load() != 2 {
+		t.Fatalf("failed=%d callbacks=%d, want 2/2", loop.FailedSaves(), callbacks.Load())
+	}
+	// Recovers once the device behaves.
+	loop.Tick(context.Background())
+	if loop.Saves() != 3 {
+		t.Fatalf("Saves = %d", loop.Saves())
+	}
+	if err := loop.Drain(); !errors.Is(err, err1) {
+		t.Fatalf("Drain after clean save = %v (first error must persist)", err)
+	}
+}
+
+// LoadLatest must not surface "buffer too small" when a larger checkpoint
+// publishes between its Latest() sizing and the read — the TOCTOU the
+// re-size retry closes. Alternating small/large saves race a hot reader.
+func TestLoadLatestResizesUnderConcurrentGrowth(t *testing.T) {
+	ck, _ := faultyCheckpointer(t, fastRetryConfig(64<<10, 1))
+	small := bytes.Repeat([]byte{3}, 1<<10)
+	large := bytes.Repeat([]byte{4}, 60<<10)
+	if _, err := ck.Save(context.Background(), small); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := small
+			if i%2 == 1 {
+				p = large
+			}
+			if _, err := ck.Save(context.Background(), p); err != nil {
+				t.Errorf("Save: %v", err)
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(500 * time.Millisecond)
+	reads := 0
+	for time.Now().Before(deadline) {
+		got, _, err := ck.LoadLatest()
+		if err != nil {
+			t.Fatalf("LoadLatest after %d reads: %v", reads, err)
+		}
+		if n := len(got); n != len(small) && n != len(large) {
+			t.Fatalf("loaded %d bytes", n)
+		}
+		reads++
+	}
+	close(stop)
+	wg.Wait()
+	if reads < 10 {
+		t.Fatalf("reader starved: %d reads", reads)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -78,43 +79,56 @@ type Checkpointer struct {
 	// superseded skips the write — the newer durable record subsumes it),
 	// and recordSeq alternates the two on-device record locations so the
 	// previous durable record is always intact while the next one is being
-	// written, even when published counters share parity.
+	// written, even when published counters share parity. pendingFree
+	// parks slots that may still be referenced by the durable record after
+	// a record-persist failure; they rejoin the free queue once a newer
+	// record lands durably.
 	recordMu      sync.Mutex
 	recordHighest uint64
 	recordSeq     uint64
+	pendingFree   []int
 
 	stats Stats
 }
 
 // Stats exposes engine counters. All fields are cumulative.
 type Stats struct {
-	Checkpoints  atomic.Int64 // published checkpoints (won the CAS)
-	Obsolete     atomic.Int64 // completed but superseded before publishing
-	Retries      atomic.Int64 // CAS retries against older registered values
-	BytesWritten atomic.Int64
-	PersistNanos atomic.Int64 // total wall time inside Checkpoint
-	SlotWaits    atomic.Int64 // times a checkpoint had to wait for a slot
+	Checkpoints     atomic.Int64 // published checkpoints (won the CAS)
+	Obsolete        atomic.Int64 // completed but superseded before publishing
+	Retries         atomic.Int64 // CAS retries against older registered values
+	BytesWritten    atomic.Int64
+	PersistNanos    atomic.Int64 // total wall time inside Checkpoint
+	SlotWaits       atomic.Int64 // times a checkpoint had to wait for a slot
+	TransientFaults atomic.Int64 // transient device faults absorbed on the persist path
+	IORetries       atomic.Int64 // persist-path I/O retries taken after transient faults
+	FailedSaves     atomic.Int64 // Checkpoint calls that returned an error after starting
 }
 
 // StatsSnapshot is a point-in-time plain-struct copy of Stats.
 type StatsSnapshot struct {
-	Checkpoints  int64
-	Obsolete     int64
-	Retries      int64
-	BytesWritten int64
-	Persist      time.Duration
-	SlotWaits    int64
+	Checkpoints     int64
+	Obsolete        int64
+	Retries         int64
+	BytesWritten    int64
+	Persist         time.Duration
+	SlotWaits       int64
+	TransientFaults int64
+	IORetries       int64
+	FailedSaves     int64
 }
 
 // Stats returns a point-in-time copy of the counters.
 func (c *Checkpointer) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		Checkpoints:  c.stats.Checkpoints.Load(),
-		Obsolete:     c.stats.Obsolete.Load(),
-		Retries:      c.stats.Retries.Load(),
-		BytesWritten: c.stats.BytesWritten.Load(),
-		Persist:      time.Duration(c.stats.PersistNanos.Load()),
-		SlotWaits:    c.stats.SlotWaits.Load(),
+		Checkpoints:     c.stats.Checkpoints.Load(),
+		Obsolete:        c.stats.Obsolete.Load(),
+		Retries:         c.stats.Retries.Load(),
+		BytesWritten:    c.stats.BytesWritten.Load(),
+		Persist:         time.Duration(c.stats.PersistNanos.Load()),
+		SlotWaits:       c.stats.SlotWaits.Load(),
+		TransientFaults: c.stats.TransientFaults.Load(),
+		IORetries:       c.stats.IORetries.Load(),
+		FailedSaves:     c.stats.FailedSaves.Load(),
 	}
 }
 
@@ -245,6 +259,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	// Lines 6–11: obtain a free slot, spinning like the paper's deq loop.
 	slot, waited, err := c.acquireSlot(ctx)
 	if err != nil {
+		c.stats.FailedSaves.Add(1)
 		return 0, err
 	}
 	if waited {
@@ -256,16 +271,16 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	// p parallel writers, then make it durable.
 	payloadCRC, err := c.writePayload(ctx, slot, src)
 	if err != nil {
-		c.slotSeq[slot].Add(1)
-		c.freeSpace.Enq(slot)
+		c.failSlot(slot)
 		return 0, err
 	}
 
 	// Lines 16–18: persist this slot's header before publishing.
 	hdr := slotHeader{counter: counter, size: size, payloadCRC: payloadCRC, hasCRC: c.cfg.VerifyPayload}
-	if err := c.dev.Persist(encodeSlotHeader(hdr), slotBase(c.sb, slot)); err != nil {
-		c.slotSeq[slot].Add(1)
-		c.freeSpace.Enq(slot)
+	if err := c.retryIO(ctx, func() error {
+		return c.dev.Persist(encodeSlotHeader(hdr), slotBase(c.sb, slot))
+	}); err != nil {
+		c.failSlot(slot)
 		return 0, err
 	}
 	c.slotSeq[slot].Add(1) // even: slot stable until recycled
@@ -275,11 +290,20 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	for {
 		if c.checkAddr.CompareAndSwap(lastCheck, cur) {
 			// Success: persist the pointer (BARRIER), then free the old slot.
-			if err := c.persistRecord(*cur); err != nil {
-				return 0, err
-			}
+			err := c.persistRecord(ctx, *cur)
 			if lastCheck != nil {
-				c.freeSpace.Enq(lastCheck.slot)
+				if err != nil {
+					// The durable on-device record may still reference the
+					// slot we were about to free; park it until a newer
+					// record lands so recovery never chases a recycled slot.
+					c.deferFree(lastCheck.slot)
+				} else {
+					c.freeSpace.Enq(lastCheck.slot)
+				}
+			}
+			if err != nil {
+				c.stats.FailedSaves.Add(1)
+				return 0, err
 			}
 			c.stats.Checkpoints.Add(1)
 			c.stats.BytesWritten.Add(size)
@@ -296,7 +320,11 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 		}
 		// A more recent checkpoint was registered (lines 29–31): make sure
 		// its pointer is durable, then recycle our never-published slot.
-		if err := c.persistRecord(*check); err != nil {
+		if err := c.persistRecord(ctx, *check); err != nil {
+			// Our slot was never published, so it is always safe to
+			// recycle — failing the barrier must not leak it.
+			c.freeSpace.Enq(slot)
+			c.stats.FailedSaves.Add(1)
 			return 0, err
 		}
 		c.freeSpace.Enq(slot)
@@ -307,8 +335,30 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	}
 }
 
+// failSlot abandons an unpublished slot after a persist failure: the seqlock
+// returns to even (contents settled, albeit garbage), the slot rejoins the
+// free queue, and the failure is counted. Slot accounting must balance on
+// every error path — a leaked slot permanently lowers the engine's effective
+// concurrency.
+func (c *Checkpointer) failSlot(slot int) {
+	c.slotSeq[slot].Add(1)
+	c.freeSpace.Enq(slot)
+	c.stats.FailedSaves.Add(1)
+}
+
+// deferFree parks a slot that the durable pointer record may still
+// reference. It is released by the next successful persistRecord, whose
+// newer record subsumes any stale reference.
+func (c *Checkpointer) deferFree(slot int) {
+	c.recordMu.Lock()
+	c.pendingFree = append(c.pendingFree, slot)
+	c.recordMu.Unlock()
+}
+
 // acquireSlot dequeues a free slot, spinning until one appears (the paper's
-// while-true deq loop) or ctx is cancelled.
+// while-true deq loop) or ctx is cancelled. An empty queue can also mean a
+// slot is parked behind a failed pointer-record barrier; in that case the
+// barrier is re-driven so the spin either frees a slot or fails fast.
 func (c *Checkpointer) acquireSlot(ctx context.Context) (slot int, waited bool, err error) {
 	if s, ok := c.freeSpace.Deq(); ok {
 		return s, false, nil
@@ -320,12 +370,35 @@ func (c *Checkpointer) acquireSlot(ctx context.Context) (slot int, waited bool, 
 		if err := ctx.Err(); err != nil {
 			return 0, true, err
 		}
+		if err := c.redriveRecord(ctx); err != nil {
+			return 0, true, err
+		}
 		if spin < 100 {
 			runtime.Gosched()
 		} else {
 			time.Sleep(100 * time.Microsecond)
 		}
 	}
+}
+
+// redriveRecord retries the pointer-record barrier for the currently
+// published checkpoint when earlier failures left slots parked in
+// pendingFree. Success releases those slots back to the free queue (via
+// persistRecord); a device that still cannot persist records returns the
+// error so a waiting Save fails fast instead of spinning forever —
+// essential at Concurrent=1, where the parked slot is the only spare.
+func (c *Checkpointer) redriveRecord(ctx context.Context) error {
+	c.recordMu.Lock()
+	parked := len(c.pendingFree) > 0
+	c.recordMu.Unlock()
+	if !parked {
+		return nil
+	}
+	m := c.checkAddr.Load()
+	if m == nil {
+		return nil
+	}
+	return c.persistRecord(ctx, *m)
 }
 
 // writePayload streams src into the slot's payload area through the DRAM
@@ -351,11 +424,16 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 	tasks := make(chan task, writers)
 	errCh := make(chan error, writers)
 	var persisted atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 
 	// p writer goroutines persist chunks to the device. Each paces itself
 	// at the per-thread bandwidth, mirroring that one OS thread cannot
-	// saturate a storage device (§3.3/§5.4.2).
+	// saturate a storage device (§3.3/§5.4.2). Transient device faults are
+	// absorbed per the retry policy right here at the chunk granularity —
+	// rewriting one chunk is idempotent and far cheaper than restarting
+	// the whole checkpoint (the FastPersist lesson: per-write failure
+	// handling belongs in the parallel-writer path).
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func() {
@@ -368,16 +446,22 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 				// effective rate is min(laneBW, device share), as on real
 				// hardware — not the series of the two.
 				laneDeadline := lane.Reserve(t.n)
-				err := c.dev.WriteAt(t.chunk.Bytes()[:t.n], base+t.off)
-				if err == nil && c.dev.Kind() == storage.KindPMEM {
-					// PMEM path: each writer fences its own stores (§4.1).
-					err = c.dev.Sync(base+t.off, int64(t.n))
-				}
+				err := c.retryIO(ctx, func() error {
+					if err := c.dev.WriteAt(t.chunk.Bytes()[:t.n], base+t.off); err != nil {
+						return err
+					}
+					if c.dev.Kind() == storage.KindPMEM {
+						// PMEM path: each writer fences its own stores (§4.1).
+						return c.dev.Sync(base+t.off, int64(t.n))
+					}
+					return nil
+				})
 				if wait := time.Until(laneDeadline); wait > 0 {
 					time.Sleep(wait)
 				}
 				c.pool.Release(t.chunk)
 				if err != nil {
+					failed.Store(true)
 					select {
 					case errCh <- err:
 					default:
@@ -392,6 +476,12 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 	crc := crc32.NewIEEE()
 	var produceErr error
 	for off := int64(0); off < size; {
+		if failed.Load() {
+			// A writer already failed past its retry budget; producing
+			// more chunks would only burn device bandwidth. errCh carries
+			// the error out.
+			break
+		}
 		chunk, err := c.pool.Acquire(ctx)
 		if err != nil {
 			produceErr = err
@@ -432,7 +522,7 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 	// SSD path: a single sync covers all writers' chunks (§4.1: "the main
 	// thread can call a single msync"). PMEM writers already fenced.
 	if c.dev.Kind() != storage.KindPMEM {
-		if err := c.dev.Sync(base, size); err != nil {
+		if err := c.retryIO(ctx, func() error { return c.dev.Sync(base, size) }); err != nil {
 			return 0, err
 		}
 	}
@@ -446,9 +536,12 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 // written in strictly increasing counter order, alternating between the two
 // on-device locations; a call whose counter is already superseded by a
 // durable record returns immediately (the newer record subsumes it). This is
-// the BARRIER(CHECK_ADDR) of Listing 1: when it returns, a pointer with
-// counter ≥ meta.counter is durable.
-func (c *Checkpointer) persistRecord(meta checkMeta) error {
+// the BARRIER(CHECK_ADDR) of Listing 1: when it returns with nil, a pointer
+// with counter ≥ meta.counter is durable. Transient device faults are
+// retried per the policy; on success, slots parked by earlier record
+// failures rejoin the free queue — the newer durable record subsumes any
+// stale reference to them.
+func (c *Checkpointer) persistRecord(ctx context.Context, meta checkMeta) error {
 	c.recordMu.Lock()
 	defer c.recordMu.Unlock()
 	if meta.counter <= c.recordHighest {
@@ -458,13 +551,28 @@ func (c *Checkpointer) persistRecord(meta checkMeta) error {
 	if c.recordSeq%2 == 1 {
 		off = recordBOff
 	}
-	if err := c.dev.Persist(encodeRecord(meta), off); err != nil {
+	if err := c.retryIO(ctx, func() error {
+		return c.dev.Persist(encodeRecord(meta), off)
+	}); err != nil {
 		return err
 	}
 	c.recordSeq++
 	c.recordHighest = meta.counter
+	for _, s := range c.pendingFree {
+		c.freeSpace.Enq(s)
+	}
+	c.pendingFree = c.pendingFree[:0]
 	return nil
 }
+
+// FreeSlots reports how many checkpoint slots are currently in the free
+// queue. With no checkpoint in flight it must equal TotalSlots()-1 (the
+// published slot is never free) — the slot-conservation invariant the fault
+// tests and the bench's -faults mode check after every failure.
+func (c *Checkpointer) FreeSlots() int { return c.freeSpace.Len() }
+
+// TotalSlots reports the device's slot count, N+1.
+func (c *Checkpointer) TotalSlots() int { return c.sb.slots }
 
 // Latest returns the newest published checkpoint's counter and size.
 func (c *Checkpointer) Latest() (counter uint64, size int64, ok bool) {
@@ -489,7 +597,7 @@ func (c *Checkpointer) ReadLatest(dst []byte) (uint64, int64, error) {
 			return 0, 0, ErrNoCheckpoint
 		}
 		if int64(len(dst)) < m.size {
-			return 0, 0, fmt.Errorf("core: buffer %d < checkpoint %d", len(dst), m.size)
+			return 0, 0, fmt.Errorf("%w: buffer %d < checkpoint %d", ErrBufferTooSmall, len(dst), m.size)
 		}
 		s1 := c.slotSeq[m.slot].Load()
 		if s1%2 == 1 {
@@ -504,6 +612,15 @@ func (c *Checkpointer) ReadLatest(dst []byte) (uint64, int64, error) {
 			continue // recycled mid-read; retry against the newer state
 		}
 		if err != nil {
+			// The seqlock sample above happens after the checkAddr load, so
+			// a full recycle of m's slot in that window leaves the seqlock
+			// looking stable while the header holds a newer counter. If a
+			// newer publication exists, m was simply stale — retry; with no
+			// newer publication the mismatch is real on-device damage.
+			if errors.Is(err, errSlotRecycled) && c.checkAddr.Load() != m {
+				runtime.Gosched()
+				continue
+			}
 			return 0, 0, err
 		}
 		return m.counter, m.size, nil

@@ -63,6 +63,9 @@ var (
 	ErrNotFormatted = errors.New("core: device not formatted")
 	// ErrClosed means the checkpointer has been closed.
 	ErrClosed = errors.New("core: checkpointer closed")
+	// ErrBufferTooSmall means a caller-supplied buffer cannot hold the
+	// checkpoint — retry with a buffer sized from a fresh Latest().
+	ErrBufferTooSmall = errors.New("core: buffer too small for checkpoint")
 )
 
 // Config sizes the engine. The zero value is not usable; see New.
@@ -88,6 +91,9 @@ type Config struct {
 	// PerWriterBW paces each writer goroutine to this many bytes/sec
 	// (0 = unpaced). Device-level pacing belongs to the Device itself.
 	PerWriterBW float64
+	// Retry governs how transient device faults are retried on the
+	// persist path. The zero value retries nothing.
+	Retry RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +106,7 @@ func (c Config) withDefaults() Config {
 	if c.DRAMBudget <= 0 {
 		c.DRAMBudget = 2 * c.SlotBytes
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 

@@ -1,11 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 
 	"pccheck/internal/storage"
 )
+
+// errSlotRecycled reports that a slot's header no longer matches the
+// metadata the caller resolved. Under live concurrency this means a newer
+// checkpoint recycled the slot mid-read (retry against fresh metadata);
+// during crash recovery it means the record and slot disagree.
+var errSlotRecycled = errors.New("core: slot recycled during read")
 
 // recoverPointer reads both pointer records and returns the newest valid,
 // fully persisted checkpoint, plus which record location held it (0 = A,
@@ -79,14 +86,17 @@ func readSlotPayload(dev storage.Device, sb superblock, meta checkMeta, dst []by
 	}
 	hdr, ok := decodeSlotHeader(buf)
 	if !ok || hdr.counter != meta.counter {
-		return fmt.Errorf("core: slot %d no longer holds checkpoint %d", meta.slot, meta.counter)
+		return fmt.Errorf("%w: slot %d no longer holds checkpoint %d", errSlotRecycled, meta.slot, meta.counter)
 	}
 	if err := dev.ReadAt(dst, payloadBase(sb, meta.slot)); err != nil {
 		return err
 	}
 	if hdr.hasCRC {
 		if got := crc32.ChecksumIEEE(dst); got != hdr.payloadCRC {
-			return fmt.Errorf("core: checkpoint %d payload checksum mismatch", meta.counter)
+			// Classified corrupt (not transient): re-reading the same bytes
+			// will not heal a bad payload, and callers must know the data
+			// cannot be trusted.
+			return storage.Corrupt(fmt.Errorf("core: checkpoint %d payload checksum mismatch", meta.counter))
 		}
 	}
 	return nil

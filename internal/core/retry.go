@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pccheck/internal/storage"
+)
+
+// RetryPolicy governs how the engine reacts to transient device faults
+// (storage.ClassTransient): each persist-path I/O is attempted up to
+// MaxAttempts times with exponential backoff and jitter between attempts.
+// Permanent and corrupt errors are never retried — they fail the operation
+// on the first occurrence.
+//
+// The zero value retries nothing (MaxAttempts 1), which is the engine's
+// historical behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per I/O operation,
+	// including the first. Values < 1 behave as 1 (no retry).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 1ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64
+	// Jitter randomizes each backoff by ±Jitter fraction so concurrent
+	// writers hitting the same fault don't retry in lockstep. 0 defaults
+	// to 0.2; negative disables jitter.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number n (1-based), jittered.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := float64(p.BaseBackoff)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// retryIO runs op, absorbing transient device faults per the engine's
+// RetryPolicy. Every absorbed fault increments Stats.TransientFaults; every
+// retry taken increments Stats.IORetries. Permanent and corrupt errors
+// return immediately, as does ctx cancellation during backoff. When the
+// attempt budget is exhausted the last (still transient-classified) error is
+// returned wrapped with the attempt count.
+func (c *Checkpointer) retryIO(ctx context.Context, op func() error) error {
+	pol := c.cfg.Retry
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if storage.Classify(err) != storage.ClassTransient {
+			return err
+		}
+		c.stats.TransientFaults.Add(1)
+		if attempt >= pol.MaxAttempts {
+			if pol.MaxAttempts == 1 {
+				return err
+			}
+			return fmt.Errorf("core: %d attempts exhausted: %w", attempt, err)
+		}
+		c.stats.IORetries.Add(1)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(pol.backoff(attempt)):
+		}
+	}
+}

@@ -188,3 +188,87 @@ func TestSoakMixedFaultsAndReaders(t *testing.T) {
 		t.Fatalf("slots leaked: free=%d want %d", free, eng.sb.slots-1)
 	}
 }
+
+// TestSoakTransientFaultStorm hammers a retry-enabled engine with concurrent
+// checkpoint writers while an injector schedules bursts of transient faults
+// across every device operation the persist path uses. Acknowledged saves
+// must stay readable, transient bursts within the retry budget must be
+// absorbed, and slot accounting must balance at the end — the invariant that
+// matters most under -race.
+func TestSoakTransientFaultStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const slotBytes = 8192
+	inner := storage.NewRAM(DeviceBytes(4, slotBytes))
+	dev := storage.NewFaultDevice(inner)
+	eng, err := New(dev, Config{
+		Concurrent: 4, SlotBytes: slotBytes, Writers: 3, ChunkBytes: 2048,
+		VerifyPayload: true,
+		Retry:         RetryPolicy{MaxAttempts: 4, BaseBackoff: 50 * time.Microsecond, MaxBackoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	var wg sync.WaitGroup
+	var okSaves, failedSaves atomic.Int64
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for time.Now().Before(deadline) {
+				p := selfPayload(uint64(rng.Int63()), 2048+rng.Intn(4096))
+				if _, err := eng.Checkpoint(context.Background(), BytesSource(p)); err != nil {
+					// Bursts longer than the budget may exhaust retries;
+					// anything else is a bug.
+					if !errors.Is(err, storage.ErrInjected) && !storage.IsTransient(err) {
+						t.Errorf("unexpected error class: %v", err)
+						return
+					}
+					failedSaves.Add(1)
+					continue
+				}
+				okSaves.Add(1)
+			}
+		}(w)
+	}
+	// Injector: transient bursts on writes, syncs and persists, with the
+	// occasional burst long enough to blow the attempt budget.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(4242))
+		ops := []storage.Op{storage.OpWrite, storage.OpSync, storage.OpPersist}
+		for time.Now().Before(deadline) {
+			time.Sleep(time.Duration(2+rng.Intn(10)) * time.Millisecond)
+			dev.FailTransient(ops[rng.Intn(len(ops))], int64(1+rng.Intn(8)), int64(1+rng.Intn(6)))
+		}
+		dev.Clear()
+	}()
+	wg.Wait()
+	dev.Clear()
+
+	s := eng.Stats()
+	if okSaves.Load() < 20 || s.TransientFaults < 5 {
+		t.Fatalf("soak too weak: ok=%d transient=%d", okSaves.Load(), s.TransientFaults)
+	}
+	if s.IORetries == 0 {
+		t.Fatal("retry path never exercised")
+	}
+	// The latest acknowledged checkpoint must be intact.
+	buf := make([]byte, slotBytes)
+	if _, _, err := eng.ReadLatest(buf); err != nil {
+		t.Fatalf("latest unreadable after storm: %v", err)
+	}
+	// Slot conservation: drive one clean save to flush any slot parked by a
+	// record failure, then every slot but the published one must be free.
+	if _, err := eng.Checkpoint(context.Background(), BytesSource(selfPayload(1, 2048))); err != nil {
+		t.Fatalf("clean save after storm: %v", err)
+	}
+	if free := eng.FreeSlots(); free != eng.TotalSlots()-1 {
+		t.Fatalf("slots leaked: free=%d want %d (ok=%d failed=%d)", free, eng.TotalSlots()-1, okSaves.Load(), failedSaves.Load())
+	}
+}

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// ErrClass partitions device errors by how the engine should react.
+// TierCheck-style tiering: a transient fault is worth retrying in place, a
+// permanent fault must fail the operation fast, and corruption means the
+// bytes read back cannot be trusted even though the I/O "succeeded".
+type ErrClass int
+
+const (
+	// ClassPermanent errors do not go away by retrying: range violations,
+	// closed files, full devices. The default for unclassified errors —
+	// retrying an unknown failure against a persistence device is how data
+	// gets lost, so the conservative reaction is to fail fast.
+	ClassPermanent ErrClass = iota
+	// ClassTransient errors are expected to clear on retry: interrupted
+	// syscalls, throttle spikes, momentary device resets.
+	ClassTransient
+	// ClassCorrupt errors mean the device returned data that fails
+	// integrity checks. Retrying a read may help (torn concurrent write);
+	// retrying a write will not.
+	ClassCorrupt
+)
+
+func (c ErrClass) String() string {
+	switch c {
+	case ClassPermanent:
+		return "permanent"
+	case ClassTransient:
+		return "transient"
+	case ClassCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("ErrClass(%d)", int(c))
+	}
+}
+
+// classifiedError tags an error with its ErrClass while preserving the chain
+// for errors.Is/As.
+type classifiedError struct {
+	class ErrClass
+	err   error
+}
+
+func (e *classifiedError) Error() string          { return e.err.Error() }
+func (e *classifiedError) Unwrap() error          { return e.err }
+func (e *classifiedError) StorageClass() ErrClass { return e.class }
+
+// Transient wraps err as a retryable device fault. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{class: ClassTransient, err: err}
+}
+
+// Permanent wraps err as a non-retryable device fault. A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{class: ClassPermanent, err: err}
+}
+
+// Corrupt wraps err as an integrity failure. A nil err returns nil.
+func Corrupt(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{class: ClassCorrupt, err: err}
+}
+
+// transientErrnos are the OS-level errors that clear on retry: interrupted
+// or would-block syscalls and timeouts. ENOSPC and EIO are deliberately
+// absent — a full or failing device is not going to heal between attempts.
+var transientErrnos = []syscall.Errno{
+	syscall.EINTR,
+	syscall.EAGAIN,
+	syscall.ETIMEDOUT,
+	syscall.EBUSY,
+}
+
+// Classify reports the ErrClass of err. Explicit tags (Transient, Permanent,
+// Corrupt — anywhere in the wrap chain) win; otherwise OS errors known to be
+// retryable classify as transient and everything else, including nil-adjacent
+// unknowns, as permanent.
+func Classify(err error) ErrClass {
+	var ce *classifiedError
+	if errors.As(err, &ce) {
+		return ce.class
+	}
+	// Any wrapper exposing StorageClass participates, not just ours.
+	var tagged interface{ StorageClass() ErrClass }
+	if errors.As(err, &tagged) {
+		return tagged.StorageClass()
+	}
+	for _, errno := range transientErrnos {
+		if errors.Is(err, errno) {
+			return ClassTransient
+		}
+	}
+	return ClassPermanent
+}
+
+// IsTransient reports whether err classifies as a retryable device fault.
+func IsTransient(err error) bool { return err != nil && Classify(err) == ClassTransient }
+
+// IsCorrupt reports whether err classifies as an integrity failure.
+func IsCorrupt(err error) bool { return err != nil && Classify(err) == ClassCorrupt }

@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+)
+
+func TestClassifyDefaultsToPermanent(t *testing.T) {
+	if got := Classify(errors.New("mystery")); got != ClassPermanent {
+		t.Fatalf("Classify(unknown) = %v", got)
+	}
+	if got := Classify(ErrInjected); got != ClassPermanent {
+		t.Fatalf("Classify(ErrInjected) = %v", got)
+	}
+}
+
+func TestClassifyExplicitTags(t *testing.T) {
+	base := errors.New("blip")
+	cases := []struct {
+		err  error
+		want ErrClass
+	}{
+		{Transient(base), ClassTransient},
+		{Permanent(base), ClassPermanent},
+		{Corrupt(base), ClassCorrupt},
+		{fmt.Errorf("writer 2: %w", Transient(base)), ClassTransient},
+		{fmt.Errorf("load: %w", Corrupt(base)), ClassCorrupt},
+	}
+	for i, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Fatalf("case %d: Classify = %v, want %v", i, got, c.want)
+		}
+	}
+	// Tagging preserves the chain.
+	if !errors.Is(Transient(base), base) {
+		t.Fatal("Transient broke errors.Is")
+	}
+}
+
+func TestClassifyOSErrnos(t *testing.T) {
+	for _, errno := range []syscall.Errno{syscall.EINTR, syscall.EAGAIN, syscall.ETIMEDOUT, syscall.EBUSY} {
+		if got := Classify(fmt.Errorf("pwrite: %w", errno)); got != ClassTransient {
+			t.Fatalf("Classify(%v) = %v, want transient", errno, got)
+		}
+	}
+	for _, errno := range []syscall.Errno{syscall.ENOSPC, syscall.EIO, syscall.EBADF} {
+		if got := Classify(fmt.Errorf("pwrite: %w", errno)); got != ClassPermanent {
+			t.Fatalf("Classify(%v) = %v, want permanent", errno, got)
+		}
+	}
+}
+
+func TestClassHelpers(t *testing.T) {
+	if !IsTransient(ErrInjectedTransient) {
+		t.Fatal("ErrInjectedTransient not transient")
+	}
+	if IsTransient(nil) || IsCorrupt(nil) {
+		t.Fatal("nil classified as a fault")
+	}
+	if !IsCorrupt(Corrupt(errors.New("crc"))) {
+		t.Fatal("Corrupt not corrupt")
+	}
+	if IsTransient(ErrInjected) {
+		t.Fatal("ErrInjected should be permanent")
+	}
+}
+
+func TestTagNilReturnsNil(t *testing.T) {
+	if Transient(nil) != nil || Permanent(nil) != nil || Corrupt(nil) != nil {
+		t.Fatal("tagging nil must return nil")
+	}
+}
+
+func TestErrClassString(t *testing.T) {
+	if ClassTransient.String() != "transient" || ClassPermanent.String() != "permanent" || ClassCorrupt.String() != "corrupt" {
+		t.Fatal("ErrClass strings wrong")
+	}
+}

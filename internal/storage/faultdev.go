@@ -31,27 +31,52 @@ func (o Op) String() string {
 	}
 }
 
-// ErrInjected is the default error returned by injected faults.
+// ErrInjected is the default error returned by injected faults. It
+// classifies as permanent (see Classify).
 var ErrInjected = errors.New("storage: injected fault")
+
+// ErrInjectedTransient is the default error of transient injected faults; it
+// classifies as ClassTransient so retry loops treat it as a retryable blip.
+var ErrInjectedTransient = Transient(errors.New("storage: injected transient fault"))
+
+// Schedule programs a run of failures for one operation: starting at the
+// After-th next invocation, the next Count calls fail with Err. It is the
+// failure-count generalisation of the original one-shot FailAfter — a
+// Count > 1 schedule models a device hiccup that spans several I/Os (a
+// throttle spike, a controller reset) rather than a single bad call.
+type Schedule struct {
+	// After arms the schedule on the n-th next invocation (1 = the very
+	// next call). Values < 1 behave as 1.
+	After int64
+	// Count is how many consecutive invocations fail once armed (0 → 1).
+	Count int64
+	// Err is the injected error; nil uses ErrInjected.
+	Err error
+	// TearFrac, for OpWrite only, persists this fraction of the payload
+	// before failing (a torn write). 0 tears nothing.
+	TearFrac float64
+}
 
 // FaultDevice wraps a Device and injects failures at programmed points —
 // the disk-error half of failure testing (the pmem package covers power
-// loss). Faults fire on the n-th subsequent call of the given operation;
-// torn writes persist only a prefix of the payload before failing, the way
-// a real device can fail mid-I/O.
+// loss). Faults fire on the n-th subsequent call of the given operation and
+// may repeat for a scheduled count; torn writes persist only a prefix of the
+// payload before failing, the way a real device can fail mid-I/O.
 type FaultDevice struct {
 	inner Device
 
 	mu       sync.Mutex
 	arm      map[Op]*faultPlan
 	opCounts map[Op]int64
+	faults   map[Op]int64 // cumulative injected faults per op
 }
 
 type faultPlan struct {
-	after    int64 // fire on the call when count reaches this value
+	after    int64 // fire on calls whose count reaches this value
+	count    int64 // how many consecutive calls fail once armed
 	err      error
 	tearFrac float64 // for OpWrite: fraction of the payload written before failing
-	fired    bool
+	fired    int64   // how many times this plan has fired
 }
 
 // NewFaultDevice wraps inner.
@@ -60,6 +85,7 @@ func NewFaultDevice(inner Device) *FaultDevice {
 		inner:    inner,
 		arm:      make(map[Op]*faultPlan),
 		opCounts: make(map[Op]int64),
+		faults:   make(map[Op]int64),
 	}
 }
 
@@ -67,41 +93,70 @@ func NewFaultDevice(inner Device) *FaultDevice {
 // fails the very next call). A nil err uses ErrInjected. Re-arming replaces
 // the previous plan for that op.
 func (d *FaultDevice) FailAfter(op Op, n int64, err error) {
-	if err == nil {
-		err = ErrInjected
+	d.SetSchedule(op, Schedule{After: n, Count: 1, Err: err})
+}
+
+// FailTransient arms op to fail with ErrInjectedTransient on count
+// consecutive invocations starting at the n-th next one — the transient
+// device hiccup a retrying persist path must absorb.
+func (d *FaultDevice) FailTransient(op Op, n, count int64) {
+	d.SetSchedule(op, Schedule{After: n, Count: count, Err: ErrInjectedTransient})
+}
+
+// SetSchedule arms op with s, replacing any previous plan for that op.
+func (d *FaultDevice) SetSchedule(op Op, s Schedule) {
+	if s.Err == nil {
+		s.Err = ErrInjected
+	}
+	if s.After < 1 {
+		s.After = 1
+	}
+	if s.Count < 1 {
+		s.Count = 1
+	}
+	if s.TearFrac < 0 {
+		s.TearFrac = 0
+	}
+	if s.TearFrac > 1 {
+		s.TearFrac = 1
 	}
 	d.mu.Lock()
-	d.arm[op] = &faultPlan{after: d.opCounts[op] + n, err: err}
+	d.arm[op] = &faultPlan{
+		after:    d.opCounts[op] + s.After,
+		count:    s.Count,
+		err:      s.Err,
+		tearFrac: s.TearFrac,
+	}
 	d.mu.Unlock()
 }
 
 // TearNextWrite arms the next WriteAt to persist only frac of its payload
 // and then fail — a torn write.
 func (d *FaultDevice) TearNextWrite(frac float64) {
-	if frac < 0 {
-		frac = 0
-	}
-	if frac > 1 {
-		frac = 1
-	}
-	d.mu.Lock()
-	d.arm[OpWrite] = &faultPlan{after: d.opCounts[OpWrite] + 1, err: ErrInjected, tearFrac: frac}
-	d.mu.Unlock()
+	d.SetSchedule(OpWrite, Schedule{After: 1, Count: 1, TearFrac: frac})
 }
 
-// Clear disarms every pending fault.
+// Clear disarms every pending fault. Cumulative fault counts are preserved.
 func (d *FaultDevice) Clear() {
 	d.mu.Lock()
 	d.arm = make(map[Op]*faultPlan)
 	d.mu.Unlock()
 }
 
-// Fired reports whether the plan armed for op has triggered.
+// Fired reports whether the plan armed for op has triggered at least once.
 func (d *FaultDevice) Fired(op Op) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	p := d.arm[op]
-	return p != nil && p.fired
+	return p != nil && p.fired > 0
+}
+
+// FaultCount returns how many faults have been injected for op over the
+// device's lifetime (across all plans, surviving Clear).
+func (d *FaultDevice) FaultCount(op Op) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults[op]
 }
 
 // check advances op's counter and returns the armed plan if it fires now.
@@ -110,10 +165,11 @@ func (d *FaultDevice) check(op Op) *faultPlan {
 	defer d.mu.Unlock()
 	d.opCounts[op]++
 	p := d.arm[op]
-	if p == nil || p.fired || d.opCounts[op] < p.after {
+	if p == nil || p.fired >= p.count || d.opCounts[op] < p.after {
 		return nil
 	}
-	p.fired = true
+	p.fired++
+	d.faults[op]++
 	return p
 }
 

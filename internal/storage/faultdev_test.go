@@ -107,3 +107,65 @@ func TestOpString(t *testing.T) {
 		t.Fatal("Op strings wrong")
 	}
 }
+
+func TestScheduleFailsCountConsecutiveCalls(t *testing.T) {
+	d := NewFaultDevice(NewRAM(1024))
+	d.FailTransient(OpWrite, 2, 3) // calls 2,3,4 fail
+	var errs int
+	for i := 1; i <= 6; i++ {
+		err := d.WriteAt([]byte("x"), 0)
+		switch {
+		case i >= 2 && i <= 4:
+			if !errors.Is(err, ErrInjectedTransient) {
+				t.Fatalf("call %d: err = %v, want transient injected", i, err)
+			}
+			if Classify(err) != ClassTransient {
+				t.Fatalf("call %d: class = %v", i, Classify(err))
+			}
+			errs++
+		default:
+			if err != nil {
+				t.Fatalf("call %d failed unexpectedly: %v", i, err)
+			}
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("injected %d faults, want 3", errs)
+	}
+	if got := d.FaultCount(OpWrite); got != 3 {
+		t.Fatalf("FaultCount = %d, want 3", got)
+	}
+}
+
+func TestScheduleCustomErrAndClear(t *testing.T) {
+	d := NewFaultDevice(NewRAM(64))
+	boom := errors.New("controller reset")
+	d.SetSchedule(OpPersist, Schedule{After: 1, Count: 2, Err: Transient(boom)})
+	if err := d.Persist([]byte("x"), 0); !errors.Is(err, boom) || !IsTransient(err) {
+		t.Fatalf("err = %v", err)
+	}
+	d.Clear()
+	if err := d.Persist([]byte("x"), 0); err != nil {
+		t.Fatalf("cleared schedule still firing: %v", err)
+	}
+	// Cumulative counts survive Clear.
+	if got := d.FaultCount(OpPersist); got != 1 {
+		t.Fatalf("FaultCount = %d, want 1", got)
+	}
+}
+
+func TestFailTransientThenRearm(t *testing.T) {
+	d := NewFaultDevice(NewRAM(64))
+	d.FailTransient(OpSync, 1, 1)
+	if err := d.Sync(0, 0); !IsTransient(err) {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := d.Sync(0, 0); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	// Re-arming replaces the exhausted plan.
+	d.FailTransient(OpSync, 1, 1)
+	if err := d.Sync(0, 0); !IsTransient(err) {
+		t.Fatalf("re-armed sync: %v", err)
+	}
+}

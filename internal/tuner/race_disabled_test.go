@@ -1,0 +1,5 @@
+//go:build !race
+
+package tuner
+
+const raceEnabled = false

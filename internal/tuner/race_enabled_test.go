@@ -1,0 +1,8 @@
+//go:build race
+
+package tuner
+
+// raceEnabled gates wall-clock-sensitive profiling tests: the race
+// detector's instrumentation overhead swamps the timing signal they assert
+// on.
+const raceEnabled = true

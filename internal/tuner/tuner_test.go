@@ -25,6 +25,9 @@ func TestInputValidation(t *testing.T) {
 }
 
 func TestProfileUnthrottledExploitsConcurrency(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock profiling is unreliable under the race detector")
+	}
 	// On an unthrottled RAM device Tw barely grows with N, so the §3.4
 	// objective min Tw/N is served by more concurrency: the tuner should
 	// pick N > 1.

@@ -16,15 +16,28 @@ import (
 // iterations, never blocking the caller while a slot is available. This is
 // the orchestration pattern of Figure 6 — training continues while up to
 // Config.Concurrent checkpoints persist in the background.
+//
+// Contract: Tick is single-producer — it must be called from one goroutine
+// (the training loop), which is also what keeps the snapshotted state
+// quiescent. Drain and the accessors may be called from any goroutine, at
+// any time, concurrently with Ticks.
 type Loop struct {
 	ck       *Checkpointer
 	interval int
 	snapshot func() []byte
 
-	mu      sync.Mutex
-	wg      sync.WaitGroup
-	lastErr error
-	saves   int
+	// OnError, when non-nil, is invoked from the save goroutine with the
+	// error of every failed Save, as it happens — the live alternative to
+	// discovering one stale error at Drain. Set it before the first Tick;
+	// callbacks for concurrent Saves may run concurrently.
+	OnError func(err error)
+
+	mu       sync.Mutex
+	idle     *sync.Cond // signalled when inflight returns to zero
+	inflight int
+	firstErr error
+	failed   int
+	saves    int
 }
 
 // NewLoop wires a checkpointer to a workload. snapshot must return an
@@ -38,13 +51,16 @@ func NewLoop(ck *Checkpointer, interval int, snapshot func() []byte) (*Loop, err
 	if snapshot == nil {
 		return nil, fmt.Errorf("pccheck: snapshot function required")
 	}
-	return &Loop{ck: ck, interval: interval, snapshot: snapshot}, nil
+	l := &Loop{ck: ck, interval: interval, snapshot: snapshot}
+	l.idle = sync.NewCond(&l.mu)
+	return l, nil
 }
 
 // Tick records the completion of iteration it (0-based) and, when it lands
 // on the checkpoint interval, captures a snapshot and persists it in the
 // background. The snapshot capture itself runs synchronously (state must be
-// quiescent), the persist does not.
+// quiescent), the persist does not. Tick must be called from a single
+// goroutine; see the Loop contract.
 func (l *Loop) Tick(ctx context.Context, it int) {
 	if (it+1)%l.interval != 0 {
 		return
@@ -52,25 +68,42 @@ func (l *Loop) Tick(ctx context.Context, it int) {
 	payload := l.snapshot()
 	l.mu.Lock()
 	l.saves++
+	l.inflight++
 	l.mu.Unlock()
-	l.wg.Add(1)
 	go func() {
-		defer l.wg.Done()
-		if _, err := l.ck.Save(ctx, payload); err != nil {
+		_, err := l.ck.Save(ctx, payload)
+		if err != nil {
 			l.mu.Lock()
-			l.lastErr = err
+			if l.firstErr == nil {
+				l.firstErr = err
+			}
+			l.failed++
 			l.mu.Unlock()
+			if cb := l.OnError; cb != nil {
+				cb(err)
+			}
 		}
+		l.mu.Lock()
+		l.inflight--
+		if l.inflight == 0 {
+			l.idle.Broadcast()
+		}
+		l.mu.Unlock()
 	}()
 }
 
-// Drain waits for all in-flight Saves and returns the first error any of
-// them hit.
+// Drain waits for all in-flight Saves and returns the first error any Save
+// has hit since the loop was created (FailedSaves reports how many failed in
+// total). Drain is idempotent and safe to call from any goroutine while
+// Ticks continue — it returns once the Saves in flight at that moment (and
+// any launched while it waits) have finished.
 func (l *Loop) Drain() error {
-	l.wg.Wait()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.lastErr
+	for l.inflight > 0 {
+		l.idle.Wait()
+	}
+	return l.firstErr
 }
 
 // Saves returns how many checkpoints the loop has initiated.
@@ -78,6 +111,13 @@ func (l *Loop) Saves() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.saves
+}
+
+// FailedSaves returns how many of those Saves failed.
+func (l *Loop) FailedSaves() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // TuneInput describes a workload for automatic configuration (§3.4).

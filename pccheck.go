@@ -80,6 +80,31 @@ type Config struct {
 	// PerWriterBW throttles each writer goroutine (bytes/sec; 0 = unpaced).
 	// Used to emulate per-thread device limits in experiments.
 	PerWriterBW float64
+	// Retry governs how transient device faults (classified
+	// storage.ClassTransient — interrupted syscalls, throttle spikes,
+	// injected transient faults) are retried on the persist path. The
+	// zero value enables the default policy of 3 attempts; set
+	// RetryPolicy{MaxAttempts: 1} to fail on the first fault.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds transient-fault retries per persist-path I/O
+// operation: exponential backoff with jitter between attempts, permanent
+// and corrupt errors always fail fast. See the "Failure semantics" section
+// of the README.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per I/O, including the
+	// first. 0 selects the default (3); 1 disables retry.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 1ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64
+	// Jitter randomizes each backoff by ±Jitter fraction (default 0.2;
+	// negative disables jitter).
+	Jitter float64
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Writers <= 0 {
 		c.Writers = 3
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry.MaxAttempts = 3
 	}
 	return c
 }
@@ -101,6 +129,13 @@ func (c Config) engineConfig() core.Config {
 		DRAMBudget:    c.DRAMBudget,
 		VerifyPayload: c.Verify,
 		PerWriterBW:   c.PerWriterBW,
+		Retry: core.RetryPolicy{
+			MaxAttempts: c.Retry.MaxAttempts,
+			BaseBackoff: c.Retry.BaseBackoff,
+			MaxBackoff:  c.Retry.MaxBackoff,
+			Multiplier:  c.Retry.Multiplier,
+			Jitter:      c.Retry.Jitter,
+		},
 	}
 }
 
@@ -119,6 +154,17 @@ type Stats struct {
 	// SlotWaits counts Saves that had to wait for a free slot — a signal
 	// that Concurrent is too small for the checkpoint cadence.
 	SlotWaits int64
+	// Retries counts persist-path I/O retries taken after transient
+	// device faults — each one is a fault the retry policy absorbed
+	// without failing the Save.
+	Retries int64
+	// TransientFaults counts transient device faults observed on the
+	// persist path (absorbed or not). TransientFaults > Retries means
+	// some Saves exhausted their attempt budget.
+	TransientFaults int64
+	// FailedSaves counts Saves that returned an error after starting —
+	// the rollback-window widenings an operator should alert on.
+	FailedSaves int64
 }
 
 // Checkpointer persists checkpoints onto a single device. All methods are
@@ -212,17 +258,27 @@ func (c *Checkpointer) Latest() (counter uint64, size int64, ok bool) {
 }
 
 // LoadLatest returns a copy of the newest published checkpoint.
+//
+// Sizing the buffer from Latest() and then reading is inherently racy — a
+// larger checkpoint can publish in between — so a too-small read retries
+// with a buffer re-sized from the fresh metadata instead of surfacing the
+// transient mismatch to the caller.
 func (c *Checkpointer) LoadLatest() ([]byte, uint64, error) {
-	_, size, ok := c.engine.Latest()
-	if !ok {
-		return nil, 0, ErrNoCheckpoint
+	for attempt := 0; ; attempt++ {
+		_, size, ok := c.engine.Latest()
+		if !ok {
+			return nil, 0, ErrNoCheckpoint
+		}
+		buf := make([]byte, size)
+		counter, n, err := c.engine.ReadLatest(buf)
+		if err != nil {
+			if errors.Is(err, core.ErrBufferTooSmall) && attempt < 100 {
+				continue // a bigger checkpoint published mid-load; re-size
+			}
+			return nil, 0, err
+		}
+		return buf[:n], counter, nil
 	}
-	buf := make([]byte, size)
-	counter, _, err := c.engine.ReadLatest(buf)
-	if err != nil {
-		return nil, 0, err
-	}
-	return buf, counter, nil
 }
 
 // SetWriterBandwidth changes the per-writer pacing rate at runtime
@@ -245,11 +301,14 @@ func (c *Checkpointer) LoadVersion(counter uint64) ([]byte, error) {
 func (c *Checkpointer) Stats() Stats {
 	s := c.engine.Stats()
 	return Stats{
-		Published:    s.Checkpoints,
-		Obsolete:     s.Obsolete,
-		BytesWritten: s.BytesWritten,
-		PersistTime:  s.Persist,
-		SlotWaits:    s.SlotWaits,
+		Published:       s.Checkpoints,
+		Obsolete:        s.Obsolete,
+		BytesWritten:    s.BytesWritten,
+		PersistTime:     s.Persist,
+		SlotWaits:       s.SlotWaits,
+		Retries:         s.IORetries,
+		TransientFaults: s.TransientFaults,
+		FailedSaves:     s.FailedSaves,
 	}
 }
 
@@ -292,3 +351,12 @@ func (m *Memory) ForkCrashed() ([]byte, uint64, error) {
 
 // IsNoCheckpoint reports whether err indicates an empty checkpoint target.
 func IsNoCheckpoint(err error) bool { return errors.Is(err, ErrNoCheckpoint) }
+
+// IsTransient reports whether err is a transient device fault — one the
+// retry policy would absorb, worth retrying at the Save granularity too.
+func IsTransient(err error) bool { return storage.IsTransient(err) }
+
+// IsCorrupt reports whether err is an integrity failure: the device returned
+// bytes that fail their checksum. Corrupt checkpoints are never retried and
+// never recovered from; recovery falls back to an older intact checkpoint.
+func IsCorrupt(err error) bool { return storage.IsCorrupt(err) }
