@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench-faults fmt-check
+.PHONY: build vet test race verify bench-faults fmt-check staticcheck trace-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,22 @@ verify: build vet race
 
 bench-faults:
 	$(GO) run ./cmd/pccheck-bench -faults
+
+# Fault scenario with the flight recorder attached; validates the exported
+# Chrome trace carries every pipeline phase.
+trace-smoke:
+	$(GO) run ./cmd/pccheck-bench -faults -trace-out /tmp/pccheck-trace.json
+	python3 -c "import json; \
+	  doc = json.load(open('/tmp/pccheck-trace.json')); \
+	  names = {e['name'] for e in doc['traceEvents']}; \
+	  need = {'save', 'slot-wait', 'copy', 'persist', 'barrier', 'publish'}; \
+	  missing = need - names; \
+	  assert not missing, f'trace missing spans: {missing}'; \
+	  print('trace OK:', len(doc['traceEvents']), 'events')"
+
+# Requires staticcheck on PATH (go install honnef.co/go/tools/cmd/staticcheck@latest).
+staticcheck:
+	staticcheck ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

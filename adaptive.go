@@ -26,6 +26,7 @@ import (
 type AdaptiveLoop struct {
 	ck       *Checkpointer
 	snapshot func() []byte
+	obsv     Observer // cached from ck at construction; nil when off
 
 	q     float64 // overhead budget (> 1)
 	n     int     // concurrent checkpoints
@@ -96,6 +97,7 @@ func NewAdaptiveLoop(ck *Checkpointer, cfg AdaptiveConfig, snapshot func() []byt
 	l := &AdaptiveLoop{
 		ck:          ck,
 		snapshot:    snapshot,
+		obsv:        ck.Observer(),
 		q:           cfg.MaxOverhead,
 		n:           n,
 		alpha:       cfg.Smoothing,
@@ -152,7 +154,18 @@ func (l *AdaptiveLoop) Tick(ctx context.Context) {
 		return
 	}
 
+	var snapStart int64
+	if l.obsv != nil {
+		snapStart = time.Now().UnixNano()
+	}
 	payload := l.snapshot()
+	if l.obsv != nil {
+		l.obsv.Emit(Event{
+			TS: snapStart, Dur: time.Now().UnixNano() - snapStart,
+			Phase: PhaseSnapshot, Bytes: int64(len(payload)),
+			Slot: -1, Writer: -1, Rank: -1,
+		})
+	}
 	go func() {
 		start := time.Now()
 		_, err := l.ck.Save(ctx, payload)
@@ -190,8 +203,17 @@ func (l *AdaptiveLoop) retuneLocked() {
 		return
 	}
 	f := int(math.Ceil(l.ewmaTw / (float64(l.n) * l.q * l.ewmaIter)))
+	prev := l.interval
 	l.interval = clampInt(f, l.minInterval, l.maxInterval)
 	l.adjusts++
+	if l.obsv != nil && l.interval != prev {
+		// Instant on the loop track: the controller re-derived f. Value
+		// carries the new interval so traces show the adaptation trajectory.
+		l.obsv.Emit(Event{
+			TS: time.Now().UnixNano(), Phase: PhaseRetune,
+			Value: int64(l.interval), Slot: -1, Writer: -1, Rank: -1,
+		})
+	}
 }
 
 // Interval returns the current checkpoint interval f.

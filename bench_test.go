@@ -309,6 +309,67 @@ func BenchmarkRealPersistLatency(b *testing.B) {
 	})
 }
 
+// BenchmarkSaveLatencyDistribution runs concurrent saves with the flight
+// recorder attached and reports the latency percentiles the histograms
+// collected — the latency-distribution counterpart of the mean-throughput
+// numbers above (Figure 11 reports means; operators alert on tails).
+func BenchmarkSaveLatencyDistribution(b *testing.B) {
+	const payloadBytes = 1 << 20
+	payload := make([]byte, payloadBytes)
+	rec := NewFlightRecorder(1 << 12)
+	dev := storage.NewRAM(core.DeviceBytes(2, payloadBytes))
+	eng, err := core.New(dev, core.Config{
+		Concurrent: 2, SlotBytes: payloadBytes,
+		Writers: 2, ChunkBytes: 256 << 10, Observer: rec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(payloadBytes)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Checkpoint(context.Background(), core.BytesSource(payload)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	snap := rec.Snapshot()
+	save := snap.Phase(PhaseSave)
+	b.ReportMetric(float64(save.P50.Microseconds())/1e3, "save-p50-ms")
+	b.ReportMetric(float64(save.P99.Microseconds())/1e3, "save-p99-ms")
+	b.ReportMetric(float64(snap.Phase(PhaseSlotWait).P99.Microseconds())/1e3, "slot-wait-p99-ms")
+}
+
+// BenchmarkObserverOverhead measures the same save path with observability
+// off (nil observer — the zero-overhead claim) and on (flight recorder
+// attached); the two sub-benchmarks should be within noise of each other.
+func BenchmarkObserverOverhead(b *testing.B) {
+	const payloadBytes = 1 << 20
+	payload := make([]byte, payloadBytes)
+	run := func(b *testing.B, obsv Observer) {
+		dev := storage.NewRAM(core.DeviceBytes(2, payloadBytes))
+		eng, err := core.New(dev, core.Config{
+			Concurrent: 2, SlotBytes: payloadBytes,
+			Writers: 2, ChunkBytes: 256 << 10, Observer: obsv,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(payloadBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Checkpoint(context.Background(), core.BytesSource(payload)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, NewFlightRecorder(1<<12)) })
+}
+
 // BenchmarkRecovery measures the real cold-start recovery path: open a
 // formatted device, locate the newest valid pointer record, validate the
 // slot, and read the payload back.

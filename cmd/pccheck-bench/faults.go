@@ -6,17 +6,21 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"pccheck/internal/core"
+	"pccheck/internal/obs"
 	"pccheck/internal/storage"
 )
 
 // faultsConfig parameterizes the -faults mode.
 type faultsConfig struct {
-	transients int   // k: scheduled consecutive transient faults per burst
-	saves      int   // soak length in checkpoints
-	seed       int64 // rng seed for the soak phase
+	transients  int    // k: scheduled consecutive transient faults per burst
+	saves       int    // soak length in checkpoints
+	seed        int64  // rng seed for the soak phase
+	traceOut    string // write a Chrome trace of the scenario here ("" = off)
+	metricsAddr string // serve /metrics here while the scenario runs ("" = off)
 }
 
 // runFaults exercises the fault-tolerant persist path end to end against a
@@ -39,14 +43,32 @@ func runFaults(w io.Writer, cfg faultsConfig) error {
 		BaseBackoff: 200 * time.Microsecond,
 		MaxBackoff:  5 * time.Millisecond,
 	}
+	// Observability: with -trace-out or -metrics-addr a flight recorder
+	// rides along, capturing every phase of every save plus the injected
+	// faults themselves.
+	var rec *obs.Recorder
+	if cfg.traceOut != "" || cfg.metricsAddr != "" {
+		rec = obs.NewRecorder(obs.DefaultCapacity)
+	}
 	ram := storage.NewRAM(core.DeviceBytes(3, slotBytes))
 	dev := storage.NewFaultDevice(ram)
+	if rec != nil {
+		dev.SetObserver(rec)
+	}
 	eng, err := core.New(dev, core.Config{
 		Concurrent: 3, SlotBytes: slotBytes, Writers: 2, ChunkBytes: 8 << 10,
-		VerifyPayload: true, Retry: retry,
+		VerifyPayload: true, Retry: retry, Observer: observerOrNil(rec),
 	})
 	if err != nil {
 		return err
+	}
+	if cfg.metricsAddr != "" {
+		srv, bound, err := obs.Serve(cfg.metricsAddr, rec)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "metrics  http://%s/metrics (and /debug/vars)\n", bound)
 	}
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(cfg.seed))
@@ -118,8 +140,40 @@ func runFaults(w io.Writer, cfg faultsConfig) error {
 	fmt.Fprintf(w, "phase 3  soak              %d saves, %d failed, %d transient faults absorbed, %d retries, slots balanced\n\n",
 		cfg.saves, errs, after.TransientFaults-before.TransientFaults, after.IORetries-before.IORetries)
 
-	fmt.Fprintf(w, "totals   published=%d obsolete=%d failed=%d transient_faults=%d io_retries=%d\n",
-		after.Checkpoints, after.Obsolete, after.FailedSaves, after.TransientFaults, after.IORetries)
+	fmt.Fprintf(w, "totals   published=%d obsolete=%d failed=%d transient_faults=%d io_retries=%d cas_retries=%d\n",
+		after.Checkpoints, after.Obsolete, after.FailedSaves, after.TransientFaults, after.IORetries, after.CASRetries)
+	if rec != nil {
+		snap := rec.Snapshot()
+		save := snap.Phase(obs.PhaseSave)
+		slotWait := snap.Phase(obs.PhaseSlotWait)
+		persist := snap.Phase(obs.PhasePersist)
+		fmt.Fprintf(w, "latency  save p50=%v p95=%v p99=%v   slot-wait p99=%v   persist p99=%v (%d spans)\n",
+			save.P50, save.P95, save.P99, slotWait.P99, persist.P99, save.Count)
+	}
 	fmt.Fprintf(w, "verdict  OK — durability invariant held under every injected fault\n")
+
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Fprintf(w, "trace    wrote %s (open at https://ui.perfetto.dev)\n", cfg.traceOut)
+	}
 	return nil
+}
+
+// observerOrNil avoids the typed-nil-interface trap: a nil *Recorder must
+// become a nil Observer so the engine's off-path stays free.
+func observerOrNil(r *obs.Recorder) obs.Observer {
+	if r == nil {
+		return nil
+	}
+	return r
 }

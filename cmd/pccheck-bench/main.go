@@ -33,14 +33,19 @@ func main() {
 		faultTransients = flag.Int("fault-transients", 2, "with -faults: consecutive transient faults per injected burst")
 		faultSaves      = flag.Int("fault-saves", 200, "with -faults: checkpoints in the soak phase")
 		faultSeed       = flag.Int64("fault-seed", 1, "with -faults: rng seed for the soak phase")
+
+		traceOut    = flag.String("trace-out", "", "with -faults: write a Chrome trace-event JSON of every checkpoint phase (view at ui.perfetto.dev)")
+		metricsAddr = flag.String("metrics-addr", "", "with -faults: serve /metrics (Prometheus) and /debug/vars on this address while the scenario runs")
 	)
 	flag.Parse()
 
 	if *faults {
 		err := runFaults(os.Stdout, faultsConfig{
-			transients: *faultTransients,
-			saves:      *faultSaves,
-			seed:       *faultSeed,
+			transients:  *faultTransients,
+			saves:       *faultSaves,
+			seed:        *faultSeed,
+			traceOut:    *traceOut,
+			metricsAddr: *metricsAddr,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pccheck-bench: FAULT SCENARIO FAILED:", err)

@@ -33,8 +33,29 @@ func main() {
 		crashAt    = flag.Int("crash-at", 0, "exit abruptly after this iteration (0 = run to completion)")
 		seed       = flag.Int64("seed", 42, "model/data seed")
 		hidden     = flag.Int("hidden", 64, "hidden layer width")
+
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every checkpoint phase on exit (view at ui.perfetto.dev)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars on this address while training")
 	)
 	flag.Parse()
+
+	// With -trace-out or -metrics-addr a flight recorder observes every
+	// checkpoint phase; without either flag the observer stays nil and
+	// checkpointing runs with zero observability overhead.
+	var rec *pccheck.Recorder
+	var obsv pccheck.Observer
+	if *traceOut != "" || *metricsAddr != "" {
+		rec = pccheck.NewFlightRecorder(0)
+		obsv = rec
+	}
+	if *metricsAddr != "" {
+		srv, bound, err := pccheck.ServeMetrics(*metricsAddr, rec)
+		if err != nil {
+			fail("metrics endpoint: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics at http://%s/metrics\n", bound)
+	}
 
 	trainer, err := buildTrainer(*seed, *hidden)
 	if err != nil {
@@ -48,7 +69,7 @@ func main() {
 			fail("restoring checkpoint %d: %v", counter, err)
 		}
 		fmt.Printf("resumed from checkpoint %d at iteration %d\n", counter, trainer.Iteration())
-		ck, err = pccheck.Open(*ckptPath, pccheck.Config{Writers: *writers})
+		ck, err = pccheck.Open(*ckptPath, pccheck.Config{Writers: *writers, Observer: obsv})
 		if err != nil {
 			fail("%v", err)
 		}
@@ -58,6 +79,7 @@ func main() {
 			Concurrent: *concurrent,
 			Writers:    *writers,
 			Verify:     true,
+			Observer:   obsv,
 		})
 		if err != nil {
 			fail("%v", err)
@@ -108,6 +130,24 @@ func main() {
 	fmt.Printf("done: %d iterations in %v, final loss %.4f\n", *steps, time.Since(start).Round(time.Millisecond), lastLoss)
 	fmt.Printf("checkpoints: %d published, %d superseded, %s written, %d slot waits\n",
 		st.Published, st.Obsolete, cliutil.FormatBytes(st.BytesWritten), st.SlotWaits)
+	if rec != nil {
+		save := rec.Snapshot().Phase(pccheck.PhaseSave)
+		fmt.Printf("save latency: p50=%v p95=%v p99=%v over %d saves\n", save.P50, save.P95, save.P99, save.Count)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("trace-out: %v", err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			fail("trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("trace-out: %v", err)
+		}
+		fmt.Printf("wrote checkpoint trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 func buildTrainer(seed int64, hidden int) (*train.Trainer, error) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"time"
 
 	"pccheck/internal/dist"
 )
@@ -86,7 +87,32 @@ func (w *Worker) SaveConsistent(ctx context.Context, payload []byte) (agreed uin
 	if err != nil {
 		return 0, err
 	}
-	return w.coord.Commit(ctx, counter)
+	return w.agree(ctx, counter)
+}
+
+// agree runs one coordination round, recording it as a per-rank span when
+// the local checkpointer has an observer. Value carries the publish lag —
+// how far this rank's local counter ran ahead of the group agreement — the
+// signal for which rank is the straggler of a round.
+func (w *Worker) agree(ctx context.Context, counter uint64) (uint64, error) {
+	obsv := w.ck.Observer()
+	var start int64
+	if obsv != nil {
+		start = time.Now().UnixNano()
+	}
+	agreed, err := w.coord.Commit(ctx, counter)
+	if obsv != nil && err == nil {
+		var lag int64
+		if counter > agreed {
+			lag = int64(counter - agreed)
+		}
+		obsv.Emit(Event{
+			TS: start, Dur: time.Now().UnixNano() - start,
+			Phase: PhaseAgree, Counter: counter, Value: lag,
+			Slot: -1, Writer: -1, Rank: int32(w.Rank()),
+		})
+	}
+	return agreed, err
 }
 
 // AgreeRaw runs one coordination round on an arbitrary ID without saving
@@ -94,7 +120,7 @@ func (w *Worker) SaveConsistent(ctx context.Context, payload []byte) (agreed uin
 // re-agree on a common resume point before fresh engines are created (the
 // IDs can then be iteration numbers rather than engine counters).
 func (w *Worker) AgreeRaw(ctx context.Context, id uint64) (uint64, error) {
-	return w.coord.Commit(ctx, id)
+	return w.agree(ctx, id)
 }
 
 // LatestConsistent returns the newest globally consistent checkpoint ID

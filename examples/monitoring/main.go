@@ -5,16 +5,24 @@
 // stream offline: it walks the captured states, recomputes parameter norms
 // and losses, and pinpoints the iteration where training derailed.
 //
+// It also demonstrates the live observability surface: a flight recorder
+// attached to the checkpointer records every phase of every save, a
+// /metrics endpoint exposes the latency distributions while the run is
+// alive, and the ring is dumped as a Perfetto-loadable trace at the end.
+//
 //	go run ./examples/monitoring
 package main
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"pccheck"
 	"pccheck/internal/train"
@@ -51,15 +59,24 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
+	// A flight recorder observes every save; ServeMetrics makes its latency
+	// histograms scrapeable while the run is alive.
+	rec := pccheck.NewFlightRecorder(0)
 	ck, _, err := pccheck.CreateVolatile(pccheck.Config{
 		MaxBytes:   int64(trainer.StateSize()),
 		Concurrent: 4,
 		Writers:    2,
+		Observer:   rec,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ck.Close()
+	srv, metricsAddr, err := pccheck.ServeMetrics("127.0.0.1:0", rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
 	hist, err := pccheck.OpenHistory(filepath.Join(dir, "history.pcar"))
 	if err != nil {
 		log.Fatal(err)
@@ -88,6 +105,43 @@ func main() {
 	} else {
 		fmt.Println("none")
 	}
+
+	// What an operator's Prometheus would see: scrape the live endpoint and
+	// show the save-latency summary plus the outcome counters.
+	fmt.Printf("\nlive metrics (scraped from http://%s/metrics):\n", metricsAddr)
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "pccheck_save_seconds") ||
+			strings.HasPrefix(line, "pccheck_published_total") ||
+			strings.HasPrefix(line, "pccheck_obsolete_total") {
+			fmt.Println("  " + line)
+		}
+	}
+	save := rec.Snapshot().Phase(pccheck.PhaseSave)
+	fmt.Printf("save latency: p50=%v p95=%v p99=%v over %d saves\n", save.P50, save.P95, save.P99, save.Count)
+
+	// Dump the flight-recorder ring as a Perfetto trace. It goes to the OS
+	// temp dir (not the archive dir deleted below) so it survives the run.
+	tracePath := filepath.Join(os.TempDir(), "pccheck-monitoring-trace.json")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WriteTrace(tf); err != nil {
+		log.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint trace written to %s (open at https://ui.perfetto.dev)\n", tracePath)
 
 	// Post-mortem: replay the durable archive, tracking the parameter norm.
 	fmt.Printf("\npost-mortem over %d archived checkpoints:\n", hist.Len())

@@ -13,6 +13,7 @@ import (
 
 	"pccheck/internal/chunkpool"
 	"pccheck/internal/lfqueue"
+	"pccheck/internal/obs"
 	"pccheck/internal/storage"
 )
 
@@ -88,14 +89,61 @@ type Checkpointer struct {
 	recordSeq     uint64
 	pendingFree   []int
 
+	// obsv receives lifecycle events when observability is on. Every
+	// probe is guarded by a nil check so a disabled observer costs one
+	// predictable branch and no clock reads or allocations.
+	obsv obs.Observer
+
 	stats Stats
+}
+
+// emit forwards an event to the observer, if any.
+func (c *Checkpointer) emit(ev obs.Event) {
+	if c.obsv != nil {
+		c.obsv.Emit(ev)
+	}
+}
+
+// obsNow samples the wall clock only when an observer is attached; with
+// observability off it is a nil check returning 0.
+func (c *Checkpointer) obsNow() int64 {
+	if c.obsv == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// span emits a completed span that started at ts (an obsNow sample).
+func (c *Checkpointer) span(phase obs.Phase, ts int64, counter uint64, slot int, bytes, value int64) {
+	if c.obsv == nil {
+		return
+	}
+	c.obsv.Emit(obs.Event{
+		TS: ts, Dur: time.Now().UnixNano() - ts,
+		Counter: counter, Bytes: bytes, Value: value,
+		Phase: phase, Slot: int32(slot), Writer: -1, Rank: -1,
+	})
+}
+
+// instant emits a point event.
+func (c *Checkpointer) instant(phase obs.Phase, counter uint64, slot int, bytes int64) {
+	if c.obsv == nil {
+		return
+	}
+	c.obsv.Emit(obs.Event{
+		TS: time.Now().UnixNano(), Counter: counter, Bytes: bytes,
+		Phase: phase, Slot: int32(slot), Writer: -1, Rank: -1,
+	})
 }
 
 // Stats exposes engine counters. All fields are cumulative.
 type Stats struct {
-	Checkpoints     atomic.Int64 // published checkpoints (won the CAS)
-	Obsolete        atomic.Int64 // completed but superseded before publishing
-	Retries         atomic.Int64 // CAS retries against older registered values
+	Checkpoints atomic.Int64 // published checkpoints (won the CAS)
+	Obsolete    atomic.Int64 // completed but superseded before publishing
+	// CASRetries counts publish CAS attempts retried against older
+	// registered values — contention on CHECK_ADDR, a different signal
+	// from IORetries (device faults absorbed by the retry policy).
+	CASRetries      atomic.Int64
 	BytesWritten    atomic.Int64
 	PersistNanos    atomic.Int64 // total wall time inside Checkpoint
 	SlotWaits       atomic.Int64 // times a checkpoint had to wait for a slot
@@ -108,7 +156,7 @@ type Stats struct {
 type StatsSnapshot struct {
 	Checkpoints     int64
 	Obsolete        int64
-	Retries         int64
+	CASRetries      int64
 	BytesWritten    int64
 	Persist         time.Duration
 	SlotWaits       int64
@@ -122,7 +170,7 @@ func (c *Checkpointer) Stats() StatsSnapshot {
 	return StatsSnapshot{
 		Checkpoints:     c.stats.Checkpoints.Load(),
 		Obsolete:        c.stats.Obsolete.Load(),
-		Retries:         c.stats.Retries.Load(),
+		CASRetries:      c.stats.CASRetries.Load(),
 		BytesWritten:    c.stats.BytesWritten.Load(),
 		Persist:         time.Duration(c.stats.PersistNanos.Load()),
 		SlotWaits:       c.stats.SlotWaits.Load(),
@@ -195,6 +243,7 @@ func attach(dev storage.Device, cfg Config, sb superblock, latest *checkMeta, la
 		freeSpace: lfqueue.New[int](),
 		pool:      pool,
 		slotSeq:   make([]atomic.Uint64, sb.slots),
+		obsv:      cfg.Observer,
 	}
 	c.perWriterBW.Store(math.Float64bits(cfg.PerWriterBW))
 	for i := 0; i < sb.slots; i++ {
@@ -216,6 +265,10 @@ func attach(dev storage.Device, cfg Config, sb superblock, latest *checkMeta, la
 
 // Config returns the engine's effective configuration.
 func (c *Checkpointer) Config() Config { return c.cfg }
+
+// Observer returns the configured lifecycle observer (nil when
+// observability is off).
+func (c *Checkpointer) Observer() obs.Observer { return c.obsv }
 
 // SetPerWriterBW changes the per-writer pacing rate (bytes/sec; 0 unpaces).
 // It applies to checkpoints started after the call.
@@ -248,6 +301,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, size, c.sb.slotBytes)
 	}
 	start := time.Now()
+	obsStart := c.obsNow()
 
 	// Listing 1, line 3: sample the last published checkpoint BEFORE taking
 	// a counter — this ordering is what makes every CAS attempt legal.
@@ -265,17 +319,23 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	if waited {
 		c.stats.SlotWaits.Add(1)
 	}
+	var didWait int64
+	if waited {
+		didWait = 1
+	}
+	c.span(obs.PhaseSlotWait, obsStart, counter, slot, 0, didWait)
 	c.slotSeq[slot].Add(1) // odd: slot contents unstable
 
 	// Lines 12–15: move the payload through DRAM chunks to the device with
 	// p parallel writers, then make it durable.
-	payloadCRC, err := c.writePayload(ctx, slot, src)
+	payloadCRC, err := c.writePayload(ctx, slot, src, counter)
 	if err != nil {
 		c.failSlot(slot)
 		return 0, err
 	}
 
 	// Lines 16–18: persist this slot's header before publishing.
+	hdrStart := c.obsNow()
 	hdr := slotHeader{counter: counter, size: size, payloadCRC: payloadCRC, hasCRC: c.cfg.VerifyPayload}
 	if err := c.retryIO(ctx, func() error {
 		return c.dev.Persist(encodeSlotHeader(hdr), slotBase(c.sb, slot))
@@ -283,6 +343,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 		c.failSlot(slot)
 		return 0, err
 	}
+	c.span(obs.PhaseHeader, hdrStart, counter, slot, slotHeaderSize, 0)
 	c.slotSeq[slot].Add(1) // even: slot stable until recycled
 
 	// Lines 19–34: publish via CAS on CHECK_ADDR.
@@ -290,7 +351,9 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	for {
 		if c.checkAddr.CompareAndSwap(lastCheck, cur) {
 			// Success: persist the pointer (BARRIER), then free the old slot.
+			barrierStart := c.obsNow()
 			err := c.persistRecord(ctx, *cur)
+			c.span(obs.PhaseBarrier, barrierStart, counter, slot, 0, 0)
 			if lastCheck != nil {
 				if err != nil {
 					// The durable on-device record may still reference the
@@ -308,6 +371,8 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 			c.stats.Checkpoints.Add(1)
 			c.stats.BytesWritten.Add(size)
 			c.stats.PersistNanos.Add(int64(time.Since(start)))
+			c.instant(obs.PhasePublish, counter, slot, size)
+			c.span(obs.PhaseSave, obsStart, counter, slot, size, 0)
 			return counter, nil
 		}
 		check := c.checkAddr.Load()
@@ -315,11 +380,13 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 			// The registered checkpoint is older than ours: retry the CAS
 			// with the fresher expected value.
 			lastCheck = check
-			c.stats.Retries.Add(1)
+			c.stats.CASRetries.Add(1)
+			c.instant(obs.PhaseCASRetry, counter, slot, 0)
 			continue
 		}
 		// A more recent checkpoint was registered (lines 29–31): make sure
 		// its pointer is durable, then recycle our never-published slot.
+		barrierStart := c.obsNow()
 		if err := c.persistRecord(ctx, *check); err != nil {
 			// Our slot was never published, so it is always safe to
 			// recycle — failing the barrier must not leak it.
@@ -327,10 +394,13 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 			c.stats.FailedSaves.Add(1)
 			return 0, err
 		}
+		c.span(obs.PhaseBarrier, barrierStart, counter, slot, 0, 0)
 		c.freeSpace.Enq(slot)
 		c.stats.Obsolete.Add(1)
 		c.stats.BytesWritten.Add(size)
 		c.stats.PersistNanos.Add(int64(time.Since(start)))
+		c.instant(obs.PhaseObsolete, counter, slot, size)
+		c.span(obs.PhaseSave, obsStart, counter, slot, size, 0)
 		return counter, nil
 	}
 }
@@ -410,7 +480,7 @@ func (c *Checkpointer) redriveRecord(ctx context.Context) error {
 // full pool is exactly the "checkpoint waits for free chunks in DRAM"
 // condition of §3.2. The producer fills chunks in payload order, so the
 // payload CRC folds incrementally there, off the device critical path.
-func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (uint32, error) {
+func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source, counter uint64) (uint32, error) {
 	size := src.Size()
 	base := payloadBase(c.sb, slot)
 
@@ -436,7 +506,7 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 	// handling belongs in the parallel-writer path).
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(writer int32) {
 			defer wg.Done()
 			lane := storage.NewThrottle(math.Float64frombits(c.perWriterBW.Load()))
 			for t := range tasks {
@@ -446,6 +516,7 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 				// effective rate is min(laneBW, device share), as on real
 				// hardware — not the series of the two.
 				laneDeadline := lane.Reserve(t.n)
+				persistStart := c.obsNow()
 				err := c.retryIO(ctx, func() error {
 					if err := c.dev.WriteAt(t.chunk.Bytes()[:t.n], base+t.off); err != nil {
 						return err
@@ -456,6 +527,13 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 					}
 					return nil
 				})
+				if c.obsv != nil {
+					c.obsv.Emit(obs.Event{
+						TS: persistStart, Dur: time.Now().UnixNano() - persistStart,
+						Counter: counter, Bytes: int64(t.n), Value: t.off,
+						Phase: obs.PhasePersist, Slot: int32(slot), Writer: writer, Rank: -1,
+					})
+				}
 				if wait := time.Until(laneDeadline); wait > 0 {
 					time.Sleep(wait)
 				}
@@ -470,7 +548,7 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 				}
 				persisted.Add(int64(t.n))
 			}
-		}()
+		}(int32(w))
 	}
 
 	crc := crc32.NewIEEE()
@@ -482,17 +560,20 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 			// the error out.
 			break
 		}
+		waitStart := c.obsNow()
 		chunk, err := c.pool.Acquire(ctx)
 		if err != nil {
 			produceErr = err
 			break
 		}
+		c.span(obs.PhaseChunkWait, waitStart, counter, slot, 0, off)
 		n := chunk.Cap()
 		if int64(n) > size-off {
 			n = int(size - off)
 		}
 		// The paper's step ③: the copy engine moves the range into the DRAM
 		// chunk (for a GPU source this is the paced D2H copy).
+		copyStart := c.obsNow()
 		if err := src.ReadInto(chunk.Bytes()[:n], off); err != nil {
 			c.pool.Release(chunk)
 			produceErr = err
@@ -501,6 +582,7 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 		if c.cfg.VerifyPayload {
 			crc.Write(chunk.Bytes()[:n]) //nolint:errcheck // hash.Write never fails
 		}
+		c.span(obs.PhaseCopy, copyStart, counter, slot, int64(n), off)
 		tasks <- task{chunk: chunk, off: off, n: n}
 		off += int64(n)
 	}
@@ -522,9 +604,11 @@ func (c *Checkpointer) writePayload(ctx context.Context, slot int, src Source) (
 	// SSD path: a single sync covers all writers' chunks (§4.1: "the main
 	// thread can call a single msync"). PMEM writers already fenced.
 	if c.dev.Kind() != storage.KindPMEM {
+		syncStart := c.obsNow()
 		if err := c.retryIO(ctx, func() error { return c.dev.Sync(base, size) }); err != nil {
 			return 0, err
 		}
+		c.span(obs.PhaseSync, syncStart, counter, slot, size, 0)
 	}
 	if !c.cfg.VerifyPayload {
 		return 0, nil

@@ -38,6 +38,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"pccheck/internal/obs"
 )
 
 const (
@@ -94,6 +96,15 @@ type Config struct {
 	// Retry governs how transient device faults are retried on the
 	// persist path. The zero value retries nothing.
 	Retry RetryPolicy
+	// Observer, when non-nil, receives a structured lifecycle event for
+	// every phase of every checkpoint: slot wait, per-chunk staging copy,
+	// per-writer persist span, sync, pointer-record barrier, CAS publish
+	// or obsolete outcome, and retry/backoff. Emit is called from the
+	// persist hot path (writer goroutines, the publish loop), so
+	// implementations must be concurrency-safe and non-blocking —
+	// obs.Recorder is. A nil Observer costs one predictable branch per
+	// probe and zero allocations.
+	Observer obs.Observer
 }
 
 func (c Config) withDefaults() Config {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pccheck/internal/obs"
 	"pccheck/internal/storage"
 )
 
@@ -94,6 +95,7 @@ func (c *Checkpointer) retryIO(ctx context.Context, op func() error) error {
 			return err
 		}
 		c.stats.TransientFaults.Add(1)
+		c.instant(obs.PhaseFault, 0, -1, 0)
 		if attempt >= pol.MaxAttempts {
 			if pol.MaxAttempts == 1 {
 				return err
@@ -101,10 +103,18 @@ func (c *Checkpointer) retryIO(ctx context.Context, op func() error) error {
 			return fmt.Errorf("core: %d attempts exhausted: %w", attempt, err)
 		}
 		c.stats.IORetries.Add(1)
+		backoffStart := c.obsNow()
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-time.After(pol.backoff(attempt)):
+		}
+		if c.obsv != nil {
+			c.obsv.Emit(obs.Event{
+				TS: backoffStart, Dur: time.Now().UnixNano() - backoffStart,
+				Phase: obs.PhaseIORetry, Slot: -1, Writer: -1, Rank: -1,
+				Attempt: int32(attempt),
+			})
 		}
 	}
 }

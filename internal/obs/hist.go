@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucketing: HDR-style fixed geometry — 32 linear sub-buckets
+// per power of two of nanoseconds. Values below histSubCount land in exact
+// unit buckets; above that, bucket width doubles every octave, giving a
+// worst-case relative error of 1/histSubCount ≈ 3% across the full int64
+// nanosecond range (≈292 years). The geometry is fixed at compile time so
+// Observe is two atomic adds and Percentile is a linear walk — no
+// allocation, no locks, no configuration.
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	histBuckets  = (64 - histSubBits) * histSubCount
+)
+
+// Histogram is an allocation-free, concurrency-safe latency histogram.
+// The zero value is ready to use. Record durations in nanoseconds.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - histSubBits - 1
+	sub := u >> uint(exp) // in [histSubCount, 2*histSubCount)
+	return exp<<histSubBits + int(sub)
+}
+
+// bucketUpper returns the largest value a bucket holds — percentiles are
+// reported as this conservative upper edge.
+func bucketUpper(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	exp := idx>>histSubBits - 1
+	sub := int64(idx - exp<<histSubBits)
+	return (sub+1)<<uint(exp) - 1
+}
+
+// Observe records one duration (nanoseconds; negatives clamp to zero).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the cumulative observed nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Percentile returns an upper-bound estimate of the q-quantile
+// (0 < q ≤ 1) in nanoseconds, 0 when nothing was observed. Under
+// concurrent Observe calls the estimate is weakly consistent.
+func (h *Histogram) Percentile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			upper := bucketUpper(i)
+			if m := h.max.Load(); upper > m {
+				// The top occupied bucket's edge can overshoot the true
+				// maximum; never report past it.
+				upper = m
+			}
+			return upper
+		}
+	}
+	return h.max.Load()
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Live metrics surface: a Prometheus-text /metrics handler plus the
+// standard expvar /debug/vars, servable on any address with Serve. Both
+// read weakly consistent snapshots — scraping never blocks emitters.
+
+// metricName converts a phase's hyphenated name to Prometheus form.
+func metricName(p Phase) string {
+	return "pccheck_" + strings.ReplaceAll(p.String(), "-", "_") + "_seconds"
+}
+
+// MetricsHandler serves the recorder as Prometheus text exposition:
+// one summary per span phase (p50/p95/p99 quantiles, sum, count) and the
+// cumulative outcome counters.
+func (r *Recorder) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s := r.Snapshot()
+		for p := Phase(0); p < PhaseCount; p++ {
+			if !p.IsSpan() {
+				continue
+			}
+			ps := s.Phase(p)
+			name := metricName(p)
+			fmt.Fprintf(w, "# HELP %s Checkpoint %s phase latency.\n", name, p)
+			fmt.Fprintf(w, "# TYPE %s summary\n", name)
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", name, ps.P50.Seconds())
+			fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", name, ps.P95.Seconds())
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", name, ps.P99.Seconds())
+			fmt.Fprintf(w, "%s_sum %g\n", name, ps.Total.Seconds())
+			fmt.Fprintf(w, "%s_count %d\n", name, ps.Count)
+		}
+		counter := func(name, help string, v any) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+		}
+		counter("pccheck_published_total", "Checkpoints that became the latest durable state.", s.Published)
+		counter("pccheck_obsolete_total", "Checkpoints superseded before publishing.", s.Obsolete)
+		counter("pccheck_cas_retries_total", "Publish CAS retries against older registered values.", s.CASRetries)
+		counter("pccheck_io_retries_total", "Persist-path I/O retries after transient faults.", s.IORetries)
+		counter("pccheck_transient_faults_total", "Transient device faults observed on the persist path.", s.TransientFaults)
+		counter("pccheck_injected_faults_total", "Faults fired by fault-injection devices.", s.InjectedFaults)
+		counter("pccheck_slot_waits_total", "Saves that had to wait for a free slot.", s.SlotWaits)
+		counter("pccheck_bytes_written_total", "Published checkpoint payload bytes.", s.BytesWritten)
+		counter("pccheck_trace_dropped_events_total", "Flight-recorder events dropped (ring full).", s.DroppedEvents)
+	})
+}
+
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the recorder's Snapshot as the expvar variable
+// name (visible at /debug/vars). expvar names are global and permanent:
+// the first recorder published under a name keeps it; later calls with
+// the same name are ignored.
+func (r *Recorder) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Serve starts an HTTP server on addr (e.g. "127.0.0.1:9090"; an empty
+// port picks a free one) exposing /metrics (Prometheus text) and
+// /debug/vars (expvar, with the recorder published as "pccheck"). It
+// returns the running server and its bound address; Close the server to
+// stop. Errors from the background Serve goroutine after a successful
+// Listen are dropped (http.ErrServerClosed on shutdown).
+func Serve(addr string, r *Recorder) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	r.PublishExpvar("pccheck")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,303 @@
+// Package obs is PCcheck's observability layer: a checkpoint flight
+// recorder with per-phase latency histograms and export surfaces (Chrome
+// trace-event JSON for Perfetto, Prometheus text, expvar).
+//
+// The paper's argument (§3.3, §5.2) is about *where time goes* inside a
+// checkpoint — snapshot stall vs. chunk copy vs. parallel persist vs. the
+// publish barrier — so the engine emits one structured Event per phase of
+// every save: slot wait/acquire, per-chunk staging copy, per-writer persist
+// span, the pointer-record barrier, retry/backoff, and the CAS publish (or
+// its obsolete outcome). Events flow through the Observer interface; the
+// Recorder implementation captures them into a bounded lock-free ring
+// buffer and folds span durations into allocation-free histograms.
+//
+// The hot path is built to cost nothing when observability is off: engine
+// probes are a single nil-interface check, Event is a flat value struct
+// (no pointers, no heap), and Recorder.Emit performs only atomic
+// operations — zero allocations per event, safe for any number of
+// concurrent emitters.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies which part of the checkpoint lifecycle an Event
+// describes. Span phases carry a duration; instant phases mark a point in
+// time. docs/OBSERVABILITY.md maps each phase to the paper section it
+// instruments.
+type Phase uint8
+
+const (
+	// PhaseSave spans one Save end to end: counter taken → durably
+	// published (or durably superseded).
+	PhaseSave Phase = iota
+	// PhaseSlotWait spans the free-slot acquisition (Listing 1's deq
+	// loop). Emitted for every save; Value is 1 when the save actually
+	// had to wait, 0 when a slot was immediately available.
+	PhaseSlotWait
+	// PhaseCopy spans one chunk's staging copy, source → DRAM chunk (the
+	// paper's GPU→DRAM step ③). Bytes is the chunk length, Value the
+	// payload offset.
+	PhaseCopy
+	// PhaseChunkWait spans the producer's wait for a free DRAM chunk —
+	// the "checkpoint waits for free chunks" condition of §3.2.
+	PhaseChunkWait
+	// PhasePersist spans one writer goroutine persisting one chunk to the
+	// device. Writer is the writer index, Bytes the chunk length, Value
+	// the payload offset.
+	PhasePersist
+	// PhaseSync spans the single whole-payload sync on the SSD path
+	// (§4.1: "the main thread can call a single msync").
+	PhaseSync
+	// PhaseHeader spans the slot-header persist that precedes publication.
+	PhaseHeader
+	// PhaseBarrier spans the pointer-record persist — BARRIER(CHECK_ADDR)
+	// of Listing 1.
+	PhaseBarrier
+	// PhasePublish marks a checkpoint winning the CAS and becoming the
+	// latest durable state (instant).
+	PhasePublish
+	// PhaseObsolete marks a checkpoint completed but superseded by a newer
+	// concurrent checkpoint before publishing (instant).
+	PhaseObsolete
+	// PhaseCASRetry marks a publish CAS retried against an older
+	// registered value (instant).
+	PhaseCASRetry
+	// PhaseIORetry marks a persist-path I/O retry after a transient
+	// device fault; Dur is the backoff slept before the retry, Attempt
+	// the 1-based attempt that failed.
+	PhaseIORetry
+	// PhaseFault marks a transient device fault observed on the persist
+	// path (instant), whether or not the retry budget absorbed it.
+	PhaseFault
+	// PhaseFaultInjected marks a fault fired by a storage.FaultDevice
+	// (instant); Value is the storage.Op code.
+	PhaseFaultInjected
+	// PhaseSnapshot spans the workload-side state capture in
+	// Loop/AdaptiveLoop — the only part of a tick that stalls training.
+	PhaseSnapshot
+	// PhaseRetune marks an AdaptiveLoop interval re-derivation (instant);
+	// Value is the new interval.
+	PhaseRetune
+	// PhaseAgree spans a distributed coordination round: local publish →
+	// group agreement (the per-rank publish lag). Rank is the worker
+	// rank, Counter the agreed ID, Value the locally reported ID.
+	PhaseAgree
+
+	// PhaseCount is the number of defined phases.
+	PhaseCount
+)
+
+var phaseNames = [PhaseCount]string{
+	"save", "slot-wait", "copy", "chunk-wait", "persist", "sync",
+	"header", "barrier", "publish", "obsolete", "cas-retry", "io-retry",
+	"fault", "fault-injected", "snapshot", "retune", "agree",
+}
+
+// String returns the phase's canonical hyphenated name.
+func (p Phase) String() string {
+	if p < PhaseCount {
+		return phaseNames[p]
+	}
+	return "phase?"
+}
+
+// IsSpan reports whether events of this phase carry a meaningful duration.
+func (p Phase) IsSpan() bool {
+	switch p {
+	case PhaseSave, PhaseSlotWait, PhaseCopy, PhaseChunkWait, PhasePersist,
+		PhaseSync, PhaseHeader, PhaseBarrier, PhaseSnapshot, PhaseAgree,
+		PhaseIORetry:
+		return true
+	}
+	return false
+}
+
+// Event is one checkpoint lifecycle record. It is a flat value struct —
+// no pointers — so emitting one never allocates and storing one into the
+// ring is a plain copy. Field meaning varies slightly by Phase (see the
+// Phase constants); unused fields are zero.
+type Event struct {
+	// TS is the event (or span start) time, nanoseconds since the Unix
+	// epoch.
+	TS int64
+	// Dur is the span duration in nanoseconds; 0 for instants.
+	Dur int64
+	// Counter is the checkpoint's global order, when known.
+	Counter uint64
+	// Bytes is the payload volume the event covers, when applicable.
+	Bytes int64
+	// Value is a phase-specific argument (offset, interval, op code…).
+	Value int64
+	// Phase identifies the lifecycle phase.
+	Phase Phase
+	// Slot is the checkpoint slot involved (-1 when unknown).
+	Slot int32
+	// Writer is the writer-goroutine index for PhasePersist (-1 otherwise).
+	Writer int32
+	// Rank is the distributed worker rank (-1 for local events).
+	Rank int32
+	// Attempt is the 1-based I/O attempt for retry/fault events.
+	Attempt int32
+}
+
+// Observer receives checkpoint lifecycle events. Implementations must be
+// safe for concurrent use and should not block: Emit is called from the
+// engine's hot path (writer goroutines, the publish CAS loop). Recorder is
+// the packaged implementation; custom observers can forward to tracing
+// systems of their own.
+type Observer interface {
+	Emit(Event)
+}
+
+// Recorder is the packaged Observer: a bounded lock-free flight recorder
+// plus per-phase latency histograms and cumulative counters. All methods
+// are safe for concurrent use. The zero Recorder is not usable; call
+// NewRecorder.
+type Recorder struct {
+	ring  *ring
+	hists [PhaseCount]Histogram
+
+	published atomic.Uint64
+	obsolete  atomic.Uint64
+	casRetry  atomic.Uint64
+	ioRetry   atomic.Uint64
+	faults    atomic.Uint64
+	injected  atomic.Uint64
+	slotWaits atomic.Uint64
+	bytes     atomic.Int64
+}
+
+// DefaultCapacity is the ring capacity used when NewRecorder is given 0.
+const DefaultCapacity = 1 << 14
+
+// NewRecorder builds a Recorder whose ring retains the most recent
+// capacity events (rounded up to a power of two; 0 selects
+// DefaultCapacity). When the ring is full the oldest events are dropped
+// and counted, flight-recorder style.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{ring: newRing(capacity)}
+}
+
+// Emit implements Observer: the event lands in the ring, span durations
+// fold into the phase's histogram, and the phase's counter advances.
+// Emit performs no allocations and takes no locks. A nil *Recorder
+// discards the event, so a typed-nil Recorder stored in an Observer
+// interface is inert rather than a panic.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.ring.put(ev)
+	if ev.Phase < PhaseCount && ev.Phase.IsSpan() {
+		r.hists[ev.Phase].Observe(ev.Dur)
+	}
+	switch ev.Phase {
+	case PhasePublish:
+		r.published.Add(1)
+		r.bytes.Add(ev.Bytes)
+	case PhaseObsolete:
+		r.obsolete.Add(1)
+	case PhaseCASRetry:
+		r.casRetry.Add(1)
+	case PhaseIORetry:
+		r.ioRetry.Add(1)
+	case PhaseFault:
+		r.faults.Add(1)
+	case PhaseFaultInjected:
+		r.injected.Add(1)
+	case PhaseSlotWait:
+		if ev.Value != 0 {
+			r.slotWaits.Add(1)
+		}
+	}
+}
+
+// TakeEvents drains and returns the buffered events, oldest first. The
+// ring is emptied: a subsequent TakeEvents returns only events emitted
+// after this call. WriteTrace uses it internally.
+func (r *Recorder) TakeEvents() []Event {
+	return r.ring.drain()
+}
+
+// Dropped reports how many events were discarded because the ring was
+// full (the flight recorder keeps the most recent ones).
+func (r *Recorder) Dropped() uint64 { return r.ring.dropped.Load() }
+
+// PhaseStats summarises one phase's latency distribution.
+type PhaseStats struct {
+	// Count is how many spans were observed.
+	Count uint64
+	// Total is the cumulative span time.
+	Total time.Duration
+	// P50, P95, P99 are upper-bound percentile estimates (≈3% relative
+	// error from the histogram's bucket geometry).
+	P50, P95, P99 time.Duration
+	// Max is the largest span observed.
+	Max time.Duration
+}
+
+// Snapshot is a point-in-time copy of the recorder's histograms and
+// counters — the payload behind the metrics endpoint and expvar.
+type Snapshot struct {
+	// Published / Obsolete / CASRetries / IORetries mirror the engine's
+	// cumulative outcome counters, as seen through emitted events.
+	Published  uint64
+	Obsolete   uint64
+	CASRetries uint64
+	IORetries  uint64
+	// TransientFaults counts observed persist-path faults;
+	// InjectedFaults counts faults fired by a storage.FaultDevice.
+	TransientFaults uint64
+	InjectedFaults  uint64
+	// SlotWaits counts saves that had to wait for a free slot.
+	SlotWaits uint64
+	// BytesWritten is the published payload volume.
+	BytesWritten int64
+	// DroppedEvents counts ring overwrites (oldest-event drops).
+	DroppedEvents uint64
+	// Phases holds one latency summary per Phase (index with the Phase
+	// constants, or use the Phase accessor).
+	Phases [PhaseCount]PhaseStats
+}
+
+// Phase returns the latency summary for p.
+func (s Snapshot) Phase(p Phase) PhaseStats {
+	if p < PhaseCount {
+		return s.Phases[p]
+	}
+	return PhaseStats{}
+}
+
+// Snapshot summarises the recorder without disturbing the event ring.
+// Concurrent emitters keep running; the snapshot is weakly consistent.
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{
+		Published:       r.published.Load(),
+		Obsolete:        r.obsolete.Load(),
+		CASRetries:      r.casRetry.Load(),
+		IORetries:       r.ioRetry.Load(),
+		TransientFaults: r.faults.Load(),
+		InjectedFaults:  r.injected.Load(),
+		SlotWaits:       r.slotWaits.Load(),
+		BytesWritten:    r.bytes.Load(),
+		DroppedEvents:   r.ring.dropped.Load(),
+	}
+	for p := Phase(0); p < PhaseCount; p++ {
+		h := &r.hists[p]
+		s.Phases[p] = PhaseStats{
+			Count: h.Count(),
+			Total: time.Duration(h.Sum()),
+			P50:   time.Duration(h.Percentile(0.50)),
+			P95:   time.Duration(h.Percentile(0.95)),
+			P99:   time.Duration(h.Percentile(0.99)),
+			Max:   time.Duration(h.Max()),
+		}
+	}
+	return s
+}

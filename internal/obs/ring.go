@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ring is a bounded multi-producer multi-consumer event buffer in the
+// style of Vyukov's MPMC array queue: every cell carries an atomic
+// sequence number that hands exclusive ownership back and forth between
+// producers and consumers, so the Event payload itself is written and read
+// with plain (race-free) copies. When the ring is full, producers discard
+// the oldest buffered event instead of blocking or dropping the newest —
+// flight-recorder semantics: the buffer always holds the most recent
+// window of activity.
+type ring struct {
+	mask    uint64
+	enq     atomic.Uint64
+	deq     atomic.Uint64
+	dropped atomic.Uint64
+	cells   []ringCell
+}
+
+type ringCell struct {
+	// seq encodes the cell's state relative to the cursors: seq == pos
+	// means free for the producer claiming position pos; seq == pos+1
+	// means it holds that position's event; seq == pos+capacity means the
+	// event was consumed and the cell is free for the next lap.
+	seq atomic.Uint64
+	ev  Event
+}
+
+// newRing allocates a ring holding capacity events, rounded up to a power
+// of two (minimum 64 so bursts of concurrent producers cannot lap each
+// other pathologically).
+func newRing(capacity int) *ring {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	r := &ring{mask: uint64(n - 1), cells: make([]ringCell, n)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// put stores ev, discarding the oldest buffered event when full. It is
+// lock-free: a stalled producer cannot block others, and no path
+// allocates.
+func (r *ring) put(ev Event) {
+	for {
+		pos := r.enq.Load()
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				c.ev = ev
+				c.seq.Store(pos + 1)
+				return
+			}
+		case seq < pos:
+			// The cell still holds an event from one lap ago: the ring is
+			// full. Consume and discard the oldest, then retry.
+			r.stealOldest()
+		default:
+			// Another producer claimed this position and has not yet
+			// published; its seq store is imminent.
+			runtime.Gosched()
+		}
+	}
+}
+
+// stealOldest discards the event at the consume cursor, if any, freeing
+// one cell for a producer that found the ring full.
+func (r *ring) stealOldest() {
+	pos := r.deq.Load()
+	c := &r.cells[pos&r.mask]
+	if c.seq.Load() != pos+1 {
+		return // empty, or a concurrent consumer got there first
+	}
+	if r.deq.CompareAndSwap(pos, pos+1) {
+		c.seq.Store(pos + uint64(len(r.cells)))
+		r.dropped.Add(1)
+	}
+}
+
+// drain consumes every buffered event, oldest first. Producers may keep
+// appending concurrently; drain returns once it catches an empty cursor.
+func (r *ring) drain() []Event {
+	var out []Event
+	for {
+		pos := r.deq.Load()
+		c := &r.cells[pos&r.mask]
+		if c.seq.Load() != pos+1 {
+			return out
+		}
+		if r.deq.CompareAndSwap(pos, pos+1) {
+			ev := c.ev
+			c.seq.Store(pos + uint64(len(r.cells)))
+			out = append(out, ev)
+		}
+	}
+}
+
+// len reports how many events are currently buffered (approximate under
+// concurrency).
+func (r *ring) len() int {
+	e, d := r.enq.Load(), r.deq.Load()
+	if e < d {
+		return 0
+	}
+	return int(e - d)
+}

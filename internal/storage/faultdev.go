@@ -3,6 +3,9 @@ package storage
 import (
 	"errors"
 	"sync"
+	"time"
+
+	"pccheck/internal/obs"
 )
 
 // Op identifies a Device operation for fault injection.
@@ -66,6 +69,7 @@ type FaultDevice struct {
 	inner Device
 
 	mu       sync.Mutex
+	obsv     obs.Observer // optional; emits PhaseFaultInjected when a plan fires
 	arm      map[Op]*faultPlan
 	opCounts map[Op]int64
 	faults   map[Op]int64 // cumulative injected faults per op
@@ -159,17 +163,38 @@ func (d *FaultDevice) FaultCount(op Op) int64 {
 	return d.faults[op]
 }
 
+// SetObserver attaches an observer that receives a PhaseFaultInjected
+// instant (Value = the Op code, Attempt = how many times the plan has
+// fired) every time a programmed fault triggers. Injected faults get
+// their own phase — distinct from PhaseFault, which the engine emits for
+// every transient fault it observes — so a trace with both attached does
+// not double count.
+func (d *FaultDevice) SetObserver(o obs.Observer) {
+	d.mu.Lock()
+	d.obsv = o
+	d.mu.Unlock()
+}
+
 // check advances op's counter and returns the armed plan if it fires now.
 func (d *FaultDevice) check(op Op) *faultPlan {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.opCounts[op]++
 	p := d.arm[op]
 	if p == nil || p.fired >= p.count || d.opCounts[op] < p.after {
+		d.mu.Unlock()
 		return nil
 	}
 	p.fired++
 	d.faults[op]++
+	obsv, fired := d.obsv, p.fired
+	d.mu.Unlock()
+	if obsv != nil {
+		obsv.Emit(obs.Event{
+			TS: time.Now().UnixNano(), Phase: obs.PhaseFaultInjected,
+			Value: int64(op), Attempt: int32(fired),
+			Slot: -1, Writer: -1, Rank: -1,
+		})
+	}
 	return p
 }
 

@@ -25,6 +25,7 @@ type Loop struct {
 	ck       *Checkpointer
 	interval int
 	snapshot func() []byte
+	obsv     Observer // cached from ck at construction; nil when off
 
 	// OnError, when non-nil, is invoked from the save goroutine with the
 	// error of every failed Save, as it happens — the live alternative to
@@ -51,9 +52,23 @@ func NewLoop(ck *Checkpointer, interval int, snapshot func() []byte) (*Loop, err
 	if snapshot == nil {
 		return nil, fmt.Errorf("pccheck: snapshot function required")
 	}
-	l := &Loop{ck: ck, interval: interval, snapshot: snapshot}
+	l := &Loop{ck: ck, interval: interval, snapshot: snapshot, obsv: ck.Observer()}
 	l.idle = sync.NewCond(&l.mu)
 	return l, nil
+}
+
+// emitSnapshot records the synchronous snapshot capture of iteration it as
+// a loop-track span — the stall Tick imposed on training (§3.1: the state
+// must be quiescent while it is captured).
+func (l *Loop) emitSnapshot(ts int64, it int, bytes int64) {
+	if l.obsv == nil {
+		return
+	}
+	l.obsv.Emit(Event{
+		TS: ts, Dur: time.Now().UnixNano() - ts,
+		Phase: PhaseSnapshot, Bytes: bytes, Value: int64(it),
+		Slot: -1, Writer: -1, Rank: -1,
+	})
 }
 
 // Tick records the completion of iteration it (0-based) and, when it lands
@@ -65,7 +80,12 @@ func (l *Loop) Tick(ctx context.Context, it int) {
 	if (it+1)%l.interval != 0 {
 		return
 	}
+	var snapStart int64
+	if l.obsv != nil {
+		snapStart = time.Now().UnixNano()
+	}
 	payload := l.snapshot()
+	l.emitSnapshot(snapStart, it, int64(len(payload)))
 	l.mu.Lock()
 	l.saves++
 	l.inflight++

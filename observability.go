@@ -1,0 +1,97 @@
+package pccheck
+
+import (
+	"io"
+	"net/http"
+
+	"pccheck/internal/obs"
+)
+
+// Observability: the flight recorder, latency histograms and the live
+// metrics endpoint. The types here are aliases for internal/obs so that
+// applications program entirely against the pccheck package; see
+// docs/OBSERVABILITY.md for how each event and metric maps onto the
+// paper's checkpoint pipeline.
+
+// Observer receives one structured Event per checkpoint lifecycle phase.
+// Emit is called from the persist hot path (writer goroutines, the
+// publish loop), so implementations must be concurrency-safe and
+// non-blocking; Recorder satisfies both.
+type Observer = obs.Observer
+
+// Event is a single flight-recorder sample: a timed span (slot wait,
+// chunk copy, per-writer persist, barrier, …) or an instant (publish,
+// CAS retry, fault). Events are plain values with no pointers, so
+// emitting one never allocates.
+type Event = obs.Event
+
+// Phase identifies which part of the checkpoint pipeline an Event
+// belongs to.
+type Phase = obs.Phase
+
+// Phases of the checkpoint pipeline, re-exported for matching against
+// Event.Phase. See docs/OBSERVABILITY.md for what each one covers.
+const (
+	PhaseSave          = obs.PhaseSave          // one Save end to end
+	PhaseSlotWait      = obs.PhaseSlotWait      // waiting for a free slot (§3.2)
+	PhaseCopy          = obs.PhaseCopy          // source → DRAM chunk staging copy
+	PhaseChunkWait     = obs.PhaseChunkWait     // waiting for a free DRAM chunk
+	PhasePersist       = obs.PhasePersist       // one writer persisting one chunk
+	PhaseSync          = obs.PhaseSync          // whole-payload sync (SSD path)
+	PhaseHeader        = obs.PhaseHeader        // slot header persist
+	PhaseBarrier       = obs.PhaseBarrier       // pointer-record BARRIER (§4.1)
+	PhasePublish       = obs.PhasePublish       // CAS publish won
+	PhaseObsolete      = obs.PhaseObsolete      // superseded before publishing
+	PhaseCASRetry      = obs.PhaseCASRetry      // publish CAS retried
+	PhaseIORetry       = obs.PhaseIORetry       // backoff before an I/O retry
+	PhaseFault         = obs.PhaseFault         // transient device fault observed
+	PhaseFaultInjected = obs.PhaseFaultInjected // fault-injection device fired
+	PhaseSnapshot      = obs.PhaseSnapshot      // training-loop state snapshot
+	PhaseRetune        = obs.PhaseRetune        // adaptive controller retuned
+	PhaseAgree         = obs.PhaseAgree         // distributed commit round
+)
+
+// Recorder is the built-in Observer: a bounded lock-free event ring
+// (flight recorder — when full, the oldest events are dropped) plus
+// allocation-free latency histograms per phase. One Recorder may be
+// shared by several Checkpointers, Loops and FaultDevices; all methods
+// are safe for concurrent use.
+type Recorder = obs.Recorder
+
+// PhaseStats summarises one phase's latency distribution (count, total,
+// p50/p95/p99, max).
+type PhaseStats = obs.PhaseStats
+
+// ObsSnapshot is a point-in-time view of a Recorder: outcome counters
+// plus per-phase latency stats.
+type ObsSnapshot = obs.Snapshot
+
+// NewFlightRecorder builds a Recorder retaining the most recent capacity
+// events (0 selects the default of 16384). Attach it via Config.Observer,
+// then WriteTrace the ring into Perfetto-loadable JSON, scrape it with
+// ServeMetrics, or inspect it directly via Snapshot.
+func NewFlightRecorder(capacity int) *Recorder {
+	return obs.NewRecorder(capacity)
+}
+
+// ServeMetrics starts an HTTP server on addr (e.g. "127.0.0.1:9090"; an
+// empty port picks a free one) exposing the recorder at /metrics
+// (Prometheus text: per-phase latency summaries and outcome counters)
+// and /debug/vars (expvar). It returns the server and its bound address;
+// Close the server to stop.
+func ServeMetrics(addr string, r *Recorder) (*http.Server, string, error) {
+	return obs.Serve(addr, r)
+}
+
+// WriteTraceEvents renders events (from Recorder.TakeEvents) as Chrome
+// trace-event JSON, loadable at https://ui.perfetto.dev. Prefer
+// Recorder.WriteTrace unless you need to filter events first.
+func WriteTraceEvents(w io.Writer, events []Event) error {
+	return obs.WriteTraceEvents(w, events)
+}
+
+// Observer returns the observer this checkpointer was configured with
+// (nil when observability is off).
+func (c *Checkpointer) Observer() Observer {
+	return c.engine.Observer()
+}

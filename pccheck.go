@@ -86,6 +86,14 @@ type Config struct {
 	// zero value enables the default policy of 3 attempts; set
 	// RetryPolicy{MaxAttempts: 1} to fail on the first fault.
 	Retry RetryPolicy
+	// Observer, when non-nil, receives a structured event for every phase
+	// of every Save — slot wait, staging copies, per-writer persists, the
+	// pointer-record barrier, publish/obsolete outcomes, retries. Attach a
+	// *Recorder (NewFlightRecorder) to get bounded in-memory tracing,
+	// latency histograms, and the /metrics endpoint; see the Observability
+	// section of the README. A nil Observer costs one predictable branch
+	// per probe and zero allocations — observability off is free.
+	Observer Observer
 }
 
 // RetryPolicy bounds transient-fault retries per persist-path I/O
@@ -136,6 +144,7 @@ func (c Config) engineConfig() core.Config {
 			Multiplier:  c.Retry.Multiplier,
 			Jitter:      c.Retry.Jitter,
 		},
+		Observer: c.Observer,
 	}
 }
 
@@ -158,6 +167,10 @@ type Stats struct {
 	// device faults — each one is a fault the retry policy absorbed
 	// without failing the Save.
 	Retries int64
+	// CASRetries counts publish CAS attempts retried against older
+	// registered values — harmless contention on the in-memory pointer,
+	// distinct from the I/O Retries above.
+	CASRetries int64
 	// TransientFaults counts transient device faults observed on the
 	// persist path (absorbed or not). TransientFaults > Retries means
 	// some Saves exhausted their attempt budget.
@@ -307,6 +320,7 @@ func (c *Checkpointer) Stats() Stats {
 		PersistTime:     s.Persist,
 		SlotWaits:       s.SlotWaits,
 		Retries:         s.IORetries,
+		CASRetries:      s.CASRetries,
 		TransientFaults: s.TransientFaults,
 		FailedSaves:     s.FailedSaves,
 	}

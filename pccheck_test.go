@@ -408,21 +408,32 @@ func TestSetWriterBandwidthPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ck.Close()
-	ck.SetWriterBandwidth(10 << 20) // 10 MB/s ⇒ 1 MB takes ~100 ms
+	ck.SetWriterBandwidth(4 << 20) // 4 MB/s ⇒ 1 MB takes ~250 ms
 	start := time.Now()
 	if _, err := ck.Save(context.Background(), make([]byte, 1<<20)); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
-		t.Fatalf("paced save finished in %v", elapsed)
+	paced := time.Since(start)
+	if paced < 100*time.Millisecond {
+		t.Fatalf("paced save finished in %v", paced)
 	}
 	ck.SetWriterBandwidth(-5) // negative unpaces rather than breaking
-	start = time.Now()
-	if _, err := ck.Save(context.Background(), make([]byte, 1<<20)); err != nil {
-		t.Fatal(err)
+	// Compare the best of three unpaced saves against the paced run rather
+	// than an absolute wall-clock bound: machine load (e.g. the race
+	// detector running the whole suite) can stall any single save, but a
+	// repeated stall past the deliberately slow paced floor is a real bug.
+	unpaced := time.Hour
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		if _, err := ck.Save(context.Background(), make([]byte, 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < unpaced {
+			unpaced = d
+		}
 	}
-	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
-		t.Fatalf("unpaced save took %v", elapsed)
+	if unpaced >= paced {
+		t.Fatalf("unpaced save took %v, not faster than paced save (%v)", unpaced, paced)
 	}
 }
 
