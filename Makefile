@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench-faults fmt-check staticcheck trace-smoke
+.PHONY: build vet test race verify bench-faults bench-crash fmt-check staticcheck trace-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ verify: build vet race
 
 bench-faults:
 	$(GO) run ./cmd/pccheck-bench -faults
+
+# Crash-point exploration sweep: simulated power cuts at every persist
+# boundary of the full workload matrix, adversarial write-cache loss,
+# real recovery against every image. Exits non-zero on any violation.
+bench-crash:
+	$(GO) run ./cmd/pccheck-bench -crash
 
 # Fault scenario with the flight recorder attached; validates the exported
 # Chrome trace carries every pipeline phase.

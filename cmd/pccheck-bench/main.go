@@ -9,6 +9,7 @@
 //	pccheck-bench -figure 12                    # print to stdout
 //	pccheck-bench -table 1
 //	pccheck-bench -faults                       # fault-injection scenario
+//	pccheck-bench -crash                        # crash-point exploration sweep
 package main
 
 import (
@@ -36,8 +37,20 @@ func main() {
 
 		traceOut    = flag.String("trace-out", "", "with -faults: write a Chrome trace-event JSON of every checkpoint phase (view at ui.perfetto.dev)")
 		metricsAddr = flag.String("metrics-addr", "", "with -faults: serve /metrics (Prometheus) and /debug/vars on this address while the scenario runs")
+
+		crash        = flag.Bool("crash", false, "run the crash-point exploration sweep and print the per-workload summary")
+		crashSamples = flag.Int("crash-samples", 100, "with -crash: sampled torn/reordered cache-loss schedules per workload")
+		crashSeed    = flag.Int64("crash-seed", 1, "with -crash: seed for workload payloads and sampled schedules")
 	)
 	flag.Parse()
+
+	if *crash {
+		if err := runCrash(os.Stdout, crashConfig{samples: *crashSamples, seed: *crashSeed}); err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench: CRASH SWEEP FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *faults {
 		err := runFaults(os.Stdout, faultsConfig{

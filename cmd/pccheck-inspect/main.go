@@ -35,8 +35,8 @@ func main() {
 		fail("%v", err)
 	}
 
-	fmt.Printf("%s: %d slots × %s (N = %d concurrent checkpoints)\n",
-		path, rep.Slots, cliutil.FormatBytes(rep.SlotBytes), rep.Slots-1)
+	fmt.Printf("%s: %d slots × %s (N = %d concurrent checkpoints, format epoch %d)\n",
+		path, rep.Slots, cliutil.FormatBytes(rep.SlotBytes), rep.Slots-1, rep.Epoch)
 
 	for i, r := range rep.Records {
 		name := string(rune('A' + i))
@@ -56,6 +56,9 @@ func main() {
 		status := "empty/invalid header"
 		if s.HeaderValid {
 			status = fmt.Sprintf("checkpoint %d, %s", s.Counter, cliutil.FormatBytes(s.Size))
+			if s.EpochStale {
+				status += fmt.Sprintf(", STALE (format epoch %d)", s.Epoch)
+			}
 			if s.HasChecksum {
 				switch {
 				case s.PayloadOK == nil:

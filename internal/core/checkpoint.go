@@ -193,9 +193,16 @@ func New(dev storage.Device, cfg Config) (*Checkpointer, error) {
 		return nil, fmt.Errorf("core: device holds %d bytes, need %d for N=%d, m=%d",
 			dev.Size(), need, cfg.Concurrent, cfg.SlotBytes)
 	}
-	sb := superblock{slots: cfg.Concurrent + 1, slotBytes: cfg.SlotBytes}
-	// Invalidate both pointer records before the superblock goes live, so a
-	// reformat over an old image can never resurrect stale checkpoints.
+	sb := superblock{slots: cfg.Concurrent + 1, slotBytes: cfg.SlotBytes, epoch: nextEpoch(dev)}
+	// The new-epoch superblock goes durable FIRST: from that instant every
+	// slot header still on the device carries a stale epoch and is rejected
+	// by recovery, so neither a completed reformat nor a crash mid-format
+	// can resurrect checkpoints from the previous image.
+	if err := dev.Persist(sb.encode(), superOff); err != nil {
+		return nil, err
+	}
+	// Then invalidate both pointer records — belt and suspenders on top of
+	// the epoch check, and what keeps Open from chasing stale slots.
 	zero := make([]byte, recordSize)
 	if err := dev.Persist(zero, recordAOff); err != nil {
 		return nil, err
@@ -203,10 +210,25 @@ func New(dev storage.Device, cfg Config) (*Checkpointer, error) {
 	if err := dev.Persist(zero, recordBOff); err != nil {
 		return nil, err
 	}
-	if err := dev.Persist(sb.encode(), superOff); err != nil {
-		return nil, err
-	}
 	return attach(dev, cfg, sb, nil, 0)
+}
+
+// nextEpoch picks the format generation for a fresh image: one past the
+// previous superblock's epoch when the device already carried one, else 1.
+// Deterministic (no clock or randomness), never 0 (the legacy value), and
+// guaranteed to differ from every epoch the old image's slot headers carry.
+func nextEpoch(dev storage.Device) uint64 {
+	head := make([]byte, 64)
+	if err := dev.ReadAt(head, superOff); err == nil {
+		if old, err := decodeSuperblock(head); err == nil {
+			e := old.epoch + 1
+			if e == 0 {
+				e = 1
+			}
+			return e
+		}
+	}
+	return 1
 }
 
 // Open attaches to a previously formatted device, recovering the latest
@@ -336,7 +358,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 
 	// Lines 16–18: persist this slot's header before publishing.
 	hdrStart := c.obsNow()
-	hdr := slotHeader{counter: counter, size: size, payloadCRC: payloadCRC, hasCRC: c.cfg.VerifyPayload}
+	hdr := slotHeader{counter: counter, size: size, payloadCRC: payloadCRC, hasCRC: c.cfg.VerifyPayload, epoch: c.sb.epoch}
 	if err := c.retryIO(ctx, func() error {
 		return c.dev.Persist(encodeSlotHeader(hdr), slotBase(c.sb, slot))
 	}); err != nil {

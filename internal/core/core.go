@@ -160,6 +160,14 @@ type checkMeta struct {
 type superblock struct {
 	slots     int // N+1
 	slotBytes int64
+	// epoch identifies one format generation: New stamps a fresh value into
+	// the superblock and every slot header written under it. Recovery rejects
+	// slot headers whose epoch differs from the superblock's, so a reformat
+	// can never resurrect payloads persisted under a previous image — slot
+	// headers left intact by the old image carry the old epoch. Epoch 0 is
+	// the legacy value of pre-epoch images (headers and superblock agree at
+	// 0, so they keep recovering).
+	epoch uint64
 }
 
 func (sb superblock) encode() []byte {
@@ -168,6 +176,7 @@ func (sb superblock) encode() []byte {
 	binary.LittleEndian.PutUint32(buf[4:], formatVersion)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(sb.slots))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(sb.slotBytes))
+	binary.LittleEndian.PutUint64(buf[24:], sb.epoch)
 	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
 	return buf
 }
@@ -188,6 +197,7 @@ func decodeSuperblock(buf []byte) (superblock, error) {
 	sb := superblock{
 		slots:     int(binary.LittleEndian.Uint32(buf[8:])),
 		slotBytes: int64(binary.LittleEndian.Uint64(buf[16:])),
+		epoch:     binary.LittleEndian.Uint64(buf[24:]),
 	}
 	if sb.slots < 2 || sb.slotBytes <= 0 {
 		return superblock{}, fmt.Errorf("core: implausible superblock: %d slots of %d bytes", sb.slots, sb.slotBytes)
@@ -233,6 +243,9 @@ type slotHeader struct {
 	size       int64
 	payloadCRC uint32
 	hasCRC     bool
+	// epoch is the format generation the header was written under; recovery
+	// only trusts headers whose epoch matches the superblock's.
+	epoch uint64
 }
 
 func encodeSlotHeader(h slotHeader) []byte {
@@ -243,6 +256,7 @@ func encodeSlotHeader(h slotHeader) []byte {
 	if h.hasCRC {
 		buf[20] = 1
 	}
+	binary.LittleEndian.PutUint64(buf[24:], h.epoch)
 	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
 	return buf
 }
@@ -259,6 +273,7 @@ func decodeSlotHeader(buf []byte) (slotHeader, bool) {
 		size:       int64(binary.LittleEndian.Uint64(buf[8:])),
 		payloadCRC: binary.LittleEndian.Uint32(buf[16:]),
 		hasCRC:     buf[20] == 1,
+		epoch:      binary.LittleEndian.Uint64(buf[24:]),
 	}, true
 }
 

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pccheck/internal/storage"
+)
+
+// Crash-point exploration: the machine-checked version of the paper's §4.1
+// invariant — "at any instant, at least one fully persisted checkpoint
+// exists and is recoverable".
+//
+// A workload of concurrent checkpoints runs once against a journaling
+// storage.CrashDevice. The recorded op journal then serves as a replayable
+// history: for every operation boundary (every point at which power could be
+// cut) the explorer materializes the post-crash device image — first under
+// the pessimistic cache-loss schedule (all un-synced writes dropped), then
+// under sampled adversarial schedules that keep, drop, tear, and reorder
+// un-synced writes — and runs real recovery against it. Each image must
+// satisfy:
+//
+//  1. Recovery succeeds whenever any Checkpoint call had returned nil before
+//     the cut, and the recovered counter is ≥ the newest such counter.
+//  2. The recovered payload is internally consistent (self-verifying), and
+//     byte-identical to what was saved when its counter was acknowledged.
+//  3. Re-attaching with Open on the crashed image yields a working engine:
+//     subsequent checkpoints publish with fresh counters and slot accounting
+//     balances (slot conservation holds across the crash).
+//  4. Recovery never panics and never returns garbage — at worst
+//     ErrNoCheckpoint (or ErrNotFormatted for a cut mid-format).
+
+// CrashWorkload describes the concurrent-checkpoint run recorded for
+// exploration.
+type CrashWorkload struct {
+	// Kind selects the device semantics the engine sees (KindPMEM routes
+	// per-writer fences, anything else the single covering sync).
+	Kind storage.Kind
+	// Concurrent is the engine's N; the device holds N+1 slots.
+	Concurrent int
+	// SlotBytes is the slot capacity (default 4096).
+	SlotBytes int64
+	// Writers is the engine's parallel writer count (default 2).
+	Writers int
+	// ChunkBytes pipelines the payload through DRAM chunks; 0 = unchunked.
+	ChunkBytes int
+	// VerifyPayload enables the payload CRC.
+	VerifyPayload bool
+	// Goroutines is how many savers checkpoint concurrently (default N+1,
+	// so slot contention occurs).
+	Goroutines int
+	// Checkpoints is how many checkpoints each saver runs (default 4).
+	Checkpoints int
+	// Seed drives payload contents and sizes.
+	Seed int64
+}
+
+func (w CrashWorkload) withDefaults() CrashWorkload {
+	if w.Concurrent < 1 {
+		w.Concurrent = 1
+	}
+	if w.SlotBytes <= 0 {
+		w.SlotBytes = 4096
+	}
+	if w.Writers < 1 {
+		w.Writers = 2
+	}
+	if w.Goroutines < 1 {
+		w.Goroutines = w.Concurrent + 1
+	}
+	if w.Checkpoints < 1 {
+		w.Checkpoints = 4
+	}
+	return w
+}
+
+// String names the workload in reports: kind/N/chunking/verify.
+func (w CrashWorkload) String() string {
+	chunk := "unchunked"
+	if w.ChunkBytes > 0 {
+		chunk = fmt.Sprintf("chunk=%d", w.ChunkBytes)
+	}
+	verify := "verify=off"
+	if w.VerifyPayload {
+		verify = "verify=on"
+	}
+	return fmt.Sprintf("%s N=%d %s %s", w.Kind, w.Concurrent, chunk, verify)
+}
+
+// CrashExploreOptions bounds one exploration.
+type CrashExploreOptions struct {
+	Workload CrashWorkload
+	// Samples is how many additional (crash point, cache-loss schedule)
+	// cases to draw beyond the per-boundary pessimistic sweep. Each sample
+	// picks a uniform boundary and a seeded drop/keep/tear schedule.
+	Samples int
+	// Stride visits every Stride-th op boundary in the pessimistic sweep
+	// (1 = every boundary; the bounded fast mode in go test uses a larger
+	// stride to stay within its op budget).
+	Stride int
+	// ReattachEvery runs the full Open + keep-checkpointing probe on every
+	// k-th case (it is the expensive part of a case). 0 defaults to 8;
+	// negative disables re-attach probing.
+	ReattachEvery int
+}
+
+// CrashExploreResult summarizes one exploration.
+type CrashExploreResult struct {
+	Workload    CrashWorkload
+	Ops         int // recorded journal length
+	CrashPoints int // op boundaries visited by the pessimistic sweep
+	Cases       int // total (boundary, schedule) cases checked
+	Recovered   int // cases where recovery returned a checkpoint
+	Empty       int // cases with no checkpoint (legal only before the first ack)
+	Reattached  int // cases that ran the re-attach probe
+	Acked       int // checkpoints acknowledged by the workload
+	Violations  []string
+}
+
+// Ok reports whether the invariant held in every case.
+func (r CrashExploreResult) Ok() bool { return len(r.Violations) == 0 }
+
+// crashPayload builds a self-verifying payload: the seed and length are
+// embedded, the rest is a pure function of them, so any recovered payload
+// can be validated without knowing which checkpoint survived.
+func crashPayload(seed uint64, n int) []byte {
+	if n < 16 {
+		n = 16
+	}
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b, seed)
+	binary.LittleEndian.PutUint64(b[8:], uint64(n))
+	rng := rand.New(rand.NewSource(int64(seed)))
+	rng.Read(b[16:])
+	return b
+}
+
+// checkCrashPayload validates a payload against its embedded seed+length.
+func checkCrashPayload(p []byte) error {
+	if len(p) < 16 {
+		return fmt.Errorf("payload too short: %d bytes", len(p))
+	}
+	seed := binary.LittleEndian.Uint64(p)
+	n := binary.LittleEndian.Uint64(p[8:])
+	if n != uint64(len(p)) {
+		return fmt.Errorf("payload claims %d bytes, has %d", n, len(p))
+	}
+	if want := crashPayload(seed, len(p)); !bytes.Equal(p, want) {
+		return fmt.Errorf("payload for seed %d is corrupted", seed)
+	}
+	return nil
+}
+
+// ExploreCrashes records one concurrent workload and sweeps simulated power
+// cuts over it. A non-empty Violations list (or a non-nil error for setup
+// failures) means the §4.1 durability invariant does not hold.
+func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
+	w := opts.Workload.withDefaults()
+	res := CrashExploreResult{Workload: w}
+	if opts.Stride < 1 {
+		opts.Stride = 1
+	}
+	if opts.ReattachEvery == 0 {
+		opts.ReattachEvery = 8
+	}
+
+	dev := storage.NewCrashDevice(DeviceBytes(w.Concurrent, w.SlotBytes), w.Kind)
+	eng, err := New(dev, Config{
+		Concurrent:    w.Concurrent,
+		SlotBytes:     w.SlotBytes,
+		Writers:       w.Writers,
+		ChunkBytes:    w.ChunkBytes,
+		VerifyPayload: w.VerifyPayload,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Record phase: Goroutines savers race Checkpoint calls. Each ack is
+	// marked in the journal at a point no earlier than its durable record,
+	// and the payload is remembered for byte-exact comparison.
+	var (
+		ackedMu  sync.Mutex
+		acked    = make(map[uint64][]byte)
+		saveErr  error
+		saveOnce sync.Once
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < w.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(w.Seed + int64(g)*7919))
+			for i := 0; i < w.Checkpoints; i++ {
+				seed := uint64(w.Seed)<<20 + uint64(g)<<10 + uint64(i) + 1
+				n := 16 + rng.Intn(int(w.SlotBytes)-15)
+				p := crashPayload(seed, n)
+				ctr, err := eng.Checkpoint(context.Background(), BytesSource(p))
+				if err != nil {
+					saveOnce.Do(func() { saveErr = fmt.Errorf("saver %d ckpt %d: %w", g, i, err) })
+					return
+				}
+				ackedMu.Lock()
+				acked[ctr] = p
+				ackedMu.Unlock()
+				dev.Mark(ctr)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if saveErr != nil {
+		return res, saveErr
+	}
+	res.Ops = dev.Ops()
+	res.Acked = len(acked)
+
+	// Explore phase. The pessimistic sweep visits op boundaries; samples
+	// add torn/reordered cache-loss schedules at random boundaries.
+	rng := rand.New(rand.NewSource(w.Seed ^ 0x5cc))
+	runCase := func(cut int, choose storage.CrashChooser, desc string, reattach bool) {
+		res.Cases++
+		defer func() {
+			if p := recover(); p != nil {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("%s: cut %d (%s): recovery PANICKED: %v", w, cut, desc, p))
+			}
+		}()
+		img, err := dev.CrashImage(cut, choose)
+		if err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: cut %d (%s): %v", w, cut, desc, err))
+			return
+		}
+		ackedMin := dev.HighestMark(cut)
+		rdev := storage.NewRAMFromBytes(img)
+		p, rc, err := Recover(rdev)
+		if err != nil {
+			if ackedMin > 0 {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("%s: cut %d (%s): checkpoint %d acknowledged but recovery failed: %v", w, cut, desc, ackedMin, err))
+			} else {
+				res.Empty++ // crashed before anything completed — legal
+			}
+			return
+		}
+		res.Recovered++
+		if rc < ackedMin {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: cut %d (%s): recovered counter %d older than acknowledged %d", w, cut, desc, rc, ackedMin))
+			return
+		}
+		if err := checkCrashPayload(p); err != nil {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: cut %d (%s): recovered checkpoint %d is garbage: %v", w, cut, desc, rc, err))
+			return
+		}
+		if want, ok := acked[rc]; ok && !bytes.Equal(p, want) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: cut %d (%s): recovered checkpoint %d differs from its acknowledged payload", w, cut, desc, rc))
+			return
+		}
+		if reattach {
+			if err := reattachProbe(rdev, rc); err != nil {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("%s: cut %d (%s): re-attach after crash: %v", w, cut, desc, err))
+				return
+			}
+			res.Reattached++
+		}
+	}
+
+	caseNo := 0
+	probe := func() bool {
+		caseNo++
+		return opts.ReattachEvery > 0 && caseNo%opts.ReattachEvery == 0
+	}
+	for cut := 0; cut <= res.Ops; cut += opts.Stride {
+		res.CrashPoints++
+		runCase(cut, storage.DropAllWrites, "drop-all", probe())
+	}
+	for s := 0; s < opts.Samples; s++ {
+		cut := rng.Intn(res.Ops + 1)
+		seed := rng.Int63()
+		runCase(cut, storage.SeededChooser(seed), fmt.Sprintf("sampled seed=%d", seed), probe())
+	}
+	return res, nil
+}
+
+// reattachProbe is invariant (3): Open the crashed image, keep
+// checkpointing, and verify counters advance past the recovered one and
+// slot accounting balances — a crash must not cost the engine a slot.
+func reattachProbe(dev storage.Device, recovered uint64) error {
+	eng, err := Open(dev, Config{})
+	if err != nil {
+		return fmt.Errorf("Open: %w", err)
+	}
+	ctx := context.Background()
+	var last uint64
+	for i := 0; i < 2; i++ {
+		p := crashPayload(recovered<<8+uint64(i)+1, 256)
+		ctr, err := eng.Checkpoint(ctx, BytesSource(p))
+		if err != nil {
+			return fmt.Errorf("post-crash checkpoint %d: %w", i, err)
+		}
+		if ctr <= recovered || ctr <= last {
+			return fmt.Errorf("post-crash counter %d did not advance past %d", ctr, recovered)
+		}
+		last = ctr
+	}
+	if free, want := eng.FreeSlots(), eng.TotalSlots()-1; free != want {
+		return fmt.Errorf("slot conservation broken: %d free slots, want %d", free, want)
+	}
+	got, rc, err := Recover(dev)
+	if err != nil {
+		return fmt.Errorf("recover after re-attach: %w", err)
+	}
+	if rc != last {
+		return fmt.Errorf("recover after re-attach returned counter %d, want %d", rc, last)
+	}
+	if err := checkCrashPayload(got); err != nil {
+		return fmt.Errorf("recover after re-attach: %v", err)
+	}
+	return nil
+}
+
+// CrashSweepConfigs returns the full workload matrix of the crash sweep:
+// device kind × N ∈ {1,2,4} × {chunked, unchunked} × verify {on, off}.
+func CrashSweepConfigs(seed int64) []CrashWorkload {
+	var out []CrashWorkload
+	for _, kind := range []storage.Kind{storage.KindPMEM, storage.KindSSD} {
+		for _, n := range []int{1, 2, 4} {
+			for _, chunk := range []int{0, 1024} {
+				for _, verify := range []bool{true, false} {
+					out = append(out, CrashWorkload{
+						Kind:          kind,
+						Concurrent:    n,
+						ChunkBytes:    chunk,
+						VerifyPayload: verify,
+						Seed:          seed,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ErrCrashInvariantViolated is returned by callers that surface a failed
+// exploration as a single error.
+var ErrCrashInvariantViolated = errors.New("core: crash durability invariant violated")

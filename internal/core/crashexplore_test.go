@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pccheck/internal/storage"
+)
+
+// TestCrashExplorerFastMode is the bounded in-tree slice of the crash sweep:
+// a representative corner of the kind × N × chunking × verify matrix, every
+// op boundary of each workload, plus enough sampled torn/reordered
+// cache-loss schedules to exceed the sweep's 1000-variant floor. The full
+// matrix runs as `pccheck-bench -crash` and in the crash-matrix CI job.
+func TestCrashExplorerFastMode(t *testing.T) {
+	workloads := []CrashWorkload{
+		{Kind: storage.KindPMEM, Concurrent: 2, ChunkBytes: 1024, VerifyPayload: true, Seed: 1},
+		{Kind: storage.KindSSD, Concurrent: 2, ChunkBytes: 1024, VerifyPayload: true, Seed: 2},
+		{Kind: storage.KindSSD, Concurrent: 1, VerifyPayload: false, Seed: 3},
+		{Kind: storage.KindPMEM, Concurrent: 4, VerifyPayload: false, ChunkBytes: 512, Seed: 4},
+	}
+	samples := 300
+	if testing.Short() {
+		samples = 50
+	}
+	totalSamples := 0
+	for _, w := range workloads {
+		w := w
+		t.Run(strings.ReplaceAll(w.String(), " ", "_"), func(t *testing.T) {
+			t.Parallel()
+			res, err := ExploreCrashes(CrashExploreOptions{Workload: w, Samples: samples})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Error(v)
+			}
+			if res.CrashPoints < 20 {
+				t.Fatalf("only %d crash points — workload too small to mean anything", res.CrashPoints)
+			}
+			if res.Recovered == 0 {
+				t.Fatal("no case recovered a checkpoint — assertions never engaged")
+			}
+			if res.Reattached == 0 {
+				t.Fatal("re-attach probe never ran")
+			}
+			if res.Acked != w.withDefaults().Goroutines*w.withDefaults().Checkpoints {
+				t.Fatalf("workload acked %d checkpoints, want %d", res.Acked,
+					w.withDefaults().Goroutines*w.withDefaults().Checkpoints)
+			}
+		})
+		totalSamples += samples
+	}
+	if !testing.Short() && totalSamples < 1000 {
+		t.Fatalf("fast mode samples %d < 1000 floor", totalSamples)
+	}
+}
+
+// TestCrashExplorerStride: a strided sweep still visits the final boundary
+// region and stays within its budget — the knob the race-detector job uses.
+func TestCrashExplorerStride(t *testing.T) {
+	res, err := ExploreCrashes(CrashExploreOptions{
+		Workload: CrashWorkload{Kind: storage.KindSSD, Concurrent: 1, VerifyPayload: true, Seed: 9},
+		Stride:   5,
+		Samples:  20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatal(res.Violations[0])
+	}
+	if res.CrashPoints > res.Ops/5+2 {
+		t.Fatalf("stride not applied: %d crash points for %d ops", res.CrashPoints, res.Ops)
+	}
+}
+
+// TestCrashSweepConfigsCoverMatrix: the sweep matrix spans both device
+// kinds, N ∈ {1,2,4}, chunked and unchunked, verify on and off.
+func TestCrashSweepConfigsCoverMatrix(t *testing.T) {
+	cfgs := CrashSweepConfigs(1)
+	if len(cfgs) != 24 {
+		t.Fatalf("sweep has %d configs, want 24", len(cfgs))
+	}
+	kinds := map[storage.Kind]bool{}
+	ns := map[int]bool{}
+	chunked := map[bool]bool{}
+	verify := map[bool]bool{}
+	for _, c := range cfgs {
+		kinds[c.Kind] = true
+		ns[c.Concurrent] = true
+		chunked[c.ChunkBytes > 0] = true
+		verify[c.VerifyPayload] = true
+	}
+	if !kinds[storage.KindPMEM] || !kinds[storage.KindSSD] {
+		t.Fatal("sweep misses a device kind")
+	}
+	if !ns[1] || !ns[2] || !ns[4] {
+		t.Fatal("sweep misses an N")
+	}
+	if len(chunked) != 2 || len(verify) != 2 {
+		t.Fatal("sweep misses a chunking or verify variant")
+	}
+}
+
+// FuzzCrashImage feeds arbitrary crash points and cache-loss schedules from
+// the fuzzer through recovery: whatever the adversary does to the un-synced
+// writes, Recover must return a valid checkpoint or a clean error — never
+// panic, never garbage.
+func FuzzCrashImage(f *testing.F) {
+	dev := storage.NewCrashDevice(DeviceBytes(2, 2048), storage.KindSSD)
+	eng, err := New(dev, Config{Concurrent: 2, SlotBytes: 2048, Writers: 2, ChunkBytes: 512, VerifyPayload: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	recordCrashWorkload(f, dev, eng, 6)
+	ops := dev.Ops()
+
+	f.Add(uint16(0), int64(0), uint64(0))
+	f.Add(uint16(ops), int64(1), uint64(^uint64(0)))
+	f.Add(uint16(ops/2), int64(42), uint64(0xAAAA_AAAA_AAAA_AAAA))
+
+	f.Fuzz(func(t *testing.T, cut uint16, seed int64, fateBits uint64) {
+		// Two adversaries per input: a seeded drop/keep/tear mix and a raw
+		// bitmask schedule, so the fuzzer controls fates directly too.
+		choosers := []storage.CrashChooser{
+			storage.SeededChooser(seed),
+			func(writeIdx, sector int) bool {
+				return fateBits&(1<<uint((writeIdx*7+sector)%64)) != 0
+			},
+		}
+		for _, choose := range choosers {
+			img, err := dev.CrashImage(int(cut)%(ops+1), choose)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, rc, err := Recover(storage.NewRAMFromBytes(img))
+			if err != nil {
+				continue // clean rejection is always legal for the fuzzer's cuts
+			}
+			if rc == 0 {
+				t.Fatal("recovered counter 0")
+			}
+			if err := checkCrashPayload(p); err != nil {
+				t.Fatalf("recovered garbage for counter %d: %v", rc, err)
+			}
+		}
+	})
+}
+
+// recordCrashWorkload runs a small checkpoint workload against dev so the
+// fuzz target has a realistic journal to cut.
+func recordCrashWorkload(f *testing.F, dev *storage.CrashDevice, eng *Checkpointer, n int) {
+	f.Helper()
+	for i := 0; i < n; i++ {
+		p := crashPayload(uint64(i)+1, 200+137*i)
+		ctr, err := eng.Checkpoint(f.Context(), BytesSource(p))
+		if err != nil {
+			f.Fatal(err)
+		}
+		dev.Mark(ctr)
+	}
+}

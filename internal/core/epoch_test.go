@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"pccheck/internal/storage"
+)
+
+// TestReformatDoesNotResurrectOldVersions is the regression test for the
+// reformat-resurrection bug: New zeroed the pointer records but left the old
+// image's slot headers intact, so RecoverVersion/ReadVersion on a
+// reformatted device could serve payloads from the previous image. The
+// per-format epoch must reject them.
+func TestReformatDoesNotResurrectOldVersions(t *testing.T) {
+	const slotBytes = 1024
+	dev := storage.NewRAM(DeviceBytes(2, slotBytes))
+	c, err := New(dev, Config{Concurrent: 2, SlotBytes: slotBytes, VerifyPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var counters []uint64
+	for i := int64(1); i <= 3; i++ {
+		ctr, err := c.Checkpoint(ctx, BytesSource(payload(i, 700)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters = append(counters, ctr)
+	}
+	// Sanity: before the reformat the versions are resident.
+	if _, err := RecoverVersion(dev, counters[len(counters)-1]); err != nil {
+		t.Fatalf("pre-reformat RecoverVersion: %v", err)
+	}
+
+	// Reformat. Old slot headers survive on the device; only the epoch
+	// stamp distinguishes them from live data.
+	c2, err := New(dev, Config{Concurrent: 2, SlotBytes: slotBytes, VerifyPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dev); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Recover on reformatted device = %v, want ErrNoCheckpoint", err)
+	}
+	for _, ctr := range counters {
+		if p, err := RecoverVersion(dev, ctr); !errors.Is(err, ErrNoCheckpoint) {
+			t.Fatalf("RecoverVersion(%d) resurrected %d bytes from the previous image (err=%v)", ctr, len(p), err)
+		}
+		if _, err := c2.ReadVersion(ctr); !errors.Is(err, ErrNoCheckpoint) {
+			t.Fatalf("ReadVersion(%d) resurrected data from the previous image (err=%v)", ctr, err)
+		}
+	}
+
+	// The reformatted engine checkpoints normally, and only its own versions
+	// are visible afterwards.
+	fresh := payload(99, 500)
+	ctr, err := c2.Checkpoint(ctx, BytesSource(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecoverVersion(dev, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Fatal("fresh checkpoint unreadable after reformat")
+	}
+	// Counters restart after a reformat: counter 2 existed in the OLD image
+	// only. Its stale header must stay invisible even though the counter
+	// value is plausible for the new image.
+	if _, err := RecoverVersion(dev, 2); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("RecoverVersion(2) served the old image's checkpoint 2: %v", err)
+	}
+}
+
+// TestFormatEpochMonotonic: every reformat advances the epoch, and Inspect
+// reports stale-epoch slot headers.
+func TestFormatEpochMonotonic(t *testing.T) {
+	const slotBytes = 512
+	dev := storage.NewRAM(DeviceBytes(1, slotBytes))
+	if _, err := New(dev, Config{Concurrent: 1, SlotBytes: slotBytes}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Inspect(dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 1 {
+		t.Fatalf("first format epoch = %d, want 1", rep.Epoch)
+	}
+	c, err := Open(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Checkpoint(context.Background(), BytesSource(payload(1, 256))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(dev, Config{Concurrent: 1, SlotBytes: slotBytes}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Inspect(dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 2 {
+		t.Fatalf("second format epoch = %d, want 2", rep.Epoch)
+	}
+	stale := 0
+	for _, s := range rep.SlotInfos {
+		if s.HeaderValid && s.EpochStale {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Fatal("expected Inspect to flag the old image's slot header as epoch-stale")
+	}
+}
+
+// TestLegacyEpochZeroImageRecovers: images written before the epoch existed
+// carry 0 in both superblock and headers — they must keep recovering.
+func TestLegacyEpochZeroImageRecovers(t *testing.T) {
+	const slotBytes = 512
+	dev := storage.NewRAM(DeviceBytes(1, slotBytes))
+	sb := superblock{slots: 2, slotBytes: slotBytes} // epoch 0, as legacy images have
+	if err := dev.Persist(sb.encode(), superOff); err != nil {
+		t.Fatal(err)
+	}
+	want := payload(7, 300)
+	hdr := slotHeader{counter: 1, size: int64(len(want))} // epoch 0
+	if err := dev.Persist(want, payloadBase(sb, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Persist(encodeSlotHeader(hdr), slotBase(sb, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Persist(encodeRecord(checkMeta{slot: 0, counter: 1, size: int64(len(want))}), recordAOff); err != nil {
+		t.Fatal(err)
+	}
+	got, ctr, err := Recover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr != 1 || !bytes.Equal(got, want) {
+		t.Fatal("legacy epoch-0 image did not recover")
+	}
+}
+
+// TestCrashMidReformatNeverResurrects cuts power at every op boundary of a
+// reformat over a populated device: recovery must yield either the old
+// image's latest checkpoint (format not yet effective) or no checkpoint at
+// all — never an older resurrected version.
+func TestCrashMidReformatNeverResurrects(t *testing.T) {
+	const slotBytes = 1024
+	dev := storage.NewCrashDevice(DeviceBytes(1, slotBytes), storage.KindSSD)
+	c, err := New(dev, Config{Concurrent: 1, SlotBytes: slotBytes, VerifyPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old1 := payload(1, 600)
+	old2 := payload(2, 600)
+	ctx := context.Background()
+	if _, err := c.Checkpoint(ctx, BytesSource(old1)); err != nil {
+		t.Fatal(err)
+	}
+	last, err := c.Checkpoint(ctx, BytesSource(old2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preFormatOps := dev.Ops()
+	if _, err := New(dev, Config{Concurrent: 1, SlotBytes: slotBytes, VerifyPayload: true}); err != nil {
+		t.Fatal(err)
+	}
+	for cut := preFormatOps; cut <= dev.Ops(); cut++ {
+		for _, choose := range []storage.CrashChooser{storage.DropAllWrites, storage.KeepAllWrites, storage.SeededChooser(int64(cut))} {
+			img, err := dev.CrashImage(cut, choose)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ctr, err := Recover(storage.NewRAMFromBytes(img))
+			if err != nil {
+				continue // no checkpoint / not formatted — legal mid-format
+			}
+			if ctr != last || !bytes.Equal(got, old2) {
+				t.Fatalf("cut %d: recovered counter %d (%d bytes) — neither the old latest nor nothing", cut, ctr, len(got))
+			}
+		}
+	}
+}

@@ -30,6 +30,11 @@ type SlotInfo struct {
 	// Counter and Size are the header's contents when valid.
 	Counter uint64
 	Size    int64
+	// Epoch is the format generation the header was written under;
+	// EpochStale marks a header surviving from a previous format, whose
+	// payload recovery will never serve.
+	Epoch      uint64
+	EpochStale bool
 	// HasChecksum reports whether the payload carries a CRC.
 	HasChecksum bool
 	// PayloadOK is set only when verify was requested and a checksum
@@ -52,6 +57,8 @@ type Report struct {
 	// Slots is the slot count (N+1); SlotBytes the per-slot capacity m.
 	Slots     int
 	SlotBytes int64
+	// Epoch is the device's current format generation.
+	Epoch uint64
 	// Records holds both pointer record locations (A then B).
 	Records [2]RecordInfo
 	// Latest is the checkpoint recovery would return; Recoverable reports
@@ -76,7 +83,7 @@ func Inspect(dev storage.Device, verify bool) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	rep := Report{Slots: sb.slots, SlotBytes: sb.slotBytes}
+	rep := Report{Slots: sb.slots, SlotBytes: sb.slotBytes, Epoch: sb.epoch}
 
 	for i, off := range []int64{recordAOff, recordBOff} {
 		buf := make([]byte, recordSize)
@@ -107,6 +114,8 @@ func Inspect(dev storage.Device, verify bool) (Report, error) {
 			info.Counter = hdr.counter
 			info.Size = hdr.size
 			info.HasChecksum = hdr.hasCRC
+			info.Epoch = hdr.epoch
+			info.EpochStale = hdr.epoch != sb.epoch
 			if verify && hdr.hasCRC && hdr.size >= 0 && hdr.size <= sb.slotBytes {
 				payload := make([]byte, hdr.size)
 				if err := dev.ReadAt(payload, payloadBase(sb, i)); err == nil {

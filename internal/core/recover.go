@@ -70,6 +70,10 @@ func validateSlot(dev storage.Device, sb superblock, meta checkMeta) error {
 	if !ok {
 		return fmt.Errorf("core: slot %d header corrupt", meta.slot)
 	}
+	if hdr.epoch != sb.epoch {
+		return fmt.Errorf("core: slot %d header from format epoch %d, device is epoch %d",
+			meta.slot, hdr.epoch, sb.epoch)
+	}
 	if hdr.counter != meta.counter || hdr.size != meta.size {
 		return fmt.Errorf("core: slot %d holds counter %d/size %d, record says %d/%d",
 			meta.slot, hdr.counter, hdr.size, meta.counter, meta.size)
@@ -85,7 +89,7 @@ func readSlotPayload(dev storage.Device, sb superblock, meta checkMeta, dst []by
 		return err
 	}
 	hdr, ok := decodeSlotHeader(buf)
-	if !ok || hdr.counter != meta.counter {
+	if !ok || hdr.counter != meta.counter || hdr.epoch != sb.epoch {
 		return fmt.Errorf("%w: slot %d no longer holds checkpoint %d", errSlotRecycled, meta.slot, meta.counter)
 	}
 	if err := dev.ReadAt(dst, payloadBase(sb, meta.slot)); err != nil {
@@ -155,6 +159,11 @@ func recoverVersionSlot(dev storage.Device, counter uint64) ([]byte, int, error)
 		}
 		hdr, ok := decodeSlotHeader(buf)
 		if !ok || hdr.counter != counter {
+			continue
+		}
+		if hdr.epoch != sb.epoch {
+			// Header from a previous format generation: the payload it
+			// describes belongs to a dead image and must never be served.
 			continue
 		}
 		if hdr.size < 0 || hdr.size > sb.slotBytes {

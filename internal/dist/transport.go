@@ -123,6 +123,11 @@ func (l *Local) Send(ctx context.Context, to int, msg Message) error {
 	select {
 	case peer.inbox <- msg:
 		return nil
+	case <-l.done:
+		// Our own Close must unblock an in-flight Send even when the peer's
+		// inbox is full and the peer never drains it — otherwise a worker
+		// shutting down mid-round hangs forever on a dead neighbour.
+		return fmt.Errorf("dist: rank %d is closed", l.rank)
 	case <-peer.done:
 		return fmt.Errorf("dist: rank %d is closed", to)
 	case <-ctx.Done():
@@ -173,8 +178,17 @@ type TCP struct {
 	done    chan struct{}
 }
 
+// handshakeTimeout bounds how long rank 0 waits for a freshly accepted
+// connection to send its hello frame. Without it a peer that connects and
+// then stalls (or a port scanner) wedges the whole group's setup forever.
+// A variable so tests can shrink it.
+var handshakeTimeout = 10 * time.Second
+
 // ListenTCP starts rank 0: it accepts world−1 peers on ln, each of which
-// must introduce itself with a hello byte frame carrying its rank.
+// must introduce itself with a hello byte frame carrying its rank. The
+// handshake is bounded: each accepted connection has handshakeTimeout to
+// send its hello, and cancelling ctx closes ln to unblock Accept — so a
+// caller can always abandon a group that never fully assembles.
 func ListenTCP(ctx context.Context, ln net.Listener, world int) (*TCP, error) {
 	t := &TCP{
 		rank:  0,
@@ -183,6 +197,11 @@ func ListenTCP(ctx context.Context, ln net.Listener, world int) (*TCP, error) {
 		inbox: make(chan Message, 4*world),
 		done:  make(chan struct{}),
 	}
+	// Accept has no context parameter; closing the listener is the only
+	// portable way to honour cancellation promptly (same pattern as
+	// net/http.Server shutdown). stop() reports whether it won the race.
+	stop := context.AfterFunc(ctx, func() { _ = ln.Close() })
+	defer stop()
 	for len(t.conns) < world-1 {
 		if dl, ok := ctx.Deadline(); ok {
 			type deadliner interface{ SetDeadline(time.Time) error }
@@ -193,14 +212,26 @@ func ListenTCP(ctx context.Context, ln net.Listener, world int) (*TCP, error) {
 		conn, err := ln.Accept()
 		if err != nil {
 			t.Close()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, err
 		}
+		hsDeadline := time.Now().Add(handshakeTimeout)
+		if dl, ok := ctx.Deadline(); ok && dl.Before(hsDeadline) {
+			hsDeadline = dl
+		}
+		_ = conn.SetReadDeadline(hsDeadline)
 		var hello [4]byte
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
 			conn.Close()
 			t.Close()
-			return nil, err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("dist: peer handshake: %w", err)
 		}
+		_ = conn.SetReadDeadline(time.Time{})
 		peer := int(binary.LittleEndian.Uint32(hello[:]))
 		if peer <= 0 || peer >= world {
 			conn.Close()
@@ -305,6 +336,11 @@ func (t *TCP) Send(ctx context.Context, to int, msg Message) error {
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		_ = conn.SetWriteDeadline(dl)
+	} else {
+		// A previous Send's deadline sticks to the connection otherwise:
+		// one deadline-bearing call would make every later deadline-free
+		// Send fail with a timeout once that old instant passes.
+		_ = conn.SetWriteDeadline(time.Time{})
 	}
 	_, err := conn.Write(msg.encode())
 	return err

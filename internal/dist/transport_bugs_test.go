@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPSendDeadlineNotSticky: a Send with a context deadline must not
+// poison later deadline-free Sends. Before the fix, the write deadline from
+// the first call stuck to the connection, so once that instant passed every
+// subsequent Send failed with a timeout.
+func TestTCPSendDeadlineNotSticky(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	tr := &TCP{
+		rank:  1,
+		world: 2,
+		conns: map[int]net.Conn{0: client},
+		inbox: make(chan Message, 8),
+		done:  make(chan struct{}),
+	}
+	// Drain the server side so writes complete.
+	go func() {
+		buf := make([]byte, wireSize)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	dlCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if err := tr.Send(dlCtx, 0, Message{Kind: KindReport, CheckpointID: 1}); err != nil {
+		t.Fatalf("deadline send: %v", err)
+	}
+	cancel()
+	time.Sleep(80 * time.Millisecond) // let the old deadline expire
+
+	if err := tr.Send(context.Background(), 0, Message{Kind: KindReport, CheckpointID: 2}); err != nil {
+		t.Fatalf("deadline-free send after expired deadline: %v", err)
+	}
+}
+
+// TestListenTCPHandshakeTimeout: a client that connects and never sends its
+// hello frame must not wedge group setup forever.
+func TestListenTCPHandshakeTimeout(t *testing.T) {
+	old := handshakeTimeout
+	handshakeTimeout = 100 * time.Millisecond
+	defer func() { handshakeTimeout = old }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ListenTCP(context.Background(), ln, 2)
+		errCh <- err
+	}()
+
+	// Connect but never speak — a stalled peer or a port scanner.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("ListenTCP succeeded without a handshake")
+		}
+		if !strings.Contains(err.Error(), "handshake") {
+			t.Fatalf("error does not identify the handshake: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenTCP still blocked on a silent peer")
+	}
+}
+
+// TestListenTCPHonorsContextCancel: cancelling the context unblocks a rank 0
+// that is waiting for peers that will never arrive.
+func TestListenTCPHonorsContextCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ListenTCP(ctx, ln, 3)
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let it block in Accept
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ListenTCP returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenTCP ignored context cancellation")
+	}
+}
+
+// TestLocalSendUnblocksOnOwnClose: Close on the sending side must unblock an
+// in-flight Send stuck on a full peer inbox. Before the fix, Send selected
+// only on the peer's done channel, so a worker shutting down while its dead
+// neighbour's inbox was full hung forever.
+func TestLocalSendUnblocksOnOwnClose(t *testing.T) {
+	group := NewLocalGroup(2)
+	// Fill rank 1's inbox to capacity; nothing ever drains it.
+	for i := 0; i < cap(group[1].inbox); i++ {
+		if err := group[0].Send(context.Background(), 1, Message{Kind: KindReport}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	sendErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		sendErr <- group[0].Send(context.Background(), 1, Message{Kind: KindReport})
+	}()
+	time.Sleep(50 * time.Millisecond) // let the Send block on the full inbox
+	group[0].Close()
+
+	select {
+	case err := <-sendErr:
+		if err == nil {
+			t.Fatal("Send into a full inbox succeeded after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked after its own transport closed")
+	}
+	wg.Wait()
+}

@@ -1,0 +1,308 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// CrashDevice wraps an in-memory device image and journals every mutating
+// operation — the instrument behind the crash-point explorer
+// (internal/core.ExploreCrashes). Where FaultDevice injects *reported*
+// errors (the device says "I failed" and the caller reacts), CrashDevice
+// models the failure no code path ever sees coming: power loss. It records
+// the ordered stream of WriteAt/Sync/Persist calls and can materialize, for
+// any operation boundary and any cache-loss schedule, the exact bytes a
+// post-reboot remap of the device would observe.
+//
+// The durability model is deliberately the weakest one consistent with both
+// real backends:
+//
+//   - WriteAt lands in the volatile write-back cache. At crash time each
+//     un-synced write may be dropped entirely, applied fully, or torn at
+//     sector granularity — and because fates are decided per write, an older
+//     write can survive while a newer overlapping one is lost (reordering).
+//   - Sync(off, n) makes every journaled write that overlaps [off, off+n)
+//     durable, in journal order. This under-promises relative to SSD.Sync
+//     (which syncs the whole file) and pmem.Region.Fence (which persists all
+//     pending lines); code that is correct here is correct on both.
+//   - Persist(p, off) journals as WriteAt followed by Sync over the same
+//     range — two ops, so the explorer can cut power between them and hand
+//     the record write to the tearing adversary. On the live device the pair
+//     is applied atomically.
+//
+// A CrashDevice never fails an operation; it only remembers. All methods are
+// safe for concurrent use and the journal order is the serialization order
+// of the device's mutations.
+type CrashDevice struct {
+	kind Kind
+
+	mu      sync.Mutex
+	buf     []byte // live program-visible contents
+	journal []CrashOp
+}
+
+// CrashOpKind discriminates journal entries.
+type CrashOpKind uint8
+
+// Journal entry kinds.
+const (
+	// CrashOpWrite is a WriteAt: volatile until covered by a sync.
+	CrashOpWrite CrashOpKind = iota
+	// CrashOpSync is a persistence barrier over a range.
+	CrashOpSync
+	// CrashOpMark is an explorer annotation (e.g. "checkpoint counter C was
+	// acknowledged here"); it does not touch the device.
+	CrashOpMark
+)
+
+func (k CrashOpKind) String() string {
+	switch k {
+	case CrashOpWrite:
+		return "write"
+	case CrashOpSync:
+		return "sync"
+	case CrashOpMark:
+		return "mark"
+	default:
+		return "op?"
+	}
+}
+
+// CrashOp is one journaled device operation.
+type CrashOp struct {
+	Kind CrashOpKind
+	// Off and Data describe a write (Data is a private copy); Off and N a
+	// sync range.
+	Off  int64
+	Data []byte
+	N    int64
+	// Value carries the annotation of a mark op.
+	Value uint64
+}
+
+// CrashSectorSize is the tear granularity of un-synced writes: at crash time
+// an un-synced write survives as an arbitrary subset of its sectors.
+const CrashSectorSize = 512
+
+// CrashChooser decides the fate of one sector of one un-synced write at
+// crash time: writeIdx is the write's position among the pending writes (in
+// journal order), sector the CrashSectorSize-granular index within that
+// write. Returning true lands the sector on the durable image. Mirrors
+// pmem.CrashChoice, one level up the stack.
+type CrashChooser func(writeIdx, sector int) bool
+
+// DropAllWrites is the pessimistic adversary: no un-synced byte survives.
+func DropAllWrites(int, int) bool { return false }
+
+// KeepAllWrites is the optimistic adversary: the cache drained just in time.
+func KeepAllWrites(int, int) bool { return true }
+
+// SeededChooser returns a deterministic adversary that drops, keeps, or
+// tears each pending write with equal probability, choosing surviving
+// sectors at random for torn writes. Two calls with the same seed make
+// identical choices, so every explorer case is replayable from its seed.
+func SeededChooser(seed int64) CrashChooser {
+	rng := rand.New(rand.NewSource(seed))
+	fates := make(map[int]int)    // writeIdx → 0 drop, 1 keep, 2 torn
+	torn := make(map[[2]int]bool) // (writeIdx, sector) → survives
+	var mu sync.Mutex             // choosers may be consulted from tests' goroutines
+	return func(writeIdx, sector int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		f, ok := fates[writeIdx]
+		if !ok {
+			f = rng.Intn(3)
+			fates[writeIdx] = f
+		}
+		switch f {
+		case 0:
+			return false
+		case 1:
+			return true
+		default:
+			key := [2]int{writeIdx, sector}
+			v, ok := torn[key]
+			if !ok {
+				v = rng.Intn(2) == 0
+				torn[key] = v
+			}
+			return v
+		}
+	}
+}
+
+// NewCrashDevice allocates a zeroed journaling device of the given size that
+// reports the given kind, steering the engine down the matching persist path
+// (per-writer fences on PMEM, a single covering sync on SSD).
+func NewCrashDevice(size int64, kind Kind) *CrashDevice {
+	if size < 0 {
+		panic("storage: negative CrashDevice size")
+	}
+	return &CrashDevice{kind: kind, buf: make([]byte, size)}
+}
+
+// WriteAt implements Device: visible immediately, durable only once a later
+// sync covers it.
+func (d *CrashDevice) WriteAt(p []byte, off int64) error {
+	if err := checkRange(int64(len(d.buf)), off, len(p)); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), p...)
+	d.mu.Lock()
+	copy(d.buf[off:], p)
+	d.journal = append(d.journal, CrashOp{Kind: CrashOpWrite, Off: off, Data: cp})
+	d.mu.Unlock()
+	return nil
+}
+
+// ReadAt implements Device.
+func (d *CrashDevice) ReadAt(p []byte, off int64) error {
+	if err := checkRange(int64(len(d.buf)), off, len(p)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	copy(p, d.buf[off:])
+	d.mu.Unlock()
+	return nil
+}
+
+// Sync implements Device: a barrier making every journaled write overlapping
+// [off, off+n) durable.
+func (d *CrashDevice) Sync(off, n int64) error {
+	if err := checkRange(int64(len(d.buf)), off, int(n)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.journal = append(d.journal, CrashOp{Kind: CrashOpSync, Off: off, N: n})
+	d.mu.Unlock()
+	return nil
+}
+
+// Persist implements Device: journaled as write + covering sync, so the
+// explorer can crash between the two and tear the write.
+func (d *CrashDevice) Persist(p []byte, off int64) error {
+	if err := checkRange(int64(len(d.buf)), off, len(p)); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), p...)
+	d.mu.Lock()
+	copy(d.buf[off:], p)
+	d.journal = append(d.journal,
+		CrashOp{Kind: CrashOpWrite, Off: off, Data: cp},
+		CrashOp{Kind: CrashOpSync, Off: off, N: int64(len(p))})
+	d.mu.Unlock()
+	return nil
+}
+
+// Mark appends an annotation to the journal. The explorer marks each
+// acknowledged checkpoint counter so that, for any crash point, the set of
+// checkpoints whose Save had returned nil before the lights went out is
+// exactly the marks in the journal prefix.
+func (d *CrashDevice) Mark(value uint64) {
+	d.mu.Lock()
+	d.journal = append(d.journal, CrashOp{Kind: CrashOpMark, Value: value})
+	d.mu.Unlock()
+}
+
+// Size implements Device.
+func (d *CrashDevice) Size() int64 { return int64(len(d.buf)) }
+
+// Kind implements Device.
+func (d *CrashDevice) Kind() Kind { return d.kind }
+
+// Close implements io.Closer.
+func (d *CrashDevice) Close() error { return nil }
+
+// Ops returns the journal length. Prefixes 0..Ops() are the crash points of
+// the recorded history.
+func (d *CrashDevice) Ops() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.journal)
+}
+
+// Journal returns a snapshot of the op journal.
+func (d *CrashDevice) Journal() []CrashOp {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]CrashOp(nil), d.journal...)
+}
+
+// HighestMark returns the largest mark value in the journal's first prefix
+// ops (0 when none) — for the explorer, the newest checkpoint acknowledged
+// before the crash point.
+func (d *CrashDevice) HighestMark(prefix int) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if prefix > len(d.journal) {
+		prefix = len(d.journal)
+	}
+	var hi uint64
+	for _, op := range d.journal[:prefix] {
+		if op.Kind == CrashOpMark && op.Value > hi {
+			hi = op.Value
+		}
+	}
+	return hi
+}
+
+// CrashImage materializes the device contents after a power cut at the given
+// op boundary: ops journal[:prefix] happened, the rest never did. Synced
+// data is replayed faithfully; each write still pending at the cut is handed
+// sector by sector to choose. The returned image is freshly allocated; the
+// live device is not disturbed, so one recorded history serves any number of
+// crash points and cache-loss schedules.
+func (d *CrashDevice) CrashImage(prefix int, choose CrashChooser) ([]byte, error) {
+	d.mu.Lock()
+	size := int64(len(d.buf))
+	if prefix < 0 || prefix > len(d.journal) {
+		n := len(d.journal)
+		d.mu.Unlock()
+		return nil, fmt.Errorf("storage: crash point %d outside journal of %d ops", prefix, n)
+	}
+	ops := d.journal[:prefix]
+	d.mu.Unlock()
+
+	durable := make([]byte, size)
+	// Pending write-back cache: indexes into ops of writes not yet covered
+	// by a sync. A sync flushes overlapping writes in journal order.
+	var pending []int
+	for i, op := range ops {
+		switch op.Kind {
+		case CrashOpWrite:
+			pending = append(pending, i)
+		case CrashOpSync:
+			keep := pending[:0]
+			for _, wi := range pending {
+				w := ops[wi]
+				if w.Off < op.Off+op.N && op.Off < w.Off+int64(len(w.Data)) {
+					copy(durable[w.Off:], w.Data)
+				} else {
+					keep = append(keep, wi)
+				}
+			}
+			pending = keep
+		}
+	}
+	// Power cut: the adversary decides each still-pending write's fate at
+	// sector granularity, applied in journal order so surviving fragments
+	// of overlapping writes layer the way reordered cache evictions would.
+	for widx, wi := range pending {
+		w := ops[wi]
+		for s := 0; s*CrashSectorSize < len(w.Data); s++ {
+			if !choose(widx, s) {
+				continue
+			}
+			lo := s * CrashSectorSize
+			hi := lo + CrashSectorSize
+			if hi > len(w.Data) {
+				hi = len(w.Data)
+			}
+			copy(durable[w.Off+int64(lo):], w.Data[lo:hi])
+		}
+	}
+	return durable, nil
+}
+
+var _ Device = (*CrashDevice)(nil)

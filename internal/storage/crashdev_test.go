@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCrashDeviceSyncedDataSurvivesDropAll(t *testing.T) {
+	d := NewCrashDevice(4096, KindSSD)
+	if err := d.WriteAt(bytes.Repeat([]byte{0xAA}, 1024), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(bytes.Repeat([]byte{0xBB}, 1024), 2048); err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.CrashImage(d.Ops(), DropAllWrites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img[:1024], bytes.Repeat([]byte{0xAA}, 1024)) {
+		t.Fatal("synced write lost at crash")
+	}
+	if !bytes.Equal(img[2048:3072], make([]byte, 1024)) {
+		t.Fatal("un-synced write survived the DropAll adversary")
+	}
+}
+
+func TestCrashDeviceUnsyncedSurvivesKeepAll(t *testing.T) {
+	d := NewCrashDevice(4096, KindSSD)
+	if err := d.WriteAt(bytes.Repeat([]byte{0xCC}, 512), 512); err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.CrashImage(d.Ops(), KeepAllWrites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img[512:1024], bytes.Repeat([]byte{0xCC}, 512)) {
+		t.Fatal("un-synced write lost under the KeepAll adversary")
+	}
+}
+
+func TestCrashDevicePrefixCutsHistory(t *testing.T) {
+	d := NewCrashDevice(1024, KindSSD)
+	if err := d.Persist([]byte{1, 2, 3, 4}, 0); err != nil { // ops 0 (write) + 1 (sync)
+		t.Fatal(err)
+	}
+	if err := d.Persist([]byte{9, 9, 9, 9}, 0); err != nil { // ops 2 + 3
+		t.Fatal(err)
+	}
+	// Crash before the second persist's write: first value durable.
+	img, err := d.CrashImage(2, DropAllWrites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img[:4], []byte{1, 2, 3, 4}) {
+		t.Fatalf("prefix 2 image = %v, want first persist", img[:4])
+	}
+	// Crash between the second persist's write and its sync: the write is
+	// pending — DropAll keeps the old value, KeepAll lands the new one.
+	img, err = d.CrashImage(3, DropAllWrites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img[:4], []byte{1, 2, 3, 4}) {
+		t.Fatalf("torn persist with DropAll = %v, want old value", img[:4])
+	}
+	img, err = d.CrashImage(3, KeepAllWrites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img[:4], []byte{9, 9, 9, 9}) {
+		t.Fatalf("torn persist with KeepAll = %v, want new value", img[:4])
+	}
+}
+
+func TestCrashDeviceTornWriteSectorGranularity(t *testing.T) {
+	d := NewCrashDevice(4*CrashSectorSize, KindSSD)
+	w := bytes.Repeat([]byte{0xEE}, 2*CrashSectorSize)
+	if err := d.WriteAt(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Keep only sector 1 of the pending write.
+	img, err := d.CrashImage(d.Ops(), func(writeIdx, sector int) bool { return sector == 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img[:CrashSectorSize], make([]byte, CrashSectorSize)) {
+		t.Fatal("dropped sector 0 survived")
+	}
+	if !bytes.Equal(img[CrashSectorSize:2*CrashSectorSize], bytes.Repeat([]byte{0xEE}, CrashSectorSize)) {
+		t.Fatal("kept sector 1 lost")
+	}
+}
+
+func TestCrashDeviceReorderedOverlappingWrites(t *testing.T) {
+	// Older write survives, newer overlapping write is dropped — the
+	// reordering a write-back cache can expose.
+	d := NewCrashDevice(1024, KindSSD)
+	if err := d.WriteAt(bytes.Repeat([]byte{0x01}, 256), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(bytes.Repeat([]byte{0x02}, 256), 0); err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.CrashImage(d.Ops(), func(writeIdx, sector int) bool { return writeIdx == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img[:256], bytes.Repeat([]byte{0x01}, 256)) {
+		t.Fatalf("expected the older write to win, got %#x...", img[0])
+	}
+}
+
+func TestCrashDeviceRangedSyncOnlyFlushesOverlap(t *testing.T) {
+	d := NewCrashDevice(4096, KindSSD)
+	if err := d.WriteAt(bytes.Repeat([]byte{0x11}, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(bytes.Repeat([]byte{0x22}, 512), 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(0, 512); err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.CrashImage(d.Ops(), DropAllWrites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img[:512], bytes.Repeat([]byte{0x11}, 512)) {
+		t.Fatal("write inside the sync range did not persist")
+	}
+	if !bytes.Equal(img[2048:2560], make([]byte, 512)) {
+		t.Fatal("write outside the sync range persisted without a barrier")
+	}
+}
+
+func TestCrashDeviceMarksAndHighestMark(t *testing.T) {
+	d := NewCrashDevice(64, KindSSD)
+	if err := d.Persist([]byte{1}, 0); err != nil { // ops 0,1
+		t.Fatal(err)
+	}
+	d.Mark(7)                                       // op 2
+	if err := d.Persist([]byte{2}, 0); err != nil { // ops 3,4
+		t.Fatal(err)
+	}
+	d.Mark(9) // op 5
+	if got := d.HighestMark(2); got != 0 {
+		t.Fatalf("HighestMark(2) = %d, want 0", got)
+	}
+	if got := d.HighestMark(3); got != 7 {
+		t.Fatalf("HighestMark(3) = %d, want 7", got)
+	}
+	if got := d.HighestMark(100); got != 9 {
+		t.Fatalf("HighestMark(100) = %d, want 9", got)
+	}
+}
+
+func TestCrashDeviceSeededChooserDeterministic(t *testing.T) {
+	d := NewCrashDevice(8192, KindSSD)
+	for i := 0; i < 8; i++ {
+		if err := d.WriteAt(bytes.Repeat([]byte{byte(i + 1)}, 1024), int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := d.CrashImage(d.Ops(), SeededChooser(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.CrashImage(d.Ops(), SeededChooser(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different crash images")
+	}
+}
+
+func TestCrashDeviceLiveReadsSeeAllWrites(t *testing.T) {
+	d := NewCrashDevice(256, KindPMEM)
+	if err := d.WriteAt([]byte{5, 6, 7}, 10); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := d.ReadAt(got, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{5, 6, 7}) {
+		t.Fatal("live read does not see un-synced write")
+	}
+	if d.Kind() != KindPMEM {
+		t.Fatal("kind not reported")
+	}
+}
+
+func TestCrashDeviceInvalidPrefix(t *testing.T) {
+	d := NewCrashDevice(64, KindSSD)
+	if _, err := d.CrashImage(1, DropAllWrites); err == nil {
+		t.Fatal("out-of-range prefix accepted")
+	}
+	if _, err := d.CrashImage(-1, DropAllWrites); err == nil {
+		t.Fatal("negative prefix accepted")
+	}
+}

@@ -290,6 +290,11 @@ type RAM struct {
 // NewRAM allocates a zeroed volatile device.
 func NewRAM(size int64) *RAM { return &RAM{data: make([]byte, size)} }
 
+// NewRAMFromBytes wraps data as a volatile device without copying — the
+// crash explorer mounts each materialized post-crash image this way. The
+// device owns data from here on.
+func NewRAMFromBytes(data []byte) *RAM { return &RAM{data: data} }
+
 // WriteAt implements Device.
 func (d *RAM) WriteAt(p []byte, off int64) error {
 	if err := checkRange(int64(len(d.data)), off, len(p)); err != nil {
