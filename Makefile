@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench-faults bench-crash fmt-check staticcheck trace-smoke
+.PHONY: build vet test race verify bench-faults bench-crash bench-json metrics-lint fmt-check staticcheck trace-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,17 @@ bench-faults:
 # real recovery against every image. Exits non-zero on any violation.
 bench-crash:
 	$(GO) run ./cmd/pccheck-bench -crash
+
+# Goodput benchmark with the ledger attached; exports the machine-readable
+# report (goodput ratio, stall attribution, slowdown vs budget) as JSON for
+# run-to-run comparison — CI uploads it as a build artifact.
+bench-json:
+	$(GO) run ./cmd/pccheck-bench -goodput -json BENCH_goodput.json
+
+# Strict Prometheus text-exposition lint of everything /metrics serves
+# (recorder + goodput ledger), via a self-contained in-process endpoint.
+metrics-lint:
+	$(GO) run ./cmd/pccheck-metrics-lint
 
 # Fault scenario with the flight recorder attached; validates the exported
 # Chrome trace carries every pipeline phase.

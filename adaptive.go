@@ -28,6 +28,15 @@ type AdaptiveLoop struct {
 	snapshot func() []byte
 	obsv     Observer // cached from ck at construction; nil when off
 
+	// ledger is set when the configured observer is a *Ledger: the loop
+	// feeds it iteration timings and — closing the §3.4 loop — retunes
+	// Eq. (3) from the ledger's engine-measured write time (queueing
+	// excluded) instead of the goroutine-observed Save duration. lastIter
+	// and pendCkpt are Tick-goroutine-only (single-producer contract).
+	ledger   *Ledger
+	lastIter time.Time
+	pendCkpt bool
+
 	q     float64 // overhead budget (> 1)
 	n     int     // concurrent checkpoints
 	alpha float64 // EWMA smoothing
@@ -105,6 +114,7 @@ func NewAdaptiveLoop(ck *Checkpointer, cfg AdaptiveConfig, snapshot func() []byt
 		maxInterval: cfg.MaxInterval,
 		interval:    clampInt(cfg.InitialInterval, cfg.MinInterval, cfg.MaxInterval),
 	}
+	l.ledger, _ = l.obsv.(*Ledger)
 	l.idle = sync.NewCond(&l.mu)
 	return l, nil
 }
@@ -132,6 +142,15 @@ func clampInt(v, lo, hi int) int {
 // accessors may be called from any goroutine concurrently.
 func (l *AdaptiveLoop) Tick(ctx context.Context) {
 	now := time.Now()
+	if l.ledger != nil {
+		// The checkpointed flag rides one Tick behind the snapshot: the
+		// capture of Tick n lands inside the n→n+1 gap (see Loop.Tick).
+		if !l.lastIter.IsZero() {
+			l.ledger.IterDone(now.Sub(l.lastIter), l.pendCkpt)
+		}
+		l.lastIter = now
+		l.pendCkpt = false
+	}
 	l.mu.Lock()
 	if !l.lastTick.IsZero() {
 		dt := now.Sub(l.lastTick).Seconds()
@@ -166,6 +185,7 @@ func (l *AdaptiveLoop) Tick(ctx context.Context) {
 			Slot: -1, Writer: -1, Rank: -1,
 		})
 	}
+	l.pendCkpt = true
 	go func() {
 		start := time.Now()
 		_, err := l.ck.Save(ctx, payload)
@@ -197,12 +217,23 @@ func (l *AdaptiveLoop) Tick(ctx context.Context) {
 	}()
 }
 
-// retuneLocked applies Eq. (3) with the current measurements.
+// retuneLocked applies Eq. (3) with the current measurements. When a
+// goodput ledger is attached, its engine-measured write time (the Save
+// span minus slot queueing) replaces the goroutine-observed Tw: queueing
+// behind the N in-flight checkpoints is already paid for by the N in the
+// denominator, so folding it into Tw would double-count and over-widen
+// the interval.
 func (l *AdaptiveLoop) retuneLocked() {
-	if l.ewmaIter <= 0 || l.ewmaTw <= 0 {
+	tw := l.ewmaTw
+	if l.ledger != nil {
+		if m := l.ledger.ObservedTw(); m > 0 {
+			tw = m.Seconds()
+		}
+	}
+	if l.ewmaIter <= 0 || tw <= 0 {
 		return
 	}
-	f := int(math.Ceil(l.ewmaTw / (float64(l.n) * l.q * l.ewmaIter)))
+	f := int(math.Ceil(tw / (float64(l.n) * l.q * l.ewmaIter)))
 	prev := l.interval
 	l.interval = clampInt(f, l.minInterval, l.maxInterval)
 	l.adjusts++
@@ -253,6 +284,14 @@ func (l *AdaptiveLoop) Adjustments() int {
 func (l *AdaptiveLoop) Drain() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.inflight > 0 && l.ledger != nil {
+		start := time.Now()
+		for l.inflight > 0 {
+			l.idle.Wait()
+		}
+		l.ledger.DrainDone(time.Since(start))
+		return l.firstErr
+	}
 	for l.inflight > 0 {
 		l.idle.Wait()
 	}

@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"pccheck/internal/figures"
 )
@@ -36,13 +37,38 @@ func main() {
 		faultSeed       = flag.Int64("fault-seed", 1, "with -faults: rng seed for the soak phase")
 
 		traceOut    = flag.String("trace-out", "", "with -faults: write a Chrome trace-event JSON of every checkpoint phase (view at ui.perfetto.dev)")
-		metricsAddr = flag.String("metrics-addr", "", "with -faults: serve /metrics (Prometheus) and /debug/vars on this address while the scenario runs")
+		metricsAddr = flag.String("metrics-addr", "", "with -faults or -goodput: serve /metrics (Prometheus) and /debug/vars on this address while the scenario runs")
 
 		crash        = flag.Bool("crash", false, "run the crash-point exploration sweep and print the per-workload summary")
 		crashSamples = flag.Int("crash-samples", 100, "with -crash: sampled torn/reordered cache-loss schedules per workload")
 		crashSeed    = flag.Int64("crash-seed", 1, "with -crash: seed for workload payloads and sampled schedules")
+
+		goodput         = flag.Bool("goodput", false, "run the goodput-ledger scenario: a simulated training loop with stall attribution and SLO tracking")
+		goodputIters    = flag.Int("goodput-iters", 300, "with -goodput: training iterations")
+		goodputInterval = flag.Int("goodput-interval", 10, "with -goodput: checkpoint every f iterations")
+		goodputQ        = flag.Float64("goodput-q", 1.25, "with -goodput: slowdown budget q")
+		jsonOut         = flag.String("json", "", "with -goodput: write the machine-readable summary (BENCH_*.json shape) to this path")
 	)
 	flag.Parse()
+
+	if *goodput {
+		err := runGoodput(os.Stdout, goodputConfig{
+			iters:       *goodputIters,
+			interval:    *goodputInterval,
+			iterTime:    2 * time.Millisecond,
+			snapTime:    4 * time.Millisecond,
+			payload:     256 << 10,
+			bw:          64 << 20, // 64 MiB/s per writer: persists visibly overlap training
+			q:           *goodputQ,
+			jsonOut:     *jsonOut,
+			metricsAddr: *metricsAddr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench: GOODPUT SCENARIO FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *crash {
 		if err := runCrash(os.Stdout, crashConfig{samples: *crashSamples, seed: *crashSeed}); err != nil {

@@ -47,11 +47,12 @@ func main() {
 		interval = flag.Int("interval", 20, "checkpoint every f iterations")
 		crashAt  = flag.Int("crash-at", 0, "exit abruptly after this iteration (0 = run to completion)")
 		spawn    = flag.Bool("spawn", false, "rank 0 spawns ranks 1..world-1 as subprocesses")
+		budget   = flag.Float64("q", 0, "attach a goodput ledger with this slowdown budget; rank 0 also prints the per-rank straggler table (0 = off)")
 	)
 	flag.Parse()
 
 	if *spawn {
-		if err := runSpawner(*world, *ckptDir, *steps, *interval); err != nil {
+		if err := runSpawner(*world, *ckptDir, *steps, *interval, *budget); err != nil {
 			fail("%v", err)
 		}
 		return
@@ -59,14 +60,14 @@ func main() {
 	if *ckpt == "" {
 		fail("need -ckpt")
 	}
-	if err := runRank(*world, *rank, *listen, *leader, *ckpt, *steps, *interval, *crashAt); err != nil {
+	if err := runRank(*world, *rank, *listen, *leader, *ckpt, *steps, *interval, *crashAt, *budget); err != nil {
 		fail("rank %d: %v", *rank, err)
 	}
 }
 
 // runSpawner is the one-command demo: listen, launch the other ranks
 // pointing at us, then run rank 0 in-process.
-func runSpawner(world int, dir string, steps, interval int) error {
+func runSpawner(world int, dir string, steps, interval int, budget float64) error {
 	if dir == "" {
 		dir = os.TempDir()
 	}
@@ -92,6 +93,7 @@ func runSpawner(world int, dir string, steps, interval int) error {
 			"-ckpt", filepath.Join(dir, fmt.Sprintf("stage%d.pcc", r)),
 			"-steps", strconv.Itoa(steps),
 			"-interval", strconv.Itoa(interval),
+			"-q", strconv.FormatFloat(budget, 'g', -1, 64),
 		)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -100,7 +102,7 @@ func runSpawner(world int, dir string, steps, interval int) error {
 		}
 		procs = append(procs, cmd)
 	}
-	err = runRankWithListener(world, 0, ln, filepath.Join(dir, "stage0.pcc"), steps, interval, 0)
+	err = runRankWithListener(world, 0, ln, filepath.Join(dir, "stage0.pcc"), steps, interval, 0, budget)
 	for _, p := range procs {
 		if werr := p.Wait(); err == nil {
 			err = werr
@@ -109,7 +111,7 @@ func runSpawner(world int, dir string, steps, interval int) error {
 	return err
 }
 
-func runRank(world, rank int, listen, leader, ckptPath string, steps, interval, crashAt int) error {
+func runRank(world, rank int, listen, leader, ckptPath string, steps, interval, crashAt int, budget float64) error {
 	if rank == 0 {
 		ln, err := net.Listen("tcp", listen)
 		if err != nil {
@@ -117,7 +119,7 @@ func runRank(world, rank int, listen, leader, ckptPath string, steps, interval, 
 		}
 		defer ln.Close()
 		fmt.Printf("rank 0 listening on %s\n", ln.Addr())
-		return runRankWithListener(world, 0, ln, ckptPath, steps, interval, crashAt)
+		return runRankWithListener(world, 0, ln, ckptPath, steps, interval, crashAt, budget)
 	}
 	if leader == "" {
 		return fmt.Errorf("ranks ≥ 1 need -leader")
@@ -139,10 +141,10 @@ func runRank(world, rank int, listen, leader, ckptPath string, steps, interval, 
 		time.Sleep(200 * time.Millisecond)
 	}
 	defer tr.Close()
-	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt)
+	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt, budget)
 }
 
-func runRankWithListener(world, rank int, ln net.Listener, ckptPath string, steps, interval, crashAt int) error {
+func runRankWithListener(world, rank int, ln net.Listener, ckptPath string, steps, interval, crashAt int, budget float64) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	tr, err := pccheck.ListenLeader(ctx, ln, world)
 	cancel()
@@ -150,12 +152,15 @@ func runRankWithListener(world, rank int, ln net.Listener, ckptPath string, step
 		return err
 	}
 	defer tr.Close()
-	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt)
+	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt, budget)
 }
 
 // trainLoop is the per-rank body: restore or start fresh, agree on the
-// common resume point, train with coordinated checkpoints.
-func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, crashAt int) error {
+// common resume point, train with coordinated checkpoints. With budget >
+// 0 a goodput ledger rides along: every rank prints its own attribution
+// report and rank 0 — whose coordinator sees when each rank's report
+// arrives — additionally gets the straggler table.
+func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, crashAt int, budget float64) error {
 	// Each rank's "pipeline stage" is its own deterministic model.
 	makeTrainer := func() (*train.Trainer, error) {
 		m, err := train.NewMLP(1000+int64(rank), []int{24, 48, 6})
@@ -217,11 +222,18 @@ func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, cra
 
 	// Fresh engine for this epoch so checkpoint counters align across the
 	// group again.
+	var led *pccheck.Ledger
+	var obsv pccheck.Observer
+	if budget > 0 {
+		led = pccheck.NewLedger(pccheck.LedgerConfig{SlowdownBudget: budget}, nil)
+		obsv = led
+	}
 	ck, err := pccheck.Create(ckptPath, pccheck.Config{
 		MaxBytes:   int64(trainer.StateSize()),
 		Concurrent: 2,
 		Writers:    2,
 		Verify:     true,
+		Observer:   obsv,
 	})
 	if err != nil {
 		return err
@@ -233,7 +245,19 @@ func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, cra
 	}
 
 	ctx := context.Background()
+	var lastIter time.Time
+	ckptThis := false
 	for trainer.Iteration() < steps {
+		// Here a checkpoint (snapshot + SaveConsistent + agreement) runs
+		// inside the iteration, so the flag applies to the same gap.
+		if led != nil {
+			now := time.Now()
+			if !lastIter.IsZero() {
+				led.IterDone(now.Sub(lastIter), ckptThis)
+			}
+			lastIter = now
+			ckptThis = false
+		}
 		it := trainer.Iteration()
 		loss, err := trainer.Step()
 		if err != nil {
@@ -254,11 +278,16 @@ func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, cra
 		if err != nil {
 			return err
 		}
+		ckptThis = true
 		if rank == 0 {
 			fmt.Printf("iteration %4d  loss %.4f  globally consistent checkpoint %d\n", it+1, loss, agreed)
 		}
 	}
 	fmt.Printf("rank %d: done at iteration %d\n", rank, trainer.Iteration())
+	if led != nil {
+		fmt.Printf("rank %d goodput report:\n", rank)
+		pccheck.FormatGoodputReport(os.Stdout, led.Report())
+	}
 	return nil
 }
 

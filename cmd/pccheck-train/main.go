@@ -36,25 +36,30 @@ func main() {
 
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every checkpoint phase on exit (view at ui.perfetto.dev)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars on this address while training")
+		budget      = flag.Float64("q", 0, "slowdown budget for the goodput ledger (e.g. 1.05; 0 = ledger attached without SLO tracking)")
 	)
 	flag.Parse()
 
 	// With -trace-out or -metrics-addr a flight recorder observes every
-	// checkpoint phase; without either flag the observer stays nil and
-	// checkpointing runs with zero observability overhead.
+	// checkpoint phase, and a goodput ledger rides in front of it for
+	// stall attribution and SLO tracking (-q sets the budget). Without
+	// either flag the observer stays nil and checkpointing runs with zero
+	// observability overhead.
 	var rec *pccheck.Recorder
+	var led *pccheck.Ledger
 	var obsv pccheck.Observer
-	if *traceOut != "" || *metricsAddr != "" {
+	if *traceOut != "" || *metricsAddr != "" || *budget > 0 {
 		rec = pccheck.NewFlightRecorder(0)
-		obsv = rec
+		led = pccheck.NewLedger(pccheck.LedgerConfig{SlowdownBudget: *budget}, rec)
+		obsv = led
 	}
 	if *metricsAddr != "" {
-		srv, bound, err := pccheck.ServeMetrics(*metricsAddr, rec)
+		srv, bound, err := pccheck.ServeMetrics(*metricsAddr, rec, led)
 		if err != nil {
 			fail("metrics endpoint: %v", err)
 		}
 		defer srv.Close()
-		fmt.Printf("metrics at http://%s/metrics\n", bound)
+		fmt.Printf("metrics at http://%s/metrics (watch live with pccheck-top -addr %s)\n", bound, bound)
 	}
 
 	trainer, err := buildTrainer(*seed, *hidden)
@@ -64,10 +69,12 @@ func main() {
 
 	// Attach or create the checkpoint file; resume if it has state.
 	var ck *pccheck.Checkpointer
+	recoveryStart := time.Now()
 	if state, counter, err := pccheck.RecoverFile(*ckptPath); err == nil {
 		if err := trainer.Restore(state); err != nil {
 			fail("restoring checkpoint %d: %v", counter, err)
 		}
+		led.AddRecovery(time.Since(recoveryStart))
 		fmt.Printf("resumed from checkpoint %d at iteration %d\n", counter, trainer.Iteration())
 		ck, err = pccheck.Open(*ckptPath, pccheck.Config{Writers: *writers, Observer: obsv})
 		if err != nil {
@@ -133,6 +140,10 @@ func main() {
 	if rec != nil {
 		save := rec.Snapshot().Phase(pccheck.PhaseSave)
 		fmt.Printf("save latency: p50=%v p95=%v p99=%v over %d saves\n", save.P50, save.P95, save.P99, save.Count)
+	}
+	if led != nil {
+		fmt.Println()
+		pccheck.FormatGoodputReport(os.Stdout, led.Report())
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -61,12 +61,19 @@ type Worker struct {
 }
 
 // NewWorker binds a local checkpointer to a coordination transport. The
-// caller keeps ownership of both (Close them after the worker).
+// caller keeps ownership of both (Close them after the worker). The
+// checkpointer's observer, when set, also receives the coordination
+// events: per-rank agree spans from this worker and — on rank 0 — one
+// PhaseAgreeGate straggler record per committed round.
 func NewWorker(ck *Checkpointer, tr Transport) (*Worker, error) {
 	if ck == nil || tr == nil {
 		return nil, fmt.Errorf("pccheck: NewWorker needs a checkpointer and a transport")
 	}
-	return &Worker{ck: ck, tr: tr, coord: dist.NewCoordinator(tr)}, nil
+	w := &Worker{ck: ck, tr: tr, coord: dist.NewCoordinator(tr)}
+	if obsv := ck.Observer(); obsv != nil {
+		w.coord.SetObserver(obsv)
+	}
+	return w, nil
 }
 
 // Rank returns this worker's rank.

@@ -1,0 +1,249 @@
+package pccheck
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"pccheck/internal/promtext"
+)
+
+// runLedgerTraining drives a deterministic training loop — fixed-duration
+// iterations with a sleeping snapshot standing in for the D2H copy — with a
+// goodput ledger attached, and returns the ledger plus the external
+// stopwatch measurement of the measured window.
+func runLedgerTraining(t *testing.T, cfg LedgerConfig, iters, interval int, iterTime, snapTime time.Duration) (*Ledger, *Recorder, time.Duration) {
+	t.Helper()
+	rec := NewFlightRecorder(0)
+	led := NewLedger(cfg, rec)
+	payload := make([]byte, 64<<10)
+	ck, _, err := CreateVolatile(Config{
+		MaxBytes:    int64(len(payload)),
+		Concurrent:  2,
+		Writers:     2,
+		PerWriterBW: 32 << 20,
+		Observer:    led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ck.Close() })
+
+	loop, err := NewLoop(ck, interval, func() []byte {
+		time.Sleep(snapTime)
+		return payload
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		time.Sleep(iterTime)
+		loop.Tick(ctx, it)
+	}
+	if err := loop.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return led, rec, time.Since(start)
+}
+
+// TestGoodputLedgerAcceptance is the PR's headline acceptance test: on a
+// deterministic run the ledger's attribution must sum to wall-clock within
+// 5%, the observed slowdown must sit inside a generous budget with no
+// breaches, and the /metrics endpoint must expose plausible goodput and
+// staleness gauges.
+func TestGoodputLedgerAcceptance(t *testing.T) {
+	const (
+		iters    = 150
+		interval = 10
+		iterTime = 2 * time.Millisecond
+		snapTime = 4 * time.Millisecond
+	)
+	led, rec, stopwatch := runLedgerTraining(t, LedgerConfig{
+		SlowdownBudget:   3.0,
+		BaselineIterTime: iterTime,
+	}, iters, interval, iterTime, snapTime)
+	rep := led.Report()
+
+	// (a) Attribution closes the books: the buckets must reconstruct the
+	// ledger's wall-clock exactly, and the ledger's wall-clock must track
+	// the external stopwatch within 5% (the first iteration falls before
+	// the first Tick boundary and is legitimately unmeasured).
+	buckets := rep.ComputeSeconds + rep.Stall(StallSnapshot) + rep.DrainSeconds + rep.RecoverySeconds
+	if math.Abs(buckets-rep.WallSeconds) > 0.01*rep.WallSeconds {
+		t.Errorf("buckets %.4fs do not reconstruct ledger wall %.4fs", buckets, rep.WallSeconds)
+	}
+	if diff := math.Abs(rep.WallSeconds - stopwatch.Seconds()); diff > 0.05*stopwatch.Seconds() {
+		t.Errorf("ledger wall %.4fs vs stopwatch %.4fs: off by %.4fs (> 5%%)",
+			rep.WallSeconds, stopwatch.Seconds(), diff)
+	}
+	if rep.Iterations < iters-1 {
+		t.Errorf("iterations = %d, want ≥ %d", rep.Iterations, iters-1)
+	}
+	wantCkpt := uint64(iters / interval)
+	if rep.CheckpointIterations < wantCkpt-2 || rep.CheckpointIterations > wantCkpt {
+		t.Errorf("checkpoint iterations = %d, want ≈ %d", rep.CheckpointIterations, wantCkpt)
+	}
+	if rep.Stall(StallSnapshot) <= 0 {
+		t.Error("sleeping snapshot produced no snapshot stall")
+	}
+
+	// (b) A generous budget holds: expected slowdown ≈ (t + Tsnap/f)/t =
+	// 1.2, far below q = 3 even with scheduler noise.
+	if rep.ObservedSlowdown <= 0 || rep.ObservedSlowdown > 3.0 {
+		t.Errorf("observed slowdown %.3f outside (0, 3.0]", rep.ObservedSlowdown)
+	}
+	if rep.BudgetBreaches != 0 || rep.InBreach {
+		t.Errorf("breaches = %d (in breach %v) under generous budget", rep.BudgetBreaches, rep.InBreach)
+	}
+	if rep.GoodputRatio <= 0 || rep.GoodputRatio > 1 {
+		t.Errorf("goodput ratio %.3f outside (0, 1]", rep.GoodputRatio)
+	}
+
+	// (c) The gauges on /metrics agree with the report.
+	srv, bound, err := ServeMetrics("127.0.0.1:0", rec, led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("metrics exposition does not lint: %v", err)
+	}
+	byName := map[string]promtext.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	goodput := byName["pccheck_goodput_ratio"]
+	if v, ok := goodput.Value(); !ok || v <= 0 || v > 1 {
+		t.Errorf("pccheck_goodput_ratio = %v (present %v), want in (0, 1]", v, ok)
+	}
+	staleness := byName["pccheck_checkpoint_staleness_seconds"]
+	if v, ok := staleness.Value(); !ok || v < 0 || v > 60 {
+		t.Errorf("pccheck_checkpoint_staleness_seconds = %v (present %v), want in [0, 60)", v, ok)
+	}
+}
+
+// TestGoodputLedgerBreachInRealRun sets the budget below what the workload
+// can achieve — every checkpoint block runs ≥ 1.6× baseline — and expects
+// the breach counter to fire during a real training loop.
+func TestGoodputLedgerBreachInRealRun(t *testing.T) {
+	const iterTime = 2 * time.Millisecond
+	led, _, _ := runLedgerTraining(t, LedgerConfig{
+		SlowdownBudget:   1.01,
+		BaselineIterTime: iterTime,
+		Smoothing:        1, // each block sets the EWMA directly
+		Window:           5,
+	}, 40, 5, iterTime, 3*iterTime)
+	rep := led.Report()
+	if rep.BudgetBreaches == 0 {
+		t.Errorf("no breach fired with q=1.01 and slowdown %.3f", rep.ObservedSlowdown)
+	}
+	if rep.ObservedSlowdown <= 1.01 {
+		t.Errorf("observed slowdown %.3f, want > budget 1.01", rep.ObservedSlowdown)
+	}
+}
+
+// TestGoodputSaveAllocParity: attaching a ledger (chained into a recorder)
+// must not add a single allocation to Save relative to the nil-observer
+// baseline — the acceptance gate for the zero-overhead hot path.
+func TestGoodputSaveAllocParity(t *testing.T) {
+	payload := make([]byte, 4<<10)
+	mk := func(o Observer) *Checkpointer {
+		ck, _, err := CreateVolatile(Config{MaxBytes: int64(len(payload)), Concurrent: 1, Writers: 1, Observer: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ck.Close() })
+		return ck
+	}
+	ctx := context.Background()
+	measure := func(ck *Checkpointer) float64 {
+		for i := 0; i < 3; i++ {
+			if _, err := ck.Save(ctx, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(50, func() {
+			if _, err := ck.Save(ctx, payload); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	baseline := measure(mk(nil))
+	withLedger := measure(mk(NewLedger(LedgerConfig{SlowdownBudget: 1.05}, NewFlightRecorder(0))))
+	if withLedger > baseline {
+		t.Errorf("ledger path allocates %.1f/save vs %.1f baseline", withLedger, baseline)
+	}
+}
+
+// TestGoodputStragglerTable runs a world of 3 in-process workers where rank
+// 2 is artificially delayed before every save; rank 0's coordinator sees
+// every rank's report arrive, so rank 0's ledger must name rank 2 as the
+// dominant straggler.
+func TestGoodputStragglerTable(t *testing.T) {
+	const world, rounds = 3, 6
+	transports := NewLocalTransports(world)
+	led := NewLedger(LedgerConfig{SlowdownBudget: 1.1}, nil)
+	workers := make([]*Worker, world)
+	for rank := 0; rank < world; rank++ {
+		var obsv Observer
+		if rank == 0 {
+			obsv = led
+		}
+		ck, _, err := CreateVolatile(Config{MaxBytes: 1024, Concurrent: 2, Writers: 2, Observer: obsv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ck.Close() })
+		w, err := NewWorker(ck, transports[rank])
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[rank] = w
+	}
+
+	ctx := context.Background()
+	payload := make([]byte, 512)
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for rank, w := range workers {
+			wg.Add(1)
+			go func(rank int, w *Worker) {
+				defer wg.Done()
+				if rank == 2 {
+					time.Sleep(15 * time.Millisecond)
+				}
+				if _, err := w.SaveConsistent(ctx, payload); err != nil {
+					t.Errorf("rank %d round %d: %v", rank, round, err)
+				}
+			}(rank, w)
+		}
+		wg.Wait()
+	}
+
+	rep := led.Report()
+	if len(rep.Stragglers) == 0 {
+		t.Fatal("straggler table empty on rank 0")
+	}
+	top := rep.Stragglers[0]
+	if top.Rank != 2 {
+		t.Fatalf("top straggler = rank %d (%+v), want rank 2", top.Rank, rep.Stragglers)
+	}
+	if top.GatedRounds < rounds-2 {
+		t.Errorf("rank 2 gated %d rounds, want ≥ %d of %d", top.GatedRounds, rounds-2, rounds)
+	}
+	if top.GateLagSeconds <= 0 {
+		t.Errorf("rank 2 gate lag = %.4fs, want > 0", top.GateLagSeconds)
+	}
+}

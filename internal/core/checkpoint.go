@@ -336,6 +336,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	slot, waited, err := c.acquireSlot(ctx)
 	if err != nil {
 		c.stats.FailedSaves.Add(1)
+		c.instant(obs.PhaseSaveFailed, counter, -1, 0)
 		return 0, err
 	}
 	if waited {
@@ -352,7 +353,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	// p parallel writers, then make it durable.
 	payloadCRC, err := c.writePayload(ctx, slot, src, counter)
 	if err != nil {
-		c.failSlot(slot)
+		c.failSlot(slot, counter)
 		return 0, err
 	}
 
@@ -362,7 +363,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	if err := c.retryIO(ctx, func() error {
 		return c.dev.Persist(encodeSlotHeader(hdr), slotBase(c.sb, slot))
 	}); err != nil {
-		c.failSlot(slot)
+		c.failSlot(slot, counter)
 		return 0, err
 	}
 	c.span(obs.PhaseHeader, hdrStart, counter, slot, slotHeaderSize, 0)
@@ -388,6 +389,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 			}
 			if err != nil {
 				c.stats.FailedSaves.Add(1)
+				c.instant(obs.PhaseSaveFailed, counter, slot, 0)
 				return 0, err
 			}
 			c.stats.Checkpoints.Add(1)
@@ -414,6 +416,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 			// recycle — failing the barrier must not leak it.
 			c.freeSpace.Enq(slot)
 			c.stats.FailedSaves.Add(1)
+			c.instant(obs.PhaseSaveFailed, counter, slot, 0)
 			return 0, err
 		}
 		c.span(obs.PhaseBarrier, barrierStart, counter, slot, 0, 0)
@@ -432,10 +435,11 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 // free queue, and the failure is counted. Slot accounting must balance on
 // every error path — a leaked slot permanently lowers the engine's effective
 // concurrency.
-func (c *Checkpointer) failSlot(slot int) {
+func (c *Checkpointer) failSlot(slot int, counter uint64) {
 	c.slotSeq[slot].Add(1)
 	c.freeSpace.Enq(slot)
 	c.stats.FailedSaves.Add(1)
+	c.instant(obs.PhaseSaveFailed, counter, slot, 0)
 }
 
 // deferFree parks a slot that the durable pointer record may still

@@ -213,4 +213,14 @@ func TestNilObserverAddsNoAllocations(t *testing.T) {
 	if observed > baseline {
 		t.Errorf("observer added allocations: %v with recorder vs %v baseline", observed, baseline)
 	}
+
+	// The goodput ledger chains in front of the recorder on the same hot
+	// path; its per-event work is pure atomics and must stay alloc-free too.
+	chained := mk(obs.NewLedger(obs.LedgerConfig{SlowdownBudget: 1.05}, obs.NewRecorder(1<<12)))
+	defer chained.Close()
+	withLedger := run(chained)
+
+	if withLedger > baseline {
+		t.Errorf("ledger added allocations: %v with ledger+recorder vs %v baseline", withLedger, baseline)
+	}
 }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
+
+	"pccheck/internal/obs"
 )
 
 // Coordinator runs the global-consistency protocol of §4.1: after a worker's
@@ -29,9 +32,20 @@ type Coordinator struct {
 
 	// rank-0 state: reports per round, keyed by round index; rankRound
 	// counts how many reports each rank has contributed so far.
-	rounds    map[uint64]map[int]uint64
+	rounds    map[uint64]map[int]report
 	rankRound map[int]uint64
 	next      uint64 // next round index to commit (rounds commit in order)
+
+	// obsv, when set on rank 0, receives one PhaseAgreeGate event per
+	// committed round identifying the rank that gated it (see SetObserver).
+	obsv obs.Observer
+}
+
+// report is one rank's contribution to a round: the checkpoint ID it
+// published and when the report reached rank 0.
+type report struct {
+	id uint64
+	at int64 // arrival, UnixNano
 }
 
 // NewCoordinator wraps a transport. All workers of the group must create
@@ -39,10 +53,23 @@ type Coordinator struct {
 func NewCoordinator(tr Transport) *Coordinator {
 	return &Coordinator{
 		tr:        tr,
-		rounds:    make(map[uint64]map[int]uint64),
+		rounds:    make(map[uint64]map[int]report),
 		rankRound: make(map[int]uint64),
 		next:      1,
 	}
+}
+
+// SetObserver attaches an observer to the coordinator. It only matters on
+// rank 0, which emits one PhaseAgreeGate event per committed round: Rank
+// is the rank whose report gated the round (the unique oldest checkpoint
+// ID, or the last report to arrive when IDs tie), TS the first report's
+// arrival, Dur the first→last arrival spread, Counter the agreed ID, and
+// Value the ID gap between the freshest and oldest reports. Call before
+// the first Commit.
+func (c *Coordinator) SetObserver(o obs.Observer) {
+	c.mu.Lock()
+	c.obsv = o
+	c.mu.Unlock()
 }
 
 // LatestConsistent returns the newest globally consistent checkpoint ID
@@ -110,9 +137,9 @@ func (c *Coordinator) addReport(rank int, id uint64) uint64 {
 	c.rankRound[rank]++
 	round := c.rankRound[rank]
 	if c.rounds[round] == nil {
-		c.rounds[round] = make(map[int]uint64)
+		c.rounds[round] = make(map[int]report)
 	}
-	c.rounds[round][rank] = id
+	c.rounds[round][rank] = report{id: id, at: time.Now().UnixNano()}
 	return round
 }
 
@@ -130,11 +157,12 @@ func (c *Coordinator) tryCommitThrough(ctx context.Context, target uint64) (uint
 			break
 		}
 		agreed := ^uint64(0)
-		for _, id := range r {
-			if id < agreed {
-				agreed = id
+		for _, rep := range r {
+			if rep.id < agreed {
+				agreed = rep.id
 			}
 		}
+		c.emitGateLocked(r, agreed)
 		c.advanceLocked(agreed)
 		for peer := 1; peer < world; peer++ {
 			// Best-effort: a dead peer is a failure the training framework
@@ -149,6 +177,51 @@ func (c *Coordinator) tryCommitThrough(ctx context.Context, target uint64) (uint
 		c.next++
 	}
 	return targetAgreed, targetDone
+}
+
+// emitGateLocked records a committed round's straggler: the rank whose
+// report gated the agreement. With distinct IDs that is the unique oldest
+// reporter; when the oldest ID ties (the common case — every rank reports
+// the same counter) the last report to arrive is what held the round
+// open, so that rank gates instead.
+func (c *Coordinator) emitGateLocked(r map[int]report, agreed uint64) {
+	if c.obsv == nil || len(r) == 0 {
+		return
+	}
+	var (
+		first, last int64
+		lastRank    int
+		minRank     = -1
+		minTied     bool
+		maxID       uint64
+	)
+	for rank, rep := range r {
+		if first == 0 || rep.at < first {
+			first = rep.at
+		}
+		if rep.at > last {
+			last, lastRank = rep.at, rank
+		}
+		if rep.id > maxID {
+			maxID = rep.id
+		}
+		if rep.id == agreed {
+			minTied = minRank >= 0
+			if minRank < 0 {
+				minRank = rank
+			}
+		}
+	}
+	gating := minRank
+	if minTied {
+		gating = lastRank
+	}
+	c.obsv.Emit(obs.Event{
+		TS: first, Dur: last - first,
+		Phase: obs.PhaseAgreeGate, Counter: agreed,
+		Value: int64(maxID - agreed),
+		Slot:  -1, Writer: -1, Rank: int32(gating),
+	})
 }
 
 func (c *Coordinator) advance(id uint64) {

@@ -3,6 +3,8 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"net/http"
 	"strings"
@@ -13,45 +15,70 @@ import (
 // standard expvar /debug/vars, servable on any address with Serve. Both
 // read weakly consistent snapshots — scraping never blocks emitters.
 
+// MetricsWriter renders Prometheus text exposition onto w. Recorder and
+// Ledger both implement it; Serve concatenates any number of writers onto
+// one /metrics endpoint.
+type MetricsWriter interface {
+	WriteMetrics(w io.Writer)
+}
+
 // metricName converts a phase's hyphenated name to Prometheus form.
 func metricName(p Phase) string {
 	return "pccheck_" + strings.ReplaceAll(p.String(), "-", "_") + "_seconds"
 }
 
-// MetricsHandler serves the recorder as Prometheus text exposition:
-// one summary per span phase (p50/p95/p99 quantiles, sum, count) and the
-// cumulative outcome counters.
-func (r *Recorder) MetricsHandler() http.Handler {
+// WriteMetrics renders the recorder as Prometheus text exposition: one
+// summary per span phase (p50/p95/p99 quantiles, sum, count), the
+// cumulative outcome counters, and the flight-ring occupancy gauge.
+func (r *Recorder) WriteMetrics(w io.Writer) {
+	s := r.Snapshot()
+	for p := Phase(0); p < PhaseCount; p++ {
+		if !p.IsSpan() {
+			continue
+		}
+		ps := s.Phase(p)
+		name := metricName(p)
+		fmt.Fprintf(w, "# HELP %s Checkpoint %s phase latency.\n", name, p)
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", name, ps.P50.Seconds())
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", name, ps.P95.Seconds())
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", name, ps.P99.Seconds())
+		fmt.Fprintf(w, "%s_sum %g\n", name, ps.Total.Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", name, ps.Count)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	counter("pccheck_saves_total", "Save attempts that reached the engine (published + obsolete + failed).", s.Saves)
+	counter("pccheck_published_total", "Checkpoints that became the latest durable state.", s.Published)
+	counter("pccheck_obsolete_total", "Checkpoints superseded before publishing.", s.Obsolete)
+	counter("pccheck_failed_saves_total", "Saves that returned an error after starting.", s.FailedSaves)
+	counter("pccheck_cas_retries_total", "Publish CAS retries against older registered values.", s.CASRetries)
+	counter("pccheck_io_retries_total", "Persist-path I/O retries after transient faults.", s.IORetries)
+	counter("pccheck_transient_faults_total", "Transient device faults observed on the persist path.", s.TransientFaults)
+	counter("pccheck_injected_faults_total", "Faults fired by fault-injection devices.", s.InjectedFaults)
+	counter("pccheck_slot_waits_total", "Saves that had to wait for a free slot.", s.SlotWaits)
+	counter("pccheck_bytes_written_total", "Published checkpoint payload bytes.", s.BytesWritten)
+	counter("pccheck_trace_dropped_events_total", "Flight-recorder events dropped (ring full).", s.DroppedEvents)
+	fmt.Fprintf(w, "# HELP pccheck_flight_ring_occupancy Flight-recorder ring entries currently buffered (drop pressure precursor; capacity %d).\n", s.RingCapacity)
+	fmt.Fprintf(w, "# TYPE pccheck_flight_ring_occupancy gauge\npccheck_flight_ring_occupancy %d\n", s.RingOccupancy)
+}
+
+// metricsHandler serves the writers' concatenated exposition.
+func metricsHandler(writers ...MetricsWriter) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s := r.Snapshot()
-		for p := Phase(0); p < PhaseCount; p++ {
-			if !p.IsSpan() {
-				continue
+		for _, mw := range writers {
+			if mw != nil {
+				mw.WriteMetrics(w)
 			}
-			ps := s.Phase(p)
-			name := metricName(p)
-			fmt.Fprintf(w, "# HELP %s Checkpoint %s phase latency.\n", name, p)
-			fmt.Fprintf(w, "# TYPE %s summary\n", name)
-			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", name, ps.P50.Seconds())
-			fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", name, ps.P95.Seconds())
-			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", name, ps.P99.Seconds())
-			fmt.Fprintf(w, "%s_sum %g\n", name, ps.Total.Seconds())
-			fmt.Fprintf(w, "%s_count %d\n", name, ps.Count)
 		}
-		counter := func(name, help string, v any) {
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
-		}
-		counter("pccheck_published_total", "Checkpoints that became the latest durable state.", s.Published)
-		counter("pccheck_obsolete_total", "Checkpoints superseded before publishing.", s.Obsolete)
-		counter("pccheck_cas_retries_total", "Publish CAS retries against older registered values.", s.CASRetries)
-		counter("pccheck_io_retries_total", "Persist-path I/O retries after transient faults.", s.IORetries)
-		counter("pccheck_transient_faults_total", "Transient device faults observed on the persist path.", s.TransientFaults)
-		counter("pccheck_injected_faults_total", "Faults fired by fault-injection devices.", s.InjectedFaults)
-		counter("pccheck_slot_waits_total", "Saves that had to wait for a free slot.", s.SlotWaits)
-		counter("pccheck_bytes_written_total", "Published checkpoint payload bytes.", s.BytesWritten)
-		counter("pccheck_trace_dropped_events_total", "Flight-recorder events dropped (ring full).", s.DroppedEvents)
 	})
+}
+
+// MetricsHandler serves the recorder as Prometheus text exposition.
+func (r *Recorder) MetricsHandler() http.Handler {
+	return metricsHandler(r)
 }
 
 var expvarMu sync.Mutex
@@ -59,30 +86,52 @@ var expvarMu sync.Mutex
 // PublishExpvar exposes the recorder's Snapshot as the expvar variable
 // name (visible at /debug/vars). expvar names are global and permanent:
 // the first recorder published under a name keeps it; later calls with
-// the same name are ignored.
-func (r *Recorder) PublishExpvar(name string) {
+// the same name are no-ops. The return value reports whether THIS
+// recorder is now the one bound to name — false means a different
+// recorder already owns it and /debug/vars will show that one's numbers,
+// a silent-shadowing hazard callers should surface.
+func (r *Recorder) PublishExpvar(name string) bool {
 	expvarMu.Lock()
 	defer expvarMu.Unlock()
-	if expvar.Get(name) != nil {
-		return
+	if v := expvar.Get(name); v != nil {
+		f, ok := v.(boundSnapshotFunc)
+		return ok && f.r == r
 	}
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	expvar.Publish(name, boundSnapshotFunc{r: r})
+	return true
+}
+
+// boundSnapshotFunc is the expvar.Var PublishExpvar registers. Keeping
+// the owning recorder in the Var (rather than a closure) lets a repeat
+// PublishExpvar from the same recorder report true.
+type boundSnapshotFunc struct{ r *Recorder }
+
+func (f boundSnapshotFunc) String() string {
+	v := expvar.Func(func() any { return f.r.Snapshot() })
+	return v.String()
 }
 
 // Serve starts an HTTP server on addr (e.g. "127.0.0.1:9090"; an empty
 // port picks a free one) exposing /metrics (Prometheus text) and
-// /debug/vars (expvar, with the recorder published as "pccheck"). It
-// returns the running server and its bound address; Close the server to
-// stop. Errors from the background Serve goroutine after a successful
-// Listen are dropped (http.ErrServerClosed on shutdown).
-func Serve(addr string, r *Recorder) (*http.Server, string, error) {
+// /debug/vars (expvar, with the recorder published as "pccheck"). Extra
+// metrics writers (e.g. a *Ledger) are appended to the /metrics output
+// after the recorder's families. It returns the running server and its
+// bound address; Close the server to stop. Errors from the background
+// Serve goroutine after a successful Listen are dropped
+// (http.ErrServerClosed on shutdown). If another recorder already owns
+// the "pccheck" expvar name, /debug/vars keeps showing that one — Serve
+// logs the shadowing so two-recorder processes aren't silently confusing.
+func Serve(addr string, r *Recorder, extra ...MetricsWriter) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	r.PublishExpvar("pccheck")
+	if !r.PublishExpvar("pccheck") {
+		log.Printf("obs: expvar name %q already bound to a different recorder; /debug/vars shows the first one", "pccheck")
+	}
+	writers := append([]MetricsWriter{r}, extra...)
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/metrics", metricsHandler(writers...))
 	mux.Handle("/debug/vars", expvar.Handler())
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown

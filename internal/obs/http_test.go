@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pccheck/internal/promtext"
+)
+
+// TestPublishExpvarReportsBinding is the two-recorder regression: expvar
+// names are global, so the second recorder published under the same name
+// must learn it is NOT the one being served — previously this was
+// silently ignored.
+func TestPublishExpvarReportsBinding(t *testing.T) {
+	r1, r2 := NewRecorder(64), NewRecorder(64)
+	// Names are process-global and permanent; use a test-unique one.
+	const name = "pccheck-test-publish-expvar-binding"
+	if !r1.PublishExpvar(name) {
+		t.Fatalf("first recorder not bound to fresh name")
+	}
+	if !r1.PublishExpvar(name) {
+		t.Fatalf("re-publishing from the owning recorder reported unbound")
+	}
+	if r2.PublishExpvar(name) {
+		t.Fatalf("second recorder claimed a name the first already owns")
+	}
+}
+
+// TestMetricsExpositionLints: the full combined exposition (recorder +
+// ledger) must survive the strict Prometheus text parser — the same check
+// CI's metrics-lint runs against a live endpoint.
+func TestMetricsExpositionLints(t *testing.T) {
+	rec := NewRecorder(256)
+	led := NewLedger(LedgerConfig{SlowdownBudget: 1.05}, rec)
+	for p := Phase(0); p < PhaseCount; p++ {
+		ev := Event{Phase: p, Counter: 1, Bytes: 512, Value: 1, Slot: 0, Writer: 0, Rank: 1, Attempt: 1}
+		if p.IsSpan() {
+			ev.Dur = int64(time.Millisecond)
+		}
+		led.Emit(ev)
+	}
+	for i := 0; i < 64; i++ {
+		led.IterDone(time.Millisecond, i%8 == 0)
+	}
+	srv := httptest.NewServer(metricsHandler(rec, led))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not lint: %v", err)
+	}
+	want := map[string]bool{
+		"pccheck_saves_total":                  false,
+		"pccheck_failed_saves_total":           false,
+		"pccheck_flight_ring_occupancy":        false,
+		"pccheck_goodput_ratio":                false,
+		"pccheck_checkpoint_staleness_seconds": false,
+		"pccheck_rank_agree_lag_seconds":       false,
+	}
+	for _, f := range fams {
+		if _, ok := want[f.Name]; ok {
+			want[f.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("family %s missing from combined exposition", name)
+		}
+	}
+}
+
+// TestConcurrentScrapeWhileEmitting hammers /metrics while emitter
+// goroutines are hot — under -race this is the data-race canary for the
+// whole snapshot path (ring occupancy, histogram reads, ledger report).
+func TestConcurrentScrapeWhileEmitting(t *testing.T) {
+	rec := NewRecorder(256)
+	led := NewLedger(LedgerConfig{SlowdownBudget: 1.1, Window: 8}, rec)
+	srv := httptest.NewServer(metricsHandler(rec, led))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := Phase(rng.Intn(int(PhaseCount)))
+				ev := Event{Phase: p, Counter: uint64(rng.Intn(100)), Slot: int32(rng.Intn(4)), Writer: 0, Rank: int32(rng.Intn(4))}
+				if p.IsSpan() {
+					ev.Dur = int64(rng.Intn(1e6))
+				}
+				led.Emit(ev)
+			}
+		}(int64(g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			led.IterDone(time.Duration(500+i%100)*time.Microsecond, i%10 == 0)
+		}
+	}()
+
+	for i := 0; i < 25; i++ {
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := promtext.Parse(resp.Body); err != nil {
+			resp.Body.Close()
+			t.Fatalf("scrape %d failed lint under concurrent emit: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRecorderWriteMetricsSavesIdentity: saves_total must equal
+// published + obsolete + failed.
+func TestRecorderWriteMetricsSavesIdentity(t *testing.T) {
+	rec := NewRecorder(64)
+	rec.Emit(Event{Phase: PhasePublish})
+	rec.Emit(Event{Phase: PhasePublish})
+	rec.Emit(Event{Phase: PhaseObsolete})
+	rec.Emit(Event{Phase: PhaseSaveFailed})
+	s := rec.Snapshot()
+	if s.Saves != 4 || s.FailedSaves != 1 {
+		t.Fatalf("Saves=%d FailedSaves=%d, want 4/1", s.Saves, s.FailedSaves)
+	}
+	var b strings.Builder
+	rec.WriteMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"pccheck_saves_total 4",
+		"pccheck_failed_saves_total 1",
+		"pccheck_flight_ring_occupancy 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLedgerAttribution drives synthetic events and iteration hooks and
+// checks every bucket lands where it should, and that the wall-clock
+// identity (wall = iterations + drain + recovery) holds exactly for
+// synthetic input.
+func TestLedgerAttribution(t *testing.T) {
+	l := NewLedger(LedgerConfig{Window: 4}, nil)
+
+	ms := int64(time.Millisecond)
+	l.Emit(Event{Phase: PhaseSnapshot, Dur: 5 * ms})
+	l.Emit(Event{Phase: PhaseSlotWait, Dur: 3 * ms, Value: 1}) // actually waited
+	l.Emit(Event{Phase: PhaseSlotWait, Dur: 2 * ms, Value: 0}) // free slot: no stall
+	l.Emit(Event{Phase: PhasePersist, Dur: 7 * ms})
+	l.Emit(Event{Phase: PhaseIORetry, Dur: 1 * ms})
+	l.Emit(Event{Phase: PhasePublish, TS: time.Now().UnixNano(), Counter: 9})
+	l.Emit(Event{Phase: PhaseObsolete})
+	l.Emit(Event{Phase: PhaseSaveFailed})
+
+	for i := 0; i < 8; i++ {
+		l.IterDone(10*time.Millisecond, i == 3)
+	}
+	l.DrainDone(20 * time.Millisecond)
+	l.AddRecovery(30 * time.Millisecond)
+
+	rep := l.Report()
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx("SnapshotStallSeconds", rep.SnapshotStallSeconds, 0.005)
+	approx("SlotWaitStallSeconds", rep.SlotWaitStallSeconds, 0.003)
+	approx("PersistBusySeconds", rep.PersistBusySeconds, 0.008) // persist + io-retry
+	approx("DrainSeconds", rep.DrainSeconds, 0.020)
+	approx("RecoverySeconds", rep.RecoverySeconds, 0.030)
+	approx("WallSeconds", rep.WallSeconds, 8*0.010+0.020+0.030)
+	approx("ComputeSeconds", rep.ComputeSeconds, 8*0.010-0.005)
+	approx("GoodputRatio", rep.GoodputRatio, rep.ComputeSeconds/rep.WallSeconds)
+	if rep.Iterations != 8 || rep.CheckpointIterations != 1 {
+		t.Errorf("iterations = %d/%d ckpt, want 8/1", rep.Iterations, rep.CheckpointIterations)
+	}
+	if rep.Published != 1 || rep.Obsolete != 1 || rep.FailedSaves != 1 {
+		t.Errorf("outcomes = %d/%d/%d, want 1/1/1", rep.Published, rep.Obsolete, rep.FailedSaves)
+	}
+	if rep.LastPublishedCounter != 9 {
+		t.Errorf("LastPublishedCounter = %d, want 9", rep.LastPublishedCounter)
+	}
+	if rep.StalenessSeconds > 1 {
+		t.Errorf("StalenessSeconds = %v right after a publish, want ≈0", rep.StalenessSeconds)
+	}
+}
+
+// TestLedgerBreachTransitions checks the breach counter counts ≤q→>q
+// transitions of the block EWMA, not per-iteration excursions, and
+// resets InBreach when the slowdown recovers.
+func TestLedgerBreachTransitions(t *testing.T) {
+	l := NewLedger(LedgerConfig{
+		SlowdownBudget:   1.5,
+		BaselineIterTime: 10 * time.Millisecond,
+		Window:           4,
+		Smoothing:        1, // no smoothing: each block sets the EWMA directly
+	}, nil)
+
+	feed := func(d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			l.IterDone(d, false)
+		}
+	}
+
+	feed(10*time.Millisecond, 4) // slowdown 1.0
+	if rep := l.Report(); rep.BudgetBreaches != 0 || rep.InBreach {
+		t.Fatalf("breach before any slow block: %+v", rep)
+	}
+	feed(20*time.Millisecond, 4) // slowdown 2.0 > q: breach starts
+	if rep := l.Report(); rep.BudgetBreaches != 1 || !rep.InBreach {
+		t.Fatalf("after slow block: breaches=%d inBreach=%v, want 1/true", rep.BudgetBreaches, rep.InBreach)
+	}
+	feed(20*time.Millisecond, 4) // still slow: same breach, no double count
+	if rep := l.Report(); rep.BudgetBreaches != 1 {
+		t.Fatalf("ongoing breach double-counted: %d", rep.BudgetBreaches)
+	}
+	feed(10*time.Millisecond, 4) // recovered
+	if rep := l.Report(); rep.InBreach {
+		t.Fatalf("InBreach stuck after recovery")
+	}
+	feed(20*time.Millisecond, 4) // second excursion
+	if rep := l.Report(); rep.BudgetBreaches != 2 {
+		t.Fatalf("second excursion: breaches=%d, want 2", rep.BudgetBreaches)
+	}
+}
+
+// TestLedgerSingleSlowIterationNoBreach: one checkpoint-bearing slow
+// iteration inside a window of fast ones must not breach — the point of
+// block folding.
+func TestLedgerSingleSlowIterationNoBreach(t *testing.T) {
+	l := NewLedger(LedgerConfig{
+		SlowdownBudget:   1.5,
+		BaselineIterTime: 10 * time.Millisecond,
+		Window:           10,
+		Smoothing:        1,
+	}, nil)
+	for i := 0; i < 10; i++ {
+		d := 10 * time.Millisecond
+		if i == 5 {
+			d = 40 * time.Millisecond // 4× iteration, block mean 1.3×
+		}
+		l.IterDone(d, i == 5)
+	}
+	if rep := l.Report(); rep.BudgetBreaches != 0 {
+		t.Fatalf("one slow iteration breached the block budget: %+v", rep)
+	}
+}
+
+// TestLedgerStragglers checks the per-rank table from synthetic agree and
+// gate events, including sort order and out-of-range rank accounting.
+func TestLedgerStragglers(t *testing.T) {
+	l := NewLedger(LedgerConfig{}, nil)
+	ms := int64(time.Millisecond)
+	l.Emit(Event{Phase: PhaseAgree, Rank: 0, Dur: 2 * ms, Value: 0})
+	l.Emit(Event{Phase: PhaseAgree, Rank: 1, Dur: 9 * ms, Value: 3})
+	l.Emit(Event{Phase: PhaseAgree, Rank: 1, Dur: 1 * ms, Value: 1})
+	l.Emit(Event{Phase: PhaseAgreeGate, Rank: 1, Dur: 8 * ms, Value: 2, Counter: 7})
+	l.Emit(Event{Phase: PhaseAgreeGate, Rank: 1, Dur: 4 * ms, Value: 1, Counter: 8})
+	l.Emit(Event{Phase: PhaseAgree, Rank: MaxLedgerRanks + 3, Dur: ms}) // dropped
+
+	rep := l.Report()
+	if len(rep.Stragglers) != 2 {
+		t.Fatalf("straggler rows = %d, want 2 (%+v)", len(rep.Stragglers), rep.Stragglers)
+	}
+	top := rep.Stragglers[0]
+	if top.Rank != 1 {
+		t.Fatalf("worst straggler rank = %d, want 1", top.Rank)
+	}
+	if top.GatedRounds != 2 || math.Abs(top.GateLagSeconds-0.012) > 1e-9 || top.GateIDGapTotal != 3 {
+		t.Errorf("rank 1 gate stats = %+v, want gated=2 lag=0.012 gap=3", top)
+	}
+	if top.Rounds != 2 || math.Abs(top.AgreeSeconds-0.010) > 1e-9 || math.Abs(top.MaxAgreeSeconds-0.009) > 1e-9 || top.PublishLagTotal != 4 {
+		t.Errorf("rank 1 agree stats = %+v", top)
+	}
+	if rep.DroppedRankEvents != 1 {
+		t.Errorf("DroppedRankEvents = %d, want 1", rep.DroppedRankEvents)
+	}
+}
+
+// TestLedgerObservedTw: engine-measured Tw is the save EWMA minus the
+// slot-wait EWMA (queueing is not writing).
+func TestLedgerObservedTw(t *testing.T) {
+	l := NewLedger(LedgerConfig{Smoothing: 1}, nil)
+	if tw := l.ObservedTw(); tw != 0 {
+		t.Fatalf("ObservedTw before any save = %v, want 0", tw)
+	}
+	l.Emit(Event{Phase: PhaseSlotWait, Dur: int64(2 * time.Millisecond), Value: 1})
+	l.Emit(Event{Phase: PhaseSave, Dur: int64(10 * time.Millisecond)})
+	if tw := l.ObservedTw(); tw != 8*time.Millisecond {
+		t.Fatalf("ObservedTw = %v, want 8ms", tw)
+	}
+}
+
+// TestLedgerForwards: the ledger is a chaining observer — every event
+// reaches the inner observer untouched.
+func TestLedgerForwards(t *testing.T) {
+	rec := NewRecorder(64)
+	l := NewLedger(LedgerConfig{}, rec)
+	l.Emit(Event{Phase: PhasePublish, Counter: 3})
+	l.Emit(Event{Phase: PhaseSave, Dur: int64(time.Millisecond)})
+	s := rec.Snapshot()
+	if s.Published != 1 {
+		t.Fatalf("publish not forwarded: %+v", s)
+	}
+	if s.Phase(PhaseSave).Count != 1 {
+		t.Fatalf("save span not forwarded")
+	}
+	if l.Next() != Observer(rec) {
+		t.Fatalf("Next() lost the chained observer")
+	}
+}
+
+// TestLedgerEmitAllocFree: Emit must stay allocation-free — the ledger
+// rides the persist hot path.
+func TestLedgerEmitAllocFree(t *testing.T) {
+	l := NewLedger(LedgerConfig{SlowdownBudget: 1.05}, nil)
+	ev := Event{Phase: PhasePersist, Dur: 1000, Slot: 1, Writer: 0, Rank: 2}
+	if n := testing.AllocsPerRun(200, func() { l.Emit(ev) }); n != 0 {
+		t.Fatalf("Ledger.Emit allocates %v bytes/op, want 0", n)
+	}
+	agree := Event{Phase: PhaseAgree, Dur: 1000, Rank: 1, Value: 2}
+	if n := testing.AllocsPerRun(200, func() { l.Emit(agree) }); n != 0 {
+		t.Fatalf("Ledger.Emit(agree) allocates %v bytes/op, want 0", n)
+	}
+}
+
+// TestLedgerNilSafe: a nil *Ledger is inert on every method.
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.Emit(Event{Phase: PhasePublish})
+	l.IterDone(time.Millisecond, true)
+	l.DrainDone(time.Millisecond)
+	l.AddRecovery(time.Millisecond)
+	if tw := l.ObservedTw(); tw != 0 {
+		t.Fatalf("nil ObservedTw = %v", tw)
+	}
+	if rep := l.Report(); rep.Iterations != 0 {
+		t.Fatalf("nil Report = %+v", rep)
+	}
+}
+
+// TestLedgerJSONRoundTrip: WriteJSON emits a decodable GoodputReport.
+func TestLedgerJSONRoundTrip(t *testing.T) {
+	l := NewLedger(LedgerConfig{SlowdownBudget: 1.1, PredictedTw: 50 * time.Millisecond}, nil)
+	l.Emit(Event{Phase: PhaseSave, Dur: int64(60 * time.Millisecond)})
+	l.Emit(Event{Phase: PhasePublish, TS: time.Now().UnixNano(), Counter: 4})
+	for i := 0; i < 40; i++ {
+		l.IterDone(time.Millisecond, false)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep GoodputReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if rep.Iterations != 40 || rep.SlowdownBudget != 1.1 || rep.LastPublishedCounter != 4 {
+		t.Fatalf("decoded report lost fields: %+v", rep)
+	}
+	if rep.TwDriftRatio == 0 {
+		t.Fatalf("TwDriftRatio unset despite prediction and observation")
+	}
+}
+
+// TestLedgerWriteMetrics spot-checks the Prometheus exposition: headline
+// gauges present, one stall sample per bucket, rank families labelled.
+func TestLedgerWriteMetrics(t *testing.T) {
+	l := NewLedger(LedgerConfig{SlowdownBudget: 1.05, BaselineIterTime: time.Millisecond, Window: 2}, nil)
+	for i := 0; i < 4; i++ {
+		l.IterDone(time.Millisecond, false)
+	}
+	l.Emit(Event{Phase: PhaseAgree, Rank: 2, Dur: int64(time.Millisecond)})
+	l.Emit(Event{Phase: PhaseAgreeGate, Rank: 2, Dur: int64(time.Millisecond)})
+	var buf bytes.Buffer
+	l.WriteMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"pccheck_goodput_ratio",
+		"pccheck_observed_slowdown",
+		"pccheck_slowdown_budget 1.05",
+		"pccheck_slowdown_budget_breaches_total 0",
+		"pccheck_checkpoint_staleness_seconds",
+		"pccheck_iterations_total 4",
+		`pccheck_stall_seconds_total{phase="snapshot"}`,
+		`pccheck_stall_seconds_total{phase="recovery"}`,
+		`pccheck_rank_agree_lag_seconds{rank="2"}`,
+		`pccheck_rank_gated_rounds_total{rank="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -85,6 +85,15 @@ const (
 	// group agreement (the per-rank publish lag). Rank is the worker
 	// rank, Counter the agreed ID, Value the locally reported ID.
 	PhaseAgree
+	// PhaseSaveFailed marks a Save that returned an error after starting
+	// (instant) — the rollback-window widening an operator alerts on.
+	PhaseSaveFailed
+	// PhaseAgreeGate is rank 0's per-round straggler record: emitted once
+	// per completed coordination round, Rank is the rank that gated the
+	// round (oldest reported ID, or last report to arrive on a tie), Dur
+	// the spread between the first and last report arrival, Value the ID
+	// gap between the freshest and oldest report, Counter the agreed ID.
+	PhaseAgreeGate
 
 	// PhaseCount is the number of defined phases.
 	PhaseCount
@@ -94,6 +103,7 @@ var phaseNames = [PhaseCount]string{
 	"save", "slot-wait", "copy", "chunk-wait", "persist", "sync",
 	"header", "barrier", "publish", "obsolete", "cas-retry", "io-retry",
 	"fault", "fault-injected", "snapshot", "retune", "agree",
+	"save-failed", "agree-gate",
 }
 
 // String returns the phase's canonical hyphenated name.
@@ -109,7 +119,7 @@ func (p Phase) IsSpan() bool {
 	switch p {
 	case PhaseSave, PhaseSlotWait, PhaseCopy, PhaseChunkWait, PhasePersist,
 		PhaseSync, PhaseHeader, PhaseBarrier, PhaseSnapshot, PhaseAgree,
-		PhaseIORetry:
+		PhaseIORetry, PhaseAgreeGate:
 		return true
 	}
 	return false
@@ -160,14 +170,15 @@ type Recorder struct {
 	ring  *ring
 	hists [PhaseCount]Histogram
 
-	published atomic.Uint64
-	obsolete  atomic.Uint64
-	casRetry  atomic.Uint64
-	ioRetry   atomic.Uint64
-	faults    atomic.Uint64
-	injected  atomic.Uint64
-	slotWaits atomic.Uint64
-	bytes     atomic.Int64
+	published   atomic.Uint64
+	obsolete    atomic.Uint64
+	failedSaves atomic.Uint64
+	casRetry    atomic.Uint64
+	ioRetry     atomic.Uint64
+	faults      atomic.Uint64
+	injected    atomic.Uint64
+	slotWaits   atomic.Uint64
+	bytes       atomic.Int64
 }
 
 // DefaultCapacity is the ring capacity used when NewRecorder is given 0.
@@ -203,6 +214,8 @@ func (r *Recorder) Emit(ev Event) {
 		r.bytes.Add(ev.Bytes)
 	case PhaseObsolete:
 		r.obsolete.Add(1)
+	case PhaseSaveFailed:
+		r.failedSaves.Add(1)
 	case PhaseCASRetry:
 		r.casRetry.Add(1)
 	case PhaseIORetry:
@@ -245,12 +258,16 @@ type PhaseStats struct {
 // Snapshot is a point-in-time copy of the recorder's histograms and
 // counters — the payload behind the metrics endpoint and expvar.
 type Snapshot struct {
-	// Published / Obsolete / CASRetries / IORetries mirror the engine's
-	// cumulative outcome counters, as seen through emitted events.
-	Published  uint64
-	Obsolete   uint64
-	CASRetries uint64
-	IORetries  uint64
+	// Published / Obsolete / FailedSaves / CASRetries / IORetries mirror
+	// the engine's cumulative outcome counters, as seen through emitted
+	// events. Saves is the derived total of initiated saves that reached
+	// an outcome: Published + Obsolete + FailedSaves.
+	Published   uint64
+	Obsolete    uint64
+	FailedSaves uint64
+	Saves       uint64
+	CASRetries  uint64
+	IORetries   uint64
 	// TransientFaults counts observed persist-path faults;
 	// InjectedFaults counts faults fired by a storage.FaultDevice.
 	TransientFaults uint64
@@ -261,6 +278,12 @@ type Snapshot struct {
 	BytesWritten int64
 	// DroppedEvents counts ring overwrites (oldest-event drops).
 	DroppedEvents uint64
+	// RingOccupancy is how many events are currently buffered in the
+	// flight-recorder ring (approximate under concurrency) — drop
+	// pressure is visible here before DroppedEvents starts climbing.
+	RingOccupancy int
+	// RingCapacity is the ring's fixed capacity.
+	RingCapacity int
 	// Phases holds one latency summary per Phase (index with the Phase
 	// constants, or use the Phase accessor).
 	Phases [PhaseCount]PhaseStats
@@ -280,6 +303,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	s := Snapshot{
 		Published:       r.published.Load(),
 		Obsolete:        r.obsolete.Load(),
+		FailedSaves:     r.failedSaves.Load(),
 		CASRetries:      r.casRetry.Load(),
 		IORetries:       r.ioRetry.Load(),
 		TransientFaults: r.faults.Load(),
@@ -287,7 +311,10 @@ func (r *Recorder) Snapshot() Snapshot {
 		SlotWaits:       r.slotWaits.Load(),
 		BytesWritten:    r.bytes.Load(),
 		DroppedEvents:   r.ring.dropped.Load(),
+		RingOccupancy:   r.ring.len(),
+		RingCapacity:    len(r.ring.cells),
 	}
+	s.Saves = s.Published + s.Obsolete + s.FailedSaves
 	for p := Phase(0); p < PhaseCount; p++ {
 		h := &r.hists[p]
 		s.Phases[p] = PhaseStats{

@@ -21,11 +21,13 @@ import (
 //     ("slot <s> writer <w>") with the per-chunk persist spans — a slot is
 //     owned by exactly one save at a time, so these never overlap;
 //   - retries and faults share a "faults+retries" track, the training
-//     loop's snapshot/retune events a "loop" track, and each distributed
-//     rank an "agree rank <r>" track.
+//     loop's snapshot/retune events a "loop" track, each distributed
+//     rank an "agree rank <r>" track, and rank 0's per-round gate
+//     records (which rank held the round open) an "agree gate" track.
 const (
 	tidFaults  = 2
 	tidLoop    = 3
+	tidGate    = 4
 	tidRankLo  = 10   // + rank
 	tidSlotLo  = 1000 // + slot*slotLaneStride (+ 1 + writer for writer lanes)
 	tidSaveLo  = 1 << 20
@@ -63,6 +65,8 @@ func trackOf(ev Event) (int64, string) {
 		return tidLoop, "loop"
 	case PhaseAgree:
 		return tidRankLo + int64(ev.Rank), fmt.Sprintf("agree rank %d", ev.Rank)
+	case PhaseAgreeGate:
+		return tidGate, "agree gate"
 	default:
 		return tidSaveLo + int64(ev.Counter), fmt.Sprintf("save %d", ev.Counter)
 	}

@@ -1,0 +1,438 @@
+// Package promtext parses and validates the Prometheus text exposition
+// format (version 0.0.4) — the syntax /metrics speaks. It exists so the
+// exporters can be linted in CI (metrics-lint: scrape, parse every line,
+// reject duplicate or malformed families) and so pccheck-top can read a
+// live endpoint without importing a client library. It validates what
+// real scrapers enforce: metric and label name charsets, quoted label
+// values with escapes, float sample values, HELP/TYPE placement, family
+// grouping (no interleaving), summary/histogram suffix discipline, and
+// uniqueness of every (name, label set) series.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one series sample: a metric name, its label set and value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for the label name ("" when unset).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Family is one metric family: the base name, its TYPE and HELP, and
+// every sample that belongs to it (including _sum/_count/_bucket series
+// for summaries and histograms).
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, summary, histogram, untyped
+	Help    string
+	Samples []Sample
+}
+
+// Sample returns the first sample matching name and the given
+// label-name/label-value pairs (nil when absent).
+func (f *Family) Sample(name string, labelPairs ...string) *Sample {
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for j := 0; j+1 < len(labelPairs); j += 2 {
+			if s.Labels[labelPairs[j]] != labelPairs[j+1] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// Value returns the value of the family's single plain sample (the one
+// named exactly Family.Name with no labels). ok is false when the family
+// has no such sample.
+func (f *Family) Value() (v float64, ok bool) {
+	for _, s := range f.Samples {
+		if s.Name == f.Name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true,
+	"histogram": true, "untyped": true,
+}
+
+type parser struct {
+	fams  map[string]*Family
+	order []string
+	// lastFam tracks grouping: once lines for a family stop, any later
+	// line for it is an interleave violation.
+	lastFam string
+	series  map[string]int // (name + sorted labels) → defining line
+}
+
+// Parse reads one text exposition document and returns its families in
+// first-appearance order, or the first format violation found (with the
+// offending line number).
+func Parse(r io.Reader) ([]Family, error) {
+	p := &parser{fams: make(map[string]*Family), series: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var err error
+		if strings.HasPrefix(line, "#") {
+			err = p.comment(line, lineNo)
+		} else {
+			err = p.sample(line, lineNo)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("promtext: read: %w", err)
+	}
+	out := make([]Family, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, *p.fams[name])
+	}
+	return out, nil
+}
+
+// Lint parses the document and returns the family count; it is the
+// CI-facing wrapper (any violation is the returned error).
+func Lint(r io.Reader) (int, error) {
+	fams, err := Parse(r)
+	if err != nil {
+		return 0, err
+	}
+	return len(fams), nil
+}
+
+// enter returns name's family, creating it on first sight and enforcing
+// the grouping rule: all lines of a family must be contiguous.
+func (p *parser) enter(name string, lineNo int) (*Family, error) {
+	if f, ok := p.fams[name]; ok {
+		if p.lastFam != name {
+			return nil, fmt.Errorf("promtext: line %d: family %q interleaved (lines for it already ended)", lineNo, name)
+		}
+		return f, nil
+	}
+	f := &Family{Name: name, Type: "untyped"}
+	p.fams[name] = f
+	p.order = append(p.order, name)
+	p.lastFam = name
+	return f, nil
+}
+
+// comment handles "# HELP", "# TYPE" and free comments.
+func (p *parser) comment(line string, lineNo int) error {
+	rest := strings.TrimPrefix(line, "#")
+	fields := strings.SplitN(strings.TrimLeft(rest, " "), " ", 3)
+	switch fields[0] {
+	case "HELP":
+		if len(fields) < 2 {
+			return fmt.Errorf("promtext: line %d: HELP without metric name", lineNo)
+		}
+		name := fields[1]
+		if !validMetricName(name) {
+			return fmt.Errorf("promtext: line %d: invalid metric name %q in HELP", lineNo, name)
+		}
+		f, err := p.enter(name, lineNo)
+		if err != nil {
+			return err
+		}
+		if f.Help != "" {
+			return fmt.Errorf("promtext: line %d: duplicate HELP for %q", lineNo, name)
+		}
+		if len(fields) == 3 {
+			f.Help = fields[2]
+		}
+	case "TYPE":
+		if len(fields) < 3 {
+			return fmt.Errorf("promtext: line %d: TYPE needs a metric name and a type", lineNo)
+		}
+		name, typ := fields[1], strings.TrimSpace(fields[2])
+		if !validMetricName(name) {
+			return fmt.Errorf("promtext: line %d: invalid metric name %q in TYPE", lineNo, name)
+		}
+		if !validTypes[typ] {
+			return fmt.Errorf("promtext: line %d: unknown type %q for %q", lineNo, typ, name)
+		}
+		f, err := p.enter(name, lineNo)
+		if err != nil {
+			return err
+		}
+		if f.Type != "untyped" {
+			return fmt.Errorf("promtext: line %d: duplicate TYPE for %q", lineNo, name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("promtext: line %d: TYPE for %q after its samples", lineNo, name)
+		}
+		f.Type = typ
+	default:
+		// Free-form comment: ignored, does not end the current family.
+	}
+	return nil
+}
+
+// sample parses one sample line: name[{labels}] value [timestamp].
+func (p *parser) sample(line string, lineNo int) error {
+	name, rest, err := scanName(line)
+	if err != nil {
+		return fmt.Errorf("promtext: line %d: %v", lineNo, err)
+	}
+	var labels map[string]string
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, err = scanLabels(rest)
+		if err != nil {
+			return fmt.Errorf("promtext: line %d: %v", lineNo, err)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return fmt.Errorf("promtext: line %d: want 'value [timestamp]' after %q, got %q", lineNo, name, rest)
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("promtext: line %d: bad sample value %q: %v", lineNo, fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("promtext: line %d: bad timestamp %q", lineNo, fields[1])
+		}
+	}
+
+	famName := p.familyOf(name, labels)
+	f, err := p.enter(famName, lineNo)
+	if err != nil {
+		return err
+	}
+	if err := p.checkSuffix(f, name, labels, lineNo); err != nil {
+		return err
+	}
+	key := seriesKey(name, labels)
+	if prev, dup := p.series[key]; dup {
+		return fmt.Errorf("promtext: line %d: duplicate series %s (first on line %d)", lineNo, key, prev)
+	}
+	p.series[key] = lineNo
+	f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: val})
+	return nil
+}
+
+// familyOf maps a sample name onto its family: summaries own their _sum
+// and _count series, histograms additionally their _bucket series.
+func (p *parser) familyOf(name string, labels map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		f := p.fams[base]
+		if f == nil {
+			continue
+		}
+		switch f.Type {
+		case "histogram":
+			return base
+		case "summary":
+			if suf != "_bucket" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// checkSuffix enforces summary/histogram sample discipline.
+func (p *parser) checkSuffix(f *Family, name string, labels map[string]string, lineNo int) error {
+	switch f.Type {
+	case "summary":
+		switch name {
+		case f.Name:
+			if _, ok := labels["quantile"]; !ok {
+				return fmt.Errorf("promtext: line %d: summary sample %q without quantile label", lineNo, name)
+			}
+		case f.Name + "_sum", f.Name + "_count":
+		default:
+			return fmt.Errorf("promtext: line %d: sample %q not valid for summary %q", lineNo, name, f.Name)
+		}
+	case "histogram":
+		switch name {
+		case f.Name + "_bucket":
+			if _, ok := labels["le"]; !ok {
+				return fmt.Errorf("promtext: line %d: histogram bucket %q without le label", lineNo, name)
+			}
+		case f.Name + "_sum", f.Name + "_count":
+		default:
+			return fmt.Errorf("promtext: line %d: sample %q not valid for histogram %q", lineNo, name, f.Name)
+		}
+	default:
+		if name != f.Name {
+			return fmt.Errorf("promtext: line %d: sample %q does not match family %q", lineNo, name, f.Name)
+		}
+	}
+	return nil
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// scanName consumes the metric name prefix of a sample line.
+func scanName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c == '{' || c == ' ' || c == '\t' {
+			break
+		}
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+// scanLabels consumes a {label="value",...} block, handling the format's
+// \\, \" and \n escapes inside quoted values.
+func scanLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return nil, "", fmt.Errorf("unterminated label block %q", s)
+		}
+		lname := s[start:i]
+		if !validLabelName(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", lname)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated value for label %q", lname)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %q", s[i], lname)
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[lname]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", lname)
+		}
+		labels[lname] = val.String()
+	}
+}

@@ -1,0 +1,136 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodDoc = `# HELP pccheck_save_seconds Checkpoint save phase latency.
+# TYPE pccheck_save_seconds summary
+pccheck_save_seconds{quantile="0.5"} 0.004
+pccheck_save_seconds{quantile="0.95"} 0.005
+pccheck_save_seconds_sum 0.21
+pccheck_save_seconds_count 42
+# HELP pccheck_published_total Checkpoints that became the latest durable state.
+# TYPE pccheck_published_total counter
+pccheck_published_total 42
+# HELP pccheck_goodput_ratio Fraction of wall-clock in useful compute.
+# TYPE pccheck_goodput_ratio gauge
+pccheck_goodput_ratio 0.97
+# HELP pccheck_stall_seconds_total Attributed stall seconds.
+# TYPE pccheck_stall_seconds_total counter
+pccheck_stall_seconds_total{phase="snapshot"} 1.5
+pccheck_stall_seconds_total{phase="slot-wait"} 0
+# HELP req_hist A histogram.
+# TYPE req_hist histogram
+req_hist_bucket{le="0.1"} 3
+req_hist_bucket{le="+Inf"} 10
+req_hist_sum 0.8
+req_hist_count 10
+untyped_thing 7
+`
+
+func TestParseValid(t *testing.T) {
+	fams, err := Parse(strings.NewReader(goodDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 6 {
+		names := make([]string, len(fams))
+		for i, f := range fams {
+			names[i] = f.Name
+		}
+		t.Fatalf("families = %d (%v), want 6", len(fams), names)
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	save := byName["pccheck_save_seconds"]
+	if save.Type != "summary" || len(save.Samples) != 4 {
+		t.Errorf("save family = %+v", save)
+	}
+	if s := save.Sample("pccheck_save_seconds", "quantile", "0.95"); s == nil || s.Value != 0.005 {
+		t.Errorf("p95 sample = %+v", s)
+	}
+	goodput := byName["pccheck_goodput_ratio"]
+	if v, ok := goodput.Value(); !ok || v != 0.97 {
+		t.Errorf("goodput value = %v/%v", v, ok)
+	}
+	if h := byName["req_hist"]; h.Type != "histogram" || len(h.Samples) != 4 {
+		t.Errorf("histogram family = %+v", h)
+	}
+	if u := byName["untyped_thing"]; u.Type != "untyped" {
+		t.Errorf("untyped family = %+v", u)
+	}
+	stall := byName["pccheck_stall_seconds_total"]
+	if s := stall.Sample("pccheck_stall_seconds_total", "phase", "slot-wait"); s == nil {
+		t.Errorf("label value with hyphen lost: %+v", stall.Samples)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	doc := `m{l="a\"b\\c\nd"} 1` + "\n"
+	fams, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\"b\\c\nd"
+	if got := fams[0].Samples[0].Labels["l"]; got != want {
+		t.Fatalf("label = %q, want %q", got, want)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"duplicate series":        "m 1\nm 2\n",
+		"duplicate labeled":       `m{a="x"} 1` + "\n" + `m{a="x"} 2` + "\n",
+		"interleaved family":      "a 1\nb 2\na 3\n",
+		"duplicate TYPE":          "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"duplicate HELP":          "# HELP m one\n# HELP m two\nm 1\n",
+		"TYPE after samples":      "m 1\n# TYPE m counter\n",
+		"unknown type":            "# TYPE m widget\nm 1\n",
+		"bad metric name":         "9metric 1\n",
+		"bad label name":          `m{9l="x"} 1` + "\n",
+		"reserved label name":     `m{__internal="x"} 1` + "\n",
+		"unquoted label value":    "m{l=x} 1\n",
+		"unterminated labels":     `m{l="x" 1` + "\n",
+		"bad value":               "m notanumber\n",
+		"missing value":           "m\n",
+		"bad timestamp":           "m 1 soon\n",
+		"bad escape":              `m{l="\q"} 1` + "\n",
+		"duplicate label":         `m{l="a",l="b"} 1` + "\n",
+		"summary without q":       "# TYPE s summary\ns 1\n",
+		"histogram bucket w/o le": "# TYPE h histogram\nh_bucket 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted %q", name, doc)
+		}
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	doc := "a +Inf\n# TYPE b gauge\nb NaN\nc -2.5e-3 1700000000000\n"
+	fams, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %d, want 3", len(fams))
+	}
+}
+
+func TestLintCountsFamilies(t *testing.T) {
+	n, err := Lint(strings.NewReader(goodDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("Lint families = %d, want 6", n)
+	}
+	if _, err := Lint(strings.NewReader("m 1\nm 1\n")); err == nil {
+		t.Fatal("Lint accepted duplicate series")
+	}
+}

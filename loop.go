@@ -27,6 +27,15 @@ type Loop struct {
 	snapshot func() []byte
 	obsv     Observer // cached from ck at construction; nil when off
 
+	// ledger is set when the configured observer (or an element of its
+	// chain head) is a *Ledger: the loop then feeds it per-iteration
+	// wall-clock and drain waits for goodput attribution. Touched only on
+	// the Tick goroutine (lastIter, pendCkpt) per the single-producer
+	// contract.
+	ledger   *Ledger
+	lastIter time.Time
+	pendCkpt bool
+
 	// OnError, when non-nil, is invoked from the save goroutine with the
 	// error of every failed Save, as it happens — the live alternative to
 	// discovering one stale error at Drain. Set it before the first Tick;
@@ -53,6 +62,7 @@ func NewLoop(ck *Checkpointer, interval int, snapshot func() []byte) (*Loop, err
 		return nil, fmt.Errorf("pccheck: snapshot function required")
 	}
 	l := &Loop{ck: ck, interval: interval, snapshot: snapshot, obsv: ck.Observer()}
+	l.ledger, _ = l.obsv.(*Ledger)
 	l.idle = sync.NewCond(&l.mu)
 	return l, nil
 }
@@ -77,6 +87,18 @@ func (l *Loop) emitSnapshot(ts int64, it int, bytes int64) {
 // quiescent), the persist does not. Tick must be called from a single
 // goroutine; see the Loop contract.
 func (l *Loop) Tick(ctx context.Context, it int) {
+	if l.ledger != nil {
+		// Tick marks an iteration boundary: the gap since the previous Tick
+		// is one iteration's wall-clock, attributed to the ledger. The
+		// checkpointed flag rides one Tick behind the snapshot because the
+		// capture in Tick n lands inside the n→n+1 gap.
+		now := time.Now()
+		if !l.lastIter.IsZero() {
+			l.ledger.IterDone(now.Sub(l.lastIter), l.pendCkpt)
+		}
+		l.lastIter = now
+		l.pendCkpt = false
+	}
 	if (it+1)%l.interval != 0 {
 		return
 	}
@@ -86,6 +108,7 @@ func (l *Loop) Tick(ctx context.Context, it int) {
 	}
 	payload := l.snapshot()
 	l.emitSnapshot(snapStart, it, int64(len(payload)))
+	l.pendCkpt = true
 	l.mu.Lock()
 	l.saves++
 	l.inflight++
@@ -120,6 +143,14 @@ func (l *Loop) Tick(ctx context.Context, it int) {
 func (l *Loop) Drain() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.inflight > 0 && l.ledger != nil {
+		start := time.Now()
+		for l.inflight > 0 {
+			l.idle.Wait()
+		}
+		l.ledger.DrainDone(time.Since(start))
+		return l.firstErr
+	}
 	for l.inflight > 0 {
 		l.idle.Wait()
 	}

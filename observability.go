@@ -49,6 +49,8 @@ const (
 	PhaseSnapshot      = obs.PhaseSnapshot      // training-loop state snapshot
 	PhaseRetune        = obs.PhaseRetune        // adaptive controller retuned
 	PhaseAgree         = obs.PhaseAgree         // distributed commit round
+	PhaseSaveFailed    = obs.PhaseSaveFailed    // a Save returned an error after starting
+	PhaseAgreeGate     = obs.PhaseAgreeGate     // rank 0's per-round straggler record
 )
 
 // Recorder is the built-in Observer: a bounded lock-free event ring
@@ -74,13 +76,68 @@ func NewFlightRecorder(capacity int) *Recorder {
 	return obs.NewRecorder(capacity)
 }
 
+// MetricsWriter renders Prometheus text exposition; Recorder and Ledger
+// both implement it.
+type MetricsWriter = obs.MetricsWriter
+
 // ServeMetrics starts an HTTP server on addr (e.g. "127.0.0.1:9090"; an
 // empty port picks a free one) exposing the recorder at /metrics
 // (Prometheus text: per-phase latency summaries and outcome counters)
-// and /debug/vars (expvar). It returns the server and its bound address;
-// Close the server to stop.
-func ServeMetrics(addr string, r *Recorder) (*http.Server, string, error) {
-	return obs.Serve(addr, r)
+// and /debug/vars (expvar). Extra metrics writers — typically a *Ledger,
+// adding the goodput/SLO gauge families — are appended to the /metrics
+// output. It returns the server and its bound address; Close the server
+// to stop.
+func ServeMetrics(addr string, r *Recorder, extra ...MetricsWriter) (*http.Server, string, error) {
+	return obs.Serve(addr, r, extra...)
+}
+
+// Ledger is the goodput ledger (§3.4, §5 of the paper): an Observer that
+// attributes training wall-clock to compute and stall buckets, tracks the
+// observed slowdown against the configured budget q, measures durable
+// checkpoint staleness, and aggregates per-rank straggler statistics.
+// Chain it in front of a Recorder with NewLedger and attach it as
+// Config.Observer; Loop and AdaptiveLoop detect it there and feed it
+// iteration timings automatically (AdaptiveLoop additionally retunes Eq.
+// (3) from its measured write times).
+type Ledger = obs.Ledger
+
+// LedgerConfig tunes a Ledger (slowdown budget q, baseline iteration
+// time, §3.4 model predictions for drift tracking).
+type LedgerConfig = obs.LedgerConfig
+
+// GoodputReport is a Ledger's point-in-time summary: goodput ratio,
+// stall attribution, slowdown vs budget, staleness, model drift and the
+// straggler table. All fields are JSON-tagged for machine export.
+type GoodputReport = obs.GoodputReport
+
+// RankAgreeStats is one rank's row in a GoodputReport straggler table.
+type RankAgreeStats = obs.RankAgreeStats
+
+// StallKind indexes a GoodputReport's wall-clock attribution buckets.
+type StallKind = obs.StallKind
+
+// Attribution buckets of the goodput ledger. Snapshot, drain and
+// recovery stall training synchronously; slot-wait and persist overlap
+// it (checkpoint-internal concurrency, not wall-clock extension).
+const (
+	StallSnapshot = obs.StallSnapshot
+	StallSlotWait = obs.StallSlotWait
+	StallPersist  = obs.StallPersist
+	StallDrain    = obs.StallDrain
+	StallRecovery = obs.StallRecovery
+)
+
+// NewLedger builds a goodput ledger that forwards every event to next
+// (usually a *Recorder; nil for a stand-alone ledger). Attach the ledger
+// — not next — as Config.Observer so it sees the full event stream.
+func NewLedger(cfg LedgerConfig, next Observer) *Ledger {
+	return obs.NewLedger(cfg, next)
+}
+
+// FormatGoodputReport renders rep as the human-readable end-of-run
+// summary the pccheck commands print.
+func FormatGoodputReport(w io.Writer, rep GoodputReport) {
+	obs.FormatReport(w, rep)
 }
 
 // WriteTraceEvents renders events (from Recorder.TakeEvents) as Chrome

@@ -90,9 +90,12 @@ type Config struct {
 	// of every Save — slot wait, staging copies, per-writer persists, the
 	// pointer-record barrier, publish/obsolete outcomes, retries. Attach a
 	// *Recorder (NewFlightRecorder) to get bounded in-memory tracing,
-	// latency histograms, and the /metrics endpoint; see the Observability
-	// section of the README. A nil Observer costs one predictable branch
-	// per probe and zero allocations — observability off is free.
+	// latency histograms, and the /metrics endpoint, or chain a *Ledger
+	// (NewLedger) in front of it for goodput/SLO accounting — Loop and
+	// AdaptiveLoop detect a Ledger here and feed it iteration timings.
+	// See the Observability section of the README. A nil Observer costs
+	// one predictable branch per probe and zero allocations —
+	// observability off is free.
 	Observer Observer
 }
 
