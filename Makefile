@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench-faults bench-crash bench-json metrics-lint fmt-check staticcheck trace-smoke
+.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-json metrics-lint fmt-check staticcheck trace-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ bench-faults:
 # real recovery against every image. Exits non-zero on any violation.
 bench-crash:
 	$(GO) run ./cmd/pccheck-bench -crash
+
+# Network chaos sweep: seeded drops/dups/reorders, rank kills with
+# restart+rejoin, and one-way partitions over a real multi-rank training
+# loop, checking the global-consistency invariants (§4.1). Exits non-zero
+# on any violation.
+bench-chaos:
+	$(GO) run ./cmd/pccheck-disttrain -chaos -chaos-seed 7
 
 # Goodput benchmark with the ledger attached; exports the machine-readable
 # report (goodput ratio, stall attribution, slowdown vs budget) as JSON for

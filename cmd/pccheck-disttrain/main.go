@@ -18,6 +18,12 @@
 // Crash recovery: kill any subset of ranks (or use -crash-at), restart the
 // same commands; on startup the group re-agrees on the newest checkpoint
 // every rank still holds and resumes from exactly there.
+//
+// Chaos sweep (no training; exercises the failure-detection, degraded-mode
+// commit, and rejoin machinery under seeded network faults, exiting
+// non-zero if any distributed-consistency invariant is violated):
+//
+//	pccheck-disttrain -chaos -chaos-seed 7
 package main
 
 import (
@@ -32,27 +38,41 @@ import (
 	"time"
 
 	"pccheck"
+	"pccheck/internal/dist"
 	"pccheck/internal/train"
 )
 
 func main() {
 	var (
-		world    = flag.Int("world", 2, "number of ranks")
-		rank     = flag.Int("rank", 0, "this process's rank")
-		listen   = flag.String("listen", "127.0.0.1:0", "rank 0: listen address")
-		leader   = flag.String("leader", "", "ranks ≥ 1: rank 0's address")
-		ckpt     = flag.String("ckpt", "", "checkpoint file for this rank")
-		ckptDir  = flag.String("ckpt-dir", "", "spawn mode: directory for per-rank checkpoint files")
-		steps    = flag.Int("steps", 200, "training iterations")
-		interval = flag.Int("interval", 20, "checkpoint every f iterations")
-		crashAt  = flag.Int("crash-at", 0, "exit abruptly after this iteration (0 = run to completion)")
-		spawn    = flag.Bool("spawn", false, "rank 0 spawns ranks 1..world-1 as subprocesses")
-		budget   = flag.Float64("q", 0, "attach a goodput ledger with this slowdown budget; rank 0 also prints the per-rank straggler table (0 = off)")
+		world     = flag.Int("world", 2, "number of ranks")
+		rank      = flag.Int("rank", 0, "this process's rank")
+		listen    = flag.String("listen", "127.0.0.1:0", "rank 0: listen address")
+		leader    = flag.String("leader", "", "ranks ≥ 1: rank 0's address")
+		ckpt      = flag.String("ckpt", "", "checkpoint file for this rank")
+		ckptDir   = flag.String("ckpt-dir", "", "spawn mode: directory for per-rank checkpoint files")
+		steps     = flag.Int("steps", 200, "training iterations")
+		interval  = flag.Int("interval", 20, "checkpoint every f iterations")
+		crashAt   = flag.Int("crash-at", 0, "exit abruptly after this iteration (0 = run to completion)")
+		spawn     = flag.Bool("spawn", false, "rank 0 spawns ranks 1..world-1 as subprocesses")
+		budget    = flag.Float64("q", 0, "attach a goodput ledger with this slowdown budget; rank 0 also prints the per-rank straggler table (0 = off)")
+		degraded  = flag.String("degraded", "stall", "dead-rank policy: stall (paper default: a dead rank halts global commits) or excludedead (survivors keep committing); must match on every rank")
+		chaos     = flag.Bool("chaos", false, "run the seeded chaos sweep (network faults, rank kills, partitions) instead of training; non-zero exit on invariant violation")
+		chaosSeed = flag.Int64("chaos-seed", 1, "base seed for the chaos sweep")
 	)
 	flag.Parse()
 
+	if *chaos {
+		if err := runChaos(*chaosSeed); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	policy, err := parsePolicy(*degraded)
+	if err != nil {
+		fail("%v", err)
+	}
 	if *spawn {
-		if err := runSpawner(*world, *ckptDir, *steps, *interval, *budget); err != nil {
+		if err := runSpawner(*world, *ckptDir, *steps, *interval, *budget, *degraded); err != nil {
 			fail("%v", err)
 		}
 		return
@@ -60,14 +80,55 @@ func main() {
 	if *ckpt == "" {
 		fail("need -ckpt")
 	}
-	if err := runRank(*world, *rank, *listen, *leader, *ckpt, *steps, *interval, *crashAt, *budget); err != nil {
+	if err := runRank(*world, *rank, *listen, *leader, *ckpt, *steps, *interval, *crashAt, *budget, policy); err != nil {
 		fail("rank %d: %v", *rank, err)
 	}
 }
 
+func parsePolicy(s string) (pccheck.DegradedPolicy, error) {
+	switch s {
+	case "stall", "":
+		return pccheck.Stall, nil
+	case "excludedead":
+		return pccheck.ExcludeDead, nil
+	default:
+		return pccheck.Stall, fmt.Errorf("unknown -degraded policy %q (want stall or excludedead)", s)
+	}
+}
+
+// runChaos runs the seeded fault-injection sweep: every case drives a real
+// multi-rank training loop through network chaos and checks the §4.1
+// global-consistency invariants (monotone agreement, durable floor,
+// convergence, liveness).
+func runChaos(seed int64) error {
+	cases := dist.ChaosSweepCases(seed)
+	bad := 0
+	for _, cs := range cases {
+		res, err := dist.ExploreChaos(dist.ChaosExploreOptions{Case: cs})
+		if err != nil {
+			return fmt.Errorf("chaos case %q: %w", cs.Name, err)
+		}
+		status := "ok  "
+		if !res.Ok() {
+			status = "FAIL"
+			bad++
+		}
+		fmt.Printf("%s %-20s world=%d rounds=%-3d policy=%-11s commits=%-3d kills=%d rejoins=%d final=%d\n",
+			status, cs.Name, res.Case.World, res.Rounds, res.Case.Policy, res.Commits, res.Kills, res.Rejoins, res.FinalID)
+		for _, v := range res.Violations {
+			fmt.Printf("      violation: %s\n", v)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d chaos cases violated distributed-consistency invariants", bad, len(cases))
+	}
+	fmt.Printf("all %d chaos cases held the consistency invariants (seed %d)\n", len(cases), seed)
+	return nil
+}
+
 // runSpawner is the one-command demo: listen, launch the other ranks
 // pointing at us, then run rank 0 in-process.
-func runSpawner(world int, dir string, steps, interval int, budget float64) error {
+func runSpawner(world int, dir string, steps, interval int, budget float64, degraded string) error {
 	if dir == "" {
 		dir = os.TempDir()
 	}
@@ -94,6 +155,7 @@ func runSpawner(world int, dir string, steps, interval int, budget float64) erro
 			"-steps", strconv.Itoa(steps),
 			"-interval", strconv.Itoa(interval),
 			"-q", strconv.FormatFloat(budget, 'g', -1, 64),
+			"-degraded", degraded,
 		)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -102,7 +164,11 @@ func runSpawner(world int, dir string, steps, interval int, budget float64) erro
 		}
 		procs = append(procs, cmd)
 	}
-	err = runRankWithListener(world, 0, ln, filepath.Join(dir, "stage0.pcc"), steps, interval, 0, budget)
+	policy, err := parsePolicy(degraded)
+	if err != nil {
+		return err
+	}
+	err = runRankWithListener(world, 0, ln, filepath.Join(dir, "stage0.pcc"), steps, interval, 0, budget, policy)
 	for _, p := range procs {
 		if werr := p.Wait(); err == nil {
 			err = werr
@@ -111,7 +177,7 @@ func runSpawner(world int, dir string, steps, interval int, budget float64) erro
 	return err
 }
 
-func runRank(world, rank int, listen, leader, ckptPath string, steps, interval, crashAt int, budget float64) error {
+func runRank(world, rank int, listen, leader, ckptPath string, steps, interval, crashAt int, budget float64, policy pccheck.DegradedPolicy) error {
 	if rank == 0 {
 		ln, err := net.Listen("tcp", listen)
 		if err != nil {
@@ -119,32 +185,25 @@ func runRank(world, rank int, listen, leader, ckptPath string, steps, interval, 
 		}
 		defer ln.Close()
 		fmt.Printf("rank 0 listening on %s\n", ln.Addr())
-		return runRankWithListener(world, 0, ln, ckptPath, steps, interval, crashAt, budget)
+		return runRankWithListener(world, 0, ln, ckptPath, steps, interval, crashAt, budget, policy)
 	}
 	if leader == "" {
 		return fmt.Errorf("ranks ≥ 1 need -leader")
 	}
-	// The leader may come up after us; retry the dial for a while.
-	var tr pccheck.Transport
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		var err error
-		tr, err = pccheck.DialWorker(ctx, leader, rank, world)
-		cancel()
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return err
-		}
-		time.Sleep(200 * time.Millisecond)
+	// The leader may come up after us; DialWorkerWith retries with backoff.
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Second)
+	tr, err := pccheck.DialWorkerWith(ctx, leader, rank, world, pccheck.DialOptions{
+		Retry: pccheck.DialRetryPolicy{MaxAttempts: 150, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second},
+	})
+	cancel()
+	if err != nil {
+		return err
 	}
 	defer tr.Close()
-	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt, budget)
+	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt, budget, policy)
 }
 
-func runRankWithListener(world, rank int, ln net.Listener, ckptPath string, steps, interval, crashAt int, budget float64) error {
+func runRankWithListener(world, rank int, ln net.Listener, ckptPath string, steps, interval, crashAt int, budget float64, policy pccheck.DegradedPolicy) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	tr, err := pccheck.ListenLeader(ctx, ln, world)
 	cancel()
@@ -152,7 +211,7 @@ func runRankWithListener(world, rank int, ln net.Listener, ckptPath string, step
 		return err
 	}
 	defer tr.Close()
-	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt, budget)
+	return trainLoop(tr, ckptPath, rank, steps, interval, crashAt, budget, policy)
 }
 
 // trainLoop is the per-rank body: restore or start fresh, agree on the
@@ -160,7 +219,7 @@ func runRankWithListener(world, rank int, ln net.Listener, ckptPath string, step
 // 0 a goodput ledger rides along: every rank prints its own attribution
 // report and rank 0 — whose coordinator sees when each rank's report
 // arrives — additionally gets the straggler table.
-func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, crashAt int, budget float64) error {
+func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, crashAt int, budget float64, policy pccheck.DegradedPolicy) error {
 	// Each rank's "pipeline stage" is its own deterministic model.
 	makeTrainer := func() (*train.Trainer, error) {
 		m, err := train.NewMLP(1000+int64(rank), []int{24, 48, 6})
@@ -191,15 +250,22 @@ func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, cra
 		}
 	}
 	bootCk := mustVolatileBootstrap()
-	defer bootCk.Close()
-	boot, err := pccheck.NewWorker(bootCk, tr)
+	boot, err := pccheck.NewWorkerWith(bootCk, tr, pccheck.DistConfig{Degraded: policy})
 	if err != nil {
+		bootCk.Close()
 		return err
 	}
 	agreedIter, err := bootstrapAgree(boot, uint64(recoveredIter)+1)
+	// The bootstrap coordinator carried iteration numbers, which must not
+	// leak into the training epoch's counter-based agreement: retire it and
+	// discard any frames left over from its era before the training
+	// coordinator attaches to the same transport.
+	boot.Close()
+	bootCk.Close()
 	if err != nil {
 		return fmt.Errorf("startup agreement: %w", err)
 	}
+	drainTransport(tr, 150*time.Millisecond)
 	resumeIter := int(agreedIter) - 1
 	switch {
 	case resumeIter <= 0:
@@ -239,10 +305,11 @@ func trainLoop(tr pccheck.Transport, ckptPath string, rank, steps, interval, cra
 		return err
 	}
 	defer ck.Close()
-	worker, err := pccheck.NewWorker(ck, tr)
+	worker, err := pccheck.NewWorkerWith(ck, tr, pccheck.DistConfig{Degraded: policy})
 	if err != nil {
 		return err
 	}
+	defer worker.Close()
 
 	ctx := context.Background()
 	var lastIter time.Time
@@ -302,6 +369,22 @@ func bootstrapAgree(w *pccheck.Worker, iterPlusOne uint64) (uint64, error) {
 	// iterPlusOne marker saves under engine counters, so instead use the
 	// raw coordinator via SaveConsistentRaw.
 	return w.AgreeRaw(ctx, iterPlusOne)
+}
+
+// drainTransport discards frames left over from a retired coordinator's
+// era (duplicate commit echoes, stray heartbeats): it keeps reading until
+// the transport has been quiet for the given window. Anything a live peer
+// genuinely needs delivered is retransmitted by the protocol, so an
+// over-eager drain self-heals.
+func drainTransport(tr pccheck.Transport, quiet time.Duration) {
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), quiet)
+		_, err := tr.Recv(ctx)
+		cancel()
+		if err != nil {
+			return
+		}
+	}
 }
 
 // mustVolatileBootstrap builds a throwaway checkpointer for the bootstrap

@@ -42,10 +42,46 @@ func ListenLeader(ctx context.Context, ln net.Listener, world int) (Transport, e
 	return dist.ListenTCP(ctx, ln, world)
 }
 
-// DialWorker connects rank (1 ≤ rank < world) to rank 0 at addr.
+// DialWorker connects rank (1 ≤ rank < world) to rank 0 at addr, retrying
+// with backoff while the leader comes up (see dist.RetryPolicy defaults).
 func DialWorker(ctx context.Context, addr string, rank, world int) (Transport, error) {
 	return dist.DialTCP(ctx, addr, rank, world)
 }
+
+// DialOptions tunes DialWorkerWith: the session epoch presented in the
+// handshake (a restarted worker presents a fresh one, which is how rank 0
+// tells a rejoin from a duplicate) and the connect retry policy.
+type DialOptions = dist.DialOptions
+
+// DialRetryPolicy bounds DialWorker's connect retries (distinct from the
+// persist path's RetryPolicy, which governs I/O retries).
+type DialRetryPolicy = dist.RetryPolicy
+
+// DialWorkerWith is DialWorker with explicit session epoch and retry policy.
+func DialWorkerWith(ctx context.Context, addr string, rank, world int, opts DialOptions) (Transport, error) {
+	return dist.DialTCPWith(ctx, addr, rank, world, opts)
+}
+
+// DegradedPolicy selects what a round does when a rank is dead (§4.1: the
+// paper's protocol blocks on every rank; ExcludeDead trades global coverage
+// for availability).
+type DegradedPolicy = dist.DegradedPolicy
+
+const (
+	// Stall is the paper-faithful default: a round completes only when every
+	// rank reports, so a dead rank halts global progress (checkpoints still
+	// persist locally) until it returns.
+	Stall = dist.Stall
+	// ExcludeDead lets rank 0 commit the minimum over live ranks once dead
+	// ranks are detected, keeping goodput nonzero through a failure. A
+	// revived rank must resync before its local state counts again.
+	ExcludeDead = dist.ExcludeDead
+)
+
+// DistConfig tunes failure detection and degraded-mode commit for a worker
+// group. The zero value gives 1s heartbeats, 5s death-by-silence, no commit
+// deadline, and the Stall policy.
+type DistConfig = dist.CoordConfig
 
 // PartitionRange splits total bytes of model state into per-worker shards:
 // worker rank owns [off, off+n).
@@ -66,10 +102,18 @@ type Worker struct {
 // events: per-rank agree spans from this worker and — on rank 0 — one
 // PhaseAgreeGate straggler record per committed round.
 func NewWorker(ck *Checkpointer, tr Transport) (*Worker, error) {
+	return NewWorkerWith(ck, tr, DistConfig{})
+}
+
+// NewWorkerWith is NewWorker with explicit failure-detection and
+// degraded-commit configuration. Every rank in a group must use the same
+// DistConfig — in particular the same Degraded policy, since rank 0 decides
+// when a round commits.
+func NewWorkerWith(ck *Checkpointer, tr Transport, cfg DistConfig) (*Worker, error) {
 	if ck == nil || tr == nil {
 		return nil, fmt.Errorf("pccheck: NewWorker needs a checkpointer and a transport")
 	}
-	w := &Worker{ck: ck, tr: tr, coord: dist.NewCoordinator(tr)}
+	w := &Worker{ck: ck, tr: tr, coord: dist.NewCoordinatorWith(tr, cfg)}
 	if obsv := ck.Observer(); obsv != nil {
 		w.coord.SetObserver(obsv)
 	}
@@ -162,6 +206,25 @@ func (w *Worker) LoadConsistent() ([]byte, uint64, error) {
 	}
 	return payload, counter, nil
 }
+
+// Rejoin re-attaches a restarted worker to a live group: it announces
+// itself to rank 0, adopts the group's current consistent ID, and lines its
+// round numbering up with the leader's, so the next SaveConsistent lands in
+// a live round. Call it after reconnecting the transport (DialWorkerWith
+// with a fresh epoch) and re-opening the local engine; the returned ID is
+// what LoadConsistent will serve against — if the local device is behind
+// it, resync state from peers before training resumes.
+func (w *Worker) Rejoin(ctx context.Context) (uint64, error) {
+	return w.coord.Rejoin(ctx)
+}
+
+// DeadRanks returns the ranks rank 0 currently considers dead (leader only;
+// empty elsewhere).
+func (w *Worker) DeadRanks() []int { return w.coord.DeadRanks() }
+
+// Close stops the worker's coordination (heartbeats, background receive).
+// The caller still owns the transport and checkpointer.
+func (w *Worker) Close() error { w.coord.Close(); return nil }
 
 // Checkpointer exposes the underlying local checkpointer (stats, Close).
 func (w *Worker) Checkpointer() *Checkpointer { return w.ck }

@@ -1,0 +1,349 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosVerb is what a chaos decision does to a frame.
+type ChaosVerb int
+
+const (
+	// VerbDrop discards the frame; the sender sees success.
+	VerbDrop ChaosVerb = iota + 1
+	// VerbDup delivers the frame now and again shortly after.
+	VerbDup
+	// VerbDelay holds the frame for a random interval in
+	// [DelayMin, DelayMax] before delivery; frames sent meanwhile overtake
+	// it, so delay doubles as reordering.
+	VerbDelay
+	// VerbReorder is VerbDelay under its intent-revealing name: the frame
+	// arrives after its successors.
+	VerbReorder
+)
+
+func (v ChaosVerb) String() string {
+	switch v {
+	case VerbDrop:
+		return "drop"
+	case VerbDup:
+		return "dup"
+	case VerbDelay:
+		return "delay"
+	case VerbReorder:
+		return "reorder"
+	default:
+		return fmt.Sprintf("ChaosVerb(%d)", int(v))
+	}
+}
+
+// ChaosSchedule fires a verb deterministically by send count, mirroring the
+// storage FaultDevice's Schedule{After, Count} style: let After sends pass
+// untouched, then apply Verb to the next Count sends (Count 0 = 1).
+type ChaosSchedule struct {
+	After int64
+	Count int64
+	Verb  ChaosVerb
+}
+
+// ChaosConfig tunes a ChaosTransport. The zero value is a lossless
+// passthrough; probabilities are per-send and independent (drop is checked
+// first, then duplicate, then delay/reorder).
+type ChaosConfig struct {
+	// Seed makes every probabilistic decision reproducible (0 → 1).
+	Seed int64
+	// DropProb is the chance a sent frame silently vanishes.
+	DropProb float64
+	// DupProb is the chance a frame is delivered twice (the copy delayed,
+	// so the pair also arrives out of order).
+	DupProb float64
+	// ReorderProb is the chance a frame is held back so later frames
+	// overtake it.
+	ReorderProb float64
+	// DelayProb is the chance a frame is delayed without reordering
+	// intent (same mechanism, smaller verbs budget).
+	DelayProb float64
+	// DelayMin/DelayMax bound the hold applied by dup/delay/reorder.
+	// Defaults 2ms/15ms — long enough to scramble order against the
+	// protocol's round trips, short enough not to starve it.
+	DelayMin, DelayMax time.Duration
+}
+
+func (cfg ChaosConfig) withDefaults() ChaosConfig {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DelayMin <= 0 {
+		cfg.DelayMin = 2 * time.Millisecond
+	}
+	if cfg.DelayMax < cfg.DelayMin {
+		cfg.DelayMax = cfg.DelayMin + 13*time.Millisecond
+	}
+	return cfg
+}
+
+// ChaosTransport wraps any Transport (Local or TCP alike) with
+// deterministic seeded network-fault injection — the network-layer sibling
+// of storage's FaultDevice. It perturbs the SENDING side: frames can be
+// dropped, duplicated, delayed, or reordered, per-rank one-way partitions
+// can be raised, and the whole endpoint can be "killed" (its sends vanish,
+// its receives block) and later restarted — a frozen-then-resumed or
+// crashed-then-restarted process as seen by its peers.
+//
+// All randomness flows from ChaosConfig.Seed, so a failing schedule replays
+// exactly; goroutine interleaving still varies, which is why ExploreChaos
+// asserts invariants rather than traces.
+type ChaosTransport struct {
+	inner Transport
+	cfg   ChaosConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	sent      int64
+	schedules []ChaosSchedule
+	killed    bool
+	blockTo   map[int]bool
+	blockFrom map[int]bool
+
+	closeOnce sync.Once
+	done      chan struct{}
+	delayed   sync.WaitGroup
+}
+
+// NewChaos wraps inner with fault injection.
+func NewChaos(inner Transport, cfg ChaosConfig) *ChaosTransport {
+	cfg = cfg.withDefaults()
+	return &ChaosTransport{
+		inner:     inner,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		blockTo:   make(map[int]bool),
+		blockFrom: make(map[int]bool),
+		done:      make(chan struct{}),
+	}
+}
+
+// SetSchedule arms deterministic count-based verbs (replacing any previous
+// schedule). Probabilistic faults from ChaosConfig still apply to sends no
+// schedule claims.
+func (c *ChaosTransport) SetSchedule(s ...ChaosSchedule) {
+	c.mu.Lock()
+	c.schedules = append([]ChaosSchedule(nil), s...)
+	c.mu.Unlock()
+}
+
+// Kill freezes the endpoint: subsequent sends are swallowed (the sender
+// keeps "succeeding", as a process whose packets die with it would) and
+// receives block until Restart. Peers see silence, not a closed connection.
+func (c *ChaosTransport) Kill() {
+	c.mu.Lock()
+	c.killed = true
+	c.mu.Unlock()
+}
+
+// Restart revives a killed endpoint. Frames that arrived at the inner
+// transport while killed were discarded, like packets to a dead process.
+func (c *ChaosTransport) Restart() {
+	c.mu.Lock()
+	c.killed = false
+	c.mu.Unlock()
+}
+
+// Killed reports whether the endpoint is currently killed.
+func (c *ChaosTransport) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// PartitionTo raises a one-way partition: sends to the given ranks vanish.
+func (c *ChaosTransport) PartitionTo(ranks ...int) {
+	c.mu.Lock()
+	for _, r := range ranks {
+		c.blockTo[r] = true
+	}
+	c.mu.Unlock()
+}
+
+// PartitionFrom raises the other one-way partition: frames from the given
+// ranks are discarded on receive.
+func (c *ChaosTransport) PartitionFrom(ranks ...int) {
+	c.mu.Lock()
+	for _, r := range ranks {
+		c.blockFrom[r] = true
+	}
+	c.mu.Unlock()
+}
+
+// Heal drops all partitions (both directions).
+func (c *ChaosTransport) Heal() {
+	c.mu.Lock()
+	c.blockTo = make(map[int]bool)
+	c.blockFrom = make(map[int]bool)
+	c.mu.Unlock()
+}
+
+// Rank implements Transport.
+func (c *ChaosTransport) Rank() int { return c.inner.Rank() }
+
+// WorldSize implements Transport.
+func (c *ChaosTransport) WorldSize() int { return c.inner.WorldSize() }
+
+// SetPeerHook forwards to the inner transport when it observes peers
+// (rank 0 over TCP), so a Coordinator above a ChaosTransport keeps its
+// connectivity-driven failure detection.
+func (c *ChaosTransport) SetPeerHook(h func(rank int, up bool)) {
+	if pe, ok := c.inner.(PeerEvents); ok {
+		pe.SetPeerHook(h)
+	}
+}
+
+// decide picks the verb for this send: an armed schedule wins; otherwise
+// the seeded probabilistic config. 0 means deliver untouched.
+func (c *ChaosTransport) decide() ChaosVerb {
+	n := c.sent
+	c.sent++
+	for _, s := range c.schedules {
+		count := s.Count
+		if count <= 0 {
+			count = 1
+		}
+		if n >= s.After && n < s.After+count {
+			return s.Verb
+		}
+	}
+	p := c.rng.Float64()
+	switch {
+	case p < c.cfg.DropProb:
+		return VerbDrop
+	case p < c.cfg.DropProb+c.cfg.DupProb:
+		return VerbDup
+	case p < c.cfg.DropProb+c.cfg.DupProb+c.cfg.ReorderProb:
+		return VerbReorder
+	case p < c.cfg.DropProb+c.cfg.DupProb+c.cfg.ReorderProb+c.cfg.DelayProb:
+		return VerbDelay
+	default:
+		return 0
+	}
+}
+
+// Send implements Transport.
+func (c *ChaosTransport) Send(ctx context.Context, to int, msg Message) error {
+	c.mu.Lock()
+	if c.killed || c.blockTo[to] {
+		c.mu.Unlock()
+		return nil // the frame dies silently; the sender cannot tell
+	}
+	verb := c.decide()
+	hold := c.cfg.DelayMin
+	if span := c.cfg.DelayMax - c.cfg.DelayMin; span > 0 {
+		hold += time.Duration(c.rng.Int63n(int64(span) + 1))
+	}
+	c.mu.Unlock()
+
+	switch verb {
+	case VerbDrop:
+		return nil
+	case VerbDup:
+		c.sendLater(to, msg, hold)
+		return c.inner.Send(ctx, to, msg)
+	case VerbDelay, VerbReorder:
+		c.sendLater(to, msg, hold)
+		return nil
+	default:
+		return c.inner.Send(ctx, to, msg)
+	}
+}
+
+// sendLater delivers msg to rank `to` after the hold, letting later sends
+// overtake it. The hold is bounded (DelayMax), so a held frame can slow the
+// flow-controlled protocol but never starve it.
+func (c *ChaosTransport) sendLater(to int, msg Message, hold time.Duration) {
+	c.delayed.Add(1)
+	go func() {
+		defer c.delayed.Done()
+		t := time.NewTimer(hold)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-c.done:
+			return
+		}
+		c.mu.Lock()
+		blocked := c.killed || c.blockTo[to]
+		c.mu.Unlock()
+		if blocked {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = c.inner.Send(ctx, to, msg)
+		cancel()
+	}()
+}
+
+// Recv implements Transport. While killed it returns nothing (a dead
+// process reads nothing) but keeps draining and discarding the inner
+// transport's deliveries — as the kernel discards packets to a dead
+// process — so peers sending to this rank are never back-pressured by its
+// death. Frames from partitioned-out ranks are discarded too.
+func (c *ChaosTransport) Recv(ctx context.Context) (Message, error) {
+	for {
+		c.mu.Lock()
+		killed := c.killed
+		c.mu.Unlock()
+		if killed {
+			select {
+			case <-c.done:
+				return Message{}, fmt.Errorf("dist: chaos transport closed")
+			case <-ctx.Done():
+				return Message{}, ctx.Err()
+			default:
+			}
+			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+			m, err := c.inner.Recv(dctx)
+			cancel()
+			if err != nil {
+				if dctx.Err() == nil {
+					return Message{}, err // inner transport actually failed
+				}
+				continue // poll timeout: nothing arrived
+			}
+			// A frame arrived during the poll. If Restart raced the poll,
+			// the endpoint is alive again and the frame is deliverable;
+			// otherwise it dies with the process.
+			c.mu.Lock()
+			deliver := !c.killed && !c.blockFrom[m.From]
+			c.mu.Unlock()
+			if deliver {
+				return m, nil
+			}
+			continue
+		}
+		m, err := c.inner.Recv(ctx)
+		if err != nil {
+			return Message{}, err
+		}
+		c.mu.Lock()
+		discard := c.killed || c.blockFrom[m.From]
+		c.mu.Unlock()
+		if discard {
+			continue
+		}
+		return m, nil
+	}
+}
+
+// Close implements Transport: it stops pending delayed deliveries and
+// closes the inner transport.
+func (c *ChaosTransport) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.delayed.Wait()
+		err = c.inner.Close()
+	})
+	return err
+}

@@ -1,0 +1,496 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pccheck/internal/core"
+	"pccheck/internal/storage"
+)
+
+// Chaos exploration: the network-layer sibling of core.ExploreCrashes. A
+// real multi-rank training loop — every rank running a genuine checkpoint
+// engine on its own (RAM-backed, persistent-across-restart) device — is
+// driven through seeded network faults, rank kills with restart+rejoin,
+// and one-way partitions, while the harness checks the §4.1 global
+// invariants:
+//
+//  1. Monotonicity: the agreed consistent ID a rank observes never
+//     regresses — not per round, and not across a kill/restart (the
+//     rejoin resync must hand back at least what the rank last saw).
+//  2. Durable floor: when a rank dies, real recovery (core.Recover) on
+//     its surviving device must find every checkpoint the rank locally
+//     acknowledged, and — when the rank was current — at least the
+//     group's agreed floor. At the end of the run the final agreed ID
+//     must be durably recoverable on every current rank.
+//  3. Convergence: after faults heal and killed ranks rejoin, every rank
+//     finishes the same final round with the same agreed ID, and the
+//     group made progress (the final ID is nonzero).
+//  4. Liveness: no live rank's Commit stalls past the case budget —
+//     retransmission plus (under ExcludeDead) failure detection must
+//     always un-stick the protocol once the network allows it.
+//
+// Faults are seeded, so a failing case replays; goroutine interleaving
+// still varies, which is why the checks are invariants, not traces.
+
+// ChaosCase is one seeded fault schedule over a training loop.
+type ChaosCase struct {
+	// Name labels the case in reports.
+	Name string
+	// World is the rank count (default 3; rank 0 is never faulted — the
+	// harness does not implement leader election, matching the paper's
+	// fixed-coordinator design).
+	World int
+	// Rounds is how many agreement rounds every rank completes
+	// (default 10; raised automatically to fit the fault schedule).
+	Rounds int
+	// Policy selects the degraded-mode commit behaviour. Kill schedules
+	// require ExcludeDead: under Stall a dead rank halts the group by
+	// design, so there is nothing to explore.
+	Policy DegradedPolicy
+	// Seed drives every probabilistic decision (payloads and chaos).
+	Seed int64
+	// Chaos is applied to every non-zero rank's transport (each with a
+	// rank-distinct sub-seed).
+	Chaos ChaosConfig
+
+	// KillRank, if nonzero, is killed when it reaches KillRound: its
+	// transport goes silent, its coordinator dies, and its engine is
+	// abandoned — but its device survives, as PMEM does. When the group
+	// reaches RestartRound the rank comes back: re-opens the device,
+	// rejoins, adopts the agreed ID, and catches its local floor up
+	// (simulating the peer state fetch of recovery-oriented designs).
+	KillRank     int
+	KillRound    int
+	RestartRound int
+
+	// PartRank, if nonzero, loses its path TO rank 0 (reports and pongs
+	// vanish; inbound commits still arrive — a one-way partition) from
+	// when it reaches PartRound until PartDur elapses (default 150ms).
+	PartRank  int
+	PartRound int
+	PartDur   time.Duration
+}
+
+func (cs ChaosCase) withDefaults() ChaosCase {
+	if cs.World < 2 {
+		cs.World = 3
+	}
+	if cs.Rounds < 1 {
+		cs.Rounds = 10
+	}
+	if cs.KillRank > 0 {
+		if cs.KillRound < 2 {
+			cs.KillRound = 2
+		}
+		if cs.RestartRound <= cs.KillRound {
+			cs.RestartRound = cs.KillRound + 2
+		}
+		// The rejoined rank needs live rounds left to converge in.
+		if cs.Rounds < cs.RestartRound+4 {
+			cs.Rounds = cs.RestartRound + 4
+		}
+	}
+	if cs.PartRank > 0 {
+		if cs.PartRound < 2 {
+			cs.PartRound = 2
+		}
+		if cs.PartDur <= 0 {
+			cs.PartDur = 150 * time.Millisecond
+		}
+		if cs.Rounds < cs.PartRound+6 {
+			cs.Rounds = cs.PartRound + 6
+		}
+	}
+	if cs.Seed == 0 {
+		cs.Seed = 1
+	}
+	return cs
+}
+
+// String names the case in reports.
+func (cs ChaosCase) String() string {
+	if cs.Name != "" {
+		return cs.Name
+	}
+	return fmt.Sprintf("world=%d rounds=%d policy=%s seed=%d", cs.World, cs.Rounds, cs.Policy, cs.Seed)
+}
+
+func (cs ChaosCase) validate() error {
+	if cs.KillRank != 0 && (cs.KillRank <= 0 || cs.KillRank >= cs.World) {
+		return fmt.Errorf("dist: chaos case %q kills rank %d outside 1..%d", cs, cs.KillRank, cs.World-1)
+	}
+	if cs.KillRank != 0 && cs.Policy != ExcludeDead {
+		return fmt.Errorf("dist: chaos case %q kills rank %d under Stall — the group halts by design; use ExcludeDead", cs, cs.KillRank)
+	}
+	if cs.PartRank != 0 && (cs.PartRank <= 0 || cs.PartRank >= cs.World) {
+		return fmt.Errorf("dist: chaos case %q partitions rank %d outside 1..%d", cs, cs.PartRank, cs.World-1)
+	}
+	if cs.PartRank != 0 && cs.Policy != ExcludeDead {
+		return fmt.Errorf("dist: chaos case %q partitions rank %d under Stall — use ExcludeDead so the survivors keep committing", cs, cs.PartRank)
+	}
+	return nil
+}
+
+// ChaosExploreOptions bounds one exploration.
+type ChaosExploreOptions struct {
+	Case ChaosCase
+	// CommitTimeout is the liveness budget per Commit call on a live rank
+	// (default 15s — generous against ~100ms detection settings, so a
+	// timeout means a real stall, not slowness).
+	CommitTimeout time.Duration
+	// Detect overrides the failure-detection config; the zero value uses
+	// fast settings (15ms heartbeat, 90ms timeout, 80ms commit deadline)
+	// sized for in-process transports.
+	Detect CoordConfig
+}
+
+// ChaosExploreResult summarizes one exploration.
+type ChaosExploreResult struct {
+	Case       ChaosCase
+	Rounds     int    // final round every rank converged on
+	Commits    int    // Commit calls that returned an agreed ID
+	Kills      int    // rank kills executed
+	Rejoins    int    // successful rejoins
+	Behind     int    // ranks that legally ended behind the agreement (degraded mode)
+	FinalID    uint64 // the converged consistent ID
+	Violations []string
+}
+
+// Ok reports whether every invariant held.
+func (r ChaosExploreResult) Ok() bool { return len(r.Violations) == 0 }
+
+// ErrChaosInvariantViolated is returned by callers that surface a failed
+// exploration as a single error.
+var ErrChaosInvariantViolated = errors.New("dist: distributed consistency invariant violated")
+
+// chaosPayload builds a self-verifying payload (seed and length embedded,
+// the rest a pure function of them), so anything recovered from a crashed
+// rank's device can be validated in isolation.
+func chaosPayload(seed uint64, n int) []byte {
+	if n < 16 {
+		n = 16
+	}
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b, seed)
+	binary.LittleEndian.PutUint64(b[8:], uint64(n))
+	rng := rand.New(rand.NewSource(int64(seed)))
+	rng.Read(b[16:])
+	return b
+}
+
+func checkChaosPayload(p []byte) error {
+	if len(p) < 16 {
+		return fmt.Errorf("payload too short: %d bytes", len(p))
+	}
+	seed := binary.LittleEndian.Uint64(p)
+	n := binary.LittleEndian.Uint64(p[8:])
+	if n != uint64(len(p)) {
+		return fmt.Errorf("payload claims %d bytes, has %d", n, len(p))
+	}
+	if want := chaosPayload(seed, len(p)); !bytes.Equal(p, want) {
+		return fmt.Errorf("payload for seed %d is corrupted", seed)
+	}
+	return nil
+}
+
+const chaosSlotBytes = 512
+
+// ExploreChaos runs one seeded chaos case over a real training loop and
+// checks the global-consistency invariants. A non-empty Violations list
+// (or a non-nil error for setup/config failures) means the distributed
+// protocol does not hold up under that fault schedule.
+func ExploreChaos(opts ChaosExploreOptions) (ChaosExploreResult, error) {
+	cs := opts.Case.withDefaults()
+	res := ChaosExploreResult{Case: cs, Rounds: cs.Rounds}
+	if err := cs.validate(); err != nil {
+		return res, err
+	}
+	if opts.CommitTimeout <= 0 {
+		opts.CommitTimeout = 15 * time.Second
+	}
+	detect := opts.Detect
+	if detect.Heartbeat == 0 {
+		detect = CoordConfig{
+			Heartbeat:        15 * time.Millisecond,
+			HeartbeatTimeout: 90 * time.Millisecond,
+			CommitDeadline:   80 * time.Millisecond,
+			SendTimeout:      time.Second,
+		}
+	}
+	detect.Degraded = cs.Policy
+
+	world := cs.World
+	locals := NewLocalGroup(world)
+	trs := make([]Transport, world)
+	chaosTr := make([]*ChaosTransport, world)
+	trs[0] = locals[0] // rank 0 is never faulted (no leader election)
+	for r := 1; r < world; r++ {
+		ccfg := cs.Chaos
+		ccfg.Seed = cs.Seed + int64(r)*7919
+		chaosTr[r] = NewChaos(locals[r], ccfg)
+		trs[r] = chaosTr[r]
+	}
+
+	var (
+		mu         sync.Mutex
+		violations []string
+		commits    atomic.Int64
+		kills      atomic.Int64
+		rejoins    atomic.Int64
+	)
+	violate := func(format string, args ...any) {
+		mu.Lock()
+		violations = append(violations, fmt.Sprintf("%s: ", cs)+fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	devs := make([]*storage.RAM, world)
+	coords := make([]*Coordinator, world)   // current coordinator per rank (owner-written)
+	finalAgreed := make([]uint64, world)    // lastAgreed at driver exit
+	finalCtr := make([]uint64, world)       // last locally acked counter at exit
+	roundNow := make([]atomic.Int64, world) // latest completed round per rank
+
+	total := uint64(cs.Rounds)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		devs[r] = storage.NewRAM(core.DeviceBytes(1, chaosSlotBytes))
+		eng, err := core.New(devs[r], core.Config{Concurrent: 1, SlotBytes: chaosSlotBytes})
+		if err != nil {
+			return res, fmt.Errorf("dist: chaos case %q: rank %d engine: %w", cs, r, err)
+		}
+		coords[r] = NewCoordinatorWith(trs[r], detect)
+		wg.Add(1)
+		go func(r int, eng *core.Checkpointer) {
+			defer wg.Done()
+			coord := coords[r]
+			var lastAgreed, lastCtr uint64
+			killed, parted := false, false
+			for {
+				round := coord.NextRound()
+				if round > total {
+					break
+				}
+
+				if cs.KillRank > 0 && r == cs.KillRank && !killed && round >= uint64(cs.KillRound) {
+					killed = true
+					kills.Add(1)
+					// The process dies: transport silent, coordinator gone.
+					chaosTr[r].Kill()
+					coord.Close()
+					// Its device survives the crash. Real recovery must find
+					// every locally acked checkpoint — and the agreed floor,
+					// since this rank was current when it died.
+					p, rctr, err := core.Recover(devs[r])
+					if err != nil {
+						violate("rank %d killed at round %d: recovery failed: %v", r, round, err)
+						return
+					}
+					if err := checkChaosPayload(p); err != nil {
+						violate("rank %d killed at round %d: recovered garbage: %v", r, round, err)
+						return
+					}
+					if rctr < lastCtr {
+						violate("rank %d killed at round %d: recovered counter %d < locally acked %d", r, round, rctr, lastCtr)
+						return
+					}
+					if lastAgreed <= lastCtr && rctr < lastAgreed {
+						violate("rank %d killed at round %d: recovered counter %d < agreed floor %d", r, round, rctr, lastAgreed)
+						return
+					}
+					// Stay down until the survivors pass RestartRound.
+					deadline := time.Now().Add(opts.CommitTimeout)
+					for roundNow[0].Load() < int64(cs.RestartRound) {
+						if time.Now().After(deadline) {
+							violate("rank %d: survivors never reached restart round %d (leader at %d) — degraded commit stalled", r, cs.RestartRound, roundNow[0].Load())
+							return
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+					// Restart: same device, fresh engine + coordinator + session.
+					chaosTr[r].Restart()
+					eng, err = core.Open(devs[r], core.Config{})
+					if err != nil {
+						violate("rank %d restart: re-open device: %v", r, err)
+						return
+					}
+					coord = NewCoordinatorWith(trs[r], detect)
+					coords[r] = coord
+					rctx, cancel := context.WithTimeout(context.Background(), opts.CommitTimeout)
+					rid, err := coord.Rejoin(rctx)
+					cancel()
+					if err != nil {
+						violate("rank %d rejoin: %v", r, err)
+						return
+					}
+					if rid < lastAgreed {
+						violate("rank %d rejoin resynced to %d, below the %d it had already observed — agreement regressed across restart", r, rid, lastAgreed)
+						return
+					}
+					lastAgreed = rid
+					rejoins.Add(1)
+					// Catch up: fetch the agreed state from peers (simulated)
+					// and persist it locally until this rank's durable floor
+					// reaches the agreement it adopted.
+					for lastCtr < rid {
+						p := chaosPayload(uint64(cs.Seed)<<20+uint64(r)<<12+lastCtr+1, 64)
+						ctr, err := eng.Checkpoint(context.Background(), core.BytesSource(p))
+						if err != nil {
+							violate("rank %d catch-up checkpoint: %v", r, err)
+							return
+						}
+						lastCtr = ctr
+					}
+					continue // NextRound has jumped past the missed rounds
+				}
+
+				if cs.PartRank > 0 && r == cs.PartRank && !parted && round >= uint64(cs.PartRound) {
+					parted = true
+					chaosTr[r].PartitionTo(0)
+					time.AfterFunc(cs.PartDur, chaosTr[r].Heal)
+				}
+
+				p := chaosPayload(uint64(cs.Seed)<<20+uint64(r)<<12+round, 64+int((uint64(cs.Seed)+round)%128))
+				ctr, err := eng.Checkpoint(context.Background(), core.BytesSource(p))
+				if err != nil {
+					violate("rank %d round %d: local checkpoint: %v", r, round, err)
+					return
+				}
+				lastCtr = ctr
+				cctx, cancel := context.WithTimeout(context.Background(), opts.CommitTimeout)
+				agreed, err := coord.Commit(cctx, ctr)
+				cancel()
+				if err != nil {
+					violate("rank %d round %d: commit stalled past the liveness budget: %v", r, round, err)
+					return
+				}
+				if agreed < lastAgreed {
+					violate("rank %d round %d: agreed ID regressed %d → %d", r, round, lastAgreed, agreed)
+					return
+				}
+				lastAgreed = agreed
+				commits.Add(1)
+				roundNow[r].Store(int64(round))
+			}
+			finalAgreed[r] = lastAgreed
+			finalCtr[r] = lastCtr
+		}(r, eng)
+	}
+	wg.Wait()
+
+	res.Commits = int(commits.Load())
+	res.Kills = int(kills.Load())
+	res.Rejoins = int(rejoins.Load())
+	res.Violations = violations
+	if len(violations) > 0 {
+		closeChaos(coords, trs)
+		return res, nil
+	}
+
+	// Convergence: every rank finished the same final round with the same
+	// agreed ID, and the group made progress.
+	res.FinalID = finalAgreed[0]
+	for r := 1; r < world; r++ {
+		if finalAgreed[r] != res.FinalID {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: no convergence: rank %d finished agreed on %d, rank 0 on %d", cs, r, finalAgreed[r], res.FinalID))
+		}
+	}
+	if res.FinalID == 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf("%s: the group never agreed on anything", cs))
+	}
+
+	// Durable floor at the end: the converged ID must be recoverable on
+	// every current rank's device. A rank may legally end behind under
+	// ExcludeDead if it was the faulted one (degraded mode: it must
+	// peer-resync, and LoadConsistent refuses to serve it stale state).
+	for r := 0; r < world; r++ {
+		p, ctr, err := core.Recover(devs[r])
+		if err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: rank %d final recovery failed: %v", cs, r, err))
+			continue
+		}
+		if err := checkChaosPayload(p); err != nil {
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: rank %d final recovery returned garbage: %v", cs, r, err))
+			continue
+		}
+		if ctr < finalCtr[r] {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: rank %d device recovered counter %d < locally acked %d", cs, r, ctr, finalCtr[r]))
+			continue
+		}
+		if ctr < res.FinalID {
+			faulted := cs.Policy == ExcludeDead && (r == cs.KillRank || r == cs.PartRank)
+			if faulted {
+				res.Behind++
+			} else {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("%s: agreed ID %d exceeds rank %d's durable floor %d — the agreement is not globally durable", cs, res.FinalID, r, ctr))
+			}
+		}
+	}
+	closeChaos(coords, trs)
+	return res, nil
+}
+
+func closeChaos(coords []*Coordinator, trs []Transport) {
+	for _, c := range coords {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, t := range trs {
+		if t != nil {
+			t.Close()
+		}
+	}
+}
+
+// ChaosSweepCases is the seeded case matrix of the chaos sweep: message
+// faults under both policies, kill/restart, a one-way partition, and the
+// combined worst case.
+func ChaosSweepCases(seed int64) []ChaosCase {
+	return []ChaosCase{
+		{
+			Name: "stall-lossless", World: 3, Rounds: 12, Policy: Stall, Seed: seed,
+			Chaos: ChaosConfig{DupProb: 0.2, ReorderProb: 0.2, DelayProb: 0.2},
+		},
+		{
+			Name: "stall-lossy", World: 3, Rounds: 10, Policy: Stall, Seed: seed + 1,
+			// Drops are recoverable under Stall because workers retransmit
+			// reports and the leader re-echoes commits.
+			Chaos: ChaosConfig{DropProb: 0.15, DupProb: 0.1, ReorderProb: 0.15},
+		},
+		{
+			Name: "excludedead-lossy", World: 4, Rounds: 12, Policy: ExcludeDead, Seed: seed + 2,
+			Chaos: ChaosConfig{DropProb: 0.25, DupProb: 0.1, ReorderProb: 0.1, DelayProb: 0.1},
+		},
+		{
+			Name: "kill-restart", World: 3, Rounds: 14, Policy: ExcludeDead, Seed: seed + 3,
+			KillRank: 2, KillRound: 3, RestartRound: 6,
+			Chaos: ChaosConfig{DupProb: 0.1, ReorderProb: 0.1},
+		},
+		{
+			Name: "kill-late-lossy", World: 4, Rounds: 16, Policy: ExcludeDead, Seed: seed + 4,
+			KillRank: 1, KillRound: 6, RestartRound: 9,
+			Chaos: ChaosConfig{DropProb: 0.1, DupProb: 0.1, ReorderProb: 0.1},
+		},
+		{
+			Name: "oneway-partition", World: 3, Rounds: 14, Policy: ExcludeDead, Seed: seed + 5,
+			PartRank: 1, PartRound: 4,
+		},
+		{
+			Name: "kill-plus-partition", World: 4, Rounds: 18, Policy: ExcludeDead, Seed: seed + 6,
+			KillRank: 3, KillRound: 4, RestartRound: 7,
+			PartRank: 1, PartRound: 9,
+			Chaos: ChaosConfig{DropProb: 0.05, DupProb: 0.1, ReorderProb: 0.1},
+		},
+	}
+}

@@ -1,0 +1,597 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pccheck/internal/obs"
+)
+
+// fastDetect is a detection config sized for in-process tests: a hung rank
+// is declared dead within ~60ms.
+func fastDetect(p DegradedPolicy) CoordConfig {
+	return CoordConfig{
+		Heartbeat:        10 * time.Millisecond,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		CommitDeadline:   50 * time.Millisecond,
+		SendTimeout:      200 * time.Millisecond,
+		Degraded:         p,
+	}
+}
+
+// TestDialTCPRetriesBeforeListener: workers must be able to start before
+// rank 0's listener is up. Before the fix DialTCP made exactly one attempt,
+// forcing a strict startup order across the whole cluster.
+func TestDialTCPRetriesBeforeListener(t *testing.T) {
+	// Reserve a port, then free it so the first dial attempts fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	type dialRes struct {
+		tr  *TCP
+		err error
+	}
+	dialCh := make(chan dialRes, 1)
+	go func() {
+		tr, err := DialTCPWith(ctx, addr, 1, 2, DialOptions{
+			Retry: RetryPolicy{MaxAttempts: 100, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 30 * time.Millisecond},
+		})
+		dialCh <- dialRes{tr, err}
+	}()
+
+	time.Sleep(120 * time.Millisecond) // let several attempts fail
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind reserved port %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	leader, err := ListenTCP(ctx, ln2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+
+	res := <-dialCh
+	if res.err != nil {
+		t.Fatalf("dialer that started before the listener: %v", res.err)
+	}
+	defer res.tr.Close()
+
+	// The connection works end to end: run one commit round over it.
+	cl := NewCoordinator(leader)
+	cw := NewCoordinator(res.tr)
+	defer cl.Close()
+	defer cw.Close()
+	var wg sync.WaitGroup
+	agreed := make([]uint64, 2)
+	for i, c := range []*Coordinator{cl, cw} {
+		wg.Add(1)
+		go func(i int, c *Coordinator) {
+			defer wg.Done()
+			got, err := c.Commit(ctx, 9)
+			if err != nil {
+				t.Errorf("rank %d: %v", i, err)
+				return
+			}
+			agreed[i] = got
+		}(i, c)
+	}
+	wg.Wait()
+	if agreed[0] != 9 || agreed[1] != 9 {
+		t.Fatalf("agreed %v, want [9 9]", agreed)
+	}
+}
+
+// TestDialTCPExhaustsRetries: with no listener ever, the bounded retry
+// returns (quickly, with the attempt count in the error) instead of
+// spinning forever.
+func TestDialTCPExhaustsRetries(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	addr := ln.Addr().String()
+	ln.Close()
+	_, err := DialTCPWith(context.Background(), addr, 1, 2, DialOptions{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	}
+}
+
+// TestLeaderDropsBadFromFrames: a report with an out-of-range sender rank
+// must be dropped (with an observer instant), not corrupt the round maps.
+// Before the fix, commitAsLeader trusted m.From, so rank 99 grew a
+// phantom entry in rankRound and its report could complete a round.
+func TestLeaderDropsBadFromFrames(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[0].Close()
+	defer group[1].Close()
+	rec := obs.NewRecorder(16)
+	leader := NewCoordinator(group[0])
+	defer leader.Close()
+	leader.SetObserver(rec)
+	worker := NewCoordinator(group[1])
+	defer worker.Close()
+
+	// Forge frames straight into rank 0's inbox: a rank outside the world
+	// and a report claiming to be from rank 0 itself.
+	group[0].inbox <- Message{From: 99, Kind: KindReport, CheckpointID: 1, Seq: 1}
+	group[0].inbox <- Message{From: -1, Kind: KindReport, CheckpointID: 1, Seq: 1}
+	group[0].inbox <- Message{From: 0, Kind: KindReport, CheckpointID: 1, Seq: 1}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	agreed := make([]uint64, 2)
+	for i, c := range []*Coordinator{leader, worker} {
+		wg.Add(1)
+		go func(i int, c *Coordinator) {
+			defer wg.Done()
+			got, err := c.Commit(ctx, 7)
+			if err != nil {
+				t.Errorf("rank %d: %v", i, err)
+				return
+			}
+			agreed[i] = got
+		}(i, c)
+	}
+	wg.Wait()
+	if agreed[0] != 7 || agreed[1] != 7 {
+		t.Fatalf("agreed %v, want [7 7] — forged frames leaked into the round", agreed)
+	}
+	if got := rec.Snapshot().DroppedFrames; got < 3 {
+		t.Fatalf("dropped-frame counter = %d, want ≥ 3", got)
+	}
+}
+
+// TestTCPStampsFromWithHandshakeRank: over TCP, rank 0 must believe the
+// handshake, not the frame: a peer that authenticated as rank 1 cannot
+// speak as anyone else.
+func TestTCPStampsFromWithHandshakeRank(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	leaderCh := make(chan *TCP, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		tr, err := ListenTCP(ctx, ln, 2)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		leaderCh <- tr
+	}()
+
+	// A raw client that handshakes as rank 1 but writes frames claiming to
+	// be from rank 0.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := make([]byte, helloSize)
+	putHello(hello, 1, 7)
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+
+	var leader *TCP
+	select {
+	case leader = <-leaderCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	}
+	defer leader.Close()
+
+	forged := Message{From: 0, Kind: KindReport, CheckpointID: 42, Seq: 1}
+	if _, err := conn.Write(forged.encode()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := leader.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 1 {
+		t.Fatalf("frame delivered with From=%d, want the handshake rank 1", m.From)
+	}
+}
+
+// TestWorkerIgnoresStaleCommits: a duplicated or reordered commit frame
+// must not answer a later round's Commit call. Before the fix, the worker
+// consumed whatever KindCommit arrived next, so a duplicate of round 1's
+// commit became round 2's "agreement", silently regressing it.
+func TestWorkerIgnoresStaleCommits(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[0].Close()
+	defer group[1].Close()
+	leader := NewCoordinator(group[0])
+	worker := NewCoordinator(group[1])
+	defer leader.Close()
+	defer worker.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	round := func(id uint64) [2]uint64 {
+		var wg sync.WaitGroup
+		var out [2]uint64
+		for i, c := range []*Coordinator{leader, worker} {
+			wg.Add(1)
+			go func(i int, c *Coordinator) {
+				defer wg.Done()
+				got, err := c.Commit(ctx, id)
+				if err != nil {
+					t.Errorf("rank %d: %v", i, err)
+				}
+				out[i] = got
+			}(i, c)
+		}
+		wg.Wait()
+		return out
+	}
+
+	if got := round(5); got != [2]uint64{5, 5} {
+		t.Fatalf("round 1 agreed %v", got)
+	}
+	// Replay round 1's commit into the worker's inbox (a duplicated frame).
+	group[1].inbox <- Message{From: 0, Kind: KindCommit, CheckpointID: 5, Seq: 1}
+	time.Sleep(20 * time.Millisecond) // let the pump process (and drop) it
+	if got := round(6); got != [2]uint64{6, 6} {
+		t.Fatalf("round 2 agreed %v — a stale commit frame leaked in", got)
+	}
+	if lc := worker.LatestConsistent(); lc != 6 {
+		t.Fatalf("worker LatestConsistent = %d, want 6", lc)
+	}
+}
+
+// TestCommitMonotoneUnderDupReorder drives multiple rounds through
+// ChaosTransports that duplicate, reorder, and delay frames in both
+// directions, and checks agreement stays monotone and converges.
+func TestCommitMonotoneUnderDupReorder(t *testing.T) {
+	const world, rounds = 3, 8
+	locals := NewLocalGroup(world)
+	coords := make([]*Coordinator, world)
+	for r := 0; r < world; r++ {
+		ch := NewChaos(locals[r], ChaosConfig{
+			Seed: int64(100 + r), DupProb: 0.3, ReorderProb: 0.2, DelayProb: 0.2,
+			DelayMin: time.Millisecond, DelayMax: 8 * time.Millisecond,
+		})
+		defer ch.Close()
+		coords[r] = NewCoordinatorWith(ch, fastDetect(Stall))
+		defer coords[r].Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	final := make([]uint64, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var last uint64
+			for i := uint64(1); i <= rounds; i++ {
+				got, err := coords[r].Commit(ctx, i)
+				if err != nil {
+					t.Errorf("rank %d round %d: %v", r, i, err)
+					return
+				}
+				if got < last {
+					t.Errorf("rank %d round %d: agreed regressed %d → %d", r, i, last, got)
+					return
+				}
+				last = got
+			}
+			final[r] = last
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < world; r++ {
+		if final[r] != rounds {
+			t.Fatalf("rank %d converged on %d, want %d", r, final[r], rounds)
+		}
+	}
+}
+
+// TestCommitHonorsContextDeadline: the pre-existing escape hatch — when a
+// peer never reports, Commit returns the caller's context error instead of
+// blocking forever.
+func TestCommitHonorsContextDeadline(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[0].Close()
+	defer group[1].Close()
+	leader := NewCoordinator(group[0])
+	defer leader.Close()
+	// Rank 1 exists but never commits (and has no pump: it never even
+	// answers pings — yet default policy is Stall, so no exclusion).
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := leader.Commit(ctx, 3)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Commit with an absent peer returned %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestHeartbeatDeclaresHungRankDead: a rank whose transport stays open but
+// whose process is hung (its pump never answers pings) must be declared
+// dead by silence — and under ExcludeDead the survivors keep committing.
+func TestHeartbeatDeclaresHungRankDead(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[0].Close()
+	defer group[1].Close()
+	rec := obs.NewRecorder(64)
+	leader := NewCoordinatorWith(group[0], fastDetect(ExcludeDead))
+	defer leader.Close()
+	leader.SetObserver(rec)
+	// Rank 1 "hangs": its coordinator dies but its transport stays open —
+	// the connection-death path can never fire; only silence can.
+	hung := NewCoordinator(group[1])
+	hung.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	agreed, err := leader.Commit(ctx, 11)
+	if err != nil {
+		t.Fatalf("leader commit with a hung peer: %v", err)
+	}
+	if agreed != 11 {
+		t.Fatalf("agreed %d, want 11 (the hung rank is excluded)", agreed)
+	}
+	dead := leader.DeadRanks()
+	if len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("DeadRanks = %v, want [1]", dead)
+	}
+	if got := rec.Snapshot().RankDeaths; got < 1 {
+		t.Fatalf("rank-death counter = %d, want ≥ 1", got)
+	}
+}
+
+// TestExcludeDeadThenRejoin: the full degraded-mode arc — a rank dies, the
+// survivors keep committing, the rank comes back with a fresh session,
+// resyncs to the group's consistent ID, and rejoins live rounds.
+func TestExcludeDeadThenRejoin(t *testing.T) {
+	const world = 3
+	group := NewLocalGroup(world)
+	for _, g := range group {
+		defer g.Close()
+	}
+	rec := obs.NewRecorder(64)
+	cfg := fastDetect(ExcludeDead)
+	coords := make([]*Coordinator, world)
+	for r := 0; r < world; r++ {
+		coords[r] = NewCoordinatorWith(group[r], cfg)
+	}
+	coords[0].SetObserver(rec)
+	defer func() {
+		for _, c := range coords {
+			c.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	commitAll := func(ranks []int, id uint64) map[int]uint64 {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		out := make(map[int]uint64)
+		for _, r := range ranks {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				got, err := coords[r].Commit(ctx, id)
+				if err != nil {
+					t.Errorf("rank %d id %d: %v", r, id, err)
+					return
+				}
+				mu.Lock()
+				out[r] = got
+				mu.Unlock()
+			}(r)
+		}
+		wg.Wait()
+		return out
+	}
+
+	// Round 1: everyone.
+	if got := commitAll([]int{0, 1, 2}, 1); got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("round 1 agreed %v", got)
+	}
+	// Rank 2 dies.
+	coords[2].Close()
+	// Rounds 2 and 3: survivors only; commits proceed once rank 2 is
+	// declared dead.
+	if got := commitAll([]int{0, 1}, 2); got[0] != 2 || got[1] != 2 {
+		t.Fatalf("degraded round 2 agreed %v", got)
+	}
+	if got := commitAll([]int{0, 1}, 3); got[0] != 3 || got[1] != 3 {
+		t.Fatalf("degraded round 3 agreed %v", got)
+	}
+
+	// Rank 2 restarts: fresh coordinator, explicit rejoin.
+	coords[2] = NewCoordinatorWith(group[2], cfg)
+	rid, err := coords[2].Rejoin(ctx)
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if rid != 3 {
+		t.Fatalf("rejoin resynced to %d, want the group's consistent 3", rid)
+	}
+	// Round 4: everyone again — the rejoined rank's rounds line up.
+	got := commitAll([]int{0, 1, 2}, 4)
+	if got[0] != 4 || got[1] != 4 || got[2] != 4 {
+		t.Fatalf("post-rejoin round agreed %v", got)
+	}
+	s := rec.Snapshot()
+	if s.RankDeaths < 1 || s.RankRejoins < 1 {
+		t.Fatalf("observer saw %d deaths / %d rejoins, want ≥ 1 each", s.RankDeaths, s.RankRejoins)
+	}
+}
+
+// TestChaosScheduleDrop: the FaultDevice-style deterministic schedule —
+// let After sends pass, then apply the verb.
+func TestChaosScheduleDrop(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[1].Close()
+	ch := NewChaos(group[0], ChaosConfig{})
+	defer ch.Close()
+	ch.SetSchedule(ChaosSchedule{After: 1, Count: 1, Verb: VerbDrop})
+
+	ctx := context.Background()
+	for id := uint64(1); id <= 3; id++ {
+		if err := ch.Send(ctx, 1, Message{Kind: KindReport, CheckpointID: id, Seq: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	for i := 0; i < 2; i++ {
+		m, err := group[1].Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m.CheckpointID)
+	}
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("received %v, want [1 3] (send 2 dropped by schedule)", got)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if m, err := group[1].Recv(rctx); err == nil {
+		t.Fatalf("dropped frame %d was delivered", m.CheckpointID)
+	}
+}
+
+// TestChaosKillRestart: a killed endpoint's traffic vanishes in both
+// directions; after Restart it communicates again.
+func TestChaosKillRestart(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[0].Close()
+	ch := NewChaos(group[1], ChaosConfig{})
+	defer ch.Close()
+	ctx := context.Background()
+
+	ch.Kill()
+	// Sends from the killed rank vanish without error.
+	if err := ch.Send(ctx, 0, Message{Kind: KindReport, CheckpointID: 1, Seq: 1}); err != nil {
+		t.Fatalf("send while killed: %v", err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	if m, err := group[0].Recv(rctx); err == nil {
+		t.Fatalf("killed rank's frame %d was delivered", m.CheckpointID)
+	}
+	cancel()
+
+	// Frames sent TO the killed rank are discarded by its pending Recv.
+	recvCh := make(chan Message, 1)
+	go func() {
+		m, err := ch.Recv(ctx)
+		if err == nil {
+			recvCh <- m
+		}
+	}()
+	if err := group[0].Send(ctx, 1, Message{Kind: KindCommit, CheckpointID: 1, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // the killed Recv drains and discards it
+
+	ch.Restart()
+	if err := group[0].Send(ctx, 1, Message{Kind: KindCommit, CheckpointID: 2, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-recvCh:
+		if m.CheckpointID != 2 {
+			t.Fatalf("after restart received %d, want 2 (1 died with the process)", m.CheckpointID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("restarted endpoint never received")
+	}
+}
+
+// TestExploreChaosFast runs representative sweep cases in-process: a lossy
+// Stall case (retransmission must heal it) and the kill/restart arc under
+// ExcludeDead.
+func TestExploreChaosFast(t *testing.T) {
+	cases := []ChaosCase{
+		{
+			Name: "stall-lossy", World: 3, Rounds: 6, Policy: Stall, Seed: 42,
+			Chaos: ChaosConfig{DropProb: 0.15, DupProb: 0.15, ReorderProb: 0.15},
+		},
+		{
+			Name: "kill-restart", World: 3, Rounds: 12, Policy: ExcludeDead, Seed: 43,
+			KillRank: 2, KillRound: 3, RestartRound: 5,
+			Chaos: ChaosConfig{DupProb: 0.1, ReorderProb: 0.1},
+		},
+		{
+			Name: "oneway-partition", World: 3, Rounds: 12, Policy: ExcludeDead, Seed: 44,
+			PartRank: 1, PartRound: 3, PartDur: 100 * time.Millisecond,
+		},
+	}
+	for _, cs := range cases {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			res, err := ExploreChaos(ChaosExploreOptions{Case: cs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Error(v)
+			}
+			if res.Commits == 0 || res.FinalID == 0 {
+				t.Fatalf("no progress: %+v", res)
+			}
+			if cs.KillRank > 0 && (res.Kills != 1 || res.Rejoins != 1) {
+				t.Fatalf("kill case ran %d kills / %d rejoins", res.Kills, res.Rejoins)
+			}
+		})
+	}
+}
+
+// putHello writes a handshake frame (test helper for raw clients).
+func putHello(b []byte, rank int, epoch uint32) {
+	le := func(off int, v uint32) {
+		b[off] = byte(v)
+		b[off+1] = byte(v >> 8)
+		b[off+2] = byte(v >> 16)
+		b[off+3] = byte(v >> 24)
+	}
+	le(0, helloMagic)
+	le(4, uint32(rank))
+	le(8, epoch)
+}
+
+// TestChaosSweep runs the full seeded sweep matrix — the same cases
+// `pccheck-disttrain -chaos` runs.
+func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos sweep skipped in -short mode")
+	}
+	for _, cs := range ChaosSweepCases(7) {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			res, err := ExploreChaos(ChaosExploreOptions{Case: cs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Error(v)
+			}
+			if res.Commits == 0 || res.FinalID == 0 {
+				t.Fatalf("no progress: %+v", res)
+			}
+		})
+	}
+}

@@ -7,14 +7,18 @@
 //
 // Two transports are provided: an in-process one (channels) for tests and
 // single-binary simulations, and a TCP one (net) for real multi-process
-// deployments. Both carry the same small fixed-format messages.
+// deployments. Both carry the same small fixed-format messages. A third,
+// ChaosTransport, wraps either with deterministic network-fault injection
+// (see chaos.go).
 package dist
 
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -25,10 +29,30 @@ type MsgKind uint8
 
 const (
 	// KindReport carries a worker's freshly persisted checkpoint ID to
-	// rank 0.
+	// rank 0. Seq is the worker's own 1-based round counter, so rank 0
+	// places the report in the right round even when frames are
+	// duplicated or reordered.
 	KindReport MsgKind = iota + 1
 	// KindCommit is rank 0's broadcast that an ID is globally consistent.
+	// Seq is the committed round index; workers drop stale (Seq ≤ last
+	// seen) commit frames.
 	KindCommit
+	// KindPing is a liveness probe. Rank 0 pings workers on the heartbeat
+	// interval (Seq = probe sequence); a worker pings rank 0 as a hello
+	// when (re)joining the group.
+	KindPing
+	// KindPong answers a rank-0 ping, echoing its Seq.
+	KindPong
+	// KindResync is rank 0's out-of-band "the globally consistent ID is
+	// CheckpointID as of round Seq" — sent to a (re)joining worker so it
+	// can resume from the agreed checkpoint. Unlike KindCommit it never
+	// answers a pending Commit call.
+	KindResync
+
+	// kindMax bounds the known kinds; frames with a kind beyond it are
+	// skipped by the version-tolerant read loop rather than killing the
+	// connection, so a newer peer can speak extra kinds to an older one.
+	kindMax = KindResync
 )
 
 // Message is one coordination datagram.
@@ -36,15 +60,27 @@ type Message struct {
 	From         int
 	Kind         MsgKind
 	CheckpointID uint64
+	// Seq is a per-kind sequence number: the sender's round counter on
+	// reports, the committed round on commits/resyncs, the probe number
+	// on pings/pongs. It is what makes the protocol tolerate duplicated
+	// and reordered frames.
+	Seq uint64
 }
 
-const wireSize = 1 + 4 + 8
+const wireSize = 1 + 4 + 8 + 8
+
+// errUnknownKind marks a frame whose kind this build does not know. The
+// frame is well-formed (fixed size), so readers skip it instead of tearing
+// the connection down — the version tolerance that lets mixed builds limp
+// along during a rolling restart.
+var errUnknownKind = errors.New("dist: unknown message kind")
 
 func (m Message) encode() []byte {
 	buf := make([]byte, wireSize)
 	buf[0] = byte(m.Kind)
 	binary.LittleEndian.PutUint32(buf[1:], uint32(m.From))
 	binary.LittleEndian.PutUint64(buf[5:], m.CheckpointID)
+	binary.LittleEndian.PutUint64(buf[13:], m.Seq)
 	return buf
 }
 
@@ -53,13 +89,14 @@ func decodeMessage(buf []byte) (Message, error) {
 		return Message{}, io.ErrUnexpectedEOF
 	}
 	k := MsgKind(buf[0])
-	if k != KindReport && k != KindCommit {
-		return Message{}, fmt.Errorf("dist: unknown message kind %d", k)
+	if k == 0 || k > kindMax {
+		return Message{}, fmt.Errorf("%w %d", errUnknownKind, k)
 	}
 	return Message{
 		Kind:         k,
 		From:         int(binary.LittleEndian.Uint32(buf[1:])),
 		CheckpointID: binary.LittleEndian.Uint64(buf[5:]),
+		Seq:          binary.LittleEndian.Uint64(buf[13:]),
 	}, nil
 }
 
@@ -76,6 +113,80 @@ type Transport interface {
 	Recv(ctx context.Context) (Message, error)
 	// Close releases the transport.
 	Close() error
+}
+
+// PeerEvents is implemented by transports that observe peer connectivity
+// (rank 0's TCP side). The hook fires with up=true when a worker
+// (re)attaches with a fresh session epoch and up=false when its connection
+// dies. The Coordinator registers itself here to drive instant failure
+// detection and rejoin, ahead of what heartbeats alone would notice.
+type PeerEvents interface {
+	SetPeerHook(func(rank int, up bool))
+}
+
+// RetryPolicy bounds DialTCP's reconnect loop — the same shape as the
+// engine's persist-path retry (Config.Retry): MaxAttempts tries with
+// exponential backoff and jitter. The zero value selects the dial
+// defaults (10 attempts, 50ms base, 1s cap), NOT a single attempt —
+// workers and rank 0 race to start in every real deployment, so one-shot
+// dialing is almost never what a caller wants.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of dial attempts (0 → 10; 1 = no
+	// retry).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1s).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64
+	// Jitter randomizes each backoff by ±Jitter fraction (0 → 0.2,
+	// negative disables) so a restarted fleet does not redial in lockstep.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 10
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry n (1-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := float64(p.BaseBackoff)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
 }
 
 // --- in-process transport ----------------------------------------------------
@@ -97,7 +208,7 @@ func NewLocalGroup(n int) []*Local {
 		group[i] = &Local{
 			rank:  i,
 			world: n,
-			inbox: make(chan Message, 4*n),
+			inbox: make(chan Message, 8*n),
 			done:  make(chan struct{}),
 		}
 	}
@@ -161,17 +272,34 @@ func (l *Local) Close() error {
 
 // --- TCP transport -------------------------------------------------------------
 
+// helloMagic opens every handshake frame, so rank 0 can reject strays and
+// old-format peers with a clear error instead of misparsing their bytes.
+const helloMagic = 0x50434332 // "PCC2"
+
+const helloSize = 4 + 4 + 4 // magic, rank, epoch
+
 // TCP is a Transport over real sockets: rank 0 accepts one connection per
 // peer; other ranks hold a single connection to rank 0. PCcheck's protocol
 // is a star (everything flows through rank 0), so no peer-to-peer links are
 // needed.
+//
+// Each dialing worker introduces itself with a hello frame carrying its
+// rank and a session epoch. After the group assembles, rank 0 keeps
+// accepting: a new connection for an already-known rank with a *different*
+// epoch is a restarted worker and replaces the old connection (the peer
+// hook fires with up=true); the same epoch is a duplicate and is refused.
+// Rank 0 also closes the listener when the transport closes — it owns the
+// accept loop for the lifetime of the group.
 type TCP struct {
 	rank  int
 	world int
 
-	mu    sync.Mutex
-	conns map[int]net.Conn // rank → connection (rank 0: all peers; others: {0: conn})
+	mu     sync.Mutex
+	conns  map[int]net.Conn // rank → connection (rank 0: all peers; others: {0: conn})
+	epochs map[int]uint32   // rank 0: session epoch per peer
+	hook   func(rank int, up bool)
 
+	ln      net.Listener // rank 0 only: owned once ListenTCP returns
 	inbox   chan Message
 	readers sync.WaitGroup
 	once    sync.Once
@@ -184,18 +312,38 @@ type TCP struct {
 // A variable so tests can shrink it.
 var handshakeTimeout = 10 * time.Second
 
+// readHello reads and validates one handshake frame.
+func readHello(conn net.Conn, world int) (rank int, epoch uint32, err error) {
+	var hello [helloSize]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return 0, 0, fmt.Errorf("dist: peer handshake: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hello[:]) != helloMagic {
+		return 0, 0, fmt.Errorf("dist: peer handshake: bad magic (old client or stray connection)")
+	}
+	rank = int(binary.LittleEndian.Uint32(hello[4:]))
+	epoch = binary.LittleEndian.Uint32(hello[8:])
+	if rank <= 0 || rank >= world {
+		return 0, 0, fmt.Errorf("dist: peer announced invalid rank %d", rank)
+	}
+	return rank, epoch, nil
+}
+
 // ListenTCP starts rank 0: it accepts world−1 peers on ln, each of which
-// must introduce itself with a hello byte frame carrying its rank. The
-// handshake is bounded: each accepted connection has handshakeTimeout to
-// send its hello, and cancelling ctx closes ln to unblock Accept — so a
-// caller can always abandon a group that never fully assembles.
+// must introduce itself with a hello frame carrying its rank and session
+// epoch. The handshake is bounded: each accepted connection has
+// handshakeTimeout to send its hello, and cancelling ctx closes ln to
+// unblock Accept — so a caller can always abandon a group that never fully
+// assembles. After assembly, rank 0 keeps accepting so restarted workers
+// can rejoin (see TCP); the transport then owns ln and closes it on Close.
 func ListenTCP(ctx context.Context, ln net.Listener, world int) (*TCP, error) {
 	t := &TCP{
-		rank:  0,
-		world: world,
-		conns: make(map[int]net.Conn),
-		inbox: make(chan Message, 4*world),
-		done:  make(chan struct{}),
+		rank:   0,
+		world:  world,
+		conns:  make(map[int]net.Conn),
+		epochs: make(map[int]uint32),
+		inbox:  make(chan Message, 8*world),
+		done:   make(chan struct{}),
 	}
 	// Accept has no context parameter; closing the listener is the only
 	// portable way to honour cancellation promptly (same pattern as
@@ -222,22 +370,16 @@ func ListenTCP(ctx context.Context, ln net.Listener, world int) (*TCP, error) {
 			hsDeadline = dl
 		}
 		_ = conn.SetReadDeadline(hsDeadline)
-		var hello [4]byte
-		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		peer, epoch, err := readHello(conn, world)
+		if err != nil {
 			conn.Close()
 			t.Close()
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			return nil, fmt.Errorf("dist: peer handshake: %w", err)
+			return nil, err
 		}
 		_ = conn.SetReadDeadline(time.Time{})
-		peer := int(binary.LittleEndian.Uint32(hello[:]))
-		if peer <= 0 || peer >= world {
-			conn.Close()
-			t.Close()
-			return nil, fmt.Errorf("dist: peer announced invalid rank %d", peer)
-		}
 		t.mu.Lock()
 		if _, dup := t.conns[peer]; dup {
 			t.mu.Unlock()
@@ -246,48 +388,180 @@ func ListenTCP(ctx context.Context, ln net.Listener, world int) (*TCP, error) {
 			return nil, fmt.Errorf("dist: duplicate rank %d", peer)
 		}
 		t.conns[peer] = conn
+		t.epochs[peer] = epoch
 		t.mu.Unlock()
 		t.readers.Add(1)
-		go t.readLoop(conn)
+		go t.readLoop(peer, conn)
 	}
+	// Clear any listener deadline set for the assembly phase, then keep
+	// accepting for rejoins until the transport closes.
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(deadliner); ok {
+		_ = d.SetDeadline(time.Time{})
+	}
+	t.ln = ln
+	t.readers.Add(1)
+	go t.acceptLoop(ln)
 	return t, nil
 }
 
-// DialTCP connects a non-zero rank to rank 0 at addr.
+// acceptLoop lets restarted workers re-attach after the initial assembly:
+// a hello for a known rank with a new session epoch replaces the old
+// connection and fires the peer hook; the same epoch is a duplicate
+// connection from a still-live worker and is refused.
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer t.readers.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (transport Close) or fatal accept error
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		peer, epoch, err := readHello(conn, t.world)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		t.mu.Lock()
+		if old, ok := t.conns[peer]; ok && t.epochs[peer] == epoch {
+			t.mu.Unlock()
+			conn.Close() // duplicate connection from the live session
+			continue
+		} else if ok {
+			old.Close() // superseded session: tear the stale conn down
+		}
+		t.conns[peer] = conn
+		t.epochs[peer] = epoch
+		hook := t.hook
+		t.mu.Unlock()
+		t.readers.Add(1)
+		go t.readLoop(peer, conn)
+		if hook != nil {
+			hook(peer, true)
+		}
+	}
+}
+
+// DialOptions tunes DialTCP.
+type DialOptions struct {
+	// Epoch identifies this worker session to rank 0. A restarted worker
+	// must present a different epoch than its previous incarnation so
+	// rank 0 treats the new connection as a rejoin rather than a
+	// duplicate. 0 derives one from the wall clock.
+	Epoch uint32
+	// Retry bounds the dial attempts (zero value = dial defaults).
+	Retry RetryPolicy
+}
+
+// DialTCP connects a non-zero rank to rank 0 at addr. The dial is retried
+// with backoff and jitter (the RetryPolicy dial defaults) until ctx
+// expires or the attempts run out, so workers may start before rank 0's
+// listener is up.
 func DialTCP(ctx context.Context, addr string, rank, world int) (*TCP, error) {
+	return DialTCPWith(ctx, addr, rank, world, DialOptions{})
+}
+
+// DialTCPWith is DialTCP with an explicit session epoch and retry policy.
+func DialTCPWith(ctx context.Context, addr string, rank, world int, opts DialOptions) (*TCP, error) {
 	if rank <= 0 || rank >= world {
 		return nil, fmt.Errorf("dist: DialTCP is for ranks 1..world-1, got %d", rank)
 	}
+	epoch := opts.Epoch
+	if epoch == 0 {
+		// Distinct across restarts is all that matters; wall-clock nanos
+		// truncated to 32 bits differ between any two real process starts.
+		epoch = uint32(time.Now().UnixNano())
+		if epoch == 0 {
+			epoch = 1
+		}
+	}
+	pol := opts.Retry.withDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		conn, err := dialOnce(ctx, addr, rank, epoch)
+		if err == nil {
+			t := &TCP{
+				rank:  rank,
+				world: world,
+				conns: map[int]net.Conn{0: conn},
+				inbox: make(chan Message, 16),
+				done:  make(chan struct{}),
+			}
+			t.readers.Add(1)
+			go t.readLoop(0, conn)
+			return t, nil
+		}
+		lastErr = err
+		if attempt >= pol.MaxAttempts {
+			return nil, fmt.Errorf("dist: dial rank 0 at %s: %d attempts exhausted: %w", addr, attempt, lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("dist: dial rank 0 at %s: %w (last error: %v)", addr, ctx.Err(), lastErr)
+		case <-time.After(pol.backoff(attempt)):
+		}
+	}
+}
+
+// dialOnce makes one connection + hello attempt.
+func dialOnce(ctx context.Context, addr string, rank int, epoch uint32) (net.Conn, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	var hello [4]byte
-	binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+	var hello [helloSize]byte
+	binary.LittleEndian.PutUint32(hello[:], helloMagic)
+	binary.LittleEndian.PutUint32(hello[4:], uint32(rank))
+	binary.LittleEndian.PutUint32(hello[8:], epoch)
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetWriteDeadline(dl)
+	}
 	if _, err := conn.Write(hello[:]); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	t := &TCP{
-		rank:  rank,
-		world: world,
-		conns: map[int]net.Conn{0: conn},
-		inbox: make(chan Message, 8),
-		done:  make(chan struct{}),
-	}
-	t.readers.Add(1)
-	go t.readLoop(conn)
-	return t, nil
+	_ = conn.SetWriteDeadline(time.Time{})
+	return conn, nil
 }
 
-func (t *TCP) readLoop(conn net.Conn) {
+// SetPeerHook implements PeerEvents: the hook observes workers rejoining
+// (acceptLoop) and peer connections dying (readLoop exit) on rank 0.
+func (t *TCP) SetPeerHook(h func(rank int, up bool)) {
+	t.mu.Lock()
+	t.hook = h
+	t.mu.Unlock()
+}
+
+func (t *TCP) readLoop(peer int, conn net.Conn) {
 	defer t.readers.Done()
 	// A non-leader rank has exactly one connection — to rank 0. When it
 	// dies, every pending and future Recv must fail promptly rather than
 	// block forever (the elastic framework then restarts the worker, §5.2.3).
 	if t.rank != 0 {
 		defer t.signalClosed()
+	} else {
+		defer func() {
+			// Rank 0: this peer's conn died. Drop it from the table (unless a
+			// rejoin already replaced it) and tell the hook.
+			t.mu.Lock()
+			stale := t.conns[peer] == conn
+			if stale {
+				delete(t.conns, peer)
+			}
+			hook := t.hook
+			closed := false
+			select {
+			case <-t.done:
+				closed = true
+			default:
+			}
+			t.mu.Unlock()
+			if stale && !closed && hook != nil {
+				hook(peer, false)
+			}
+		}()
 	}
 	buf := make([]byte, wireSize)
 	for {
@@ -296,7 +570,15 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		m, err := decodeMessage(buf)
 		if err != nil {
+			if errors.Is(err, errUnknownKind) {
+				continue // version tolerance: skip frames from newer builds
+			}
 			return
+		}
+		if t.rank == 0 {
+			// Never trust the wire's From on rank 0: the handshake already
+			// authenticated which rank owns this connection.
+			m.From = peer
 		}
 		select {
 		case t.inbox <- m:
@@ -315,7 +597,11 @@ func (t *TCP) signalClosed() {
 		for _, c := range t.conns {
 			c.Close()
 		}
+		ln := t.ln
 		t.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
 	})
 }
 
@@ -332,6 +618,9 @@ func (t *TCP) Send(ctx context.Context, to int, msg Message) error {
 	conn := t.conns[to]
 	t.mu.Unlock()
 	if conn == nil {
+		if t.rank == 0 && to > 0 && to < t.world {
+			return fmt.Errorf("dist: rank %d is not connected", to)
+		}
 		return fmt.Errorf("dist: rank %d has no connection to %d (star topology: talk to rank 0)", t.rank, to)
 	}
 	if dl, ok := ctx.Deadline(); ok {

@@ -58,6 +58,9 @@ func (r *Recorder) WriteMetrics(w io.Writer) {
 	counter("pccheck_transient_faults_total", "Transient device faults observed on the persist path.", s.TransientFaults)
 	counter("pccheck_injected_faults_total", "Faults fired by fault-injection devices.", s.InjectedFaults)
 	counter("pccheck_slot_waits_total", "Saves that had to wait for a free slot.", s.SlotWaits)
+	counter("pccheck_rank_deaths_total", "Workers declared dead by the distributed failure detector.", s.RankDeaths)
+	counter("pccheck_rank_rejoins_total", "Previously dead workers that re-attached to the group.", s.RankRejoins)
+	counter("pccheck_dropped_frames_total", "Coordination frames discarded by protocol validation.", s.DroppedFrames)
 	counter("pccheck_bytes_written_total", "Published checkpoint payload bytes.", s.BytesWritten)
 	counter("pccheck_trace_dropped_events_total", "Flight-recorder events dropped (ring full).", s.DroppedEvents)
 	fmt.Fprintf(w, "# HELP pccheck_flight_ring_occupancy Flight-recorder ring entries currently buffered (drop pressure precursor; capacity %d).\n", s.RingCapacity)

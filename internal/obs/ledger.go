@@ -150,6 +150,9 @@ type Ledger struct {
 	ranks          [MaxLedgerRanks]ledgerRank
 	maxRank        atomic.Int64 // highest rank attributed, -1 when none
 	droppedRankEvs atomic.Uint64
+	rankDeaths     atomic.Uint64
+	rankRejoins    atomic.Uint64
+	deadRanks      atomic.Int64 // currently-dead gauge (deaths − rejoins)
 
 	// Iteration-side state: fed by the training loop (IterDone, DrainDone),
 	// guarded by mu — these run once per iteration, off the persist path.
@@ -251,6 +254,14 @@ func (l *Ledger) Emit(ev Event) {
 			if ev.Value > 0 {
 				c.gateIDGap.Add(uint64(ev.Value))
 			}
+		}
+	case PhaseRankDead:
+		l.rankDeaths.Add(1)
+		l.deadRanks.Add(1)
+	case PhaseRankRejoined:
+		l.rankRejoins.Add(1)
+		if l.deadRanks.Add(-1) < 0 {
+			l.deadRanks.Add(1) // rejoin without a recorded death; clamp at 0
 		}
 	}
 	if l.next != nil {
@@ -467,6 +478,14 @@ type GoodputReport struct {
 	// Stragglers is the per-rank agree table, worst gate lag first.
 	Stragglers        []RankAgreeStats `json:"stragglers,omitempty"`
 	DroppedRankEvents uint64           `json:"dropped_rank_events,omitempty"`
+
+	// Distributed fault-tolerance view (rank 0's failure detector):
+	// cumulative death/rejoin transitions and the currently-dead gauge.
+	// Nonzero DeadRanks with a nonzero GoodputRatio is the degraded-mode
+	// signature — the group is committing without a rank.
+	RankDeaths  uint64 `json:"rank_deaths,omitempty"`
+	RankRejoins uint64 `json:"rank_rejoins,omitempty"`
+	DeadRanks   int64  `json:"dead_ranks,omitempty"`
 }
 
 // Stall returns the bucket's attributed seconds.
@@ -578,6 +597,12 @@ func (l *Ledger) Report() GoodputReport {
 		return a.GateLagSeconds > b.GateLagSeconds
 	})
 	rep.DroppedRankEvents = l.droppedRankEvs.Load()
+	rep.RankDeaths = l.rankDeaths.Load()
+	rep.RankRejoins = l.rankRejoins.Load()
+	rep.DeadRanks = l.deadRanks.Load()
+	if rep.DeadRanks < 0 {
+		rep.DeadRanks = 0
+	}
 	return rep
 }
 
@@ -619,6 +644,10 @@ func FormatReport(w io.Writer, rep GoodputReport) {
 			s.Rank, s.GatedRounds, s.GateLagSeconds, s.GateIDGapTotal,
 			s.Rounds, s.AgreeSeconds, s.MaxAgreeSeconds, s.PublishLagTotal)
 	}
+	if rep.RankDeaths > 0 || rep.RankRejoins > 0 {
+		fmt.Fprintf(w, "failures  %d rank death(s), %d rejoin(s), %d currently dead\n",
+			rep.RankDeaths, rep.RankRejoins, rep.DeadRanks)
+	}
 }
 
 // WriteMetrics renders the ledger as Prometheus text exposition — the
@@ -632,6 +661,11 @@ func (l *Ledger) WriteMetrics(w io.Writer) {
 	gauge("pccheck_observed_slowdown", "Block-EWMA training slowdown vs the no-checkpoint baseline.", rep.ObservedSlowdown)
 	gauge("pccheck_slowdown_budget", "Configured max-slowdown budget q (0 = untracked).", rep.SlowdownBudget)
 	gauge("pccheck_checkpoint_staleness_seconds", "Age of the newest durable checkpoint (wasted-work bound).", rep.StalenessSeconds)
+	gauge("pccheck_dead_ranks", "Workers currently declared dead by the failure detector.", float64(rep.DeadRanks))
+	fmt.Fprintf(w, "# HELP pccheck_ledger_rank_deaths_total Rank-dead transitions seen by the goodput ledger.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_ledger_rank_deaths_total counter\npccheck_ledger_rank_deaths_total %d\n", rep.RankDeaths)
+	fmt.Fprintf(w, "# HELP pccheck_ledger_rank_rejoins_total Rank-rejoined transitions seen by the goodput ledger.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_ledger_rank_rejoins_total counter\npccheck_ledger_rank_rejoins_total %d\n", rep.RankRejoins)
 	fmt.Fprintf(w, "# HELP pccheck_slowdown_budget_breaches_total EWMA slowdown excursions above the budget q.\n")
 	fmt.Fprintf(w, "# TYPE pccheck_slowdown_budget_breaches_total counter\npccheck_slowdown_budget_breaches_total %d\n", rep.BudgetBreaches)
 	fmt.Fprintf(w, "# HELP pccheck_iterations_total Training iterations recorded by the goodput ledger.\n")

@@ -94,6 +94,18 @@ const (
 	// the spread between the first and last report arrival, Value the ID
 	// gap between the freshest and oldest report, Counter the agreed ID.
 	PhaseAgreeGate
+	// PhaseRankDead marks rank 0 declaring a worker dead (instant): no
+	// heartbeat, conn loss, or a commit-deadline expiry. Rank is the dead
+	// worker, Value the detection cause (see dist.DeadCause*).
+	PhaseRankDead
+	// PhaseRankRejoined marks a previously dead worker re-attaching to the
+	// group (instant); Rank is the worker, Counter the consistent ID it
+	// was resynced to.
+	PhaseRankRejoined
+	// PhaseFrameDropped marks a coordination frame discarded by protocol
+	// validation — out-of-range rank, stale or duplicated round, unknown
+	// kind (instant). Rank is the claimed sender, Value the reason code.
+	PhaseFrameDropped
 
 	// PhaseCount is the number of defined phases.
 	PhaseCount
@@ -103,7 +115,8 @@ var phaseNames = [PhaseCount]string{
 	"save", "slot-wait", "copy", "chunk-wait", "persist", "sync",
 	"header", "barrier", "publish", "obsolete", "cas-retry", "io-retry",
 	"fault", "fault-injected", "snapshot", "retune", "agree",
-	"save-failed", "agree-gate",
+	"save-failed", "agree-gate", "rank-dead", "rank-rejoined",
+	"frame-dropped",
 }
 
 // String returns the phase's canonical hyphenated name.
@@ -178,6 +191,9 @@ type Recorder struct {
 	faults      atomic.Uint64
 	injected    atomic.Uint64
 	slotWaits   atomic.Uint64
+	rankDeaths  atomic.Uint64
+	rankRejoins atomic.Uint64
+	badFrames   atomic.Uint64
 	bytes       atomic.Int64
 }
 
@@ -224,6 +240,12 @@ func (r *Recorder) Emit(ev Event) {
 		r.faults.Add(1)
 	case PhaseFaultInjected:
 		r.injected.Add(1)
+	case PhaseRankDead:
+		r.rankDeaths.Add(1)
+	case PhaseRankRejoined:
+		r.rankRejoins.Add(1)
+	case PhaseFrameDropped:
+		r.badFrames.Add(1)
 	case PhaseSlotWait:
 		if ev.Value != 0 {
 			r.slotWaits.Add(1)
@@ -274,6 +296,12 @@ type Snapshot struct {
 	InjectedFaults  uint64
 	// SlotWaits counts saves that had to wait for a free slot.
 	SlotWaits uint64
+	// RankDeaths / RankRejoins count distributed failure-detector
+	// transitions seen by rank 0's coordinator; DroppedFrames counts
+	// coordination frames discarded by protocol validation.
+	RankDeaths    uint64
+	RankRejoins   uint64
+	DroppedFrames uint64
 	// BytesWritten is the published payload volume.
 	BytesWritten int64
 	// DroppedEvents counts ring overwrites (oldest-event drops).
@@ -309,6 +337,9 @@ func (r *Recorder) Snapshot() Snapshot {
 		TransientFaults: r.faults.Load(),
 		InjectedFaults:  r.injected.Load(),
 		SlotWaits:       r.slotWaits.Load(),
+		RankDeaths:      r.rankDeaths.Load(),
+		RankRejoins:     r.rankRejoins.Load(),
+		DroppedFrames:   r.badFrames.Load(),
 		BytesWritten:    r.bytes.Load(),
 		DroppedEvents:   r.ring.dropped.Load(),
 		RingOccupancy:   r.ring.len(),

@@ -51,6 +51,9 @@ const (
 	PhaseAgree         = obs.PhaseAgree         // distributed commit round
 	PhaseSaveFailed    = obs.PhaseSaveFailed    // a Save returned an error after starting
 	PhaseAgreeGate     = obs.PhaseAgreeGate     // rank 0's per-round straggler record
+	PhaseRankDead      = obs.PhaseRankDead      // rank 0 declared a rank dead (Value = cause)
+	PhaseRankRejoined  = obs.PhaseRankRejoined  // a dead rank came back / resynced
+	PhaseFrameDropped  = obs.PhaseFrameDropped  // a malformed or stale frame was discarded
 )
 
 // Recorder is the built-in Observer: a bounded lock-free event ring
