@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-json metrics-lint fmt-check staticcheck trace-smoke
+.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-delta bench-json metrics-lint fmt-check staticcheck trace-smoke
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,18 @@ bench-crash:
 bench-chaos:
 	$(GO) run ./cmd/pccheck-disttrain -chaos -chaos-seed 7
 
-# Goodput benchmark with the ledger attached; exports the machine-readable
-# report (goodput ratio, stall attribution, slowdown vs budget) as JSON for
-# run-to-run comparison — CI uploads it as a build artifact.
+# Delta-checkpoint sweep: full vs delta bytes persisted across the sparse
+# update pattern zoo, with recovery equivalence checked per pattern. Exits
+# non-zero if any pattern's recovery diverges.
+bench-delta:
+	$(GO) run ./cmd/pccheck-bench -delta
+
+# Benchmarks with machine-readable exports for run-to-run comparison — CI
+# uploads the BENCH_*.json files as build artifacts (goodput ratio, stall
+# attribution, slowdown vs budget; per-pattern delta reduction).
 bench-json:
 	$(GO) run ./cmd/pccheck-bench -goodput -json BENCH_goodput.json
+	$(GO) run ./cmd/pccheck-bench -delta -json BENCH_delta.json
 
 # Strict Prometheus text-exposition lint of everything /metrics serves
 # (recorder + goodput ledger), via a self-contained in-process endpoint.

@@ -23,6 +23,12 @@ import (
 // so that the checkpointing overhead tracks the target q even as iteration
 // times drift (input pipeline contention, activation offload) or the device
 // slows under external load.
+//
+// Delta checkpointing (Config.Delta) folds in automatically: Tw is
+// measured from completed Saves, so when deltas shrink the bytes persisted
+// per save, the observed Tw drops and Eq. (3) re-derives a proportionally
+// higher checkpoint frequency — the §3.4 model sees the effective
+// bytes-per-save, not the logical checkpoint size.
 type AdaptiveLoop struct {
 	ck       *Checkpointer
 	snapshot func() []byte

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"pccheck"
+	"pccheck/internal/workload"
+)
+
+// deltaConfig parameterizes the -delta mode: for each sparse update pattern,
+// the same deterministic mutation sequence is checkpointed twice — once with
+// full checkpoints, once with delta mode on — and the bytes-persisted
+// reduction, save kinds, and recovery equivalence are reported side by side.
+type deltaConfig struct {
+	iters    int    // checkpoints per run
+	keyframe int    // Delta.Keyframe K (keyframe every K deltas)
+	pattern  string // one pattern name, or "" for the whole SparseZoo
+	stateB   int64  // checkpointable state size
+	seed     int64  // rng seed for the mutation sequence
+	jsonOut  string // write the machine-readable summary here ("" = off)
+}
+
+// deltaPatternResult is one pattern's row in the BENCH_delta.json output.
+type deltaPatternResult struct {
+	Pattern       string  `json:"pattern"`
+	DirtyFraction float64 `json:"dirty_fraction"`
+	Ranges        int     `json:"ranges"`
+	LogicalBytes  int64   `json:"logical_bytes"`
+	FullPersisted int64   `json:"full_bytes_persisted"`
+	DeltaBytes    int64   `json:"delta_bytes_persisted"`
+	Reduction     float64 `json:"reduction"`
+	DeltaSaves    int64   `json:"delta_saves"`
+	KeyframeSaves int64   `json:"keyframe_saves"`
+	RecoveredOK   bool    `json:"recovered_ok"`
+}
+
+// deltaBenchJSON is the BENCH_delta.json shape.
+type deltaBenchJSON struct {
+	Bench  string `json:"bench"`
+	Config struct {
+		Iterations int   `json:"iterations"`
+		Keyframe   int   `json:"keyframe"`
+		StateBytes int64 `json:"state_bytes"`
+		Seed       int64 `json:"seed"`
+	} `json:"config"`
+	Patterns []deltaPatternResult `json:"patterns"`
+}
+
+// runDeltaOnce drives one checkpointer through the pattern's mutation
+// sequence, saving synchronously from the driver goroutine (the tracker's
+// coherence contract: marks must come from the same serialization domain as
+// the saves). It returns the stats and the final recovered payload.
+func runDeltaOnce(cfg deltaConfig, p workload.SparsePattern, delta bool) (pccheck.Stats, []byte, []byte, error) {
+	ck, _, err := pccheck.CreateVolatile(pccheck.Config{
+		MaxBytes:   cfg.stateB,
+		Concurrent: 1,
+		Delta: func() pccheck.DeltaConfig {
+			if delta {
+				return pccheck.DeltaConfig{Every: 1, Keyframe: cfg.keyframe}
+			}
+			return pccheck.DeltaConfig{}
+		}(),
+	})
+	if err != nil {
+		return pccheck.Stats{}, nil, nil, err
+	}
+	defer ck.Close()
+
+	// Both runs replay the identical mutation sequence: same seed, same
+	// rnd stream, same state evolution.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	rnd := func(n int) int { return rng.Intn(n) }
+	state := make([]byte, cfg.stateB)
+	rng.Read(state)
+
+	var tracker *pccheck.DirtyTracker
+	if delta {
+		tracker = ck.DirtyTracker()
+	}
+	for it := 0; it < cfg.iters; it++ {
+		ranges := p.Mutate(state, rnd)
+		if tracker != nil {
+			for _, r := range ranges {
+				tracker.MarkRange(r[0], r[1])
+			}
+		}
+		if _, err := ck.Save(context.Background(), state); err != nil {
+			return pccheck.Stats{}, nil, nil, fmt.Errorf("save %d: %w", it, err)
+		}
+	}
+	got, _, err := ck.LoadLatest()
+	if err != nil {
+		return pccheck.Stats{}, nil, nil, fmt.Errorf("load latest: %w", err)
+	}
+	return ck.Stats(), got, state, nil
+}
+
+// runDelta compares full vs delta checkpointing over the sparse workload zoo
+// and prints (and optionally exports) the per-pattern reduction table.
+func runDelta(w io.Writer, cfg deltaConfig) error {
+	patterns := workload.SparseZoo
+	if cfg.pattern != "" {
+		p, err := workload.SparseByName(cfg.pattern)
+		if err != nil {
+			return err
+		}
+		patterns = []workload.SparsePattern{p}
+	}
+
+	fmt.Fprintf(w, "delta scenario: %d checkpoints × %d-byte state, keyframe every %d deltas (seed %d)\n\n",
+		cfg.iters, cfg.stateB, cfg.keyframe, cfg.seed)
+	fmt.Fprintf(w, "%-18s %8s %8s %12s %12s %8s %7s %5s %s\n",
+		"pattern", "dirty", "ranges", "full B", "delta B", "reduce", "deltas", "keys", "recover")
+
+	var out deltaBenchJSON
+	out.Bench = "delta"
+	out.Config.Iterations = cfg.iters
+	out.Config.Keyframe = cfg.keyframe
+	out.Config.StateBytes = cfg.stateB
+	out.Config.Seed = cfg.seed
+
+	for _, p := range patterns {
+		fullStats, fullGot, fullWant, err := runDeltaOnce(cfg, p, false)
+		if err != nil {
+			return fmt.Errorf("pattern %s (full): %w", p.Name, err)
+		}
+		if !bytes.Equal(fullGot, fullWant) {
+			return fmt.Errorf("pattern %s: full-checkpoint recovery diverged from final state", p.Name)
+		}
+		deltaStats, got, want, err := runDeltaOnce(cfg, p, true)
+		if err != nil {
+			return fmt.Errorf("pattern %s (delta): %w", p.Name, err)
+		}
+		ok := bytes.Equal(got, want)
+
+		res := deltaPatternResult{
+			Pattern:       p.Name,
+			DirtyFraction: p.DirtyFraction,
+			Ranges:        p.Ranges,
+			LogicalBytes:  deltaStats.BytesWritten,
+			FullPersisted: fullStats.BytesPersisted,
+			DeltaBytes:    deltaStats.BytesPersisted,
+			DeltaSaves:    deltaStats.DeltaSaves,
+			KeyframeSaves: deltaStats.KeyframeSaves,
+			RecoveredOK:   ok,
+		}
+		if res.DeltaBytes > 0 {
+			res.Reduction = float64(res.FullPersisted) / float64(res.DeltaBytes)
+		}
+		out.Patterns = append(out.Patterns, res)
+
+		recov := "OK"
+		if !ok {
+			recov = "DIVERGED"
+		}
+		fmt.Fprintf(w, "%-18s %7.0f%% %8d %12d %12d %7.1f× %7d %5d %s\n",
+			p.Name, p.DirtyFraction*100, p.Ranges,
+			res.FullPersisted, res.DeltaBytes, res.Reduction,
+			res.DeltaSaves, res.KeyframeSaves, recov)
+		if !ok {
+			return fmt.Errorf("pattern %s: delta recovery diverged from final state", p.Name)
+		}
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "full B / delta B: bytes persisted to the device across the run; reduce = full/delta.")
+
+	if cfg.jsonOut != "" {
+		f, err := os.Create(cfg.jsonOut)
+		if err != nil {
+			return fmt.Errorf("json out: %w", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			f.Close()
+			return fmt.Errorf("json out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("json out: %w", err)
+		}
+		fmt.Fprintf(w, "json      wrote %s\n", cfg.jsonOut)
+	}
+	return nil
+}

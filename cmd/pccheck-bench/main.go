@@ -10,6 +10,7 @@
 //	pccheck-bench -table 1
 //	pccheck-bench -faults                       # fault-injection scenario
 //	pccheck-bench -crash                        # crash-point exploration sweep
+//	pccheck-bench -delta                        # full vs delta bytes-persisted sweep
 package main
 
 import (
@@ -47,9 +48,32 @@ func main() {
 		goodputIters    = flag.Int("goodput-iters", 300, "with -goodput: training iterations")
 		goodputInterval = flag.Int("goodput-interval", 10, "with -goodput: checkpoint every f iterations")
 		goodputQ        = flag.Float64("goodput-q", 1.25, "with -goodput: slowdown budget q")
-		jsonOut         = flag.String("json", "", "with -goodput: write the machine-readable summary (BENCH_*.json shape) to this path")
+		jsonOut         = flag.String("json", "", "with -goodput or -delta: write the machine-readable summary (BENCH_*.json shape) to this path")
+
+		delta         = flag.Bool("delta", false, "run the delta-checkpoint scenario: full vs delta bytes persisted per sparse update pattern")
+		deltaIters    = flag.Int("delta-iters", 120, "with -delta: checkpoints per run")
+		deltaKeyframe = flag.Int("delta-keyframe", 10, "with -delta: full keyframe every K deltas")
+		deltaPattern  = flag.String("delta-pattern", "", "with -delta: run one sparse pattern by name (default: the whole zoo)")
+		deltaState    = flag.Int64("delta-state", 256<<10, "with -delta: checkpointable state bytes")
+		deltaSeed     = flag.Int64("delta-seed", 1, "with -delta: rng seed for the mutation sequence")
 	)
 	flag.Parse()
+
+	if *delta {
+		err := runDelta(os.Stdout, deltaConfig{
+			iters:    *deltaIters,
+			keyframe: *deltaKeyframe,
+			pattern:  *deltaPattern,
+			stateB:   *deltaState,
+			seed:     *deltaSeed,
+			jsonOut:  *jsonOut,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench: DELTA SCENARIO FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *goodput {
 		err := runGoodput(os.Stdout, goodputConfig{

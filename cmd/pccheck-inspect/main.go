@@ -1,10 +1,16 @@
 // Command pccheck-inspect dumps a checkpoint file's on-disk structures —
 // superblock geometry, both pointer records, each slot's header (optionally
-// verifying payload checksums), and any pending recovery cursor — without
-// modifying anything. The ops tool for "what exactly is on this device?".
+// verifying payload checksums), the keyframe→delta chain on delta-formatted
+// devices, and any pending recovery cursor — without modifying anything.
+// The ops tool for "what exactly is on this device?".
 //
 //	pccheck-inspect /mnt/ssd/ckpt.pcc
 //	pccheck-inspect -verify /mnt/ssd/ckpt.pcc
+//
+// Exit status: 0 healthy, 1 read/decode failure, 2 usage, 3 the device
+// renders but is unhealthy (a pointer record recovery rejects, or a
+// published/chain payload fails its checksum) — so scripts and monitors can
+// alert on corruption without parsing the output.
 package main
 
 import (
@@ -35,8 +41,20 @@ func main() {
 		fail("%v", err)
 	}
 
-	fmt.Printf("%s: %d slots × %s (N = %d concurrent checkpoints, format epoch %d)\n",
-		path, rep.Slots, cliutil.FormatBytes(rep.SlotBytes), rep.Slots-1, rep.Epoch)
+	render(path, rep)
+	if !rep.Healthy() {
+		fmt.Fprintln(os.Stderr, "pccheck-inspect: device is UNHEALTHY (see above)")
+		os.Exit(3)
+	}
+}
+
+func render(path string, rep core.Report) {
+	mode := ""
+	if rep.DeltaKeyframe > 0 {
+		mode = fmt.Sprintf(", delta mode K=%d", rep.DeltaKeyframe)
+	}
+	fmt.Printf("%s: %d slots × %s (N = %d concurrent checkpoints, format epoch %d%s)\n",
+		path, rep.Slots, cliutil.FormatBytes(rep.SlotBytes), rep.Slots-1-rep.DeltaKeyframe, rep.Epoch, mode)
 
 	for i, r := range rep.Records {
 		name := string(rune('A' + i))
@@ -47,15 +65,34 @@ func main() {
 		fmt.Printf("  record %s: checkpoint %d → slot %d (%s)\n", name, r.Counter, r.Slot, cliutil.FormatBytes(r.Size))
 	}
 	if rep.Recoverable {
-		fmt.Printf("  recoverable: checkpoint %d in slot %d (%s)\n",
-			rep.Latest.Counter, rep.Latest.Slot, cliutil.FormatBytes(rep.Latest.Size))
+		logical := ""
+		if rep.LatestFullSize != rep.Latest.Size {
+			logical = fmt.Sprintf(", %s reconstructed", cliutil.FormatBytes(rep.LatestFullSize))
+		}
+		fmt.Printf("  recoverable: checkpoint %d in slot %d (%s%s)\n",
+			rep.Latest.Counter, rep.Latest.Slot, cliutil.FormatBytes(rep.Latest.Size), logical)
 	} else {
 		fmt.Println("  recoverable: none")
+		if rep.Records[0].Valid || rep.Records[1].Valid {
+			fmt.Println("  WARNING: a pointer record claims a checkpoint recovery cannot serve")
+		}
+	}
+	if len(rep.Chain) > 0 {
+		fmt.Printf("  chain: %d link(s), keyframe %d", len(rep.Chain), rep.Chain[0].Counter)
+		for _, l := range rep.Chain[1:] {
+			fmt.Printf(" → +%d", l.Counter)
+		}
+		fmt.Println()
 	}
 	for _, s := range rep.SlotInfos {
 		status := "empty/invalid header"
 		if s.HeaderValid {
 			status = fmt.Sprintf("checkpoint %d, %s", s.Counter, cliutil.FormatBytes(s.Size))
+			if s.Kind == 1 {
+				status += fmt.Sprintf(", delta base=%d (%s full)", s.BaseCounter, cliutil.FormatBytes(s.FullSize))
+			} else if rep.DeltaKeyframe > 0 {
+				status += ", keyframe"
+			}
 			if s.EpochStale {
 				status += fmt.Sprintf(", STALE (format epoch %d)", s.Epoch)
 			}
@@ -71,6 +108,9 @@ func main() {
 			}
 		}
 		marker := " "
+		if s.InChain {
+			marker = "+"
+		}
 		if s.Published {
 			marker = "*"
 		}

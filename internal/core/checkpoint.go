@@ -94,6 +94,22 @@ type Checkpointer struct {
 	// predictable branch and no clock reads or allocations.
 	obsv obs.Observer
 
+	// Delta-mode state (sb.deltaKeyframe > 0), all under deltaMu: saves are
+	// serialized because each delta is diffed against the save before it.
+	// chain holds the pinned keyframe→delta slots, keyframe first, with the
+	// tip also published through checkAddr; those slots stay out of the
+	// free queue until the next keyframe supersedes the whole chain. hashes
+	// is the per-chunk hash state of the tip (nil forces the next save to
+	// be a keyframe, e.g. right after Open), lastSize the tip's logical
+	// size, saveSeq the DeltaEvery cadence counter.
+	deltaMu     sync.Mutex
+	chain       []checkMeta
+	deltasSince int
+	hashes      []uint64
+	lastSize    int64
+	saveSeq     uint64
+	tracker     *DirtyTracker
+
 	stats Stats
 }
 
@@ -126,12 +142,12 @@ func (c *Checkpointer) span(phase obs.Phase, ts int64, counter uint64, slot int,
 }
 
 // instant emits a point event.
-func (c *Checkpointer) instant(phase obs.Phase, counter uint64, slot int, bytes int64) {
+func (c *Checkpointer) instant(phase obs.Phase, counter uint64, slot int, bytes, value int64) {
 	if c.obsv == nil {
 		return
 	}
 	c.obsv.Emit(obs.Event{
-		TS: time.Now().UnixNano(), Counter: counter, Bytes: bytes,
+		TS: time.Now().UnixNano(), Counter: counter, Bytes: bytes, Value: value,
 		Phase: phase, Slot: int32(slot), Writer: -1, Rank: -1,
 	})
 }
@@ -143,8 +159,14 @@ type Stats struct {
 	// CASRetries counts publish CAS attempts retried against older
 	// registered values — contention on CHECK_ADDR, a different signal
 	// from IORetries (device faults absorbed by the retry policy).
-	CASRetries      atomic.Int64
+	CASRetries atomic.Int64
+	// BytesWritten counts logical checkpoint bytes (payload sizes);
+	// BytesPersisted counts what actually hit the device — equal for full
+	// checkpoints, smaller for deltas. Persisted/written is the delta ratio.
 	BytesWritten    atomic.Int64
+	BytesPersisted  atomic.Int64
+	DeltaSaves      atomic.Int64 // published checkpoints stored as delta records
+	KeyframeSaves   atomic.Int64 // published full checkpoints in delta mode
 	PersistNanos    atomic.Int64 // total wall time inside Checkpoint
 	SlotWaits       atomic.Int64 // times a checkpoint had to wait for a slot
 	TransientFaults atomic.Int64 // transient device faults absorbed on the persist path
@@ -158,6 +180,9 @@ type StatsSnapshot struct {
 	Obsolete        int64
 	CASRetries      int64
 	BytesWritten    int64
+	BytesPersisted  int64
+	DeltaSaves      int64
+	KeyframeSaves   int64
 	Persist         time.Duration
 	SlotWaits       int64
 	TransientFaults int64
@@ -172,6 +197,9 @@ func (c *Checkpointer) Stats() StatsSnapshot {
 		Obsolete:        c.stats.Obsolete.Load(),
 		CASRetries:      c.stats.CASRetries.Load(),
 		BytesWritten:    c.stats.BytesWritten.Load(),
+		BytesPersisted:  c.stats.BytesPersisted.Load(),
+		DeltaSaves:      c.stats.DeltaSaves.Load(),
+		KeyframeSaves:   c.stats.KeyframeSaves.Load(),
 		Persist:         time.Duration(c.stats.PersistNanos.Load()),
 		SlotWaits:       c.stats.SlotWaits.Load(),
 		TransientFaults: c.stats.TransientFaults.Load(),
@@ -188,12 +216,17 @@ func New(dev storage.Device, cfg Config) (*Checkpointer, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	need := DeviceBytes(cfg.Concurrent, cfg.SlotBytes)
+	need := DeviceBytesFor(cfg)
 	if dev.Size() < need {
-		return nil, fmt.Errorf("core: device holds %d bytes, need %d for N=%d, m=%d",
-			dev.Size(), need, cfg.Concurrent, cfg.SlotBytes)
+		return nil, fmt.Errorf("core: device holds %d bytes, need %d for N=%d, m=%d, K=%d",
+			dev.Size(), need, cfg.Concurrent, cfg.SlotBytes, cfg.DeltaKeyframe)
 	}
-	sb := superblock{slots: cfg.Concurrent + 1, slotBytes: cfg.SlotBytes, epoch: nextEpoch(dev)}
+	sb := superblock{
+		slots:         cfg.Concurrent + 1 + cfg.DeltaKeyframe,
+		slotBytes:     cfg.SlotBytes,
+		epoch:         nextEpoch(dev),
+		deltaKeyframe: cfg.DeltaKeyframe,
+	}
 	// The new-epoch superblock goes durable FIRST: from that instant every
 	// slot header still on the device carries a stale epoch and is rejected
 	// by recovery, so neither a completed reformat nor a crash mid-format
@@ -243,7 +276,10 @@ func Open(dev storage.Device, cfg Config) (*Checkpointer, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg.Concurrent = sb.slots - 1
+	// Geometry comes from the superblock, not the caller: a delta-formatted
+	// device reserves K of its slots for the pinned chain.
+	cfg.DeltaKeyframe = sb.deltaKeyframe
+	cfg.Concurrent = sb.slots - 1 - sb.deltaKeyframe
 	cfg.SlotBytes = sb.slotBytes
 	cfg = cfg.withDefaults()
 	latest, loc, err := recoverPointer(dev, sb)
@@ -268,11 +304,33 @@ func attach(dev storage.Device, cfg Config, sb superblock, latest *checkMeta, la
 		obsv:      cfg.Observer,
 	}
 	c.perWriterBW.Store(math.Float64bits(cfg.PerWriterBW))
-	for i := 0; i < sb.slots; i++ {
-		if latest != nil && i == latest.slot {
-			continue // the published slot is never free (§4.1 invariant)
+	pinned := make(map[int]bool)
+	if latest != nil {
+		pinned[latest.slot] = true // the published slot is never free (§4.1 invariant)
+		if sb.deltaKeyframe > 0 {
+			// Rebuild the keyframe→delta chain the recovered tip sits on;
+			// recoverPointer already validated it, so a failure here is real
+			// on-device damage. Every chain slot stays out of the free queue.
+			chain, err := chainMetas(dev, sb, *latest)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range chain {
+				pinned[m.slot] = true
+			}
+			c.chain = chain
+			c.deltasSince = len(chain) - 1
 		}
-		c.freeSpace.Enq(i)
+	}
+	for i := 0; i < sb.slots; i++ {
+		if !pinned[i] {
+			c.freeSpace.Enq(i)
+		}
+	}
+	if sb.deltaKeyframe > 0 {
+		// hashes stays nil: the first save after attach is always a keyframe
+		// (there is no in-memory hash state to diff against).
+		c.tracker = &DirtyTracker{}
 	}
 	if latest != nil {
 		c.checkAddr.Store(latest)
@@ -322,6 +380,9 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	if size > c.sb.slotBytes {
 		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, size, c.sb.slotBytes)
 	}
+	if c.sb.deltaKeyframe > 0 {
+		return c.checkpointDelta(ctx, src)
+	}
 	start := time.Now()
 	obsStart := c.obsNow()
 
@@ -336,7 +397,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	slot, waited, err := c.acquireSlot(ctx)
 	if err != nil {
 		c.stats.FailedSaves.Add(1)
-		c.instant(obs.PhaseSaveFailed, counter, -1, 0)
+		c.instant(obs.PhaseSaveFailed, counter, -1, 0, 0)
 		return 0, err
 	}
 	if waited {
@@ -389,13 +450,14 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 			}
 			if err != nil {
 				c.stats.FailedSaves.Add(1)
-				c.instant(obs.PhaseSaveFailed, counter, slot, 0)
+				c.instant(obs.PhaseSaveFailed, counter, slot, 0, 0)
 				return 0, err
 			}
 			c.stats.Checkpoints.Add(1)
 			c.stats.BytesWritten.Add(size)
+			c.stats.BytesPersisted.Add(size)
 			c.stats.PersistNanos.Add(int64(time.Since(start)))
-			c.instant(obs.PhasePublish, counter, slot, size)
+			c.instant(obs.PhasePublish, counter, slot, size, size)
 			c.span(obs.PhaseSave, obsStart, counter, slot, size, 0)
 			return counter, nil
 		}
@@ -405,7 +467,7 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 			// with the fresher expected value.
 			lastCheck = check
 			c.stats.CASRetries.Add(1)
-			c.instant(obs.PhaseCASRetry, counter, slot, 0)
+			c.instant(obs.PhaseCASRetry, counter, slot, 0, 0)
 			continue
 		}
 		// A more recent checkpoint was registered (lines 29–31): make sure
@@ -416,15 +478,16 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 			// recycle — failing the barrier must not leak it.
 			c.freeSpace.Enq(slot)
 			c.stats.FailedSaves.Add(1)
-			c.instant(obs.PhaseSaveFailed, counter, slot, 0)
+			c.instant(obs.PhaseSaveFailed, counter, slot, 0, 0)
 			return 0, err
 		}
 		c.span(obs.PhaseBarrier, barrierStart, counter, slot, 0, 0)
 		c.freeSpace.Enq(slot)
 		c.stats.Obsolete.Add(1)
 		c.stats.BytesWritten.Add(size)
+		c.stats.BytesPersisted.Add(size)
 		c.stats.PersistNanos.Add(int64(time.Since(start)))
-		c.instant(obs.PhaseObsolete, counter, slot, size)
+		c.instant(obs.PhaseObsolete, counter, slot, size, size)
 		c.span(obs.PhaseSave, obsStart, counter, slot, size, 0)
 		return counter, nil
 	}
@@ -439,7 +502,7 @@ func (c *Checkpointer) failSlot(slot int, counter uint64) {
 	c.slotSeq[slot].Add(1)
 	c.freeSpace.Enq(slot)
 	c.stats.FailedSaves.Add(1)
-	c.instant(obs.PhaseSaveFailed, counter, slot, 0)
+	c.instant(obs.PhaseSaveFailed, counter, slot, 0, 0)
 }
 
 // deferFree parks a slot that the durable pointer record may still
@@ -676,21 +739,37 @@ func (c *Checkpointer) persistRecord(ctx context.Context, meta checkMeta) error 
 }
 
 // FreeSlots reports how many checkpoint slots are currently in the free
-// queue. With no checkpoint in flight it must equal TotalSlots()-1 (the
-// published slot is never free) — the slot-conservation invariant the fault
+// queue. With no checkpoint in flight it must equal
+// TotalSlots()-PinnedSlots() — the slot-conservation invariant the fault
 // tests and the bench's -faults mode check after every failure.
 func (c *Checkpointer) FreeSlots() int { return c.freeSpace.Len() }
 
-// TotalSlots reports the device's slot count, N+1.
+// TotalSlots reports the device's slot count: N+1, plus K in delta mode.
 func (c *Checkpointer) TotalSlots() int { return c.sb.slots }
 
-// Latest returns the newest published checkpoint's counter and size.
+// PinnedSlots reports how many slots are held out of the free queue by
+// published state: the keyframe→delta chain in delta mode, the single
+// published slot otherwise (0 when nothing has been published).
+func (c *Checkpointer) PinnedSlots() int {
+	if c.sb.deltaKeyframe > 0 {
+		c.deltaMu.Lock()
+		defer c.deltaMu.Unlock()
+		return len(c.chain)
+	}
+	if c.checkAddr.Load() != nil {
+		return 1
+	}
+	return 0
+}
+
+// Latest returns the newest published checkpoint's counter and logical
+// (reconstructed) size.
 func (c *Checkpointer) Latest() (counter uint64, size int64, ok bool) {
 	m := c.checkAddr.Load()
 	if m == nil {
 		return 0, 0, false
 	}
-	return m.counter, m.size, true
+	return m.counter, m.logicalSize(), true
 }
 
 // ReadLatest copies the newest published checkpoint's payload into dst and
@@ -701,6 +780,9 @@ func (c *Checkpointer) Latest() (counter uint64, size int64, ok bool) {
 // validates the slot's seqlock and retries with fresh metadata when the
 // contents moved under it.
 func (c *Checkpointer) ReadLatest(dst []byte) (uint64, int64, error) {
+	if c.sb.deltaKeyframe > 0 {
+		return c.readLatestDelta(dst)
+	}
 	for attempt := 0; attempt < 1000; attempt++ {
 		m := c.checkAddr.Load()
 		if m == nil {
@@ -742,6 +824,13 @@ func (c *Checkpointer) ReadLatest(dst []byte) (uint64, int64, error) {
 // slots still holds it (see RecoverVersion). The per-slot seqlock rejects
 // reads torn by a concurrent checkpoint recycling the slot.
 func (c *Checkpointer) ReadVersion(counter uint64) ([]byte, error) {
+	if c.sb.deltaKeyframe > 0 {
+		c.deltaMu.Lock()
+		defer c.deltaMu.Unlock()
+		// Under deltaMu no save is mutating slots, so no seqlock dance: walk
+		// the requested version's chain straight off the device.
+		return recoverVersionDelta(c.dev, c.sb, counter)
+	}
 	for attempt := 0; attempt < 1000; attempt++ {
 		seqs := make([]uint64, len(c.slotSeq))
 		for i := range c.slotSeq {

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"pccheck/internal/storage"
+)
+
+// Chunking edge cases at the delta boundary (the issue's satellite): payload
+// sizes that are not a multiple of ChunkBytes, ChunkBytes larger than the
+// snapshot, ChunkBytes = 0 (unpipelined), and payload sizes that change
+// between saves. Each test checkpoints through the real engine and proves
+// byte-exact recovery — these are the shapes where an off-by-one in the
+// pipeline or in the delta boundary rule silently corrupts the tail.
+
+// saveAndRecover checkpoints p and asserts both Recover and ReadLatest
+// return exactly p.
+func saveAndRecover(t *testing.T, c *Checkpointer, dev storage.Device, p []byte, tag string) {
+	t.Helper()
+	ctr, err := c.Checkpoint(context.Background(), BytesSource(p))
+	if err != nil {
+		t.Fatalf("%s: checkpoint: %v", tag, err)
+	}
+	got, rc, err := Recover(dev)
+	if err != nil {
+		t.Fatalf("%s: recover: %v", tag, err)
+	}
+	if rc != ctr || !bytes.Equal(got, p) {
+		t.Fatalf("%s: recover returned counter %d (want %d), %d bytes (want %d), equal=%v",
+			tag, rc, ctr, len(got), len(p), bytes.Equal(got, p))
+	}
+	dst := make([]byte, len(p)+16)
+	_, n, err := c.ReadLatest(dst)
+	if err != nil {
+		t.Fatalf("%s: ReadLatest: %v", tag, err)
+	}
+	if n != int64(len(p)) || !bytes.Equal(dst[:n], p) {
+		t.Fatalf("%s: ReadLatest returned %d bytes, want %d", tag, n, len(p))
+	}
+}
+
+// TestDeltaTrackerFedSizeChange is the regression for the delta boundary
+// rule: a tracker-fed trainer grows and shrinks its payload WITHOUT marking
+// the resized tail (no mark can cover bytes the old image didn't have).
+// Without the unconditional tail re-diff in computeDirty, the grown bytes
+// would silently vanish from the delta and recovery would return garbage.
+func TestDeltaTrackerFedSizeChange(t *testing.T) {
+	cfg := Config{Concurrent: 1, SlotBytes: 8192, DeltaEvery: 1, DeltaKeyframe: 8}
+	c, dev := deltaEngine(t, cfg)
+	tr := c.DirtyTracker()
+
+	p := payload(1, 3000)
+	saveAndRecover(t, c, dev, p, "initial")
+
+	// Grow: append 500 bytes; mark only a small interior range, as a real
+	// trainer that resized a tensor but only "touched" one row would.
+	grown := append(append([]byte(nil), p...), payload(2, 500)...)
+	grown[100] ^= 0xff
+	tr.MarkRange(100, 1)
+	saveAndRecover(t, c, dev, grown, "grown")
+
+	// Shrink below the original size. Feed only a one-byte mark so the
+	// engine stays in trusted-marks mode: the boundary rule alone must
+	// carry the reshaped final chunk.
+	shrunk := append([]byte(nil), grown[:2017]...)
+	shrunk[0] ^= 0x1
+	tr.MarkRange(0, 1)
+	saveAndRecover(t, c, dev, shrunk, "shrunk")
+
+	// Grow again across a chunk boundary with an unmarked tail.
+	regrown := append(append([]byte(nil), shrunk...), payload(3, 1111)...)
+	tr.MarkRange(5, 2)
+	regrown[5] ^= 0xff
+	regrown[6] ^= 0xff
+	saveAndRecover(t, c, dev, regrown, "regrown")
+
+	if st := c.Stats(); st.DeltaSaves == 0 {
+		t.Fatal("size-change sequence produced no delta saves — boundary rule untested")
+	}
+}
+
+// TestChunkBytesLargerThanSnapshot: a pipeline chunk bigger than the whole
+// payload must degrade to a single-chunk write, in both plain and delta
+// mode, including payloads of 1 byte.
+func TestChunkBytesLargerThanSnapshot(t *testing.T) {
+	for _, delta := range []bool{false, true} {
+		cfg := Config{Concurrent: 1, SlotBytes: 4096, ChunkBytes: 1 << 16}
+		if delta {
+			cfg.DeltaEvery = 1
+			cfg.DeltaKeyframe = 3
+		}
+		c, dev := deltaEngine(t, cfg)
+		for i, n := range []int{1, 63, 64, 65, 1000} {
+			p := payload(int64(10+i), n)
+			saveAndRecover(t, c, dev, p, "huge-chunk")
+		}
+	}
+}
+
+// TestChunkBytesNonMultiple: payload sizes that leave a short final
+// pipeline chunk, crossed with delta mode (whose own 64-byte-multiple diff
+// granularity never matches ChunkBytes here — the two chunkings must not
+// interfere).
+func TestChunkBytesNonMultiple(t *testing.T) {
+	for _, delta := range []bool{false, true} {
+		cfg := Config{Concurrent: 1, SlotBytes: 8192, ChunkBytes: 96}
+		if delta {
+			cfg.DeltaEvery = 1
+			cfg.DeltaKeyframe = 4
+		}
+		c, dev := deltaEngine(t, cfg)
+		p := sparsePayload(31, 0, 96*40+17) // 17-byte final pipeline chunk
+		for i := 0; i < 6; i++ {
+			if i > 0 {
+				mutateSparse(p, 31, uint64(i))
+			}
+			saveAndRecover(t, c, dev, p, "non-multiple")
+		}
+		if st := c.Stats(); delta && st.DeltaSaves == 0 {
+			t.Fatal("chunked delta run produced no delta saves")
+		}
+	}
+}
+
+// TestUnchunkedDelta: ChunkBytes = 0 writes each record in one unpipelined
+// persist; the delta path must round-trip identically.
+func TestUnchunkedDelta(t *testing.T) {
+	cfg := Config{Concurrent: 1, SlotBytes: 8192, ChunkBytes: 0, DeltaEvery: 1, DeltaKeyframe: 4}
+	c, dev := deltaEngine(t, cfg)
+	p := sparsePayload(57, 0, 5000)
+	for i := 0; i < 7; i++ {
+		if i > 0 {
+			mutateSparse(p, 57, uint64(i))
+		}
+		saveAndRecover(t, c, dev, p, "unchunked-delta")
+	}
+	st := c.Stats()
+	if st.DeltaSaves == 0 || st.KeyframeSaves == 0 {
+		t.Fatalf("want mixed save kinds, got deltas=%d keyframes=%d", st.DeltaSaves, st.KeyframeSaves)
+	}
+}

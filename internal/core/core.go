@@ -105,6 +105,17 @@ type Config struct {
 	// obs.Recorder is. A nil Observer costs one predictable branch per
 	// probe and zero allocations.
 	Observer obs.Observer
+	// DeltaEvery enables incremental checkpointing: every DeltaEvery-th
+	// save is encoded as a delta against the previous checkpoint (1 =
+	// every save, 0 = deltas disabled). Setting it without DeltaKeyframe
+	// selects a keyframe cadence of 8.
+	DeltaEvery int
+	// DeltaKeyframe is K, the maximum run of consecutive deltas before a
+	// full keyframe is forced, bounding recovery to one keyframe plus at
+	// most K delta applications. A positive value formats the device with
+	// K extra slots (the keyframe→delta chain stays pinned on top of the
+	// N+1 working set). Setting it without DeltaEvery selects DeltaEvery=1.
+	DeltaKeyframe int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,7 +128,19 @@ func (c Config) withDefaults() Config {
 	if c.DRAMBudget <= 0 {
 		c.DRAMBudget = 2 * c.SlotBytes
 	}
+	c = c.deltaDefaults()
 	c.Retry = c.Retry.withDefaults()
+	return c
+}
+
+// deltaDefaults normalizes the delta pair: either knob implies the other.
+func (c Config) deltaDefaults() Config {
+	if c.DeltaEvery > 0 && c.DeltaKeyframe <= 0 {
+		c.DeltaKeyframe = 8
+	}
+	if c.DeltaKeyframe > 0 && c.DeltaEvery <= 0 {
+		c.DeltaEvery = 1
+	}
 	return c
 }
 
@@ -127,6 +150,9 @@ func (c Config) validate() error {
 	}
 	if c.SlotBytes <= 0 {
 		return fmt.Errorf("core: slot capacity must be positive, got %d", c.SlotBytes)
+	}
+	if c.DeltaEvery < 0 || c.DeltaKeyframe < 0 {
+		return fmt.Errorf("core: delta knobs must be non-negative, got every=%d keyframe=%d", c.DeltaEvery, c.DeltaKeyframe)
 	}
 	return nil
 }
@@ -147,12 +173,41 @@ func DeviceBytes(concurrent int, slotBytes int64) int64 {
 	return headerSize + int64(concurrent+1)*slotStride(slotBytes)
 }
 
+// DeviceBytesFor returns the device capacity a full Config requires. Delta
+// mode adds K slots on top of the N+1 working set so the pinned
+// keyframe→delta chain never starves concurrent checkpoints of free slots.
+func DeviceBytesFor(cfg Config) int64 {
+	cfg = cfg.deltaDefaults()
+	return headerSize + int64(cfg.Concurrent+1+cfg.DeltaKeyframe)*slotStride(cfg.SlotBytes)
+}
+
+// Slot payload kinds. A delta slot's payload is a delta record (see
+// delta.go) against the checkpoint identified by the header's baseCounter.
+const (
+	slotKindFull  = 0
+	slotKindDelta = 1
+)
+
 // checkMeta mirrors the paper's Check_meta class: which slot holds the data
-// and the checkpoint's global order.
+// and the checkpoint's global order. For delta checkpoints, size is the
+// stored record length; fullSize is the logical payload length after
+// applying the chain.
 type checkMeta struct {
-	slot    int
-	counter uint64
-	size    int64
+	slot     int
+	counter  uint64
+	size     int64
+	kind     uint8
+	base     uint64 // counter of the chain predecessor (delta only)
+	fullSize int64  // logical payload size (delta only)
+}
+
+// logicalSize is the payload length a reader sees: the reconstructed size
+// for deltas, the stored size otherwise.
+func (m checkMeta) logicalSize() int64 {
+	if m.kind == slotKindDelta {
+		return m.fullSize
+	}
+	return m.size
 }
 
 // --- superblock -----------------------------------------------------------
@@ -168,6 +223,11 @@ type superblock struct {
 	// the legacy value of pre-epoch images (headers and superblock agree at
 	// 0, so they keep recovering).
 	epoch uint64
+	// deltaKeyframe is K when the device was formatted for delta
+	// checkpointing (K of the slots are reserved for the pinned chain), 0
+	// for a plain device. Pre-delta images decode as 0, so the format
+	// version is unchanged.
+	deltaKeyframe int
 }
 
 func (sb superblock) encode() []byte {
@@ -177,6 +237,7 @@ func (sb superblock) encode() []byte {
 	binary.LittleEndian.PutUint32(buf[8:], uint32(sb.slots))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(sb.slotBytes))
 	binary.LittleEndian.PutUint64(buf[24:], sb.epoch)
+	binary.LittleEndian.PutUint32(buf[32:], uint32(sb.deltaKeyframe))
 	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
 	return buf
 }
@@ -195,12 +256,16 @@ func decodeSuperblock(buf []byte) (superblock, error) {
 		return superblock{}, fmt.Errorf("core: unsupported format version %d", v)
 	}
 	sb := superblock{
-		slots:     int(binary.LittleEndian.Uint32(buf[8:])),
-		slotBytes: int64(binary.LittleEndian.Uint64(buf[16:])),
-		epoch:     binary.LittleEndian.Uint64(buf[24:]),
+		slots:         int(binary.LittleEndian.Uint32(buf[8:])),
+		slotBytes:     int64(binary.LittleEndian.Uint64(buf[16:])),
+		epoch:         binary.LittleEndian.Uint64(buf[24:]),
+		deltaKeyframe: int(binary.LittleEndian.Uint32(buf[32:])),
 	}
 	if sb.slots < 2 || sb.slotBytes <= 0 {
 		return superblock{}, fmt.Errorf("core: implausible superblock: %d slots of %d bytes", sb.slots, sb.slotBytes)
+	}
+	if sb.deltaKeyframe < 0 || sb.slots-1-sb.deltaKeyframe < 1 {
+		return superblock{}, fmt.Errorf("core: implausible superblock: %d slots with keyframe cadence %d", sb.slots, sb.deltaKeyframe)
 	}
 	return sb, nil
 }
@@ -246,6 +311,12 @@ type slotHeader struct {
 	// epoch is the format generation the header was written under; recovery
 	// only trusts headers whose epoch matches the superblock's.
 	epoch uint64
+	// kind distinguishes full payloads from delta records. Delta headers
+	// also carry the chain predecessor's counter and the logical payload
+	// size. Pre-delta headers decode with zeros, i.e. as full payloads.
+	kind     uint8
+	base     uint64
+	fullSize int64
 }
 
 func encodeSlotHeader(h slotHeader) []byte {
@@ -256,7 +327,10 @@ func encodeSlotHeader(h slotHeader) []byte {
 	if h.hasCRC {
 		buf[20] = 1
 	}
+	buf[21] = h.kind
 	binary.LittleEndian.PutUint64(buf[24:], h.epoch)
+	binary.LittleEndian.PutUint64(buf[32:], h.base)
+	binary.LittleEndian.PutUint64(buf[40:], uint64(h.fullSize))
 	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
 	return buf
 }
@@ -273,7 +347,10 @@ func decodeSlotHeader(buf []byte) (slotHeader, bool) {
 		size:       int64(binary.LittleEndian.Uint64(buf[8:])),
 		payloadCRC: binary.LittleEndian.Uint32(buf[16:]),
 		hasCRC:     buf[20] == 1,
+		kind:       buf[21],
 		epoch:      binary.LittleEndian.Uint64(buf[24:]),
+		base:       binary.LittleEndian.Uint64(buf[32:]),
+		fullSize:   int64(binary.LittleEndian.Uint64(buf[40:])),
 	}, true
 }
 

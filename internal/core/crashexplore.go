@@ -52,10 +52,21 @@ type CrashWorkload struct {
 	// VerifyPayload enables the payload CRC.
 	VerifyPayload bool
 	// Goroutines is how many savers checkpoint concurrently (default N+1,
-	// so slot contention occurs).
+	// so slot contention occurs). Delta workloads force 1: each save is
+	// diffed against the one before it, so the recorded history must be a
+	// single evolving state.
 	Goroutines int
 	// Checkpoints is how many checkpoints each saver runs (default 4).
 	Checkpoints int
+	// DeltaEvery / DeltaKeyframe switch the workload to delta mode (the
+	// engine's Config knobs). The recorded history is then a single sparse
+	// payload evolving step by step, so crash cuts land mid-delta,
+	// mid-keyframe, and across chain boundaries.
+	DeltaEvery    int
+	DeltaKeyframe int
+	// Tracker feeds the engine's DirtyTracker with the exact mutated
+	// ranges (trusted-marks mode); false leaves the content-hash fallback.
+	Tracker bool
 	// Seed drives payload contents and sizes.
 	Seed int64
 }
@@ -70,6 +81,9 @@ func (w CrashWorkload) withDefaults() CrashWorkload {
 	if w.Writers < 1 {
 		w.Writers = 2
 	}
+	if w.DeltaKeyframe > 0 {
+		w.Goroutines = 1
+	}
 	if w.Goroutines < 1 {
 		w.Goroutines = w.Concurrent + 1
 	}
@@ -79,7 +93,7 @@ func (w CrashWorkload) withDefaults() CrashWorkload {
 	return w
 }
 
-// String names the workload in reports: kind/N/chunking/verify.
+// String names the workload in reports: kind/N/chunking/verify[/delta].
 func (w CrashWorkload) String() string {
 	chunk := "unchunked"
 	if w.ChunkBytes > 0 {
@@ -89,7 +103,14 @@ func (w CrashWorkload) String() string {
 	if w.VerifyPayload {
 		verify = "verify=on"
 	}
-	return fmt.Sprintf("%s N=%d %s %s", w.Kind, w.Concurrent, chunk, verify)
+	s := fmt.Sprintf("%s N=%d %s %s", w.Kind, w.Concurrent, chunk, verify)
+	if w.DeltaKeyframe > 0 {
+		s += fmt.Sprintf(" delta=%d/K=%d", w.DeltaEvery, w.DeltaKeyframe)
+		if w.Tracker {
+			s += " tracked"
+		}
+	}
+	return s
 }
 
 // CrashExploreOptions bounds one exploration.
@@ -156,6 +177,80 @@ func checkCrashPayload(p []byte) error {
 	return nil
 }
 
+// sparseMagic tags the sparse payload family used by delta workloads. The
+// high byte makes it impossible to collide with a crashPayload, whose first
+// eight bytes are a seed always < 2^40.
+const sparseMagic = 0xC0DE5EED5EEDC0DE
+
+// sparsePayload builds the self-verifying evolving payload delta workloads
+// checkpoint: magic u64 @0, seed u64 @8, step u64 @16, length u64 @24, then
+// an rng body. Step s is reached by applying mutateSparse s times, so any
+// recovered payload can be regenerated from its embedded fields alone.
+func sparsePayload(seed, step uint64, n int) []byte {
+	if n < 128 {
+		n = 128
+	}
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b, sparseMagic)
+	binary.LittleEndian.PutUint64(b[8:], seed)
+	binary.LittleEndian.PutUint64(b[24:], uint64(n))
+	rng := rand.New(rand.NewSource(int64(seed)))
+	rng.Read(b[32:])
+	for s := uint64(1); s <= step; s++ {
+		mutateSparse(b, seed, s)
+	}
+	return b
+}
+
+// mutateSparse evolves b in place to the given step, touching the step
+// field and a handful of small scattered ranges — the access pattern delta
+// encoding exists for. It returns the exact mutated ranges so tracked
+// workloads can feed them to the DirtyTracker.
+func mutateSparse(b []byte, seed, step uint64) [][2]int64 {
+	binary.LittleEndian.PutUint64(b[16:], step)
+	ranges := [][2]int64{{16, 8}}
+	rng := rand.New(rand.NewSource(int64(seed*1_000_003 + step)))
+	for r := 0; r < 4; r++ {
+		span := 16 + rng.Intn(48)
+		if len(b)-32-span < 1 {
+			continue
+		}
+		off := 32 + rng.Intn(len(b)-32-span)
+		rng.Read(b[off : off+span])
+		ranges = append(ranges, [2]int64{int64(off), int64(span)})
+	}
+	return ranges
+}
+
+// checkSparsePayload validates a sparse payload by regenerating it from its
+// embedded seed, step and length.
+func checkSparsePayload(p []byte) error {
+	if len(p) < 32 {
+		return fmt.Errorf("sparse payload too short: %d bytes", len(p))
+	}
+	seed := binary.LittleEndian.Uint64(p[8:])
+	step := binary.LittleEndian.Uint64(p[16:])
+	n := binary.LittleEndian.Uint64(p[24:])
+	if n != uint64(len(p)) {
+		return fmt.Errorf("sparse payload claims %d bytes, has %d", n, len(p))
+	}
+	if step > 1<<20 {
+		return fmt.Errorf("sparse payload claims implausible step %d", step)
+	}
+	if want := sparsePayload(seed, step, len(p)); !bytes.Equal(p, want) {
+		return fmt.Errorf("sparse payload for seed %d step %d is corrupted", seed, step)
+	}
+	return nil
+}
+
+// checkAnyCrashPayload dispatches on the payload family tag.
+func checkAnyCrashPayload(p []byte) error {
+	if len(p) >= 8 && binary.LittleEndian.Uint64(p) == sparseMagic {
+		return checkSparsePayload(p)
+	}
+	return checkCrashPayload(p)
+}
+
 // ExploreCrashes records one concurrent workload and sweeps simulated power
 // cuts over it. A non-empty Violations list (or a non-nil error for setup
 // failures) means the §4.1 durability invariant does not hold.
@@ -169,21 +264,24 @@ func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
 		opts.ReattachEvery = 8
 	}
 
-	dev := storage.NewCrashDevice(DeviceBytes(w.Concurrent, w.SlotBytes), w.Kind)
-	eng, err := New(dev, Config{
+	cfg := Config{
 		Concurrent:    w.Concurrent,
 		SlotBytes:     w.SlotBytes,
 		Writers:       w.Writers,
 		ChunkBytes:    w.ChunkBytes,
 		VerifyPayload: w.VerifyPayload,
-	})
+		DeltaEvery:    w.DeltaEvery,
+		DeltaKeyframe: w.DeltaKeyframe,
+	}
+	dev := storage.NewCrashDevice(DeviceBytesFor(cfg), w.Kind)
+	eng, err := New(dev, cfg)
 	if err != nil {
 		return res, err
 	}
 
-	// Record phase: Goroutines savers race Checkpoint calls. Each ack is
-	// marked in the journal at a point no earlier than its durable record,
-	// and the payload is remembered for byte-exact comparison.
+	// Record phase. Each ack is marked in the journal at a point no earlier
+	// than its durable record, and the payload is remembered for byte-exact
+	// comparison.
 	var (
 		ackedMu  sync.Mutex
 		acked    = make(map[uint64][]byte)
@@ -191,28 +289,57 @@ func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
 		saveOnce sync.Once
 		wg       sync.WaitGroup
 	)
-	for g := 0; g < w.Goroutines; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(w.Seed + int64(g)*7919))
-			for i := 0; i < w.Checkpoints; i++ {
-				seed := uint64(w.Seed)<<20 + uint64(g)<<10 + uint64(i) + 1
-				n := 16 + rng.Intn(int(w.SlotBytes)-15)
-				p := crashPayload(seed, n)
-				ctr, err := eng.Checkpoint(context.Background(), BytesSource(p))
-				if err != nil {
-					saveOnce.Do(func() { saveErr = fmt.Errorf("saver %d ckpt %d: %w", g, i, err) })
-					return
+	if w.DeltaKeyframe > 0 {
+		// Delta mode: a single sparse payload evolves step by step, so the
+		// journal holds keyframes and deltas interleaved and crash cuts land
+		// mid-delta, mid-keyframe, and across chain boundaries.
+		rng := rand.New(rand.NewSource(w.Seed))
+		pseed := uint64(w.Seed)<<20 + 1
+		n := 1024 + rng.Intn(int(w.SlotBytes)-1024)
+		p := sparsePayload(pseed, 0, n)
+		tracker := eng.DirtyTracker()
+		for i := 0; i < w.Checkpoints; i++ {
+			if i > 0 {
+				ranges := mutateSparse(p, pseed, uint64(i))
+				if w.Tracker {
+					for _, r := range ranges {
+						tracker.MarkRange(r[0], r[1])
+					}
 				}
-				ackedMu.Lock()
-				acked[ctr] = p
-				ackedMu.Unlock()
-				dev.Mark(ctr)
 			}
-		}(g)
+			ctr, err := eng.Checkpoint(context.Background(), BytesSource(p))
+			if err != nil {
+				return res, fmt.Errorf("delta ckpt %d: %w", i, err)
+			}
+			// p mutates in place next iteration — remember a copy.
+			acked[ctr] = append([]byte(nil), p...)
+			dev.Mark(ctr)
+		}
+	} else {
+		// Concurrent mode: Goroutines savers race Checkpoint calls.
+		for g := 0; g < w.Goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(w.Seed + int64(g)*7919))
+				for i := 0; i < w.Checkpoints; i++ {
+					seed := uint64(w.Seed)<<20 + uint64(g)<<10 + uint64(i) + 1
+					n := 16 + rng.Intn(int(w.SlotBytes)-15)
+					p := crashPayload(seed, n)
+					ctr, err := eng.Checkpoint(context.Background(), BytesSource(p))
+					if err != nil {
+						saveOnce.Do(func() { saveErr = fmt.Errorf("saver %d ckpt %d: %w", g, i, err) })
+						return
+					}
+					ackedMu.Lock()
+					acked[ctr] = p
+					ackedMu.Unlock()
+					dev.Mark(ctr)
+				}
+			}(g)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	if saveErr != nil {
 		return res, saveErr
 	}
@@ -253,7 +380,7 @@ func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
 				fmt.Sprintf("%s: cut %d (%s): recovered counter %d older than acknowledged %d", w, cut, desc, rc, ackedMin))
 			return
 		}
-		if err := checkCrashPayload(p); err != nil {
+		if err := checkAnyCrashPayload(p); err != nil {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("%s: cut %d (%s): recovered checkpoint %d is garbage: %v", w, cut, desc, rc, err))
 			return
@@ -311,7 +438,7 @@ func reattachProbe(dev storage.Device, recovered uint64) error {
 		}
 		last = ctr
 	}
-	if free, want := eng.FreeSlots(), eng.TotalSlots()-1; free != want {
+	if free, want := eng.FreeSlots(), eng.TotalSlots()-eng.PinnedSlots(); free != want {
 		return fmt.Errorf("slot conservation broken: %d free slots, want %d", free, want)
 	}
 	got, rc, err := Recover(dev)
@@ -321,14 +448,19 @@ func reattachProbe(dev storage.Device, recovered uint64) error {
 	if rc != last {
 		return fmt.Errorf("recover after re-attach returned counter %d, want %d", rc, last)
 	}
-	if err := checkCrashPayload(got); err != nil {
+	if err := checkAnyCrashPayload(got); err != nil {
 		return fmt.Errorf("recover after re-attach: %v", err)
 	}
 	return nil
 }
 
 // CrashSweepConfigs returns the full workload matrix of the crash sweep:
-// device kind × N ∈ {1,2,4} × {chunked, unchunked} × verify {on, off}.
+// device kind × N ∈ {1,2,4} × {chunked, unchunked} × verify {on, off},
+// plus delta workloads per kind covering keyframe-only chains, tracked
+// sparse marks, and an every-other-save delta cadence. The delta entries
+// run enough checkpoints to cross at least one keyframe boundary, so the
+// sweep asserts the durable floor never regresses past the last complete
+// keyframe+chain.
 func CrashSweepConfigs(seed int64) []CrashWorkload {
 	var out []CrashWorkload
 	for _, kind := range []storage.Kind{storage.KindPMEM, storage.KindSSD} {
@@ -345,6 +477,11 @@ func CrashSweepConfigs(seed int64) []CrashWorkload {
 				}
 			}
 		}
+		out = append(out,
+			CrashWorkload{Kind: kind, Concurrent: 1, DeltaEvery: 1, DeltaKeyframe: 2, Checkpoints: 7, Seed: seed},
+			CrashWorkload{Kind: kind, Concurrent: 1, DeltaEvery: 1, DeltaKeyframe: 3, Tracker: true, VerifyPayload: true, Checkpoints: 8, Seed: seed},
+			CrashWorkload{Kind: kind, Concurrent: 2, DeltaEvery: 2, DeltaKeyframe: 2, ChunkBytes: 1024, Checkpoints: 6, Seed: seed},
+		)
 	}
 	return out
 }

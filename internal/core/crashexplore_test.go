@@ -76,21 +76,31 @@ func TestCrashExplorerStride(t *testing.T) {
 }
 
 // TestCrashSweepConfigsCoverMatrix: the sweep matrix spans both device
-// kinds, N ∈ {1,2,4}, chunked and unchunked, verify on and off.
+// kinds, N ∈ {1,2,4}, chunked and unchunked, verify on and off, plus delta
+// workloads (tracked and hash-fallback) per kind.
 func TestCrashSweepConfigsCoverMatrix(t *testing.T) {
 	cfgs := CrashSweepConfigs(1)
-	if len(cfgs) != 24 {
-		t.Fatalf("sweep has %d configs, want 24", len(cfgs))
+	if len(cfgs) != 30 {
+		t.Fatalf("sweep has %d configs, want 30", len(cfgs))
 	}
 	kinds := map[storage.Kind]bool{}
 	ns := map[int]bool{}
 	chunked := map[bool]bool{}
 	verify := map[bool]bool{}
+	deltaKinds := map[storage.Kind]bool{}
+	tracked := map[bool]bool{}
 	for _, c := range cfgs {
 		kinds[c.Kind] = true
 		ns[c.Concurrent] = true
 		chunked[c.ChunkBytes > 0] = true
 		verify[c.VerifyPayload] = true
+		if c.DeltaKeyframe > 0 {
+			deltaKinds[c.Kind] = true
+			tracked[c.Tracker] = true
+			if c.Checkpoints <= c.DeltaKeyframe {
+				t.Errorf("%s: %d checkpoints never cross a keyframe boundary", c, c.Checkpoints)
+			}
+		}
 	}
 	if !kinds[storage.KindPMEM] || !kinds[storage.KindSSD] {
 		t.Fatal("sweep misses a device kind")
@@ -100,6 +110,12 @@ func TestCrashSweepConfigsCoverMatrix(t *testing.T) {
 	}
 	if len(chunked) != 2 || len(verify) != 2 {
 		t.Fatal("sweep misses a chunking or verify variant")
+	}
+	if !deltaKinds[storage.KindPMEM] || !deltaKinds[storage.KindSSD] {
+		t.Fatal("sweep misses delta workloads on a device kind")
+	}
+	if len(tracked) != 2 {
+		t.Fatal("sweep misses a tracked or hash-fallback delta variant")
 	}
 }
 

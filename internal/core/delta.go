@@ -1,0 +1,617 @@
+// Delta checkpointing (ROADMAP: "incremental + delta checkpoints").
+//
+// Most of a training checkpoint is unchanged between adjacent iterations
+// (GoCkpt, FastPersist make the same observation): the bytes pushed to the
+// device per save, not the snapshot, gate the achievable frequency f* in
+// the §3.4 model. When Config.DeltaKeyframe is set, the engine divides the
+// payload into fixed-size chunks and persists only the chunks that changed
+// since the previous checkpoint, as a self-describing delta record:
+//
+//	0   magic "PCDL" u32
+//	4   version u32
+//	8   baseCounter u64  — chain predecessor (must match the slot header)
+//	16  fullSize u64     — logical payload length after applying the chain
+//	24  granularity u32  — chunk size this record was diffed at
+//	28  nchunk u32       — ceil(fullSize/granularity)
+//	32  ndirty u32       — population count of the bitmap
+//	36  hdrCRC u32       — CRC32 over bytes [0,36) + the bitmap
+//	40  bitmap, ceil(nchunk/8) bytes, chunk i at byte i/8 bit i%8
+//	..  dirty chunk payloads, ascending chunk index, each
+//	    min(granularity, fullSize − i·granularity) bytes
+//
+// The header CRC is always present (independent of Config.VerifyPayload):
+// a delta record that cannot be decoded poisons every later link of its
+// chain, so decode failures must be detectable, not just torn-payload
+// detectable. Chunk data is additionally covered by the slot payload CRC
+// when VerifyPayload is on, and by the protocol ordering (payload persists
+// before the header, the header before the pointer record) otherwise.
+//
+// Every K-th save is forced to be a full keyframe, bounding recovery to
+// one keyframe read plus at most K delta applications, and bounding the
+// pinned slot set to K+1.
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+
+	"pccheck/internal/obs"
+)
+
+const (
+	deltaMagic   = 0x4c444350 // "PCDL" little-endian
+	deltaVersion = 1
+	deltaHdrSize = 40
+
+	// deltaMaxGran bounds the stored granularity field so a corrupt record
+	// cannot make decode allocate absurd chunk geometry.
+	deltaMaxGran = 1 << 30
+)
+
+// deltaGranularity picks the diff chunk size for a slot capacity: about
+// 1/1024th of the slot, rounded up to a 64-byte multiple and clamped to
+// [64 B, 64 KiB]. Small enough that scattered sparse updates (embedding
+// rows, adapter blocks) don't dirty megabyte chunks, large enough that the
+// bitmap and per-chunk hash state stay negligible (≤ 1024 chunks ⇒ 128 B
+// bitmap, 8 KiB of hashes).
+func deltaGranularity(slotBytes int64) int {
+	g := slotBytes / 1024
+	if rem := g % 64; rem != 0 {
+		g += 64 - rem
+	}
+	if g < 64 {
+		g = 64
+	}
+	if g > 64<<10 {
+		g = 64 << 10
+	}
+	return int(g)
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a int64, b int) int {
+	return int((a + int64(b) - 1) / int64(b))
+}
+
+// chunkHashes returns the FNV-1a 64 hash of each granularity-sized chunk
+// of p (the last chunk may be short). FNV is not collision-proof; a silent
+// collision would drop a changed chunk from a delta. The crash sweep's
+// byte-equality oracle bounds that risk in testing, and trainers that
+// cannot tolerate it feed the DirtyTracker instead (explicit marks never
+// consult hashes).
+func chunkHashes(p []byte, gran int) []uint64 {
+	n := ceilDiv(int64(len(p)), gran)
+	hs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		lo := i * gran
+		hi := lo + gran
+		if hi > len(p) {
+			hi = len(p)
+		}
+		hs[i] = fnv64a(p[lo:hi])
+	}
+	return hs
+}
+
+func fnv64a(p []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// DirtyTracker accumulates the byte ranges a trainer touched since the
+// last checkpoint, so delta encoding can skip hashing entirely. The
+// checkpointer consumes the accumulated marks at each save.
+//
+// Coherence contract: marks are trusted. Between two Checkpoint calls the
+// trainer must MarkRange every byte it mutated, and must feed marks from
+// the same serialization domain that mutates the state and captures the
+// snapshot (e.g. the training goroutine marking before it hands the
+// snapshot to Save). Saves against a fed tracker must themselves be
+// serialized by the caller: marks taken by save n describe the diff from
+// save n−1, which is only true when saves complete in mutation order. An
+// unmarked mutated range silently disappears from the delta; an over-wide
+// or stale mark merely persists extra chunks. When in doubt, don't feed
+// the tracker — the engine then falls back to content hashes, which need
+// no contract. Size changes need no marks either way: any save whose
+// payload length differs from the previous one has its tail re-diffed
+// unconditionally.
+type DirtyTracker struct {
+	mu     sync.Mutex
+	ranges [][2]int64 // {offset, length}, unmerged
+	all    bool
+	fed    bool
+}
+
+// trackerMaxRanges caps the unmerged mark list; past it the tracker
+// degrades to MarkAll (correct, just no longer sparse).
+const trackerMaxRanges = 4096
+
+// MarkRange records that [off, off+n) was mutated. Out-of-payload offsets
+// are harmless (clamped at encode time).
+func (t *DirtyTracker) MarkRange(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fed = true
+	if t.all {
+		return
+	}
+	if len(t.ranges) >= trackerMaxRanges {
+		t.all = true
+		t.ranges = nil
+		return
+	}
+	t.ranges = append(t.ranges, [2]int64{off, n})
+}
+
+// MarkAll records that the whole payload may have changed — the next save
+// diffs nothing and persists a keyframe-equivalent delta or a keyframe.
+func (t *DirtyTracker) MarkAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fed = true
+	t.all = true
+	t.ranges = nil
+}
+
+// take drains the accumulated marks. fed reports whether the trainer said
+// anything at all since the last take — false means "fall back to hashes".
+func (t *DirtyTracker) take() (ranges [][2]int64, all, fed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ranges, all, fed = t.ranges, t.all, t.fed
+	t.ranges, t.all, t.fed = nil, false, false
+	return ranges, all, fed
+}
+
+// restore re-merges marks a failed save took, so the retry still knows
+// what was dirty. Marks fed concurrently since the take are kept too.
+func (t *DirtyTracker) restore(ranges [][2]int64, all, fed bool) {
+	if !fed {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fed = true
+	if all || t.all || len(t.ranges)+len(ranges) > trackerMaxRanges {
+		t.all = true
+		t.ranges = nil
+		return
+	}
+	t.ranges = append(t.ranges, ranges...)
+}
+
+// dirtySet is one save's diff decision: which chunks to persist and the
+// refreshed per-chunk hash state.
+type dirtySet struct {
+	dirty  []bool
+	hashes []uint64
+	ndirty int
+}
+
+// computeDirty decides which chunks of buf changed since the previous
+// checkpoint (whose size was lastSize and whose chunk hashes are
+// oldHashes). With a fed tracker the marks are trusted and only marked
+// chunks are rehashed; otherwise every chunk is hashed and diffed.
+//
+// Boundary rule: when the payload length changed, every chunk from
+// min(size, lastSize)/gran onward is dirty regardless of marks or hashes.
+// Growth appends bytes no mark covers (the old image simply ended), and
+// shrinkage re-shapes the final partial chunk; both tails must travel with
+// the delta for apply to reconstruct the exact new length.
+func computeDirty(buf []byte, gran int, lastSize int64, oldHashes []uint64, marks [][2]int64, all, fed bool) dirtySet {
+	size := int64(len(buf))
+	nchunk := ceilDiv(size, gran)
+	dirty := make([]bool, nchunk)
+
+	if size != lastSize {
+		from := min(size, lastSize) / int64(gran)
+		for i := int(from); i < nchunk; i++ {
+			dirty[i] = true
+		}
+	}
+
+	var hashes []uint64
+	if fed && !all {
+		for _, r := range marks {
+			off, n := r[0], r[1]
+			if off < 0 {
+				n += off
+				off = 0
+			}
+			if n <= 0 || off >= size {
+				continue
+			}
+			end := off + n
+			if end > size {
+				end = size
+			}
+			for i := int(off / int64(gran)); i < nchunk && int64(i)*int64(gran) < end; i++ {
+				dirty[i] = true
+			}
+		}
+		// Refresh hash state only for the chunks being persisted; clean
+		// chunks keep their prior hashes (trusted-marks mode is documented
+		// as such on DirtyTracker).
+		hashes = make([]uint64, nchunk)
+		copy(hashes, oldHashes)
+		for i, d := range dirty {
+			if d {
+				lo := i * gran
+				hi := min(lo+gran, int(size))
+				hashes[i] = fnv64a(buf[lo:hi])
+			}
+		}
+	} else {
+		hashes = chunkHashes(buf, gran)
+		for i := range dirty {
+			if all || i >= len(oldHashes) || hashes[i] != oldHashes[i] {
+				dirty[i] = true
+			}
+		}
+	}
+
+	nd := 0
+	for _, d := range dirty {
+		if d {
+			nd++
+		}
+	}
+	return dirtySet{dirty: dirty, hashes: hashes, ndirty: nd}
+}
+
+// encodeDelta serializes a delta record for payload against the
+// checkpoint baseCounter.
+func encodeDelta(payload []byte, baseCounter uint64, gran int, ds dirtySet) []byte {
+	nchunk := len(ds.dirty)
+	bmLen := (nchunk + 7) / 8
+	total := deltaHdrSize + bmLen
+	for i, d := range ds.dirty {
+		if d {
+			total += chunkLen(int64(len(payload)), gran, i)
+		}
+	}
+	rec := make([]byte, total)
+	binary.LittleEndian.PutUint32(rec[0:], deltaMagic)
+	binary.LittleEndian.PutUint32(rec[4:], deltaVersion)
+	binary.LittleEndian.PutUint64(rec[8:], baseCounter)
+	binary.LittleEndian.PutUint64(rec[16:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(rec[24:], uint32(gran))
+	binary.LittleEndian.PutUint32(rec[28:], uint32(nchunk))
+	binary.LittleEndian.PutUint32(rec[32:], uint32(ds.ndirty))
+	bm := rec[deltaHdrSize : deltaHdrSize+bmLen]
+	pos := deltaHdrSize + bmLen
+	for i, d := range ds.dirty {
+		if !d {
+			continue
+		}
+		bm[i/8] |= 1 << (i % 8)
+		lo := i * gran
+		pos += copy(rec[pos:], payload[lo:min(lo+gran, len(payload))])
+	}
+	binary.LittleEndian.PutUint32(rec[36:], deltaCRC(rec))
+	return rec
+}
+
+// deltaCRC covers the header (minus the CRC field itself) and the bitmap.
+func deltaCRC(rec []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(rec[:36])
+	h.Write(rec[deltaHdrSize : deltaHdrSize+bitmapLen(rec)])
+	return h.Sum32()
+}
+
+func bitmapLen(rec []byte) int {
+	return (int(binary.LittleEndian.Uint32(rec[28:])) + 7) / 8
+}
+
+// chunkLen is the byte length of chunk i of a fullSize-byte payload.
+func chunkLen(fullSize int64, gran, i int) int {
+	l := fullSize - int64(i)*int64(gran)
+	if l > int64(gran) {
+		l = int64(gran)
+	}
+	if l < 0 {
+		l = 0
+	}
+	return int(l)
+}
+
+// deltaRecord is a decoded, validated delta record. chunks[j] is the
+// payload of the j-th set bit of the bitmap (ascending chunk index).
+type deltaRecord struct {
+	base     uint64
+	fullSize int64
+	gran     int
+	nchunk   int
+	bitmap   []byte
+	chunks   [][]byte
+}
+
+// dirtyAt reports whether chunk i is present in the record.
+func (d deltaRecord) dirtyAt(i int) bool {
+	return d.bitmap[i/8]&(1<<(i%8)) != 0
+}
+
+// decodeDelta parses and fully validates a delta record; every length is
+// cross-checked before any slice is taken, so arbitrary input cannot
+// panic (FuzzDeltaDecode holds it to that).
+func decodeDelta(rec []byte) (deltaRecord, error) {
+	if len(rec) < deltaHdrSize {
+		return deltaRecord{}, fmt.Errorf("core: delta record truncated: %d bytes", len(rec))
+	}
+	if m := binary.LittleEndian.Uint32(rec[0:]); m != deltaMagic {
+		return deltaRecord{}, fmt.Errorf("core: bad delta magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(rec[4:]); v != deltaVersion {
+		return deltaRecord{}, fmt.Errorf("core: unsupported delta version %d", v)
+	}
+	d := deltaRecord{
+		base:     binary.LittleEndian.Uint64(rec[8:]),
+		fullSize: int64(binary.LittleEndian.Uint64(rec[16:])),
+		gran:     int(binary.LittleEndian.Uint32(rec[24:])),
+		nchunk:   int(binary.LittleEndian.Uint32(rec[28:])),
+	}
+	ndirty := int(binary.LittleEndian.Uint32(rec[32:]))
+	if d.gran < 1 || d.gran > deltaMaxGran {
+		return deltaRecord{}, fmt.Errorf("core: implausible delta granularity %d", d.gran)
+	}
+	if d.fullSize < 0 || d.fullSize > math.MaxInt64-int64(d.gran) {
+		return deltaRecord{}, fmt.Errorf("core: implausible delta size %d", d.fullSize)
+	}
+	if d.nchunk != ceilDiv(d.fullSize, d.gran) {
+		return deltaRecord{}, fmt.Errorf("core: delta chunk count %d does not cover %d bytes at granularity %d", d.nchunk, d.fullSize, d.gran)
+	}
+	bmLen := (d.nchunk + 7) / 8
+	if len(rec) < deltaHdrSize+bmLen {
+		return deltaRecord{}, fmt.Errorf("core: delta bitmap truncated")
+	}
+	d.bitmap = rec[deltaHdrSize : deltaHdrSize+bmLen]
+	if got, want := binary.LittleEndian.Uint32(rec[36:]), deltaCRC(rec); got != want {
+		return deltaRecord{}, fmt.Errorf("core: delta header checksum mismatch")
+	}
+	pop := 0
+	for _, b := range d.bitmap {
+		pop += bits.OnesCount8(b)
+	}
+	if pop != ndirty {
+		return deltaRecord{}, fmt.Errorf("core: delta bitmap population %d != recorded %d", pop, ndirty)
+	}
+	pos := deltaHdrSize + bmLen
+	d.chunks = make([][]byte, 0, ndirty)
+	for i := 0; i < d.nchunk; i++ {
+		if !d.dirtyAt(i) {
+			continue
+		}
+		l := chunkLen(d.fullSize, d.gran, i)
+		if pos+l > len(rec) {
+			return deltaRecord{}, fmt.Errorf("core: delta chunk %d truncated", i)
+		}
+		d.chunks = append(d.chunks, rec[pos:pos+l])
+		pos += l
+	}
+	if pos != len(rec) {
+		return deltaRecord{}, fmt.Errorf("core: delta record has %d trailing bytes", len(rec)-pos)
+	}
+	return d, nil
+}
+
+// DirtyTracker returns the engine's dirty-range tracker, or nil when the
+// engine is not in delta mode. Feeding it is optional (see its contract);
+// an unfed tracker leaves the engine on content-hash fallback.
+func (c *Checkpointer) DirtyTracker() *DirtyTracker { return c.tracker }
+
+// checkpointDelta is the delta-mode save path. Saves are serialized under
+// deltaMu — each one is diffed against the previous — so the CAS machinery
+// of the concurrent path collapses to a plain publish: the tip only ever
+// moves forward, one save at a time. Concurrent Checkpoint callers queue
+// on the mutex (the paper's slot-wait, one level up).
+func (c *Checkpointer) checkpointDelta(ctx context.Context, src Source) (uint64, error) {
+	c.deltaMu.Lock()
+	defer c.deltaMu.Unlock()
+
+	start := time.Now()
+	obsStart := c.obsNow()
+	size := src.Size()
+
+	// Delta mode stages the whole payload in DRAM (bounded by SlotBytes):
+	// diffing and encoding need random access to it.
+	buf := make([]byte, size)
+	if size > 0 {
+		if err := src.ReadInto(buf, 0); err != nil {
+			c.stats.FailedSaves.Add(1)
+			c.instant(obs.PhaseSaveFailed, 0, -1, 0, 0)
+			return 0, err
+		}
+	}
+	marks, all, fed := c.tracker.take()
+	restoreMarks := func() { c.tracker.restore(marks, all, fed) }
+
+	counter := c.gCounter.Add(1)
+	gran := deltaGranularity(c.sb.slotBytes)
+
+	// Decide delta vs keyframe. A save is a delta candidate when there is
+	// hash state to diff against, the chain has room under K, and the
+	// DeltaEvery cadence selects it; it still falls back to a keyframe when
+	// the encoded record wouldn't actually save bytes (e.g. a dense update,
+	// or a payload so small the record overhead dominates).
+	c.saveSeq++
+	kind := uint8(slotKindFull)
+	var (
+		stored []byte // the bytes persisted to the slot
+		base   uint64
+		hashes []uint64
+	)
+	candidate := c.hashes != nil && c.deltasSince < c.cfg.DeltaKeyframe &&
+		(c.cfg.DeltaEvery <= 1 || c.saveSeq%uint64(c.cfg.DeltaEvery) == 0)
+	encStart := c.obsNow()
+	if candidate {
+		ds := computeDirty(buf, gran, c.lastSize, c.hashes, marks, all, fed)
+		hashes = ds.hashes
+		tip := c.chain[len(c.chain)-1]
+		rec := encodeDelta(buf, tip.counter, gran, ds)
+		if int64(len(rec)) < size && int64(len(rec)) <= c.sb.slotBytes {
+			stored, kind, base = rec, slotKindDelta, tip.counter
+		}
+	} else {
+		hashes = chunkHashes(buf, gran)
+	}
+	if kind == slotKindDelta {
+		c.span(obs.PhaseDeltaEncode, encStart, counter, -1, int64(len(stored)), size)
+	} else {
+		stored = buf
+	}
+
+	slotWaitStart := c.obsNow()
+	slot, waited, err := c.acquireSlot(ctx)
+	if err != nil {
+		restoreMarks()
+		c.stats.FailedSaves.Add(1)
+		c.instant(obs.PhaseSaveFailed, counter, -1, 0, 0)
+		return 0, err
+	}
+	if waited {
+		c.stats.SlotWaits.Add(1)
+	}
+	var didWait int64
+	if waited {
+		didWait = 1
+	}
+	c.span(obs.PhaseSlotWait, slotWaitStart, counter, slot, 0, didWait)
+	c.slotSeq[slot].Add(1) // odd: slot contents unstable
+
+	payloadCRC, err := c.writePayload(ctx, slot, BytesSource(stored), counter)
+	if err != nil {
+		restoreMarks()
+		c.failSlot(slot, counter)
+		return 0, err
+	}
+	hdrStart := c.obsNow()
+	hdr := slotHeader{
+		counter: counter, size: int64(len(stored)), payloadCRC: payloadCRC,
+		hasCRC: c.cfg.VerifyPayload, epoch: c.sb.epoch,
+		kind: kind, base: base, fullSize: size,
+	}
+	if err := c.retryIO(ctx, func() error {
+		return c.dev.Persist(encodeSlotHeader(hdr), slotBase(c.sb, slot))
+	}); err != nil {
+		restoreMarks()
+		c.failSlot(slot, counter)
+		return 0, err
+	}
+	c.span(obs.PhaseHeader, hdrStart, counter, slot, slotHeaderSize, 0)
+	c.slotSeq[slot].Add(1) // even: slot stable until recycled
+
+	// Publish. Serialized saves mean no CAS loop and no obsolete outcome:
+	// the tip is ours by construction.
+	cur := &checkMeta{slot: slot, counter: counter, size: int64(len(stored)), kind: kind, base: base, fullSize: size}
+	oldChain := c.chain
+	c.checkAddr.Store(cur)
+	if kind == slotKindDelta {
+		c.chain = append(c.chain, *cur)
+		c.deltasSince++
+	} else {
+		c.chain = []checkMeta{*cur}
+		c.deltasSince = 0
+	}
+	// The tip moved, so the diff state follows it even if the pointer
+	// record below fails — the next save diffs against what is in the
+	// slots, not against what is durably pointed at.
+	c.hashes = hashes
+	c.lastSize = size
+
+	barrierStart := c.obsNow()
+	rerr := c.persistRecord(ctx, *cur)
+	c.span(obs.PhaseBarrier, barrierStart, counter, slot, 0, 0)
+	if kind == slotKindFull {
+		// A keyframe supersedes the whole previous chain. If the record
+		// failed, the durable pointer may still reference the old chain —
+		// park its slots until a newer record lands (same invariant as the
+		// concurrent path's deferFree).
+		for _, m := range oldChain {
+			if rerr != nil {
+				c.deferFree(m.slot)
+			} else {
+				c.freeSpace.Enq(m.slot)
+			}
+		}
+	}
+	if rerr != nil {
+		// Delta case: nothing is freed — the old record points into a chain
+		// prefix whose slots are all still pinned in c.chain.
+		c.stats.FailedSaves.Add(1)
+		c.instant(obs.PhaseSaveFailed, counter, slot, 0, 0)
+		return 0, rerr
+	}
+
+	c.stats.Checkpoints.Add(1)
+	c.stats.BytesWritten.Add(size)
+	c.stats.BytesPersisted.Add(int64(len(stored)))
+	c.stats.PersistNanos.Add(int64(time.Since(start)))
+	if kind == slotKindDelta {
+		c.stats.DeltaSaves.Add(1)
+	} else {
+		c.stats.KeyframeSaves.Add(1)
+		c.instant(obs.PhaseKeyframe, counter, slot, size, 0)
+	}
+	c.instant(obs.PhasePublish, counter, slot, int64(len(stored)), size)
+	c.span(obs.PhaseSave, obsStart, counter, slot, int64(len(stored)), 0)
+	return counter, nil
+}
+
+// readLatestDelta reconstructs the current chain into dst. deltaMu keeps
+// the chain slots stable for the duration (no seqlock needed).
+func (c *Checkpointer) readLatestDelta(dst []byte) (uint64, int64, error) {
+	c.deltaMu.Lock()
+	defer c.deltaMu.Unlock()
+	m := c.checkAddr.Load()
+	if m == nil {
+		return 0, 0, ErrNoCheckpoint
+	}
+	if int64(len(dst)) < m.logicalSize() {
+		return 0, 0, fmt.Errorf("%w: buffer %d < checkpoint %d", ErrBufferTooSmall, len(dst), m.logicalSize())
+	}
+	payload, err := reconstructPayload(c.dev, c.sb, c.chain)
+	if err != nil {
+		return 0, 0, err
+	}
+	copy(dst, payload)
+	return m.counter, int64(len(payload)), nil
+}
+
+// applyDelta reconstructs the new payload from its predecessor and a
+// decoded record. A clean (absent) chunk that extends past the base
+// payload means the chain is inconsistent — the encoder's boundary rule
+// always marks grown tails dirty.
+func applyDelta(base []byte, d deltaRecord) ([]byte, error) {
+	out := make([]byte, d.fullSize)
+	copy(out, base)
+	j := 0
+	for i := 0; i < d.nchunk; i++ {
+		lo := i * d.gran
+		hi := lo + chunkLen(d.fullSize, d.gran, i)
+		if d.dirtyAt(i) {
+			copy(out[lo:hi], d.chunks[j])
+			j++
+		} else if hi > len(base) {
+			return nil, fmt.Errorf("core: delta leaves chunk %d (bytes %d–%d) undefined: base is only %d bytes", i, lo, hi, len(base))
+		}
+	}
+	return out, nil
+}

@@ -42,6 +42,24 @@ type SlotInfo struct {
 	PayloadOK *bool
 	// Published marks the slot the recovered pointer references.
 	Published bool
+	// Kind is the payload kind (0 = full, 1 = delta record); BaseCounter
+	// and FullSize carry the delta header's chain predecessor and logical
+	// size when Kind is delta.
+	Kind        uint8
+	BaseCounter uint64
+	FullSize    int64
+	// InChain marks slots holding a link of the recoverable delta chain.
+	InChain bool
+}
+
+// ChainLink is one link of the recoverable keyframe→delta chain.
+type ChainLink struct {
+	Counter uint64
+	Slot    int
+	// Kind is slot payload kind; the first link is always a keyframe (0).
+	Kind uint8
+	// Size is the stored record length (keyframe payload or delta record).
+	Size int64
 }
 
 // CursorInfo describes a persisted recovery-iterator cursor.
@@ -65,10 +83,38 @@ type Report struct {
 	// whether one exists.
 	Latest      RecordInfo
 	Recoverable bool
+	// DeltaKeyframe is K when the device is delta-formatted, 0 otherwise.
+	DeltaKeyframe int
+	// LatestFullSize is the logical size of the recoverable checkpoint
+	// (equals Latest.Size except for a delta tip).
+	LatestFullSize int64
+	// Chain is the recoverable keyframe→delta chain, keyframe first; on a
+	// delta device with a recoverable full tip it holds that single link.
+	Chain []ChainLink
 	// SlotInfos describes each slot.
 	SlotInfos []SlotInfo
 	// Cursor is a pending recovery cursor, if any.
 	Cursor *CursorInfo
+}
+
+// Healthy reports whether the device is in a state recovery can serve
+// confidently: either a checkpoint is recoverable with its payload (and,
+// for a delta tip, every chain link) intact, or the device is legitimately
+// empty — no pointer record claims a checkpoint. A valid record that
+// recovery nonetheless rejects (stale epoch, counter mismatch, broken
+// chain) and a published or chain slot whose verified payload fails its
+// CRC both make the report unhealthy; torn payloads in unpublished slots
+// are normal crash debris and do not.
+func (r Report) Healthy() bool {
+	if !r.Recoverable && (r.Records[0].Valid || r.Records[1].Valid) {
+		return false
+	}
+	for _, s := range r.SlotInfos {
+		if (s.Published || s.InChain) && s.PayloadOK != nil && !*s.PayloadOK {
+			return false
+		}
+	}
+	return true
 }
 
 // Inspect reads a formatted device's structures. With verify set, slot
@@ -83,7 +129,7 @@ func Inspect(dev storage.Device, verify bool) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	rep := Report{Slots: sb.slots, SlotBytes: sb.slotBytes, Epoch: sb.epoch}
+	rep := Report{Slots: sb.slots, SlotBytes: sb.slotBytes, Epoch: sb.epoch, DeltaKeyframe: sb.deltaKeyframe}
 
 	for i, off := range []int64{recordAOff, recordBOff} {
 		buf := make([]byte, recordSize)
@@ -96,9 +142,20 @@ func Inspect(dev storage.Device, verify bool) (Report, error) {
 	}
 
 	latest, _, err := recoverPointer(dev, sb)
+	chainSlots := make(map[int]bool)
 	if err == nil {
 		rep.Recoverable = true
 		rep.Latest = RecordInfo{Valid: true, Counter: latest.counter, Slot: latest.slot, Size: latest.size}
+		rep.LatestFullSize = latest.logicalSize()
+		if sb.deltaKeyframe > 0 {
+			// recoverPointer validated the chain, so this walk succeeds.
+			if chain, cerr := chainMetas(dev, sb, *latest); cerr == nil {
+				for _, m := range chain {
+					rep.Chain = append(rep.Chain, ChainLink{Counter: m.counter, Slot: m.slot, Kind: m.kind, Size: m.size})
+					chainSlots[m.slot] = true
+				}
+			}
+		}
 	} else if err != ErrNoCheckpoint {
 		return Report{}, err
 	}
@@ -116,6 +173,11 @@ func Inspect(dev storage.Device, verify bool) (Report, error) {
 			info.HasChecksum = hdr.hasCRC
 			info.Epoch = hdr.epoch
 			info.EpochStale = hdr.epoch != sb.epoch
+			info.Kind = hdr.kind
+			if hdr.kind == slotKindDelta {
+				info.BaseCounter = hdr.base
+				info.FullSize = hdr.fullSize
+			}
 			if verify && hdr.hasCRC && hdr.size >= 0 && hdr.size <= sb.slotBytes {
 				payload := make([]byte, hdr.size)
 				if err := dev.ReadAt(payload, payloadBase(sb, i)); err == nil {
@@ -127,6 +189,7 @@ func Inspect(dev storage.Device, verify bool) (Report, error) {
 		if rep.Recoverable && i == rep.Latest.Slot {
 			info.Published = true
 		}
+		info.InChain = chainSlots[i]
 		rep.SlotInfos = append(rep.SlotInfos, info)
 	}
 

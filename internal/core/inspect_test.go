@@ -124,3 +124,96 @@ func TestInspectUnformatted(t *testing.T) {
 		t.Fatal("unformatted device accepted")
 	}
 }
+
+func TestInspectDeltaChain(t *testing.T) {
+	cfg := Config{Concurrent: 1, SlotBytes: 8192, DeltaEvery: 1, DeltaKeyframe: 4, VerifyPayload: true}
+	c, dev := deltaEngine(t, cfg)
+	p := sparsePayload(8, 0, 6000)
+	for i := 0; i < 3; i++ { // keyframe + 2 deltas
+		if i > 0 {
+			mutateSparse(p, 8, uint64(i))
+		}
+		if _, err := c.Checkpoint(context.Background(), BytesSource(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Inspect(dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeltaKeyframe != 4 {
+		t.Fatalf("DeltaKeyframe = %d, want 4", rep.DeltaKeyframe)
+	}
+	if !rep.Recoverable || rep.LatestFullSize != 6000 {
+		t.Fatalf("latest: %+v full=%d", rep.Latest, rep.LatestFullSize)
+	}
+	if len(rep.Chain) != 3 || rep.Chain[0].Kind != 0 || rep.Chain[1].Kind != 1 || rep.Chain[2].Kind != 1 {
+		t.Fatalf("chain: %+v", rep.Chain)
+	}
+	inChain := 0
+	for _, s := range rep.SlotInfos {
+		if s.InChain {
+			inChain++
+			if s.PayloadOK == nil || !*s.PayloadOK {
+				t.Fatalf("chain slot %d payload not verified OK", s.Index)
+			}
+		}
+		if s.HeaderValid && s.Kind == slotKindDelta && s.InChain && s.FullSize != 6000 {
+			t.Fatalf("delta slot %d fullSize=%d", s.Index, s.FullSize)
+		}
+	}
+	if inChain != 3 {
+		t.Fatalf("%d slots in chain, want 3", inChain)
+	}
+	if !rep.Healthy() {
+		t.Fatal("intact delta device reported unhealthy")
+	}
+}
+
+// TestReportHealthy covers the exit-status contract pccheck-inspect builds
+// on: intact devices are healthy, devices whose records exist but cannot
+// serve recovery (or whose published payload is corrupt) are not.
+func TestReportHealthy(t *testing.T) {
+	// Intact device.
+	dev := storage.NewRAM(DeviceBytes(1, 1024))
+	c, err := New(dev, Config{Concurrent: 1, SlotBytes: 1024, VerifyPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Checkpoint(context.Background(), BytesSource(payload(1, 800))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Inspect(dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatal("intact device reported unhealthy")
+	}
+	// Corrupt the published payload: unhealthy (only when verified).
+	if err := dev.WriteAt([]byte{0x5A}, payloadBase(superblock{slots: 2, slotBytes: 1024}, rep.Latest.Slot)+3); err != nil {
+		t.Fatal(err)
+	}
+	if rep2, _ := Inspect(dev, true); rep2.Healthy() {
+		t.Fatal("corrupt published payload reported healthy")
+	}
+	if rep2, _ := Inspect(dev, false); !rep2.Healthy() {
+		t.Fatal("unverified inspect cannot see payload corruption, must stay healthy")
+	}
+	// Smash the published slot header instead: the pointer record is valid
+	// but recovery rejects it → unhealthy even without -verify.
+	if err := dev.WriteAt(make([]byte, slotHeaderSize), slotBase(superblock{slots: 2, slotBytes: 1024}, rep.Latest.Slot)); err != nil {
+		t.Fatal(err)
+	}
+	if rep3, _ := Inspect(dev, false); rep3.Healthy() {
+		t.Fatal("record pointing at a dead slot reported healthy")
+	}
+	// Empty-but-formatted is healthy: no record claims anything.
+	dev2 := storage.NewRAM(DeviceBytes(1, 1024))
+	if _, err := New(dev2, Config{Concurrent: 1, SlotBytes: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if rep4, _ := Inspect(dev2, false); !rep4.Healthy() {
+		t.Fatal("empty formatted device reported unhealthy")
+	}
+}

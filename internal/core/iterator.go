@@ -30,6 +30,8 @@ type RecoveryIterator struct {
 	dev       storage.Device
 	sb        superblock
 	meta      checkMeta
+	size      int64  // logical payload length
+	mem       []byte // reconstructed payload when the tip is a delta chain
 	pos       int64
 	chunk     int
 	logEveryN int64
@@ -91,14 +93,29 @@ func NewRecoveryIterator(dev storage.Device, chunkBytes int, logEvery int64) (*R
 		dev:       dev,
 		sb:        sb,
 		meta:      *meta,
+		size:      meta.logicalSize(),
 		chunk:     chunkBytes,
 		logEveryN: logEvery,
+	}
+	if meta.kind == slotKindDelta {
+		// A delta tip has no contiguous on-device payload: reconstruct the
+		// chain once up front and serve chunks from memory. The cursor still
+		// persists, so a re-crashed restore resumes its *delivery* position
+		// (the re-read of the chain is device-sequential and cheap relative
+		// to the consumer-side restore the cursor protects).
+		chain, err := chainMetas(dev, sb, *meta)
+		if err != nil {
+			return nil, err
+		}
+		if it.mem, err = reconstructPayload(dev, sb, chain); err != nil {
+			return nil, err
+		}
 	}
 	// Resume a matching cursor; ignore cursors for other checkpoints.
 	buf := make([]byte, 24)
 	if err := dev.ReadAt(buf, cursorOff); err == nil {
 		if c, ok := decodeCursor(buf); ok && c.counter == meta.counter &&
-			c.position >= 0 && c.position <= meta.size {
+			c.position >= 0 && c.position <= it.size {
 			it.pos = c.position
 		}
 	}
@@ -108,15 +125,16 @@ func NewRecoveryIterator(dev storage.Device, chunkBytes int, logEvery int64) (*R
 // Counter returns the checkpoint being restored.
 func (it *RecoveryIterator) Counter() uint64 { return it.meta.counter }
 
-// Size returns the checkpoint payload length.
-func (it *RecoveryIterator) Size() int64 { return it.meta.size }
+// Size returns the checkpoint's logical payload length (the reconstructed
+// size when the latest checkpoint is a delta).
+func (it *RecoveryIterator) Size() int64 { return it.size }
 
 // Position returns the bytes delivered so far (including any resumed
 // progress).
 func (it *RecoveryIterator) Position() int64 { return it.pos }
 
 // Done reports whether the payload is fully delivered.
-func (it *RecoveryIterator) Done() bool { return it.pos >= it.meta.size }
+func (it *RecoveryIterator) Done() bool { return it.pos >= it.size }
 
 // Next delivers the next chunk into p and durably advances the cursor per
 // the configured cadence. It returns the number of bytes delivered; n == 0
@@ -129,13 +147,15 @@ func (it *RecoveryIterator) Next(p []byte) (int, error) {
 	if n > len(p) {
 		n = len(p)
 	}
-	if rem := it.meta.size - it.pos; int64(n) > rem {
+	if rem := it.size - it.pos; int64(n) > rem {
 		n = int(rem)
 	}
 	if n == 0 {
 		return 0, fmt.Errorf("core: zero-length destination buffer")
 	}
-	if err := it.dev.ReadAt(p[:n], payloadBase(it.sb, it.meta.slot)+it.pos); err != nil {
+	if it.mem != nil {
+		copy(p[:n], it.mem[it.pos:])
+	} else if err := it.dev.ReadAt(p[:n], payloadBase(it.sb, it.meta.slot)+it.pos); err != nil {
 		return 0, err
 	}
 	it.pos += int64(n)

@@ -35,7 +35,12 @@ func recoverPointer(dev storage.Device, sb superblock) (*checkMeta, int, error) 
 		}
 	}
 	// Prefer the highest counter; fall back to the other record if the
-	// winner fails slot validation.
+	// winner fails slot validation — including, for a delta tip, validation
+	// of its whole keyframe→delta chain. A record is only durable after
+	// every link of its chain is (headers persist before the record, and
+	// chain slots are never recycled while a durable record references
+	// them), so a broken chain means this record is the torn/stale one and
+	// the other record identifies the newest *complete* chain.
 	for len(candidates) > 0 {
 		best := 0
 		for i := range candidates {
@@ -44,9 +49,15 @@ func recoverPointer(dev storage.Device, sb superblock) (*checkMeta, int, error) 
 			}
 		}
 		cand := candidates[best]
-		if err := validateSlot(dev, sb, cand.meta); err == nil {
+		if hdr, err := validateSlot(dev, sb, cand.meta); err == nil {
 			m := cand.meta
-			return &m, cand.loc, nil
+			m.kind, m.base, m.fullSize = hdr.kind, hdr.base, hdr.fullSize
+			if m.kind != slotKindDelta {
+				return &m, cand.loc, nil
+			}
+			if _, err := chainMetas(dev, sb, m); err == nil {
+				return &m, cand.loc, nil
+			}
 		}
 		candidates = append(candidates[:best], candidates[best+1:]...)
 	}
@@ -54,31 +65,117 @@ func recoverPointer(dev storage.Device, sb superblock) (*checkMeta, int, error) 
 }
 
 // validateSlot checks that the slot a pointer record references really holds
-// the checkpoint the record describes.
-func validateSlot(dev storage.Device, sb superblock, meta checkMeta) error {
+// the checkpoint the record describes, and returns the slot header so
+// callers can pick up the delta fields the record itself does not carry.
+func validateSlot(dev storage.Device, sb superblock, meta checkMeta) (slotHeader, error) {
 	if meta.slot < 0 || meta.slot >= sb.slots {
-		return fmt.Errorf("core: record references slot %d of %d", meta.slot, sb.slots)
+		return slotHeader{}, fmt.Errorf("core: record references slot %d of %d", meta.slot, sb.slots)
 	}
 	if meta.size < 0 || meta.size > sb.slotBytes {
-		return fmt.Errorf("core: record size %d outside slot capacity %d", meta.size, sb.slotBytes)
+		return slotHeader{}, fmt.Errorf("core: record size %d outside slot capacity %d", meta.size, sb.slotBytes)
 	}
 	buf := make([]byte, slotHeaderSize)
 	if err := dev.ReadAt(buf, slotBase(sb, meta.slot)); err != nil {
-		return err
+		return slotHeader{}, err
 	}
 	hdr, ok := decodeSlotHeader(buf)
 	if !ok {
-		return fmt.Errorf("core: slot %d header corrupt", meta.slot)
+		return slotHeader{}, fmt.Errorf("core: slot %d header corrupt", meta.slot)
 	}
 	if hdr.epoch != sb.epoch {
-		return fmt.Errorf("core: slot %d header from format epoch %d, device is epoch %d",
+		return slotHeader{}, fmt.Errorf("core: slot %d header from format epoch %d, device is epoch %d",
 			meta.slot, hdr.epoch, sb.epoch)
 	}
 	if hdr.counter != meta.counter || hdr.size != meta.size {
-		return fmt.Errorf("core: slot %d holds counter %d/size %d, record says %d/%d",
+		return slotHeader{}, fmt.Errorf("core: slot %d holds counter %d/size %d, record says %d/%d",
 			meta.slot, hdr.counter, hdr.size, meta.counter, meta.size)
 	}
-	return nil
+	if hdr.kind > slotKindDelta {
+		return slotHeader{}, fmt.Errorf("core: slot %d has unknown payload kind %d", meta.slot, hdr.kind)
+	}
+	return hdr, nil
+}
+
+// findChainHeader resolves a chain predecessor's counter to the slot
+// currently holding it: the header must decode, carry the live epoch and a
+// plausible size, and match the counter exactly.
+func findChainHeader(dev storage.Device, sb superblock, counter uint64) (slotHeader, int, error) {
+	buf := make([]byte, slotHeaderSize)
+	for slot := 0; slot < sb.slots; slot++ {
+		if err := dev.ReadAt(buf, slotBase(sb, slot)); err != nil {
+			return slotHeader{}, 0, err
+		}
+		hdr, ok := decodeSlotHeader(buf)
+		if !ok || hdr.counter != counter || hdr.epoch != sb.epoch {
+			continue
+		}
+		if hdr.size < 0 || hdr.size > sb.slotBytes || hdr.kind > slotKindDelta {
+			continue
+		}
+		return hdr, slot, nil
+	}
+	return slotHeader{}, 0, fmt.Errorf("core: no slot holds chain link %d", counter)
+}
+
+// chainMetas walks a delta tip back to its keyframe and returns the chain
+// in application order (keyframe first, tip last). The walk enforces
+// strictly decreasing counters and a depth bound of the slot count, so a
+// corrupted base pointer cannot loop.
+func chainMetas(dev storage.Device, sb superblock, tip checkMeta) ([]checkMeta, error) {
+	chain := []checkMeta{tip}
+	cur := tip
+	for cur.kind == slotKindDelta {
+		if len(chain) > sb.slots {
+			return nil, fmt.Errorf("core: delta chain at counter %d exceeds %d slots", tip.counter, sb.slots)
+		}
+		if cur.base == 0 || cur.base >= cur.counter {
+			return nil, fmt.Errorf("core: delta %d has implausible base %d", cur.counter, cur.base)
+		}
+		hdr, slot, err := findChainHeader(dev, sb, cur.base)
+		if err != nil {
+			return nil, err
+		}
+		cur = checkMeta{slot: slot, counter: hdr.counter, size: hdr.size, kind: hdr.kind, base: hdr.base, fullSize: hdr.fullSize}
+		chain = append(chain, cur)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// reconstructPayload reads a keyframe→delta chain off the device and
+// applies it, returning the tip's logical payload.
+func reconstructPayload(dev storage.Device, sb superblock, chain []checkMeta) ([]byte, error) {
+	if len(chain) == 0 || chain[0].kind != slotKindFull {
+		return nil, fmt.Errorf("core: delta chain does not start at a keyframe")
+	}
+	cur := make([]byte, chain[0].size)
+	if err := readSlotPayload(dev, sb, chain[0], cur); err != nil {
+		return nil, err
+	}
+	prev := chain[0].counter
+	for _, link := range chain[1:] {
+		rec := make([]byte, link.size)
+		if err := readSlotPayload(dev, sb, link, rec); err != nil {
+			return nil, err
+		}
+		d, err := decodeDelta(rec)
+		if err != nil {
+			return nil, storage.Corrupt(err)
+		}
+		if d.base != prev {
+			return nil, storage.Corrupt(fmt.Errorf("core: delta %d encodes base %d, chain expects %d", link.counter, d.base, prev))
+		}
+		if d.fullSize != link.fullSize {
+			return nil, storage.Corrupt(fmt.Errorf("core: delta %d record says %d logical bytes, header says %d", link.counter, d.fullSize, link.fullSize))
+		}
+		if cur, err = applyDelta(cur, d); err != nil {
+			return nil, storage.Corrupt(err)
+		}
+		prev = link.counter
+	}
+	return cur, nil
 }
 
 // readSlotPayload copies a checkpoint payload out of its slot, verifying the
@@ -123,6 +220,17 @@ func Recover(dev storage.Device) (payload []byte, counter uint64, err error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if meta.kind == slotKindDelta {
+		chain, err := chainMetas(dev, sb, *meta)
+		if err != nil {
+			return nil, 0, err
+		}
+		payload, err = reconstructPayload(dev, sb, chain)
+		if err != nil {
+			return nil, 0, err
+		}
+		return payload, meta.counter, nil
+	}
 	payload = make([]byte, meta.size)
 	if err := readSlotPayload(dev, sb, *meta, payload); err != nil {
 		return nil, 0, err
@@ -137,8 +245,41 @@ func Recover(dev storage.Device) (payload []byte, counter uint64, err error) {
 // past the group's agreed checkpoint (§3.1). ErrNoCheckpoint means the
 // version is no longer resident.
 func RecoverVersion(dev storage.Device, counter uint64) ([]byte, error) {
-	payload, _, err := recoverVersionSlot(dev, counter)
+	head := make([]byte, 64)
+	if err := dev.ReadAt(head, superOff); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(head)
+	if err != nil {
+		return nil, err
+	}
+	if sb.deltaKeyframe > 0 {
+		return recoverVersionDelta(dev, sb, counter)
+	}
+	payload, _, err := recoverVersionSlotSB(dev, sb, counter)
 	return payload, err
+}
+
+// recoverVersionDelta serves a by-counter read on a delta-formatted device:
+// the version is resident only while its whole chain still is.
+func recoverVersionDelta(dev storage.Device, sb superblock, counter uint64) ([]byte, error) {
+	hdr, slot, err := findChainHeader(dev, sb, counter)
+	if err != nil {
+		return nil, ErrNoCheckpoint
+	}
+	tip := checkMeta{slot: slot, counter: hdr.counter, size: hdr.size, kind: hdr.kind, base: hdr.base, fullSize: hdr.fullSize}
+	if tip.kind != slotKindDelta {
+		payload := make([]byte, tip.size)
+		if err := readSlotPayload(dev, sb, tip, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	chain, err := chainMetas(dev, sb, tip)
+	if err != nil {
+		return nil, ErrNoCheckpoint // a link was recycled; the version is gone
+	}
+	return reconstructPayload(dev, sb, chain)
 }
 
 // recoverVersionSlot also reports which slot held the version, so live
@@ -152,6 +293,10 @@ func recoverVersionSlot(dev storage.Device, counter uint64) ([]byte, int, error)
 	if err != nil {
 		return nil, 0, err
 	}
+	return recoverVersionSlotSB(dev, sb, counter)
+}
+
+func recoverVersionSlotSB(dev storage.Device, sb superblock, counter uint64) ([]byte, int, error) {
 	for slot := 0; slot < sb.slots; slot++ {
 		buf := make([]byte, slotHeaderSize)
 		if err := dev.ReadAt(buf, slotBase(sb, slot)); err != nil {

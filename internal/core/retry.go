@@ -95,7 +95,7 @@ func (c *Checkpointer) retryIO(ctx context.Context, op func() error) error {
 			return err
 		}
 		c.stats.TransientFaults.Add(1)
-		c.instant(obs.PhaseFault, 0, -1, 0)
+		c.instant(obs.PhaseFault, 0, -1, 0, 0)
 		if attempt >= pol.MaxAttempts {
 			if pol.MaxAttempts == 1 {
 				return err

@@ -61,8 +61,17 @@ func (r *Recorder) WriteMetrics(w io.Writer) {
 	counter("pccheck_rank_deaths_total", "Workers declared dead by the distributed failure detector.", s.RankDeaths)
 	counter("pccheck_rank_rejoins_total", "Previously dead workers that re-attached to the group.", s.RankRejoins)
 	counter("pccheck_dropped_frames_total", "Coordination frames discarded by protocol validation.", s.DroppedFrames)
-	counter("pccheck_bytes_written_total", "Published checkpoint payload bytes.", s.BytesWritten)
+	counter("pccheck_bytes_written_total", "Published checkpoint payload bytes (logical).", s.BytesWritten)
+	counter("pccheck_bytes_persisted_total", "Bytes that actually hit the device (smaller than logical when delta checkpointing is on).", s.BytesPersisted)
+	counter("pccheck_delta_saves_total", "Published checkpoints stored as delta records.", s.DeltaSaves)
+	counter("pccheck_keyframe_saves_total", "Published full checkpoints in delta mode.", s.KeyframeSaves)
 	counter("pccheck_trace_dropped_events_total", "Flight-recorder events dropped (ring full).", s.DroppedEvents)
+	deltaRatio := 1.0
+	if s.BytesWritten > 0 {
+		deltaRatio = float64(s.BytesPersisted) / float64(s.BytesWritten)
+	}
+	fmt.Fprintf(w, "# HELP pccheck_delta_ratio Bytes persisted per logical byte checkpointed (1 = full checkpoints).\n")
+	fmt.Fprintf(w, "# TYPE pccheck_delta_ratio gauge\npccheck_delta_ratio %g\n", deltaRatio)
 	fmt.Fprintf(w, "# HELP pccheck_flight_ring_occupancy Flight-recorder ring entries currently buffered (drop pressure precursor; capacity %d).\n", s.RingCapacity)
 	fmt.Fprintf(w, "# TYPE pccheck_flight_ring_occupancy gauge\npccheck_flight_ring_occupancy %d\n", s.RingOccupancy)
 }

@@ -143,6 +143,10 @@ type Ledger struct {
 	published      atomic.Uint64
 	obsolete       atomic.Uint64
 	failed         atomic.Uint64
+	deltaSaves     atomic.Uint64
+	keyframeSaves  atomic.Uint64
+	bytesLogical   atomic.Int64
+	bytesPersisted atomic.Int64
 	lastPublishNS  atomic.Int64
 	lastPublishCtr atomic.Uint64
 	ewmaSaveNS     atomicFloat
@@ -234,6 +238,19 @@ func (l *Ledger) Emit(ev Event) {
 		l.published.Add(1)
 		storeMaxInt64(&l.lastPublishNS, ev.TS)
 		storeMaxUint64(&l.lastPublishCtr, ev.Counter)
+		// Bytes is what hit the device, Value the logical payload size. A
+		// publish persisting fewer bytes than its logical size is a delta.
+		l.bytesPersisted.Add(ev.Bytes)
+		if ev.Value > 0 {
+			l.bytesLogical.Add(ev.Value)
+			if ev.Bytes != ev.Value {
+				l.deltaSaves.Add(1)
+			}
+		} else {
+			l.bytesLogical.Add(ev.Bytes)
+		}
+	case PhaseKeyframe:
+		l.keyframeSaves.Add(1)
 	case PhaseObsolete:
 		l.obsolete.Add(1)
 	case PhaseSaveFailed:
@@ -466,6 +483,15 @@ type GoodputReport struct {
 	Obsolete             uint64  `json:"obsolete"`
 	FailedSaves          uint64  `json:"failed_saves"`
 
+	// Delta checkpointing view: published saves split by kind, logical vs
+	// actually-persisted byte volume, and their ratio (1 = full
+	// checkpoints, smaller = bytes the deltas saved).
+	DeltaSaves     uint64  `json:"delta_saves,omitempty"`
+	KeyframeSaves  uint64  `json:"keyframe_saves,omitempty"`
+	LogicalBytes   int64   `json:"logical_bytes,omitempty"`
+	BytesPersisted int64   `json:"bytes_persisted,omitempty"`
+	DeltaRatio     float64 `json:"delta_ratio,omitempty"`
+
 	// §3.4 model drift: observed EWMAs vs the Profile/Analyze predictions
 	// that chose N* and f*. Ratios are 0 when a prediction is unset.
 	ObservedTwSeconds    float64 `json:"observed_tw_seconds"`
@@ -550,6 +576,13 @@ func (l *Ledger) Report() GoodputReport {
 	rep.Published = l.published.Load()
 	rep.Obsolete = l.obsolete.Load()
 	rep.FailedSaves = l.failed.Load()
+	rep.DeltaSaves = l.deltaSaves.Load()
+	rep.KeyframeSaves = l.keyframeSaves.Load()
+	rep.LogicalBytes = l.bytesLogical.Load()
+	rep.BytesPersisted = l.bytesPersisted.Load()
+	if rep.LogicalBytes > 0 {
+		rep.DeltaRatio = float64(rep.BytesPersisted) / float64(rep.LogicalBytes)
+	}
 	rep.LastPublishedCounter = l.lastPublishCtr.Load()
 	ref := l.lastPublishNS.Load()
 	if ref == 0 {
@@ -634,6 +667,10 @@ func FormatReport(w io.Writer, rep GoodputReport) {
 	}
 	fmt.Fprintf(w, "durable   checkpoint %d, staleness %.2fs (wasted-work bound) — %d published, %d obsolete, %d failed\n",
 		rep.LastPublishedCounter, rep.StalenessSeconds, rep.Published, rep.Obsolete, rep.FailedSaves)
+	if rep.DeltaSaves > 0 || rep.KeyframeSaves > 0 {
+		fmt.Fprintf(w, "delta     %d delta / %d keyframe saves, %d of %d bytes persisted (ratio %.3f)\n",
+			rep.DeltaSaves, rep.KeyframeSaves, rep.BytesPersisted, rep.LogicalBytes, rep.DeltaRatio)
+	}
 	if rep.PredictedTwSeconds > 0 || rep.PredictedIterSeconds > 0 {
 		fmt.Fprintf(w, "model     observed Tw %.4fs vs predicted %.4fs (drift %.2fx); iter %.4fs vs %.4fs (drift %.2fx)\n",
 			rep.ObservedTwSeconds, rep.PredictedTwSeconds, rep.TwDriftRatio,

@@ -106,6 +106,13 @@ const (
 	// validation — out-of-range rank, stale or duplicated round, unknown
 	// kind (instant). Rank is the claimed sender, Value the reason code.
 	PhaseFrameDropped
+	// PhaseDeltaEncode spans the diff + delta-record encode of a save that
+	// was stored as a delta. Bytes is the encoded record length, Value the
+	// logical payload size — their ratio is this save's delta ratio.
+	PhaseDeltaEncode
+	// PhaseKeyframe marks a delta-mode save published as a full keyframe
+	// (instant); Bytes is the payload size. Plain-mode saves never emit it.
+	PhaseKeyframe
 
 	// PhaseCount is the number of defined phases.
 	PhaseCount
@@ -116,7 +123,7 @@ var phaseNames = [PhaseCount]string{
 	"header", "barrier", "publish", "obsolete", "cas-retry", "io-retry",
 	"fault", "fault-injected", "snapshot", "retune", "agree",
 	"save-failed", "agree-gate", "rank-dead", "rank-rejoined",
-	"frame-dropped",
+	"frame-dropped", "delta-encode", "keyframe",
 }
 
 // String returns the phase's canonical hyphenated name.
@@ -132,7 +139,7 @@ func (p Phase) IsSpan() bool {
 	switch p {
 	case PhaseSave, PhaseSlotWait, PhaseCopy, PhaseChunkWait, PhasePersist,
 		PhaseSync, PhaseHeader, PhaseBarrier, PhaseSnapshot, PhaseAgree,
-		PhaseIORetry, PhaseAgreeGate:
+		PhaseIORetry, PhaseAgreeGate, PhaseDeltaEncode:
 		return true
 	}
 	return false
@@ -194,7 +201,12 @@ type Recorder struct {
 	rankDeaths  atomic.Uint64
 	rankRejoins atomic.Uint64
 	badFrames   atomic.Uint64
-	bytes       atomic.Int64
+	// bytes counts logical checkpoint bytes published; bytesPersisted what
+	// actually hit the device (smaller when saves are delta-encoded).
+	bytes          atomic.Int64
+	bytesPersisted atomic.Int64
+	deltaSaves     atomic.Uint64
+	keyframes      atomic.Uint64
 }
 
 // DefaultCapacity is the ring capacity used when NewRecorder is given 0.
@@ -227,7 +239,19 @@ func (r *Recorder) Emit(ev Event) {
 	switch ev.Phase {
 	case PhasePublish:
 		r.published.Add(1)
-		r.bytes.Add(ev.Bytes)
+		// Bytes is what was persisted; Value, when set, is the logical
+		// payload size (they differ exactly when the save was a delta).
+		logical := ev.Value
+		if logical <= 0 {
+			logical = ev.Bytes
+		}
+		r.bytes.Add(logical)
+		r.bytesPersisted.Add(ev.Bytes)
+		if ev.Value > 0 && ev.Bytes != ev.Value {
+			r.deltaSaves.Add(1)
+		}
+	case PhaseKeyframe:
+		r.keyframes.Add(1)
 	case PhaseObsolete:
 		r.obsolete.Add(1)
 	case PhaseSaveFailed:
@@ -302,8 +326,14 @@ type Snapshot struct {
 	RankDeaths    uint64
 	RankRejoins   uint64
 	DroppedFrames uint64
-	// BytesWritten is the published payload volume.
-	BytesWritten int64
+	// BytesWritten is the published payload volume (logical bytes);
+	// BytesPersisted is what actually reached the device. DeltaSaves and
+	// KeyframeSaves break published saves down in delta mode (keyframes
+	// only count there; plain-mode publishes increment neither).
+	BytesWritten   int64
+	BytesPersisted int64
+	DeltaSaves     uint64
+	KeyframeSaves  uint64
 	// DroppedEvents counts ring overwrites (oldest-event drops).
 	DroppedEvents uint64
 	// RingOccupancy is how many events are currently buffered in the
@@ -341,6 +371,9 @@ func (r *Recorder) Snapshot() Snapshot {
 		RankRejoins:     r.rankRejoins.Load(),
 		DroppedFrames:   r.badFrames.Load(),
 		BytesWritten:    r.bytes.Load(),
+		BytesPersisted:  r.bytesPersisted.Load(),
+		DeltaSaves:      r.deltaSaves.Load(),
+		KeyframeSaves:   r.keyframes.Load(),
 		DroppedEvents:   r.ring.dropped.Load(),
 		RingOccupancy:   r.ring.len(),
 		RingCapacity:    len(r.ring.cells),

@@ -49,7 +49,20 @@ func (t *Throttle) Reserve(n int) time.Time {
 	if t == nil || t.bytesPerSec <= 0 || n <= 0 {
 		return time.Time{}
 	}
-	d := time.Duration(float64(n) / t.bytesPerSec * float64(time.Second))
+	// A huge n over a tiny rate overflows the float→Duration conversion:
+	// out-of-range conversions are platform-defined (MinInt64 on amd64), so
+	// the unguarded arithmetic could produce a *negative* duration, walk the
+	// timeline backwards, and silently disable pacing for every later
+	// caller. Clamp to ~34 years, far past any deadline a caller waits on.
+	const maxReserve = float64(1<<30) * float64(time.Second)
+	sec := float64(n) / t.bytesPerSec * float64(time.Second)
+	if sec != sec || sec > maxReserve { // NaN or overflow
+		sec = maxReserve
+	}
+	if sec < 0 {
+		sec = 0
+	}
+	d := time.Duration(sec)
 	t.mu.Lock()
 	now := time.Now()
 	start := t.nextFree

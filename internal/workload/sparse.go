@@ -1,0 +1,82 @@
+package workload
+
+import "fmt"
+
+// Sparse update patterns for delta-checkpoint evaluation. Full-model SGD
+// touches every parameter every iteration, but many production training
+// regimes mutate only a small fraction of the checkpointable state between
+// checkpoints: embedding tables update only the rows of the batch's tokens,
+// LoRA-style fine-tuning updates only adapter blocks, MoE routers update
+// only the experts that saw traffic. These patterns parameterize the bench
+// and crash-sweep workloads; DirtyFraction is the fraction of checkpoint
+// bytes mutated between consecutive checkpoints, Ranges how many contiguous
+// regions that dirt is scattered across.
+type SparsePattern struct {
+	// Name identifies the pattern in bench output and flags.
+	Name string
+	// DirtyFraction ∈ (0, 1] is the fraction of the checkpoint mutated
+	// between two consecutive checkpoints.
+	DirtyFraction float64
+	// Ranges is how many contiguous dirty regions the mutations form; more
+	// ranges at the same fraction means more scattered writes and more
+	// chunks dirtied per byte.
+	Ranges int
+}
+
+// SparseZoo lists the evaluated update patterns, densest first.
+var SparseZoo = []SparsePattern{
+	// Dense SGD: the adversarial case for delta checkpointing — every byte
+	// changes, deltas degrade to keyframes (and the engine's size check
+	// keeps them from costing more than full checkpoints).
+	{Name: "dense-sgd", DirtyFraction: 1.0, Ranges: 1},
+	// Embedding fine-tune: a batch touches ~2% of the table's rows.
+	{Name: "embedding-hotset", DirtyFraction: 0.02, Ranges: 8},
+	// LoRA adapters: frozen base model, ~5% trainable adapter blocks.
+	{Name: "lora-adapters", DirtyFraction: 0.05, Ranges: 32},
+	// MoE router + active experts: ~10% of state, scattered per expert.
+	{Name: "moe-router", DirtyFraction: 0.10, Ranges: 16},
+}
+
+// SparseByName returns the pattern with the given name.
+func SparseByName(name string) (SparsePattern, error) {
+	for _, p := range SparseZoo {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return SparsePattern{}, fmt.Errorf("workload: unknown sparse pattern %q", name)
+}
+
+// Mutate applies one iteration's worth of updates to state in place using
+// the supplied deterministic random source, returning the mutated ranges as
+// {offset, length} pairs (the DirtyTracker feed). rnd(n) must return a
+// uniform int in [0, n).
+func (p SparsePattern) Mutate(state []byte, rnd func(int) int) [][2]int64 {
+	if len(state) == 0 || p.Ranges <= 0 {
+		return nil
+	}
+	dirtyBytes := int(float64(len(state)) * p.DirtyFraction)
+	if dirtyBytes < p.Ranges {
+		dirtyBytes = p.Ranges
+	}
+	if dirtyBytes > len(state) {
+		dirtyBytes = len(state)
+	}
+	per := dirtyBytes / p.Ranges
+	ranges := make([][2]int64, 0, p.Ranges)
+	for r := 0; r < p.Ranges; r++ {
+		span := per
+		if span < 1 {
+			span = 1
+		}
+		if span > len(state) {
+			span = len(state)
+		}
+		off := rnd(len(state) - span + 1)
+		for i := off; i < off+span; i++ {
+			state[i] ^= byte(1 + rnd(255))
+		}
+		ranges = append(ranges, [2]int64{int64(off), int64(span)})
+	}
+	return ranges
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSparseByName(t *testing.T) {
+	for _, p := range SparseZoo {
+		got, err := SparseByName(p.Name)
+		if err != nil {
+			t.Fatalf("SparseByName(%q): %v", p.Name, err)
+		}
+		if got != p {
+			t.Fatalf("SparseByName(%q) = %+v, want %+v", p.Name, got, p)
+		}
+	}
+	if _, err := SparseByName("no-such-pattern"); err == nil {
+		t.Fatal("SparseByName on an unknown name: want error, got nil")
+	}
+}
+
+func TestSparseMutateRangesCoverChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rnd := func(n int) int { return rng.Intn(n) }
+	for _, p := range SparseZoo {
+		state := make([]byte, 64<<10)
+		rng.Read(state)
+		before := append([]byte(nil), state...)
+
+		ranges := p.Mutate(state, rnd)
+		if len(ranges) != p.Ranges {
+			t.Fatalf("%s: %d ranges, want %d", p.Name, len(ranges), p.Ranges)
+		}
+		dirty := make([]bool, len(state))
+		for _, r := range ranges {
+			off, n := r[0], r[1]
+			if off < 0 || n < 1 || off+n > int64(len(state)) {
+				t.Fatalf("%s: range [%d,+%d) out of bounds", p.Name, off, n)
+			}
+			for i := off; i < off+n; i++ {
+				dirty[i] = true
+			}
+		}
+		changed := 0
+		for i := range state {
+			if state[i] != before[i] {
+				if !dirty[i] {
+					t.Fatalf("%s: byte %d changed outside the reported ranges", p.Name, i)
+				}
+				changed++
+			}
+		}
+		if changed == 0 {
+			t.Fatalf("%s: Mutate changed nothing", p.Name)
+		}
+		// The reported dirty volume should track the pattern's fraction:
+		// never more than the fraction plus overlap slack, and nonzero.
+		var dirtyBytes int64
+		for _, r := range ranges {
+			dirtyBytes += r[1]
+		}
+		if max := int64(float64(len(state))*p.DirtyFraction) + int64(p.Ranges); dirtyBytes > max {
+			t.Fatalf("%s: %d dirty bytes reported, want ≤ %d", p.Name, dirtyBytes, max)
+		}
+	}
+}
+
+func TestSparseMutateEmptyState(t *testing.T) {
+	p := SparseZoo[1]
+	if got := p.Mutate(nil, func(int) int { return 0 }); got != nil {
+		t.Fatalf("Mutate(nil) = %v, want nil", got)
+	}
+	// A 1-byte state: every range must degrade to [0, +1) without panicking.
+	one := []byte{42}
+	ranges := p.Mutate(one, func(int) int { return 0 })
+	if len(ranges) != p.Ranges {
+		t.Fatalf("Mutate on a 1-byte state: %d ranges, want %d", len(ranges), p.Ranges)
+	}
+	for _, r := range ranges {
+		if r != [2]int64{0, 1} {
+			t.Fatalf("Mutate on a 1-byte state: range %v, want [0 1]", r)
+		}
+	}
+}

@@ -21,6 +21,13 @@ import (
 // (the training loop), which is also what keeps the snapshotted state
 // quiescent. Drain and the accessors may be called from any goroutine, at
 // any time, concurrently with Ticks.
+//
+// With Config.Delta set, each launched Save diffs against the previous
+// checkpoint inside the engine; Loop needs no changes. Feeding the engine's
+// DirtyTracker from Loop-launched saves is NOT supported: saves run in
+// background goroutines and may complete out of mutation order, violating
+// the tracker's coherence contract — leave the tracker unfed (content-hash
+// fallback) or call Save synchronously from the training goroutine.
 type Loop struct {
 	ck       *Checkpointer
 	interval int

@@ -54,6 +54,8 @@ const (
 	PhaseRankDead      = obs.PhaseRankDead      // rank 0 declared a rank dead (Value = cause)
 	PhaseRankRejoined  = obs.PhaseRankRejoined  // a dead rank came back / resynced
 	PhaseFrameDropped  = obs.PhaseFrameDropped  // a malformed or stale frame was discarded
+	PhaseDeltaEncode   = obs.PhaseDeltaEncode   // diffing + encoding a delta record
+	PhaseKeyframe      = obs.PhaseKeyframe      // a full checkpoint published in delta mode
 )
 
 // Recorder is the built-in Observer: a bounded lock-free event ring

@@ -61,7 +61,7 @@ var (
 // configuration from measurements per §3.4 of the paper.
 type Config struct {
 	// MaxBytes is the maximum checkpoint payload size m. The checkpoint
-	// file occupies about (Concurrent+1)·MaxBytes on disk.
+	// file occupies about (Concurrent+1+Delta.Keyframe)·MaxBytes on disk.
 	MaxBytes int64
 	// Concurrent is N, how many checkpoints may be in flight at once.
 	// Default 2.
@@ -86,6 +86,11 @@ type Config struct {
 	// zero value enables the default policy of 3 attempts; set
 	// RetryPolicy{MaxAttempts: 1} to fail on the first fault.
 	Retry RetryPolicy
+	// Delta enables incremental checkpointing: only the chunks that changed
+	// since the previous checkpoint are persisted, with a full keyframe
+	// every Delta.Keyframe saves bounding recovery depth. Leave zero for
+	// full checkpoints. See the "Delta checkpoints" section of the README.
+	Delta DeltaConfig
 	// Observer, when non-nil, receives a structured event for every phase
 	// of every Save — slot wait, staging copies, per-writer persists, the
 	// pointer-record barrier, publish/obsolete outcomes, retries. Attach a
@@ -97,6 +102,22 @@ type Config struct {
 	// one predictable branch per probe and zero allocations —
 	// observability off is free.
 	Observer Observer
+}
+
+// DeltaConfig tunes incremental (delta) checkpointing. With either field
+// set, Save diffs each payload against the previous checkpoint at chunk
+// granularity and persists only the changed chunks; every Keyframe-th save
+// is a full checkpoint, so recovery reads one keyframe plus at most
+// Keyframe delta records. The checkpoint file grows by Keyframe extra
+// slots to pin the chain.
+type DeltaConfig struct {
+	// Every selects which saves may be deltas: a save is a delta candidate
+	// when its sequence number is a multiple of Every (1 or 0 = every
+	// save). Setting Every alone defaults Keyframe to 8.
+	Every int
+	// Keyframe is K, the maximum delta-chain length before a forced full
+	// checkpoint. Setting Keyframe alone defaults Every to 1.
+	Keyframe int
 }
 
 // RetryPolicy bounds transient-fault retries per persist-path I/O
@@ -140,6 +161,8 @@ func (c Config) engineConfig() core.Config {
 		DRAMBudget:    c.DRAMBudget,
 		VerifyPayload: c.Verify,
 		PerWriterBW:   c.PerWriterBW,
+		DeltaEvery:    c.Delta.Every,
+		DeltaKeyframe: c.Delta.Keyframe,
 		Retry: core.RetryPolicy{
 			MaxAttempts: c.Retry.MaxAttempts,
 			BaseBackoff: c.Retry.BaseBackoff,
@@ -159,8 +182,16 @@ type Stats struct {
 	// concurrent checkpoint before publishing — their work still made the
 	// system strictly safer in the interim.
 	Obsolete int64
-	// BytesWritten is the total payload volume persisted.
-	BytesWritten int64
+	// BytesWritten is the total logical payload volume checkpointed;
+	// BytesPersisted is what actually hit the device. They are equal for
+	// full checkpoints; with delta mode on, Persisted/Written is the
+	// bytes-per-save reduction the deltas bought.
+	BytesWritten   int64
+	BytesPersisted int64
+	// DeltaSaves and KeyframeSaves split published checkpoints by kind in
+	// delta mode (both zero otherwise).
+	DeltaSaves    int64
+	KeyframeSaves int64
 	// PersistTime is the cumulative wall time spent inside Save.
 	PersistTime time.Duration
 	// SlotWaits counts Saves that had to wait for a free slot — a signal
@@ -198,7 +229,7 @@ func Create(path string, cfg Config) (*Checkpointer, error) {
 	if cfg.MaxBytes <= 0 {
 		return nil, fmt.Errorf("pccheck: Config.MaxBytes must be positive, got %d", cfg.MaxBytes)
 	}
-	dev, err := storage.OpenSSD(path, core.DeviceBytes(cfg.Concurrent, cfg.MaxBytes))
+	dev, err := storage.OpenSSD(path, core.DeviceBytesFor(cfg.engineConfig()))
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +265,7 @@ func CreateVolatile(cfg Config) (*Checkpointer, *Memory, error) {
 	if cfg.MaxBytes <= 0 {
 		return nil, nil, fmt.Errorf("pccheck: Config.MaxBytes must be positive, got %d", cfg.MaxBytes)
 	}
-	region := pmem.NewRegion(int(core.DeviceBytes(cfg.Concurrent, cfg.MaxBytes)))
+	region := pmem.NewRegion(int(core.DeviceBytesFor(cfg.engineConfig())))
 	dev := storage.NewPMEM(region)
 	engine, err := core.New(dev, cfg.engineConfig())
 	if err != nil {
@@ -297,6 +328,18 @@ func (c *Checkpointer) LoadLatest() ([]byte, uint64, error) {
 	}
 }
 
+// DirtyTracker is the trainer-facing dirty-range feed for delta mode; see
+// its methods for the coherence contract.
+type DirtyTracker = core.DirtyTracker
+
+// DirtyTracker returns the dirty-range tracker when delta mode is on, nil
+// otherwise. Feeding it the exact byte ranges mutated between Saves lets
+// the engine skip content hashing; an unfed tracker is always safe — the
+// engine falls back to hashing each payload chunk.
+func (c *Checkpointer) DirtyTracker() *DirtyTracker {
+	return c.engine.DirtyTracker()
+}
+
 // SetWriterBandwidth changes the per-writer pacing rate at runtime
 // (bytes/sec; 0 unpaces). Experiments use it to model device contention;
 // production deployments normally leave writes unpaced and let the device
@@ -320,6 +363,9 @@ func (c *Checkpointer) Stats() Stats {
 		Published:       s.Checkpoints,
 		Obsolete:        s.Obsolete,
 		BytesWritten:    s.BytesWritten,
+		BytesPersisted:  s.BytesPersisted,
+		DeltaSaves:      s.DeltaSaves,
+		KeyframeSaves:   s.KeyframeSaves,
 		PersistTime:     s.Persist,
 		SlotWaits:       s.SlotWaits,
 		Retries:         s.IORetries,
