@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-delta bench-json metrics-lint fmt-check staticcheck trace-smoke
+.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-delta bench-json bench-decisions metrics-lint fmt-check staticcheck trace-smoke
 
 build:
 	$(GO) build ./...
@@ -47,8 +47,19 @@ bench-json:
 	$(GO) run ./cmd/pccheck-bench -goodput -json BENCH_goodput.json
 	$(GO) run ./cmd/pccheck-bench -delta -json BENCH_delta.json
 
+# Decision-trace gate: a seeded adaptive goodput run with the decision
+# recorder attached, then pccheck-decisions asserting the log is
+# non-empty, every regret is finite, the measurement join covers ≥95% of
+# decisions, and every retune carries ≥2 scored alternatives.
+bench-decisions:
+	$(GO) run ./cmd/pccheck-bench -goodput -adaptive -goodput-iters 200 -decisions BENCH_decisions.jsonl
+	$(GO) run ./cmd/pccheck-decisions -top 5 \
+	  -assert-nonempty -assert-finite -assert-coverage 0.95 -assert-alternatives 2 \
+	  BENCH_decisions.jsonl
+
 # Strict Prometheus text-exposition lint of everything /metrics serves
-# (recorder + goodput ledger), via a self-contained in-process endpoint.
+# (recorder + decision recorder + goodput ledger), scraped from a live
+# in-process ServeMetrics endpoint.
 metrics-lint:
 	$(GO) run ./cmd/pccheck-metrics-lint
 

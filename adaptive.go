@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"pccheck/internal/obs/decision"
 )
 
 // AdaptiveLoop is the frequency-adaptation extension sketched at the end of
@@ -42,6 +44,11 @@ type AdaptiveLoop struct {
 	ledger   *Ledger
 	lastIter time.Time
 	pendCkpt bool
+
+	// dec is the decision recorder found in the observer chain (nil when
+	// none): every retune is recorded with the Eq. (3) candidate set it
+	// rejected, and scored against the ledger's next measured block.
+	dec *decision.Recorder
 
 	q     float64 // overhead budget (> 1)
 	n     int     // concurrent checkpoints
@@ -121,6 +128,7 @@ func NewAdaptiveLoop(ck *Checkpointer, cfg AdaptiveConfig, snapshot func() []byt
 		interval:    clampInt(cfg.InitialInterval, cfg.MinInterval, cfg.MaxInterval),
 	}
 	l.ledger, _ = l.obsv.(*Ledger)
+	l.dec = decision.Find(l.obsv)
 	l.idle = sync.NewCond(&l.mu)
 	return l, nil
 }
@@ -243,6 +251,9 @@ func (l *AdaptiveLoop) retuneLocked() {
 	prev := l.interval
 	l.interval = clampInt(f, l.minInterval, l.maxInterval)
 	l.adjusts++
+	if l.dec != nil {
+		l.recordRetuneLocked(tw, prev)
+	}
 	if l.obsv != nil && l.interval != prev {
 		// Instant on the loop track: the controller re-derived f. Value
 		// carries the new interval so traces show the adaptation trajectory.
@@ -251,6 +262,30 @@ func (l *AdaptiveLoop) retuneLocked() {
 			Value: int64(l.interval), Slot: -1, Writer: -1, Rank: -1,
 		})
 	}
+}
+
+// recordRetuneLocked logs the retune just applied — the measured Eq. (3)
+// inputs, the chosen interval, and the candidate intervals the model scored
+// worse — as a pending decision the ledger's next slowdown block will join
+// into measured regret. q (MaxOverhead) is already a slowdown bound > 1,
+// matching the candidate feasibility test directly.
+func (l *AdaptiveLoop) recordRetuneLocked(tw float64, prev int) {
+	chosen, rejected := decision.RetuneCandidates(
+		tw, l.ewmaIter, l.q, l.n, l.interval, prev,
+		l.minInterval, l.maxInterval, l.dec.FailureRate())
+	in := decision.Inputs{
+		TwSeconds:   tw,
+		IterSeconds: l.ewmaIter,
+		Q:           l.q,
+		N:           l.n,
+	}
+	if cfg := l.ck.engine.Config(); cfg.SlotBytes > 0 {
+		in.PayloadBytes = cfg.SlotBytes
+	}
+	if l.ledger != nil {
+		_, in.InBreach = l.ledger.Breach()
+	}
+	l.dec.RecordRetune(in, chosen, rejected)
 }
 
 // Interval returns the current checkpoint interval f.
@@ -290,6 +325,9 @@ func (l *AdaptiveLoop) Adjustments() int {
 func (l *AdaptiveLoop) Drain() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Close out pending decisions (retunes still waiting for a ledger
+	// block) so a post-Drain export covers every decision made.
+	defer l.dec.Finalize()
 	if l.inflight > 0 && l.ledger != nil {
 		start := time.Now()
 		for l.inflight > 0 {

@@ -2,6 +2,7 @@ package pccheck
 
 import (
 	"context"
+	"math"
 	"testing"
 	"time"
 )
@@ -149,5 +150,142 @@ func TestAdaptiveLoopClamps(t *testing.T) {
 	}
 	if got := loop.Interval(); got < 5 || got > 9 {
 		t.Fatalf("interval %d escaped clamp [5,9]", got)
+	}
+}
+
+// decisionLoop builds an AdaptiveLoop over the production observer chain
+// Ledger → decision.Recorder → flight Recorder, returning the pieces the
+// retune edge-case tests poke at.
+func decisionLoop(t *testing.T, lcfg LedgerConfig) (*AdaptiveLoop, *Ledger, *DecisionRecorder) {
+	t.Helper()
+	dec := NewDecisionRecorder(DecisionConfig{}, NewFlightRecorder(0))
+	led := NewLedger(lcfg, dec)
+	ck, _, err := CreateVolatile(Config{MaxBytes: 1 << 10, Observer: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ck.Close() })
+	loop, err := NewAdaptiveLoop(ck, AdaptiveConfig{MaxOverhead: 1.10, InitialInterval: 10}, func() []byte { return make([]byte, 256) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, led, dec
+}
+
+// Before any save has completed, Tw is zero and Eq. (3) is undefined: the
+// retune must be a no-op that records no decision, not a collapse to
+// MinInterval.
+func TestRetuneNoMeasuredTwIsNoOp(t *testing.T) {
+	loop, _, dec := decisionLoop(t, LedgerConfig{SlowdownBudget: 1.10})
+	loop.mu.Lock()
+	loop.ewmaIter = 0.001
+	loop.ewmaTw = 0 // no measured saves yet
+	loop.retuneLocked()
+	adjusts, interval := loop.adjusts, loop.interval
+	loop.mu.Unlock()
+	if adjusts != 0 || interval != 10 {
+		t.Errorf("retune with Tw=0 acted: adjusts=%d interval=%d", adjusts, interval)
+	}
+	sum := dec.Summary()
+	if sum.Total != 0 || sum.Pending != 0 {
+		t.Errorf("retune with Tw=0 recorded a decision: %+v", sum)
+	}
+}
+
+// A retune taken while the ledger's slowdown EWMA is above the budget must
+// carry InBreach in its recorded inputs — the regret analysis needs to
+// separate decisions made under pressure from steady-state ones.
+func TestRetuneRecordsBudgetBreach(t *testing.T) {
+	loop, led, dec := decisionLoop(t, LedgerConfig{
+		SlowdownBudget:   1.05,
+		BaselineIterTime: time.Millisecond,
+		Window:           4,
+	})
+	// Four 3 ms iterations against the 1 ms baseline: slowdown 3 ≫ q.
+	for i := 0; i < 4; i++ {
+		led.IterDone(3*time.Millisecond, true)
+	}
+	if _, in := led.Breach(); !in {
+		t.Fatal("ledger not in breach after the slow block")
+	}
+	loop.mu.Lock()
+	loop.ewmaIter = 0.001
+	loop.ewmaTw = 0.02
+	loop.retuneLocked()
+	loop.mu.Unlock()
+	dec.Finalize() // drain-join against the block the slow iterations closed
+	ds := dec.Decisions()
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	d := ds[0]
+	if !d.Inputs.InBreach {
+		t.Error("retune under breach not marked InBreach")
+	}
+	if !d.Scored || d.Outcome != "drain-join" {
+		t.Errorf("scored %v outcome %q, want drain-join against the breach block", d.Scored, d.Outcome)
+	}
+	if len(d.Rejected) < 2 {
+		t.Errorf("retune carries %d alternatives, want ≥ 2", len(d.Rejected))
+	}
+}
+
+// When the ledger's engine-measured write time drifts away from the
+// goroutine-observed EWMA (queueing, external load), the retune must trust
+// the ledger — both for the new interval and for the recorded inputs.
+func TestRetunePrefersLedgerMeasuredTw(t *testing.T) {
+	loop, led, dec := decisionLoop(t, LedgerConfig{SlowdownBudget: 1.10})
+	// Engine-measured saves: 50 ms spans, no slot wait. This is far above
+	// the 1 ms the loop's own EWMA last saw.
+	led.Emit(Event{TS: 1, Dur: int64(50 * time.Millisecond), Phase: PhaseSave, Slot: -1, Writer: -1, Rank: -1})
+	measured := led.ObservedTw().Seconds()
+	if measured <= 0.01 {
+		t.Fatalf("ledger ObservedTw = %v, want the 50 ms save span reflected", measured)
+	}
+	loop.mu.Lock()
+	loop.ewmaIter = 0.001
+	loop.ewmaTw = 0.001 // stale goroutine view: would re-derive f=1
+	loop.retuneLocked()
+	interval := loop.interval
+	loop.mu.Unlock()
+	want := int(math.Ceil(measured / (float64(loop.n) * loop.q * 0.001)))
+	if interval != want {
+		t.Errorf("interval %d, want %d from the ledger-measured Tw", interval, want)
+	}
+	dec.Finalize()
+	ds := dec.Decisions()
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	if got := ds[0].Inputs.TwSeconds; math.Abs(got-measured) > 1e-9 {
+		t.Errorf("recorded TwSeconds %v, want ledger-measured %v (not the stale EWMA 0.001)", got, measured)
+	}
+}
+
+// TestRetuneNilDecisionRecorderAddsNoAllocations: with no decision recorder
+// in the chain the retune path must stay allocation-free — the probe is one
+// branch.
+func TestRetuneNilDecisionRecorderAddsNoAllocations(t *testing.T) {
+	led := NewLedger(LedgerConfig{SlowdownBudget: 1.10}, NewFlightRecorder(0))
+	ck, _, err := CreateVolatile(Config{MaxBytes: 1 << 10, Observer: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	loop, err := NewAdaptiveLoop(ck, AdaptiveConfig{MaxOverhead: 1.10}, func() []byte { return make([]byte, 256) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop.dec != nil {
+		t.Fatal("chain without a decision recorder yielded a non-nil probe")
+	}
+	loop.mu.Lock()
+	loop.ewmaIter = 0.001
+	loop.ewmaTw = 0.02
+	loop.retuneLocked() // warm: settle the interval so re-runs are steady-state
+	allocs := testing.AllocsPerRun(100, loop.retuneLocked)
+	loop.mu.Unlock()
+	if allocs > 0 {
+		t.Errorf("retune with nil decision recorder allocates %v per call, want 0", allocs)
 	}
 }

@@ -16,15 +16,17 @@ import (
 // ledger attached, reporting the paper's headline quantities (goodput
 // ratio, slowdown vs q, staleness, stall attribution).
 type goodputConfig struct {
-	iters       int           // training iterations
-	interval    int           // checkpoint every f iterations
-	iterTime    time.Duration // simulated per-iteration compute
-	snapTime    time.Duration // simulated snapshot capture stall (the D2H copy)
-	payload     int64         // checkpoint bytes m
-	bw          float64       // per-writer device bandwidth throttle (bytes/sec, 0 = unthrottled)
-	q           float64       // slowdown budget
-	jsonOut     string        // write the machine-readable summary here ("" = off)
-	metricsAddr string        // serve /metrics while the scenario runs ("" = off)
+	iters        int           // training iterations
+	interval     int           // checkpoint every f iterations
+	iterTime     time.Duration // simulated per-iteration compute
+	snapTime     time.Duration // simulated snapshot capture stall (the D2H copy)
+	payload      int64         // checkpoint bytes m
+	bw           float64       // per-writer device bandwidth throttle (bytes/sec, 0 = unthrottled)
+	q            float64       // slowdown budget
+	adaptive     bool          // drive an AdaptiveLoop (Eq. (3) retuning) instead of a fixed interval
+	decisionsOut string        // attach the decision recorder; write its JSONL log here ("-" = stdout, "" = off)
+	jsonOut      string        // write the machine-readable summary here ("" = off)
+	metricsAddr  string        // serve /metrics while the scenario runs ("" = off)
 }
 
 // benchJSON is the BENCH_*.json shape: enough context to compare runs
@@ -40,8 +42,9 @@ type benchJSON struct {
 		WriterBW   float64 `json:"writer_bw_bytes_per_sec"`
 		Q          float64 `json:"q"`
 	} `json:"config"`
-	Report  pccheck.GoodputReport `json:"report"`
-	Latency struct {
+	Report    pccheck.GoodputReport    `json:"report"`
+	Decisions *pccheck.DecisionSummary `json:"decisions,omitempty"`
+	Latency   struct {
 		SaveP50Sec float64 `json:"save_p50_sec"`
 		SaveP95Sec float64 `json:"save_p95_sec"`
 		SaveP99Sec float64 `json:"save_p99_sec"`
@@ -53,7 +56,16 @@ type benchJSON struct {
 // and prints (and optionally exports) the goodput report.
 func runGoodput(w io.Writer, cfg goodputConfig) error {
 	rec := pccheck.NewFlightRecorder(0)
-	led := pccheck.NewLedger(pccheck.LedgerConfig{SlowdownBudget: cfg.q}, rec)
+	// With -decisions the recorder chains between the ledger and the
+	// flight recorder: the ledger discovers it downstream and feeds it the
+	// slowdown blocks that score retune decisions with measured regret.
+	var dec *pccheck.DecisionRecorder
+	var next pccheck.Observer = rec
+	if cfg.decisionsOut != "" {
+		dec = pccheck.NewDecisionRecorder(pccheck.DecisionConfig{}, rec)
+		next = dec
+	}
+	led := pccheck.NewLedger(pccheck.LedgerConfig{SlowdownBudget: cfg.q}, next)
 
 	ck, _, err := pccheck.CreateVolatile(pccheck.Config{
 		MaxBytes:    cfg.payload,
@@ -68,7 +80,11 @@ func runGoodput(w io.Writer, cfg goodputConfig) error {
 	defer ck.Close()
 
 	if cfg.metricsAddr != "" {
-		srv, bound, err := pccheck.ServeMetrics(cfg.metricsAddr, rec, led)
+		writers := []pccheck.MetricsWriter{led}
+		if dec != nil {
+			writers = append(writers, dec)
+		}
+		srv, bound, err := pccheck.ServeMetrics(cfg.metricsAddr, rec, writers...)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
@@ -77,25 +93,49 @@ func runGoodput(w io.Writer, cfg goodputConfig) error {
 	}
 
 	state := make([]byte, cfg.payload)
-	loop, err := pccheck.NewLoop(ck, cfg.interval, func() []byte {
+	snapshot := func() []byte {
 		// The snapshot stall stands in for the GPU→host copy: the only part
 		// of a checkpoint that blocks training (§3.1).
 		time.Sleep(cfg.snapTime)
 		return state
-	})
-	if err != nil {
-		return err
 	}
-
-	fmt.Fprintf(w, "goodput scenario: %d iterations × %v, checkpoint every %d (snapshot stall %v, %d-byte payload, q=%.3f)\n\n",
-		cfg.iters, cfg.iterTime, cfg.interval, cfg.snapTime, cfg.payload, cfg.q)
 	ctx := context.Background()
-	for it := 0; it < cfg.iters; it++ {
-		time.Sleep(cfg.iterTime) // the training step
-		loop.Tick(ctx, it)
+	mode := fmt.Sprintf("checkpoint every %d", cfg.interval)
+	if cfg.adaptive {
+		mode = fmt.Sprintf("adaptive interval (Eq. (3), seed %d)", cfg.interval)
 	}
-	if err := loop.Drain(); err != nil {
-		return fmt.Errorf("drain: %w", err)
+	fmt.Fprintf(w, "goodput scenario: %d iterations × %v, %s (snapshot stall %v, %d-byte payload, q=%.3f)\n\n",
+		cfg.iters, cfg.iterTime, mode, cfg.snapTime, cfg.payload, cfg.q)
+	if cfg.adaptive {
+		loop, err := pccheck.NewAdaptiveLoop(ck, pccheck.AdaptiveConfig{
+			MaxOverhead:     cfg.q,
+			InitialInterval: cfg.interval,
+		}, snapshot)
+		if err != nil {
+			return err
+		}
+		for it := 0; it < cfg.iters; it++ {
+			time.Sleep(cfg.iterTime)
+			loop.Tick(ctx)
+		}
+		if err := loop.Drain(); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		iter, tw := loop.Measurements()
+		fmt.Fprintf(w, "adaptive  interval=%d after %d adjustments (ewma t=%v tw=%v)\n",
+			loop.Interval(), loop.Adjustments(), iter, tw)
+	} else {
+		loop, err := pccheck.NewLoop(ck, cfg.interval, snapshot)
+		if err != nil {
+			return err
+		}
+		for it := 0; it < cfg.iters; it++ {
+			time.Sleep(cfg.iterTime) // the training step
+			loop.Tick(ctx, it)
+		}
+		if err := loop.Drain(); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
 	}
 
 	rep := led.Report()
@@ -104,6 +144,21 @@ func runGoodput(w io.Writer, cfg goodputConfig) error {
 	snap := rec.Snapshot()
 	save := snap.Phase(pccheck.PhaseSave)
 	fmt.Fprintf(w, "latency   save p50=%v p95=%v p99=%v (%d spans)\n", save.P50, save.P95, save.P99, save.Count)
+
+	var decSum pccheck.DecisionSummary
+	if dec != nil {
+		// AdaptiveLoop.Drain already finalized its pending retunes; this
+		// covers the fixed-interval mode (idempotent otherwise).
+		dec.Finalize()
+		decSum = dec.Summary()
+		if err := writeDecisions(w, dec, cfg.decisionsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\ndecisions %d recorded, %d scored (%.0f%% joined), regret mean %.4gs max %.4gs\n",
+			decSum.Total, decSum.Scored, 100*decSum.Coverage, decSum.RegretMean, decSum.RegretMax)
+		fmt.Fprintln(w, "\nworst-regret decisions:")
+		pccheck.FormatDecisionTable(w, dec.Decisions(), 5)
+	}
 
 	if cfg.jsonOut != "" {
 		var out benchJSON
@@ -116,6 +171,9 @@ func runGoodput(w io.Writer, cfg goodputConfig) error {
 		out.Config.WriterBW = cfg.bw
 		out.Config.Q = cfg.q
 		out.Report = rep
+		if dec != nil {
+			out.Decisions = &decSum
+		}
 		out.Latency.SaveP50Sec = save.P50.Seconds()
 		out.Latency.SaveP95Sec = save.P95.Seconds()
 		out.Latency.SaveP99Sec = save.P99.Seconds()
@@ -135,5 +193,25 @@ func runGoodput(w io.Writer, cfg goodputConfig) error {
 		}
 		fmt.Fprintf(w, "json      wrote %s\n", cfg.jsonOut)
 	}
+	return nil
+}
+
+// writeDecisions exports the decision log as JSONL to path ("-" = stdout).
+func writeDecisions(w io.Writer, dec *pccheck.DecisionRecorder, path string) error {
+	if path == "-" {
+		return dec.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("decisions out: %w", err)
+	}
+	if err := dec.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("decisions out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("decisions out: %w", err)
+	}
+	fmt.Fprintf(w, "decisions wrote %s\n", path)
 	return nil
 }

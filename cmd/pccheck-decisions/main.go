@@ -1,0 +1,178 @@
+// Command pccheck-decisions analyzes a decision log (JSONL, as exported by
+// the decision recorder / pccheck-bench -decisions): it renders the
+// decisions worst-regret-first — which policy calls cost the most against
+// the alternatives the model rejected — prints the aggregate regret
+// summary, and can counterfactually replay a retune decision's candidate
+// intervals through the discrete-event simulator.
+//
+//	pccheck-decisions BENCH_decisions.jsonl
+//	pccheck-decisions -kind retune -top 5 BENCH_decisions.jsonl
+//	pccheck-decisions -replay BENCH_decisions.jsonl
+//	pccheck-bench -goodput -adaptive -decisions - | pccheck-decisions -json -
+//
+// CI mode: the -assert-* flags turn the tool into a gate — a seeded run's
+// log must be non-empty, carry finite regret, join ≥ a coverage fraction of
+// decisions against measurements, and give every retune decision a minimum
+// number of scored alternatives.
+//
+// Exit status: 0 ok, 1 read/decode failure, 2 usage, 3 an -assert-* check
+// failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"pccheck/internal/obs/decision"
+)
+
+func main() {
+	top := flag.Int("top", 10, "rows in the regret table (0 = all)")
+	kind := flag.String("kind", "", "only this decision kind (retune, tune, slot-admission, retry, degraded-commit)")
+	jsonOut := flag.Bool("json", false, "print the aggregate summary as JSON instead of the table")
+	replay := flag.Bool("replay", false, "re-run the worst-regret retune decision's candidates through internal/sim")
+	replayWriters := flag.Int("replay-writers", 3, "writer threads p for -replay")
+	assertNonempty := flag.Bool("assert-nonempty", false, "fail (exit 3) when the log holds no decisions")
+	assertFinite := flag.Bool("assert-finite", false, "fail (exit 3) on non-finite or negative regret")
+	assertCoverage := flag.Float64("assert-coverage", 0, "fail (exit 3) when the measurement-join coverage is below this fraction")
+	assertAlts := flag.Int("assert-alternatives", 0, "fail (exit 3) when any retune decision carries fewer scored alternatives")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pccheck-decisions [flags] <decisions.jsonl | ->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	ds, err := read(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	if *kind != "" {
+		k, ok := decision.KindFromString(*kind)
+		if !ok {
+			fail("unknown kind %q", *kind)
+		}
+		kept := ds[:0]
+		for _, d := range ds {
+			if d.Kind == k {
+				kept = append(kept, d)
+			}
+		}
+		ds = kept
+	}
+	sum := decision.Summarize(ds)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fail("%v", err)
+		}
+	} else {
+		decision.FormatTable(os.Stdout, ds, *top)
+		fmt.Printf("\n%d decisions, %d scored (%.0f%% coverage), regret mean %.4gs max %.4gs total %.4gs\n",
+			sum.Total, sum.Scored, 100*sum.Coverage, sum.RegretMean, sum.RegretMax, sum.RegretTotal)
+		for _, ks := range sum.Kinds {
+			fmt.Printf("  %-16s %4d recorded %4d scored  regret %.4gs (max %.4gs)\n",
+				ks.Kind, ks.Total, ks.Scored, ks.RegretTotal, ks.RegretMax)
+		}
+	}
+
+	if *replay {
+		if err := replayWorst(ds, *replayWriters); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if code := assert(ds, sum, *assertNonempty, *assertFinite, *assertCoverage, *assertAlts); code != 0 {
+		os.Exit(code)
+	}
+}
+
+func read(path string) ([]decision.Decision, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return decision.ReadJSONL(r)
+}
+
+// replayWorst picks the scored retune decision with the largest regret and
+// re-runs its whole candidate set through the simulator, printing the
+// model's analytic prediction next to the simulated outcome per candidate.
+func replayWorst(ds []decision.Decision, writers int) error {
+	var worst *decision.Decision
+	for i := range ds {
+		d := &ds[i]
+		if d.Kind != decision.KindRetune || !d.Scored {
+			continue
+		}
+		if worst == nil || d.Regret > worst.Regret {
+			worst = d
+		}
+	}
+	if worst == nil {
+		fmt.Println("\nreplay: no scored retune decisions in the log")
+		return nil
+	}
+	outs, err := decision.ReplayRetune(*worst, writers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncounterfactual replay of seq %d (chose %s, regret %.4gs, tw=%.4gs t=%.4gs N=%d):\n",
+		worst.Seq, worst.Chosen.Action, worst.Regret,
+		worst.Inputs.TwSeconds, worst.Inputs.IterSeconds, worst.Inputs.N)
+	fmt.Printf("%-8s %-7s %12s %14s %14s\n", "action", "chosen", "sim-slowdown", "sim-stall", "mean-lag-iters")
+	for _, o := range outs {
+		mark := ""
+		if o.Chosen {
+			mark = "*"
+		}
+		fmt.Printf("%-8s %-7s %12.4f %13.4gs %14.2f\n",
+			o.Action, mark, o.SimSlowdown, o.SimStallSeconds, o.MeanLagIters)
+	}
+	return nil
+}
+
+func assert(ds []decision.Decision, sum decision.Summary, nonempty, finite bool, coverage float64, alts int) int {
+	bad := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "pccheck-decisions: ASSERT FAILED: "+format+"\n", args...)
+		return 3
+	}
+	if nonempty && len(ds) == 0 {
+		return bad("decision log is empty")
+	}
+	if finite {
+		for _, d := range ds {
+			if math.IsNaN(d.Regret) || math.IsInf(d.Regret, 0) || d.Regret < 0 {
+				return bad("seq %d (%s) has non-finite/negative regret %v", d.Seq, d.Kind, d.Regret)
+			}
+		}
+	}
+	if coverage > 0 && sum.Coverage < coverage {
+		return bad("join coverage %.2f below required %.2f (%d/%d scored)",
+			sum.Coverage, coverage, sum.Scored, sum.Total)
+	}
+	if alts > 0 {
+		for _, d := range ds {
+			if d.Kind == decision.KindRetune && len(d.Rejected) < alts {
+				return bad("retune seq %d carries %d alternatives, want ≥ %d", d.Seq, len(d.Rejected), alts)
+			}
+		}
+	}
+	return 0
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pccheck-decisions: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@ import (
 	"pccheck/internal/chunkpool"
 	"pccheck/internal/lfqueue"
 	"pccheck/internal/obs"
+	"pccheck/internal/obs/decision"
 	"pccheck/internal/storage"
 )
 
@@ -93,6 +94,11 @@ type Checkpointer struct {
 	// probe is guarded by a nil check so a disabled observer costs one
 	// predictable branch and no clock reads or allocations.
 	obsv obs.Observer
+	// dec is the decision recorder found in the observer chain (nil when
+	// none); probed only on slow paths (contended admissions, faulted
+	// I/O), each probe a single nil check. dec non-nil implies obsv
+	// non-nil: it is discovered by walking obsv.
+	dec *decision.Recorder
 
 	// Delta-mode state (sb.deltaKeyframe > 0), all under deltaMu: saves are
 	// serialized because each delta is diffed against the save before it.
@@ -302,6 +308,7 @@ func attach(dev storage.Device, cfg Config, sb superblock, latest *checkMeta, la
 		pool:      pool,
 		slotSeq:   make([]atomic.Uint64, sb.slots),
 		obsv:      cfg.Observer,
+		dec:       decision.Find(cfg.Observer),
 	}
 	c.perWriterBW.Store(math.Float64bits(cfg.PerWriterBW))
 	pinned := make(map[int]bool)
@@ -402,6 +409,9 @@ func (c *Checkpointer) Checkpoint(ctx context.Context, src Source) (uint64, erro
 	}
 	if waited {
 		c.stats.SlotWaits.Add(1)
+		if c.dec != nil {
+			c.recordSlotWait(counter, time.Since(start))
+		}
 	}
 	var didWait int64
 	if waited {

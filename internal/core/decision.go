@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pccheck/internal/obs/decision"
+)
+
+// Decision-trace hooks for the engine's two in-band policy points: slot
+// admission (Listing 1's deq loop deciding to wait for a free slot rather
+// than fail or widen the pool) and transient-fault retry (the RetryPolicy
+// deciding to burn backoff rather than fail fast). Both fire only on the
+// already-slow paths — a contended admission or a faulted I/O — so the
+// uncontended persist pipeline never pays more than the recorder-nil
+// branch, and nothing here allocates unless a decision is actually
+// recorded.
+
+// recordSlotWait logs a slot admission that blocked: every slot was busy
+// and the engine chose to wait (the paper's deq loop) over failing the save
+// or provisioning more slots. The measured wait is both the cost and the
+// regret — one more slot (N+1, more device space) would have absorbed it,
+// but is marked infeasible since the device is sized at attach time, so
+// regret accrues against the feasible alternative of skipping the save.
+func (c *Checkpointer) recordSlotWait(counter uint64, wait time.Duration) {
+	waitSec := wait.Seconds()
+	if waitSec < 0 {
+		waitSec = 0
+	}
+	c.dec.RecordScored(decision.KindSlotAdmission, decision.Outcome{
+		Inputs: decision.Inputs{
+			N:            c.cfg.Concurrent,
+			SlotsBusy:    c.sb.slots,
+			PayloadBytes: c.sb.slotBytes,
+		},
+		Chosen: decision.Alternative{
+			Action: "wait-for-slot", PredictedCost: waitSec, Feasible: true,
+		},
+		Rejected: []decision.Alternative{
+			{Action: fmt.Sprintf("provision-slot(%d)", c.sb.slots+1), PredictedCost: 0, Feasible: false},
+			{Action: "skip-save", PredictedCost: 0, Feasible: true},
+		},
+		Measured: waitSec,
+		Regret:   waitSec,
+		Outcome:  "admitted",
+		Counter:  counter,
+		Rank:     -1,
+	})
+}
+
+// recordRetry logs a completed retry sequence — only sequences that
+// actually absorbed at least one transient fault are decisions worth
+// recording. Backoff that salvaged the operation has zero regret (fail-fast
+// would have failed a save the policy saved); backoff burned on an
+// operation that failed anyway is pure regret.
+func (c *Checkpointer) recordRetry(attempts int, backoffNS int64, succeeded bool, outcome string) {
+	b := float64(backoffNS) / 1e9
+	regret := b
+	if succeeded {
+		regret = 0
+	}
+	c.dec.RecordScored(decision.KindRetry, decision.Outcome{
+		Inputs: decision.Inputs{Attempts: attempts},
+		Chosen: decision.Alternative{
+			Action:        fmt.Sprintf("retry(max=%d)", c.cfg.Retry.MaxAttempts),
+			PredictedCost: b, Feasible: true,
+		},
+		Rejected: []decision.Alternative{
+			{Action: "fail-fast", PredictedCost: 0, Feasible: true},
+			{Action: fmt.Sprintf("retry(max=%d)", 2*c.cfg.Retry.MaxAttempts), PredictedCost: 2 * b, Feasible: true},
+		},
+		Measured: b,
+		Regret:   regret,
+		Outcome:  outcome,
+		Rank:     -1,
+	})
+}

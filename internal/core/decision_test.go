@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pccheck/internal/obs"
+	"pccheck/internal/obs/decision"
+	"pccheck/internal/storage"
+)
+
+// The engine's decision-trace hooks: slot admissions and retry sequences
+// are recorded with measured regret when a recorder is chained into the
+// observer, and the uncontended save path pays nothing when it is not.
+
+// decisionChain builds the production observer order for tests:
+// Ledger → decision.Recorder → flight Recorder.
+func decisionChain() (*obs.Ledger, *decision.Recorder) {
+	dec := decision.New(decision.Config{}, obs.NewRecorder(1<<12))
+	led := obs.NewLedger(obs.LedgerConfig{SlowdownBudget: 1.25}, dec)
+	return led, dec
+}
+
+// TestDecisionRecorderAddsNoAllocations extends the zero-overhead-when-off
+// gate to the decision layer: chaining a decision recorder into the
+// observer must not add heap allocations to an uncontended, fault-free
+// Checkpoint — decisions are only recorded on the slow paths.
+func TestDecisionRecorderAddsNoAllocations(t *testing.T) {
+	mk := func(o obs.Observer) *Checkpointer {
+		cfg := Config{Concurrent: 1, SlotBytes: 1024, Writers: 1, Observer: o}
+		dev := storage.NewRAM(DeviceBytes(cfg.Concurrent, cfg.SlotBytes))
+		ck, err := New(dev, cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return ck
+	}
+	payload := make([]byte, 512)
+	ctx := context.Background()
+
+	run := func(ck *Checkpointer) float64 {
+		src := BytesSource(payload)
+		for i := 0; i < 3; i++ {
+			if _, err := ck.Checkpoint(ctx, src); err != nil {
+				t.Fatalf("warmup Checkpoint: %v", err)
+			}
+		}
+		return testing.AllocsPerRun(50, func() {
+			if _, err := ck.Checkpoint(ctx, src); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		})
+	}
+
+	off := mk(nil)
+	defer off.Close()
+	baseline := run(off)
+
+	led, dec := decisionChain()
+	on := mk(led)
+	defer on.Close()
+	withDecisions := run(on)
+
+	if withDecisions > baseline {
+		t.Errorf("decision recorder added allocations: %v chained vs %v baseline",
+			withDecisions, baseline)
+	}
+	if n := dec.Len(); n != 0 {
+		t.Errorf("uncontended saves recorded %d decisions, want 0", n)
+	}
+}
+
+// A contended admission must surface as one slot-admission decision whose
+// regret is the measured wait.
+func TestSlotWaitRecordsDecision(t *testing.T) {
+	led, dec := decisionChain()
+	cfg := Config{
+		Concurrent: 1, SlotBytes: 64 << 10, Writers: 1,
+		PerWriterBW: 4 << 20, // ~16 ms per save: overlap forces a wait
+		Observer:    led,
+	}
+	dev := storage.NewRAM(DeviceBytes(cfg.Concurrent, cfg.SlotBytes))
+	ck, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+
+	body := payload(3, 64<<10)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := ck.Checkpoint(context.Background(), BytesSource(body)); err != nil {
+				t.Errorf("Checkpoint: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ck.Stats().SlotWaits == 0 {
+		t.Skip("no slot contention materialised (scheduler served saves sequentially)")
+	}
+	var admissions []decision.Decision
+	for _, d := range dec.Decisions() {
+		if d.Kind == decision.KindSlotAdmission {
+			admissions = append(admissions, d)
+		}
+	}
+	if len(admissions) == 0 {
+		t.Fatalf("%d slot waits recorded no slot-admission decision", ck.Stats().SlotWaits)
+	}
+	for _, d := range admissions {
+		if !d.Scored || d.Outcome != "admitted" {
+			t.Errorf("seq %d: scored %v outcome %q, want admitted", d.Seq, d.Scored, d.Outcome)
+		}
+		if d.Regret <= 0 || d.Regret != d.MeasuredCost {
+			t.Errorf("seq %d: regret %v measured %v, want regret = measured wait > 0",
+				d.Seq, d.Regret, d.MeasuredCost)
+		}
+		if d.Inputs.N != 1 || d.Inputs.SlotsBusy != ck.TotalSlots() {
+			t.Errorf("seq %d: inputs %+v, want N=1 and the full %d-slot pool busy",
+				d.Seq, d.Inputs, ck.TotalSlots())
+		}
+		if len(d.Rejected) != 2 {
+			t.Errorf("seq %d: %d alternatives, want provision-slot + skip-save", d.Seq, len(d.Rejected))
+		}
+	}
+}
+
+// Retry sequences score by outcome: backoff that salvaged the save has
+// zero regret; backoff exhausted on a save that failed anyway is pure
+// regret.
+func TestRetryRecordsDecisions(t *testing.T) {
+	mk := func() (*Checkpointer, *storage.FaultDevice, *decision.Recorder) {
+		led, dec := decisionChain()
+		ram := storage.NewRAM(DeviceBytes(1, 4096))
+		dev := storage.NewFaultDevice(ram)
+		ck, err := New(dev, Config{
+			Concurrent: 1, SlotBytes: 4096, Observer: led,
+			Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Microsecond, MaxBackoff: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ck, dev, dec
+	}
+	byKind := func(dec *decision.Recorder) []decision.Decision {
+		var out []decision.Decision
+		for _, d := range dec.Decisions() {
+			if d.Kind == decision.KindRetry {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+
+	// Recovered: 2 transient faults under a 3-attempt budget.
+	ck, dev, dec := mk()
+	dev.FailTransient(storage.OpWrite, 1, 2)
+	if _, err := ck.Checkpoint(context.Background(), BytesSource(payload(1, 2048))); err != nil {
+		t.Fatalf("recoverable save failed: %v", err)
+	}
+	ck.Close()
+	recovered := byKind(dec)
+	if len(recovered) == 0 {
+		t.Fatal("recovered retry sequence recorded no decision")
+	}
+	for _, d := range recovered {
+		if d.Outcome != "recovered" || d.Regret != 0 {
+			t.Errorf("seq %d: outcome %q regret %v, want recovered with 0 regret", d.Seq, d.Outcome, d.Regret)
+		}
+		if d.MeasuredCost <= 0 {
+			t.Errorf("seq %d: measured backoff %v, want > 0", d.Seq, d.MeasuredCost)
+		}
+	}
+
+	// Exhausted: a fault burst longer than the budget.
+	ck, dev, dec = mk()
+	dev.FailTransient(storage.OpWrite, 1, 10)
+	if _, err := ck.Checkpoint(context.Background(), BytesSource(payload(2, 2048))); err == nil {
+		t.Fatal("save survived more faults than the budget")
+	}
+	ck.Close()
+	exhausted := byKind(dec)
+	if len(exhausted) == 0 {
+		t.Fatal("exhausted retry sequence recorded no decision")
+	}
+	found := false
+	for _, d := range exhausted {
+		if d.Outcome == "exhausted" {
+			found = true
+			if d.Regret <= 0 {
+				t.Errorf("seq %d: exhausted with regret %v, want burned backoff > 0", d.Seq, d.Regret)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no exhausted-outcome decision among %+v", exhausted)
+	}
+
+	// Fault-free saves record nothing: the hook fires only when a fault was
+	// absorbed.
+	ck, _, dec = mk()
+	if _, err := ck.Checkpoint(context.Background(), BytesSource(payload(3, 2048))); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	if ds := byKind(dec); len(ds) != 0 {
+		t.Errorf("fault-free save recorded %d retry decisions", len(ds))
+	}
+}

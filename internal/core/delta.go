@@ -488,6 +488,9 @@ func (c *Checkpointer) checkpointDelta(ctx context.Context, src Source) (uint64,
 	}
 	if waited {
 		c.stats.SlotWaits.Add(1)
+		if c.dec != nil && slotWaitStart != 0 {
+			c.recordSlotWait(counter, time.Duration(time.Now().UnixNano()-slotWaitStart))
+		}
 	}
 	var didWait int64
 	if waited {

@@ -86,29 +86,49 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 // returned wrapped with the attempt count.
 func (c *Checkpointer) retryIO(ctx context.Context, op func() error) error {
 	pol := c.cfg.Retry
+	// backoffNS accumulates the sleep the policy spent absorbing transient
+	// faults; a sequence that saw at least one fault is recorded as a retry
+	// decision (regret = backoff burned iff the operation failed anyway).
+	var backoffNS int64
+	faulted := false
 	for attempt := 1; ; attempt++ {
 		err := op()
 		if err == nil {
+			if faulted && c.dec != nil {
+				c.recordRetry(attempt, backoffNS, true, "recovered")
+			}
 			return nil
 		}
 		if storage.Classify(err) != storage.ClassTransient {
+			if faulted && c.dec != nil {
+				c.recordRetry(attempt, backoffNS, false, "permanent")
+			}
 			return err
 		}
+		faulted = true
 		c.stats.TransientFaults.Add(1)
 		c.instant(obs.PhaseFault, 0, -1, 0, 0)
 		if attempt >= pol.MaxAttempts {
+			if c.dec != nil {
+				c.recordRetry(attempt, backoffNS, false, "exhausted")
+			}
 			if pol.MaxAttempts == 1 {
 				return err
 			}
 			return fmt.Errorf("core: %d attempts exhausted: %w", attempt, err)
 		}
 		c.stats.IORetries.Add(1)
+		backoff := pol.backoff(attempt)
 		backoffStart := c.obsNow()
 		select {
 		case <-ctx.Done():
+			if c.dec != nil {
+				c.recordRetry(attempt, backoffNS, false, "cancelled")
+			}
 			return ctx.Err()
-		case <-time.After(pol.backoff(attempt)):
+		case <-time.After(backoff):
 		}
+		backoffNS += int64(backoff)
 		if c.obsv != nil {
 			c.obsv.Emit(obs.Event{
 				TS: backoffStart, Dur: time.Now().UnixNano() - backoffStart,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pccheck/internal/obs"
+	"pccheck/internal/obs/decision"
 )
 
 // DegradedPolicy selects what rank 0 does when a worker is declared dead
@@ -172,6 +173,14 @@ type Coordinator struct {
 	// committed round plus the failure-detection instants (PhaseRankDead,
 	// PhaseRankRejoined, PhaseFrameDropped); see SetObserver.
 	obsv obs.Observer
+	// dec is the decision recorder found in the observer chain (nil when
+	// none): rank 0 records each degraded-commit policy action — a Stall
+	// round blocked solely by dead ranks opens a pending decision scored
+	// by the measured stall when the round finally commits; an ExcludeDead
+	// commit that skipped dead ranks is recorded immediately.
+	// degradedOpen tracks the open Stall decisions (round → opened, ns).
+	dec          *decision.Recorder
+	degradedOpen map[uint64]int64
 
 	notify     chan struct{} // capacity 1; wakes the (single) blocked Commit/Rejoin
 	pumpCancel context.CancelFunc
@@ -254,6 +263,7 @@ func (c *Coordinator) Close() error {
 func (c *Coordinator) SetObserver(o obs.Observer) {
 	c.mu.Lock()
 	c.obsv = o
+	c.dec = decision.Find(o)
 	c.mu.Unlock()
 }
 
@@ -714,17 +724,22 @@ func (c *Coordinator) tryCommitLocked() []Message {
 			break
 		}
 		complete := true
+		excluded := 0
 		for rank := 0; rank < world; rank++ {
 			if _, in := r[rank]; in {
 				continue
 			}
 			if c.cfg.Degraded == ExcludeDead && rank != 0 && c.dead[rank] {
+				excluded++
 				continue
 			}
 			complete = false
 			break
 		}
 		if !complete {
+			if c.dec != nil {
+				c.noteStallLocked(r, world)
+			}
 			break
 		}
 		agreed := ^uint64(0)
@@ -732,6 +747,9 @@ func (c *Coordinator) tryCommitLocked() []Message {
 			if rep.id < agreed {
 				agreed = rep.id
 			}
+		}
+		if c.dec != nil {
+			c.recordDegradedLocked(excluded)
 		}
 		c.emitGateLocked(r, agreed)
 		c.advanceLocked(agreed)
@@ -745,6 +763,86 @@ func (c *Coordinator) tryCommitLocked() []Message {
 		c.next++
 	}
 	return out
+}
+
+// deadCountLocked counts ranks currently considered dead.
+func (c *Coordinator) deadCountLocked() int {
+	n := 0
+	for _, d := range c.dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// noteStallLocked opens a pending degraded-commit decision when the
+// current round is blocked *solely* by dead ranks under the Stall policy —
+// the point where ExcludeDead would have committed and Stall chose to wait.
+// The decision closes (with the measured stall as both cost and regret)
+// when the round eventually commits, or stays "unresolved" at Finalize.
+// Blocked rounds missing a live rank's report are ordinary coordination,
+// not a policy decision, and are not recorded.
+func (c *Coordinator) noteStallLocked(r map[int]report, world int) {
+	if c.cfg.Degraded != Stall {
+		return
+	}
+	for rank := 0; rank < world; rank++ {
+		if _, in := r[rank]; in {
+			continue
+		}
+		if rank == 0 || !c.dead[rank] {
+			return
+		}
+	}
+	if _, open := c.degradedOpen[c.next]; open {
+		return
+	}
+	if c.degradedOpen == nil {
+		c.degradedOpen = make(map[uint64]int64)
+	}
+	c.degradedOpen[c.next] = time.Now().UnixNano()
+	dead := c.deadCountLocked()
+	c.dec.OpenDegraded(c.next, decision.Inputs{N: world, DeadRanks: dead},
+		decision.Alternative{Action: "stall", Feasible: true},
+		[]decision.Alternative{
+			// ExcludeDead would commit this round now at no stall cost;
+			// it trades global completeness for liveness (§ degraded mode).
+			{Action: "exclude-dead", PredictedCost: 0, Feasible: true},
+		})
+}
+
+// recordDegradedLocked records an ExcludeDead commit that actually skipped
+// dead ranks (excluded > 0), and resolves a pending Stall decision if this
+// round had one. An ExcludeDead commit has zero regret by construction —
+// the rejected Stall alternative could only have waited longer — so its
+// decision documents the trade rather than scoring a loss; the predicted
+// cost of the rejected stall is the heartbeat timeout, the minimum silence
+// that declared the rank dead in the first place.
+func (c *Coordinator) recordDegradedLocked(excluded int) {
+	if ns, open := c.degradedOpen[c.next]; open {
+		delete(c.degradedOpen, c.next)
+		wait := float64(time.Now().UnixNano()-ns) / 1e9
+		if wait < 0 {
+			wait = 0
+		}
+		c.dec.ResolveDegraded(c.next, wait, "stalled-then-committed")
+	}
+	if excluded == 0 {
+		return
+	}
+	c.dec.RecordScored(decision.KindDegraded, decision.Outcome{
+		Inputs: decision.Inputs{N: c.tr.WorldSize(), DeadRanks: c.deadCountLocked()},
+		Chosen: decision.Alternative{Action: "exclude-dead", Feasible: true},
+		Rejected: []decision.Alternative{
+			{Action: "stall", PredictedCost: c.cfg.HeartbeatTimeout.Seconds(), Feasible: true},
+		},
+		Measured: 0,
+		Regret:   0,
+		Outcome:  fmt.Sprintf("excluded-%d", excluded),
+		Counter:  c.next,
+		Rank:     -1,
+	})
 }
 
 // sendAll delivers commit broadcasts, round-robining ranks 1..world-1 in

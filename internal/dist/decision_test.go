@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pccheck/internal/obs"
+	"pccheck/internal/obs/decision"
+)
+
+// The coordinator's Stall-vs-ExcludeDead choice must surface in the
+// decision trace: exclusions as immediate zero-regret records documenting
+// the trade, stalls as pending decisions scored by the measured wait.
+
+func decisionObserver() *decision.Recorder {
+	return decision.New(decision.Config{}, obs.NewRecorder(256))
+}
+
+// An ExcludeDead commit that skipped a dead rank records one
+// degraded-commit decision with zero regret and the rejected stall priced
+// at the heartbeat timeout.
+func TestExcludeDeadRecordsDecision(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[0].Close()
+	defer group[1].Close()
+	dec := decisionObserver()
+	leader := NewCoordinatorWith(group[0], fastDetect(ExcludeDead))
+	defer leader.Close()
+	leader.SetObserver(dec)
+	hung := NewCoordinator(group[1])
+	hung.Close() // transport stays open, pump is gone: dead by silence
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := leader.Commit(ctx, 11); err != nil {
+		t.Fatalf("leader commit with a hung peer: %v", err)
+	}
+
+	var degraded []decision.Decision
+	for _, d := range dec.Decisions() {
+		if d.Kind == decision.KindDegraded {
+			degraded = append(degraded, d)
+		}
+	}
+	if len(degraded) == 0 {
+		t.Fatal("exclusion commit recorded no degraded-commit decision")
+	}
+	d := degraded[0]
+	if !d.Scored || d.Outcome != "excluded-1" || d.Regret != 0 {
+		t.Errorf("scored %v outcome %q regret %v, want a zero-regret excluded-1", d.Scored, d.Outcome, d.Regret)
+	}
+	if d.Chosen.Action != "exclude-dead" {
+		t.Errorf("chosen %q, want exclude-dead", d.Chosen.Action)
+	}
+	if d.Inputs.DeadRanks != 1 || d.Inputs.N != 2 {
+		t.Errorf("inputs %+v, want 1 dead rank of world 2", d.Inputs)
+	}
+	if len(d.Rejected) != 1 || d.Rejected[0].Action != "stall" ||
+		d.Rejected[0].PredictedCost != fastDetect(ExcludeDead).HeartbeatTimeout.Seconds() {
+		t.Errorf("rejected %+v, want stall priced at the heartbeat timeout", d.Rejected)
+	}
+}
+
+// Under the Stall policy a round blocked solely by dead ranks opens a
+// pending decision; when the round never commits, Finalize closes it
+// unresolved rather than dropping it.
+func TestStallOpensPendingDecision(t *testing.T) {
+	group := NewLocalGroup(2)
+	defer group[0].Close()
+	defer group[1].Close()
+	dec := decisionObserver()
+	leader := NewCoordinatorWith(group[0], fastDetect(Stall))
+	defer leader.Close()
+	leader.SetObserver(dec)
+	hung := NewCoordinator(group[1])
+	hung.Close()
+
+	// Long enough for the 60 ms silence timeout to declare rank 1 dead and
+	// the commit loop to re-evaluate; the round still cannot complete.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := leader.Commit(ctx, 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled commit returned %v, want DeadlineExceeded", err)
+	}
+	if got := dec.Summary().Pending; got != 1 {
+		t.Fatalf("pending decisions = %d, want the open stall", got)
+	}
+	dec.Finalize()
+	ds := dec.Decisions()
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	d := ds[0]
+	if d.Kind != decision.KindDegraded || d.Scored || d.Outcome != "unresolved" {
+		t.Errorf("kind %v scored %v outcome %q, want an unresolved degraded stall", d.Kind, d.Scored, d.Outcome)
+	}
+	if d.Chosen.Action != "stall" || d.Counter != 1 {
+		t.Errorf("chosen %q round %d, want stall on the first round", d.Chosen.Action, d.Counter)
+	}
+}

@@ -1,0 +1,660 @@
+// Package decision is PCcheck's policy decision trace: a recorder that
+// captures every tuning and coordination decision the system makes — the
+// chosen action, the measured inputs it was derived from, and the top-K
+// alternatives the policy rejected, each with the cost the analytic model
+// (internal/perfmodel, Eq. (3) of §3.4) predicted for it — and then closes
+// the loop by scoring each decision with measured regret.
+//
+// Where the flight recorder answers "what happened" and the goodput ledger
+// answers "what did it cost", the decision trace answers "why was this
+// chosen and what would the alternative have cost". Regret is the currency:
+// for a retune decision, the goodput ledger's next completed slowdown block
+// measures the overhead the chosen interval actually produced; the model's
+// predictions for the rejected intervals are calibrated against that
+// measurement, and regret is how much cheaper the best rejected alternative
+// would have been (0 when the chosen action was best). "The retune picked
+// f=3; f=4's predicted stall was 18% lower and the measured block confirms
+// it" is one scored decision record.
+//
+// The recorder chains in front of the flight recorder exactly like the
+// ledger: Ledger → decision.Recorder → Recorder. Emit forwards every event
+// untouched (no locks, no allocations), so the engine's zero-allocation
+// save path survives the extra link; a nil *Recorder is inert and every
+// engine probe is a single branch. Recording a decision additionally emits
+// one PhaseDecision instant downstream so decisions appear as markers on
+// the Perfetto "decisions" track.
+//
+// Decision kinds:
+//
+//   - retune: AdaptiveLoop re-derived f from Eq. (3); scored against the
+//     ledger's next completed slowdown block (window join).
+//   - tune: the §3.4 N* search (tuner.Profile / tuner.Analyze); every
+//     candidate N's Tw/N is a scored alternative, and the 5%
+//     smaller-N-on-ties preference shows up as deliberate regret.
+//   - slot-admission: a save had to wait for a free slot (Listing 1's deq
+//     loop); regret is the measured wait that one more slot would have
+//     absorbed.
+//   - retry: a persist-path transient fault sequence; regret is backoff
+//     burned on a save that failed anyway (0 when the retry recovered it).
+//   - degraded-commit: the coordinator's Stall-vs-ExcludeDead choice when a
+//     round was blocked solely by dead ranks; a Stall decision's regret is
+//     the measured stall ExcludeDead would have avoided.
+package decision
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"pccheck/internal/obs"
+	"pccheck/internal/perfmodel"
+)
+
+// Kind identifies which policy made a decision.
+type Kind int32
+
+const (
+	// KindRetune is AdaptiveLoop.retuneLocked re-deriving f* (Eq. 3).
+	KindRetune Kind = iota
+	// KindTune is the §3.4 N* search in tuner.Profile / tuner.Analyze.
+	KindTune
+	// KindSlotAdmission is a save admitted after waiting for a free slot.
+	KindSlotAdmission
+	// KindRetry is a persist-path transient-fault retry/backoff sequence.
+	KindRetry
+	// KindDegraded is the coordinator's dead-rank commit policy acting.
+	KindDegraded
+
+	// KindCount is the number of defined kinds.
+	KindCount
+)
+
+var kindNames = [KindCount]string{
+	"retune", "tune", "slot-admission", "retry", "degraded-commit",
+}
+
+// String returns the kind's canonical hyphenated name.
+func (k Kind) String() string {
+	if k >= 0 && k < KindCount {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// KindFromString inverts String; ok is false for unknown names.
+func KindFromString(s string) (Kind, bool) {
+	for k := Kind(0); k < KindCount; k++ {
+		if kindNames[k] == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON renders the kind as its name so decision logs are readable
+// without the Go enum.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the name form (and is what ReadJSONL relies on).
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("decision: kind must be a string, got %s", b)
+	}
+	got, ok := KindFromString(string(b[1 : len(b)-1]))
+	if !ok {
+		return fmt.Errorf("decision: unknown kind %s", b)
+	}
+	*k = got
+	return nil
+}
+
+// Inputs are the measured quantities a decision was derived from — the
+// paper's symbols where they apply. Fields irrelevant to a kind are zero.
+type Inputs struct {
+	// TwSeconds is the measured per-checkpoint write time feeding Eq. (3).
+	TwSeconds float64 `json:"tw_seconds,omitempty"`
+	// IterSeconds is the measured iteration time t.
+	IterSeconds float64 `json:"iter_seconds,omitempty"`
+	// Q is the slowdown budget.
+	Q float64 `json:"q,omitempty"`
+	// N is the concurrent-checkpoint count in force.
+	N int `json:"n,omitempty"`
+	// PayloadBytes is the checkpoint size m (slot capacity for admissions).
+	PayloadBytes int64 `json:"payload_bytes,omitempty"`
+	// DeadRanks is how many workers the failure detector considers dead.
+	DeadRanks int `json:"dead_ranks,omitempty"`
+	// SlotsBusy is the slot occupancy observed at an admission decision.
+	SlotsBusy int `json:"slots_busy,omitempty"`
+	// Attempts is the I/O attempt count of a retry sequence.
+	Attempts int `json:"attempts,omitempty"`
+	// InBreach marks decisions taken while the ledger's slowdown EWMA was
+	// above the budget q.
+	InBreach bool `json:"in_breach,omitempty"`
+}
+
+// Alternative is one action a policy considered, with the cost the model
+// predicted for it. The chosen action is stored in the same shape.
+type Alternative struct {
+	// Action names the candidate ("f=4", "N=2", "exclude-dead", …).
+	Action string `json:"action"`
+	// PredictedCost is the model's total cost in seconds (overhead plus
+	// failure-weighted staleness for retune candidates).
+	PredictedCost float64 `json:"predicted_cost_seconds"`
+	// OverheadSeconds is the per-iteration checkpoint overhead component,
+	// (s(f)−1)·t from the §3.4 slowdown model — the part the ledger can
+	// measure, and therefore the part regret calibrates.
+	OverheadSeconds float64 `json:"overhead_seconds,omitempty"`
+	// StalenessSeconds is the candidate's worst-case lost work (Eq. (4)
+	// minus the load term), weighted into PredictedCost by the failure rate.
+	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
+	// Slowdown is the candidate's predicted asymptotic slowdown.
+	Slowdown float64 `json:"slowdown,omitempty"`
+	// Feasible marks candidates within the budget q; infeasible ones are
+	// logged but never count as the "best alternative" in regret.
+	Feasible bool `json:"feasible"`
+}
+
+// Decision is one recorded policy decision. Scored decisions additionally
+// carry the measured cost and the regret vs the best rejected alternative.
+type Decision struct {
+	// Seq orders decisions within one recorder.
+	Seq uint64 `json:"seq"`
+	// TS is when the decision was made, nanoseconds since the Unix epoch.
+	TS int64 `json:"ts_unix_ns"`
+	// Kind identifies the deciding policy.
+	Kind Kind `json:"kind"`
+	// Rank is the distributed worker rank (-1 for local decisions).
+	Rank int32 `json:"rank,omitempty"`
+	// Counter is the checkpoint counter or coordination round, when known.
+	Counter uint64 `json:"counter,omitempty"`
+	// Inputs are the measurements the decision was derived from.
+	Inputs Inputs `json:"inputs"`
+	// Chosen is the action taken; Rejected the top-K alternatives, best
+	// predicted cost first.
+	Chosen   Alternative   `json:"chosen"`
+	Rejected []Alternative `json:"rejected,omitempty"`
+	// Scored marks decisions joined against a measured outcome.
+	Scored bool `json:"scored"`
+	// MeasuredCost is the measured cost of the chosen action in seconds.
+	MeasuredCost float64 `json:"measured_cost_seconds,omitempty"`
+	// BestAlt / BestAltCost identify the cheapest feasible alternative
+	// after calibration ("" when the chosen action was best).
+	BestAlt     string  `json:"best_alternative,omitempty"`
+	BestAltCost float64 `json:"best_alternative_cost_seconds,omitempty"`
+	// Regret is max(0, MeasuredCost − BestAltCost): seconds per iteration
+	// (retune) or stall seconds (the other kinds) the best rejected
+	// alternative would have saved.
+	Regret float64 `json:"regret_seconds"`
+	// Outcome names how the decision was scored ("ledger-join",
+	// "drain-join", "recovered", "exhausted", "stalled", "profiled", …).
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// Outcome bundles the arguments of RecordScored: a decision whose measured
+// cost and regret are already known at record time.
+type Outcome struct {
+	Inputs   Inputs
+	Chosen   Alternative
+	Rejected []Alternative
+	// Measured is the measured cost of the chosen action (seconds).
+	Measured float64
+	// Regret is the caller-computed regret; clamped to ≥ 0 and finite.
+	Regret  float64
+	Outcome string
+	Counter uint64
+	Rank    int32
+}
+
+// Config tunes the recorder. The zero value is usable.
+type Config struct {
+	// Capacity bounds the retained decisions (oldest evicted first, flight-
+	// recorder semantics). Default 4096.
+	Capacity int
+	// TopK bounds the rejected alternatives kept per decision (default 4;
+	// a floor of 2 is enforced so every retune record carries at least two
+	// scored alternatives).
+	TopK int
+	// FailureRate is λ, the per-second failure probability weighting the
+	// staleness component of retune candidate costs (Eq. (4)'s lost work
+	// only matters as often as failures strike). Default 1/300 — one
+	// failure every five minutes, the harsh end of the paper's §5.2.3
+	// preemption traces.
+	FailureRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.TopK < 2 {
+		c.TopK = 4
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 1.0 / 300
+	}
+	return c
+}
+
+// Recorder captures policy decisions and scores them with measured regret.
+// It is an obs.Observer that forwards every event unchanged (atomics-free
+// pass-through), an obs.BlockSink receiving the ledger's completed slowdown
+// blocks for the retune join, and an obs.MetricsWriter exporting the
+// pccheck_decision_* / pccheck_regret_* families. A nil *Recorder is inert;
+// all methods are safe for concurrent use.
+type Recorder struct {
+	cfg  Config
+	next obs.Observer
+
+	mu      sync.Mutex
+	seq     uint64
+	buf     []Decision // ring, oldest at head once full
+	head    int
+	dropped uint64
+
+	counts    [KindCount]uint64
+	scored    [KindCount]uint64
+	regretTot [KindCount]float64
+	regretMax [KindCount]float64
+
+	// pendingRetune holds retune decisions waiting for the ledger's next
+	// completed block; pendingDegraded holds Stall decisions waiting for
+	// their round to commit, keyed by round.
+	pendingRetune   []*Decision
+	pendingDegraded map[uint64]*Decision
+	lastBlock       block
+}
+
+type block struct {
+	mean, base float64
+	iters      int
+	ok         bool
+}
+
+// New builds a decision recorder forwarding events to next (usually the
+// flight recorder; nil for stand-alone use). Chain order matters for the
+// regret join: attach Ledger → decision.Recorder → Recorder, so the ledger
+// discovers this recorder downstream and feeds it slowdown blocks.
+func New(cfg Config, next obs.Observer) *Recorder {
+	return &Recorder{
+		cfg:             cfg.withDefaults(),
+		next:            next,
+		pendingDegraded: make(map[uint64]*Decision),
+	}
+}
+
+// Next returns the observer this recorder forwards to (nil when none),
+// making the recorder chain-walkable like the ledger.
+func (r *Recorder) Next() obs.Observer {
+	if r == nil {
+		return nil
+	}
+	return r.next
+}
+
+// Emit implements obs.Observer: pure pass-through. Decision records are fed
+// through the Record* methods by the policies themselves, not derived from
+// the event stream, so the hot path stays a single forward.
+func (r *Recorder) Emit(ev obs.Event) {
+	if r == nil || r.next == nil {
+		return
+	}
+	r.next.Emit(ev)
+}
+
+// Find walks an observer chain (via Next()) and returns the first decision
+// recorder in it, nil when there is none. Policies call it once at
+// construction so the per-decision probe is a single nil check.
+func Find(o obs.Observer) *Recorder {
+	for o != nil {
+		if r, ok := o.(*Recorder); ok {
+			return r
+		}
+		n, ok := o.(interface{ Next() obs.Observer })
+		if !ok {
+			return nil
+		}
+		o = n.Next()
+	}
+	return nil
+}
+
+// FailureRate returns λ, for callers building candidate costs.
+func (r *Recorder) FailureRate() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.cfg.FailureRate
+}
+
+// markLocked emits the PhaseDecision instant for d downstream.
+func (r *Recorder) markLocked(d *Decision) {
+	if r.next == nil {
+		return
+	}
+	r.next.Emit(obs.Event{
+		TS: d.TS, Phase: obs.PhaseDecision, Counter: d.Seq,
+		Value: int64(d.Kind), Slot: -1, Writer: -1, Rank: d.Rank,
+	})
+}
+
+// pushLocked stores a finished decision in the ring and folds it into the
+// aggregates. Only pushed decisions count toward totals; pending ones are
+// reported separately.
+func (r *Recorder) pushLocked(d Decision) {
+	r.counts[d.Kind]++
+	if d.Scored {
+		r.scored[d.Kind]++
+		r.regretTot[d.Kind] += d.Regret
+		if d.Regret > r.regretMax[d.Kind] {
+			r.regretMax[d.Kind] = d.Regret
+		}
+	}
+	if len(r.buf) < r.cfg.Capacity {
+		r.buf = append(r.buf, d)
+		return
+	}
+	r.buf[r.head] = d
+	r.head = (r.head + 1) % r.cfg.Capacity
+	r.dropped++
+}
+
+// newLocked allocates the next decision shell.
+func (r *Recorder) newLocked(kind Kind, in Inputs, chosen Alternative, rejected []Alternative, counter uint64, rank int32) *Decision {
+	r.seq++
+	d := &Decision{
+		Seq: r.seq, TS: time.Now().UnixNano(), Kind: kind, Rank: rank,
+		Counter: counter, Inputs: in, Chosen: chosen,
+		Rejected: trimAlternatives(rejected, r.cfg.TopK),
+	}
+	r.markLocked(d)
+	return d
+}
+
+// trimAlternatives keeps the k cheapest-predicted alternatives, stable
+// within ties (insertion sort: k and len are both tiny).
+func trimAlternatives(alts []Alternative, k int) []Alternative {
+	out := make([]Alternative, len(alts))
+	copy(out, alts)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].PredictedCost < out[j-1].PredictedCost; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// sanitize clamps a regret/cost to [0, +finite).
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// RecordRetune records an interval re-derivation. The decision stays
+// pending until the goodput ledger completes its next slowdown block
+// (LedgerBlock), which supplies the measured overhead the chosen interval
+// actually produced; Finalize scores stragglers against the last seen
+// block. Use RetuneCandidates to build the chosen/rejected set from the
+// same Eq. (3) inputs the controller used.
+func (r *Recorder) RecordRetune(in Inputs, chosen Alternative, rejected []Alternative) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	d := r.newLocked(KindRetune, in, chosen, rejected, 0, -1)
+	r.pendingRetune = append(r.pendingRetune, d)
+	r.mu.Unlock()
+}
+
+// RecordScored records a decision whose measured cost and regret are known
+// at record time (tune, slot admissions, retries, exclude-dead commits).
+func (r *Recorder) RecordScored(kind Kind, o Outcome) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	d := r.newLocked(kind, o.Inputs, o.Chosen, o.Rejected, o.Counter, o.Rank)
+	d.Scored = true
+	d.MeasuredCost = sanitize(o.Measured)
+	d.Regret = sanitize(o.Regret)
+	d.Outcome = o.Outcome
+	if alt, cost, ok := bestFeasible(d.Rejected); ok {
+		d.BestAlt, d.BestAltCost = alt, cost
+	}
+	r.pushLocked(*d)
+	r.mu.Unlock()
+}
+
+// OpenDegraded records a degraded-commit decision whose cost is still
+// accruing — the coordinator chose to Stall a round blocked solely by dead
+// ranks. ResolveDegraded closes it with the measured stall when the round
+// finally commits; Finalize closes abandoned ones unscored. Re-opening an
+// already-open round is a no-op (the stall is still the same decision).
+func (r *Recorder) OpenDegraded(round uint64, in Inputs, chosen Alternative, rejected []Alternative) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, open := r.pendingDegraded[round]; !open {
+		r.pendingDegraded[round] = r.newLocked(KindDegraded, in, chosen, rejected, round, -1)
+	}
+	r.mu.Unlock()
+}
+
+// ResolveDegraded closes a pending degraded-commit decision with the
+// measured stall. Regret is the full stall: the rejected exclude-dead
+// policy would have committed without waiting.
+func (r *Recorder) ResolveDegraded(round uint64, measuredSeconds float64, outcome string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if d, ok := r.pendingDegraded[round]; ok {
+		delete(r.pendingDegraded, round)
+		d.Scored = true
+		d.MeasuredCost = sanitize(measuredSeconds)
+		d.Regret = d.MeasuredCost
+		d.Outcome = outcome
+		if alt, cost, ok := bestFeasible(d.Rejected); ok {
+			d.BestAlt, d.BestAltCost = alt, cost
+		}
+		r.pushLocked(*d)
+	}
+	r.mu.Unlock()
+}
+
+// bestFeasible returns the cheapest-predicted feasible alternative.
+func bestFeasible(alts []Alternative) (string, float64, bool) {
+	best, name, found := 0.0, "", false
+	for _, a := range alts {
+		if !a.Feasible {
+			continue
+		}
+		if !found || a.PredictedCost < best {
+			best, name, found = a.PredictedCost, a.Action, true
+		}
+	}
+	return name, best, found
+}
+
+// LedgerBlock implements obs.BlockSink: the goodput ledger delivers each
+// completed slowdown block (mean iteration seconds, baseline seconds,
+// iteration count) and every pending retune decision is scored against it.
+func (r *Recorder) LedgerBlock(meanIterSeconds, baselineSeconds float64, iters int) {
+	if r == nil || iters <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.lastBlock = block{mean: meanIterSeconds, base: baselineSeconds, iters: iters, ok: true}
+	for _, d := range r.pendingRetune {
+		r.scoreRetuneLocked(d, meanIterSeconds, baselineSeconds, "ledger-join")
+		r.pushLocked(*d)
+	}
+	r.pendingRetune = r.pendingRetune[:0]
+	r.mu.Unlock()
+}
+
+// scoreRetuneLocked joins one retune decision against a measured block.
+//
+// The measured per-iteration checkpoint overhead (blockMean − baseline)
+// calibrates the model: the ratio measured/predicted for the CHOSEN
+// interval, clamped to [0.25, 4], rescales every rejected candidate's
+// predicted overhead, so regret compares the measured world against
+// alternatives under the same observed conditions rather than the model's
+// idealized ones. Infeasible (budget-violating) candidates never win.
+func (r *Recorder) scoreRetuneLocked(d *Decision, mean, base float64, outcome string) {
+	lam := r.cfg.FailureRate
+	measuredOver := 0.0
+	if base > 0 {
+		measuredOver = mean - base
+		if measuredOver < 0 {
+			measuredOver = 0
+		}
+	} else {
+		outcome = "no-baseline"
+	}
+	calib := 1.0
+	if d.Chosen.OverheadSeconds > 1e-12 && measuredOver > 1e-12 {
+		calib = measuredOver / d.Chosen.OverheadSeconds
+		if calib < 0.25 {
+			calib = 0.25
+		} else if calib > 4 {
+			calib = 4
+		}
+	}
+	measuredCost := measuredOver + lam*d.Chosen.StalenessSeconds
+	best, bestName := measuredCost, ""
+	for _, a := range d.Rejected {
+		if !a.Feasible {
+			continue
+		}
+		est := calib*a.OverheadSeconds + lam*a.StalenessSeconds
+		if est < best {
+			best, bestName = est, a.Action
+		}
+	}
+	d.Scored = true
+	d.MeasuredCost = sanitize(measuredCost)
+	d.Outcome = outcome
+	if bestName != "" {
+		d.BestAlt = bestName
+		d.BestAltCost = sanitize(best)
+		d.Regret = sanitize(measuredCost - best)
+	}
+}
+
+// Finalize closes every pending decision: retunes are scored against the
+// last seen ledger block ("drain-join") or pushed unscored when no block
+// ever completed; abandoned degraded stalls are pushed unscored. Call it
+// at drain/shutdown so the exported log covers every decision; recording
+// may continue afterwards.
+func (r *Recorder) Finalize() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for _, d := range r.pendingRetune {
+		if r.lastBlock.ok {
+			r.scoreRetuneLocked(d, r.lastBlock.mean, r.lastBlock.base, "drain-join")
+		} else {
+			d.Outcome = "no-measurement"
+		}
+		r.pushLocked(*d)
+	}
+	r.pendingRetune = r.pendingRetune[:0]
+	for round, d := range r.pendingDegraded {
+		delete(r.pendingDegraded, round)
+		d.Outcome = "unresolved"
+		r.pushLocked(*d)
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the retained decision count.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Decisions returns the retained decisions, oldest first.
+func (r *Recorder) Decisions() []Decision {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Decision, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// RetuneCandidates evaluates Eq. (3)'s objective over the interval
+// candidates around a retune: the chosen f, its neighbours (f±1, 2f, ⌈f/2⌉)
+// and the previous interval, each priced by the analytic model — predicted
+// slowdown s(f) = max(Tw, N·f·t)/(N·f·t), per-iteration overhead (s−1)·t,
+// and Eq. (4) staleness weighted by λ. The measured (tw, t) pair is folded
+// into the model by synthesizing a bandwidth that reproduces tw at the
+// current N, so candidate costs reflect measured, not assumed, write times.
+// At least two rejected candidates are produced whenever the clamp range
+// allows it.
+func RetuneCandidates(twSec, iterSec, q float64, n, chosen, prev, minI, maxI int, lambda float64) (Alternative, []Alternative) {
+	if n < 1 {
+		n = 1
+	}
+	const refBytes = 1 << 20
+	mk := func(f int) Alternative {
+		p := perfmodel.Params{
+			IterTime:        time.Duration(iterSec * float64(time.Second)),
+			CheckpointBytes: refBytes,
+			StorageBW:       refBytes * float64(n) / twSec,
+			N:               n, P: 1, Interval: f,
+		}
+		a := Alternative{Action: fmt.Sprintf("f=%d", f), Slowdown: 1, Feasible: true}
+		if s, err := p.Slowdown(); err == nil {
+			a.Slowdown = s
+		}
+		a.OverheadSeconds = (a.Slowdown - 1) * iterSec
+		if rec, err := p.MaxRecovery(perfmodel.PCcheck); err == nil {
+			a.StalenessSeconds = (rec - p.LoadTime()).Seconds()
+		}
+		a.PredictedCost = a.OverheadSeconds + lambda*a.StalenessSeconds
+		a.Feasible = a.Slowdown <= q+1e-9
+		return a
+	}
+	chosenAlt := mk(chosen)
+	seen := map[int]bool{chosen: true}
+	var alts []Alternative
+	add := func(f int) {
+		if f < minI {
+			f = minI
+		}
+		if f > maxI {
+			f = maxI
+		}
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		alts = append(alts, mk(f))
+	}
+	for _, f := range []int{prev, chosen - 1, chosen + 1, 2 * chosen, (chosen + 1) / 2} {
+		add(f)
+	}
+	for extra := 2; len(alts) < 2 && extra < 16; extra++ {
+		add(chosen + extra)
+		add(chosen - extra)
+	}
+	return chosenAlt, alts
+}

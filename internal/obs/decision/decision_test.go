@@ -1,0 +1,441 @@
+package decision
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pccheck/internal/obs"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for k := Kind(0); k < KindCount; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil || back != k {
+			t.Errorf("unmarshal %s = %v, %v", b, back, err)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Error("KindFromString accepted an unknown name")
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`7`), &k); err == nil {
+		t.Error("numeric kind accepted")
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Emit(obs.Event{Phase: obs.PhaseSave})
+	r.RecordRetune(Inputs{}, Alternative{}, nil)
+	r.RecordScored(KindRetry, Outcome{})
+	r.OpenDegraded(1, Inputs{}, Alternative{}, nil)
+	r.ResolveDegraded(1, 0.1, "x")
+	r.LedgerBlock(1, 1, 10)
+	r.Finalize()
+	if r.Len() != 0 || r.Decisions() != nil || r.FailureRate() != 0 || r.Next() != nil {
+		t.Error("nil recorder leaked state")
+	}
+	if s := r.Summary(); s.Total != 0 {
+		t.Errorf("nil Summary.Total = %d", s.Total)
+	}
+}
+
+func TestRecordScoredSanitizes(t *testing.T) {
+	r := New(Config{}, nil)
+	r.RecordScored(KindRetry, Outcome{Measured: math.NaN(), Regret: math.Inf(1)})
+	r.RecordScored(KindRetry, Outcome{Measured: -3, Regret: -1})
+	for _, d := range r.Decisions() {
+		if d.MeasuredCost != 0 || d.Regret != 0 {
+			t.Errorf("seq %d not sanitized: measured %v regret %v", d.Seq, d.MeasuredCost, d.Regret)
+		}
+		if !d.Scored {
+			t.Errorf("seq %d not marked scored", d.Seq)
+		}
+	}
+}
+
+// TestRetuneLedgerJoin walks the whole retune-scoring path: the decision
+// pends, the next completed ledger block joins it, calibration rescales the
+// rejected candidates, and the infeasible one never wins the regret
+// comparison.
+func TestRetuneLedgerJoin(t *testing.T) {
+	r := New(Config{FailureRate: 1e-12}, nil) // λ≈0: staleness drops out
+	chosen := Alternative{Action: "f=2", OverheadSeconds: 0.0004, Feasible: true}
+	rejected := []Alternative{
+		{Action: "f=4", PredictedCost: 0.0002, OverheadSeconds: 0.0002, Feasible: true},
+		{Action: "f=8", PredictedCost: 0.00002, OverheadSeconds: 0.00002, Feasible: false},
+	}
+	r.RecordRetune(Inputs{TwSeconds: 0.02, IterSeconds: 0.001, Q: 1.05, N: 2}, chosen, rejected)
+
+	if got := r.Summary().Pending; got != 1 {
+		t.Fatalf("pending = %d before the block, want 1", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("retune pushed before its measurement: len %d", r.Len())
+	}
+
+	// Block: mean 1.2 ms over a 1 ms baseline ⇒ measured overhead 0.2 ms.
+	// Calibration = 0.0002/0.0004 = 0.5; f=4's estimate 0.5·0.0002 = 0.1 ms
+	// beats the measured 0.2 ms; the infeasible f=8 would be cheaper still
+	// but must not win.
+	r.LedgerBlock(0.0012, 0.001, 32)
+
+	ds := r.Decisions()
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	d := ds[0]
+	if !d.Scored || d.Outcome != "ledger-join" {
+		t.Fatalf("scored %v outcome %q, want ledger-join", d.Scored, d.Outcome)
+	}
+	if d.BestAlt != "f=4" {
+		t.Fatalf("best alternative %q, want f=4 (f=8 is infeasible)", d.BestAlt)
+	}
+	const eps = 1e-9
+	if math.Abs(d.MeasuredCost-0.0002) > eps {
+		t.Errorf("measured cost %v, want 0.0002", d.MeasuredCost)
+	}
+	if math.Abs(d.Regret-0.0001) > eps {
+		t.Errorf("regret %v, want 0.0001 (measured 0.0002 − calibrated f=4 0.0001)", d.Regret)
+	}
+	if got := r.Summary().Pending; got != 0 {
+		t.Errorf("pending = %d after the block, want 0", got)
+	}
+}
+
+// TestRetuneCalibrationClamp pins the [0.25, 4] clamp on the
+// measured/predicted ratio: a wildly over-optimistic model must not inflate
+// alternative estimates beyond 4× prediction.
+func TestRetuneCalibrationClamp(t *testing.T) {
+	r := New(Config{FailureRate: 1e-12}, nil)
+	chosen := Alternative{Action: "f=2", OverheadSeconds: 1e-6, Feasible: true}
+	rejected := []Alternative{{Action: "f=3", OverheadSeconds: 0.001, Feasible: true}}
+	r.RecordRetune(Inputs{}, chosen, rejected)
+	// measuredOver = 0.01, raw calibration 0.01/1e-6 = 10000 → clamped to 4:
+	// f=3's estimate is 4·0.001 = 0.004, regret 0.01 − 0.004 = 0.006.
+	r.LedgerBlock(0.011, 0.001, 32)
+	d := r.Decisions()[0]
+	if math.Abs(d.Regret-0.006) > 1e-9 {
+		t.Errorf("regret %v, want 0.006 under the ×4 calibration clamp", d.Regret)
+	}
+}
+
+func TestRetuneNoBaseline(t *testing.T) {
+	r := New(Config{}, nil)
+	r.RecordRetune(Inputs{}, Alternative{Action: "f=2", OverheadSeconds: 0.001, Feasible: true},
+		[]Alternative{{Action: "f=1", OverheadSeconds: 0.002, Feasible: true}})
+	r.LedgerBlock(0.0012, 0, 32) // ledger has not learned a baseline yet
+	d := r.Decisions()[0]
+	if d.Outcome != "no-baseline" || !d.Scored {
+		t.Errorf("outcome %q scored %v, want no-baseline + scored", d.Outcome, d.Scored)
+	}
+	if d.Regret != 0 {
+		t.Errorf("regret %v without a baseline, want 0", d.Regret)
+	}
+}
+
+func TestFinalizeDrainJoin(t *testing.T) {
+	r := New(Config{}, nil)
+	alt := Alternative{Action: "f=2", OverheadSeconds: 0.001, Feasible: true}
+
+	// No block ever completed: Finalize pushes unscored.
+	r.RecordRetune(Inputs{}, alt, nil)
+	r.Finalize()
+	if d := r.Decisions()[0]; d.Scored || d.Outcome != "no-measurement" {
+		t.Fatalf("no-block finalize: scored %v outcome %q", d.Scored, d.Outcome)
+	}
+
+	// After a block has been seen, stragglers drain-join against it.
+	r.LedgerBlock(0.0012, 0.001, 32)
+	r.RecordRetune(Inputs{}, alt, nil)
+	r.Finalize()
+	ds := r.Decisions()
+	if d := ds[len(ds)-1]; !d.Scored || d.Outcome != "drain-join" {
+		t.Fatalf("drain-join finalize: scored %v outcome %q", d.Scored, d.Outcome)
+	}
+
+	// Abandoned degraded stalls close unresolved.
+	r.OpenDegraded(7, Inputs{DeadRanks: 1}, Alternative{Action: "stall"}, nil)
+	r.Finalize()
+	ds = r.Decisions()
+	if d := ds[len(ds)-1]; d.Kind != KindDegraded || d.Scored || d.Outcome != "unresolved" {
+		t.Fatalf("abandoned stall: kind %v scored %v outcome %q", d.Kind, d.Scored, d.Outcome)
+	}
+}
+
+func TestDegradedOpenResolve(t *testing.T) {
+	r := New(Config{}, nil)
+	in := Inputs{DeadRanks: 2, N: 4}
+	r.OpenDegraded(3, in, Alternative{Action: "stall", Feasible: true},
+		[]Alternative{{Action: "exclude-dead", Feasible: true}})
+	r.OpenDegraded(3, in, Alternative{Action: "stall"}, nil) // idempotent
+	if got := r.Summary().Pending; got != 1 {
+		t.Fatalf("pending = %d after double open, want 1", got)
+	}
+	r.ResolveDegraded(3, 0.25, "stalled-then-committed")
+	r.ResolveDegraded(3, 0.25, "stalled-then-committed") // second resolve is a no-op
+	ds := r.Decisions()
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	d := ds[0]
+	if d.Counter != 3 || !d.Scored || d.Regret != 0.25 || d.BestAlt != "exclude-dead" {
+		t.Errorf("resolved stall: counter %d scored %v regret %v best %q",
+			d.Counter, d.Scored, d.Regret, d.BestAlt)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := New(Config{Capacity: 4}, nil)
+	for i := 0; i < 10; i++ {
+		r.RecordScored(KindRetry, Outcome{Measured: float64(i), Outcome: "exhausted"})
+	}
+	ds := r.Decisions()
+	if len(ds) != 4 {
+		t.Fatalf("retained %d, want capacity 4", len(ds))
+	}
+	for i, d := range ds {
+		if want := uint64(7 + i); d.Seq != want {
+			t.Errorf("ds[%d].Seq = %d, want %d (oldest-first after eviction)", i, d.Seq, want)
+		}
+	}
+	if sum := r.Summary(); sum.Dropped != 6 || sum.Total != 10 {
+		t.Errorf("dropped %d total %d, want 6 and 10", sum.Dropped, sum.Total)
+	}
+}
+
+func TestTopKTrimsCheapestFirst(t *testing.T) {
+	r := New(Config{TopK: 2}, nil)
+	r.RecordScored(KindTune, Outcome{Rejected: []Alternative{
+		{Action: "N=1", PredictedCost: 0.5},
+		{Action: "N=2", PredictedCost: 0.1},
+		{Action: "N=3", PredictedCost: 0.3},
+		{Action: "N=4", PredictedCost: 0.2},
+	}})
+	d := r.Decisions()[0]
+	if len(d.Rejected) != 2 || d.Rejected[0].Action != "N=2" || d.Rejected[1].Action != "N=4" {
+		t.Errorf("trimmed alternatives = %+v, want the two cheapest in order", d.Rejected)
+	}
+}
+
+func TestDecisionMarkersEmitted(t *testing.T) {
+	rec := obs.NewRecorder(64)
+	r := New(Config{}, rec)
+	r.RecordScored(KindSlotAdmission, Outcome{Counter: 9, Rank: 2})
+	r.RecordRetune(Inputs{}, Alternative{Action: "f=2"}, nil) // marker at record time, while pending
+	evs := rec.TakeEvents()
+	var marks []obs.Event
+	for _, ev := range evs {
+		if ev.Phase == obs.PhaseDecision {
+			marks = append(marks, ev)
+		}
+	}
+	if len(marks) != 2 {
+		t.Fatalf("PhaseDecision markers = %d, want 2", len(marks))
+	}
+	if marks[0].Value != int64(KindSlotAdmission) || marks[0].Rank != 2 {
+		t.Errorf("marker 0 = %+v, want slot-admission kind, rank 2", marks[0])
+	}
+	if marks[1].Counter != 2 {
+		t.Errorf("marker 1 counter = %d, want seq 2", marks[1].Counter)
+	}
+}
+
+func TestFindWalksChain(t *testing.T) {
+	rec := obs.NewRecorder(64)
+	dec := New(Config{}, rec)
+	led := obs.NewLedger(obs.LedgerConfig{SlowdownBudget: 1.05}, dec)
+	if got := Find(led); got != dec {
+		t.Errorf("Find(ledger) = %p, want the chained recorder %p", got, dec)
+	}
+	if got := Find(rec); got != nil {
+		t.Errorf("Find(recorder) = %p, want nil", got)
+	}
+	if got := Find(nil); got != nil {
+		t.Errorf("Find(nil) = %p, want nil", got)
+	}
+}
+
+// TestLedgerFeedsBlocks is the integration seam: a Ledger constructed over
+// the recorder discovers it as its BlockSink and joins pending retunes
+// without any explicit wiring.
+func TestLedgerFeedsBlocks(t *testing.T) {
+	dec := New(Config{}, obs.NewRecorder(64))
+	led := obs.NewLedger(obs.LedgerConfig{
+		SlowdownBudget:   1.05,
+		BaselineIterTime: time.Millisecond,
+		Window:           8,
+	}, dec)
+	dec.RecordRetune(Inputs{TwSeconds: 0.01, IterSeconds: 0.001},
+		Alternative{Action: "f=2", OverheadSeconds: 0.0001, Feasible: true},
+		[]Alternative{{Action: "f=3", OverheadSeconds: 0.00005, Feasible: true}})
+	for i := 0; i < 8; i++ {
+		led.IterDone(1200*time.Microsecond, false)
+	}
+	ds := dec.Decisions()
+	if len(ds) != 1 || !ds[0].Scored || ds[0].Outcome != "ledger-join" {
+		t.Fatalf("ledger block did not score the retune: %+v", ds)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := New(Config{}, nil)
+	r.RecordScored(KindSlotAdmission, Outcome{
+		Inputs:   Inputs{N: 2, SlotsBusy: 2, PayloadBytes: 1 << 20},
+		Chosen:   Alternative{Action: "wait-for-slot", PredictedCost: 0.003, Feasible: true},
+		Rejected: []Alternative{{Action: "skip-save", Feasible: true}},
+		Measured: 0.003, Regret: 0.003, Outcome: "admitted", Counter: 5, Rank: 1,
+	})
+	r.RecordScored(KindRetry, Outcome{Measured: 0.01, Regret: 0.01, Outcome: "exhausted"})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Decisions()
+	if len(back) != len(want) {
+		t.Fatalf("round-trip %d decisions, want %d", len(back), len(want))
+	}
+	for i := range want {
+		a, _ := json.Marshal(want[i])
+		b, _ := json.Marshal(back[i])
+		if string(a) != string(b) {
+			t.Errorf("decision %d round-trip mismatch:\n %s\n %s", i, a, b)
+		}
+	}
+
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestSummarizeAndCoverage(t *testing.T) {
+	r := New(Config{}, nil)
+	r.RecordScored(KindRetry, Outcome{Measured: 0.01, Regret: 0.01, Outcome: "exhausted"})
+	r.RecordRetune(Inputs{}, Alternative{Action: "f=2"}, nil)
+	r.Finalize() // no block: pushed unscored
+	sum := Summarize(r.Decisions())
+	if sum.Total != 2 || sum.Scored != 1 {
+		t.Fatalf("total %d scored %d, want 2 and 1", sum.Total, sum.Scored)
+	}
+	if math.Abs(sum.Coverage-0.5) > 1e-9 {
+		t.Errorf("coverage %v, want 0.5", sum.Coverage)
+	}
+	if sum.RegretMax != 0.01 || math.Abs(sum.RegretMean-0.01) > 1e-9 {
+		t.Errorf("regret mean %v max %v, want 0.01 both (over scored only)", sum.RegretMean, sum.RegretMax)
+	}
+	if empty := Summarize(nil); empty.Coverage != 1 {
+		t.Errorf("empty-log coverage %v, want 1", empty.Coverage)
+	}
+}
+
+func TestWriteMetricsFamilies(t *testing.T) {
+	r := New(Config{}, nil)
+	r.RecordScored(KindRetry, Outcome{Measured: 0.01, Regret: 0.01, Outcome: "exhausted"})
+	var buf bytes.Buffer
+	r.WriteMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`pccheck_decision_total{kind="retry"} 1`,
+		`pccheck_decision_total{kind="retune"} 0`, // every kind always present
+		`pccheck_decision_scored_total{kind="retry"} 1`,
+		`pccheck_decision_regret_seconds_total{kind="retry"} 0.01`,
+		"pccheck_decision_pending 0",
+		"pccheck_decision_dropped_total 0",
+		"pccheck_regret_seconds_mean 0.01",
+		"pccheck_regret_seconds_max 0.01",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestFormatTableWorstFirst(t *testing.T) {
+	r := New(Config{}, nil)
+	r.RecordScored(KindRetry, Outcome{Measured: 0.01, Regret: 0.01, Outcome: "exhausted"})
+	r.RecordScored(KindSlotAdmission, Outcome{Measured: 0.5, Regret: 0.5, Outcome: "admitted"})
+	var buf bytes.Buffer
+	FormatTable(&buf, r.Decisions(), 0)
+	out := buf.String()
+	if !strings.Contains(out, "slot-admission") || !strings.Contains(out, "retry") {
+		t.Fatalf("table missing kinds:\n%s", out)
+	}
+	if strings.Index(out, "slot-admission") > strings.Index(out, "retry") {
+		t.Errorf("table not worst-regret-first:\n%s", out)
+	}
+}
+
+func TestRetuneCandidates(t *testing.T) {
+	chosen, alts := RetuneCandidates(0.02, 0.001, 1.05, 2, 3, 5, 1, 100, 1.0/300)
+	if chosen.Action != "f=3" {
+		t.Errorf("chosen action %q, want f=3", chosen.Action)
+	}
+	if len(alts) < 2 {
+		t.Fatalf("rejected candidates = %d, want ≥ 2", len(alts))
+	}
+	seen := map[string]bool{chosen.Action: true}
+	for _, a := range alts {
+		if seen[a.Action] {
+			t.Errorf("duplicate candidate %q", a.Action)
+		}
+		seen[a.Action] = true
+		if a.PredictedCost < 0 || math.IsNaN(a.PredictedCost) {
+			t.Errorf("candidate %q has bad cost %v", a.Action, a.PredictedCost)
+		}
+	}
+	if !seen["f=5"] {
+		t.Error("previous interval f=5 not among the candidates")
+	}
+
+	// With a tight budget the small intervals must be marked infeasible:
+	// f=1 at N=1 with tw ≫ t means slowdown well above q.
+	_, tight := RetuneCandidates(0.5, 0.001, 1.01, 1, 50, 50, 1, 1000, 0)
+	infeasible := false
+	for _, a := range tight {
+		if !a.Feasible {
+			infeasible = true
+		}
+	}
+	if !infeasible {
+		t.Error("no infeasible candidate under a tight q with a huge Tw")
+	}
+
+	// The clamp range can collapse candidates; the fill loop must still
+	// produce at least two distinct rejected intervals when room exists.
+	_, narrow := RetuneCandidates(0.02, 0.001, 1.05, 2, 1, 1, 1, 10, 0)
+	if len(narrow) < 2 {
+		t.Errorf("clamped-at-min candidates = %d, want ≥ 2", len(narrow))
+	}
+}
+
+// TestEmitAddsNoAllocations: the decision recorder's event path is a pure
+// forward; chaining it must not add per-event heap allocations.
+func TestEmitAddsNoAllocations(t *testing.T) {
+	rec := obs.NewRecorder(1 << 10)
+	dec := New(Config{}, rec)
+	ev := obs.Event{TS: 1, Phase: obs.PhasePersist, Dur: 100, Slot: -1, Writer: -1, Rank: -1}
+	if n := testing.AllocsPerRun(100, func() { dec.Emit(ev) }); n > 0 {
+		t.Errorf("Emit allocates %v per event, want 0", n)
+	}
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(100, func() { nilRec.Emit(ev) }); n > 0 {
+		t.Errorf("nil Emit allocates %v per event, want 0", n)
+	}
+}

@@ -1,0 +1,121 @@
+package decision
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pccheck/internal/perfmodel"
+	"pccheck/internal/sim"
+	"pccheck/internal/workload"
+)
+
+// ReplayOutcome is one candidate interval re-run through the discrete-event
+// simulator (internal/sim) on a synthetic platform reconstructed from the
+// decision's measured inputs.
+type ReplayOutcome struct {
+	// Action is the candidate ("f=3"); Chosen marks the action taken.
+	Action string `json:"action"`
+	Chosen bool   `json:"chosen"`
+	// Interval is the candidate checkpoint interval in iterations.
+	Interval int `json:"interval"`
+	// SimSlowdown is the simulated end-to-end slowdown (≥ 1).
+	SimSlowdown float64 `json:"sim_slowdown"`
+	// SimStallSeconds is total simulated time training blocked on
+	// checkpointing.
+	SimStallSeconds float64 `json:"sim_stall_seconds"`
+	// MeanLagIters is the simulated expected lost work (iterations) at a
+	// uniformly random failure instant.
+	MeanLagIters float64 `json:"mean_lag_iters"`
+}
+
+// ReplayRetune re-runs a recorded retune decision's candidate set through
+// internal/sim: the measured (Tw, t, N) inputs are inverted into a
+// synthetic platform whose storage bandwidth reproduces the observed write
+// time, then each candidate interval is simulated end to end. Where the
+// regret join scores decisions against one measured ledger block, the
+// replay bounds what each alternative would have yielded over a whole run —
+// including the checkpoint/iteration interleaving effects the closed-form
+// model ignores. Outcomes are sorted by interval; the analytic predictions
+// stay attached to the decision for comparison.
+func ReplayRetune(d Decision, writers int) ([]ReplayOutcome, error) {
+	if d.Kind != KindRetune {
+		return nil, fmt.Errorf("decision: replay wants a retune decision, got %s", d.Kind)
+	}
+	in := d.Inputs
+	if in.TwSeconds <= 0 || in.IterSeconds <= 0 {
+		return nil, fmt.Errorf("decision: seq %d has no measured (tw, iter) inputs to replay", d.Seq)
+	}
+	n := in.N
+	if n < 1 {
+		n = 1
+	}
+	payload := in.PayloadBytes
+	if payload <= 0 {
+		payload = 64 << 20
+	}
+	if writers <= 0 {
+		writers = 3
+	}
+	// Invert the measurement: a bandwidth at which N concurrent writers
+	// need exactly the observed TwSeconds per checkpoint.
+	bw := float64(payload) * float64(n) / in.TwSeconds
+	model := workload.Model{
+		Name:            "decision-replay",
+		CheckpointBytes: payload,
+		IterTime:        time.Duration(in.IterSeconds * float64(time.Second)),
+		Nodes:           1,
+	}
+	plat := workload.Platform{
+		Name:             "decision-replay",
+		PCIeBW:           64 << 30, // snapshot copy effectively free, as measured tw already excludes it
+		StorageWriteBW:   bw,
+		StorageReadBW:    bw,
+		PerThreadWriteBW: bw,
+		IterScale:        1,
+	}
+	cands := make(map[string]bool, 1+len(d.Rejected)) // action → chosen
+	cands[d.Chosen.Action] = true
+	for _, a := range d.Rejected {
+		if _, dup := cands[a.Action]; !dup {
+			cands[a.Action] = false
+		}
+	}
+	out := make([]ReplayOutcome, 0, len(cands))
+	for action, chosen := range cands {
+		f, err := parseInterval(action)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Config{
+			Algo: perfmodel.PCcheck, Model: model, Platform: plat,
+			Interval: f, Concurrent: n, Writers: writers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("decision: replay %s: %w", action, err)
+		}
+		out = append(out, ReplayOutcome{
+			Action: action, Chosen: chosen, Interval: f,
+			SimSlowdown:     res.Slowdown,
+			SimStallSeconds: res.StallSeconds,
+			MeanLagIters:    res.MeanLagIters,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Interval < out[j].Interval })
+	return out, nil
+}
+
+// parseInterval extracts f from a retune candidate action like "f=4".
+func parseInterval(action string) (int, error) {
+	s, ok := strings.CutPrefix(action, "f=")
+	if !ok {
+		return 0, fmt.Errorf("decision: cannot replay action %q (want f=<n>)", action)
+	}
+	f, err := strconv.Atoi(s)
+	if err != nil || f < 1 {
+		return 0, fmt.Errorf("decision: cannot replay action %q (want f=<n>)", action)
+	}
+	return f, nil
+}

@@ -1,0 +1,63 @@
+package decision
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplayRetune(t *testing.T) {
+	d := Decision{
+		Seq: 1, Kind: KindRetune,
+		Inputs: Inputs{TwSeconds: 0.02, IterSeconds: 0.001, N: 2, PayloadBytes: 1 << 20},
+		Chosen: Alternative{Action: "f=3"},
+		Rejected: []Alternative{
+			{Action: "f=1"}, {Action: "f=6"}, {Action: "f=3"}, // duplicate of chosen
+		},
+	}
+	outs, err := ReplayRetune(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("outcomes = %d, want 3 (chosen + 2 distinct rejected)", len(outs))
+	}
+	var sawChosen bool
+	for i, o := range outs {
+		if i > 0 && outs[i-1].Interval >= o.Interval {
+			t.Errorf("outcomes not sorted by interval: %+v", outs)
+		}
+		if o.SimSlowdown < 1 {
+			t.Errorf("%s simulated slowdown %v < 1", o.Action, o.SimSlowdown)
+		}
+		if o.Chosen {
+			if o.Action != "f=3" {
+				t.Errorf("chosen mark on %s, want f=3", o.Action)
+			}
+			sawChosen = true
+		}
+	}
+	if !sawChosen {
+		t.Error("no outcome marked chosen")
+	}
+	// Lost work at a random failure instant grows with the interval.
+	if outs[0].MeanLagIters >= outs[len(outs)-1].MeanLagIters {
+		t.Errorf("mean lag not increasing in f: %+v", outs)
+	}
+}
+
+func TestReplayRetuneRejectsBadInput(t *testing.T) {
+	if _, err := ReplayRetune(Decision{Kind: KindRetry}, 1); err == nil {
+		t.Error("non-retune decision accepted")
+	}
+	if _, err := ReplayRetune(Decision{Kind: KindRetune}, 1); err == nil {
+		t.Error("retune with no measured inputs accepted")
+	}
+	bad := Decision{
+		Kind:   KindRetune,
+		Inputs: Inputs{TwSeconds: 0.01, IterSeconds: 0.001, N: 1},
+		Chosen: Alternative{Action: "interval-3"},
+	}
+	if _, err := ReplayRetune(bad, 1); err == nil || !strings.Contains(err.Error(), "cannot replay") {
+		t.Errorf("unparseable action not rejected: %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+package decision
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// KindStats aggregates one decision kind.
+type KindStats struct {
+	Kind        string  `json:"kind"`
+	Total       uint64  `json:"total"`
+	Scored      uint64  `json:"scored"`
+	RegretTotal float64 `json:"regret_total_seconds"`
+	RegretMax   float64 `json:"regret_max_seconds"`
+}
+
+// Summary aggregates a decision log: counts, join coverage, and regret.
+type Summary struct {
+	// Total / Scored count closed decisions and those joined to a
+	// measurement; Pending counts still-open ones (retunes awaiting a
+	// ledger block, unresolved stalls); Dropped counts ring evictions.
+	Total   uint64 `json:"total"`
+	Scored  uint64 `json:"scored"`
+	Pending uint64 `json:"pending"`
+	Dropped uint64 `json:"dropped"`
+	// Coverage is Scored/Total (1 when Total is 0 — nothing unjoined).
+	Coverage float64 `json:"coverage"`
+	// Regret aggregates are over scored decisions, in seconds.
+	RegretTotal float64     `json:"regret_total_seconds"`
+	RegretMean  float64     `json:"regret_mean_seconds"`
+	RegretMax   float64     `json:"regret_max_seconds"`
+	Kinds       []KindStats `json:"kinds,omitempty"`
+}
+
+func (s *Summary) finish() {
+	if s.Scored > 0 {
+		s.RegretMean = s.RegretTotal / float64(s.Scored)
+	}
+	if s.Total > 0 {
+		s.Coverage = float64(s.Scored) / float64(s.Total)
+	} else {
+		s.Coverage = 1
+	}
+}
+
+// Summary returns the recorder's aggregates over every closed decision
+// (including ones the ring has since evicted).
+func (r *Recorder) Summary() Summary {
+	var s Summary
+	if r == nil {
+		s.finish()
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Pending = uint64(len(r.pendingRetune) + len(r.pendingDegraded))
+	s.Dropped = r.dropped
+	for k := Kind(0); k < KindCount; k++ {
+		s.Total += r.counts[k]
+		s.Scored += r.scored[k]
+		s.RegretTotal += r.regretTot[k]
+		if r.regretMax[k] > s.RegretMax {
+			s.RegretMax = r.regretMax[k]
+		}
+		if r.counts[k] == 0 {
+			continue
+		}
+		s.Kinds = append(s.Kinds, KindStats{
+			Kind: k.String(), Total: r.counts[k], Scored: r.scored[k],
+			RegretTotal: r.regretTot[k], RegretMax: r.regretMax[k],
+		})
+	}
+	s.finish()
+	return s
+}
+
+// Summarize aggregates an exported decision log (e.g. read back with
+// ReadJSONL). Eviction and pending counts are unknowable from a log and
+// stay zero.
+func Summarize(ds []Decision) Summary {
+	var s Summary
+	perTotal := map[Kind]*KindStats{}
+	order := []Kind{}
+	for _, d := range ds {
+		ks := perTotal[d.Kind]
+		if ks == nil {
+			ks = &KindStats{Kind: d.Kind.String()}
+			perTotal[d.Kind] = ks
+			order = append(order, d.Kind)
+		}
+		s.Total++
+		ks.Total++
+		if d.Scored {
+			s.Scored++
+			ks.Scored++
+			s.RegretTotal += d.Regret
+			ks.RegretTotal += d.Regret
+			if d.Regret > s.RegretMax {
+				s.RegretMax = d.Regret
+			}
+			if d.Regret > ks.RegretMax {
+				ks.RegretMax = d.Regret
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, k := range order {
+		s.Kinds = append(s.Kinds, *perTotal[k])
+	}
+	s.finish()
+	return s
+}
+
+// WriteJSONL exports the retained decisions, one JSON object per line,
+// oldest first. Call Finalize first so pending decisions are included.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range r.Decisions() {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a decision log produced by WriteJSONL. Blank lines are
+// skipped; a malformed line is an error naming its line number.
+func ReadJSONL(rd io.Reader) ([]Decision, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Decision
+	line := 0
+	for sc.Scan() {
+		line++
+		b := strings.TrimSpace(sc.Text())
+		if b == "" {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal([]byte(b), &d); err != nil {
+			return nil, fmt.Errorf("decision: line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteMetrics implements the Serve MetricsWriter hook: per-kind decision
+// and regret families plus overall regret gauges. Every kind is always
+// present (zero-valued when unseen) so dashboards see stable label sets.
+func (r *Recorder) WriteMetrics(w io.Writer) {
+	var snap struct {
+		counts, scored  [KindCount]uint64
+		regret          [KindCount]float64
+		pending, dropit uint64
+	}
+	var sum Summary
+	if r != nil {
+		r.mu.Lock()
+		snap.counts = r.counts
+		snap.scored = r.scored
+		snap.regret = r.regretTot
+		snap.pending = uint64(len(r.pendingRetune) + len(r.pendingDegraded))
+		snap.dropit = r.dropped
+		r.mu.Unlock()
+		sum = r.Summary()
+	} else {
+		sum.finish()
+	}
+	fmt.Fprintf(w, "# HELP pccheck_decision_total Policy decisions recorded, by kind.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_decision_total counter\n")
+	for k := Kind(0); k < KindCount; k++ {
+		fmt.Fprintf(w, "pccheck_decision_total{kind=%q} %d\n", k.String(), snap.counts[k])
+	}
+	fmt.Fprintf(w, "# HELP pccheck_decision_scored_total Decisions joined against a measured outcome, by kind.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_decision_scored_total counter\n")
+	for k := Kind(0); k < KindCount; k++ {
+		fmt.Fprintf(w, "pccheck_decision_scored_total{kind=%q} %d\n", k.String(), snap.scored[k])
+	}
+	fmt.Fprintf(w, "# HELP pccheck_decision_regret_seconds_total Measured regret versus the best rejected alternative, by kind.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_decision_regret_seconds_total counter\n")
+	for k := Kind(0); k < KindCount; k++ {
+		fmt.Fprintf(w, "pccheck_decision_regret_seconds_total{kind=%q} %g\n", k.String(), snap.regret[k])
+	}
+	fmt.Fprintf(w, "# HELP pccheck_decision_pending Decisions awaiting a measurement join.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_decision_pending gauge\n")
+	fmt.Fprintf(w, "pccheck_decision_pending %d\n", snap.pending)
+	fmt.Fprintf(w, "# HELP pccheck_decision_dropped_total Decisions evicted from the ring.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_decision_dropped_total counter\n")
+	fmt.Fprintf(w, "pccheck_decision_dropped_total %d\n", snap.dropit)
+	fmt.Fprintf(w, "# HELP pccheck_regret_seconds_mean Mean regret across scored decisions.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_regret_seconds_mean gauge\n")
+	fmt.Fprintf(w, "pccheck_regret_seconds_mean %g\n", sum.RegretMean)
+	fmt.Fprintf(w, "# HELP pccheck_regret_seconds_max Maximum regret across scored decisions.\n")
+	fmt.Fprintf(w, "# TYPE pccheck_regret_seconds_max gauge\n")
+	fmt.Fprintf(w, "pccheck_regret_seconds_max %g\n", sum.RegretMax)
+}
+
+// FormatTable renders decisions worst-regret-first (unscored last, then by
+// recency), up to limit rows (0 = all).
+func FormatTable(w io.Writer, ds []Decision, limit int) {
+	sorted := make([]Decision, len(ds))
+	copy(sorted, ds)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Scored != b.Scored {
+			return a.Scored
+		}
+		if a.Scored && a.Regret != b.Regret {
+			return a.Regret > b.Regret
+		}
+		return a.Seq > b.Seq
+	})
+	if limit > 0 && len(sorted) > limit {
+		sorted = sorted[:limit]
+	}
+	fmt.Fprintf(w, "%-5s %-15s %-12s %11s %11s %-14s %-12s %s\n",
+		"seq", "kind", "chosen", "measured", "regret", "best-alt", "outcome", "alternatives")
+	for _, d := range sorted {
+		measured, regret := "-", "-"
+		if d.Scored {
+			measured = fmt.Sprintf("%.4gs", d.MeasuredCost)
+			regret = fmt.Sprintf("%.4gs", d.Regret)
+		}
+		best := d.BestAlt
+		if best == "" {
+			best = "(chosen)"
+		}
+		alts := make([]string, 0, len(d.Rejected))
+		for _, a := range d.Rejected {
+			feas := ""
+			if !a.Feasible {
+				feas = "!q"
+			}
+			alts = append(alts, fmt.Sprintf("%s=%.3gs%s", a.Action, a.PredictedCost, feas))
+		}
+		fmt.Fprintf(w, "%-5d %-15s %-12s %11s %11s %-14s %-12s %s\n",
+			d.Seq, d.Kind, d.Chosen.Action, measured, regret, best, d.Outcome,
+			strings.Join(alts, " "))
+	}
+}

@@ -135,6 +135,10 @@ type ledgerRank struct {
 type Ledger struct {
 	cfg  LedgerConfig
 	next Observer
+	// blockSink receives completed slowdown blocks (the decision
+	// recorder's regret join); discovered once by walking the downstream
+	// chain at construction.
+	blockSink BlockSink
 
 	startNS int64
 
@@ -193,12 +197,33 @@ func (f *atomicFloat) ewma(v, alpha float64) {
 	}
 }
 
+// BlockSink receives the ledger's completed slowdown blocks: the mean
+// iteration seconds over one Window, the learned baseline (0 when not yet
+// known), and the iteration count. The decision recorder implements it to
+// join retune decisions against measured overhead; the ledger discovers a
+// sink by walking its downstream observer chain, so chaining
+// Ledger → decision.Recorder → Recorder wires the join automatically.
+type BlockSink interface {
+	LedgerBlock(meanIterSeconds, baselineSeconds float64, iters int)
+}
+
 // NewLedger builds a goodput ledger that forwards every event to next
 // (nil for a stand-alone ledger). Attach the returned ledger — not next —
 // as Config.Observer so it sees the full event stream.
 func NewLedger(cfg LedgerConfig, next Observer) *Ledger {
 	l := &Ledger{cfg: cfg.withDefaults(), next: next, startNS: time.Now().UnixNano()}
 	l.maxRank.Store(-1)
+	for o := next; o != nil; {
+		if s, ok := o.(BlockSink); ok {
+			l.blockSink = s
+			break
+		}
+		n, ok := o.(interface{ Next() Observer })
+		if !ok {
+			break
+		}
+		o = n.Next()
+	}
 	return l
 }
 
@@ -355,8 +380,8 @@ func (l *Ledger) IterDone(d time.Duration, checkpointed bool) {
 		return
 	}
 	base := l.baselineLocked()
+	blockMean := float64(l.blockNS) / float64(l.blockIters) / 1e9
 	if base > 0 {
-		blockMean := float64(l.blockNS) / float64(l.blockIters) / 1e9
 		slow := blockMean / base
 		if l.ewmaSlow == 0 {
 			l.ewmaSlow = slow
@@ -374,7 +399,22 @@ func (l *Ledger) IterDone(d time.Duration, checkpointed bool) {
 			}
 		}
 	}
+	if l.blockSink != nil {
+		l.blockSink.LedgerBlock(blockMean, base, l.blockIters)
+	}
 	l.blockNS, l.blockIters = 0, 0
+}
+
+// Breach reports the ledger's slowdown-budget state: how many times the
+// block-EWMA slowdown has crossed above the budget q, and whether it is
+// above it right now. Zero-valued without a budget configured.
+func (l *Ledger) Breach() (breaches uint64, inBreach bool) {
+	if l == nil {
+		return 0, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.breaches, l.inBreach
 }
 
 // baselineLocked returns the no-checkpoint iteration time in seconds.

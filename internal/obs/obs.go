@@ -113,6 +113,10 @@ const (
 	// PhaseKeyframe marks a delta-mode save published as a full keyframe
 	// (instant); Bytes is the payload size. Plain-mode saves never emit it.
 	PhaseKeyframe
+	// PhaseDecision marks a recorded policy decision (instant): Counter is
+	// the decision sequence number and Value its kind, both resolving into
+	// the decision recorder's structured log (internal/obs/decision).
+	PhaseDecision
 
 	// PhaseCount is the number of defined phases.
 	PhaseCount
@@ -123,7 +127,7 @@ var phaseNames = [PhaseCount]string{
 	"header", "barrier", "publish", "obsolete", "cas-retry", "io-retry",
 	"fault", "fault-injected", "snapshot", "retune", "agree",
 	"save-failed", "agree-gate", "rank-dead", "rank-rejoined",
-	"frame-dropped", "delta-encode", "keyframe",
+	"frame-dropped", "delta-encode", "keyframe", "decision",
 }
 
 // String returns the phase's canonical hyphenated name.

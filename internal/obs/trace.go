@@ -28,6 +28,7 @@ const (
 	tidFaults  = 2
 	tidLoop    = 3
 	tidGate    = 4
+	tidDecide  = 5
 	tidRankLo  = 10   // + rank
 	tidSlotLo  = 1000 // + slot*slotLaneStride (+ 1 + writer for writer lanes)
 	tidSaveLo  = 1 << 20
@@ -67,6 +68,8 @@ func trackOf(ev Event) (int64, string) {
 		return tidRankLo + int64(ev.Rank), fmt.Sprintf("agree rank %d", ev.Rank)
 	case PhaseAgreeGate:
 		return tidGate, "agree gate"
+	case PhaseDecision:
+		return tidDecide, "decisions"
 	default:
 		return tidSaveLo + int64(ev.Counter), fmt.Sprintf("save %d", ev.Counter)
 	}

@@ -1,10 +1,13 @@
 package tuner
 
 import (
+	"fmt"
+	"math"
 	"testing"
 	"time"
 
 	"pccheck/internal/core"
+	"pccheck/internal/obs/decision"
 	"pccheck/internal/perfmodel"
 	"pccheck/internal/storage"
 	"pccheck/internal/workload"
@@ -206,5 +209,80 @@ func TestRealTwMatchesAnalyticModel(t *testing.T) {
 		if ratio < 0.6 || ratio > 1.8 {
 			t.Fatalf("N=%d p=%d: real Tw %v vs analytic %v (ratio %.2f)", tc.n, tc.p, measured, want, ratio)
 		}
+	}
+}
+
+// TestAnalyzeRecordsTuneDecision: with a decision recorder configured, the
+// N* search records one tune decision — every candidate N a scored
+// alternative with its Tw/N cost, and regret measuring the 5%
+// smaller-N-on-ties preference.
+func TestAnalyzeRecordsTuneDecision(t *testing.T) {
+	rec := decision.New(decision.Config{TopK: 8}, nil)
+	m, _ := workload.ByName("OPT-1.3B")
+	res, err := Analyze(Input{
+		IterTime:        m.IterTime,
+		CheckpointBytes: m.CheckpointBytes,
+		MaxOverhead:     1.05,
+		MaxN:            4,
+		Decisions:       rec,
+	}, workload.A100GCP.StorageWriteBW, workload.A100GCP.PerThreadWriteBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := rec.Decisions()
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(ds))
+	}
+	d := ds[0]
+	if d.Kind != decision.KindTune || !d.Scored || d.Outcome != "modeled" {
+		t.Fatalf("kind %v scored %v outcome %q, want a scored modeled tune", d.Kind, d.Scored, d.Outcome)
+	}
+	if want := fmt.Sprintf("N=%d", res.N); d.Chosen.Action != want {
+		t.Errorf("chosen %q, want %q", d.Chosen.Action, want)
+	}
+	if len(d.Rejected) != 3 {
+		t.Errorf("rejected = %d, want the 3 unchosen candidates of MaxN=4", len(d.Rejected))
+	}
+	if d.Regret < 0 {
+		t.Errorf("regret %v, want ≥ 0", d.Regret)
+	}
+	// Regret is exactly the gap between the chosen Tw/N and the strict
+	// minimum over the profile.
+	best := math.MaxFloat64
+	for n, tw := range res.Profile {
+		if c := tw.Seconds() / float64(n); c < best {
+			best = c
+		}
+	}
+	if want := res.TwOverN.Seconds() - best; math.Abs(d.Regret-want) > 1e-12 {
+		t.Errorf("regret %v, want the tie-preference gap %v", d.Regret, want)
+	}
+	if d.Inputs.N != res.N || d.Inputs.Q != 1.05 {
+		t.Errorf("inputs %+v do not reflect the chosen configuration", d.Inputs)
+	}
+}
+
+// Profile must record the same decision shape with the "profiled" outcome.
+func TestProfileRecordsTuneDecision(t *testing.T) {
+	rec := decision.New(decision.Config{}, nil)
+	const m = 32 << 10
+	dev := storage.NewRAM(core.DeviceBytes(2, m))
+	if _, err := Profile(dev, Input{
+		IterTime:        time.Millisecond,
+		CheckpointBytes: m,
+		MaxOverhead:     1.2,
+		MaxN:            2,
+		Writers:         1,
+		Rounds:          1,
+		Decisions:       rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ds := rec.Decisions()
+	if len(ds) != 1 || ds[0].Kind != decision.KindTune || ds[0].Outcome != "profiled" {
+		t.Fatalf("decisions = %+v, want one profiled tune", ds)
+	}
+	if len(ds[0].Rejected) != 1 {
+		t.Errorf("rejected = %d, want the one unchosen N of MaxN=2", len(ds[0].Rejected))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"pccheck/internal/obs"
+	"pccheck/internal/obs/decision"
 )
 
 // Observability: the flight recorder, latency histograms and the live
@@ -56,6 +57,7 @@ const (
 	PhaseFrameDropped  = obs.PhaseFrameDropped  // a malformed or stale frame was discarded
 	PhaseDeltaEncode   = obs.PhaseDeltaEncode   // diffing + encoding a delta record
 	PhaseKeyframe      = obs.PhaseKeyframe      // a full checkpoint published in delta mode
+	PhaseDecision      = obs.PhaseDecision      // a policy decision was recorded (Counter = decision seq)
 )
 
 // Recorder is the built-in Observer: a bounded lock-free event ring
@@ -156,4 +158,46 @@ func WriteTraceEvents(w io.Writer, events []Event) error {
 // (nil when observability is off).
 func (c *Checkpointer) Observer() Observer {
 	return c.engine.Observer()
+}
+
+// DecisionRecorder is the policy decision trace (internal/obs/decision):
+// an Observer that records every tuning and coordination decision — the
+// chosen action, its measured inputs, and the top-K rejected alternatives
+// with the §3.4 model's predicted cost for each — and scores decisions
+// with measured regret by joining them against the goodput ledger's
+// slowdown blocks. Chain it between the Ledger and the flight Recorder
+// (NewLedger(cfg, NewDecisionRecorder(dcfg, rec))) and attach the ledger
+// as Config.Observer; AdaptiveLoop, the engine's slot admission and retry
+// paths, the distributed coordinator, and the tuner all discover it in
+// the chain automatically. A nil recorder costs one branch per decision
+// point and zero allocations.
+type DecisionRecorder = decision.Recorder
+
+// DecisionConfig tunes a DecisionRecorder (ring capacity, rejected-
+// alternative fan-out K, failure rate λ weighting staleness into retune
+// candidate costs).
+type DecisionConfig = decision.Config
+
+// Decision is one recorded policy decision; DecisionAlternative one
+// candidate action with its predicted cost; DecisionInputs the measured
+// quantities the decision was derived from. All are JSON-tagged; the
+// recorder's WriteJSONL exports one Decision per line.
+type Decision = decision.Decision
+type DecisionAlternative = decision.Alternative
+type DecisionInputs = decision.Inputs
+
+// DecisionSummary aggregates a decision log: totals, measurement-join
+// coverage, and mean/max/total regret, overall and per kind.
+type DecisionSummary = decision.Summary
+
+// NewDecisionRecorder builds a decision recorder forwarding events to
+// next (usually the flight Recorder).
+func NewDecisionRecorder(cfg DecisionConfig, next Observer) *DecisionRecorder {
+	return decision.New(cfg, next)
+}
+
+// FormatDecisionTable renders decisions worst-regret-first, up to limit
+// rows (0 = all).
+func FormatDecisionTable(w io.Writer, ds []Decision, limit int) {
+	decision.FormatTable(w, ds, limit)
 }
