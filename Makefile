@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-delta bench-json bench-decisions metrics-lint fmt-check staticcheck trace-smoke
+.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-delta bench-tiers bench-json bench-decisions metrics-lint fmt-check staticcheck trace-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ bench-chaos:
 # non-zero if any pattern's recovery diverges.
 bench-delta:
 	$(GO) run ./cmd/pccheck-bench -delta
+
+# Tiered-durability sweep: drain bandwidth vs per-tier staleness over a
+# DRAM→remote device, then the chaos phase — the slow tier torn down
+# mid-run, asserting the cross-tier durability floor (everything the
+# drainer acked recovers from the slow tier alone) and post-heal
+# convergence. Exits non-zero on any violation.
+bench-tiers:
+	$(GO) run ./cmd/pccheck-bench -tiers -tier-teardown -json BENCH_tiers.json
 
 # Benchmarks with machine-readable exports for run-to-run comparison — CI
 # uploads the BENCH_*.json files as build artifacts (goodput ratio, stall

@@ -11,6 +11,8 @@
 //	pccheck-bench -faults                       # fault-injection scenario
 //	pccheck-bench -crash                        # crash-point exploration sweep
 //	pccheck-bench -delta                        # full vs delta bytes-persisted sweep
+//	pccheck-bench -tiers                        # drain-bandwidth vs staleness sweep
+//	pccheck-bench -tiers -tier-teardown         # + tear the slow tier down mid-run
 package main
 
 import (
@@ -50,7 +52,7 @@ func main() {
 		goodputQ        = flag.Float64("goodput-q", 1.25, "with -goodput: slowdown budget q")
 		adaptive        = flag.Bool("adaptive", false, "with -goodput: drive an AdaptiveLoop (Eq. (3) retuning) instead of a fixed interval")
 		decisionsOut    = flag.String("decisions", "", "with -goodput: attach the decision recorder and write the JSONL decision log to this path (\"-\" = stdout)")
-		jsonOut         = flag.String("json", "", "with -goodput or -delta: write the machine-readable summary (BENCH_*.json shape) to this path")
+		jsonOut         = flag.String("json", "", "with -goodput, -delta or -tiers: write the machine-readable summary (BENCH_*.json shape) to this path")
 
 		delta         = flag.Bool("delta", false, "run the delta-checkpoint scenario: full vs delta bytes persisted per sparse update pattern")
 		deltaIters    = flag.Int("delta-iters", 120, "with -delta: checkpoints per run")
@@ -58,8 +60,29 @@ func main() {
 		deltaPattern  = flag.String("delta-pattern", "", "with -delta: run one sparse pattern by name (default: the whole zoo)")
 		deltaState    = flag.Int64("delta-state", 256<<10, "with -delta: checkpointable state bytes")
 		deltaSeed     = flag.Int64("delta-seed", 1, "with -delta: rng seed for the mutation sequence")
+
+		tiers        = flag.Bool("tiers", false, "run the tiered-durability scenario: drain-bandwidth vs staleness sweep over a DRAM→remote device")
+		tierSaves    = flag.Int("tier-saves", 40, "with -tiers: checkpoints per sweep point")
+		tierPayload  = flag.Int64("tier-payload", 64<<10, "with -tiers: bytes per checkpoint")
+		tierSeed     = flag.Int64("tier-seed", 1, "with -tiers: rng seed for payloads")
+		tierTeardown = flag.Bool("tier-teardown", false, "with -tiers: also tear the slow tier down mid-run and assert the cross-tier durability floor")
 	)
 	flag.Parse()
+
+	if *tiers {
+		err := runTiers(os.Stdout, tiersConfig{
+			saves:    *tierSaves,
+			payload:  *tierPayload,
+			seed:     *tierSeed,
+			teardown: *tierTeardown,
+			jsonOut:  *jsonOut,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccheck-bench: TIER SCENARIO FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *delta {
 		err := runDelta(os.Stdout, deltaConfig{

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTiersTeardown drives the full -tiers -tier-teardown scenario at a
+// small scale: every sweep invariant and the chaos phase's cross-tier
+// durability floor must hold, and the JSON summary must round-trip.
+func TestRunTiersTeardown(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "tiers.json")
+	var out bytes.Buffer
+	err := runTiers(&out, tiersConfig{
+		saves:    12,
+		payload:  16 << 10,
+		seed:     1,
+		teardown: true,
+		jsonOut:  jsonPath,
+		bwsMiB:   []int64{8, 128},
+	})
+	if err != nil {
+		t.Fatalf("runTiers: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verdict  OK") {
+		t.Fatalf("no OK verdict in report:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read json: %v", err)
+	}
+	var sum tiersSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("decode json: %v", err)
+	}
+	if len(sum.Sweep) != 2 {
+		t.Fatalf("json has %d sweep points, want 2", len(sum.Sweep))
+	}
+	for _, pt := range sum.Sweep {
+		if pt.DrainedBytes == 0 || pt.Drains == 0 {
+			t.Fatalf("sweep point %+v shows no drain progress", pt)
+		}
+	}
+	td := sum.Teardown
+	if td == nil {
+		t.Fatal("json summary has no teardown section")
+	}
+	if td.FloorAtTeardown == 0 || td.RecoveredBehind < td.FloorAtTeardown {
+		t.Fatalf("teardown floor violated: %+v", td)
+	}
+	if td.FinalDurable != 12 {
+		t.Fatalf("healed replica converged to %d, want 12", td.FinalDurable)
+	}
+}

@@ -7,10 +7,19 @@
 //	pccheck-inspect /mnt/ssd/ckpt.pcc
 //	pccheck-inspect -verify /mnt/ssd/ckpt.pcc
 //
+// With multiple paths the arguments are read as durability tiers, fastest
+// first (the layout CreateTieredFiles writes): each tier renders its own
+// section, unreachable or corrupt tiers are reported and skipped, and a
+// summary names the newest checkpoint reachable across tiers — what
+// RecoverAny would restore.
+//
+//	pccheck-inspect /mnt/ssd/tier0.pcc /mnt/hdd/tier1.pcc
+//
 // Exit status: 0 healthy, 1 read/decode failure, 2 usage, 3 the device
 // renders but is unhealthy (a pointer record recovery rejects, or a
-// published/chain payload fails its checksum) — so scripts and monitors can
-// alert on corruption without parsing the output.
+// published/chain payload fails its checksum). With multiple tiers, 3 means
+// *no* tier holds a recoverable checkpoint — a stale-but-intact replica
+// behind a dead primary is degraded durability, not an outage.
 package main
 
 import (
@@ -26,17 +35,24 @@ import (
 func main() {
 	verify := flag.Bool("verify", false, "read payloads and validate checksums (slow for large slots)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pccheck-inspect [-verify] <checkpoint-file>")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pccheck-inspect [-verify] <checkpoint-file> [tier-1-file ...]")
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
+	if flag.NArg() == 1 {
+		inspectSingle(flag.Arg(0), *verify)
+		return
+	}
+	inspectTiers(flag.Args(), *verify)
+}
+
+func inspectSingle(path string, verify bool) {
 	dev, err := storage.ReopenSSD(path)
 	if err != nil {
 		fail("%v", err)
 	}
 	defer dev.Close()
-	rep, err := core.Inspect(dev, *verify)
+	rep, err := core.Inspect(dev, verify)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -45,6 +61,63 @@ func main() {
 	if !rep.Healthy() {
 		fmt.Fprintln(os.Stderr, "pccheck-inspect: device is UNHEALTHY (see above)")
 		os.Exit(3)
+	}
+}
+
+// inspectTiers renders each path as one durability tier and summarizes the
+// newest checkpoint reachable across them. A tier that cannot be opened or
+// decoded degrades the report, not the exit status — as long as one tier
+// recovers, the checkpoint survives.
+func inspectTiers(paths []string, verify bool) {
+	type tierResult struct {
+		recoverable bool
+		counter     uint64
+		healthy     bool
+	}
+	results := make([]tierResult, len(paths))
+	for i, path := range paths {
+		fmt.Printf("tier %d: ", i)
+		dev, err := storage.ReopenSSD(path)
+		if err != nil {
+			fmt.Printf("%s: UNREACHABLE (%v)\n", path, err)
+			continue
+		}
+		rep, err := core.Inspect(dev, verify)
+		if err != nil {
+			fmt.Printf("%s: UNREADABLE (%v)\n", path, err)
+			dev.Close()
+			continue
+		}
+		render(path, rep)
+		dev.Close()
+		results[i] = tierResult{
+			recoverable: rep.Recoverable,
+			counter:     rep.Latest.Counter,
+			healthy:     rep.Healthy(),
+		}
+	}
+
+	best := -1
+	for i, r := range results {
+		if r.recoverable && (best < 0 || r.counter > results[best].counter) {
+			best = i
+		}
+	}
+	if best < 0 {
+		fmt.Println("newest reachable: none — no tier holds a recoverable checkpoint")
+		os.Exit(3)
+	}
+	fmt.Printf("newest reachable: checkpoint %d at tier %d (%s)", results[best].counter, best, paths[best])
+	for i, r := range results {
+		if i != best && r.recoverable && r.counter < results[best].counter {
+			fmt.Printf("; tier %d lags by %d checkpoint(s)", i, results[best].counter-r.counter)
+		}
+	}
+	fmt.Println()
+	for i, r := range results {
+		if r.recoverable && !r.healthy {
+			fmt.Fprintf(os.Stderr, "pccheck-inspect: tier %d (%s) is UNHEALTHY (see above)\n", i, paths[i])
+		}
 	}
 }
 

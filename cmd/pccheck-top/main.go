@@ -198,6 +198,39 @@ func renderFrame(w io.Writer, addr string, fams map[string]promtext.Family) {
 		}
 	}
 
+	if f, ok := fams["pccheck_tier_durable_checkpoint"]; ok && len(f.Samples) > 0 {
+		stale := fams["pccheck_tier_staleness_seconds"]
+		lag := fams["pccheck_tier_drain_lag_checkpoints"]
+		errs := fams["pccheck_tier_drain_errors_total"]
+		resyncs := fams["pccheck_tier_resyncs_total"]
+		drained := fams["pccheck_tier_drained_bytes_total"]
+		tierSample := func(f promtext.Family, name, tier string) float64 {
+			if s := f.Sample(name, "tier", tier); s != nil {
+				return s.Value
+			}
+			return 0
+		}
+		rows := append([]promtext.Sample(nil), f.Samples...)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Label("tier") < rows[j].Label("tier") })
+		fmt.Fprintf(w, "\ntiers (per-level durability)\n")
+		for _, s := range rows {
+			tier := s.Label("tier")
+			health := ""
+			if e := tierSample(errs, "pccheck_tier_drain_errors_total", tier); e > 0 {
+				health = fmt.Sprintf("  errors %d", int64(e))
+			}
+			if r := tierSample(resyncs, "pccheck_tier_resyncs_total", tier); r > 0 {
+				health += fmt.Sprintf("  resyncs %d", int64(r))
+			}
+			fmt.Fprintf(w, "  tier %-3s  durable ckpt %-8d lag %-4d stale %7.2fs  drained %s%s\n",
+				tier, int64(s.Value),
+				int64(tierSample(lag, "pccheck_tier_drain_lag_checkpoints", tier)),
+				tierSample(stale, "pccheck_tier_staleness_seconds", tier),
+				fmtBytes(tierSample(drained, "pccheck_tier_drained_bytes_total", tier)),
+				health)
+		}
+	}
+
 	if f, ok := fams["pccheck_rank_gated_rounds_total"]; ok && len(f.Samples) > 0 {
 		lag := fams["pccheck_rank_agree_lag_seconds"]
 		type row struct {
@@ -224,4 +257,17 @@ func renderFrame(w io.Writer, addr string, fams map[string]promtext.Family) {
 
 func fmtSec(v float64) string {
 	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", int64(v))
+	}
 }

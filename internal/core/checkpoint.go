@@ -56,6 +56,12 @@ type Checkpointer struct {
 	cfg Config
 	sb  superblock
 
+	// committer is dev's optional tiered-durability hook (probed once at
+	// attach): after each pointer record lands durably, the engine reports
+	// the committed counter so a storage.Tiered can stamp its drain journal
+	// and propagate per-tier durability watermarks.
+	committer storage.CheckpointCommitter
+
 	gCounter  atomic.Uint64
 	checkAddr atomic.Pointer[checkMeta] // latest *persisted* checkpoint
 	freeSpace *lfqueue.Queue[int]
@@ -310,6 +316,7 @@ func attach(dev storage.Device, cfg Config, sb superblock, latest *checkMeta, la
 		obsv:      cfg.Observer,
 		dec:       decision.Find(cfg.Observer),
 	}
+	c.committer, _ = dev.(storage.CheckpointCommitter)
 	c.perWriterBW.Store(math.Float64bits(cfg.PerWriterBW))
 	pinned := make(map[int]bool)
 	if latest != nil {
@@ -745,6 +752,13 @@ func (c *Checkpointer) persistRecord(ctx context.Context, meta checkMeta) error 
 		c.freeSpace.Enq(s)
 	}
 	c.pendingFree = c.pendingFree[:0]
+	// Commit notification: on tiered devices the drainer can only advance a
+	// lower tier's durable counter past checkpoints whose pointer record is
+	// durable at tier 0 — which is exactly now, still under recordMu so
+	// marks land in counter order.
+	if c.committer != nil {
+		c.committer.CommitCheckpoint(meta.counter)
+	}
 	return nil
 }
 

@@ -207,7 +207,20 @@ func readSlotPayload(dev storage.Device, sb superblock, meta checkMeta, dst []by
 // device without constructing an engine — the restart path (§4.2): the
 // persistent pointer identifies the checkpoint, the payload is loaded, and
 // the caller hands it to the training job to resume.
+//
+// A tiered device (anything implementing TierReader, e.g. storage.Tiered)
+// is walked newest-reachable-first: every level is probed and the highest
+// recoverable counter wins, so losing the fast tier falls back to whatever
+// the drainer last acknowledged below it.
 func Recover(dev storage.Device) (payload []byte, counter uint64, err error) {
+	if tr, ok := dev.(TierReader); ok {
+		return RecoverTiered(tr.Tiers()...)
+	}
+	return recoverDevice(dev)
+}
+
+// recoverDevice is single-level Recover.
+func recoverDevice(dev storage.Device) (payload []byte, counter uint64, err error) {
 	head := make([]byte, 64)
 	if err := dev.ReadAt(head, superOff); err != nil {
 		return nil, 0, err

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"pccheck/internal/storage"
+)
+
+// The checkpoint core owns the on-device format, so it registers the size
+// probe ReopenSSD uses to validate a reopened file against its superblock:
+// a recognised superblock pins the exact device size the geometry requires,
+// and a truncated or grown file fails at open time with a classified
+// Corrupt error instead of surfacing later as a range error mid-recovery.
+func init() {
+	storage.RegisterSizeProbe(func(header []byte) (int64, bool) {
+		sb, err := decodeSuperblock(header)
+		if err != nil {
+			return 0, false
+		}
+		return headerSize + int64(sb.slots)*slotStride(sb.slotBytes), true
+	})
+}
+
+// TierReader is the optional interface tiered devices implement so recovery
+// can walk their levels. storage.Tiered satisfies it.
+type TierReader interface {
+	Tiers() []storage.Device
+}
+
+// RecoverTiered reads the newest recoverable checkpoint across a set of
+// durability tiers, fastest-first — the restart path when tier 0 may be
+// gone. Every level is probed; unreachable or unformatted levels are
+// skipped, and the payload with the highest checkpoint counter wins (on a
+// tie, the faster tier serves the read). The cross-tier durability floor is
+// therefore max over reachable tiers of each tier's drained watermark: as
+// long as one tier the drainer acknowledged survives, its checkpoints do.
+func RecoverTiered(levels ...storage.Device) (payload []byte, counter uint64, err error) {
+	var (
+		best     []byte
+		bestCtr  uint64
+		found    bool
+		firstErr error
+	)
+	for _, dev := range levels {
+		if dev == nil {
+			continue
+		}
+		p, ctr, rerr := recoverDevice(dev)
+		if rerr != nil {
+			if firstErr == nil {
+				firstErr = rerr
+			}
+			continue
+		}
+		if !found || ctr > bestCtr {
+			best, bestCtr, found = p, ctr, true
+		}
+	}
+	if found {
+		return best, bestCtr, nil
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return nil, 0, ErrNoCheckpoint
+}

@@ -75,6 +75,10 @@ func (k StallKind) String() string {
 // the report's DroppedRankEvents).
 const MaxLedgerRanks = 64
 
+// MaxLedgerTiers bounds the per-tier durability table. Tier-drain events
+// for levels outside [0, MaxLedgerTiers) are forwarded but not attributed.
+const MaxLedgerTiers = 8
+
 // LedgerConfig tunes the goodput ledger. The zero value is usable: no
 // slowdown budget (SLO tracking off), baseline learned from
 // checkpoint-free iterations, default smoothing.
@@ -112,6 +116,18 @@ func (c LedgerConfig) withDefaults() LedgerConfig {
 		c.Window = 32
 	}
 	return c
+}
+
+// ledgerTier is one durability tier's drain accounting. All fields are
+// atomics: tier-drain events arrive from the drainer goroutine concurrently
+// with report readers.
+type ledgerTier struct {
+	drains    atomic.Uint64 // PhaseTierDrain cycles observed
+	drainedB  atomic.Int64  // cumulative bytes copied to this tier
+	errors    atomic.Uint64 // PhaseTierError count
+	resyncs   atomic.Uint64 // PhaseTierResync count
+	durable   atomic.Uint64 // newest checkpoint counter durable here
+	durableNS atomic.Int64  // when durable last advanced (event TS + Dur)
 }
 
 // ledgerRank is one rank's straggler accounting. All fields are atomics:
@@ -157,6 +173,8 @@ type Ledger struct {
 	ewmaSlotWaitNS atomicFloat
 	ranks          [MaxLedgerRanks]ledgerRank
 	maxRank        atomic.Int64 // highest rank attributed, -1 when none
+	tiers          [MaxLedgerTiers]ledgerTier
+	maxTier        atomic.Int64 // highest tier attributed, -1 when none
 	droppedRankEvs atomic.Uint64
 	rankDeaths     atomic.Uint64
 	rankRejoins    atomic.Uint64
@@ -213,6 +231,7 @@ type BlockSink interface {
 func NewLedger(cfg LedgerConfig, next Observer) *Ledger {
 	l := &Ledger{cfg: cfg.withDefaults(), next: next, startNS: time.Now().UnixNano()}
 	l.maxRank.Store(-1)
+	l.maxTier.Store(-1)
 	for o := next; o != nil; {
 		if s, ok := o.(BlockSink); ok {
 			l.blockSink = s
@@ -297,6 +316,21 @@ func (l *Ledger) Emit(ev Event) {
 				c.gateIDGap.Add(uint64(ev.Value))
 			}
 		}
+	case PhaseTierDrain:
+		if c := l.tier(ev.Slot); c != nil {
+			c.drains.Add(1)
+			c.drainedB.Add(ev.Bytes)
+			storeMaxUint64(&c.durable, ev.Counter)
+			storeMaxInt64(&c.durableNS, ev.TS+ev.Dur)
+		}
+	case PhaseTierError:
+		if c := l.tier(ev.Slot); c != nil {
+			c.errors.Add(1)
+		}
+	case PhaseTierResync:
+		if c := l.tier(ev.Slot); c != nil {
+			c.resyncs.Add(1)
+		}
 	case PhaseRankDead:
 		l.rankDeaths.Add(1)
 		l.deadRanks.Add(1)
@@ -309,6 +343,16 @@ func (l *Ledger) Emit(ev Event) {
 	if l.next != nil {
 		l.next.Emit(ev)
 	}
+}
+
+// tier returns the durability cell for tier index t (carried in Event.Slot
+// by the tier phases); out-of-range indexes are not attributed.
+func (l *Ledger) tier(t int32) *ledgerTier {
+	if t < 0 || t >= MaxLedgerTiers {
+		return nil
+	}
+	storeMaxInt64(&l.maxTier, int64(t))
+	return &l.tiers[t]
 }
 
 // rank returns the straggler cell for r, recording out-of-range ranks as
@@ -478,6 +522,29 @@ type RankAgreeStats struct {
 	GateIDGapTotal uint64  `json:"gate_id_gap_total"`
 }
 
+// TierDurability is one storage tier's row in the per-tier durability view:
+// "durable-to-SSD at iter K, durable-to-remote at iter K−3" as data.
+type TierDurability struct {
+	// Tier is the level index within the tiered device (1 = first level
+	// below the fast tier).
+	Tier int `json:"tier"`
+	// DurableCounter is the newest checkpoint counter the drainer has made
+	// durable at this tier; DrainLagCheckpoints is how many published
+	// checkpoints it trails the engine by (the staleness cost of losing
+	// every faster tier).
+	DurableCounter      uint64 `json:"durable_counter"`
+	DrainLagCheckpoints int64  `json:"drain_lag_checkpoints"`
+	// StalenessSeconds is the age of this tier's durable watermark — the
+	// wasted-work bound if recovery had to start from this tier right now.
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	// Drains / DrainedBytes / Errors / Resyncs summarise the drainer's work
+	// against this tier.
+	Drains       uint64 `json:"drains"`
+	DrainedBytes int64  `json:"drained_bytes"`
+	Errors       uint64 `json:"errors"`
+	Resyncs      uint64 `json:"resyncs"`
+}
+
 // GoodputReport is a point-in-time summary of the ledger — the
 // machine-readable form behind Report, FormatReport and the JSON export.
 type GoodputReport struct {
@@ -540,6 +607,10 @@ type GoodputReport struct {
 	PredictedIterSeconds float64 `json:"predicted_iter_seconds"`
 	TwDriftRatio         float64 `json:"tw_drift_ratio"`
 	IterDriftRatio       float64 `json:"iter_drift_ratio"`
+
+	// Tiers is the per-tier durable-staleness table of a tiered device,
+	// fastest lower tier first (empty without tier-drain events).
+	Tiers []TierDurability `json:"tiers,omitempty"`
 
 	// Stragglers is the per-rank agree table, worst gate lag first.
 	Stragglers        []RankAgreeStats `json:"stragglers,omitempty"`
@@ -644,6 +715,34 @@ func (l *Ledger) Report() GoodputReport {
 		rep.IterDriftRatio = rep.MeanIterSeconds / rep.PredictedIterSeconds
 	}
 
+	nowNS := time.Now().UnixNano()
+	maxTier := l.maxTier.Load()
+	for t := int64(0); t <= maxTier && t < MaxLedgerTiers; t++ {
+		c := &l.tiers[t]
+		row := TierDurability{
+			Tier:           int(t),
+			DurableCounter: c.durable.Load(),
+			Drains:         c.drains.Load(),
+			DrainedBytes:   c.drainedB.Load(),
+			Errors:         c.errors.Load(),
+			Resyncs:        c.resyncs.Load(),
+		}
+		if row.Drains == 0 && row.Errors == 0 && row.Resyncs == 0 {
+			continue
+		}
+		if lag := int64(rep.LastPublishedCounter) - int64(row.DurableCounter); lag > 0 {
+			row.DrainLagCheckpoints = lag
+		}
+		ref := c.durableNS.Load()
+		if ref == 0 {
+			ref = l.startNS
+		}
+		if age := secs(nowNS - ref); age > 0 {
+			row.StalenessSeconds = age
+		}
+		rep.Tiers = append(rep.Tiers, row)
+	}
+
 	maxRank := l.maxRank.Load()
 	for r := int64(0); r <= maxRank && r < MaxLedgerRanks; r++ {
 		c := &l.ranks[r]
@@ -681,6 +780,21 @@ func (l *Ledger) Report() GoodputReport {
 
 func secs(ns int64) float64 { return float64(ns) / 1e9 }
 
+// formatTierBytes renders a byte count with a binary-unit suffix for the
+// per-tier summary lines.
+func formatTierBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
 // WriteJSON writes the report as indented JSON — the machine-readable
 // export behind pccheck-bench -json.
 func (l *Ledger) WriteJSON(w io.Writer) error {
@@ -715,6 +829,11 @@ func FormatReport(w io.Writer, rep GoodputReport) {
 		fmt.Fprintf(w, "model     observed Tw %.4fs vs predicted %.4fs (drift %.2fx); iter %.4fs vs %.4fs (drift %.2fx)\n",
 			rep.ObservedTwSeconds, rep.PredictedTwSeconds, rep.TwDriftRatio,
 			rep.MeanIterSeconds, rep.PredictedIterSeconds, rep.IterDriftRatio)
+	}
+	for _, t := range rep.Tiers {
+		fmt.Fprintf(w, "tier %-3d  durable checkpoint %d (lag %d behind published), staleness %.2fs — %d drain(s), %s, %d error(s), %d resync(s)\n",
+			t.Tier, t.DurableCounter, t.DrainLagCheckpoints, t.StalenessSeconds,
+			t.Drains, formatTierBytes(t.DrainedBytes), t.Errors, t.Resyncs)
 	}
 	for _, s := range rep.Stragglers {
 		fmt.Fprintf(w, "rank %-3d  gated %d round(s) by %.3fs (ID gap %d); %d agree rounds, %.3fs total, max %.3fs, publish lag %d\n",
@@ -763,5 +882,40 @@ func (l *Ledger) WriteMetrics(w io.Writer) {
 		for _, s := range rep.Stragglers {
 			fmt.Fprintf(w, "pccheck_rank_gated_rounds_total{rank=\"%d\"} %d\n", s.Rank, s.GatedRounds)
 		}
+	}
+	if len(rep.Tiers) > 0 {
+		tierGauge := func(name, help string, value func(TierDurability) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, t := range rep.Tiers {
+				fmt.Fprintf(w, "%s{tier=\"%d\"} %g\n", name, t.Tier, value(t))
+			}
+		}
+		tierCounter := func(name, help string, value func(TierDurability) uint64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, t := range rep.Tiers {
+				fmt.Fprintf(w, "%s{tier=\"%d\"} %d\n", name, t.Tier, value(t))
+			}
+		}
+		tierGauge("pccheck_tier_durable_checkpoint",
+			"Highest checkpoint counter the drainer has made durable at this tier.",
+			func(t TierDurability) float64 { return float64(t.DurableCounter) })
+		tierGauge("pccheck_tier_staleness_seconds",
+			"Age of this tier's newest durable checkpoint (per-tier wasted-work bound).",
+			func(t TierDurability) float64 { return t.StalenessSeconds })
+		tierGauge("pccheck_tier_drain_lag_checkpoints",
+			"Checkpoints published at tier 0 but not yet durable at this tier.",
+			func(t TierDurability) float64 { return float64(t.DrainLagCheckpoints) })
+		tierCounter("pccheck_tier_drains_total",
+			"Completed drain cycles into this tier.",
+			func(t TierDurability) uint64 { return t.Drains })
+		tierCounter("pccheck_tier_drained_bytes_total",
+			"Bytes the drainer has replayed into this tier.",
+			func(t TierDurability) uint64 { return uint64(t.DrainedBytes) })
+		tierCounter("pccheck_tier_drain_errors_total",
+			"Drain attempts that exhausted retries against this tier.",
+			func(t TierDurability) uint64 { return t.Errors })
+		tierCounter("pccheck_tier_resyncs_total",
+			"Full-image resyncs forced by journal overflow or tier recovery.",
+			func(t TierDurability) uint64 { return t.Resyncs })
 	}
 }

@@ -268,3 +268,61 @@ func TestLedgerWriteMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestLedgerTierAccounting: tier drain/error/resync events roll up into
+// per-tier report rows, the human summary, and tier-labelled metric
+// families; the drain lag is the distance behind the published counter.
+func TestLedgerTierAccounting(t *testing.T) {
+	l := NewLedger(LedgerConfig{}, nil)
+	// Backdate the events so the watermark ages are comfortably positive
+	// by the time Report() runs.
+	now := time.Now().Add(-time.Second).UnixNano()
+	l.Emit(Event{Phase: PhasePublish, TS: now, Counter: 9})
+	l.Emit(Event{Phase: PhaseTierDrain, TS: now, Dur: int64(time.Millisecond), Slot: 1, Counter: 7, Bytes: 4096})
+	l.Emit(Event{Phase: PhaseTierDrain, TS: now, Dur: int64(time.Millisecond), Slot: 2, Counter: 4, Bytes: 2048})
+	l.Emit(Event{Phase: PhaseTierError, TS: now, Slot: 2, Attempt: 3, Value: 1})
+	l.Emit(Event{Phase: PhaseTierResync, TS: now, Slot: 2, Bytes: 8192})
+	// Out-of-range tiers are dropped, not a panic or corruption.
+	l.Emit(Event{Phase: PhaseTierDrain, TS: now, Slot: MaxLedgerTiers + 3, Counter: 1})
+
+	rep := l.Report()
+	if len(rep.Tiers) != 2 {
+		t.Fatalf("report has %d tier rows, want 2: %+v", len(rep.Tiers), rep.Tiers)
+	}
+	t1, t2 := rep.Tiers[0], rep.Tiers[1]
+	if t1.Tier != 1 || t1.DurableCounter != 7 || t1.DrainLagCheckpoints != 2 {
+		t.Fatalf("tier 1 row = %+v, want durable 7 lag 2", t1)
+	}
+	if t2.Tier != 2 || t2.DurableCounter != 4 || t2.DrainLagCheckpoints != 5 ||
+		t2.Errors != 1 || t2.Resyncs != 1 {
+		t.Fatalf("tier 2 row = %+v, want durable 4 lag 5 errors 1 resyncs 1", t2)
+	}
+	if t1.StalenessSeconds < 0 || t2.StalenessSeconds <= 0 {
+		t.Fatalf("staleness not computed: tier1 %.4f tier2 %.4f", t1.StalenessSeconds, t2.StalenessSeconds)
+	}
+
+	var human bytes.Buffer
+	FormatReport(&human, rep)
+	if !strings.Contains(human.String(), "tier 1") || !strings.Contains(human.String(), "tier 2") {
+		t.Errorf("human report missing tier lines:\n%s", human.String())
+	}
+
+	var buf bytes.Buffer
+	l.WriteMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`pccheck_tier_durable_checkpoint{tier="1"} 7`,
+		`pccheck_tier_durable_checkpoint{tier="2"} 4`,
+		`pccheck_tier_drain_lag_checkpoints{tier="1"} 2`,
+		`pccheck_tier_drain_lag_checkpoints{tier="2"} 5`,
+		`pccheck_tier_staleness_seconds{tier="1"}`,
+		`pccheck_tier_drains_total{tier="1"} 1`,
+		`pccheck_tier_drained_bytes_total{tier="1"} 4096`,
+		`pccheck_tier_drain_errors_total{tier="2"} 1`,
+		`pccheck_tier_resyncs_total{tier="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -117,6 +117,19 @@ const (
 	// the decision sequence number and Value its kind, both resolving into
 	// the decision recorder's structured log (internal/obs/decision).
 	PhaseDecision
+	// PhaseTierDrain spans one tier-drain cycle of a storage.Tiered device:
+	// the async drainer replaying tier 0's journaled ops into a lower tier
+	// and syncing it. Slot is the tier index, Counter the checkpoint counter
+	// now durable at that tier, Bytes the bytes copied this cycle.
+	PhaseTierDrain
+	// PhaseTierError marks a drain cycle aborted by a tier fault (instant):
+	// Slot is the tier index, Attempt the 1-based attempt that exhausted the
+	// retry budget, Value the storage error class.
+	PhaseTierError
+	// PhaseTierResync marks a full-image tier resync (instant): the bounded
+	// drain journal overflowed past a lagging tier, so the drainer recopied
+	// the whole tier-0 image. Slot is the tier index, Bytes the image size.
+	PhaseTierResync
 
 	// PhaseCount is the number of defined phases.
 	PhaseCount
@@ -128,6 +141,7 @@ var phaseNames = [PhaseCount]string{
 	"fault", "fault-injected", "snapshot", "retune", "agree",
 	"save-failed", "agree-gate", "rank-dead", "rank-rejoined",
 	"frame-dropped", "delta-encode", "keyframe", "decision",
+	"tier-drain", "tier-error", "tier-resync",
 }
 
 // String returns the phase's canonical hyphenated name.
@@ -143,7 +157,7 @@ func (p Phase) IsSpan() bool {
 	switch p {
 	case PhaseSave, PhaseSlotWait, PhaseCopy, PhaseChunkWait, PhasePersist,
 		PhaseSync, PhaseHeader, PhaseBarrier, PhaseSnapshot, PhaseAgree,
-		PhaseIORetry, PhaseAgreeGate, PhaseDeltaEncode:
+		PhaseIORetry, PhaseAgreeGate, PhaseDeltaEncode, PhaseTierDrain:
 		return true
 	}
 	return false

@@ -29,7 +29,8 @@ const (
 	tidLoop    = 3
 	tidGate    = 4
 	tidDecide  = 5
-	tidRankLo  = 10   // + rank
+	tidTierLo  = 6    // + tier index (Slot)
+	tidRankLo  = 100  // + rank
 	tidSlotLo  = 1000 // + slot*slotLaneStride (+ 1 + writer for writer lanes)
 	tidSaveLo  = 1 << 20
 	slotStride = 100
@@ -70,6 +71,8 @@ func trackOf(ev Event) (int64, string) {
 		return tidGate, "agree gate"
 	case PhaseDecision:
 		return tidDecide, "decisions"
+	case PhaseTierDrain, PhaseTierError, PhaseTierResync:
+		return tidTierLo + int64(ev.Slot), fmt.Sprintf("tier %d drain", ev.Slot)
 	default:
 		return tidSaveLo + int64(ev.Counter), fmt.Sprintf("save %d", ev.Counter)
 	}

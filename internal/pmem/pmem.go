@@ -62,8 +62,10 @@ func NewRegion(size int) *Region {
 func (r *Region) Size() int { return r.size }
 
 func (r *Region) checkRange(off, n int) error {
-	if off < 0 || n < 0 || off+n > r.size {
-		return fmt.Errorf("pmem: range [%d,%d) outside region of %d bytes", off, off+n, r.size)
+	// off+n can wrap negative for adversarial offsets near MaxInt, so compare
+	// against size without forming the sum.
+	if off < 0 || n < 0 || n > r.size || off > r.size-n {
+		return fmt.Errorf("pmem: range [%d,+%d) outside region of %d bytes", off, n, r.size)
 	}
 	return nil
 }

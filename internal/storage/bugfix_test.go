@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckRangeOverflow pins the off+n overflow guard: before the fix,
+// off+int64(n) wrapped negative for offsets near MaxInt64 and the range
+// check accepted an out-of-bounds access.
+func TestCheckRangeOverflow(t *testing.T) {
+	cases := []struct {
+		name   string
+		size   int64
+		off    int64
+		n      int
+		wantOK bool
+	}{
+		{"zero at zero", 0, 0, 0, true},
+		{"full device", 4096, 0, 4096, true},
+		{"end boundary", 4096, 4096, 0, true},
+		{"interior", 4096, 100, 200, true},
+		{"negative off", 4096, -1, 1, false},
+		{"negative n", 4096, 0, -1, false},
+		{"off past end", 4096, 4097, 0, false},
+		{"n past end", 4096, 4095, 2, false},
+		{"max off wraps", 4096, math.MaxInt64, 16, false},
+		{"near-max off wraps", 4096, math.MaxInt64 - 8, 16, false},
+		{"exact wrap to negative", 4096, math.MaxInt64 - 15, 16, false},
+		{"max off zero n", 4096, math.MaxInt64, 0, false},
+	}
+	for _, c := range cases {
+		err := checkRange(c.size, c.off, c.n)
+		if (err == nil) != c.wantOK {
+			t.Errorf("%s: checkRange(%d, %d, %d) = %v, want ok=%v",
+				c.name, c.size, c.off, c.n, err, c.wantOK)
+		}
+	}
+}
+
+// FuzzCheckRange checks checkRange against an overflow-free oracle computed
+// in uint64 space. The seed corpus includes the adversarial offsets near
+// MaxInt64 that wrapped the pre-fix off+int64(n) sum negative.
+func FuzzCheckRange(f *testing.F) {
+	f.Add(int64(4096), int64(0), 4096)
+	f.Add(int64(4096), int64(math.MaxInt64-5), 10)
+	f.Add(int64(4096), int64(math.MaxInt64), 1)
+	f.Add(int64(4096), int64(-1), 1)
+	f.Add(int64(0), int64(0), 0)
+	f.Add(int64(1<<40), int64(1<<40), 0)
+	f.Fuzz(func(t *testing.T, size, off int64, n int) {
+		if size < 0 {
+			size = -size
+		}
+		err := checkRange(size, off, n)
+		wantOK := off >= 0 && n >= 0 && uint64(off)+uint64(n) <= uint64(size)
+		if (err == nil) != wantOK {
+			t.Fatalf("checkRange(%d, %d, %d) = %v, oracle ok=%v", size, off, n, err, wantOK)
+		}
+	})
+}
+
+// TestCrashDeviceCloseImpliesSync is the crash-model regression for the
+// SSD sync-on-close fix: Close must journal a covering sync so that data
+// written but never explicitly synced survives even the adversary that
+// drops every unsynced write. Before the fix the post-Close crash image
+// lost the write.
+func TestCrashDeviceCloseImpliesSync(t *testing.T) {
+	dev := NewCrashDevice(1024, KindSSD)
+	want := bytes.Repeat([]byte{0xab}, 256)
+	if err := dev.WriteAt(want, 128); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	// No explicit Sync: durability must come from Close alone.
+	if err := dev.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	img, err := dev.CrashImage(dev.Ops(), DropAllWrites)
+	if err != nil {
+		t.Fatalf("CrashImage: %v", err)
+	}
+	if !bytes.Equal(img[128:128+256], want) {
+		t.Fatal("write issued before Close was lost in the post-Close crash image: Close did not sync")
+	}
+}
+
+// TestSSDCloseDurability is the real-file counterpart: data written to an
+// SSD and never explicitly synced must be on disk after Close.
+func TestSSDCloseDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	dev, err := OpenSSD(path, 1024)
+	if err != nil {
+		t.Fatalf("OpenSSD: %v", err)
+	}
+	want := bytes.Repeat([]byte{0xcd}, 512)
+	if err := dev.WriteAt(want, 256); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := ReopenSSD(path)
+	if err != nil {
+		t.Fatalf("ReopenSSD: %v", err)
+	}
+	defer re.Close()
+	got := make([]byte, len(want))
+	if err := re.ReadAt(got, 256); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data written before Close not present after reopen")
+	}
+}

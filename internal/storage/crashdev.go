@@ -211,8 +211,17 @@ func (d *CrashDevice) Size() int64 { return int64(len(d.buf)) }
 // Kind implements Device.
 func (d *CrashDevice) Kind() Kind { return d.kind }
 
-// Close implements io.Closer.
-func (d *CrashDevice) Close() error { return nil }
+// Close implements io.Closer. Mirroring SSD.Close (sync-on-close), an
+// orderly Close journals a covering sync: a backend that is closed cleanly
+// leaves no volatile writes behind, so a post-Close CrashImage under the
+// pessimistic adversary still carries everything written. Regression cover
+// for the SSD close-without-fsync bug.
+func (d *CrashDevice) Close() error {
+	d.mu.Lock()
+	d.journal = append(d.journal, CrashOp{Kind: CrashOpSync, Off: 0, N: int64(len(d.buf))})
+	d.mu.Unlock()
+	return nil
+}
 
 // Ops returns the journal length. Prefixes 0..Ops() are the crash points of
 // the recorded history.

@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRemoteUnreachable is the (transient-classified) failure every operation
+// on an unreachable RemoteStore returns. The tiered drainer's retry/backoff
+// absorbs short outages; a long outage just leaves the remote tier stale.
+var ErrRemoteUnreachable = errors.New("storage: remote store unreachable")
+
+// RemoteStore is the object-store stub tier: an in-memory address space
+// behind a modelled network — per-operation round-trip latency, optional
+// bandwidth pacing, and a reachability switch whose failures classify as
+// transient. It is the slowest, safest level of a Tiered device in tests and
+// benches, and the shape a real S3/GCS adapter would take (same Device
+// surface, same transient-error contract).
+type RemoteStore struct {
+	mu   sync.RWMutex
+	data []byte
+
+	rtt      time.Duration
+	throttle *Throttle
+	down     atomic.Bool
+	ops      atomic.Uint64
+	faults   atomic.Uint64
+}
+
+// RemoteOption configures a RemoteStore.
+type RemoteOption func(*RemoteStore)
+
+// WithRemoteRTT models the per-operation network round trip.
+func WithRemoteRTT(d time.Duration) RemoteOption {
+	return func(r *RemoteStore) { r.rtt = d }
+}
+
+// WithRemoteThrottle paces writes through the given bandwidth cap — the
+// uplink, in this model.
+func WithRemoteThrottle(th *Throttle) RemoteOption {
+	return func(r *RemoteStore) { r.throttle = th }
+}
+
+// NewRemoteStore allocates a reachable remote tier of the given size.
+func NewRemoteStore(size int64, opts ...RemoteOption) *RemoteStore {
+	if size < 0 {
+		panic("storage: negative RemoteStore size")
+	}
+	r := &RemoteStore{data: make([]byte, size)}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// SetReachable flips the modelled network: while false, every operation
+// fails with a transient ErrRemoteUnreachable. The chaos knob behind the
+// tier-teardown sweeps.
+func (r *RemoteStore) SetReachable(up bool) { r.down.Store(!up) }
+
+// Ops returns how many operations the store served; Faults how many it
+// rejected while unreachable.
+func (r *RemoteStore) Ops() uint64    { return r.ops.Load() }
+func (r *RemoteStore) Faults() uint64 { return r.faults.Load() }
+
+func (r *RemoteStore) roundTrip() error {
+	if r.down.Load() {
+		r.faults.Add(1)
+		return Transient(ErrRemoteUnreachable)
+	}
+	if r.rtt > 0 {
+		time.Sleep(r.rtt)
+	}
+	r.ops.Add(1)
+	return nil
+}
+
+// WriteAt implements Device.
+func (r *RemoteStore) WriteAt(p []byte, off int64) error {
+	if err := checkRange(int64(len(r.data)), off, len(p)); err != nil {
+		return err
+	}
+	if err := r.roundTrip(); err != nil {
+		return err
+	}
+	r.throttle.Acquire(len(p))
+	r.mu.Lock()
+	copy(r.data[off:], p)
+	r.mu.Unlock()
+	return nil
+}
+
+// ReadAt implements Device.
+func (r *RemoteStore) ReadAt(p []byte, off int64) error {
+	if err := checkRange(int64(len(r.data)), off, len(p)); err != nil {
+		return err
+	}
+	if err := r.roundTrip(); err != nil {
+		return err
+	}
+	r.mu.RLock()
+	copy(p, r.data[off:])
+	r.mu.RUnlock()
+	return nil
+}
+
+// Sync implements Device: an object store acks writes durably, so the
+// barrier is a round trip with nothing left to flush.
+func (r *RemoteStore) Sync(off, n int64) error {
+	if err := checkRange(int64(len(r.data)), off, int(n)); err != nil {
+		return err
+	}
+	return r.roundTrip()
+}
+
+// Persist implements Device.
+func (r *RemoteStore) Persist(p []byte, off int64) error {
+	return r.WriteAt(p, off)
+}
+
+// Size implements Device.
+func (r *RemoteStore) Size() int64 { return int64(len(r.data)) }
+
+// Kind implements Device.
+func (r *RemoteStore) Kind() Kind { return KindRemote }
+
+// Close implements io.Closer.
+func (r *RemoteStore) Close() error { return nil }
+
+var _ Device = (*RemoteStore)(nil)

@@ -1,0 +1,54 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRemoteStoreUnreachableIsTransient(t *testing.T) {
+	r := NewRemoteStore(1024)
+	defer r.Close()
+	p := []byte{1, 2, 3, 4}
+	if err := r.WriteAt(p, 0); err != nil {
+		t.Fatalf("WriteAt while reachable: %v", err)
+	}
+	r.SetReachable(false)
+	err := r.WriteAt(p, 0)
+	if !errors.Is(err, ErrRemoteUnreachable) {
+		t.Fatalf("WriteAt while down = %v, want ErrRemoteUnreachable", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("unreachable-store error is not classified transient — the drainer would give up instead of retrying")
+	}
+	if err := r.Sync(0, 4); !IsTransient(err) {
+		t.Fatalf("Sync while down = %v, want transient", err)
+	}
+	if r.Faults() == 0 {
+		t.Error("fault counter did not advance")
+	}
+	r.SetReachable(true)
+	got := make([]byte, 4)
+	if err := r.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after recovery: %v", err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("data written before the outage lost after recovery")
+	}
+}
+
+func TestRemoteStoreRTTPacing(t *testing.T) {
+	r := NewRemoteStore(1024, WithRemoteRTT(2*time.Millisecond))
+	defer r.Close()
+	start := time.Now()
+	if err := r.Persist([]byte{1}, 0); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("Persist returned in %v, want >= the 2ms modelled round trip", elapsed)
+	}
+	if r.Ops() == 0 {
+		t.Error("op counter did not advance")
+	}
+}

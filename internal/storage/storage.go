@@ -31,6 +31,11 @@ const (
 	// KindRAM is volatile memory; Sync is a no-op and nothing survives a
 	// crash. Used for tests and for remote-DRAM checkpoint targets.
 	KindRAM
+	// KindRemote is a remote durability target reached over a network — an
+	// object-store bucket or a replication peer. Syncs behave like SSD
+	// (explicit barrier); all ops can fail transiently when the remote is
+	// unreachable.
+	KindRemote
 )
 
 func (k Kind) String() string {
@@ -41,6 +46,8 @@ func (k Kind) String() string {
 		return "pmem"
 	case KindRAM:
 		return "ram"
+	case KindRemote:
+		return "remote"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -69,9 +76,17 @@ type Device interface {
 	Kind() Kind
 }
 
+// Backend is the name the conformance suite (storagetest) gives the Device
+// contract: every backend — local, layered or remote — must satisfy the same
+// WriteAt/ReadAt/Sync/Persist semantics, proven once by the shared suite.
+type Backend = Device
+
 func checkRange(size, off int64, n int) error {
-	if off < 0 || off+int64(n) > size {
-		return fmt.Errorf("storage: range [%d,%d) outside device of %d bytes", off, off+int64(n), size)
+	// off+int64(n) can wrap negative for adversarial offsets near MaxInt64
+	// (a corrupt slot or delta header is exactly where such offsets come
+	// from), so the bound is checked without computing the sum.
+	if off < 0 || n < 0 || int64(n) > size || off > size-int64(n) {
+		return fmt.Errorf("storage: range [%d,+%d) outside device of %d bytes", off, n, size)
 	}
 	return nil
 }
@@ -116,8 +131,64 @@ func OpenSSD(path string, size int64, opts ...SSDOption) (*SSD, error) {
 	return d, nil
 }
 
+// sizeProbes validate a reopened device file's size against whatever
+// superblock its first bytes decode to. Registered by format owners (the
+// checkpoint core) so the storage layer need not understand their layout.
+var (
+	sizeProbesMu sync.RWMutex
+	sizeProbes   []SizeProbe
+)
+
+// SizeProbe inspects the first bytes of a device (at least SizeProbeBytes)
+// and, when it recognises a format it owns, returns the device size that
+// format requires and ok=true. Unrecognised contents return ok=false.
+type SizeProbe func(header []byte) (required int64, ok bool)
+
+// SizeProbeBytes is how many leading device bytes a SizeProbe is handed.
+const SizeProbeBytes = 64
+
+// RegisterSizeProbe adds a format's size validator to ReopenSSD. Safe for
+// concurrent use; probes run in registration order and the first to
+// recognise the header wins.
+func RegisterSizeProbe(p SizeProbe) {
+	sizeProbesMu.Lock()
+	sizeProbes = append(sizeProbes, p)
+	sizeProbesMu.Unlock()
+}
+
+// validateReopenedSize cross-checks a reopened file's size against the
+// registered format probes. A recognised superblock whose required size does
+// not match the file — truncated *or* grown — is corruption worth failing at
+// open time, not deep in recovery as a confusing range error.
+func validateReopenedSize(f *os.File, size int64) error {
+	head := make([]byte, SizeProbeBytes)
+	if size < SizeProbeBytes {
+		return nil // too small to hold any known superblock; probes can't speak
+	}
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return err
+	}
+	sizeProbesMu.RLock()
+	probes := sizeProbes
+	sizeProbesMu.RUnlock()
+	for _, p := range probes {
+		required, ok := p(head)
+		if !ok {
+			continue
+		}
+		if required != size {
+			return Corrupt(fmt.Errorf("storage: device file is %d bytes but its superblock requires %d (truncated or grown since format)", size, required))
+		}
+		return nil
+	}
+	return nil
+}
+
 // ReopenSSD opens an existing device file without truncating it — the
-// post-crash recovery path.
+// post-crash recovery path. The file size is validated against the
+// superblock (via the registered SizeProbes): a truncated or grown device
+// file fails here with a classified Corrupt error instead of surfacing later
+// as a range error deep in recovery.
 func ReopenSSD(path string, opts ...SSDOption) (*SSD, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -125,6 +196,10 @@ func ReopenSSD(path string, opts ...SSDOption) (*SSD, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := validateReopenedSize(f, st.Size()); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -180,8 +255,16 @@ func (d *SSD) Size() int64 { return d.size }
 // Kind implements Device.
 func (d *SSD) Kind() Kind { return KindSSD }
 
-// Close implements io.Closer.
-func (d *SSD) Close() error { return d.f.Close() }
+// Close implements io.Closer. An orderly shutdown implies durability: the
+// file is synced before it is closed, so writes since the last explicit Sync
+// are not left to the page cache's mercy.
+func (d *SSD) Close() error {
+	syncErr := d.f.Sync()
+	if err := d.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
 
 // ---------------------------------------------------------------------------
 // PMEM

@@ -1,0 +1,69 @@
+package storagetest
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+
+	"pccheck/internal/dist"
+	"pccheck/internal/pmem"
+	"pccheck/internal/storage"
+)
+
+// TestConformance runs the shared Backend suite over every device the
+// engine can sit on, including the wrappers and the tiered composite.
+func TestConformance(t *testing.T) {
+	backends := []struct {
+		name    string
+		factory Factory
+	}{
+		{"SSD", func(t *testing.T, size int64) storage.Backend {
+			dev, err := storage.OpenSSD(filepath.Join(t.TempDir(), "dev.img"), size)
+			if err != nil {
+				t.Fatalf("OpenSSD: %v", err)
+			}
+			return dev
+		}},
+		{"PMEM", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewPMEM(pmem.NewRegion(int(size)))
+		}},
+		{"PMEM-CLWB", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewPMEM(pmem.NewRegion(int(size)), storage.WithPMEMMode(storage.CLWB))
+		}},
+		{"RAM", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewRAM(size)
+		}},
+		{"Fault", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewFaultDevice(storage.NewRAM(size))
+		}},
+		{"Crash", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewCrashDevice(size, storage.KindSSD)
+		}},
+		{"Remote", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewRemoteStore(size)
+		}},
+		{"Replica", func(t *testing.T, size int64) storage.Backend {
+			cc, sc := net.Pipe()
+			dist.ServeReplica(sc, storage.NewRAM(size))
+			dev, err := dist.DialReplica(cc, size, nil)
+			if err != nil {
+				t.Fatalf("DialReplica: %v", err)
+			}
+			return dev
+		}},
+		{"Tiered", func(t *testing.T, size int64) storage.Backend {
+			tiered, err := storage.NewTiered([]storage.Device{
+				storage.NewRAM(size),
+				storage.NewRAM(size),
+				storage.NewRemoteStore(size),
+			})
+			if err != nil {
+				t.Fatalf("NewTiered: %v", err)
+			}
+			return tiered
+		}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) { Run(t, b.factory) })
+	}
+}

@@ -1,0 +1,195 @@
+// Package storagetest is the shared conformance suite for the
+// storage.Backend contract. Every device the engine can sit on — SSD, PMEM,
+// RAM, the fault/crash wrappers, the remote object-store stub, and the
+// tiered composite — must behave identically at this boundary: bounded
+// addressing with no integer-overflow escape hatches, read-your-writes
+// visibility, zero-length operations accepted at the size boundary, and a
+// stable Size/Kind. Backends register by handing Run a factory; the suite
+// runs the same table of subtests against each.
+package storagetest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pccheck/internal/storage"
+)
+
+// Factory builds a fresh, zeroed backend of exactly size bytes. The suite
+// owns the returned device and closes it when the subtest finishes.
+type Factory func(t *testing.T, size int64) storage.Backend
+
+// Size is the device size the suite requests from factories. Large enough
+// to exercise multi-sector offsets, small enough to stay fast.
+const Size = int64(4096)
+
+// Run exercises the Backend contract against devices built by factory.
+func Run(t *testing.T, factory Factory) {
+	t.Helper()
+
+	open := func(t *testing.T) storage.Backend {
+		t.Helper()
+		dev := factory(t, Size)
+		if dev == nil {
+			t.Fatal("factory returned nil backend")
+		}
+		t.Cleanup(func() { dev.Close() })
+		return dev
+	}
+
+	pattern := func(n int, seed byte) []byte {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = seed + byte(i*7)
+		}
+		return p
+	}
+
+	t.Run("RoundTrip", func(t *testing.T) {
+		dev := open(t)
+		for _, off := range []int64{0, 1, 511, 512, Size - 64} {
+			want := pattern(64, byte(off))
+			if err := dev.WriteAt(want, off); err != nil {
+				t.Fatalf("WriteAt(%d): %v", off, err)
+			}
+			got := make([]byte, len(want))
+			if err := dev.ReadAt(got, off); err != nil {
+				t.Fatalf("ReadAt(%d): %v", off, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round trip at %d: got %x want %x", off, got[:8], want[:8])
+			}
+		}
+	})
+
+	t.Run("PersistIsVisible", func(t *testing.T) {
+		dev := open(t)
+		want := pattern(256, 0x5a)
+		if err := dev.Persist(want, 128); err != nil {
+			t.Fatalf("Persist: %v", err)
+		}
+		got := make([]byte, len(want))
+		if err := dev.ReadAt(got, 128); err != nil {
+			t.Fatalf("ReadAt after Persist: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("Persist data not visible to ReadAt")
+		}
+	})
+
+	t.Run("OverlappingWritesLastWins", func(t *testing.T) {
+		dev := open(t)
+		a := pattern(100, 0x11)
+		b := pattern(100, 0x77)
+		if err := dev.WriteAt(a, 100); err != nil {
+			t.Fatalf("WriteAt a: %v", err)
+		}
+		if err := dev.WriteAt(b, 150); err != nil {
+			t.Fatalf("WriteAt b: %v", err)
+		}
+		got := make([]byte, 150)
+		if err := dev.ReadAt(got, 100); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+		if !bytes.Equal(got[:50], a[:50]) || !bytes.Equal(got[50:], b) {
+			t.Fatal("overlapping writes: newer write did not win")
+		}
+	})
+
+	t.Run("SyncCoversRange", func(t *testing.T) {
+		dev := open(t)
+		if err := dev.WriteAt(pattern(512, 1), 0); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+		if err := dev.Sync(0, dev.Size()); err != nil {
+			t.Fatalf("full-device Sync: %v", err)
+		}
+		if err := dev.Sync(256, 128); err != nil {
+			t.Fatalf("subrange Sync: %v", err)
+		}
+		if err := dev.Sync(0, dev.Size()+1); err == nil {
+			t.Fatal("Sync past device end succeeded")
+		}
+	})
+
+	t.Run("ZeroLengthAtBoundary", func(t *testing.T) {
+		dev := open(t)
+		if err := dev.WriteAt(nil, dev.Size()); err != nil {
+			t.Fatalf("zero-length WriteAt at size boundary: %v", err)
+		}
+		if err := dev.ReadAt(nil, dev.Size()); err != nil {
+			t.Fatalf("zero-length ReadAt at size boundary: %v", err)
+		}
+		if err := dev.Sync(dev.Size(), 0); err != nil {
+			t.Fatalf("zero-length Sync at size boundary: %v", err)
+		}
+	})
+
+	t.Run("RejectsOutOfRange", func(t *testing.T) {
+		dev := open(t)
+		one := []byte{0xff}
+		cases := []struct {
+			name string
+			off  int64
+			p    []byte
+		}{
+			{"negative offset", -1, one},
+			{"offset at size", dev.Size(), one},
+			{"length past end", dev.Size() - 1, pattern(2, 0)},
+			{"length over size", 0, pattern(int(dev.Size())+1, 0)},
+		}
+		for _, c := range cases {
+			if err := dev.WriteAt(c.p, c.off); err == nil {
+				t.Errorf("WriteAt %s: no error", c.name)
+			}
+			if err := dev.ReadAt(make([]byte, len(c.p)), c.off); err == nil {
+				t.Errorf("ReadAt %s: no error", c.name)
+			}
+			if err := dev.Persist(c.p, c.off); err == nil {
+				t.Errorf("Persist %s: no error", c.name)
+			}
+		}
+	})
+
+	// The regression surface for the off+n overflow bug: offsets near
+	// MaxInt64 must be rejected, not wrapped negative into an accepted
+	// (and memory-corrupting) range.
+	t.Run("RejectsOffsetOverflow", func(t *testing.T) {
+		dev := open(t)
+		p := pattern(16, 0)
+		for _, off := range []int64{math.MaxInt64, math.MaxInt64 - 8, math.MaxInt64 - int64(len(p)) + 1} {
+			if err := dev.WriteAt(p, off); err == nil {
+				t.Errorf("WriteAt(off=%d) accepted overflowing range", off)
+			}
+			if err := dev.ReadAt(make([]byte, len(p)), off); err == nil {
+				t.Errorf("ReadAt(off=%d) accepted overflowing range", off)
+			}
+			if err := dev.Persist(p, off); err == nil {
+				t.Errorf("Persist(off=%d) accepted overflowing range", off)
+			}
+			if err := dev.Sync(off, int64(len(p))); err == nil {
+				t.Errorf("Sync(off=%d) accepted overflowing range", off)
+			}
+		}
+		if err := dev.Sync(8, math.MaxInt64-4); err == nil {
+			t.Error("Sync with overflowing length accepted")
+		}
+	})
+
+	t.Run("SizeAndKindStable", func(t *testing.T) {
+		dev := open(t)
+		if got := dev.Size(); got != Size {
+			t.Fatalf("Size() = %d, want %d", got, Size)
+		}
+		if dev.Kind().String() == "" {
+			t.Fatal("Kind().String() is empty")
+		}
+		if err := dev.WriteAt(pattern(128, 3), 0); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+		if got := dev.Size(); got != Size {
+			t.Fatalf("Size() changed after write: %d", got)
+		}
+	})
+}

@@ -1,0 +1,663 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pccheck/internal/obs"
+)
+
+// Tiered composes backends into an N-level durability hierarchy — DRAM in
+// front of an SSD in front of an object store, say. Every Device operation
+// completes at tier 0, so the engine's persist latency is tier 0's; a
+// bounded asynchronous drainer then copies committed state downward, level
+// by level, so slower tiers converge on tier 0's history with bounded
+// staleness. Recovery prefers the newest reachable tier (core.Recover walks
+// Tiers()).
+//
+// The drain model is deliberately the crash-explorer's: tier 0's mutations
+// are journaled (write data, sync barriers, checkpoint-commit marks) and the
+// drainer *replays the journal in order* into each lower tier before issuing
+// one covering sync. A lower tier is therefore always a write-ordered
+// point-in-time image of tier 0 — exactly the "optimistic adversary" crash
+// image the recovery protocol is already proven against — never a fuzzy
+// byte-range copy that could pair a new pointer record with a recycled slot.
+//
+// The journal is bounded: when a lagging tier would force it past the
+// pending limit, the journal is trimmed anyway and the laggard is scheduled
+// for a full-image resync (counted, observable) instead of pinning memory.
+//
+// Per-tier drain failures use the storage error classification: transient
+// faults retry in place with exponential backoff, permanent faults abort the
+// cycle (the tier goes stale and the next cycle tries again), so a torn-down
+// tier degrades staleness rather than correctness.
+type Tiered struct {
+	levels []Device
+	obsv   obs.Observer
+
+	interval   time.Duration
+	maxPending int64
+	retryMax   int
+	retryBase  time.Duration
+	retryCap   time.Duration
+
+	mu        sync.Mutex
+	journal   []tierOp
+	base      int64 // absolute journal index of journal[0]
+	pending   int64 // bytes retained by the journal (data + per-op overhead)
+	watermark uint64
+	tiers     []*tierState // one per level 1..n-1 (index 0 = level 1)
+
+	stop    chan struct{}
+	kick    chan struct{}
+	drained *sync.Cond
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// tierState is the drainer's per-lower-tier cursor and accounting.
+type tierState struct {
+	level       int
+	cursor      int64 // absolute journal index: everything before it is replayed + synced
+	needsResync bool
+	durable     uint64 // highest checkpoint counter durable at this tier
+	durableNS   int64  // when durable last advanced
+	drains      uint64
+	drainedB    int64
+	errors      uint64
+	resyncs     uint64
+	lastErr     error
+}
+
+type tierOpKind uint8
+
+const (
+	tierOpWrite tierOpKind = iota
+	tierOpSync
+	tierOpMark
+)
+
+type tierOp struct {
+	kind tierOpKind
+	off  int64
+	data []byte
+	n    int64
+	mark uint64
+}
+
+// tierOpOverhead is charged against the pending limit per journal entry, so
+// a stream of syncs/marks cannot grow the journal unbounded.
+const tierOpOverhead = 48
+
+// CheckpointCommitter is the optional interface through which the engine
+// tells a device that a checkpoint counter is durably published at tier 0
+// (the pointer record persisted). Tiered implements it by journaling a
+// commit mark; the drainer advances each lower tier's durable counter past
+// the marks its replayed prefix contains.
+type CheckpointCommitter interface {
+	CommitCheckpoint(counter uint64)
+}
+
+// Marker is the optional interface (CrashDevice implements it) through which
+// the drainer stamps a tier's journal with the counter it just made durable
+// there — so crash images of a lower tier carry the drainer's ack floor.
+type Marker interface {
+	Mark(value uint64)
+}
+
+// TieredOption configures a Tiered device.
+type TieredOption func(*Tiered)
+
+// WithDrainInterval sets the drainer's idle wake-up period (default 2ms).
+func WithDrainInterval(d time.Duration) TieredOption {
+	return func(t *Tiered) { t.interval = d }
+}
+
+// WithPendingLimit bounds the drain journal's retained bytes (default
+// 64 MiB). Exceeding it trims the journal and schedules full-image resyncs
+// for tiers that had not caught up.
+func WithPendingLimit(bytes int64) TieredOption {
+	return func(t *Tiered) { t.maxPending = bytes }
+}
+
+// WithTierObserver attaches a flight-recorder observer; the drainer emits
+// PhaseTierDrain/PhaseTierError/PhaseTierResync events with Slot = tier
+// index.
+func WithTierObserver(o obs.Observer) TieredOption {
+	return func(t *Tiered) { t.obsv = o }
+}
+
+// WithTierRetry sets the per-operation drain retry budget for transient tier
+// faults (defaults: 4 attempts, 200µs base backoff, 5ms cap).
+func WithTierRetry(attempts int, base, cap time.Duration) TieredOption {
+	return func(t *Tiered) {
+		t.retryMax, t.retryBase, t.retryCap = attempts, base, cap
+	}
+}
+
+// NewTiered builds a tiered device over levels (fastest first). All
+// operations complete at levels[0]; the background drainer replicates to the
+// rest. Every lower level must be at least as large as tier 0. Tiered owns
+// the levels: Close closes them all.
+func NewTiered(levels []Device, opts ...TieredOption) (*Tiered, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("storage: tiered device needs at least one level")
+	}
+	size := levels[0].Size()
+	for i, l := range levels[1:] {
+		if l.Size() < size {
+			return nil, fmt.Errorf("storage: tier %d is %d bytes, smaller than tier 0's %d", i+1, l.Size(), size)
+		}
+	}
+	t := &Tiered{
+		levels:     append([]Device(nil), levels...),
+		interval:   2 * time.Millisecond,
+		maxPending: 64 << 20,
+		retryMax:   4,
+		retryBase:  200 * time.Microsecond,
+		retryCap:   5 * time.Millisecond,
+		stop:       make(chan struct{}),
+		kick:       make(chan struct{}, 1),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	t.drained = sync.NewCond(&t.mu)
+	for i := 1; i < len(t.levels); i++ {
+		t.tiers = append(t.tiers, &tierState{level: i})
+	}
+	if len(t.tiers) > 0 {
+		t.wg.Add(1)
+		go t.drainLoop()
+	}
+	return t, nil
+}
+
+// Tiers returns the composed levels, fastest first. core.Recover uses this
+// to walk tiers newest-reachable-first after tier 0 is lost.
+func (t *Tiered) Tiers() []Device {
+	return append([]Device(nil), t.levels...)
+}
+
+// --- Device: every operation completes at tier 0 ---------------------------
+
+// journalAppend records successfully applied tier-0 ops for the drainer.
+// Appending *after* the tier-0 forward means any journaled op is visible in
+// tier 0's contents — the invariant the resync snapshot depends on.
+func (t *Tiered) journalAppend(ops ...tierOp) {
+	if len(t.tiers) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, op := range ops {
+		t.journal = append(t.journal, op)
+		t.pending += int64(len(op.data)) + tierOpOverhead
+		if op.kind == tierOpMark && op.mark > t.watermark {
+			t.watermark = op.mark
+		}
+	}
+	if t.pending > t.maxPending {
+		t.trimLocked(t.base + int64(len(t.journal)))
+	}
+	t.mu.Unlock()
+}
+
+// trimLocked drops journal entries from the front until the pending bytes
+// fit the limit again, but never past keepMax. Tiers whose cursor falls
+// before the new base lose their incremental path and are scheduled for a
+// full-image resync.
+func (t *Tiered) trimLocked(keepMax int64) {
+	newBase := t.base
+	for t.pending > t.maxPending/2 && newBase < keepMax && len(t.journal) > int(newBase-t.base) {
+		op := t.journal[newBase-t.base]
+		t.pending -= int64(len(op.data)) + tierOpOverhead
+		newBase++
+	}
+	if newBase == t.base {
+		return
+	}
+	t.journal = append([]tierOp(nil), t.journal[newBase-t.base:]...)
+	t.base = newBase
+	for _, ts := range t.tiers {
+		if ts.cursor < newBase && !ts.needsResync {
+			ts.needsResync = true
+			ts.cursor = newBase
+		}
+	}
+}
+
+// gcLocked releases journal entries every tier has replayed (resyncing tiers
+// do not read the journal, so they do not hold it back).
+func (t *Tiered) gcLocked() {
+	min := t.base + int64(len(t.journal))
+	for _, ts := range t.tiers {
+		if !ts.needsResync && ts.cursor < min {
+			min = ts.cursor
+		}
+	}
+	if min <= t.base {
+		return
+	}
+	for i := t.base; i < min; i++ {
+		op := t.journal[i-t.base]
+		t.pending -= int64(len(op.data)) + tierOpOverhead
+	}
+	t.journal = append([]tierOp(nil), t.journal[min-t.base:]...)
+	t.base = min
+}
+
+// WriteAt implements Device: applied at tier 0, journaled for the drainer.
+func (t *Tiered) WriteAt(p []byte, off int64) error {
+	if err := t.levels[0].WriteAt(p, off); err != nil {
+		return err
+	}
+	if len(t.tiers) > 0 {
+		cp := append([]byte(nil), p...)
+		t.journalAppend(tierOp{kind: tierOpWrite, off: off, data: cp})
+	}
+	return nil
+}
+
+// ReadAt implements Device: served by tier 0, the freshest level.
+func (t *Tiered) ReadAt(p []byte, off int64) error {
+	return t.levels[0].ReadAt(p, off)
+}
+
+// Sync implements Device: a tier-0 barrier. Lower tiers get their own
+// covering sync from the drainer after replay.
+func (t *Tiered) Sync(off, n int64) error {
+	if err := t.levels[0].Sync(off, n); err != nil {
+		return err
+	}
+	t.journalAppend(tierOp{kind: tierOpSync, off: off, n: n})
+	return nil
+}
+
+// Persist implements Device: durable at tier 0 when it returns — the
+// tentpole contract. Journaled as write + covering sync, like the crash
+// explorer models it.
+func (t *Tiered) Persist(p []byte, off int64) error {
+	if err := t.levels[0].Persist(p, off); err != nil {
+		return err
+	}
+	if len(t.tiers) > 0 {
+		cp := append([]byte(nil), p...)
+		t.journalAppend(
+			tierOp{kind: tierOpWrite, off: off, data: cp},
+			tierOp{kind: tierOpSync, off: off, n: int64(len(p))})
+	}
+	return nil
+}
+
+// CommitCheckpoint implements CheckpointCommitter: the engine calls it after
+// the pointer record for counter is durable at tier 0. The mark rides the
+// journal, so a tier's durable counter only advances once every op that made
+// the checkpoint durable has been replayed and synced there.
+func (t *Tiered) CommitCheckpoint(counter uint64) {
+	t.journalAppend(tierOp{kind: tierOpMark, mark: counter})
+	t.Kick()
+}
+
+// Size implements Device.
+func (t *Tiered) Size() int64 { return t.levels[0].Size() }
+
+// Kind implements Device: the engine sees tier 0's persistence semantics.
+func (t *Tiered) Kind() Kind { return t.levels[0].Kind() }
+
+// Close drains the journal into every reachable tier, stops the drainer and
+// closes all levels. An orderly Close therefore leaves every healthy tier
+// holding tier 0's final image.
+func (t *Tiered) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	if len(t.tiers) > 0 {
+		close(t.stop)
+		t.wg.Wait()
+		t.drainAll() // final pass: one full attempt per tier
+	}
+	var first error
+	for _, l := range t.levels {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- drainer ----------------------------------------------------------------
+
+// Kick wakes the drainer immediately instead of waiting out the interval.
+func (t *Tiered) Kick() {
+	select {
+	case t.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (t *Tiered) drainLoop() {
+	defer t.wg.Done()
+	timer := time.NewTimer(t.interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-t.kick:
+		case <-timer.C:
+		}
+		t.drainAll()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(t.interval)
+	}
+}
+
+// drainAll runs one drain cycle for every lower tier, then garbage-collects
+// the journal and signals waiters.
+func (t *Tiered) drainAll() {
+	for _, ts := range t.tiers {
+		t.drainTier(ts)
+	}
+	t.mu.Lock()
+	t.gcLocked()
+	t.drained.Broadcast()
+	t.mu.Unlock()
+}
+
+// drainTier replays the journal suffix this tier has not seen (or the whole
+// tier-0 image when it lost its incremental path), then syncs the tier.
+func (t *Tiered) drainTier(ts *tierState) {
+	t.mu.Lock()
+	if ts.needsResync {
+		t.resyncLocked(ts) // unlocks internally
+		return
+	}
+	start := ts.cursor
+	end := t.base + int64(len(t.journal))
+	if start >= end {
+		t.mu.Unlock()
+		return
+	}
+	ops := t.journal[start-t.base : end-t.base]
+	t.mu.Unlock()
+
+	dev := t.levels[ts.level]
+	began := time.Now()
+	var bytes int64
+	var hiMark uint64
+	dirty := false
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case tierOpWrite:
+			if err := t.retryTier(ts, func() error { return dev.WriteAt(op.data, op.off) }); err != nil {
+				return
+			}
+			bytes += int64(len(op.data))
+			dirty = true
+		case tierOpSync:
+			// Sync barriers replay *in order* (coalescing only runs of syncs
+			// with no intervening write): a pointer-record write must never
+			// reach this tier ahead of the payload sync tier 0 ordered
+			// before it, or a crash image here could pair a live record
+			// with a torn payload — a state tier 0 can never be in.
+			if !dirty {
+				continue
+			}
+			if err := t.retryTier(ts, func() error { return dev.Sync(0, dev.Size()) }); err != nil {
+				return
+			}
+			dirty = false
+		case tierOpMark:
+			if op.mark > hiMark {
+				hiMark = op.mark
+			}
+		}
+	}
+	if dirty {
+		if err := t.retryTier(ts, func() error { return dev.Sync(0, dev.Size()) }); err != nil {
+			return
+		}
+	}
+
+	t.mu.Lock()
+	advanced := false
+	if !ts.needsResync && ts.cursor == start {
+		ts.cursor = end
+		advanced = true
+		if hiMark > ts.durable {
+			ts.durable = hiMark
+			ts.durableNS = time.Now().UnixNano()
+		}
+		ts.drains++
+		ts.drainedB += bytes
+		durable := ts.durable
+		t.mu.Unlock()
+		if m, ok := dev.(Marker); ok && durable > 0 {
+			m.Mark(durable)
+		}
+	} else {
+		t.mu.Unlock()
+	}
+	if advanced {
+		t.emit(obs.Event{
+			TS: began.UnixNano(), Dur: time.Since(began).Nanoseconds(),
+			Phase: obs.PhaseTierDrain, Slot: int32(ts.level),
+			Counter: hiMark, Bytes: bytes,
+		})
+	}
+}
+
+// resyncLocked recopies the full tier-0 image into ts's level. Called with
+// t.mu held; the snapshot read happens under the lock so no new op can be
+// journaled (and no commit mark can advance) while the image is taken —
+// in-flight tier-0 writes not yet journaled land at positions ≥ the cut and
+// are replayed later, idempotently.
+func (t *Tiered) resyncLocked(ts *tierState) {
+	cut := t.base + int64(len(t.journal))
+	wm := t.watermark
+	size := t.levels[0].Size()
+	img := make([]byte, size)
+	if err := t.levels[0].ReadAt(img, 0); err != nil {
+		ts.errors++
+		ts.lastErr = err
+		t.mu.Unlock()
+		t.emitError(ts.level, 1, err)
+		return
+	}
+	t.mu.Unlock()
+
+	dev := t.levels[ts.level]
+	began := time.Now()
+	const chunk = 1 << 20
+	for off := int64(0); off < size; off += chunk {
+		n := size - off
+		if n > chunk {
+			n = chunk
+		}
+		if err := t.retryTier(ts, func() error { return dev.WriteAt(img[off:off+n], off) }); err != nil {
+			return
+		}
+	}
+	if err := t.retryTier(ts, func() error { return dev.Sync(0, dev.Size()) }); err != nil {
+		return
+	}
+
+	t.mu.Lock()
+	ts.resyncs++
+	ts.drains++
+	ts.drainedB += size
+	if wm > ts.durable {
+		ts.durable = wm
+		ts.durableNS = time.Now().UnixNano()
+	}
+	if t.base > cut {
+		// The journal was force-trimmed past our snapshot while we copied:
+		// ops in [cut, base) are gone, so this tier must resync again.
+		ts.cursor = t.base
+	} else {
+		ts.needsResync = false
+		ts.cursor = cut
+	}
+	durable := ts.durable
+	t.mu.Unlock()
+	if m, ok := dev.(Marker); ok && durable > 0 {
+		m.Mark(durable)
+	}
+	t.emit(obs.Event{
+		TS: began.UnixNano(), Phase: obs.PhaseTierResync,
+		Slot: int32(ts.level), Bytes: size,
+	})
+	t.emit(obs.Event{
+		TS: began.UnixNano(), Dur: time.Since(began).Nanoseconds(),
+		Phase: obs.PhaseTierDrain, Slot: int32(ts.level),
+		Counter: wm, Bytes: size,
+	})
+}
+
+// retryTier runs op with the per-tier retry budget: transient faults back
+// off exponentially and try again, anything else (or an exhausted budget)
+// aborts the cycle and counts a tier error. A nil return means op succeeded.
+func (t *Tiered) retryTier(ts *tierState, op func() error) error {
+	backoff := t.retryBase
+	var err error
+	for attempt := 1; attempt <= t.retryMax; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || attempt == t.retryMax {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > t.retryCap {
+			backoff = t.retryCap
+		}
+	}
+	t.mu.Lock()
+	ts.errors++
+	ts.lastErr = err
+	t.mu.Unlock()
+	t.emitError(ts.level, t.retryMax, err)
+	return err
+}
+
+func (t *Tiered) emit(ev obs.Event) {
+	if t.obsv == nil {
+		return
+	}
+	ev.Writer, ev.Rank = -1, -1
+	t.obsv.Emit(ev)
+}
+
+func (t *Tiered) emitError(level, attempt int, err error) {
+	if t.obsv == nil {
+		return
+	}
+	t.obsv.Emit(obs.Event{
+		TS: time.Now().UnixNano(), Phase: obs.PhaseTierError,
+		Slot: int32(level), Attempt: int32(attempt),
+		Value: int64(Classify(err)), Writer: -1, Rank: -1,
+	})
+}
+
+// WaitDrained blocks until every lower tier has replayed and synced the
+// whole journal (no pending ops, no outstanding resyncs), or until timeout.
+// It reports whether the tiers converged.
+func (t *Tiered) WaitDrained(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	t.Kick()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		idle := true
+		head := t.base + int64(len(t.journal))
+		for _, ts := range t.tiers {
+			if ts.needsResync || ts.cursor < head {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		// The drainer broadcasts after every cycle; poll with a timeout so a
+		// permanently failing tier cannot park us forever.
+		t.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+		t.Kick()
+		t.mu.Lock()
+	}
+}
+
+// TierStatus is one level's durability standing.
+type TierStatus struct {
+	// Level is the tier index (0 = the fast tier every op completes at).
+	Level int
+	// Kind is the level's persistence technology.
+	Kind Kind
+	// DurableCounter is the newest checkpoint counter durable at this
+	// level; for tier 0 it is the engine's commit watermark.
+	DurableCounter uint64
+	// DurableAt is when DurableCounter last advanced (zero for tier 0).
+	DurableAt time.Time
+	// Drains / DrainedBytes / Errors / Resyncs are cumulative drainer
+	// accounting (zero for tier 0).
+	Drains       uint64
+	DrainedBytes int64
+	Errors       uint64
+	Resyncs      uint64
+	// PendingOps is how many journaled ops this tier has not replayed;
+	// Resyncing marks a tier that lost its incremental path.
+	PendingOps int64
+	Resyncing  bool
+	// LastErr is the most recent drain error (nil when healthy).
+	LastErr error
+}
+
+// Status reports every level's durability standing, tier 0 first.
+func (t *Tiered) Status() []TierStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	head := t.base + int64(len(t.journal))
+	out := []TierStatus{{
+		Level: 0, Kind: t.levels[0].Kind(), DurableCounter: t.watermark,
+	}}
+	for _, ts := range t.tiers {
+		st := TierStatus{
+			Level: ts.level, Kind: t.levels[ts.level].Kind(),
+			DurableCounter: ts.durable,
+			Drains:         ts.drains, DrainedBytes: ts.drainedB,
+			Errors: ts.errors, Resyncs: ts.resyncs,
+			PendingOps: head - ts.cursor, Resyncing: ts.needsResync,
+			LastErr: ts.lastErr,
+		}
+		if ts.durableNS > 0 {
+			st.DurableAt = time.Unix(0, ts.durableNS)
+		}
+		if st.Resyncing {
+			st.PendingOps = head - t.base
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+var (
+	_ Device              = (*Tiered)(nil)
+	_ CheckpointCommitter = (*Tiered)(nil)
+)

@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"pccheck/internal/obs"
+)
+
+const tierTestSize = int64(8192)
+
+func tierImage(t *testing.T, dev Device) []byte {
+	t.Helper()
+	img := make([]byte, dev.Size())
+	if err := dev.ReadAt(img, 0); err != nil {
+		t.Fatalf("ReadAt full image: %v", err)
+	}
+	return img
+}
+
+func tierPattern(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed ^ byte(i*13)
+	}
+	return p
+}
+
+// eventCollector is a minimal obs.Observer capturing events for assertions.
+type eventCollector struct {
+	mu  sync.Mutex
+	evs []obs.Event
+}
+
+func (c *eventCollector) Emit(ev obs.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *eventCollector) count(p obs.Phase) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.evs {
+		if ev.Phase == p {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTieredDrainPropagation(t *testing.T) {
+	ram0, ram1, remote := NewRAM(tierTestSize), NewRAM(tierTestSize), NewRemoteStore(tierTestSize)
+	tiered, err := NewTiered([]Device{ram0, ram1, remote}, WithDrainInterval(200*time.Microsecond))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+
+	for i, off := range []int64{0, 1024, 4096, tierTestSize - 512} {
+		if err := tiered.Persist(tierPattern(512, byte(i+1)), off); err != nil {
+			t.Fatalf("Persist: %v", err)
+		}
+	}
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("tiers did not converge")
+	}
+	want := tierImage(t, ram0)
+	if !bytes.Equal(tierImage(t, ram1), want) {
+		t.Error("tier 1 image differs from tier 0 after drain")
+	}
+	if !bytes.Equal(tierImage(t, remote), want) {
+		t.Error("tier 2 (remote) image differs from tier 0 after drain")
+	}
+}
+
+func TestTieredCommitWatermark(t *testing.T) {
+	tiered, err := NewTiered([]Device{NewRAM(tierTestSize), NewRAM(tierTestSize)},
+		WithDrainInterval(200*time.Microsecond))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+
+	if err := tiered.Persist(tierPattern(256, 9), 0); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	tiered.CommitCheckpoint(7)
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("tiers did not converge")
+	}
+	st := tiered.Status()
+	if len(st) != 2 {
+		t.Fatalf("Status returned %d rows, want 2", len(st))
+	}
+	if st[0].Level != 0 || st[0].DurableCounter != 7 {
+		t.Errorf("tier 0 status = %+v, want watermark 7", st[0])
+	}
+	if st[1].DurableCounter != 7 {
+		t.Errorf("tier 1 durable counter = %d, want 7 (mark must ride the journal)", st[1].DurableCounter)
+	}
+	if st[1].Drains == 0 || st[1].DrainedBytes == 0 {
+		t.Errorf("tier 1 drain accounting empty: %+v", st[1])
+	}
+}
+
+func TestTieredTransientFaultRetries(t *testing.T) {
+	fault := NewFaultDevice(NewRAM(tierTestSize))
+	fault.FailTransient(OpWrite, 1, 2)
+	collector := &eventCollector{}
+	tiered, err := NewTiered([]Device{NewRAM(tierTestSize), fault},
+		WithDrainInterval(200*time.Microsecond),
+		WithTierRetry(5, 50*time.Microsecond, time.Millisecond),
+		WithTierObserver(collector))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+
+	if err := tiered.Persist(tierPattern(512, 3), 128); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("tiers did not converge despite retry budget covering the transient run")
+	}
+	st := tiered.Status()
+	if st[1].Errors != 0 {
+		t.Errorf("transient faults within the retry budget counted as tier errors: %+v", st[1])
+	}
+	if fault.FaultCount(OpWrite) != 2 {
+		t.Errorf("injected %d write faults, want 2", fault.FaultCount(OpWrite))
+	}
+	if collector.count(obs.PhaseTierDrain) == 0 {
+		t.Error("no PhaseTierDrain events emitted")
+	}
+}
+
+func TestTieredPermanentFaultGoesStale(t *testing.T) {
+	fault := NewFaultDevice(NewRAM(tierTestSize))
+	fault.SetSchedule(OpWrite, Schedule{After: 1, Count: 1 << 30}) // every write fails, permanently classified
+	collector := &eventCollector{}
+	tiered, err := NewTiered([]Device{NewRAM(tierTestSize), fault, NewRAM(tierTestSize)},
+		WithDrainInterval(200*time.Microsecond),
+		WithTierRetry(2, 50*time.Microsecond, time.Millisecond),
+		WithTierObserver(collector))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+
+	if err := tiered.Persist(tierPattern(512, 5), 0); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	tiered.CommitCheckpoint(3)
+
+	// The healthy tier 2 converges; the broken tier 1 goes stale, not wrong.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := tiered.Status()
+		if st[2].DurableCounter == 3 && st[1].Errors > 0 {
+			if st[1].DurableCounter != 0 {
+				t.Fatalf("broken tier advanced its durable counter: %+v", st[1])
+			}
+			if st[1].LastErr == nil {
+				t.Fatalf("broken tier has no LastErr: %+v", st[1])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy tier never converged around the broken one: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if collector.count(obs.PhaseTierError) == 0 {
+		t.Error("no PhaseTierError events emitted for the failing tier")
+	}
+}
+
+func TestTieredJournalOverflowForcesResync(t *testing.T) {
+	fault := NewFaultDevice(NewRAM(tierTestSize))
+	fault.SetSchedule(OpWrite, Schedule{After: 1, Count: 1 << 30})
+	collector := &eventCollector{}
+	tiered, err := NewTiered([]Device{NewRAM(tierTestSize), fault},
+		WithDrainInterval(200*time.Microsecond),
+		WithPendingLimit(2048),
+		WithTierRetry(2, 50*time.Microsecond, time.Millisecond),
+		WithTierObserver(collector))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+
+	// Push well past the pending limit while the tier cannot absorb writes:
+	// the journal must trim (bounded memory) and schedule a resync.
+	for i := 0; i < 16; i++ {
+		if err := tiered.Persist(tierPattern(512, byte(i)), int64(i%8)*1024); err != nil {
+			t.Fatalf("Persist: %v", err)
+		}
+	}
+	tiered.CommitCheckpoint(16)
+
+	tiered.mu.Lock()
+	pending := tiered.pending
+	tiered.mu.Unlock()
+	if pending > 2048 {
+		t.Fatalf("journal pending bytes %d exceed the configured limit", pending)
+	}
+
+	// Heal the tier; the drainer must recover it via full-image resync.
+	fault.Clear()
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("tier did not recover after faults cleared")
+	}
+	st := tiered.Status()
+	if st[1].Resyncs == 0 {
+		t.Errorf("tier recovered without a resync despite losing its journal prefix: %+v", st[1])
+	}
+	if st[1].DurableCounter != 16 {
+		t.Errorf("tier durable counter = %d after resync, want the watermark 16", st[1].DurableCounter)
+	}
+	if !bytes.Equal(tierImage(t, fault), tierImage(t, tiered.levels[0])) {
+		t.Error("tier image differs from tier 0 after resync")
+	}
+	if collector.count(obs.PhaseTierResync) == 0 {
+		t.Error("no PhaseTierResync events emitted")
+	}
+}
+
+func TestTieredCloseDrainsFinalImage(t *testing.T) {
+	ram0, ram1 := NewRAM(tierTestSize), NewRAM(tierTestSize)
+	tiered, err := NewTiered([]Device{ram0, ram1}, WithDrainInterval(time.Hour)) // only Close can drain
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	if err := tiered.Persist(tierPattern(1024, 0x42), 2048); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	tiered.CommitCheckpoint(2)
+	if err := tiered.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !bytes.Equal(tierImage(t, ram1), tierImage(t, ram0)) {
+		t.Error("orderly Close left tier 1 behind tier 0")
+	}
+}
+
+func TestTieredRejectsSmallLowerTier(t *testing.T) {
+	_, err := NewTiered([]Device{NewRAM(4096), NewRAM(1024)})
+	if err == nil {
+		t.Fatal("NewTiered accepted a lower tier smaller than tier 0")
+	}
+}
+
+func TestTieredMarksDrainFloorOnCrashTier(t *testing.T) {
+	crash := NewCrashDevice(tierTestSize, KindSSD)
+	tiered, err := NewTiered([]Device{NewRAM(tierTestSize), crash},
+		WithDrainInterval(200*time.Microsecond))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+	if err := tiered.Persist(tierPattern(512, 1), 0); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	tiered.CommitCheckpoint(11)
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("tiers did not converge")
+	}
+	if got := crash.HighestMark(crash.Ops()); got != 11 {
+		t.Fatalf("crash-tier journal carries ack floor %d, want 11", got)
+	}
+}

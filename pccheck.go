@@ -397,6 +397,111 @@ func RecoverFile(path string) (payload []byte, counter uint64, err error) {
 	return core.Recover(dev)
 }
 
+// TierStatus is one tier's durability standing (see Checkpointer.TierStatus).
+type TierStatus = storage.TierStatus
+
+// CreateTiered builds a Checkpointer over an N-level durability hierarchy
+// composed from levels, fastest first — e.g. a DRAM device in front of an
+// SSD in front of a remote store. Saves complete at tier 0 (so persist
+// latency is tier 0's); a background drainer replicates committed
+// checkpoints into the lower levels with bounded staleness, and recovery
+// prefers the newest reachable tier. The Checkpointer owns the levels.
+func CreateTiered(cfg Config, levels ...storage.Device) (*Checkpointer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxBytes <= 0 {
+		return nil, fmt.Errorf("pccheck: Config.MaxBytes must be positive, got %d", cfg.MaxBytes)
+	}
+	tiered, err := storage.NewTiered(levels, storage.WithTierObserver(cfg.Observer))
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.New(tiered, cfg.engineConfig())
+	if err != nil {
+		tiered.Close()
+		return nil, err
+	}
+	return &Checkpointer{engine: engine, dev: tiered, ownDev: true}, nil
+}
+
+// CreateTieredFiles is the file-backed convenience over CreateTiered:
+// primary and every replica path are formatted as checkpoint files of
+// identical geometry and composed into tiers in argument order. Losing the
+// primary later costs at most the drain lag: RecoverAny over the replica
+// paths restores the newest checkpoint the drainer acknowledged there.
+func CreateTieredFiles(cfg Config, primary string, replicas ...string) (*Checkpointer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxBytes <= 0 {
+		return nil, fmt.Errorf("pccheck: Config.MaxBytes must be positive, got %d", cfg.MaxBytes)
+	}
+	size := core.DeviceBytesFor(cfg.engineConfig())
+	var levels []storage.Device
+	for _, path := range append([]string{primary}, replicas...) {
+		dev, err := storage.OpenSSD(path, size)
+		if err != nil {
+			for _, l := range levels {
+				l.Close()
+			}
+			return nil, err
+		}
+		levels = append(levels, dev)
+	}
+	return CreateTiered(cfg, levels...)
+}
+
+// TierStatus reports per-tier durability standing — which checkpoint
+// counter each tier would recover to if everything above it were lost, and
+// the drainer's per-tier accounting. It returns nil for a non-tiered
+// Checkpointer.
+func (c *Checkpointer) TierStatus() []TierStatus {
+	if tiered, ok := c.dev.(*storage.Tiered); ok {
+		return tiered.Status()
+	}
+	return nil
+}
+
+// WaitDrained blocks until every tier has caught up with tier 0 (or the
+// timeout passes), reporting whether they converged. On a non-tiered
+// Checkpointer it returns true immediately. Call it before an orderly
+// teardown when the replicas must hold the final state.
+func (c *Checkpointer) WaitDrained(timeout time.Duration) bool {
+	if tiered, ok := c.dev.(*storage.Tiered); ok {
+		return tiered.WaitDrained(timeout)
+	}
+	return true
+}
+
+// RecoverAny loads the newest recoverable checkpoint across a set of
+// checkpoint files — the restart path when some tiers may be truncated,
+// corrupt, or missing entirely. Files that cannot be opened or hold no
+// intact checkpoint are skipped; the highest checkpoint counter across the
+// remaining tiers wins. Only if no path yields a checkpoint does it return
+// an error (the first open failure, or ErrNoCheckpoint).
+func RecoverAny(paths ...string) (payload []byte, counter uint64, err error) {
+	if len(paths) == 0 {
+		return nil, 0, fmt.Errorf("pccheck: RecoverAny needs at least one path")
+	}
+	var (
+		devs     []storage.Device
+		firstErr error
+	)
+	for _, path := range paths {
+		dev, oerr := storage.ReopenSSD(path)
+		if oerr != nil {
+			if firstErr == nil {
+				firstErr = oerr
+			}
+			continue
+		}
+		defer dev.Close()
+		devs = append(devs, dev)
+	}
+	payload, counter, err = core.RecoverTiered(devs...)
+	if err != nil && len(devs) == 0 && firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return payload, counter, err
+}
+
 // Memory is the crash-injection handle of a CreateVolatile checkpointer.
 type Memory struct {
 	region *pmem.Region

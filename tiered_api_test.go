@@ -1,0 +1,81 @@
+package pccheck
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCreateTieredFilesRecoverAny(t *testing.T) {
+	dir := t.TempDir()
+	primary := filepath.Join(dir, "tier0.ckpt")
+	replica := filepath.Join(dir, "tier1.ckpt")
+	cfg := Config{MaxBytes: 4096, Verify: true}
+
+	c, err := CreateTieredFiles(cfg, primary, replica)
+	if err != nil {
+		t.Fatalf("CreateTieredFiles: %v", err)
+	}
+	var want []byte
+	const saves = 5
+	for i := 1; i <= saves; i++ {
+		want = bytes.Repeat([]byte{byte(i)}, 2000+i)
+		if _, err := c.Save(context.Background(), want); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	if !c.WaitDrained(5 * time.Second) {
+		t.Fatal("replica tier did not converge")
+	}
+	st := c.TierStatus()
+	if len(st) != 2 {
+		t.Fatalf("TierStatus returned %d tiers, want 2", len(st))
+	}
+	if st[1].DurableCounter != saves {
+		t.Fatalf("replica durable counter %d, want %d", st[1].DurableCounter, saves)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Lose the primary entirely; RecoverAny restores from the replica.
+	if err := os.Remove(primary); err != nil {
+		t.Fatalf("remove primary: %v", err)
+	}
+	p, ctr, err := RecoverAny(primary, replica)
+	if err != nil {
+		t.Fatalf("RecoverAny after primary loss: %v", err)
+	}
+	if ctr != saves {
+		t.Fatalf("recovered counter %d, want %d", ctr, saves)
+	}
+	if !bytes.Equal(p, want) {
+		t.Fatal("recovered payload mismatch")
+	}
+
+	// A truncated replica is skipped as corrupt; with nothing left, the
+	// open failure surfaces instead of a silent empty success.
+	if err := os.Truncate(replica, 100); err != nil {
+		t.Fatalf("truncate replica: %v", err)
+	}
+	if _, _, err := RecoverAny(primary, replica); err == nil {
+		t.Fatal("RecoverAny with no recoverable tier succeeded")
+	}
+}
+
+func TestTierStatusNilOnFlatCheckpointer(t *testing.T) {
+	c, _, err := CreateVolatile(Config{MaxBytes: 1024})
+	if err != nil {
+		t.Fatalf("CreateVolatile: %v", err)
+	}
+	defer c.Close()
+	if st := c.TierStatus(); st != nil {
+		t.Fatalf("TierStatus on flat checkpointer = %+v, want nil", st)
+	}
+	if !c.WaitDrained(time.Millisecond) {
+		t.Fatal("WaitDrained on flat checkpointer must be immediate true")
+	}
+}
