@@ -15,6 +15,17 @@
 //
 //	pccheck-inspect /mnt/ssd/tier0.pcc /mnt/hdd/tier1.pcc
 //
+// With -post-mortem the tool reads the black-box telemetry region instead
+// of the slot structures: the last flushed flight-recorder events, the
+// final goodput report, and the last policy decisions — what the process
+// was doing when it died. -events bounds the printed event tail. With
+// multiple paths the newest tier's black box wins (a wire replica can
+// answer forensics after tier 0 vanished). Files created without
+// Config.BlackBox report "no black box region" and exit 0.
+//
+//	pccheck-inspect -post-mortem /mnt/ssd/ckpt.pcc
+//	pccheck-inspect -post-mortem -events 32 tier0.pcc tier1.pcc
+//
 // Exit status: 0 healthy, 1 read/decode failure, 2 usage, 3 the device
 // renders but is unhealthy (a pointer record recovery rejects, or a
 // published/chain payload fails its checksum). With multiple tiers, 3 means
@@ -23,27 +34,118 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pccheck/internal/cliutil"
 	"pccheck/internal/core"
+	"pccheck/internal/obs"
+	"pccheck/internal/obs/blackbox"
+	"pccheck/internal/obs/decision"
 	"pccheck/internal/storage"
 )
 
 func main() {
 	verify := flag.Bool("verify", false, "read payloads and validate checksums (slow for large slots)")
+	postMortem := flag.Bool("post-mortem", false, "read the black-box telemetry region instead of the slot structures")
+	eventTail := flag.Int("events", 16, "post-mortem: how many trailing events to print")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pccheck-inspect [-verify] <checkpoint-file> [tier-1-file ...]")
+		fmt.Fprintln(os.Stderr, "usage: pccheck-inspect [-verify] [-post-mortem [-events N]] <checkpoint-file> [tier-1-file ...]")
 		os.Exit(2)
+	}
+	if *postMortem {
+		inspectPostMortem(flag.Args(), *eventTail)
+		return
 	}
 	if flag.NArg() == 1 {
 		inspectSingle(flag.Arg(0), *verify)
 		return
 	}
 	inspectTiers(flag.Args(), *verify)
+}
+
+// inspectPostMortem decodes the black box of the given file (or across
+// tier files — newest telemetry wins, so a replica answers when tier 0
+// is gone) and renders the forensic summary.
+func inspectPostMortem(paths []string, eventTail int) {
+	var devs []storage.Device
+	for _, path := range paths {
+		dev, err := storage.ReopenSSD(path)
+		if err != nil {
+			if len(paths) == 1 {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "pccheck-inspect: %s: UNREACHABLE (%v)\n", path, err)
+			continue
+		}
+		defer dev.Close()
+		devs = append(devs, dev)
+	}
+	if len(devs) == 0 {
+		fail("no tier could be opened")
+	}
+	pm, err := core.PostMortemTiered(devs...)
+	if errors.Is(err, blackbox.ErrNoRegion) {
+		// Pre-forensics image or BlackBox disabled: a clean answer, not an
+		// error — there is simply nothing recorded to read back.
+		fmt.Println("no black box region (file created without Config.BlackBox, or predates forensics)")
+		return
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	renderPostMortem(pm, eventTail)
+}
+
+func renderPostMortem(pm *blackbox.PostMortem, eventTail int) {
+	fmt.Printf("black box: %d frame(s) survived, last seq %d, format epoch %d, %d × %s slots\n",
+		len(pm.Frames), pm.LastSeq(), pm.Epoch, pm.Layout.Slots, cliutil.FormatBytes(pm.Layout.FrameBytes))
+	if newest := pm.Newest(); newest != nil && newest.TS > 0 {
+		fmt.Printf("last flush: %s\n", time.Unix(0, newest.TS).Format(time.RFC3339Nano))
+	}
+
+	events := pm.Events()
+	if eventTail > 0 && len(events) > eventTail {
+		events = events[len(events)-eventTail:]
+	}
+	fmt.Printf("\nlast %d event(s):\n", len(events))
+	for _, ev := range events {
+		line := fmt.Sprintf("  %s  %-11s", time.Unix(0, ev.TS).Format("15:04:05.000000"), ev.Phase)
+		if ev.Dur > 0 {
+			line += fmt.Sprintf("  %-12v", time.Duration(ev.Dur))
+		} else {
+			line += fmt.Sprintf("  %-12s", "-")
+		}
+		if ev.Counter != 0 {
+			line += fmt.Sprintf("  ckpt %d", ev.Counter)
+		}
+		if ev.Slot >= 0 {
+			line += fmt.Sprintf("  slot %d", ev.Slot)
+		}
+		if ev.Writer >= 0 {
+			line += fmt.Sprintf("  writer %d", ev.Writer)
+		}
+		if ev.Bytes > 0 {
+			line += "  " + cliutil.FormatBytes(ev.Bytes)
+		}
+		fmt.Println(line)
+	}
+
+	if rep, ok := pm.LastReport(); ok {
+		fmt.Println("\nfinal goodput report:")
+		obs.FormatReport(os.Stdout, rep)
+	} else {
+		fmt.Println("\nno goodput report captured (no ledger in the observer chain)")
+	}
+
+	if ds := pm.LastDecisions(); len(ds) > 0 {
+		fmt.Println("\nlast policy decisions:")
+		decision.FormatTable(os.Stdout, ds, 0)
+	}
 }
 
 func inspectSingle(path string, verify bool) {

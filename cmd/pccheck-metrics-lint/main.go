@@ -22,8 +22,10 @@ import (
 	"time"
 
 	"pccheck/internal/obs"
+	"pccheck/internal/obs/blackbox"
 	"pccheck/internal/obs/decision"
 	"pccheck/internal/promtext"
+	"pccheck/internal/storage"
 )
 
 func main() {
@@ -117,10 +119,65 @@ func selfCheck() error {
 	dec.ResolveDegraded(3, 0.005, "stalled-then-committed")
 	dec.Finalize()
 
-	srv, addr, err := obs.Serve("127.0.0.1:0", rec, led, dec)
+	// A black-box flusher over an in-memory region, flushed once, so the
+	// pccheck_blackbox_* families are linted too.
+	layout := blackbox.LayoutFor(64<<10, 4096)
+	bbDev := storage.NewRAM(layout.RegionBytes())
+	if err := blackbox.Format(bbDev, 0, 1, layout); err != nil {
+		return err
+	}
+	journal, err := blackbox.OpenJournal(bbDev, 0, layout.RegionBytes(), 1)
+	if err != nil {
+		return err
+	}
+	flusher, err := blackbox.NewFlusher(journal, led, blackbox.Config{FlushEvery: -1})
+	if err != nil {
+		return err
+	}
+	if _, err := flusher.Flush(); err != nil {
+		return err
+	}
+
+	srv, addr, err := obs.Serve("127.0.0.1:0", rec, led, dec, flusher)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	return lintURL("http://" + addr + "/metrics")
+	url := "http://" + addr + "/metrics"
+	if err := lintURL(url); err != nil {
+		return err
+	}
+	return requireFamilies(url,
+		"pccheck_flight_dropped_events_total",
+		"pccheck_blackbox_flushes_total",
+		"pccheck_blackbox_flush_errors_total",
+		"pccheck_blackbox_flushed_bytes_total",
+		"pccheck_blackbox_events_snapshotted_total",
+		"pccheck_blackbox_last_seq",
+	)
+}
+
+// requireFamilies re-scrapes the endpoint and fails if any of the named
+// metric families is missing — the forensics families must not silently
+// drop out of the exposition.
+func requireFamilies(url string, names ...string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return err
+	}
+	present := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		present[f.Name] = true
+	}
+	for _, name := range names {
+		if !present[name] {
+			return fmt.Errorf("family %s missing from exposition", name)
+		}
+	}
+	return nil
 }

@@ -146,9 +146,22 @@ func renderFrame(w io.Writer, addr string, fams map[string]promtext.Family) {
 		fmtSec(quantile(fams, "pccheck_save_seconds", "0.5")),
 		fmtSec(quantile(fams, "pccheck_save_seconds", "0.95")),
 		fmtSec(quantile(fams, "pccheck_save_seconds", "0.99")))
+	dropped := value(fams, "pccheck_flight_dropped_events_total")
+	if _, ok := fams["pccheck_flight_dropped_events_total"]; !ok {
+		// Pre-forensics expositions only had the old name.
+		dropped = value(fams, "pccheck_trace_dropped_events_total")
+	}
 	fmt.Fprintf(w, "flight     ring occupancy %d  dropped %d\n",
 		int64(value(fams, "pccheck_flight_ring_occupancy")),
-		int64(value(fams, "pccheck_trace_dropped_events_total")))
+		int64(dropped))
+
+	if _, ok := fams["pccheck_blackbox_flushes_total"]; ok {
+		fmt.Fprintf(w, "black box  flushes %d  errors %d  last seq %d  %s persisted\n",
+			int64(value(fams, "pccheck_blackbox_flushes_total")),
+			int64(value(fams, "pccheck_blackbox_flush_errors_total")),
+			int64(value(fams, "pccheck_blackbox_last_seq")),
+			fmtBytes(value(fams, "pccheck_blackbox_flushed_bytes_total")))
+	}
 
 	if f, ok := fams["pccheck_stall_seconds_total"]; ok && len(f.Samples) > 0 {
 		maxV := 0.0

@@ -8,6 +8,18 @@
 //	pccheck-trace -seed 1 -events 40 -hours 8   # a denser, longer trace
 //	pccheck-trace -seed 1 -export trace.json    # persist for exact replay
 //	pccheck-trace -load trace.json -replay -model BLOOM-7B -algo pccheck -interval 10
+//
+// With -forensics the command switches to post-mortem timeline mode: it
+// decodes the black-box telemetry of a crashed checkpoint file into a
+// Perfetto-loadable Chrome trace, with a "crash" instant marking the last
+// pre-crash event. Passing -resumed with the (re-opened and since
+// flushed) file — or a replica that kept running — appends the
+// post-recovery events after the marker, giving one continuous timeline
+// across the crash boundary; events already present pre-crash are
+// deduplicated away.
+//
+//	pccheck-trace -forensics crashed.pcc -export timeline.json
+//	pccheck-trace -forensics crashed-copy.pcc -resumed ckpt.pcc -export timeline.json
 package main
 
 import (
@@ -16,27 +28,40 @@ import (
 	"os"
 	"time"
 
+	"pccheck/internal/core"
 	"pccheck/internal/figures"
+	"pccheck/internal/obs"
 	"pccheck/internal/perfmodel"
 	"pccheck/internal/sim"
+	"pccheck/internal/storage"
 	"pccheck/internal/trace"
 	"pccheck/internal/workload"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "trace generator seed")
-		events   = flag.Int("events", 26, "number of availability changes")
-		hours    = flag.Float64("hours", 3.5, "trace window in hours")
-		cluster  = flag.Int("cluster", 64, "requested VM count")
-		export   = flag.String("export", "", "write the trace as JSON to this file")
-		load     = flag.String("load", "", "load a previously exported JSON trace instead of generating one")
-		replay   = flag.Bool("replay", false, "replay the trace for a checkpointing configuration")
-		model    = flag.String("model", "BLOOM-7B", "replay: model name from Table 3")
-		algo     = flag.String("algo", "pccheck", "replay: pccheck, checkfreq, gpm or gemini")
-		interval = flag.Int("interval", 10, "replay: checkpoint interval f")
+		seed      = flag.Int64("seed", 1, "trace generator seed")
+		events    = flag.Int("events", 26, "number of availability changes")
+		hours     = flag.Float64("hours", 3.5, "trace window in hours")
+		cluster   = flag.Int("cluster", 64, "requested VM count")
+		export    = flag.String("export", "", "write the trace as JSON to this file")
+		load      = flag.String("load", "", "load a previously exported JSON trace instead of generating one")
+		replay    = flag.Bool("replay", false, "replay the trace for a checkpointing configuration")
+		model     = flag.String("model", "BLOOM-7B", "replay: model name from Table 3")
+		algo      = flag.String("algo", "pccheck", "replay: pccheck, checkfreq, gpm or gemini")
+		interval  = flag.Int("interval", 10, "replay: checkpoint interval f")
+		forensics = flag.String("forensics", "", "crashed checkpoint file: export its black-box telemetry as a Perfetto timeline")
+		resumed   = flag.String("resumed", "", "forensics: checkpoint file holding the post-recovery telemetry to merge after the crash marker")
 	)
 	flag.Parse()
+
+	if *forensics != "" {
+		exportForensics(*forensics, *resumed, *export)
+		return
+	}
+	if *resumed != "" {
+		fail("-resumed requires -forensics")
+	}
 
 	var tr trace.Trace
 	if *load != "" {
@@ -114,6 +139,78 @@ func main() {
 	fmt.Printf("  failure-free throughput: %.4f iters/s (slowdown %.2f×)\n", res.Throughput, res.Slowdown)
 	fmt.Printf("  mean rollback:           %.1f iterations\n", res.MeanLagIters)
 	fmt.Printf("  goodput:                 %.4f iters/s over %d failures\n", g, tr.Failures())
+}
+
+// exportForensics merges pre-crash black-box events (from crashedPath)
+// and post-recovery events (from resumedPath, optional) into one Chrome
+// trace with a PhaseCrashMark instant between them.
+func exportForensics(crashedPath, resumedPath, exportPath string) {
+	preCrash := blackBoxEvents(crashedPath)
+	if len(preCrash) == 0 {
+		fail("%s: black box holds no events — nothing to export", crashedPath)
+	}
+	merged := make([]obs.Event, 0, len(preCrash)+1)
+	merged = append(merged, preCrash...)
+
+	// The crash marker lands right after the newest pre-crash event: the
+	// gap between it and the first post-recovery event is the outage.
+	lastTS := preCrash[len(preCrash)-1].TS
+	merged = append(merged, obs.Event{
+		Phase: obs.PhaseCrashMark, TS: lastTS + 1,
+		Slot: -1, Writer: -1, Rank: -1,
+	})
+
+	if resumedPath != "" {
+		seen := make(map[obs.Event]struct{}, len(preCrash))
+		for _, ev := range preCrash {
+			seen[ev] = struct{}{}
+		}
+		added := 0
+		for _, ev := range blackBoxEvents(resumedPath) {
+			// The resumed file usually *is* the crashed file re-opened, so
+			// its box holds the pre-crash frames too; keep only what is new.
+			if _, dup := seen[ev]; dup {
+				continue
+			}
+			merged = append(merged, ev)
+			added++
+		}
+		if added == 0 {
+			fmt.Fprintf(os.Stderr, "pccheck-trace: warning: %s added no events beyond the crash point\n", resumedPath)
+		}
+	}
+
+	out := os.Stdout
+	if exportPath != "" {
+		f, err := os.Create(exportPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := obs.WriteTraceEvents(out, merged); err != nil {
+		fail("%v", err)
+	}
+	if exportPath != "" {
+		fmt.Printf("wrote %s (%d events, crash marker at +%v)\n",
+			exportPath, len(merged), time.Duration(lastTS+1-preCrash[0].TS))
+	}
+}
+
+// blackBoxEvents decodes a file's black box into its merged event
+// timeline (sorted, deduplicated across overlapping frames).
+func blackBoxEvents(path string) []obs.Event {
+	dev, err := storage.ReopenSSD(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer dev.Close()
+	pm, err := core.PostMortem(dev)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	return pm.Events()
 }
 
 func algoByName(name string) (perfmodel.Algorithm, error) {

@@ -14,6 +14,7 @@ import (
 	"pccheck/internal/chunkpool"
 	"pccheck/internal/lfqueue"
 	"pccheck/internal/obs"
+	"pccheck/internal/obs/blackbox"
 	"pccheck/internal/obs/decision"
 	"pccheck/internal/storage"
 )
@@ -105,6 +106,11 @@ type Checkpointer struct {
 	// I/O), each probe a single nil check. dec non-nil implies obsv
 	// non-nil: it is discovered by walking obsv.
 	dec *decision.Recorder
+	// bbox is the black-box flusher persisting telemetry snapshots into
+	// the device's reserved region (nil when the device has no region or
+	// the observer chain has no flight recorder). It runs entirely off
+	// the Emit hot path.
+	bbox *blackbox.Flusher
 
 	// Delta-mode state (sb.deltaKeyframe > 0), all under deltaMu: saves are
 	// serialized because each delta is diffed against the save before it.
@@ -239,6 +245,9 @@ func New(dev storage.Device, cfg Config) (*Checkpointer, error) {
 		epoch:         nextEpoch(dev),
 		deltaKeyframe: cfg.DeltaKeyframe,
 	}
+	if cfg.BlackBox.Enabled() {
+		sb.blackBoxBytes = cfg.BlackBox.Layout().RegionBytes()
+	}
 	// The new-epoch superblock goes durable FIRST: from that instant every
 	// slot header still on the device carries a stale epoch and is rejected
 	// by recovery, so neither a completed reformat nor a crash mid-format
@@ -254,6 +263,14 @@ func New(dev storage.Device, cfg Config) (*Checkpointer, error) {
 	}
 	if err := dev.Persist(zero, recordBOff); err != nil {
 		return nil, err
+	}
+	if sb.blackBoxBytes > 0 {
+		// The telemetry region header carries the same fresh epoch: frames
+		// surviving from the previous image fail the epoch check, so a
+		// reformat can no more resurrect stale telemetry than stale slots.
+		if err := blackbox.Format(dev, blackBoxBase(sb), sb.epoch, cfg.BlackBox.Layout()); err != nil {
+			return nil, err
+		}
 	}
 	return attach(dev, cfg, sb, nil, 0)
 }
@@ -354,6 +371,20 @@ func attach(dev storage.Device, cfg Config, sb superblock, latest *checkMeta, la
 		// overwrite the one just recovered.
 		c.recordSeq = uint64(latestLoc) + 1
 	}
+	if sb.blackBoxBytes > 0 && obs.FindRecorder(cfg.Observer) != nil {
+		// The flusher appends after the newest surviving frame, so
+		// telemetry written post-restart extends the pre-crash tail.
+		j, err := blackbox.OpenJournal(dev, blackBoxBase(sb), sb.blackBoxBytes, sb.epoch)
+		if err != nil {
+			return nil, fmt.Errorf("core: open black box: %w", err)
+		}
+		fl, err := blackbox.NewFlusher(j, cfg.Observer, cfg.BlackBox)
+		if err != nil {
+			return nil, err
+		}
+		c.bbox = fl
+		fl.Start()
+	}
 	return c, nil
 }
 
@@ -374,11 +405,30 @@ func (c *Checkpointer) SetPerWriterBW(bytesPerSec float64) {
 }
 
 // Close marks the engine closed. In-flight checkpoints finish; new ones
-// fail. The device is not closed (the caller owns it).
+// fail. The device is not closed (the caller owns it). An attached
+// black-box flusher is stopped after one final frame, so the telemetry
+// tail at clean shutdown is durable.
 func (c *Checkpointer) Close() error {
 	c.closed.Store(true)
+	if c.bbox != nil {
+		c.bbox.Stop()
+	}
 	return nil
 }
+
+// FlushBlackBox forces one black-box frame now and returns its sequence
+// number. It returns 0, nil when the engine has no black box attached.
+func (c *Checkpointer) FlushBlackBox() (uint64, error) {
+	if c.bbox == nil {
+		return 0, nil
+	}
+	return c.bbox.Flush()
+}
+
+// BlackBox returns the attached black-box flusher (nil when the device
+// has no telemetry region or no flight recorder is configured); useful
+// for mounting its pccheck_blackbox_* metrics families.
+func (c *Checkpointer) BlackBox() *blackbox.Flusher { return c.bbox }
 
 // Checkpoint persists one checkpoint from src and returns its counter. It
 // implements Listing 1 of the paper plus the chunked pipelining of §4.1.

@@ -40,6 +40,7 @@ import (
 	"hash/crc32"
 
 	"pccheck/internal/obs"
+	"pccheck/internal/obs/blackbox"
 )
 
 const (
@@ -116,6 +117,13 @@ type Config struct {
 	// K extra slots (the keyframe→delta chain stays pinned on top of the
 	// N+1 working set). Setting it without DeltaEvery selects DeltaEvery=1.
 	DeltaKeyframe int
+	// BlackBox, when enabled (Bytes > 0), reserves a crash-surviving
+	// telemetry region after the slot area and runs a background flusher
+	// that snapshots the flight ring, the goodput report, and the
+	// decision-trace tail into CRC-framed, epoch-stamped frames (see
+	// internal/obs/blackbox). The flusher only starts when Observer
+	// carries a flight recorder; it never touches the Emit hot path.
+	BlackBox blackbox.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -175,10 +183,25 @@ func DeviceBytes(concurrent int, slotBytes int64) int64 {
 
 // DeviceBytesFor returns the device capacity a full Config requires. Delta
 // mode adds K slots on top of the N+1 working set so the pinned
-// keyframe→delta chain never starves concurrent checkpoints of free slots.
+// keyframe→delta chain never starves concurrent checkpoints of free slots;
+// an enabled BlackBox appends its sector-aligned telemetry region after
+// the slot area.
 func DeviceBytesFor(cfg Config) int64 {
 	cfg = cfg.deltaDefaults()
-	return headerSize + int64(cfg.Concurrent+1+cfg.DeltaKeyframe)*slotStride(cfg.SlotBytes)
+	n := headerSize + int64(cfg.Concurrent+1+cfg.DeltaKeyframe)*slotStride(cfg.SlotBytes)
+	if cfg.BlackBox.Enabled() {
+		n = alignSector(n) + cfg.BlackBox.Layout().RegionBytes()
+	}
+	return n
+}
+
+// alignSector rounds n up to the black-box sector size, so the telemetry
+// region never shares a sector with the last slot.
+func alignSector(n int64) int64 {
+	if rem := n % blackbox.SectorBytes; rem != 0 {
+		n += blackbox.SectorBytes - rem
+	}
+	return n
 }
 
 // Slot payload kinds. A delta slot's payload is a delta record (see
@@ -228,6 +251,11 @@ type superblock struct {
 	// for a plain device. Pre-delta images decode as 0, so the format
 	// version is unchanged.
 	deltaKeyframe int
+	// blackBoxBytes is the size of the crash-surviving telemetry region
+	// reserved after the slot area, 0 when the device was formatted
+	// without one. Pre-forensics images decode as 0, so the format
+	// version is unchanged.
+	blackBoxBytes int64
 }
 
 func (sb superblock) encode() []byte {
@@ -238,6 +266,7 @@ func (sb superblock) encode() []byte {
 	binary.LittleEndian.PutUint64(buf[16:], uint64(sb.slotBytes))
 	binary.LittleEndian.PutUint64(buf[24:], sb.epoch)
 	binary.LittleEndian.PutUint32(buf[32:], uint32(sb.deltaKeyframe))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(sb.blackBoxBytes))
 	binary.LittleEndian.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
 	return buf
 }
@@ -260,12 +289,16 @@ func decodeSuperblock(buf []byte) (superblock, error) {
 		slotBytes:     int64(binary.LittleEndian.Uint64(buf[16:])),
 		epoch:         binary.LittleEndian.Uint64(buf[24:]),
 		deltaKeyframe: int(binary.LittleEndian.Uint32(buf[32:])),
+		blackBoxBytes: int64(binary.LittleEndian.Uint64(buf[40:])),
 	}
 	if sb.slots < 2 || sb.slotBytes <= 0 {
 		return superblock{}, fmt.Errorf("core: implausible superblock: %d slots of %d bytes", sb.slots, sb.slotBytes)
 	}
 	if sb.deltaKeyframe < 0 || sb.slots-1-sb.deltaKeyframe < 1 {
 		return superblock{}, fmt.Errorf("core: implausible superblock: %d slots with keyframe cadence %d", sb.slots, sb.deltaKeyframe)
+	}
+	if sb.blackBoxBytes < 0 {
+		return superblock{}, fmt.Errorf("core: implausible superblock: black box region of %d bytes", sb.blackBoxBytes)
 	}
 	return sb, nil
 }
@@ -362,4 +395,10 @@ func slotBase(sb superblock, i int) int64 {
 // payloadBase returns the device offset of slot i's payload.
 func payloadBase(sb superblock, i int) int64 {
 	return slotBase(sb, i) + slotHeaderSize
+}
+
+// blackBoxBase returns the device offset of the black-box telemetry
+// region: sector-aligned, after the last slot.
+func blackBoxBase(sb superblock) int64 {
+	return alignSector(headerSize + int64(sb.slots)*slotStride(sb.slotBytes))
 }

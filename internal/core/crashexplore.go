@@ -9,6 +9,9 @@ import (
 	"math/rand"
 	"sync"
 
+	"pccheck/internal/obs"
+	"pccheck/internal/obs/blackbox"
+	"pccheck/internal/obs/decision"
 	"pccheck/internal/storage"
 )
 
@@ -67,6 +70,16 @@ type CrashWorkload struct {
 	// Tracker feeds the engine's DirtyTracker with the exact mutated
 	// ranges (trusted-marks mode); false leaves the content-hash fallback.
 	Tracker bool
+	// BlackBox attaches a full observer chain (flight recorder → decision
+	// recorder → goodput ledger) and a black-box telemetry region, with an
+	// explicit flush after every acknowledged checkpoint. Each crash cut
+	// then additionally asserts the telemetry invariants: the region
+	// decodes without panicking, every surviving frame is CRC-valid and
+	// the tail strictly sequence-monotonic, the newest frame belongs to a
+	// flush that started before the cut (no fabricated or resurrected
+	// telemetry), and whenever a flush fully completed before the cut the
+	// box is non-empty and at least that fresh.
+	BlackBox bool
 	// Seed drives payload contents and sizes.
 	Seed int64
 }
@@ -109,6 +122,9 @@ func (w CrashWorkload) String() string {
 		if w.Tracker {
 			s += " tracked"
 		}
+	}
+	if w.BlackBox {
+		s += " blackbox"
 	}
 	return s
 }
@@ -273,10 +289,48 @@ func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
 		DeltaEvery:    w.DeltaEvery,
 		DeltaKeyframe: w.DeltaKeyframe,
 	}
+	if w.BlackBox {
+		// Full observer chain plus a manually-flushed telemetry region,
+		// sized so the sweep's flushes never wrap (one frame slot per
+		// acknowledged checkpoint, with headroom) — a completed flush must
+		// therefore survive every later cut.
+		cfg.Observer = obs.NewLedger(obs.LedgerConfig{SlowdownBudget: 1.05},
+			decision.New(decision.Config{}, obs.NewRecorder(512)))
+		cfg.BlackBox = blackbox.Config{
+			Bytes:        blackbox.SectorBytes + 64*4096,
+			FrameBytes:   4096,
+			FlushEvery:   -1, // explicit flushes only: the journal stays deterministic
+			EventTail:    32,
+			DecisionTail: 8,
+		}
+	}
 	dev := storage.NewCrashDevice(DeviceBytesFor(cfg), w.Kind)
 	eng, err := New(dev, cfg)
 	if err != nil {
 		return res, err
+	}
+
+	// Black-box flush bookkeeping: each flush is bracketed by journal op
+	// counts so any cut can be classified — a flush with endOp <= cut is
+	// fully durable in the image; one with startOp >= cut contributed
+	// nothing to it.
+	var (
+		bbMu      sync.Mutex
+		bbFlushes []bbFlushMark
+	)
+	flushBB := func() error {
+		if !w.BlackBox {
+			return nil
+		}
+		bbMu.Lock()
+		defer bbMu.Unlock()
+		start := dev.Ops()
+		seq, err := eng.FlushBlackBox()
+		if err != nil {
+			return fmt.Errorf("black box flush: %w", err)
+		}
+		bbFlushes = append(bbFlushes, bbFlushMark{seq: seq, startOp: start, endOp: dev.Ops()})
+		return nil
 	}
 
 	// Record phase. Each ack is marked in the journal at a point no earlier
@@ -314,6 +368,9 @@ func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
 			// p mutates in place next iteration — remember a copy.
 			acked[ctr] = append([]byte(nil), p...)
 			dev.Mark(ctr)
+			if err := flushBB(); err != nil {
+				return res, err
+			}
 		}
 	} else {
 		// Concurrent mode: Goroutines savers race Checkpoint calls.
@@ -335,6 +392,10 @@ func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
 					acked[ctr] = p
 					ackedMu.Unlock()
 					dev.Mark(ctr)
+					if err := flushBB(); err != nil {
+						saveOnce.Do(func() { saveErr = err })
+						return
+					}
 				}
 			}(g)
 		}
@@ -364,6 +425,14 @@ func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
 		}
 		ackedMin := dev.HighestMark(cut)
 		rdev := storage.NewRAMFromBytes(img)
+		if w.BlackBox {
+			// Telemetry invariants hold at every cut, independent of
+			// whether a checkpoint is recoverable from this image.
+			if msg := checkCrashBlackBox(rdev, bbFlushes, cut); msg != "" {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("%s: cut %d (%s): %s", w, cut, desc, msg))
+			}
+		}
 		p, rc, err := Recover(rdev)
 		if err != nil {
 			if ackedMin > 0 {
@@ -415,6 +484,61 @@ func ExploreCrashes(opts CrashExploreOptions) (CrashExploreResult, error) {
 		runCase(cut, storage.SeededChooser(seed), fmt.Sprintf("sampled seed=%d", seed), probe())
 	}
 	return res, nil
+}
+
+// bbFlushMark brackets one explicit black-box flush in the recorded
+// journal: seq is the frame written, startOp/endOp the journal lengths
+// sampled immediately before and after the flush.
+type bbFlushMark struct {
+	seq     uint64
+	startOp int
+	endOp   int
+}
+
+// checkCrashBlackBox asserts the black-box telemetry invariants on one
+// post-crash image. It returns a violation description, or "" when the
+// invariants hold:
+//
+//   - the region decodes (or is legally absent when no flush completed
+//     before the cut — e.g. a cut during format);
+//   - the surviving frames form a strictly monotonic sequence tail
+//     (Decode already dropped torn and stale-epoch frames via CRC and
+//     epoch checks);
+//   - the newest frame belongs to a flush that started before the cut:
+//     telemetry is never fabricated or resurrected from the future;
+//   - when at least one flush fully completed (covering sync included)
+//     before the cut, the box is non-empty and at least that fresh.
+func checkCrashBlackBox(dev storage.Device, flushes []bbFlushMark, cut int) string {
+	var maxStarted, maxCompleted uint64
+	for _, f := range flushes {
+		if f.startOp < cut && f.seq > maxStarted {
+			maxStarted = f.seq
+		}
+		if f.endOp <= cut && f.seq > maxCompleted {
+			maxCompleted = f.seq
+		}
+	}
+	pm, err := PostMortem(dev)
+	if err != nil {
+		if maxCompleted > 0 {
+			return fmt.Sprintf("flush %d completed before the cut but the black box is unreadable: %v", maxCompleted, err)
+		}
+		return "" // nothing durable yet — an absent or torn region is legal
+	}
+	var last uint64
+	for _, f := range pm.Frames {
+		if f.Seq <= last {
+			return fmt.Sprintf("black box tail not strictly monotonic: frame %d after %d", f.Seq, last)
+		}
+		last = f.Seq
+	}
+	if pm.LastSeq() > maxStarted {
+		return fmt.Sprintf("black box holds frame %d but no flush that fresh had started before the cut (fabricated telemetry, newest legal %d)", pm.LastSeq(), maxStarted)
+	}
+	if maxCompleted > 0 && pm.LastSeq() < maxCompleted {
+		return fmt.Sprintf("black box newest frame %d is older than completed flush %d (durable telemetry lost)", pm.LastSeq(), maxCompleted)
+	}
+	return ""
 }
 
 // reattachProbe is invariant (3): Open the crashed image, keep
@@ -481,6 +605,11 @@ func CrashSweepConfigs(seed int64) []CrashWorkload {
 			CrashWorkload{Kind: kind, Concurrent: 1, DeltaEvery: 1, DeltaKeyframe: 2, Checkpoints: 7, Seed: seed},
 			CrashWorkload{Kind: kind, Concurrent: 1, DeltaEvery: 1, DeltaKeyframe: 3, Tracker: true, VerifyPayload: true, Checkpoints: 8, Seed: seed},
 			CrashWorkload{Kind: kind, Concurrent: 2, DeltaEvery: 2, DeltaKeyframe: 2, ChunkBytes: 1024, Checkpoints: 6, Seed: seed},
+			// Black-box workloads: every cut additionally asserts the
+			// crash-surviving telemetry invariants (see CrashWorkload.BlackBox).
+			CrashWorkload{Kind: kind, Concurrent: 1, BlackBox: true, Seed: seed},
+			CrashWorkload{Kind: kind, Concurrent: 2, ChunkBytes: 1024, VerifyPayload: true, BlackBox: true, Seed: seed},
+			CrashWorkload{Kind: kind, Concurrent: 1, DeltaEvery: 1, DeltaKeyframe: 2, Checkpoints: 6, BlackBox: true, Seed: seed},
 		)
 	}
 	return out

@@ -77,11 +77,12 @@ func TestCrashExplorerStride(t *testing.T) {
 
 // TestCrashSweepConfigsCoverMatrix: the sweep matrix spans both device
 // kinds, N ∈ {1,2,4}, chunked and unchunked, verify on and off, plus delta
-// workloads (tracked and hash-fallback) per kind.
+// workloads (tracked and hash-fallback) and black-box telemetry workloads
+// per kind.
 func TestCrashSweepConfigsCoverMatrix(t *testing.T) {
 	cfgs := CrashSweepConfigs(1)
-	if len(cfgs) != 30 {
-		t.Fatalf("sweep has %d configs, want 30", len(cfgs))
+	if len(cfgs) != 36 {
+		t.Fatalf("sweep has %d configs, want 36", len(cfgs))
 	}
 	kinds := map[storage.Kind]bool{}
 	ns := map[int]bool{}
@@ -89,6 +90,7 @@ func TestCrashSweepConfigsCoverMatrix(t *testing.T) {
 	verify := map[bool]bool{}
 	deltaKinds := map[storage.Kind]bool{}
 	tracked := map[bool]bool{}
+	bbKinds := map[storage.Kind]bool{}
 	for _, c := range cfgs {
 		kinds[c.Kind] = true
 		ns[c.Concurrent] = true
@@ -100,6 +102,9 @@ func TestCrashSweepConfigsCoverMatrix(t *testing.T) {
 			if c.Checkpoints <= c.DeltaKeyframe {
 				t.Errorf("%s: %d checkpoints never cross a keyframe boundary", c, c.Checkpoints)
 			}
+		}
+		if c.BlackBox {
+			bbKinds[c.Kind] = true
 		}
 	}
 	if !kinds[storage.KindPMEM] || !kinds[storage.KindSSD] {
@@ -116,6 +121,9 @@ func TestCrashSweepConfigsCoverMatrix(t *testing.T) {
 	}
 	if len(tracked) != 2 {
 		t.Fatal("sweep misses a tracked or hash-fallback delta variant")
+	}
+	if !bbKinds[storage.KindPMEM] || !bbKinds[storage.KindSSD] {
+		t.Fatal("sweep misses black-box workloads on a device kind")
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"pccheck/internal/obs"
+	"pccheck/internal/obs/blackbox"
+	"pccheck/internal/obs/decision"
 	"pccheck/internal/storage"
 )
 
@@ -171,13 +173,16 @@ func TestObservedConcurrentSaves(t *testing.T) {
 }
 
 // TestNilObserverAddsNoAllocations is the zero-overhead-when-off regression
-// gate: attaching a recorder must not add heap allocations to Checkpoint
-// relative to the nil-observer baseline (the probes are branch + atomics
-// into preallocated rings/buckets).
+// gate, now a parity table: every observability attachment — recorder,
+// recorder+ledger, the full chain with a black-box region formatted and a
+// flusher attached — must not add heap allocations to Checkpoint relative
+// to the nil-observer baseline. The black-box flusher only ever touches
+// the ring from its own goroutine (manual-flush here so AllocsPerRun sees
+// nothing of it); Emit stays branch + atomics into preallocated memory.
 func TestNilObserverAddsNoAllocations(t *testing.T) {
-	mk := func(o obs.Observer) *Checkpointer {
-		cfg := Config{Concurrent: 1, SlotBytes: 1024, Writers: 1, Observer: o}
-		dev := storage.NewRAM(DeviceBytes(cfg.Concurrent, cfg.SlotBytes))
+	mk := func(o obs.Observer, bb blackbox.Config) *Checkpointer {
+		cfg := Config{Concurrent: 1, SlotBytes: 1024, Writers: 1, Observer: o, BlackBox: bb}
+		dev := storage.NewRAM(DeviceBytesFor(cfg))
 		ck, err := New(dev, cfg)
 		if err != nil {
 			t.Fatalf("New: %v", err)
@@ -202,25 +207,37 @@ func TestNilObserverAddsNoAllocations(t *testing.T) {
 		})
 	}
 
-	off := mk(nil)
+	off := mk(nil, blackbox.Config{})
 	defer off.Close()
 	baseline := run(off)
 
-	on := mk(obs.NewRecorder(1 << 12))
-	defer on.Close()
-	observed := run(on)
-
-	if observed > baseline {
-		t.Errorf("observer added allocations: %v with recorder vs %v baseline", observed, baseline)
+	cases := []struct {
+		name     string
+		observer func() obs.Observer
+		bb       blackbox.Config
+	}{
+		{"recorder", func() obs.Observer { return obs.NewRecorder(1 << 12) }, blackbox.Config{}},
+		{"recorder+ledger", func() obs.Observer {
+			return obs.NewLedger(obs.LedgerConfig{SlowdownBudget: 1.05}, obs.NewRecorder(1<<12))
+		}, blackbox.Config{}},
+		{"recorder+ledger+blackbox", func() obs.Observer {
+			return obs.NewLedger(obs.LedgerConfig{SlowdownBudget: 1.05},
+				decision.New(decision.Config{}, obs.NewRecorder(1<<12)))
+		}, blackbox.Config{
+			Bytes:      blackbox.SectorBytes + 4*4096,
+			FrameBytes: 4096,
+			FlushEvery: -1, // manual: keep AllocsPerRun free of goroutine noise
+		}},
 	}
-
-	// The goodput ledger chains in front of the recorder on the same hot
-	// path; its per-event work is pure atomics and must stay alloc-free too.
-	chained := mk(obs.NewLedger(obs.LedgerConfig{SlowdownBudget: 1.05}, obs.NewRecorder(1<<12)))
-	defer chained.Close()
-	withLedger := run(chained)
-
-	if withLedger > baseline {
-		t.Errorf("ledger added allocations: %v with ledger+recorder vs %v baseline", withLedger, baseline)
+	for _, tc := range cases {
+		ck := mk(tc.observer(), tc.bb)
+		got := run(ck)
+		if tc.bb.Enabled() && ck.BlackBox() == nil {
+			t.Fatalf("%s: flusher did not attach", tc.name)
+		}
+		ck.Close()
+		if got > baseline {
+			t.Errorf("%s added allocations: %v vs %v baseline", tc.name, got, baseline)
+		}
 	}
 }

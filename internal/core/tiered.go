@@ -15,7 +15,11 @@ func init() {
 		if err != nil {
 			return 0, false
 		}
-		return headerSize + int64(sb.slots)*slotStride(sb.slotBytes), true
+		need := headerSize + int64(sb.slots)*slotStride(sb.slotBytes)
+		if sb.blackBoxBytes > 0 {
+			need = blackBoxBase(sb) + sb.blackBoxBytes
+		}
+		return need, true
 	})
 }
 

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -66,6 +68,7 @@ func (r *Recorder) WriteMetrics(w io.Writer) {
 	counter("pccheck_delta_saves_total", "Published checkpoints stored as delta records.", s.DeltaSaves)
 	counter("pccheck_keyframe_saves_total", "Published full checkpoints in delta mode.", s.KeyframeSaves)
 	counter("pccheck_trace_dropped_events_total", "Flight-recorder events dropped (ring full).", s.DroppedEvents)
+	counter("pccheck_flight_dropped_events_total", "Flight-recorder events dropped because the ring was full (oldest-event overwrites).", s.DroppedEvents)
 	deltaRatio := 1.0
 	if s.BytesWritten > 0 {
 		deltaRatio = float64(s.BytesPersisted) / float64(s.BytesWritten)
@@ -91,6 +94,49 @@ func metricsHandler(writers ...MetricsWriter) http.Handler {
 // MetricsHandler serves the recorder as Prometheus text exposition.
 func (r *Recorder) MetricsHandler() http.Handler {
 	return metricsHandler(r)
+}
+
+// eventJSON is the wire form of one flight-recorder event on /events.
+type eventJSON struct {
+	TS      int64  `json:"ts"`
+	Dur     int64  `json:"dur,omitempty"`
+	Phase   string `json:"phase"`
+	Counter uint64 `json:"counter,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+	Slot    int32  `json:"slot"`
+	Writer  int32  `json:"writer"`
+	Rank    int32  `json:"rank"`
+	Attempt int32  `json:"attempt,omitempty"`
+}
+
+// eventsHandler serves the tail of the flight ring as JSON without
+// consuming it (SnapshotEvents), so dashboards polling /events never
+// steal events from trace export or the black-box flusher. ?n= bounds
+// the tail length (default 64).
+func (r *Recorder) eventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 64
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		events := r.SnapshotEvents()
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+		out := make([]eventJSON, len(events))
+		for i, ev := range events {
+			out[i] = eventJSON{
+				TS: ev.TS, Dur: ev.Dur, Phase: ev.Phase.String(),
+				Counter: ev.Counter, Bytes: ev.Bytes, Value: ev.Value,
+				Slot: ev.Slot, Writer: ev.Writer, Rank: ev.Rank, Attempt: ev.Attempt,
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out) //nolint:errcheck // best-effort HTTP write
+	})
 }
 
 var expvarMu sync.Mutex
@@ -144,6 +190,7 @@ func Serve(addr string, r *Recorder, extra ...MetricsWriter) (*http.Server, stri
 	writers := append([]MetricsWriter{r}, extra...)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metricsHandler(writers...))
+	mux.Handle("/events", r.eventsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown

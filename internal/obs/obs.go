@@ -130,6 +130,10 @@ const (
 	// drain journal overflowed past a lagging tier, so the drainer recopied
 	// the whole tier-0 image. Slot is the tier index, Bytes the image size.
 	PhaseTierResync
+	// PhaseCrashMark marks the crash boundary in a merged forensic timeline
+	// (instant): pccheck-trace emits one between the last pre-crash black-box
+	// event and the first post-recovery event. The engine never emits it.
+	PhaseCrashMark
 
 	// PhaseCount is the number of defined phases.
 	PhaseCount
@@ -141,7 +145,7 @@ var phaseNames = [PhaseCount]string{
 	"fault", "fault-injected", "snapshot", "retune", "agree",
 	"save-failed", "agree-gate", "rank-dead", "rank-rejoined",
 	"frame-dropped", "delta-encode", "keyframe", "decision",
-	"tier-drain", "tier-error", "tier-resync",
+	"tier-drain", "tier-error", "tier-resync", "crash-mark",
 }
 
 // String returns the phase's canonical hyphenated name.
@@ -302,9 +306,55 @@ func (r *Recorder) TakeEvents() []Event {
 	return r.ring.drain()
 }
 
+// SnapshotEvents copies and returns the buffered events, oldest first,
+// without consuming them: the ring is left untouched, so any number of
+// concurrent consumers (trace export, the dashboard, the black-box
+// flusher) observe the same events instead of stealing them from each
+// other. The copy is weakly consistent under concurrent emitters. A nil
+// *Recorder returns nil.
+func (r *Recorder) SnapshotEvents() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.ring.snapshot()
+}
+
 // Dropped reports how many events were discarded because the ring was
 // full (the flight recorder keeps the most recent ones).
 func (r *Recorder) Dropped() uint64 { return r.ring.dropped.Load() }
+
+// FindRecorder walks an observer chain — any sequence of observers linked
+// by a Next() Observer method, e.g. Ledger → decision.Recorder → Recorder
+// — and returns the first *Recorder, or nil if the chain has none.
+func FindRecorder(o Observer) *Recorder {
+	for o != nil {
+		if r, ok := o.(*Recorder); ok {
+			return r
+		}
+		n, ok := o.(interface{ Next() Observer })
+		if !ok {
+			return nil
+		}
+		o = n.Next()
+	}
+	return nil
+}
+
+// FindLedger walks an observer chain (see FindRecorder) and returns the
+// first *Ledger, or nil if the chain has none.
+func FindLedger(o Observer) *Ledger {
+	for o != nil {
+		if l, ok := o.(*Ledger); ok {
+			return l
+		}
+		n, ok := o.(interface{ Next() Observer })
+		if !ok {
+			return nil
+		}
+		o = n.Next()
+	}
+	return nil
+}
 
 // PhaseStats summarises one phase's latency distribution.
 type PhaseStats struct {

@@ -215,9 +215,10 @@ func TestWriteTrace(t *testing.T) {
 	if _, ok := byName["thread_name"]; !ok {
 		t.Fatal("trace missing thread_name metadata")
 	}
-	// The recorder must be drained afterwards.
-	if evs := r.TakeEvents(); len(evs) != 0 {
-		t.Fatalf("WriteTrace left %d events buffered", len(evs))
+	// WriteTrace is non-destructive: the events stay buffered for other
+	// consumers (dashboard, black-box flusher).
+	if evs := r.TakeEvents(); len(evs) != 6 {
+		t.Fatalf("WriteTrace consumed events: %d left buffered, want 6", len(evs))
 	}
 }
 
@@ -333,4 +334,101 @@ func TestRecorderConcurrentEmitSnapshot(t *testing.T) {
 	time.Sleep(10 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+}
+
+// TestSnapshotEventsTwoConsumers is the regression for the old
+// drain-on-read API: with SnapshotEvents, two concurrent consumers
+// (think dashboard poll + black-box flusher) must both observe a given
+// event instead of one stealing it from the other.
+func TestSnapshotEventsTwoConsumers(t *testing.T) {
+	r := NewRecorder(256)
+	marker := Event{Phase: PhasePublish, TS: 42, Counter: 7, Bytes: 512, Slot: -1, Writer: -1, Rank: -1}
+	r.Emit(marker)
+
+	sees := func() bool {
+		for _, ev := range r.SnapshotEvents() {
+			if ev == marker {
+				return true
+			}
+		}
+		return false
+	}
+	var wg sync.WaitGroup
+	saw := make([]bool, 2)
+	for c := range saw {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			saw[c] = sees()
+		}(c)
+	}
+	wg.Wait()
+	for c, ok := range saw {
+		if !ok {
+			t.Fatalf("consumer %d did not observe the event — snapshot stole it", c)
+		}
+	}
+	// And a destructive drain afterwards still finds it once.
+	if evs := r.TakeEvents(); len(evs) != 1 || evs[0] != marker {
+		t.Fatalf("TakeEvents after snapshots = %v, want the single marker", evs)
+	}
+}
+
+// TestSnapshotEventsUnderEmitPressure: snapshots taken while emitters
+// overwrite the ring return only intact events, in FIFO order.
+func TestSnapshotEventsUnderEmitPressure(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Emit(Event{Phase: PhaseSave, TS: int64(i), Counter: uint64(i)})
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		evs := r.SnapshotEvents()
+		for j := 1; j < len(evs); j++ {
+			if evs[j].TS < evs[j-1].TS {
+				t.Fatalf("snapshot out of order at %d: %d after %d", j, evs[j].TS, evs[j-1].TS)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEventsEndpoint: /events serves a non-destructive JSON tail.
+func TestEventsEndpoint(t *testing.T) {
+	r := NewRecorder(256)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Phase: PhasePublish, TS: int64(i), Counter: uint64(i + 1), Bytes: 64})
+	}
+	srv := httptest.NewServer(r.eventsHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []eventJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("events JSON does not parse: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d events, want the 3-event tail", len(got))
+	}
+	if got[2].Counter != 10 || got[2].Phase != PhasePublish.String() {
+		t.Fatalf("tail end = %+v, want counter 10 publish", got[2])
+	}
+	if n := len(r.TakeEvents()); n != 10 {
+		t.Fatalf("/events consumed ring events: %d left, want 10", n)
+	}
 }

@@ -104,6 +104,29 @@ func (r *ring) drain() []Event {
 	}
 }
 
+// snapshot copies every buffered event, oldest first, WITHOUT consuming:
+// the cursors do not move, so concurrent consumers (drain, another
+// snapshot) still observe the same events. The copy is weakly consistent
+// under concurrent producers — a cell recycled mid-copy is detected by
+// re-reading its sequence and the walk stops there, so the result is
+// always a valid (possibly shortened) prefix of the buffered window.
+func (r *ring) snapshot() []Event {
+	start := r.deq.Load()
+	out := make([]Event, 0, r.len())
+	for pos := start; pos < start+uint64(len(r.cells)); pos++ {
+		c := &r.cells[pos&r.mask]
+		if c.seq.Load() != pos+1 {
+			break // empty cell (or consumed ahead of us): end of window
+		}
+		ev := c.ev
+		if c.seq.Load() != pos+1 {
+			break // recycled mid-copy; ev may be torn — stop before it
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
 // len reports how many events are currently buffered (approximate under
 // concurrency).
 func (r *ring) len() int {

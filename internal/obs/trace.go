@@ -29,6 +29,7 @@ const (
 	tidLoop    = 3
 	tidGate    = 4
 	tidDecide  = 5
+	tidCrash   = 90
 	tidTierLo  = 6    // + tier index (Slot)
 	tidRankLo  = 100  // + rank
 	tidSlotLo  = 1000 // + slot*slotLaneStride (+ 1 + writer for writer lanes)
@@ -73,6 +74,8 @@ func trackOf(ev Event) (int64, string) {
 		return tidDecide, "decisions"
 	case PhaseTierDrain, PhaseTierError, PhaseTierResync:
 		return tidTierLo + int64(ev.Slot), fmt.Sprintf("tier %d drain", ev.Slot)
+	case PhaseCrashMark:
+		return tidCrash, "crash"
 	default:
 		return tidSaveLo + int64(ev.Counter), fmt.Sprintf("save %d", ev.Counter)
 	}
@@ -159,8 +162,10 @@ func WriteTraceEvents(w io.Writer, events []Event) error {
 	return enc.Encode(out)
 }
 
-// WriteTrace drains the recorder's ring (see TakeEvents) and writes the
-// events as Chrome trace-event JSON.
+// WriteTrace snapshots the recorder's ring (see SnapshotEvents) and
+// writes the events as Chrome trace-event JSON. The ring is left intact,
+// so trace export does not steal events from other consumers such as the
+// black-box flusher.
 func (r *Recorder) WriteTrace(w io.Writer) error {
-	return WriteTraceEvents(w, r.TakeEvents())
+	return WriteTraceEvents(w, r.SnapshotEvents())
 }

@@ -4,8 +4,11 @@ import (
 	"io"
 	"net/http"
 
+	"pccheck/internal/core"
 	"pccheck/internal/obs"
+	"pccheck/internal/obs/blackbox"
 	"pccheck/internal/obs/decision"
+	"pccheck/internal/storage"
 )
 
 // Observability: the flight recorder, latency histograms and the live
@@ -58,6 +61,7 @@ const (
 	PhaseDeltaEncode   = obs.PhaseDeltaEncode   // diffing + encoding a delta record
 	PhaseKeyframe      = obs.PhaseKeyframe      // a full checkpoint published in delta mode
 	PhaseDecision      = obs.PhaseDecision      // a policy decision was recorded (Counter = decision seq)
+	PhaseCrashMark     = obs.PhaseCrashMark     // crash boundary in a merged forensic timeline
 )
 
 // Recorder is the built-in Observer: a bounded lock-free event ring
@@ -200,4 +204,53 @@ func NewDecisionRecorder(cfg DecisionConfig, next Observer) *DecisionRecorder {
 // rows (0 = all).
 func FormatDecisionTable(w io.Writer, ds []Decision, limit int) {
 	decision.FormatTable(w, ds, limit)
+}
+
+// BlackBoxConfig tunes the black-box telemetry region and its background
+// flusher: region size, frame size, flush cadence, and how much of the
+// event and decision tails each frame captures. The zero value disables
+// the black box; set Bytes to enable it. Attach via Config.BlackBox.
+type BlackBoxConfig = blackbox.Config
+
+// PostMortem is a decoded black box: every CRC-valid frame of telemetry
+// that survived the crash, oldest first, plus accessors for the merged
+// event timeline, the final goodput report, and the last policy
+// decisions. See PostMortemFile and Checkpointer.PostMortem.
+type PostMortem = blackbox.PostMortem
+
+// BlackBoxFrame is one telemetry frame of a PostMortem: the flight-ring
+// tail, goodput report and decision tail one flush persisted.
+type BlackBoxFrame = blackbox.Frame
+
+// ErrNoBlackBox reports that a device was formatted without a black-box
+// region (pre-forensics layout, or BlackBox disabled at Create time).
+var ErrNoBlackBox = blackbox.ErrNoRegion
+
+// FlushBlackBox persists one telemetry frame right now, outside the
+// background cadence — call it from crash handlers or before risky
+// operations to tighten the tail-loss window. It returns the frame's
+// sequence number, or (0, nil) when no black box is attached.
+func (c *Checkpointer) FlushBlackBox() (uint64, error) {
+	return c.engine.FlushBlackBox()
+}
+
+// PostMortem decodes the black-box region of this checkpointer's own
+// device — the live-process view of what a crash right now would leave
+// behind. Most callers want PostMortemFile on the restart path instead.
+func (c *Checkpointer) PostMortem() (*PostMortem, error) {
+	return core.PostMortem(c.dev)
+}
+
+// PostMortemFile decodes the black-box telemetry region of a checkpoint
+// file after a crash: the flight-ring tail, final goodput report and
+// last policy decisions as of the last completed flush. Files created
+// without BlackBox return ErrNoBlackBox. The pccheck-inspect command's
+// -post-mortem flag renders the same data as text.
+func PostMortemFile(path string) (*PostMortem, error) {
+	dev, err := storage.ReopenSSD(path)
+	if err != nil {
+		return nil, err
+	}
+	defer dev.Close()
+	return core.PostMortem(dev)
 }

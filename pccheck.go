@@ -102,6 +102,15 @@ type Config struct {
 	// one predictable branch per probe and zero allocations —
 	// observability off is free.
 	Observer Observer
+	// BlackBox, when enabled (Bytes > 0), reserves a black-box telemetry
+	// region in the checkpoint file and starts a background flusher that
+	// periodically persists the flight-ring tail, the goodput report and
+	// the decision-trace tail into torn-write-tolerant frames. After a
+	// crash, PostMortemFile (or pccheck-inspect -post-mortem) reads back
+	// what the process was doing. Requires a Recorder somewhere in the
+	// Observer chain; it never touches the Emit hot path. See the
+	// "Post-mortem forensics" section of docs/OBSERVABILITY.md.
+	BlackBox BlackBoxConfig
 }
 
 // DeltaConfig tunes incremental (delta) checkpointing. With either field
@@ -171,6 +180,7 @@ func (c Config) engineConfig() core.Config {
 			Jitter:      c.Retry.Jitter,
 		},
 		Observer: c.Observer,
+		BlackBox: c.BlackBox,
 	}
 }
 
