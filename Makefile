@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-delta bench-tiers bench-json bench-decisions metrics-lint fmt-check staticcheck trace-smoke
+.PHONY: build vet test race verify bench-faults bench-crash bench-chaos bench-delta bench-tiers bench-json bench-decisions metrics-lint fmt-check staticcheck trace-smoke scrub-sweep
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,17 @@ bench-decisions:
 	$(GO) run ./cmd/pccheck-decisions -top 5 \
 	  -assert-nonempty -assert-finite -assert-coverage 0.95 -assert-alternatives 2 \
 	  BENCH_decisions.jsonl
+
+# Latent-fault scrub sweep: seeded silent corruption (bit flips, zeroed
+# sectors, unreadable-poisoned ranges) injected into committed slots,
+# pointer records, the superblock, delta chains and replica tiers across
+# the full scenario × damage-mode × layout matrix, then a scrub sweep
+# asserting every injection is detected, healed (repaired, quarantined or
+# resynced), never served, and that recovery still lands on the durable
+# floor. 720 cases inject ~1080 corruptions. Exits non-zero on any
+# violation.
+scrub-sweep:
+	PCCHECK_SCRUB_SWEEP=720 $(GO) test ./internal/core/ -run TestScrubSweepMatrix -count=1 -v
 
 # Strict Prometheus text-exposition lint of everything /metrics serves
 # (recorder + decision recorder + goodput ledger), scraped from a live

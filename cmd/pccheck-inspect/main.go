@@ -26,11 +26,24 @@
 //	pccheck-inspect -post-mortem /mnt/ssd/ckpt.pcc
 //	pccheck-inspect -post-mortem -events 32 tier0.pcc tier1.pcc
 //
+// With -scrub the tool runs one offline integrity sweep per path instead of
+// rendering: every committed structure (superblock, both pointer records,
+// the published slot or keyframe→delta chain, the black-box header) is
+// re-read and checksum-verified, repairable damage is rewritten in place,
+// and a corrupt published payload with no intact sibling copy is
+// quarantined so no future recovery can serve it. Cross-tier re-replication
+// needs the live drainer, so each tier scrubs independently; RecoverAny
+// afterwards still prefers the newest intact tier.
+//
+//	pccheck-inspect -scrub /mnt/ssd/ckpt.pcc
+//	pccheck-inspect -scrub tier0.pcc tier1.pcc
+//
 // Exit status: 0 healthy, 1 read/decode failure, 2 usage, 3 the device
 // renders but is unhealthy (a pointer record recovery rejects, or a
 // published/chain payload fails its checksum). With multiple tiers, 3 means
 // *no* tier holds a recoverable checkpoint — a stale-but-intact replica
-// behind a dead primary is degraded durability, not an outage.
+// behind a dead primary is degraded durability, not an outage. With -scrub,
+// 0 means clean or fully healed and 3 means damage survived the sweep.
 package main
 
 import (
@@ -52,13 +65,18 @@ func main() {
 	verify := flag.Bool("verify", false, "read payloads and validate checksums (slow for large slots)")
 	postMortem := flag.Bool("post-mortem", false, "read the black-box telemetry region instead of the slot structures")
 	eventTail := flag.Int("events", 16, "post-mortem: how many trailing events to print")
+	scrub := flag.Bool("scrub", false, "run an offline integrity sweep: verify every committed structure, repair or quarantine damage")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pccheck-inspect [-verify] [-post-mortem [-events N]] <checkpoint-file> [tier-1-file ...]")
+		fmt.Fprintln(os.Stderr, "usage: pccheck-inspect [-verify] [-scrub] [-post-mortem [-events N]] <checkpoint-file> [tier-1-file ...]")
 		os.Exit(2)
 	}
 	if *postMortem {
 		inspectPostMortem(flag.Args(), *eventTail)
+		return
+	}
+	if *scrub {
+		scrubPaths(flag.Args())
 		return
 	}
 	if flag.NArg() == 1 {
@@ -145,6 +163,57 @@ func renderPostMortem(pm *blackbox.PostMortem, eventTail int) {
 	if ds := pm.LastDecisions(); len(ds) > 0 {
 		fmt.Println("\nlast policy decisions:")
 		decision.FormatTable(os.Stdout, ds, 0)
+	}
+}
+
+// scrubPaths opens each path, runs one synchronous scrub sweep through the
+// live engine's repair machinery, and reports every finding. A slot the
+// sweep had to quarantine still exits 0 — the damage is contained and
+// recovery falls back to an older intact checkpoint — whereas damage that
+// could be neither repaired nor quarantined exits 3.
+func scrubPaths(paths []string) {
+	var unrepaired uint64
+	opened := 0
+	for i, path := range paths {
+		label := path
+		if len(paths) > 1 {
+			label = fmt.Sprintf("tier %d (%s)", i, path)
+		}
+		dev, err := storage.ReopenSSD(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pccheck-inspect: %s: UNREACHABLE (%v)\n", label, err)
+			continue
+		}
+		eng, err := core.Open(dev, core.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pccheck-inspect: %s: UNREADABLE (%v)\n", label, err)
+			dev.Close()
+			unrepaired++
+			continue
+		}
+		opened++
+		found, healed, serr := eng.ScrubNow()
+		st := eng.ScrubStatus()
+		eng.Close()
+		dev.Close()
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "pccheck-inspect: %s: scrub failed: %v\n", label, serr)
+			unrepaired++
+			continue
+		}
+		fmt.Printf("%s: scrubbed %s: %d corruption(s), %d healed (%d repaired, %d quarantined)\n",
+			label, cliutil.FormatBytes(int64(st.BytesVerified)), found, healed, st.Repairs, st.Quarantines)
+		for _, f := range st.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+		unrepaired += st.Unrepaired
+	}
+	if opened == 0 {
+		fail("no path could be opened")
+	}
+	if unrepaired > 0 {
+		fmt.Fprintf(os.Stderr, "pccheck-inspect: %d finding(s) could not be repaired or quarantined\n", unrepaired)
+		os.Exit(3)
 	}
 }
 
@@ -261,7 +330,9 @@ func render(path string, rep core.Report) {
 	}
 	for _, s := range rep.SlotInfos {
 		status := "empty/invalid header"
-		if s.HeaderValid {
+		if s.Quarantined {
+			status = fmt.Sprintf("QUARANTINED (checkpoint %d tombstoned by the scrubber; recovery skips it)", s.Counter)
+		} else if s.HeaderValid {
 			status = fmt.Sprintf("checkpoint %d, %s", s.Counter, cliutil.FormatBytes(s.Size))
 			if s.Kind == 1 {
 				status += fmt.Sprintf(", delta base=%d (%s full)", s.BaseCounter, cliutil.FormatBytes(s.FullSize))

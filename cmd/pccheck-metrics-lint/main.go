@@ -114,6 +114,11 @@ func selfCheck() error {
 		Inputs: in, Chosen: decision.Alternative{Action: "retry(max=5)", Feasible: true},
 		Measured: 0.004, Regret: 0.004, Outcome: "recovered", Counter: 2,
 	})
+	dec.RecordScored(decision.KindRepair, decision.Outcome{
+		Inputs: in, Chosen: decision.Alternative{Action: "republish-from-tier-1", Feasible: true},
+		Rejected: []decision.Alternative{{Action: "quarantine", Feasible: true}},
+		Measured: 0.003, Outcome: "repaired", Counter: 2, Rank: -1,
+	})
 	dec.OpenDegraded(3, in, decision.Alternative{Action: "stall", Feasible: true},
 		[]decision.Alternative{{Action: "exclude-dead", Feasible: true}})
 	dec.ResolveDegraded(3, 0.005, "stalled-then-committed")
@@ -154,6 +159,12 @@ func selfCheck() error {
 		"pccheck_blackbox_flushed_bytes_total",
 		"pccheck_blackbox_events_snapshotted_total",
 		"pccheck_blackbox_last_seq",
+		"pccheck_scrub_sweeps_total",
+		"pccheck_scrub_bytes_total",
+		"pccheck_scrub_corruptions_total",
+		"pccheck_repairs_total",
+		"pccheck_scrub_quarantines_total",
+		"pccheck_tier_failover_total",
 	)
 }
 

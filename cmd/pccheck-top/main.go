@@ -2,9 +2,9 @@
 // process: it polls the /metrics endpoint a Recorder+Ledger serve (see
 // ServeMetrics / -metrics-addr on the commands) and renders goodput,
 // slowdown-budget headroom, checkpoint staleness, per-phase stall bars,
-// save latency percentiles, the per-kind policy-decision regret panel
-// (when a decision recorder is attached) and the per-rank straggler
-// table.
+// save latency percentiles, the scrubber's detect/repair counters (with a
+// tier-failover alert), the per-kind policy-decision regret panel (when a
+// decision recorder is attached) and the per-rank straggler table.
 //
 //	pccheck-top -addr 127.0.0.1:9090
 //	pccheck-top -addr 127.0.0.1:9090 -once   # one frame, no screen control
@@ -161,6 +161,19 @@ func renderFrame(w io.Writer, addr string, fams map[string]promtext.Family) {
 			int64(value(fams, "pccheck_blackbox_flush_errors_total")),
 			int64(value(fams, "pccheck_blackbox_last_seq")),
 			fmtBytes(value(fams, "pccheck_blackbox_flushed_bytes_total")))
+	}
+
+	if _, ok := fams["pccheck_scrub_sweeps_total"]; ok {
+		line := fmt.Sprintf("scrub      sweeps %d  verified %s  corruptions %d  repairs %d  quarantines %d",
+			int64(value(fams, "pccheck_scrub_sweeps_total")),
+			fmtBytes(value(fams, "pccheck_scrub_bytes_total")),
+			int64(value(fams, "pccheck_scrub_corruptions_total")),
+			int64(value(fams, "pccheck_repairs_total")),
+			int64(value(fams, "pccheck_scrub_quarantines_total")))
+		if fo := value(fams, "pccheck_tier_failover_total"); fo > 0 {
+			line += fmt.Sprintf("  TIER FAILOVERS %d", int64(fo))
+		}
+		fmt.Fprintln(w, line)
 	}
 
 	if f, ok := fams["pccheck_stall_seconds_total"]; ok && len(f.Samples) > 0 {

@@ -111,6 +111,10 @@ type Checkpointer struct {
 	// the observer chain has no flight recorder). It runs entirely off
 	// the Emit hot path.
 	bbox *blackbox.Flusher
+	// scrub is the background integrity scrubber (see scrub.go); always
+	// constructed by attach so ScrubNow works even when the periodic
+	// goroutine is disabled.
+	scrub *scrubber
 
 	// Delta-mode state (sb.deltaKeyframe > 0), all under deltaMu: saves are
 	// serialized because each delta is diffed against the save before it.
@@ -385,6 +389,8 @@ func attach(dev storage.Device, cfg Config, sb superblock, latest *checkMeta, la
 		c.bbox = fl
 		fl.Start()
 	}
+	c.scrub = newScrubber(c, cfg.Scrub)
+	c.scrub.start()
 	return c, nil
 }
 
@@ -410,6 +416,9 @@ func (c *Checkpointer) SetPerWriterBW(bytesPerSec float64) {
 // tail at clean shutdown is durable.
 func (c *Checkpointer) Close() error {
 	c.closed.Store(true)
+	if c.scrub != nil {
+		c.scrub.stopWait()
+	}
 	if c.bbox != nil {
 		c.bbox.Stop()
 	}
@@ -787,6 +796,24 @@ func (c *Checkpointer) persistRecord(ctx context.Context, meta checkMeta) error 
 	if meta.counter <= c.recordHighest {
 		return nil
 	}
+	return c.persistRecordLocked(ctx, meta)
+}
+
+// forceRecord persists a pointer record even when its counter is already
+// durable — the scrubber's repair path repoints an existing counter at a
+// freshly rewritten slot. Only a strictly newer durable record makes the
+// write unnecessary (it no longer references the repaired checkpoint).
+func (c *Checkpointer) forceRecord(ctx context.Context, meta checkMeta) error {
+	c.recordMu.Lock()
+	defer c.recordMu.Unlock()
+	if meta.counter < c.recordHighest {
+		return nil
+	}
+	return c.persistRecordLocked(ctx, meta)
+}
+
+// persistRecordLocked is the shared record-write body; recordMu held.
+func (c *Checkpointer) persistRecordLocked(ctx context.Context, meta checkMeta) error {
 	off := int64(recordAOff)
 	if c.recordSeq%2 == 1 {
 		off = recordBOff

@@ -106,6 +106,12 @@ type Config struct {
 	// obs.Recorder is. A nil Observer costs one predictable branch per
 	// probe and zero allocations.
 	Observer obs.Observer
+	// Scrub configures the background integrity scrubber (see scrub.go):
+	// periodic CRC verification of the committed slots, pointer records,
+	// black-box header and lower-tier copies, with cross-tier self-healing.
+	// The zero value disables the background goroutine; ScrubNow still
+	// sweeps on demand.
+	Scrub ScrubConfig
 	// DeltaEvery enables incremental checkpointing: every DeltaEvery-th
 	// save is encoded as a delta against the previous checkpoint (1 =
 	// every save, 0 = deltas disabled). Setting it without DeltaKeyframe
@@ -210,6 +216,14 @@ const (
 	slotKindFull  = 0
 	slotKindDelta = 1
 )
+
+// Slot header flag bits. A quarantined slot is a tombstone the scrubber
+// leaves when a committed copy is damaged beyond repair (no healthy tier or
+// replica to rewrite it from): recovery skips the slot entirely and falls
+// back to the other pointer record, so corrupt bytes are never served. The
+// flag lives in the CRC-covered header, and a writer reusing the slot
+// clears it implicitly — every fresh header is written with flags 0.
+const slotFlagQuarantined uint8 = 1 << 0
 
 // checkMeta mirrors the paper's Check_meta class: which slot holds the data
 // and the checkpoint's global order. For delta checkpoints, size is the
@@ -350,7 +364,13 @@ type slotHeader struct {
 	kind     uint8
 	base     uint64
 	fullSize int64
+	// flags carries slot state bits (slotFlagQuarantined). Pre-scrub
+	// headers decode with zero flags, so old images are unaffected.
+	flags uint8
 }
+
+// quarantined reports whether the header is a scrubber tombstone.
+func (h slotHeader) quarantined() bool { return h.flags&slotFlagQuarantined != 0 }
 
 func encodeSlotHeader(h slotHeader) []byte {
 	buf := make([]byte, slotHeaderSize)
@@ -361,6 +381,7 @@ func encodeSlotHeader(h slotHeader) []byte {
 		buf[20] = 1
 	}
 	buf[21] = h.kind
+	buf[22] = h.flags
 	binary.LittleEndian.PutUint64(buf[24:], h.epoch)
 	binary.LittleEndian.PutUint64(buf[32:], h.base)
 	binary.LittleEndian.PutUint64(buf[40:], uint64(h.fullSize))
@@ -381,6 +402,7 @@ func decodeSlotHeader(buf []byte) (slotHeader, bool) {
 		payloadCRC: binary.LittleEndian.Uint32(buf[16:]),
 		hasCRC:     buf[20] == 1,
 		kind:       buf[21],
+		flags:      buf[22],
 		epoch:      binary.LittleEndian.Uint64(buf[24:]),
 		base:       binary.LittleEndian.Uint64(buf[32:]),
 		fullSize:   int64(binary.LittleEndian.Uint64(buf[40:])),

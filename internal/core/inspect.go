@@ -50,6 +50,9 @@ type SlotInfo struct {
 	FullSize    int64
 	// InChain marks slots holding a link of the recoverable delta chain.
 	InChain bool
+	// Quarantined marks a slot the scrubber tombstoned: the copy was
+	// damaged with no healthy source to repair from, and recovery skips it.
+	Quarantined bool
 }
 
 // ChainLink is one link of the recoverable keyframe→delta chain.
@@ -174,6 +177,7 @@ func Inspect(dev storage.Device, verify bool) (Report, error) {
 			info.Epoch = hdr.epoch
 			info.EpochStale = hdr.epoch != sb.epoch
 			info.Kind = hdr.kind
+			info.Quarantined = hdr.quarantined()
 			if hdr.kind == slotKindDelta {
 				info.BaseCounter = hdr.base
 				info.FullSize = hdr.fullSize

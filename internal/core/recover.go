@@ -82,6 +82,12 @@ func validateSlot(dev storage.Device, sb superblock, meta checkMeta) (slotHeader
 	if !ok {
 		return slotHeader{}, fmt.Errorf("core: slot %d header corrupt", meta.slot)
 	}
+	if hdr.quarantined() {
+		// A scrubber tombstone: the copy is known-bad with no healthy source.
+		// Rejecting it here makes recoverPointer fall back to the other
+		// record without ever touching the payload.
+		return slotHeader{}, fmt.Errorf("core: slot %d is quarantined", meta.slot)
+	}
 	if hdr.epoch != sb.epoch {
 		return slotHeader{}, fmt.Errorf("core: slot %d header from format epoch %d, device is epoch %d",
 			meta.slot, hdr.epoch, sb.epoch)
@@ -106,7 +112,7 @@ func findChainHeader(dev storage.Device, sb superblock, counter uint64) (slotHea
 			return slotHeader{}, 0, err
 		}
 		hdr, ok := decodeSlotHeader(buf)
-		if !ok || hdr.counter != counter || hdr.epoch != sb.epoch {
+		if !ok || hdr.counter != counter || hdr.epoch != sb.epoch || hdr.quarantined() {
 			continue
 		}
 		if hdr.size < 0 || hdr.size > sb.slotBytes || hdr.kind > slotKindDelta {
@@ -188,6 +194,12 @@ func readSlotPayload(dev storage.Device, sb superblock, meta checkMeta, dst []by
 	hdr, ok := decodeSlotHeader(buf)
 	if !ok || hdr.counter != meta.counter || hdr.epoch != sb.epoch {
 		return fmt.Errorf("%w: slot %d no longer holds checkpoint %d", errSlotRecycled, meta.slot, meta.counter)
+	}
+	if hdr.quarantined() {
+		// Tombstoned under a live reader: the data is known-bad and must not
+		// be served. Classified corrupt, not recycled — a retry reads the
+		// same tombstone.
+		return storage.Corrupt(fmt.Errorf("core: checkpoint %d in slot %d is quarantined", meta.counter, meta.slot))
 	}
 	if err := dev.ReadAt(dst, payloadBase(sb, meta.slot)); err != nil {
 		return err
@@ -316,7 +328,7 @@ func recoverVersionSlotSB(dev storage.Device, sb superblock, counter uint64) ([]
 			return nil, 0, err
 		}
 		hdr, ok := decodeSlotHeader(buf)
-		if !ok || hdr.counter != counter {
+		if !ok || hdr.counter != counter || hdr.quarantined() {
 			continue
 		}
 		if hdr.epoch != sb.epoch {

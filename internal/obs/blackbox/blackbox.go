@@ -152,6 +152,40 @@ func decodeHeader(buf []byte, regionBytes int64) (Layout, uint64, error) {
 	return l, epoch, nil
 }
 
+// CheckHeader validates the region header sector at off: CRC, magic,
+// geometry against the reserved regionBytes, and the format epoch. It is
+// the scrubber's cheap liveness probe for the telemetry region — frames are
+// not touched (a live flusher may be appending to them concurrently).
+func CheckHeader(dev storage.Device, off, regionBytes int64, epoch uint64) error {
+	buf := make([]byte, SectorBytes)
+	if err := dev.ReadAt(buf, off); err != nil {
+		return err
+	}
+	_, got, err := decodeHeader(buf, regionBytes)
+	if err != nil {
+		return err
+	}
+	if got != epoch {
+		return fmt.Errorf("blackbox: region header carries epoch %d, device is epoch %d", got, epoch)
+	}
+	return nil
+}
+
+// RewriteHeader re-persists the region header sector from the journal's
+// in-memory layout and epoch — the repair for a damaged header. Frame slots
+// and the append position are untouched.
+func (j *Journal) RewriteHeader() error {
+	return Format(j.dev, j.off, j.epoch, j.layout)
+}
+
+// RepairHeader rewrites the region header through the flusher's journal,
+// serialized against concurrent flushes.
+func (f *Flusher) RepairHeader() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.j.RewriteHeader()
+}
+
 // Frame is one decoded telemetry frame: a point-in-time snapshot of the
 // flight ring tail, the goodput report, and the decision-trace tail.
 type Frame struct {

@@ -65,6 +65,10 @@ const (
 	KindRetry
 	// KindDegraded is the coordinator's dead-rank commit policy acting.
 	KindDegraded
+	// KindRepair is the scrubber choosing how to handle a corrupt copy:
+	// rewrite from a healthy tier/replica, resync the whole tier, or
+	// quarantine when no healthy source exists.
+	KindRepair
 
 	// KindCount is the number of defined kinds.
 	KindCount
@@ -72,6 +76,7 @@ const (
 
 var kindNames = [KindCount]string{
 	"retune", "tune", "slot-admission", "retry", "degraded-commit",
+	"repair",
 }
 
 // String returns the kind's canonical hyphenated name.

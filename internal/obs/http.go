@@ -67,6 +67,12 @@ func (r *Recorder) WriteMetrics(w io.Writer) {
 	counter("pccheck_bytes_persisted_total", "Bytes that actually hit the device (smaller than logical when delta checkpointing is on).", s.BytesPersisted)
 	counter("pccheck_delta_saves_total", "Published checkpoints stored as delta records.", s.DeltaSaves)
 	counter("pccheck_keyframe_saves_total", "Published full checkpoints in delta mode.", s.KeyframeSaves)
+	counter("pccheck_scrub_sweeps_total", "Completed integrity-scrub sweeps over the committed state.", s.ScrubSweeps)
+	counter("pccheck_scrub_bytes_total", "Bytes CRC-verified by the scrubber.", s.ScrubBytes)
+	counter("pccheck_scrub_corruptions_total", "Corruptions found by the scrubber (latent sector errors, bit rot, torn copies).", s.ScrubCorruptions)
+	counter("pccheck_repairs_total", "Corrupt copies rewritten from the newest healthy tier or replica.", s.Repairs)
+	counter("pccheck_scrub_quarantines_total", "Slots tombstoned because no healthy source could repair them.", s.Quarantines)
+	counter("pccheck_tier_failover_total", "Write-path failovers away from a permanently failing tier.", s.TierFailovers)
 	counter("pccheck_trace_dropped_events_total", "Flight-recorder events dropped (ring full).", s.DroppedEvents)
 	counter("pccheck_flight_dropped_events_total", "Flight-recorder events dropped because the ring was full (oldest-event overwrites).", s.DroppedEvents)
 	deltaRatio := 1.0

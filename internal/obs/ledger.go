@@ -126,6 +126,7 @@ type ledgerTier struct {
 	drainedB  atomic.Int64  // cumulative bytes copied to this tier
 	errors    atomic.Uint64 // PhaseTierError count
 	resyncs   atomic.Uint64 // PhaseTierResync count
+	failovers atomic.Uint64 // write-path failovers AWAY from this tier
 	durable   atomic.Uint64 // newest checkpoint counter durable here
 	durableNS atomic.Int64  // when durable last advanced (event TS + Dur)
 }
@@ -330,6 +331,13 @@ func (l *Ledger) Emit(ev Event) {
 	case PhaseTierResync:
 		if c := l.tier(ev.Slot); c != nil {
 			c.resyncs.Add(1)
+		}
+	case PhaseTierFailover:
+		// The catch-up replay stalls the persist path; the failover itself
+		// is attributed to the tier that was abandoned (carried in Value).
+		l.stallNS[StallPersist].Add(ev.Dur)
+		if c := l.tier(int32(ev.Value)); c != nil {
+			c.failovers.Add(1)
 		}
 	case PhaseRankDead:
 		l.rankDeaths.Add(1)
@@ -538,11 +546,13 @@ type TierDurability struct {
 	// wasted-work bound if recovery had to start from this tier right now.
 	StalenessSeconds float64 `json:"staleness_seconds"`
 	// Drains / DrainedBytes / Errors / Resyncs summarise the drainer's work
-	// against this tier.
+	// against this tier; Failovers counts write-path re-routes away from it
+	// after permanent errors exhausted the retry budget.
 	Drains       uint64 `json:"drains"`
 	DrainedBytes int64  `json:"drained_bytes"`
 	Errors       uint64 `json:"errors"`
 	Resyncs      uint64 `json:"resyncs"`
+	Failovers    uint64 `json:"failovers,omitempty"`
 }
 
 // GoodputReport is a point-in-time summary of the ledger — the
@@ -726,8 +736,9 @@ func (l *Ledger) Report() GoodputReport {
 			DrainedBytes:   c.drainedB.Load(),
 			Errors:         c.errors.Load(),
 			Resyncs:        c.resyncs.Load(),
+			Failovers:      c.failovers.Load(),
 		}
-		if row.Drains == 0 && row.Errors == 0 && row.Resyncs == 0 {
+		if row.Drains == 0 && row.Errors == 0 && row.Resyncs == 0 && row.Failovers == 0 {
 			continue
 		}
 		if lag := int64(rep.LastPublishedCounter) - int64(row.DurableCounter); lag > 0 {
@@ -917,5 +928,8 @@ func (l *Ledger) WriteMetrics(w io.Writer) {
 		tierCounter("pccheck_tier_resyncs_total",
 			"Full-image resyncs forced by journal overflow or tier recovery.",
 			func(t TierDurability) uint64 { return t.Resyncs })
+		tierCounter("pccheck_tier_failovers_from_total",
+			"Write-path failovers away from this tier after permanent errors.",
+			func(t TierDurability) uint64 { return t.Failovers })
 	}
 }

@@ -134,6 +134,29 @@ const (
 	// (instant): pccheck-trace emits one between the last pre-crash black-box
 	// event and the first post-recovery event. The engine never emits it.
 	PhaseCrashMark
+	// PhaseScrub spans one integrity-scrub sweep over the committed state:
+	// slot headers, payload/delta CRCs, pointer records, the black-box
+	// region, and per-tier copies. Bytes is the volume verified, Value the
+	// number of corruptions found this sweep.
+	PhaseScrub
+	// PhaseScrubCorrupt marks one corruption found by the scrubber
+	// (instant): Slot is the damaged slot (-1 for a record or the black-box
+	// region), Counter the checkpoint involved when known, Value the tier
+	// index holding the bad copy (-1 for tier 0 / single-device).
+	PhaseScrubCorrupt
+	// PhaseScrubRepair spans one repair: the corrupt copy rewritten from the
+	// newest healthy source. Slot/Counter/Value mirror the PhaseScrubCorrupt
+	// that triggered it; Bytes is the volume rewritten.
+	PhaseScrubRepair
+	// PhaseQuarantine marks a slot tombstoned because no healthy source
+	// could repair it (instant): recovery skips it from now on. Slot is the
+	// quarantined slot, Counter its header counter.
+	PhaseQuarantine
+	// PhaseTierFailover spans a write-path failover on a storage.Tiered
+	// device: tier Value exhausted its retry budget with permanent errors,
+	// so persists re-routed to tier Slot after a journal catch-up taking
+	// Dur. Bytes is the catch-up volume.
+	PhaseTierFailover
 
 	// PhaseCount is the number of defined phases.
 	PhaseCount
@@ -146,6 +169,8 @@ var phaseNames = [PhaseCount]string{
 	"save-failed", "agree-gate", "rank-dead", "rank-rejoined",
 	"frame-dropped", "delta-encode", "keyframe", "decision",
 	"tier-drain", "tier-error", "tier-resync", "crash-mark",
+	"scrub", "scrub-corrupt", "scrub-repair", "quarantine",
+	"tier-failover",
 }
 
 // String returns the phase's canonical hyphenated name.
@@ -161,7 +186,8 @@ func (p Phase) IsSpan() bool {
 	switch p {
 	case PhaseSave, PhaseSlotWait, PhaseCopy, PhaseChunkWait, PhasePersist,
 		PhaseSync, PhaseHeader, PhaseBarrier, PhaseSnapshot, PhaseAgree,
-		PhaseIORetry, PhaseAgreeGate, PhaseDeltaEncode, PhaseTierDrain:
+		PhaseIORetry, PhaseAgreeGate, PhaseDeltaEncode, PhaseTierDrain,
+		PhaseScrub, PhaseScrubRepair, PhaseTierFailover:
 		return true
 	}
 	return false
@@ -229,6 +255,13 @@ type Recorder struct {
 	bytesPersisted atomic.Int64
 	deltaSaves     atomic.Uint64
 	keyframes      atomic.Uint64
+
+	scrubSweeps   atomic.Uint64
+	scrubBytes    atomic.Int64
+	scrubCorrupt  atomic.Uint64
+	repairs       atomic.Uint64
+	quarantines   atomic.Uint64
+	tierFailovers atomic.Uint64
 }
 
 // DefaultCapacity is the ring capacity used when NewRecorder is given 0.
@@ -292,6 +325,17 @@ func (r *Recorder) Emit(ev Event) {
 		r.rankRejoins.Add(1)
 	case PhaseFrameDropped:
 		r.badFrames.Add(1)
+	case PhaseScrub:
+		r.scrubSweeps.Add(1)
+		r.scrubBytes.Add(ev.Bytes)
+	case PhaseScrubCorrupt:
+		r.scrubCorrupt.Add(1)
+	case PhaseScrubRepair:
+		r.repairs.Add(1)
+	case PhaseQuarantine:
+		r.quarantines.Add(1)
+	case PhaseTierFailover:
+		r.tierFailovers.Add(1)
 	case PhaseSlotWait:
 		if ev.Value != 0 {
 			r.slotWaits.Add(1)
@@ -402,6 +446,17 @@ type Snapshot struct {
 	BytesPersisted int64
 	DeltaSaves     uint64
 	KeyframeSaves  uint64
+	// ScrubSweeps counts completed integrity-scrub sweeps, ScrubBytes the
+	// cumulative volume verified; ScrubCorruptions counts corruptions found,
+	// Repairs successful rewrites from a healthy source, Quarantines slots
+	// tombstoned with no healthy source, and TierFailovers write-path
+	// re-routes away from a permanently failing tier.
+	ScrubSweeps      uint64
+	ScrubBytes       int64
+	ScrubCorruptions uint64
+	Repairs          uint64
+	Quarantines      uint64
+	TierFailovers    uint64
 	// DroppedEvents counts ring overwrites (oldest-event drops).
 	DroppedEvents uint64
 	// RingOccupancy is how many events are currently buffered in the
@@ -427,24 +482,30 @@ func (s Snapshot) Phase(p Phase) PhaseStats {
 // Concurrent emitters keep running; the snapshot is weakly consistent.
 func (r *Recorder) Snapshot() Snapshot {
 	s := Snapshot{
-		Published:       r.published.Load(),
-		Obsolete:        r.obsolete.Load(),
-		FailedSaves:     r.failedSaves.Load(),
-		CASRetries:      r.casRetry.Load(),
-		IORetries:       r.ioRetry.Load(),
-		TransientFaults: r.faults.Load(),
-		InjectedFaults:  r.injected.Load(),
-		SlotWaits:       r.slotWaits.Load(),
-		RankDeaths:      r.rankDeaths.Load(),
-		RankRejoins:     r.rankRejoins.Load(),
-		DroppedFrames:   r.badFrames.Load(),
-		BytesWritten:    r.bytes.Load(),
-		BytesPersisted:  r.bytesPersisted.Load(),
-		DeltaSaves:      r.deltaSaves.Load(),
-		KeyframeSaves:   r.keyframes.Load(),
-		DroppedEvents:   r.ring.dropped.Load(),
-		RingOccupancy:   r.ring.len(),
-		RingCapacity:    len(r.ring.cells),
+		Published:        r.published.Load(),
+		Obsolete:         r.obsolete.Load(),
+		FailedSaves:      r.failedSaves.Load(),
+		CASRetries:       r.casRetry.Load(),
+		IORetries:        r.ioRetry.Load(),
+		TransientFaults:  r.faults.Load(),
+		InjectedFaults:   r.injected.Load(),
+		SlotWaits:        r.slotWaits.Load(),
+		RankDeaths:       r.rankDeaths.Load(),
+		RankRejoins:      r.rankRejoins.Load(),
+		DroppedFrames:    r.badFrames.Load(),
+		BytesWritten:     r.bytes.Load(),
+		BytesPersisted:   r.bytesPersisted.Load(),
+		DeltaSaves:       r.deltaSaves.Load(),
+		KeyframeSaves:    r.keyframes.Load(),
+		ScrubSweeps:      r.scrubSweeps.Load(),
+		ScrubBytes:       r.scrubBytes.Load(),
+		ScrubCorruptions: r.scrubCorrupt.Load(),
+		Repairs:          r.repairs.Load(),
+		Quarantines:      r.quarantines.Load(),
+		TierFailovers:    r.tierFailovers.Load(),
+		DroppedEvents:    r.ring.dropped.Load(),
+		RingOccupancy:    r.ring.len(),
+		RingCapacity:     len(r.ring.cells),
 	}
 	s.Saves = s.Published + s.Obsolete + s.FailedSaves
 	for p := Phase(0); p < PhaseCount; p++ {

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -73,7 +75,18 @@ type FaultDevice struct {
 	arm      map[Op]*faultPlan
 	opCounts map[Op]int64
 	faults   map[Op]int64 // cumulative injected faults per op
+
+	// Latent-fault state: seeded silent corruption of already-synced data
+	// (the write path succeeds, the bytes rot afterwards) and poisoned
+	// unreadable ranges (reads fail permanently until overwritten).
+	corrupt    *corruptPlan
+	durCount   int64 // successful Sync/Persist calls seen
+	corruptLog []CorruptRecord
+	poisoned   []poisonRange
 }
+
+// poisonRange is one unreadable byte range: [off, end).
+type poisonRange struct{ off, end int64 }
 
 type faultPlan struct {
 	after    int64 // fire on calls whose count reaches this value
@@ -140,10 +153,216 @@ func (d *FaultDevice) TearNextWrite(frac float64) {
 	d.SetSchedule(OpWrite, Schedule{After: 1, Count: 1, TearFrac: frac})
 }
 
-// Clear disarms every pending fault. Cumulative fault counts are preserved.
+// Clear disarms every pending fault, including a corruption schedule and
+// poisoned ranges. Cumulative fault counts and the corruption log are
+// preserved.
 func (d *FaultDevice) Clear() {
 	d.mu.Lock()
 	d.arm = make(map[Op]*faultPlan)
+	d.corrupt = nil
+	d.poisoned = nil
+	d.mu.Unlock()
+}
+
+// CorruptMode selects how a latent fault damages already-durable bytes.
+type CorruptMode int
+
+const (
+	// CorruptBitFlip flips a single seeded bit — classic silent bit rot:
+	// the sector stays readable, the contents lie.
+	CorruptBitFlip CorruptMode = iota
+	// CorruptSectorZero zeroes the whole CrashSectorSize-aligned sector
+	// around the seeded offset — a remapped-to-zero sector.
+	CorruptSectorZero
+)
+
+func (m CorruptMode) String() string {
+	switch m {
+	case CorruptBitFlip:
+		return "bit-flip"
+	case CorruptSectorZero:
+		return "sector-zero"
+	default:
+		return "corrupt?"
+	}
+}
+
+// CorruptSchedule programs seeded silent corruption of already-durable
+// data. Starting at the CorruptAfter-th next successful durability op
+// (Sync or Persist), each of the next CorruptCount such ops is followed by
+// damage injected into the range it just made durable: the op itself
+// succeeds — the caller believes the bytes are safe — and the damage lands
+// afterwards, the way latent sector errors and bit rot strike between a
+// sync and the read that discovers it.
+type CorruptSchedule struct {
+	// CorruptAfter arms the schedule on the n-th next successful Sync or
+	// Persist (1 = the very next one). Values < 1 behave as 1.
+	CorruptAfter int64
+	// CorruptCount is how many consecutive successful durability ops have
+	// their range damaged once armed (0 → 1).
+	CorruptCount int64
+	// Mode selects bit-flip vs sector-zero damage.
+	Mode CorruptMode
+	// Seed drives the damaged offset within each synced range.
+	Seed int64
+}
+
+// corruptPlan is an armed CorruptSchedule.
+type corruptPlan struct {
+	after int64
+	count int64
+	mode  CorruptMode
+	rng   *rand.Rand
+	fired int64
+}
+
+// CorruptRecord describes one injected latent fault, for harnesses that
+// assert every injected corruption was later detected and repaired.
+type CorruptRecord struct {
+	Off  int64
+	Len  int64
+	Mode CorruptMode
+}
+
+// SetCorruptSchedule arms s, replacing any previous corruption schedule.
+func (d *FaultDevice) SetCorruptSchedule(s CorruptSchedule) {
+	if s.CorruptAfter < 1 {
+		s.CorruptAfter = 1
+	}
+	if s.CorruptCount < 1 {
+		s.CorruptCount = 1
+	}
+	d.mu.Lock()
+	d.corrupt = &corruptPlan{
+		after: d.durCount + s.CorruptAfter,
+		count: s.CorruptCount,
+		mode:  s.Mode,
+		rng:   rand.New(rand.NewSource(s.Seed)),
+	}
+	d.mu.Unlock()
+}
+
+// CorruptLog returns every latent fault injected so far (scheduled and
+// direct CorruptAt damage; poisoned ranges are not logged — they announce
+// themselves as read errors).
+func (d *FaultDevice) CorruptLog() []CorruptRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]CorruptRecord, len(d.corruptLog))
+	copy(out, d.corruptLog)
+	return out
+}
+
+// afterDurable runs the armed corruption schedule against the range a
+// successful Sync/Persist just covered.
+func (d *FaultDevice) afterDurable(off, n int64) {
+	d.mu.Lock()
+	d.durCount++
+	p := d.corrupt
+	if p == nil || n <= 0 || p.fired >= p.count || d.durCount < p.after {
+		d.mu.Unlock()
+		return
+	}
+	p.fired++
+	target := off + p.rng.Int63n(n)
+	d.mu.Unlock()
+	d.CorruptAt(target, 1, p.mode) //nolint:errcheck // best-effort damage
+}
+
+// CorruptAt injects latent damage into [off, off+n) of the underlying
+// device right now, bypassing the fault plans: bit-flip mode flips the top
+// bit of every byte in the range, sector-zero mode zeroes the whole
+// CrashSectorSize-aligned sectors covering it. The damage is written
+// through the inner device directly (no Op counters advance) and logged
+// for harness assertions.
+func (d *FaultDevice) CorruptAt(off, n int64, mode CorruptMode) error {
+	if n <= 0 {
+		return nil
+	}
+	size := d.inner.Size()
+	lo, hi := off, off+n
+	if mode == CorruptSectorZero {
+		lo = (lo / CrashSectorSize) * CrashSectorSize
+		hi = ((hi + CrashSectorSize - 1) / CrashSectorSize) * CrashSectorSize
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > size {
+		hi = size
+	}
+	if hi <= lo {
+		return nil
+	}
+	buf := make([]byte, hi-lo)
+	if mode == CorruptBitFlip {
+		if err := d.inner.ReadAt(buf, lo); err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] ^= 0x80
+		}
+	}
+	if err := d.inner.WriteAt(buf, lo); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.corruptLog = append(d.corruptLog, CorruptRecord{Off: lo, Len: hi - lo, Mode: mode})
+	d.faults[OpWrite]++
+	d.mu.Unlock()
+	return nil
+}
+
+// PoisonRead marks [off, off+n) unreadable: every ReadAt overlapping it
+// returns a Permanent error until a WriteAt or Persist overwrites the
+// poisoned bytes (the sector-remap-on-write model of real disks). Unlike
+// CorruptAt the stored bytes are untouched — the device just refuses to
+// return them.
+func (d *FaultDevice) PoisonRead(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.poisoned = append(d.poisoned, poisonRange{off: off, end: off + n})
+	d.mu.Unlock()
+}
+
+// poisonErr returns the Permanent error for a read overlapping a poisoned
+// range, or nil.
+func (d *FaultDevice) poisonErr(off, n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range d.poisoned {
+		if off < r.end && off+n > r.off {
+			return Permanent(fmt.Errorf("storage: unreadable sector: injected media error in [%d,%d)", r.off, r.end))
+		}
+	}
+	return nil
+}
+
+// healPoison removes the parts of poisoned ranges that [off, off+n) just
+// overwrote — writing remaps the bad sectors.
+func (d *FaultDevice) healPoison(off, n int64) {
+	end := off + n
+	d.mu.Lock()
+	if len(d.poisoned) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	var keep []poisonRange
+	for _, r := range d.poisoned {
+		if off >= r.end || end <= r.off { // no overlap
+			keep = append(keep, r)
+			continue
+		}
+		if r.off < off {
+			keep = append(keep, poisonRange{off: r.off, end: off})
+		}
+		if r.end > end {
+			keep = append(keep, poisonRange{off: end, end: r.end})
+		}
+	}
+	d.poisoned = keep
 	d.mu.Unlock()
 }
 
@@ -210,13 +429,20 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) error {
 		}
 		return plan.err
 	}
-	return d.inner.WriteAt(p, off)
+	if err := d.inner.WriteAt(p, off); err != nil {
+		return err
+	}
+	d.healPoison(off, int64(len(p)))
+	return nil
 }
 
 // ReadAt implements Device.
 func (d *FaultDevice) ReadAt(p []byte, off int64) error {
 	if plan := d.check(OpRead); plan != nil {
 		return plan.err
+	}
+	if err := d.poisonErr(off, int64(len(p))); err != nil {
+		return err
 	}
 	return d.inner.ReadAt(p, off)
 }
@@ -226,7 +452,11 @@ func (d *FaultDevice) Sync(off, n int64) error {
 	if plan := d.check(OpSync); plan != nil {
 		return plan.err
 	}
-	return d.inner.Sync(off, n)
+	if err := d.inner.Sync(off, n); err != nil {
+		return err
+	}
+	d.afterDurable(off, n)
+	return nil
 }
 
 // Persist implements Device.
@@ -234,7 +464,12 @@ func (d *FaultDevice) Persist(p []byte, off int64) error {
 	if plan := d.check(OpPersist); plan != nil {
 		return plan.err
 	}
-	return d.inner.Persist(p, off)
+	if err := d.inner.Persist(p, off); err != nil {
+		return err
+	}
+	d.healPoison(off, int64(len(p)))
+	d.afterDurable(off, int64(len(p)))
+	return nil
 }
 
 // Size implements Device.

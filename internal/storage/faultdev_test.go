@@ -169,3 +169,168 @@ func TestFailTransientThenRearm(t *testing.T) {
 		t.Fatalf("re-armed sync: %v", err)
 	}
 }
+
+func TestCorruptScheduleDamagesSyncedRange(t *testing.T) {
+	d := NewFaultDevice(NewRAM(4096))
+	want := bytes.Repeat([]byte{0x5A}, 512)
+	if err := d.WriteAt(want, 1024); err != nil {
+		t.Fatal(err)
+	}
+	d.SetCorruptSchedule(CorruptSchedule{CorruptAfter: 1, CorruptCount: 1, Mode: CorruptBitFlip, Seed: 7})
+	// The sync itself must succeed — latent faults strike after the ack.
+	if err := d.Sync(1024, 512); err != nil {
+		t.Fatalf("sync reported the latent fault: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := d.ReadAt(got, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("synced range not corrupted")
+	}
+	log := d.CorruptLog()
+	if len(log) != 1 {
+		t.Fatalf("corrupt log has %d records, want 1", len(log))
+	}
+	r := log[0]
+	if r.Mode != CorruptBitFlip || r.Off < 1024 || r.Off+r.Len > 1536 {
+		t.Fatalf("damage [%d,%d) mode %v outside the synced range", r.Off, r.Off+r.Len, r.Mode)
+	}
+	// One-shot: the next sync leaves its range alone.
+	if err := d.WriteAt(want, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(2048, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(got, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("corruption fired past its count")
+	}
+}
+
+func TestCorruptScheduleCountsPersists(t *testing.T) {
+	d := NewFaultDevice(NewRAM(4096))
+	d.SetCorruptSchedule(CorruptSchedule{CorruptAfter: 2, CorruptCount: 2, Mode: CorruptSectorZero, Seed: 1})
+	p := bytes.Repeat([]byte{0xFF}, CrashSectorSize)
+	// First durable op: not yet armed.
+	if err := d.Persist(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, CrashSectorSize)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("corruption fired before CorruptAfter")
+	}
+	// Second and third: both damaged, sector-zero leaves whole zero sectors.
+	for i := 0; i < 2; i++ {
+		off := int64(CrashSectorSize * (i + 1))
+		if err := d.Persist(p, off); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ReadAt(got, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, make([]byte, CrashSectorSize)) {
+			t.Fatalf("persist %d: sector not zeroed", i+2)
+		}
+	}
+	if len(d.CorruptLog()) != 2 {
+		t.Fatalf("corrupt log has %d records, want 2", len(d.CorruptLog()))
+	}
+}
+
+func TestCorruptAtSectorZeroAlignsAndClamps(t *testing.T) {
+	d := NewFaultDevice(NewRAM(2 * CrashSectorSize))
+	p := bytes.Repeat([]byte{0xAB}, 2*CrashSectorSize)
+	if err := d.WriteAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One byte in sector 1 zeroes all of sector 1 and nothing else.
+	if err := d.CorruptAt(int64(CrashSectorSize)+10, 1, CorruptSectorZero); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*CrashSectorSize)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:CrashSectorSize], p[:CrashSectorSize]) {
+		t.Fatal("sector 0 collateral damage")
+	}
+	if !bytes.Equal(got[CrashSectorSize:], make([]byte, CrashSectorSize)) {
+		t.Fatal("sector 1 not zeroed")
+	}
+}
+
+func TestPoisonReadFailsPermanentUntilOverwritten(t *testing.T) {
+	d := NewFaultDevice(NewRAM(4096))
+	if err := d.WriteAt(bytes.Repeat([]byte{1}, 256), 512); err != nil {
+		t.Fatal(err)
+	}
+	d.PoisonRead(512, 256)
+	buf := make([]byte, 128)
+	err := d.ReadAt(buf, 600)
+	if err == nil {
+		t.Fatal("poisoned read succeeded")
+	}
+	if IsTransient(err) || Classify(err) != ClassPermanent {
+		t.Fatalf("poisoned read classified %v, want permanent", Classify(err))
+	}
+	// Reads outside the poisoned range still work.
+	if err := d.ReadAt(buf, 1024); err != nil {
+		t.Fatalf("read outside poison: %v", err)
+	}
+	// Overwriting part of the range heals exactly that part.
+	if err := d.WriteAt(bytes.Repeat([]byte{2}, 128), 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(buf, 512); err != nil {
+		t.Fatalf("healed range still poisoned: %v", err)
+	}
+	if err := d.ReadAt(buf, 640); err == nil {
+		t.Fatal("unhealed tail readable")
+	}
+	// Persist heals too.
+	if err := d.Persist(bytes.Repeat([]byte{3}, 128), 640); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(buf, 640); err != nil {
+		t.Fatalf("persist did not heal: %v", err)
+	}
+}
+
+func TestClearDisarmsCorruptionAndPoison(t *testing.T) {
+	d := NewFaultDevice(NewRAM(1024))
+	if err := d.CorruptAt(0, 4, CorruptBitFlip); err != nil {
+		t.Fatal(err)
+	}
+	d.SetCorruptSchedule(CorruptSchedule{CorruptAfter: 1, CorruptCount: 100, Mode: CorruptBitFlip, Seed: 3})
+	d.PoisonRead(0, 1024)
+	d.Clear()
+	buf := make([]byte, 16)
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("poison survived Clear: %v", err)
+	}
+	if err := d.WriteAt(make([]byte, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("corruption schedule survived Clear")
+		}
+	}
+	// The log survives Clear: harnesses reconcile against it afterwards.
+	if len(d.CorruptLog()) != 1 {
+		t.Fatalf("corrupt log has %d records, want 1", len(d.CorruptLog()))
+	}
+}

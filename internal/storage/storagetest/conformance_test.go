@@ -67,3 +67,33 @@ func TestConformance(t *testing.T) {
 		t.Run(b.name, func(t *testing.T) { Run(t, b.factory) })
 	}
 }
+
+// TestCorruptionConformance runs the latent-fault contract (seeded
+// corruption schedules, direct damage, poisoned reads) with each plain
+// medium underneath the FaultDevice wrapper.
+func TestCorruptionConformance(t *testing.T) {
+	backends := []struct {
+		name    string
+		factory Factory
+	}{
+		{"SSD", func(t *testing.T, size int64) storage.Backend {
+			dev, err := storage.OpenSSD(filepath.Join(t.TempDir(), "dev.img"), size)
+			if err != nil {
+				t.Fatalf("OpenSSD: %v", err)
+			}
+			return dev
+		}},
+		{"PMEM", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewPMEM(pmem.NewRegion(int(size)))
+		}},
+		{"RAM", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewRAM(size)
+		}},
+		{"Remote", func(t *testing.T, size int64) storage.Backend {
+			return storage.NewRemoteStore(size)
+		}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) { RunCorruption(t, b.factory) })
+	}
+}

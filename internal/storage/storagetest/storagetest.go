@@ -193,3 +193,126 @@ func Run(t *testing.T, factory Factory) {
 		}
 	})
 }
+
+// RunCorruption exercises the FaultDevice latent-fault contract with a
+// factory-built backend underneath: seeded corruption schedules strike
+// already-durable bytes without failing the durability op itself, direct
+// CorruptAt damage is visible to reads, and poisoned ranges fail reads
+// permanently until overwritten. Every backend the conformance suite
+// covers must behave identically under the wrapper — latent faults are a
+// property of the injection layer, not of the medium.
+func RunCorruption(t *testing.T, factory Factory) {
+	t.Helper()
+
+	open := func(t *testing.T) *storage.FaultDevice {
+		t.Helper()
+		inner := factory(t, Size)
+		if inner == nil {
+			t.Fatal("factory returned nil backend")
+		}
+		dev := storage.NewFaultDevice(inner)
+		t.Cleanup(func() { dev.Close() })
+		return dev
+	}
+
+	pattern := func(n int, seed byte) []byte {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = seed + byte(i*7)
+		}
+		return p
+	}
+
+	t.Run("ScheduledBitFlipAfterSync", func(t *testing.T) {
+		dev := open(t)
+		want := pattern(512, 0x21)
+		if err := dev.WriteAt(want, 1024); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+		dev.SetCorruptSchedule(storage.CorruptSchedule{
+			CorruptAfter: 1, CorruptCount: 1, Mode: storage.CorruptBitFlip, Seed: 42,
+		})
+		if err := dev.Sync(1024, 512); err != nil {
+			t.Fatalf("Sync surfaced the latent fault: %v", err)
+		}
+		got := make([]byte, 512)
+		if err := dev.ReadAt(got, 1024); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+		if bytes.Equal(got, want) {
+			t.Fatal("synced range not corrupted")
+		}
+		log := dev.CorruptLog()
+		if len(log) != 1 || log[0].Mode != storage.CorruptBitFlip {
+			t.Fatalf("corrupt log = %+v, want one bit-flip record", log)
+		}
+		if log[0].Off < 1024 || log[0].Off+log[0].Len > 1536 {
+			t.Fatalf("damage [%d,%d) outside synced range", log[0].Off, log[0].Off+log[0].Len)
+		}
+	})
+
+	t.Run("ScheduledSectorZeroAfterPersist", func(t *testing.T) {
+		dev := open(t)
+		dev.SetCorruptSchedule(storage.CorruptSchedule{
+			CorruptAfter: 1, CorruptCount: 1, Mode: storage.CorruptSectorZero, Seed: 7,
+		})
+		want := pattern(storage.CrashSectorSize, 0xEE)
+		if err := dev.Persist(want, storage.CrashSectorSize); err != nil {
+			t.Fatalf("Persist surfaced the latent fault: %v", err)
+		}
+		got := make([]byte, storage.CrashSectorSize)
+		if err := dev.ReadAt(got, storage.CrashSectorSize); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+		if !bytes.Equal(got, make([]byte, storage.CrashSectorSize)) {
+			t.Fatal("persisted sector not zeroed")
+		}
+	})
+
+	t.Run("CorruptAtIsVisible", func(t *testing.T) {
+		dev := open(t)
+		want := pattern(64, 0x33)
+		if err := dev.WriteAt(want, 256); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+		if err := dev.CorruptAt(256, 64, storage.CorruptBitFlip); err != nil {
+			t.Fatalf("CorruptAt: %v", err)
+		}
+		got := make([]byte, 64)
+		if err := dev.ReadAt(got, 256); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+		if bytes.Equal(got, want) {
+			t.Fatal("direct damage not visible")
+		}
+	})
+
+	t.Run("PoisonReadHealsOnOverwrite", func(t *testing.T) {
+		dev := open(t)
+		if err := dev.WriteAt(pattern(256, 0x44), 512); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+		dev.PoisonRead(512, 256)
+		buf := make([]byte, 256)
+		err := dev.ReadAt(buf, 512)
+		if err == nil {
+			t.Fatal("poisoned read succeeded")
+		}
+		if storage.Classify(err) != storage.ClassPermanent {
+			t.Fatalf("poisoned read classified %v, want permanent", storage.Classify(err))
+		}
+		if err := dev.ReadAt(buf, 1024); err != nil {
+			t.Fatalf("read outside poison: %v", err)
+		}
+		heal := pattern(256, 0x55)
+		if err := dev.WriteAt(heal, 512); err != nil {
+			t.Fatalf("healing WriteAt: %v", err)
+		}
+		if err := dev.ReadAt(buf, 512); err != nil {
+			t.Fatalf("healed range still poisoned: %v", err)
+		}
+		if !bytes.Equal(buf, heal) {
+			t.Fatal("healed range lost the overwrite")
+		}
+	})
+}

@@ -10,19 +10,20 @@ import (
 
 // Tiered composes backends into an N-level durability hierarchy — DRAM in
 // front of an SSD in front of an object store, say. Every Device operation
-// completes at tier 0, so the engine's persist latency is tier 0's; a
-// bounded asynchronous drainer then copies committed state downward, level
-// by level, so slower tiers converge on tier 0's history with bounded
-// staleness. Recovery prefers the newest reachable tier (core.Recover walks
-// Tiers()).
+// completes at the active front tier (tier 0 until it fails), so the
+// engine's persist latency is the front tier's; a bounded asynchronous
+// drainer then copies committed state downward, level by level, so slower
+// tiers converge on the front tier's history with bounded staleness.
+// Recovery prefers the newest reachable tier (core.Recover walks Tiers()).
 //
-// The drain model is deliberately the crash-explorer's: tier 0's mutations
-// are journaled (write data, sync barriers, checkpoint-commit marks) and the
-// drainer *replays the journal in order* into each lower tier before issuing
-// one covering sync. A lower tier is therefore always a write-ordered
-// point-in-time image of tier 0 — exactly the "optimistic adversary" crash
-// image the recovery protocol is already proven against — never a fuzzy
-// byte-range copy that could pair a new pointer record with a recycled slot.
+// The drain model is deliberately the crash-explorer's: the front tier's
+// mutations are journaled (write data, sync barriers, checkpoint-commit
+// marks) and the drainer *replays the journal in order* into each lower tier
+// before issuing one covering sync. A lower tier is therefore always a
+// write-ordered point-in-time image of the front tier — exactly the
+// "optimistic adversary" crash image the recovery protocol is already proven
+// against — never a fuzzy byte-range copy that could pair a new pointer
+// record with a recycled slot.
 //
 // The journal is bounded: when a lagging tier would force it past the
 // pending limit, the journal is trimmed anyway and the laggard is scheduled
@@ -32,41 +33,66 @@ import (
 // faults retry in place with exponential backoff, permanent faults abort the
 // cycle (the tier goes stale and the next cycle tries again), so a torn-down
 // tier degrades staleness rather than correctness.
+//
+// Write-path failover: when the front tier itself returns permanent errors
+// past the failover budget, the composite marks it failed, catches the next
+// healthy lower tier up from the journal (the journal carries the data, so
+// no reads from the dying tier are needed), promotes it to the front, and
+// retries the failing operation there. The durable floor survives: every
+// checkpoint the old front acknowledged rode the journal into the new one.
 type Tiered struct {
-	levels []Device
-	obsv   obs.Observer
+	levels   []Device
+	obsv     obs.Observer
+	hasLower bool
 
 	interval   time.Duration
 	maxPending int64
 	retryMax   int
 	retryBase  time.Duration
 	retryCap   time.Duration
+	failAfter  int // consecutive permanent front-tier failures before failover
+
+	// frontMu fences front-tier operations against failover: ops hold it
+	// shared across apply-at-front + journal-append, failover holds it
+	// exclusively, so the catch-up replay can never miss an op that
+	// succeeded at the old front but had not reached the journal yet.
+	// Lock order: frontMu before mu.
+	frontMu sync.RWMutex
 
 	mu        sync.Mutex
 	journal   []tierOp
 	base      int64 // absolute journal index of journal[0]
 	pending   int64 // bytes retained by the journal (data + per-op overhead)
 	watermark uint64
-	tiers     []*tierState // one per level 1..n-1 (index 0 = level 1)
+	states    []*tierState // one per level; accounting survives promotion/death
+	tiers     []*tierState // current drain targets: live levels below the front
+	active    int          // level currently serving the write path
+	dead      []bool       // levels failed over away from (or lost mid-catch-up)
+	frontErrs int          // consecutive permanent failures at the front
 
-	stop    chan struct{}
-	kick    chan struct{}
-	drained *sync.Cond
-	wg      sync.WaitGroup
-	closed  bool
+	stop      chan struct{}
+	kick      chan struct{}
+	drained   *sync.Cond
+	wg        sync.WaitGroup
+	opWg      sync.WaitGroup
+	closed    bool
+	closeDone chan struct{}
+	closeErr  error
 }
 
-// tierState is the drainer's per-lower-tier cursor and accounting.
+// tierState is the drainer's per-tier cursor and accounting.
 type tierState struct {
 	level       int
 	cursor      int64 // absolute journal index: everything before it is replayed + synced
 	needsResync bool
+	busy        bool   // a drain/resync replay is in flight outside the lock
 	durable     uint64 // highest checkpoint counter durable at this tier
 	durableNS   int64  // when durable last advanced
 	drains      uint64
 	drainedB    int64
 	errors      uint64
 	resyncs     uint64
+	failovers   uint64 // write-path failovers away from this level
 	lastErr     error
 }
 
@@ -123,7 +149,7 @@ func WithPendingLimit(bytes int64) TieredOption {
 
 // WithTierObserver attaches a flight-recorder observer; the drainer emits
 // PhaseTierDrain/PhaseTierError/PhaseTierResync events with Slot = tier
-// index.
+// index, and failover emits PhaseTierFailover.
 func WithTierObserver(o obs.Observer) TieredOption {
 	return func(t *Tiered) { t.obsv = o }
 }
@@ -136,10 +162,21 @@ func WithTierRetry(attempts int, base, cap time.Duration) TieredOption {
 	}
 }
 
+// WithFailoverThreshold sets how many consecutive permanent front-tier
+// failures the composite tolerates before failing the write path over to
+// the next healthy lower tier (default 3). Transient faults never count.
+func WithFailoverThreshold(n int) TieredOption {
+	return func(t *Tiered) {
+		if n > 0 {
+			t.failAfter = n
+		}
+	}
+}
+
 // NewTiered builds a tiered device over levels (fastest first). All
-// operations complete at levels[0]; the background drainer replicates to the
-// rest. Every lower level must be at least as large as tier 0. Tiered owns
-// the levels: Close closes them all.
+// operations complete at the front level; the background drainer replicates
+// to the rest. Every lower level must be at least as large as tier 0.
+// Tiered owns the levels: Close closes them all.
 func NewTiered(levels []Device, opts ...TieredOption) (*Tiered, error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("storage: tiered device needs at least one level")
@@ -152,22 +189,26 @@ func NewTiered(levels []Device, opts ...TieredOption) (*Tiered, error) {
 	}
 	t := &Tiered{
 		levels:     append([]Device(nil), levels...),
+		hasLower:   len(levels) > 1,
 		interval:   2 * time.Millisecond,
 		maxPending: 64 << 20,
 		retryMax:   4,
 		retryBase:  200 * time.Microsecond,
 		retryCap:   5 * time.Millisecond,
+		failAfter:  3,
 		stop:       make(chan struct{}),
 		kick:       make(chan struct{}, 1),
+		dead:       make([]bool, len(levels)),
 	}
 	for _, o := range opts {
 		o(t)
 	}
 	t.drained = sync.NewCond(&t.mu)
-	for i := 1; i < len(t.levels); i++ {
-		t.tiers = append(t.tiers, &tierState{level: i})
+	for i := range t.levels {
+		t.states = append(t.states, &tierState{level: i})
 	}
-	if len(t.tiers) > 0 {
+	t.tiers = append([]*tierState(nil), t.states[1:]...)
+	if t.hasLower {
 		t.wg.Add(1)
 		go t.drainLoop()
 	}
@@ -180,25 +221,127 @@ func (t *Tiered) Tiers() []Device {
 	return append([]Device(nil), t.levels...)
 }
 
-// --- Device: every operation completes at tier 0 ---------------------------
+// Active returns the index of the level currently serving the write path
+// (0 until a failover promotes a lower tier).
+func (t *Tiered) Active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
 
-// journalAppend records successfully applied tier-0 ops for the drainer.
-// Appending *after* the tier-0 forward means any journaled op is visible in
-// tier 0's contents — the invariant the resync snapshot depends on.
-func (t *Tiered) journalAppend(ops ...tierOp) {
-	if len(t.tiers) == 0 {
-		return
+// Watermark returns the highest checkpoint counter committed at the front.
+func (t *Tiered) Watermark() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.watermark
+}
+
+// ScheduleResync forces a full-image resync of the given lower tier on the
+// next drain cycle — the scrubber's repair-by-resync hook for a tier whose
+// copy failed verification. It reports whether the level is a live drain
+// target (scheduling the front or a failed level is a no-op).
+func (t *Tiered) ScheduleResync(level int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ts := range t.tiers {
+		if ts.level == level {
+			ts.needsResync = true
+			t.Kick()
+			return true
+		}
 	}
+	return false
+}
+
+// --- Device: every operation completes at the active front tier -------------
+
+// beginOp fences an operation against Close: once Close has flipped the
+// closed bit, new operations are rejected, and Close's opWg.Wait() cannot
+// return until every accepted operation has finished journaling.
+func (t *Tiered) beginOp() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return Permanent(fmt.Errorf("storage: tiered device is closed"))
+	}
+	t.opWg.Add(1)
+	return nil
+}
+
+// frontApply runs op against the active front tier, journaling via journal
+// on success. Permanent front failures count toward the failover budget;
+// when the budget is exhausted the composite promotes the next healthy
+// lower tier and retries the op there. The shared frontMu is held across
+// apply + journal so a concurrent failover's catch-up replay can never miss
+// an op that succeeded at the old front but had not been journaled yet.
+//
+// Only a successful DURABILITY op (durable=true: Sync, Persist) resets the
+// consecutive-failure budget. A dying device often keeps absorbing buffered
+// WriteAts while every attempt to make them durable fails; if plain writes
+// reset the count, a save loop interleaving writes and persists would
+// starve the budget and never fail over.
+func (t *Tiered) frontApply(durable bool, op func(Device) error, journal func()) error {
+	for {
+		t.frontMu.RLock()
+		t.mu.Lock()
+		dev := t.levels[t.active]
+		t.mu.Unlock()
+		err := op(dev)
+		if err == nil {
+			if journal != nil {
+				journal()
+			}
+			t.frontMu.RUnlock()
+			if durable {
+				t.mu.Lock()
+				if dev == t.levels[t.active] {
+					t.frontErrs = 0
+				}
+				t.mu.Unlock()
+			}
+			return nil
+		}
+		t.frontMu.RUnlock()
+		t.mu.Lock()
+		if Classify(err) != ClassPermanent || dev != t.levels[t.active] {
+			// Transient/corrupt faults are the caller's to retry; if a racing
+			// failover already replaced the front, count nothing and let the
+			// caller retry against the new one.
+			t.mu.Unlock()
+			return err
+		}
+		t.frontErrs++
+		exhausted := t.frontErrs >= t.failAfter
+		t.mu.Unlock()
+		if !exhausted {
+			return err
+		}
+		if !t.failover(dev) {
+			return err
+		}
+		// A new front is in place and caught up; retry the op there.
+	}
+}
+
+// journalAppend records successfully applied front-tier ops for the drainer.
+// Appending *after* the front-tier forward means any journaled op is visible
+// in the front tier's contents — the invariant the resync snapshot depends
+// on. Commit marks advance the watermark even when no drain targets remain.
+func (t *Tiered) journalAppend(ops ...tierOp) {
 	t.mu.Lock()
 	for _, op := range ops {
-		t.journal = append(t.journal, op)
-		t.pending += int64(len(op.data)) + tierOpOverhead
 		if op.kind == tierOpMark && op.mark > t.watermark {
 			t.watermark = op.mark
 		}
 	}
-	if t.pending > t.maxPending {
-		t.trimLocked(t.base + int64(len(t.journal)))
+	if len(t.tiers) > 0 {
+		for _, op := range ops {
+			t.journal = append(t.journal, op)
+			t.pending += int64(len(op.data)) + tierOpOverhead
+		}
+		if t.pending > t.maxPending {
+			t.trimLocked(t.base + int64(len(t.journal)))
+		}
 	}
 	t.mu.Unlock()
 }
@@ -247,54 +390,81 @@ func (t *Tiered) gcLocked() {
 	t.base = min
 }
 
-// WriteAt implements Device: applied at tier 0, journaled for the drainer.
+// WriteAt implements Device: applied at the front, journaled for the drainer.
 func (t *Tiered) WriteAt(p []byte, off int64) error {
-	if err := t.levels[0].WriteAt(p, off); err != nil {
+	if err := t.beginOp(); err != nil {
 		return err
 	}
-	if len(t.tiers) > 0 {
-		cp := append([]byte(nil), p...)
-		t.journalAppend(tierOp{kind: tierOpWrite, off: off, data: cp})
-	}
-	return nil
+	defer t.opWg.Done()
+	return t.frontApply(false,
+		func(d Device) error { return d.WriteAt(p, off) },
+		func() {
+			if !t.hasLower {
+				return
+			}
+			cp := append([]byte(nil), p...)
+			t.journalAppend(tierOp{kind: tierOpWrite, off: off, data: cp})
+		})
 }
 
-// ReadAt implements Device: served by tier 0, the freshest level.
+// ReadAt implements Device: served by the active front, the freshest level.
 func (t *Tiered) ReadAt(p []byte, off int64) error {
-	return t.levels[0].ReadAt(p, off)
+	if err := t.beginOp(); err != nil {
+		return err
+	}
+	defer t.opWg.Done()
+	t.mu.Lock()
+	dev := t.levels[t.active]
+	t.mu.Unlock()
+	return dev.ReadAt(p, off)
 }
 
-// Sync implements Device: a tier-0 barrier. Lower tiers get their own
+// Sync implements Device: a front-tier barrier. Lower tiers get their own
 // covering sync from the drainer after replay.
 func (t *Tiered) Sync(off, n int64) error {
-	if err := t.levels[0].Sync(off, n); err != nil {
+	if err := t.beginOp(); err != nil {
 		return err
 	}
-	t.journalAppend(tierOp{kind: tierOpSync, off: off, n: n})
-	return nil
+	defer t.opWg.Done()
+	return t.frontApply(true,
+		func(d Device) error { return d.Sync(off, n) },
+		func() { t.journalAppend(tierOp{kind: tierOpSync, off: off, n: n}) })
 }
 
-// Persist implements Device: durable at tier 0 when it returns — the
+// Persist implements Device: durable at the front tier when it returns — the
 // tentpole contract. Journaled as write + covering sync, like the crash
 // explorer models it.
 func (t *Tiered) Persist(p []byte, off int64) error {
-	if err := t.levels[0].Persist(p, off); err != nil {
+	if err := t.beginOp(); err != nil {
 		return err
 	}
-	if len(t.tiers) > 0 {
-		cp := append([]byte(nil), p...)
-		t.journalAppend(
-			tierOp{kind: tierOpWrite, off: off, data: cp},
-			tierOp{kind: tierOpSync, off: off, n: int64(len(p))})
-	}
-	return nil
+	defer t.opWg.Done()
+	return t.frontApply(true,
+		func(d Device) error { return d.Persist(p, off) },
+		func() {
+			if !t.hasLower {
+				return
+			}
+			cp := append([]byte(nil), p...)
+			t.journalAppend(
+				tierOp{kind: tierOpWrite, off: off, data: cp},
+				tierOp{kind: tierOpSync, off: off, n: int64(len(p))})
+		})
 }
 
 // CommitCheckpoint implements CheckpointCommitter: the engine calls it after
-// the pointer record for counter is durable at tier 0. The mark rides the
+// the pointer record for counter is durable at the front. The mark rides the
 // journal, so a tier's durable counter only advances once every op that made
 // the checkpoint durable has been replayed and synced there.
 func (t *Tiered) CommitCheckpoint(counter uint64) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.opWg.Add(1)
+	t.mu.Unlock()
+	defer t.opWg.Done()
 	t.journalAppend(tierOp{kind: tierOpMark, mark: counter})
 	t.Kick()
 }
@@ -302,21 +472,36 @@ func (t *Tiered) CommitCheckpoint(counter uint64) {
 // Size implements Device.
 func (t *Tiered) Size() int64 { return t.levels[0].Size() }
 
-// Kind implements Device: the engine sees tier 0's persistence semantics.
-func (t *Tiered) Kind() Kind { return t.levels[0].Kind() }
+// Kind implements Device: the engine sees the active front's persistence
+// semantics.
+func (t *Tiered) Kind() Kind {
+	t.mu.Lock()
+	dev := t.levels[t.active]
+	t.mu.Unlock()
+	return dev.Kind()
+}
 
 // Close drains the journal into every reachable tier, stops the drainer and
 // closes all levels. An orderly Close therefore leaves every healthy tier
-// holding tier 0's final image.
+// holding the front tier's final image. Concurrent and repeated Closes all
+// block until that final drain has finished.
 func (t *Tiered) Close() error {
 	t.mu.Lock()
 	if t.closed {
+		done := t.closeDone
 		t.mu.Unlock()
-		return nil
+		<-done
+		return t.closeErr
 	}
 	t.closed = true
+	t.closeDone = make(chan struct{})
 	t.mu.Unlock()
-	if len(t.tiers) > 0 {
+
+	// Wait out in-flight ops: anything accepted before the close fence is
+	// journaled by the time Wait returns, so the final drain below cannot
+	// sample a journal an accepted op has yet to reach.
+	t.opWg.Wait()
+	if t.hasLower {
 		close(t.stop)
 		t.wg.Wait()
 		t.drainAll() // final pass: one full attempt per tier
@@ -327,7 +512,124 @@ func (t *Tiered) Close() error {
 			first = err
 		}
 	}
+	t.closeErr = first
+	close(t.closeDone)
 	return first
+}
+
+// --- failover ---------------------------------------------------------------
+
+// failover retires the front tier oldDev belongs to and promotes the next
+// healthy lower tier, catching it up from the journal first. It reports
+// whether a healthy front is in place afterwards (true also when a racing
+// caller already completed the failover).
+func (t *Tiered) failover(oldDev Device) bool {
+	t.frontMu.Lock()
+	defer t.frontMu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.levels[t.active] != oldDev {
+		return true // someone else already failed over; retry on the new front
+	}
+	from := t.active
+	t.dead[from] = true
+	t.states[from].failovers++
+	t.frontErrs = 0
+	began := time.Now()
+	for {
+		var cand *tierState
+		for _, ts := range t.tiers {
+			if ts.level > from && !t.dead[ts.level] && !ts.needsResync {
+				cand = ts
+				break
+			}
+		}
+		if cand == nil {
+			t.emitError(from, t.failAfter, Permanent(fmt.Errorf("storage: no healthy tier to fail over to from level %d", from)))
+			return false
+		}
+		// Wait out an in-flight drain replay into the candidate so the
+		// catch-up below cannot interleave with it.
+		for cand.busy {
+			t.drained.Wait()
+		}
+		if t.dead[cand.level] || cand.needsResync {
+			continue
+		}
+		bytes, ok := t.catchUpLocked(cand)
+		if !ok {
+			t.dead[cand.level] = true
+			continue
+		}
+		t.active = cand.level
+		var keep []*tierState
+		for _, ts := range t.tiers {
+			if ts.level > cand.level && !t.dead[ts.level] {
+				keep = append(keep, ts)
+			}
+		}
+		t.tiers = keep
+		t.emit(obs.Event{
+			TS: began.UnixNano(), Dur: time.Since(began).Nanoseconds(),
+			Phase: obs.PhaseTierFailover, Slot: int32(cand.level),
+			Value: int64(from), Counter: t.watermark, Bytes: bytes,
+		})
+		return true
+	}
+}
+
+// catchUpLocked synchronously replays the journal suffix ts has not seen
+// into its level, with covering syncs at the journaled barriers. Called with
+// frontMu and mu held: the journal is frozen and no new front op can land,
+// so a successful replay makes the level an exact image of the front. One
+// attempt only — a failover target that cannot absorb the replay is not a
+// viable front.
+func (t *Tiered) catchUpLocked(ts *tierState) (int64, bool) {
+	dev := t.levels[ts.level]
+	head := t.base + int64(len(t.journal))
+	ops := t.journal[ts.cursor-t.base : head-t.base]
+	var bytes int64
+	dirty := false
+	flush := func() bool {
+		if !dirty {
+			return true
+		}
+		if err := dev.Sync(0, dev.Size()); err != nil {
+			ts.errors++
+			ts.lastErr = err
+			return false
+		}
+		dirty = false
+		return true
+	}
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case tierOpWrite:
+			if err := dev.WriteAt(op.data, op.off); err != nil {
+				ts.errors++
+				ts.lastErr = err
+				return bytes, false
+			}
+			bytes += int64(len(op.data))
+			dirty = true
+		case tierOpSync:
+			if !flush() {
+				return bytes, false
+			}
+		}
+	}
+	if !flush() {
+		return bytes, false
+	}
+	ts.cursor = head
+	ts.drains++
+	ts.drainedB += bytes
+	if t.watermark > ts.durable {
+		ts.durable = t.watermark
+		ts.durableNS = time.Now().UnixNano()
+	}
+	return bytes, true
 }
 
 // --- drainer ----------------------------------------------------------------
@@ -362,10 +664,13 @@ func (t *Tiered) drainLoop() {
 	}
 }
 
-// drainAll runs one drain cycle for every lower tier, then garbage-collects
-// the journal and signals waiters.
+// drainAll runs one drain cycle for every current lower tier, then
+// garbage-collects the journal and signals waiters.
 func (t *Tiered) drainAll() {
-	for _, ts := range t.tiers {
+	t.mu.Lock()
+	targets := append([]*tierState(nil), t.tiers...)
+	t.mu.Unlock()
+	for _, ts := range targets {
 		t.drainTier(ts)
 	}
 	t.mu.Lock()
@@ -375,9 +680,20 @@ func (t *Tiered) drainAll() {
 }
 
 // drainTier replays the journal suffix this tier has not seen (or the whole
-// tier-0 image when it lost its incremental path), then syncs the tier.
+// front-tier image when it lost its incremental path), then syncs the tier.
 func (t *Tiered) drainTier(ts *tierState) {
 	t.mu.Lock()
+	if t.dead[ts.level] || ts.level <= t.active {
+		t.mu.Unlock()
+		return
+	}
+	ts.busy = true
+	defer func() {
+		t.mu.Lock()
+		ts.busy = false
+		t.drained.Broadcast()
+		t.mu.Unlock()
+	}()
 	if ts.needsResync {
 		t.resyncLocked(ts) // unlocks internally
 		return
@@ -408,9 +724,9 @@ func (t *Tiered) drainTier(ts *tierState) {
 		case tierOpSync:
 			// Sync barriers replay *in order* (coalescing only runs of syncs
 			// with no intervening write): a pointer-record write must never
-			// reach this tier ahead of the payload sync tier 0 ordered
-			// before it, or a crash image here could pair a live record
-			// with a torn payload — a state tier 0 can never be in.
+			// reach this tier ahead of the payload sync the front tier
+			// ordered before it, or a crash image here could pair a live
+			// record with a torn payload — a state the front can never be in.
 			if !dirty {
 				continue
 			}
@@ -458,17 +774,18 @@ func (t *Tiered) drainTier(ts *tierState) {
 	}
 }
 
-// resyncLocked recopies the full tier-0 image into ts's level. Called with
-// t.mu held; the snapshot read happens under the lock so no new op can be
-// journaled (and no commit mark can advance) while the image is taken —
-// in-flight tier-0 writes not yet journaled land at positions ≥ the cut and
-// are replayed later, idempotently.
+// resyncLocked recopies the full front-tier image into ts's level. Called
+// with t.mu held; the snapshot read happens under the lock so no new op can
+// be journaled (and no commit mark can advance) while the image is taken —
+// in-flight front-tier writes not yet journaled land at positions ≥ the cut
+// and are replayed later, idempotently.
 func (t *Tiered) resyncLocked(ts *tierState) {
 	cut := t.base + int64(len(t.journal))
 	wm := t.watermark
-	size := t.levels[0].Size()
+	front := t.levels[t.active]
+	size := front.Size()
 	img := make([]byte, size)
-	if err := t.levels[0].ReadAt(img, 0); err != nil {
+	if err := front.ReadAt(img, 0); err != nil {
 		ts.errors++
 		ts.lastErr = err
 		t.mu.Unlock()
@@ -572,7 +889,7 @@ func (t *Tiered) emitError(level, attempt int, err error) {
 	})
 }
 
-// WaitDrained blocks until every lower tier has replayed and synced the
+// WaitDrained blocks until every live lower tier has replayed and synced the
 // whole journal (no pending ops, no outstanding resyncs), or until timeout.
 // It reports whether the tiers converged.
 func (t *Tiered) WaitDrained(timeout time.Duration) bool {
@@ -606,21 +923,28 @@ func (t *Tiered) WaitDrained(timeout time.Duration) bool {
 
 // TierStatus is one level's durability standing.
 type TierStatus struct {
-	// Level is the tier index (0 = the fast tier every op completes at).
+	// Level is the tier index (0 = the fastest level).
 	Level int
 	// Kind is the level's persistence technology.
 	Kind Kind
 	// DurableCounter is the newest checkpoint counter durable at this
-	// level; for tier 0 it is the engine's commit watermark.
+	// level; for the active front it is the engine's commit watermark.
 	DurableCounter uint64
-	// DurableAt is when DurableCounter last advanced (zero for tier 0).
+	// DurableAt is when DurableCounter last advanced (zero for a level that
+	// never drained).
 	DurableAt time.Time
 	// Drains / DrainedBytes / Errors / Resyncs are cumulative drainer
-	// accounting (zero for tier 0).
+	// accounting (zero for a level that was never a drain target).
 	Drains       uint64
 	DrainedBytes int64
 	Errors       uint64
 	Resyncs      uint64
+	// Failovers counts write-path failovers away from this level.
+	Failovers uint64
+	// Active marks the level currently serving the write path; Failed marks
+	// a level the write path has permanently abandoned.
+	Active bool
+	Failed bool
 	// PendingOps is how many journaled ops this tier has not replayed;
 	// Resyncing marks a tier that lost its incremental path.
 	PendingOps int64
@@ -634,23 +958,34 @@ func (t *Tiered) Status() []TierStatus {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	head := t.base + int64(len(t.journal))
-	out := []TierStatus{{
-		Level: 0, Kind: t.levels[0].Kind(), DurableCounter: t.watermark,
-	}}
+	draining := make(map[int]bool, len(t.tiers))
 	for _, ts := range t.tiers {
+		draining[ts.level] = true
+	}
+	out := make([]TierStatus, 0, len(t.levels))
+	for i, ts := range t.states {
 		st := TierStatus{
-			Level: ts.level, Kind: t.levels[ts.level].Kind(),
+			Level: i, Kind: t.levels[i].Kind(),
 			DurableCounter: ts.durable,
 			Drains:         ts.drains, DrainedBytes: ts.drainedB,
 			Errors: ts.errors, Resyncs: ts.resyncs,
-			PendingOps: head - ts.cursor, Resyncing: ts.needsResync,
-			LastErr: ts.lastErr,
+			Failovers: ts.failovers,
+			Active:    i == t.active && !t.dead[i],
+			Failed:    t.dead[i],
+			LastErr:   ts.lastErr,
+		}
+		if st.Active {
+			st.DurableCounter = t.watermark
 		}
 		if ts.durableNS > 0 {
 			st.DurableAt = time.Unix(0, ts.durableNS)
 		}
-		if st.Resyncing {
-			st.PendingOps = head - t.base
+		if draining[i] {
+			st.PendingOps = head - ts.cursor
+			st.Resyncing = ts.needsResync
+			if ts.needsResync {
+				st.PendingOps = head - t.base
+			}
 		}
 		out = append(out, st)
 	}

@@ -247,6 +247,231 @@ func TestTieredCloseDrainsFinalImage(t *testing.T) {
 	}
 }
 
+// slowTier delays lower-tier writes so drain windows stay open long enough
+// for the shutdown-race tests to observe them deterministically.
+type slowTier struct {
+	Device
+	delay time.Duration
+}
+
+func (s *slowTier) WriteAt(p []byte, off int64) error {
+	time.Sleep(s.delay)
+	return s.Device.WriteAt(p, off)
+}
+
+// Regression test for the drainer shutdown race: a Persist in flight while
+// Close runs must either be rejected (the caller knows it is not durable) or
+// be included in the final drain — never accepted at tier 0 and then
+// silently dropped from the lower tiers.
+func TestTieredCloseWaitsForInflightPersists(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		ram0, ram1 := NewRAM(tierTestSize), NewRAM(tierTestSize)
+		tiered, err := NewTiered([]Device{ram0, ram1}, WithDrainInterval(time.Hour))
+		if err != nil {
+			t.Fatalf("NewTiered: %v", err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 4000; i++ {
+				off := int64(i%14) * 512
+				if err := tiered.Persist(tierPattern(512, byte(i+1)), off); err != nil {
+					return // closed under us: the write was rejected, not dropped
+				}
+				tiered.CommitCheckpoint(uint64(i + 1))
+			}
+		}()
+		time.Sleep(time.Duration(iter%5) * 20 * time.Microsecond)
+		if err := tiered.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		<-done
+		if !bytes.Equal(tierImage(t, ram1), tierImage(t, ram0)) {
+			t.Fatalf("iter %d: Close raced an in-flight persist: tier 1 image differs from tier 0", iter)
+		}
+	}
+}
+
+// Regression test for concurrent Close: a second Close must not return while
+// the first is still draining the final image — callers treat a returned
+// Close as "every healthy tier holds tier 0's final image".
+func TestTieredSecondCloseWaitsForFinalDrain(t *testing.T) {
+	ram0, ram1 := NewRAM(tierTestSize), NewRAM(tierTestSize)
+	tiered, err := NewTiered([]Device{ram0, &slowTier{Device: ram1, delay: 5 * time.Millisecond}},
+		WithDrainInterval(time.Hour)) // only Close can drain
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := tiered.Persist(tierPattern(512, byte(i+1)), int64(i)*1024); err != nil {
+			t.Fatalf("Persist: %v", err)
+		}
+	}
+	tiered.CommitCheckpoint(8)
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		if err := tiered.Close(); err != nil {
+			t.Errorf("first Close: %v", err)
+		}
+	}()
+	time.Sleep(2 * time.Millisecond) // first Close is now mid final drain
+	if err := tiered.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if !bytes.Equal(tierImage(t, ram1), tierImage(t, ram0)) {
+		t.Fatal("second Close returned before the final drain completed")
+	}
+	<-firstDone
+}
+
+func TestTieredWritePathFailover(t *testing.T) {
+	front := NewFaultDevice(NewRAM(tierTestSize))
+	collector := &eventCollector{}
+	tiered, err := NewTiered([]Device{front, NewRAM(tierTestSize), NewRemoteStore(tierTestSize)},
+		WithDrainInterval(200*time.Microsecond),
+		WithFailoverThreshold(2),
+		WithTierObserver(collector))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+
+	durable := tierPattern(1024, 0xA1)
+	if err := tiered.Persist(durable, 0); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	tiered.CommitCheckpoint(1)
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("tiers did not converge before the failure")
+	}
+
+	// Break the front permanently; the first persist fails within the
+	// budget, the second exhausts it, fails over, and succeeds on tier 1.
+	front.SetSchedule(OpPersist, Schedule{After: 1, Count: 1 << 30})
+	fresh := tierPattern(512, 0xB2)
+	var lastErr error
+	recovered := false
+	for i := 0; i < 4; i++ {
+		if err := tiered.Persist(fresh, 2048); err != nil {
+			lastErr = err
+			continue
+		}
+		recovered = true
+		break
+	}
+	if !recovered {
+		t.Fatalf("persists never recovered after failover: %v", lastErr)
+	}
+	tiered.CommitCheckpoint(2)
+
+	st := tiered.Status()
+	if !st[0].Failed || st[0].Failovers != 1 {
+		t.Errorf("tier 0 after failover = %+v, want Failed with 1 failover", st[0])
+	}
+	if st[0].Active || !st[1].Active {
+		t.Errorf("active flag did not move to tier 1: %+v", st[:2])
+	}
+	if st[1].DurableCounter != 2 {
+		t.Errorf("new front durable counter = %d, want the watermark 2", st[1].DurableCounter)
+	}
+
+	// The new front carries both the catch-up state and the retried write.
+	got := make([]byte, 1024)
+	if err := tiered.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after failover: %v", err)
+	}
+	if !bytes.Equal(got, durable) {
+		t.Error("durable floor lost in failover: pre-failure persist missing from new front")
+	}
+	if err := tiered.ReadAt(got[:512], 2048); err != nil {
+		t.Fatalf("ReadAt after failover: %v", err)
+	}
+	if !bytes.Equal(got[:512], fresh) {
+		t.Error("retried persist missing from new front")
+	}
+
+	// The remaining lower tier keeps draining below the new front.
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("remaining tier did not converge after failover")
+	}
+	if !bytes.Equal(tierImage(t, tiered.levels[2]), tierImage(t, tiered.levels[1])) {
+		t.Error("tier 2 image differs from the new front after drain")
+	}
+	if collector.count(obs.PhaseTierFailover) != 1 {
+		t.Errorf("PhaseTierFailover events = %d, want 1", collector.count(obs.PhaseTierFailover))
+	}
+}
+
+func TestTieredFailoverExhaustsCandidates(t *testing.T) {
+	front := NewFaultDevice(NewRAM(tierTestSize))
+	lower := NewFaultDevice(NewRAM(tierTestSize))
+	tiered, err := NewTiered([]Device{front, lower},
+		WithDrainInterval(200*time.Microsecond),
+		WithFailoverThreshold(1))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+	if err := tiered.Persist(tierPattern(256, 1), 0); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("tiers did not converge")
+	}
+	front.SetSchedule(OpPersist, Schedule{After: 1, Count: 1 << 30})
+	lower.SetSchedule(OpPersist, Schedule{After: 1, Count: 1 << 30})
+	if err := tiered.Persist(tierPattern(256, 2), 1024); err == nil {
+		t.Fatal("persist succeeded with every tier broken")
+	}
+	st := tiered.Status()
+	if !st[0].Failed || !st[1].Failed {
+		t.Errorf("both tiers should be failed: %+v", st)
+	}
+	// The composite still answers reads (only persists were broken).
+	if err := tiered.ReadAt(make([]byte, 256), 0); err != nil {
+		t.Errorf("ReadAt after exhausted failover: %v", err)
+	}
+}
+
+func TestTieredScheduleResyncRepairsTier(t *testing.T) {
+	ram0, ram1 := NewRAM(tierTestSize), NewRAM(tierTestSize)
+	tiered, err := NewTiered([]Device{ram0, ram1}, WithDrainInterval(200*time.Microsecond))
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	defer tiered.Close()
+	if err := tiered.Persist(tierPattern(1024, 0x61), 512); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("tiers did not converge")
+	}
+	// Damage the lower tier behind the composite's back (a scrubber finding),
+	// then ask for repair-by-resync.
+	if err := ram1.WriteAt(make([]byte, 1024), 512); err != nil {
+		t.Fatalf("corrupting WriteAt: %v", err)
+	}
+	if tiered.ScheduleResync(0) {
+		t.Error("ScheduleResync accepted the front tier")
+	}
+	if tiered.ScheduleResync(7) {
+		t.Error("ScheduleResync accepted a nonexistent level")
+	}
+	if !tiered.ScheduleResync(1) {
+		t.Fatal("ScheduleResync rejected a live lower tier")
+	}
+	if !tiered.WaitDrained(5 * time.Second) {
+		t.Fatal("resync did not converge")
+	}
+	if !bytes.Equal(tierImage(t, ram1), tierImage(t, ram0)) {
+		t.Error("resync did not restore the lower tier image")
+	}
+	if st := tiered.Status(); st[1].Resyncs == 0 {
+		t.Errorf("resync not counted: %+v", st[1])
+	}
+}
+
 func TestTieredRejectsSmallLowerTier(t *testing.T) {
 	_, err := NewTiered([]Device{NewRAM(4096), NewRAM(1024)})
 	if err == nil {

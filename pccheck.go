@@ -111,7 +111,25 @@ type Config struct {
 	// Observer chain; it never touches the Emit hot path. See the
 	// "Post-mortem forensics" section of docs/OBSERVABILITY.md.
 	BlackBox BlackBoxConfig
+	// Scrub tunes the background integrity scrubber. With Interval > 0 a
+	// background goroutine periodically re-reads every committed checkpoint
+	// slot, the pointer records, the superblock, the black-box header and
+	// each replica tier, verifies every checksum, and repairs what it can
+	// from the newest healthy copy (quarantining what it cannot). Leave
+	// zero to scrub only on demand via ScrubNow. See the "Scrubbing &
+	// self-healing" section of docs/CRASH_CONSISTENCY.md.
+	Scrub ScrubConfig
 }
+
+// ScrubConfig tunes the background integrity scrubber (Config.Scrub).
+type ScrubConfig = core.ScrubConfig
+
+// ScrubStatus is a snapshot of cumulative scrubber activity, returned by
+// Checkpointer.ScrubStatus.
+type ScrubStatus = core.ScrubStatus
+
+// ScrubRecord is one detect/repair finding in ScrubStatus.Findings.
+type ScrubRecord = core.ScrubRecord
 
 // DeltaConfig tunes incremental (delta) checkpointing. With either field
 // set, Save diffs each payload against the previous checkpoint at chunk
@@ -181,6 +199,7 @@ func (c Config) engineConfig() core.Config {
 		},
 		Observer: c.Observer,
 		BlackBox: c.BlackBox,
+		Scrub:    c.Scrub,
 	}
 }
 
@@ -383,6 +402,24 @@ func (c *Checkpointer) Stats() Stats {
 		TransientFaults: s.TransientFaults,
 		FailedSaves:     s.FailedSaves,
 	}
+}
+
+// ScrubNow runs one synchronous integrity sweep over everything committed —
+// slots, pointer records, superblock, black-box header, replica tiers —
+// independent of the background cadence. It returns how many corruptions
+// were found and how many of those were healed (repaired in place,
+// re-replicated from a healthy tier, or quarantined so they can never be
+// served); found > healed means latent damage survived the sweep and
+// ScrubStatus().Unrepaired says where.
+func (c *Checkpointer) ScrubNow() (found, healed int, err error) {
+	return c.engine.ScrubNow()
+}
+
+// ScrubStatus returns cumulative scrubber activity: sweeps completed, bytes
+// verified, corruptions found, and how each one was resolved, with a bounded
+// audit trail of the most recent findings.
+func (c *Checkpointer) ScrubStatus() ScrubStatus {
+	return c.engine.ScrubStatus()
 }
 
 // Close stops the checkpointer. In-flight Saves finish first.
